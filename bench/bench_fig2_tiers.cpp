@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 2 reproduction: fraction of kernel invocations in Tier-1,
+ * Tier-2 and Tier-3 as a function of the threshold theta, for the
+ * Cactus and MLPerf workloads.
+ *
+ * Expected shape (paper Section III-B): most invocations are
+ * Tier-1/2; on average ~41% Tier-1; Tier-2 grows with theta; gms and
+ * lmr are all Tier-1/2 even at theta = 0.1; gru, lmc, bert, resnet50
+ * are all Tier-1/2 at the larger thresholds; gst has the largest
+ * Tier-3 share (above 50%).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "eval/report.hh"
+#include "sampling/sieve.hh"
+#include "workloads/suites.hh"
+
+int
+main()
+{
+    using namespace sieve;
+
+    const std::vector<double> thetas = {0.1, 0.5, 1.0};
+
+    eval::ExperimentContext ctx;
+    eval::Report report("Fig. 2: tier fractions of kernel invocations "
+                        "(Cactus + MLPerf)");
+    report.setColumns({"workload", "t1@0.1", "t2@0.1", "t3@0.1",
+                       "t1@0.5", "t2@0.5", "t3@0.5", "t1@1.0",
+                       "t2@1.0", "t3@1.0"});
+
+    std::vector<double> tier1_avg(thetas.size(), 0.0);
+    std::vector<double> tier2_avg(thetas.size(), 0.0);
+    size_t count = 0;
+
+    for (const auto &spec : workloads::challengingSpecs()) {
+        const trace::Workload &wl = ctx.workload(spec);
+
+        std::vector<std::string> row = {spec.name};
+        for (size_t t = 0; t < thetas.size(); ++t) {
+            sampling::SieveSampler sampler({thetas[t]});
+            sampling::SamplingResult result = sampler.sample(wl);
+            double t1 = result.tierInvocationFraction(
+                sampling::Tier::Tier1);
+            double t2 = result.tierInvocationFraction(
+                sampling::Tier::Tier2);
+            double t3 = result.tierInvocationFraction(
+                sampling::Tier::Tier3);
+            row.push_back(eval::Report::percent(t1, 0));
+            row.push_back(eval::Report::percent(t2, 0));
+            row.push_back(eval::Report::percent(t3, 0));
+            tier1_avg[t] += t1;
+            tier2_avg[t] += t2;
+        }
+        report.addRow(std::move(row));
+        ++count;
+    }
+
+    report.addRule();
+    std::vector<std::string> avg_row = {"average"};
+    for (size_t t = 0; t < thetas.size(); ++t) {
+        double t1 = tier1_avg[t] / static_cast<double>(count);
+        double t2 = tier2_avg[t] / static_cast<double>(count);
+        avg_row.push_back(eval::Report::percent(t1, 0));
+        avg_row.push_back(eval::Report::percent(t2, 0));
+        avg_row.push_back(eval::Report::percent(1.0 - t1 - t2, 0));
+    }
+    report.addRow(std::move(avg_row));
+    report.print();
+
+    std::printf("\nPaper reference: ~41%% Tier-1 on average; Tier-2 = "
+                "22%% / 42%% / 49%% at theta = 0.1 / 0.5 / 1.0.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 3 reproduction: whole-application cycle-count prediction error
+ * for Sieve versus PKS on the challenging Cactus and MLPerf suites.
+ *
+ * Expected shape (paper Section V-A): Sieve averages 1.2% error (at
+ * most ~3.2%); PKS averages 16.5% (up to 60.4%, worst on spt and
+ * rnnt).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "eval/report.hh"
+#include "stats/error_metrics.hh"
+#include "workloads/suites.hh"
+
+int
+main()
+{
+    using namespace sieve;
+
+    eval::ExperimentContext ctx;
+    eval::Report report(
+        "Fig. 3: prediction error, Sieve vs PKS (Cactus + MLPerf)");
+    report.setColumns({"workload", "Sieve error", "PKS error"});
+
+    std::vector<double> sieve_errors;
+    std::vector<double> pks_errors;
+    std::string last_suite;
+    for (const auto &spec : workloads::challengingSpecs()) {
+        if (!last_suite.empty() && spec.suite != last_suite)
+            report.addRule();
+        last_suite = spec.suite;
+
+        eval::WorkloadOutcome outcome = ctx.run(spec);
+        sieve_errors.push_back(outcome.sieve.error);
+        pks_errors.push_back(outcome.pks.error);
+        report.addRow({
+            spec.name,
+            eval::Report::percent(outcome.sieve.error),
+            eval::Report::percent(outcome.pks.error),
+        });
+    }
+
+    report.addRule();
+    report.addRow({"average",
+                   eval::Report::percent(
+                       stats::meanError(sieve_errors)),
+                   eval::Report::percent(stats::meanError(pks_errors))});
+    report.addRow({"max",
+                   eval::Report::percent(stats::maxError(sieve_errors)),
+                   eval::Report::percent(stats::maxError(pks_errors))});
+    report.print();
+
+    std::printf("\nPaper reference: Sieve 1.2%% avg / 3.2%% max; "
+                "PKS 16.5%% avg / 60.4%% max.\n");
+    return 0;
+}

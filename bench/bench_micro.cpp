@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark).
+ *
+ * Not a paper figure: these quantify the cost of each pipeline stage
+ * — profiling-table construction, stratification, clustering, the
+ * analytical executor, and the cycle-level simulator — so regressions
+ * in the tooling itself are visible. Workload generation is hoisted
+ * out of the timed regions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gpu/hardware_executor.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "gpusim/trace_synth.hh"
+#include "sampling/pks.hh"
+#include "sampling/sieve.hh"
+#include "stats/kde.hh"
+#include "stats/kmeans.hh"
+#include "trace/profile_io.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace {
+
+using namespace sieve;
+
+const trace::Workload &
+benchWorkload(size_t cap)
+{
+    static std::map<size_t, trace::Workload> cache;
+    auto it = cache.find(cap);
+    if (it == cache.end()) {
+        auto spec = workloads::findSpec("lmc", cap);
+        it = cache.emplace(cap, workloads::generateWorkload(*spec))
+                 .first;
+    }
+    return it->second;
+}
+
+const gpu::WorkloadResult &
+benchGolden(size_t cap)
+{
+    static std::map<size_t, gpu::WorkloadResult> cache;
+    auto it = cache.find(cap);
+    if (it == cache.end()) {
+        gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+        it = cache.emplace(cap, hw.runWorkload(benchWorkload(cap)))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto spec = workloads::findSpec(
+        "lmc", static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        trace::Workload wl = workloads::generateWorkload(*spec);
+        benchmark::DoNotOptimize(wl.numInvocations());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(2000)->Arg(8000);
+
+void
+BM_HardwareExecutorRun(benchmark::State &state)
+{
+    const trace::Workload &wl = benchWorkload(2000);
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hw.run(wl.invocation(i++ % wl.numInvocations())).cycles);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HardwareExecutorRun);
+
+void
+BM_NvbitProfileTable(benchmark::State &state)
+{
+    const trace::Workload &wl = benchWorkload(
+        static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        CsvTable table = trace::sieveProfileTable(wl);
+        benchmark::DoNotOptimize(table.numRows());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NvbitProfileTable)->Arg(2000)->Arg(8000);
+
+void
+BM_SieveSample(benchmark::State &state)
+{
+    const trace::Workload &wl = benchWorkload(
+        static_cast<size_t>(state.range(0)));
+    sampling::SieveSampler sampler;
+    for (auto _ : state) {
+        sampling::SamplingResult result = sampler.sample(wl);
+        benchmark::DoNotOptimize(result.strata.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SieveSample)->Arg(2000)->Arg(8000)->Arg(24000);
+
+void
+BM_PksSample(benchmark::State &state)
+{
+    size_t cap = static_cast<size_t>(state.range(0));
+    const trace::Workload &wl = benchWorkload(cap);
+    const gpu::WorkloadResult &gold = benchGolden(cap);
+    sampling::PksSampler pks;
+    for (auto _ : state) {
+        sampling::SamplingResult result =
+            pks.sample(wl, gold.perInvocation);
+        benchmark::DoNotOptimize(result.chosenK);
+    }
+    state.SetItemsProcessed(state.iterations() * cap);
+}
+BENCHMARK(BM_PksSample)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void
+BM_KdeStratify(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<double> sample;
+    for (int64_t i = 0; i < state.range(0); ++i)
+        sample.push_back(rng.logNormal(12.0, 0.8));
+    for (auto _ : state) {
+        auto labels = stats::stratifyByDensity(sample, 0.4);
+        benchmark::DoNotOptimize(labels.size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdeStratify)->Arg(256)->Arg(2048);
+
+void
+BM_KMeans(benchmark::State &state)
+{
+    Rng rng(2);
+    std::vector<std::vector<double>> rows;
+    for (int64_t i = 0; i < state.range(0); ++i)
+        rows.push_back({rng.normal(), rng.normal(), rng.normal(),
+                        rng.normal()});
+    stats::Matrix data = stats::Matrix::fromRows(rows);
+    for (auto _ : state) {
+        auto result = stats::kMeans(data, 16, Rng(3));
+        benchmark::DoNotOptimize(result.inertia);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KMeans)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceSynthesis(benchmark::State &state)
+{
+    const trace::Workload &wl = benchWorkload(2000);
+    gpusim::TraceSynthOptions options;
+    options.maxTracedCtas = 8;
+    for (auto _ : state) {
+        trace::KernelTrace kt = gpusim::synthesizeTrace(wl, 0, options);
+        benchmark::DoNotOptimize(kt.tracedInstructions());
+    }
+}
+BENCHMARK(BM_TraceSynthesis)->Unit(benchmark::kMillisecond);
+
+void
+BM_GpuSimulator(benchmark::State &state)
+{
+    const trace::Workload &wl = benchWorkload(2000);
+    gpusim::TraceSynthOptions options;
+    options.maxTracedCtas = 4;
+    trace::KernelTrace kt = gpusim::synthesizeTrace(wl, 0, options);
+    gpusim::GpuSimulator sim(gpu::ArchConfig::ampereRtx3080());
+    for (auto _ : state) {
+        auto result = sim.simulate(kt);
+        benchmark::DoNotOptimize(result.simCycles);
+        state.counters["insts_per_s"] = benchmark::Counter(
+            static_cast<double>(result.instructionsSimulated),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_GpuSimulator)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

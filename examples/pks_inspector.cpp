@@ -1,0 +1,118 @@
+/**
+ * @file
+ * PKS cluster inspector: why (and where) the baseline mispredicts.
+ *
+ * Prints the chosen k and, for each cluster (largest cycle share
+ * first): how many distinct kernels it mixes, its cycle-count CoV,
+ * the representative's position, and the signed error the cluster
+ * contributes to the prediction. The two failure modes the paper
+ * describes are directly visible: clusters that mix kernels with
+ * different performance, and first-chronological representatives
+ * that are unrepresentative of drifting invocation streams.
+ *
+ * Usage: pks_inspector [workload-name] [top-n]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "eval/report.hh"
+#include "stats/descriptive.hh"
+#include "workloads/suites.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sieve;
+
+    std::string name = argc > 1 ? argv[1] : "lmc";
+    size_t top_n = argc > 2 ? std::stoul(argv[2]) : 15;
+
+    auto spec = workloads::findSpec(name);
+    if (!spec) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+        return 1;
+    }
+
+    eval::ExperimentContext ctx;
+    const trace::Workload &wl = ctx.workload(*spec);
+    const gpu::WorkloadResult &gold = ctx.golden(*spec);
+
+    sampling::PksSampler pks;
+    sampling::SamplingResult result =
+        pks.sample(wl, gold.perInvocation);
+
+    struct Row
+    {
+        size_t idx;
+        double cycles;
+    };
+    std::vector<Row> order;
+    for (size_t i = 0; i < result.strata.size(); ++i) {
+        double cycles = 0.0;
+        for (size_t m : result.strata[i].members)
+            cycles += gold.perInvocation[m].cycles;
+        order.push_back({i, cycles});
+    }
+    std::sort(order.begin(), order.end(),
+              [](const Row &a, const Row &b) {
+                  return a.cycles > b.cycles;
+              });
+
+    eval::Report report("PKS clusters for " + spec->suite + "/" +
+                        spec->name + " (k = " +
+                        std::to_string(result.chosenK) + ")");
+    report.setColumns({"cluster", "n", "kernels", "cycle share",
+                       "cycle CoV", "rep pos", "err contrib"});
+
+    double total_err = 0.0;
+    for (size_t i = 0; i < order.size(); ++i) {
+        const sampling::Stratum &s = result.strata[order[i].idx];
+
+        std::set<uint32_t> kernels;
+        stats::Accumulator cycles_acc;
+        for (size_t m : s.members) {
+            kernels.insert(wl.invocation(m).kernelId);
+            cycles_acc.add(gold.perInvocation[m].cycles);
+        }
+        double actual = order[i].cycles;
+        double predicted = static_cast<double>(s.members.size()) *
+                           gold.perInvocation[s.representative].cycles;
+        double contrib = (predicted - actual) / gold.totalCycles;
+        total_err += contrib;
+
+        // Representative's rank within the cluster by cycle count
+        // (0 = smallest member), to expose drift bias.
+        size_t smaller = 0;
+        for (size_t m : s.members) {
+            if (gold.perInvocation[m].cycles <
+                gold.perInvocation[s.representative].cycles)
+                ++smaller;
+        }
+        double rep_pos = s.members.size() > 1
+                             ? static_cast<double>(smaller) /
+                                   static_cast<double>(
+                                       s.members.size() - 1)
+                             : 0.5;
+
+        if (i < top_n) {
+            report.addRow({
+                std::to_string(order[i].idx),
+                std::to_string(s.members.size()),
+                std::to_string(kernels.size()),
+                eval::Report::percent(actual / gold.totalCycles, 1),
+                eval::Report::num(cycles_acc.cov(), 2),
+                eval::Report::num(rep_pos, 2),
+                eval::Report::percent(contrib, 2),
+            });
+        }
+    }
+    report.print();
+    std::printf("\nclusters: %zu, net signed error: %+.2f%%\n",
+                result.strata.size(), 100.0 * total_err);
+    return 0;
+}

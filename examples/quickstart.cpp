@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: the Sieve workflow end-to-end on one workload.
+ *
+ * Generates the Cactus `lmc` workload, profiles it (instruction count
+ * per kernel invocation), runs Sieve stratification, "measures" the
+ * selected representative invocations on the modelled RTX 3080, and
+ * predicts whole-application performance — then compares against the
+ * full-run golden reference. Also runs the PKS baseline on the same
+ * inputs for contrast.
+ *
+ * Usage: quickstart [workload-name] [seed-salt]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "eval/experiment.hh"
+#include "eval/report.hh"
+#include "workloads/suites.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sieve;
+
+    std::string name = argc > 1 ? argv[1] : "lmc";
+    auto spec = workloads::findSpec(name);
+    if (!spec) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+        return 1;
+    }
+    if (argc > 2)
+        spec->seedSalt = argv[2];
+
+    eval::ExperimentContext ctx; // RTX 3080-like Ampere by default
+    eval::WorkloadOutcome outcome = ctx.run(*spec);
+
+    eval::Report report("Quickstart: " + spec->suite + "/" +
+                        spec->name + " on " +
+                        ctx.executor().arch().name);
+    report.setColumns({"metric", "Sieve", "PKS"});
+    report.addRow({"representatives",
+                   std::to_string(outcome.sieve.numRepresentatives),
+                   std::to_string(outcome.pks.numRepresentatives)});
+    report.addRow({"predicted cycles",
+                   eval::Report::count(outcome.sieve.predictedCycles),
+                   eval::Report::count(outcome.pks.predictedCycles)});
+    report.addRow({"measured cycles",
+                   eval::Report::count(outcome.sieve.measuredCycles),
+                   eval::Report::count(outcome.pks.measuredCycles)});
+    report.addRow({"prediction error",
+                   eval::Report::percent(outcome.sieve.error),
+                   eval::Report::percent(outcome.pks.error)});
+    report.addRow({"simulation speedup",
+                   eval::Report::times(outcome.sieve.speedup),
+                   eval::Report::times(outcome.pks.speedup)});
+    report.addRow({"intra-cluster cycle CoV",
+                   eval::Report::num(outcome.sieve.weightedClusterCov),
+                   eval::Report::num(outcome.pks.weightedClusterCov)});
+    report.print();
+
+    std::printf("\nworkload: %zu kernels, %zu invocations "
+                "(paper scale: %llu)\n",
+                outcome.numKernels, outcome.numInvocations,
+                static_cast<unsigned long long>(
+                    outcome.paperInvocations));
+    std::printf("sieve tier fractions: tier-1 %.0f%%  tier-2 %.0f%%  "
+                "tier-3 %.0f%%\n",
+                100.0 * outcome.sieveResult.tierInvocationFraction(
+                            sampling::Tier::Tier1),
+                100.0 * outcome.sieveResult.tierInvocationFraction(
+                            sampling::Tier::Tier2),
+                100.0 * outcome.sieveResult.tierInvocationFraction(
+                            sampling::Tier::Tier3));
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Stratum inspector: per-stratum diagnosis of a Sieve sampling run.
+ *
+ * For each stratum (largest weight first) prints the kernel, tier,
+ * member count, instruction-count spread, the representative's IPC
+ * versus the stratum's true (instruction-weighted harmonic mean) IPC,
+ * and the resulting contribution to the prediction error. This is
+ * the tool to reach for when a workload's Sieve error looks too
+ * high: it shows exactly which stratum is mispriced and why.
+ *
+ * Usage: stratum_inspector [workload-name] [top-n]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hh"
+#include "eval/report.hh"
+#include "stats/descriptive.hh"
+#include "workloads/suites.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sieve;
+
+    std::string name = argc > 1 ? argv[1] : "lmc";
+    size_t top_n = argc > 2 ? std::stoul(argv[2]) : 15;
+
+    auto spec = workloads::findSpec(name);
+    if (!spec) {
+        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+        return 1;
+    }
+
+    eval::ExperimentContext ctx;
+    const trace::Workload &wl = ctx.workload(*spec);
+    const gpu::WorkloadResult &gold = ctx.golden(*spec);
+
+    sampling::SieveSampler sieve;
+    sampling::SamplingResult result = sieve.sample(wl);
+
+    // Order strata by weight, largest first.
+    std::vector<size_t> order(result.strata.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return result.strata[a].weight > result.strata[b].weight;
+    });
+
+    eval::Report report("Sieve strata for " + spec->suite + "/" +
+                        spec->name + " (largest weight first)");
+    report.setColumns({"kernel", "tier", "n", "weight", "inst CoV",
+                       "rep IPC", "true IPC", "err contrib"});
+
+    double total_err = 0.0;
+    for (size_t i = 0; i < order.size(); ++i) {
+        const sampling::Stratum &s = result.strata[order[i]];
+
+        // True stratum cycles and instruction-weighted IPC.
+        double cycles = 0.0;
+        double insts = 0.0;
+        std::vector<double> member_insts;
+        for (size_t idx : s.members) {
+            cycles += gold.perInvocation[idx].cycles;
+            insts += static_cast<double>(
+                wl.invocation(idx).instructions());
+            member_insts.push_back(static_cast<double>(
+                wl.invocation(idx).instructions()));
+        }
+        double true_ipc = insts / cycles;
+        double rep_ipc = gold.perInvocation[s.representative].ipc;
+
+        // Signed error this stratum contributes to predicted cycles.
+        double contrib = (insts / rep_ipc - cycles) / gold.totalCycles;
+        total_err += contrib;
+
+        if (i < top_n) {
+            report.addRow({
+                wl.kernel(s.kernelId).name,
+                sampling::tierName(s.tier),
+                std::to_string(s.members.size()),
+                eval::Report::percent(s.weight, 2),
+                eval::Report::num(
+                    stats::coefficientOfVariation(member_insts), 3),
+                eval::Report::num(rep_ipc, 2),
+                eval::Report::num(true_ipc, 2),
+                eval::Report::percent(contrib, 2),
+            });
+        }
+    }
+    report.print();
+
+    std::printf("\nstrata: %zu, net signed error: %+.2f%%\n",
+                result.strata.size(), 100.0 * total_err);
+    return 0;
+}

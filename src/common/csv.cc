@@ -1,0 +1,117 @@
+#include "common/csv.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace sieve {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : _header(std::move(header))
+{
+}
+
+size_t
+CsvTable::columnIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < _header.size(); ++i) {
+        if (_header[i] == name)
+            return i;
+    }
+    return npos;
+}
+
+void
+CsvTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != _header.size()) {
+        fatal("CSV row width ", row.size(), " does not match header width ",
+              _header.size());
+    }
+    _rows.push_back(std::move(row));
+}
+
+const std::string &
+CsvTable::cell(size_t row, size_t col) const
+{
+    SIEVE_ASSERT(row < _rows.size() && col < _header.size(),
+                 "CSV cell (", row, ", ", col, ") out of range");
+    return _rows[row][col];
+}
+
+double
+CsvTable::cellAsDouble(size_t row, size_t col) const
+{
+    const std::string &s = cell(row, col);
+    try {
+        size_t pos = 0;
+        double v = std::stod(s, &pos);
+        if (pos != s.size())
+            fatal("trailing characters in CSV number '", s, "'");
+        return v;
+    } catch (const std::exception &) {
+        fatal("malformed CSV number '", s, "' at (", row, ", ", col, ")");
+    }
+}
+
+uint64_t
+CsvTable::cellAsUint(size_t row, size_t col) const
+{
+    const std::string &s = cell(row, col);
+    try {
+        size_t pos = 0;
+        unsigned long long v = std::stoull(s, &pos);
+        if (pos != s.size())
+            fatal("trailing characters in CSV integer '", s, "'");
+        return static_cast<uint64_t>(v);
+    } catch (const std::exception &) {
+        fatal("malformed CSV integer '", s, "' at (", row, ", ", col, ")");
+    }
+}
+
+void
+CsvTable::write(std::ostream &os) const
+{
+    os << join(_header, ",") << '\n';
+    for (const auto &row : _rows)
+        os << join(row, ",") << '\n';
+}
+
+void
+CsvTable::writeFile(const std::string &path) const
+{
+    std::ofstream ofs(path);
+    if (!ofs)
+        fatal("cannot open '", path, "' for writing");
+    write(ofs);
+}
+
+CsvTable
+CsvTable::read(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        fatal("empty CSV input: missing header row");
+
+    CsvTable table(split(trim(line), ','));
+    while (std::getline(is, line)) {
+        auto trimmed = trim(line);
+        if (trimmed.empty())
+            continue;
+        table.addRow(split(trimmed, ','));
+    }
+    return table;
+}
+
+CsvTable
+CsvTable::readFile(const std::string &path)
+{
+    std::ifstream ifs(path);
+    if (!ifs)
+        fatal("cannot open '", path, "' for reading");
+    return read(ifs);
+}
+
+} // namespace sieve

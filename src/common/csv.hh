@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal CSV reading and writing.
+ *
+ * The paper's workflow converts profiler output into "a readable CSV
+ * file which serves as input to PKS and Sieve" (Section IV). This
+ * module provides that interchange format: header row + typed column
+ * access, no quoting/escaping (field values in this library never
+ * contain commas or newlines).
+ */
+
+#ifndef SIEVE_COMMON_CSV_HH
+#define SIEVE_COMMON_CSV_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sieve {
+
+/** An in-memory CSV table: one header row plus data rows. */
+class CsvTable
+{
+  public:
+    CsvTable() = default;
+
+    /** Construct with column names. */
+    explicit CsvTable(std::vector<std::string> header);
+
+    /** Column names, in order. */
+    const std::vector<std::string> &header() const { return _header; }
+
+    /** Number of data rows. */
+    size_t numRows() const { return _rows.size(); }
+
+    /** Number of columns. */
+    size_t numCols() const { return _header.size(); }
+
+    /**
+     * Index of a named column.
+     * @return column index, or npos if absent.
+     */
+    size_t columnIndex(const std::string &name) const;
+
+    static constexpr size_t npos = static_cast<size_t>(-1);
+
+    /** Append a row. fatal() if the width mismatches the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Raw cell access. */
+    const std::string &cell(size_t row, size_t col) const;
+
+    /** Cell parsed as double; fatal() on malformed content. */
+    double cellAsDouble(size_t row, size_t col) const;
+
+    /** Cell parsed as uint64; fatal() on malformed content. */
+    uint64_t cellAsUint(size_t row, size_t col) const;
+
+    /** Serialize the table to a stream. */
+    void write(std::ostream &os) const;
+
+    /** Serialize the table to a file. fatal() if unwritable. */
+    void writeFile(const std::string &path) const;
+
+    /** Parse a table from a stream. fatal() on ragged rows. */
+    static CsvTable read(std::istream &is);
+
+    /** Parse a table from a file. fatal() if unreadable. */
+    static CsvTable readFile(const std::string &path);
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace sieve
+
+#endif // SIEVE_COMMON_CSV_HH

@@ -1,0 +1,47 @@
+#include "common/logging.hh"
+
+#include <atomic>
+
+namespace sieve {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+emit(std::ostream &os, const char *tag, const std::string &msg)
+{
+    os << "[sieve:" << tag << "] " << msg << '\n';
+}
+
+void
+fatalExit()
+{
+    std::exit(1);
+}
+
+void
+panicAbort()
+{
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace sieve

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 idiom.
+ *
+ * Two error functions with distinct purposes:
+ *   - fatal(): the run cannot continue due to a *user* error (bad
+ *     configuration, invalid arguments). Exits with code 1.
+ *   - panic(): something happened that should never happen regardless
+ *     of what the user does (an internal bug). Calls std::abort() so a
+ *     core dump / debugger break is possible.
+ *
+ * Two status functions that never stop the run:
+ *   - inform(): normal operating messages.
+ *   - warn():   something may be off; a good place to start looking if
+ *     strange behaviour follows.
+ */
+
+#ifndef SIEVE_COMMON_LOGGING_HH
+#define SIEVE_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sieve {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel {
+    Quiet = 0,   //!< only fatal/panic reach the console
+    Warn = 1,    //!< warnings and errors
+    Info = 2,    //!< informational messages too (default)
+    Debug = 3,   //!< everything, including debug chatter
+};
+
+/** Get the process-wide log level. */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit one formatted log line to the given stream. */
+void emit(std::ostream &os, const char *tag, const std::string &msg);
+
+[[noreturn]] void fatalExit();
+[[noreturn]] void panicAbort();
+
+} // namespace detail
+
+/** Informational message; shown at LogLevel::Info and above. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emit(std::cerr, "info", detail::concat(args...));
+}
+
+/** Debug message; shown only at LogLevel::Debug. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit(std::cerr, "debug", detail::concat(args...));
+}
+
+/** Warning message; shown at LogLevel::Warn and above. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit(std::cerr, "warn", detail::concat(args...));
+}
+
+/**
+ * Unrecoverable *user* error (bad configuration, invalid input).
+ * Prints the message and exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emit(std::cerr, "fatal", detail::concat(args...));
+    detail::fatalExit();
+}
+
+/**
+ * Unrecoverable *internal* error — an invariant that can never be
+ * violated unless the library itself is broken. Aborts the process.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit(std::cerr, "panic", detail::concat(args...));
+    detail::panicAbort();
+}
+
+/** panic() unless the given condition holds. */
+#define SIEVE_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::sieve::panic("assertion '", #cond, "' failed at ",           \
+                           __FILE__, ":", __LINE__, ": ", ##__VA_ARGS__);  \
+    } while (0)
+
+} // namespace sieve
+
+#endif // SIEVE_COMMON_LOGGING_HH

@@ -1,0 +1,169 @@
+#include "common/rng.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+
+namespace sieve {
+
+namespace {
+
+/** SplitMix64 step, used to expand seeds into full generator state. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+uint64_t
+hashLabel(std::string_view label)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : label) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+Rng::Rng(uint64_t seed)
+{
+    reseed(seed);
+}
+
+Rng::Rng(std::string_view label)
+{
+    reseed(hashLabel(label));
+}
+
+void
+Rng::reseed(uint64_t seed)
+{
+    _seed = seed;
+    uint64_t x = seed;
+    for (auto &word : s)
+        word = splitMix64(x);
+}
+
+Rng
+Rng::split(std::string_view label) const
+{
+    // Mix the label hash into the parent seed; SplitMix64 in reseed()
+    // decorrelates nearby seeds.
+    return Rng(_seed ^ rotl(hashLabel(label), 17));
+}
+
+Rng
+Rng::split(uint64_t index) const
+{
+    uint64_t x = _seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    return Rng(splitMix64(x));
+}
+
+uint64_t
+Rng::next()
+{
+    // xoshiro256**
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    SIEVE_ASSERT(lo <= hi, "uniformInt range [", lo, ", ", hi, "]");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0)
+        return static_cast<int64_t>(next()); // full 64-bit range
+    // Rejection-free modulo is fine here: span << 2^64 in practice, and
+    // reproducibility matters more than the ~2^-50 modulo bias.
+    return lo + static_cast<int64_t>(next() % span);
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller without caching the second deviate: determinism across
+    // call sites is worth the extra transcendental.
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 0.0)
+        u1 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    SIEVE_ASSERT(!weights.empty(), "categorical with no weights");
+    double total = 0.0;
+    for (double w : weights) {
+        SIEVE_ASSERT(w >= 0.0, "negative categorical weight ", w);
+        total += w;
+    }
+    SIEVE_ASSERT(total > 0.0, "categorical weights sum to zero");
+
+    double r = uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (r < acc)
+            return i;
+    }
+    return weights.size() - 1; // floating-point slack lands on the tail
+}
+
+} // namespace sieve

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic, splittable random number generation.
+ *
+ * Every source of randomness in the library flows from a named
+ * Rng stream so that workload generation, sampling, and benchmarks
+ * are bit-for-bit reproducible run-to-run and platform-to-platform.
+ *
+ * The generator is xoshiro256** seeded through SplitMix64; streams
+ * are split by hashing a label into the parent seed, so
+ * `root.split("cactus").split("lmc")` always yields the same stream
+ * regardless of how many other streams were drawn in between.
+ */
+
+#ifndef SIEVE_COMMON_RNG_HH
+#define SIEVE_COMMON_RNG_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sieve {
+
+/**
+ * Deterministic splittable PRNG (xoshiro256** core).
+ *
+ * Not thread-safe; split per-thread streams instead of sharing one.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x5eedcafe);
+
+    /** Construct from a textual seed label. */
+    explicit Rng(std::string_view label);
+
+    /**
+     * Derive an independent child stream from a label.
+     * Deterministic: depends only on this stream's seed and the label,
+     * never on how many numbers were already drawn.
+     */
+    Rng split(std::string_view label) const;
+
+    /** Derive an independent child stream from an index. */
+    Rng split(uint64_t index) const;
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal deviate (Box-Muller, no cached spare). */
+    double normal();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Log-normal deviate parameterized by log-space mu/sigma. */
+    double logNormal(double mu, double sigma);
+
+    /** Bernoulli trial with probability p of true. */
+    bool bernoulli(double p);
+
+    /**
+     * Sample an index from an unnormalized weight vector.
+     * @pre weights is non-empty with a positive sum.
+     */
+    size_t categorical(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(
+                uniformInt(0, static_cast<int64_t>(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** The seed this stream was constructed from. */
+    uint64_t seed() const { return _seed; }
+
+  private:
+    void reseed(uint64_t seed);
+
+    uint64_t _seed;
+    uint64_t s[4];
+};
+
+/** Stable 64-bit FNV-1a hash of a string (used for stream labels). */
+uint64_t hashLabel(std::string_view label);
+
+} // namespace sieve
+
+#endif // SIEVE_COMMON_RNG_HH

@@ -1,0 +1,109 @@
+#include "common/strings.hh"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace sieve {
+
+std::vector<std::string>
+split(std::string_view text, char delim)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = text.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string_view
+trim(std::string_view text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(std::string_view text, std::string_view prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+toFixed(double value, int decimals)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(decimals);
+    oss << value;
+    return oss.str();
+}
+
+std::string
+engineeringNotation(double value)
+{
+    const char *suffix = "";
+    double v = value;
+    double a = std::fabs(value);
+    if (a >= 1e9) {
+        v = value / 1e9;
+        suffix = "B";
+    } else if (a >= 1e6) {
+        v = value / 1e6;
+        suffix = "M";
+    } else if (a >= 1e3) {
+        v = value / 1e3;
+        suffix = "K";
+    }
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(*suffix ? 2 : 0);
+    oss << v << suffix;
+    return oss.str();
+}
+
+std::string
+padLeft(std::string_view text, size_t width)
+{
+    std::string s(text);
+    if (s.size() < width)
+        s.insert(0, width - s.size(), ' ');
+    return s;
+}
+
+std::string
+padRight(std::string_view text, size_t width)
+{
+    std::string s(text);
+    if (s.size() < width)
+        s.append(width - s.size(), ' ');
+    return s;
+}
+
+} // namespace sieve

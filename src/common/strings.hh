@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string utilities shared across the library.
+ */
+
+#ifndef SIEVE_COMMON_STRINGS_HH
+#define SIEVE_COMMON_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sieve {
+
+/** Split a string on a delimiter character (keeps empty fields). */
+std::vector<std::string> split(std::string_view text, char delim);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/** True if text begins with the given prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Join a vector of strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** Render a double with a fixed number of decimals. */
+std::string toFixed(double value, int decimals);
+
+/**
+ * Human-readable engineering notation for counts:
+ * 1234 -> "1.23K", 5'600'000 -> "5.60M", 2.1e9 -> "2.10B".
+ */
+std::string engineeringNotation(double value);
+
+/** Left-pad (right-justify) a string to the given width. */
+std::string padLeft(std::string_view text, size_t width);
+
+/** Right-pad (left-justify) a string to the given width. */
+std::string padRight(std::string_view text, size_t width);
+
+} // namespace sieve
+
+#endif // SIEVE_COMMON_STRINGS_HH

@@ -1,0 +1,70 @@
+#include "eval/experiment.hh"
+
+#include "common/logging.hh"
+#include "workloads/generator.hh"
+
+namespace sieve::eval {
+
+ExperimentContext::ExperimentContext(gpu::ArchConfig arch)
+    : _executor(std::move(arch))
+{
+}
+
+const trace::Workload &
+ExperimentContext::workload(const workloads::WorkloadSpec &spec)
+{
+    std::string key = spec.seedLabel();
+    auto it = _workloads.find(key);
+    if (it == _workloads.end()) {
+        it = _workloads
+                 .emplace(key, workloads::generateWorkload(spec))
+                 .first;
+    }
+    return it->second;
+}
+
+const gpu::WorkloadResult &
+ExperimentContext::golden(const workloads::WorkloadSpec &spec)
+{
+    std::string key = spec.seedLabel();
+    auto it = _golden.find(key);
+    if (it == _golden.end()) {
+        it = _golden.emplace(key, _executor.runWorkload(workload(spec)))
+                 .first;
+    }
+    return it->second;
+}
+
+WorkloadOutcome
+ExperimentContext::run(const workloads::WorkloadSpec &spec,
+                       sampling::SieveConfig sieve_cfg,
+                       sampling::PksConfig pks_cfg)
+{
+    const trace::Workload &wl = workload(spec);
+    const gpu::WorkloadResult &gold = golden(spec);
+
+    WorkloadOutcome outcome;
+    outcome.suite = spec.suite;
+    outcome.name = spec.name;
+    outcome.numKernels = wl.numKernels();
+    outcome.numInvocations = wl.numInvocations();
+    outcome.paperInvocations = spec.paperInvocations;
+
+    sampling::SieveSampler sieve(sieve_cfg);
+    outcome.sieveResult = sieve.sample(wl);
+    double sieve_pred = sieve.predictCycles(outcome.sieveResult, wl,
+                                            gold.perInvocation);
+    outcome.sieve = sampling::evaluate(outcome.sieveResult, sieve_pred,
+                                       gold.perInvocation);
+
+    sampling::PksSampler pks(pks_cfg);
+    outcome.pksResult = pks.sample(wl, gold.perInvocation);
+    double pks_pred =
+        pks.predictCycles(outcome.pksResult, gold.perInvocation);
+    outcome.pks = sampling::evaluate(outcome.pksResult, pks_pred,
+                                     gold.perInvocation);
+
+    return outcome;
+}
+
+} // namespace sieve::eval

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Experiment harness shared by the benchmark binaries.
+ *
+ * Wraps the full evaluation pipeline of Section IV: generate (stand
+ * in for "build and run") a workload, collect the golden
+ * per-invocation cycle counts on a hardware model, run Sieve and PKS,
+ * and compute the error/speedup/dispersion metrics. Workloads and
+ * golden runs are cached per (workload, architecture) so the many
+ * figures that share inputs do not recompute them.
+ */
+
+#ifndef SIEVE_EVAL_EXPERIMENT_HH
+#define SIEVE_EVAL_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/hardware_executor.hh"
+#include "sampling/evaluation.hh"
+#include "sampling/pks.hh"
+#include "sampling/sieve.hh"
+#include "trace/workload.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::eval {
+
+/** Complete outcome of running both methods on one workload. */
+struct WorkloadOutcome
+{
+    std::string suite;
+    std::string name;
+    size_t numKernels = 0;
+    size_t numInvocations = 0;
+    uint64_t paperInvocations = 0;
+
+    sampling::SamplingResult sieveResult;
+    sampling::SamplingResult pksResult;
+    sampling::MethodEvaluation sieve;
+    sampling::MethodEvaluation pks;
+};
+
+/**
+ * Caching context for experiments against one architecture.
+ * Not thread-safe; create one per thread if parallelizing.
+ */
+class ExperimentContext
+{
+  public:
+    explicit ExperimentContext(
+        gpu::ArchConfig arch = gpu::ArchConfig::ampereRtx3080());
+
+    const gpu::HardwareExecutor &executor() const { return _executor; }
+
+    /** Generated workload for a spec (cached). */
+    const trace::Workload &workload(const workloads::WorkloadSpec &spec);
+
+    /** Golden full-run results for a spec (cached). */
+    const gpu::WorkloadResult &golden(
+        const workloads::WorkloadSpec &spec);
+
+    /** Run Sieve + PKS on one workload and evaluate both. */
+    WorkloadOutcome run(const workloads::WorkloadSpec &spec,
+                        sampling::SieveConfig sieve_cfg = {},
+                        sampling::PksConfig pks_cfg = {});
+
+  private:
+    gpu::HardwareExecutor _executor;
+    std::map<std::string, trace::Workload> _workloads;
+    std::map<std::string, gpu::WorkloadResult> _golden;
+};
+
+} // namespace sieve::eval
+
+#endif // SIEVE_EVAL_EXPERIMENT_HH

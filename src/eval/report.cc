@@ -1,0 +1,140 @@
+#include "eval/report.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace sieve::eval {
+
+Report::Report(std::string title) : _title(std::move(title)) {}
+
+void
+Report::setColumns(std::vector<std::string> headers)
+{
+    SIEVE_ASSERT(_rows.empty(), "setColumns after rows were added");
+    _headers = std::move(headers);
+}
+
+void
+Report::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size()) {
+        fatal("report row width ", cells.size(),
+              " does not match header width ", _headers.size());
+    }
+    _rows.push_back(std::move(cells));
+}
+
+void
+Report::addRule()
+{
+    _rows.emplace_back(); // sentinel
+}
+
+std::string
+Report::slug() const
+{
+    std::string out;
+    for (char c : _title) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        else if (!out.empty() && out.back() != '_')
+            out += '_';
+    }
+    while (!out.empty() && out.back() == '_')
+        out.pop_back();
+    return out.empty() ? "report" : out;
+}
+
+void
+Report::writeCsv(std::ostream &os) const
+{
+    CsvTable table(_headers);
+    for (const auto &row : _rows) {
+        if (!row.empty())
+            table.addRow(row);
+    }
+    table.write(os);
+}
+
+void
+Report::print() const
+{
+    if (const char *dir = std::getenv("SIEVE_REPORT_CSV_DIR")) {
+        std::string path = std::string(dir) + "/" + slug() + ".csv";
+        std::ofstream ofs(path);
+        if (ofs)
+            writeCsv(ofs);
+        else
+            warn("cannot write report CSV to ", path);
+    }
+
+    std::vector<size_t> widths(_headers.size());
+    for (size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+
+    auto rule = [&] { std::cout << std::string(total, '-') << '\n'; };
+
+    std::cout << '\n' << _title << '\n';
+    rule();
+    for (size_t c = 0; c < _headers.size(); ++c)
+        std::cout << padRight(_headers[c], widths[c]) << "  ";
+    std::cout << '\n';
+    rule();
+    for (const auto &row : _rows) {
+        if (row.empty()) {
+            rule();
+            continue;
+        }
+        for (size_t c = 0; c < row.size(); ++c) {
+            // Left-justify the first (label) column, right-justify
+            // numeric columns.
+            std::cout << (c == 0 ? padRight(row[c], widths[c])
+                                 : padLeft(row[c], widths[c]))
+                      << "  ";
+        }
+        std::cout << '\n';
+    }
+    rule();
+}
+
+std::string
+Report::percent(double fraction, int decimals)
+{
+    return toFixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+Report::times(double factor, int decimals)
+{
+    return toFixed(factor, decimals) + "x";
+}
+
+std::string
+Report::num(double value, int decimals)
+{
+    return toFixed(value, decimals);
+}
+
+std::string
+Report::count(double value)
+{
+    return engineeringNotation(value);
+}
+
+} // namespace sieve::eval

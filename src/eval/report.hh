@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-width console tables for the benchmark binaries.
+ *
+ * Every table/figure reproduction prints its rows through this so
+ * output is uniform and grep-able (one row per workload, a summary
+ * row at the bottom, column headers matching the paper's axes).
+ */
+
+#ifndef SIEVE_EVAL_REPORT_HH
+#define SIEVE_EVAL_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sieve::eval {
+
+/** A simple fixed-width table writer. */
+class Report
+{
+  public:
+    /** @param title printed above the table with a rule. */
+    explicit Report(std::string title);
+
+    /** Set column headers; call before the first row. */
+    void setColumns(std::vector<std::string> headers);
+
+    /** Append one row; width must match the headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a separator rule before the next row. */
+    void addRule();
+
+    /**
+     * Render the table to stdout. If the SIEVE_REPORT_CSV_DIR
+     * environment variable names a directory, a machine-readable CSV
+     * copy (slugified title as the file name) is written there too —
+     * the hook plotting scripts use to consume bench output.
+     */
+    void print() const;
+
+    /** Write the table as CSV (rule rows are skipped). */
+    void writeCsv(std::ostream &os) const;
+
+    /** File-name-safe slug of the report title. */
+    std::string slug() const;
+
+    // --- cell formatting helpers ---
+
+    /** "12.3%" */
+    static std::string percent(double fraction, int decimals = 1);
+
+    /** "1234.5x" */
+    static std::string times(double factor, int decimals = 1);
+
+    /** Fixed-decimal number. */
+    static std::string num(double value, int decimals = 2);
+
+    /** Engineering notation for counts ("1.23M"). */
+    static std::string count(double value);
+
+  private:
+    std::string _title;
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows; //!< empty row = rule
+};
+
+} // namespace sieve::eval
+
+#endif // SIEVE_EVAL_REPORT_HH

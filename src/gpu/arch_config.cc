@@ -1,0 +1,61 @@
+#include "gpu/arch_config.hh"
+
+namespace sieve::gpu {
+
+ArchConfig
+ArchConfig::ampereRtx3080()
+{
+    ArchConfig cfg;
+    cfg.name = "RTX3080-Ampere";
+    cfg.numSms = 68;
+    cfg.coreClockGhz = 1.71;
+    cfg.schedulersPerSm = 4;
+    cfg.fp32LanesPerSm = 128;
+    cfg.sfuLanesPerSm = 16;
+    cfg.maxWarpsPerSm = 48;
+    cfg.maxCtasPerSm = 16;
+    cfg.maxThreadsPerSm = 1536;
+    cfg.regFilePerSm = 65536;
+    cfg.sharedMemPerSm = 100 << 10;
+    cfg.l1SizeBytes = 128 << 10;
+    cfg.l2SizeBytes = 5ULL << 20;
+    cfg.dramBandwidthGBps = 760.0;
+    cfg.l2BandwidthBytesPerClk = 2048.0;
+    cfg.l1LatencyCycles = 32.0;
+    cfg.l2LatencyCycles = 210.0;
+    // GDDR6X trades latency for bandwidth: notably higher effective
+    // DRAM latency than the GDDR6 on the Turing part.
+    cfg.dramLatencyCycles = 560.0;
+    cfg.launchOverheadCycles = 800.0;
+    return cfg;
+}
+
+ArchConfig
+ArchConfig::turingRtx2080Ti()
+{
+    ArchConfig cfg;
+    cfg.name = "RTX2080Ti-Turing";
+    cfg.numSms = 68;
+    cfg.coreClockGhz = 1.545;
+    cfg.schedulersPerSm = 4;
+    // Turing pairs each FP32 lane with an INT32 lane: half the FP32
+    // lanes of GA102 per SM.
+    cfg.fp32LanesPerSm = 64;
+    cfg.sfuLanesPerSm = 16;
+    cfg.maxWarpsPerSm = 32;
+    cfg.maxCtasPerSm = 16;
+    cfg.maxThreadsPerSm = 1024;
+    cfg.regFilePerSm = 65536;
+    cfg.sharedMemPerSm = 64 << 10;
+    cfg.l1SizeBytes = 96 << 10;
+    cfg.l2SizeBytes = 5632ULL << 10; // 5.5 MB
+    cfg.dramBandwidthGBps = 616.0;
+    cfg.l2BandwidthBytesPerClk = 1792.0;
+    cfg.l1LatencyCycles = 32.0;
+    cfg.l2LatencyCycles = 236.0;
+    cfg.dramLatencyCycles = 420.0;
+    cfg.launchOverheadCycles = 800.0;
+    return cfg;
+}
+
+} // namespace sieve::gpu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * GPU architecture configuration.
+ *
+ * The paper evaluates on two real platforms: an Nvidia RTX 3080
+ * (Ampere, 68 SMs, 10 GB, 760 GB/s) as the baseline, and an RTX
+ * 2080 Ti (Turing, 68 SMs, 11 GB, 616 GB/s) for the relative-accuracy
+ * study (Section IV-1). Both the analytical hardware executor and the
+ * cycle-level simulator are parameterized by this config so relative
+ * performance across architectures (Fig. 9) exercises the same code
+ * path the paper exercises with silicon.
+ */
+
+#ifndef SIEVE_GPU_ARCH_CONFIG_HH
+#define SIEVE_GPU_ARCH_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sieve::gpu {
+
+/** Static description of one GPU architecture configuration. */
+struct ArchConfig
+{
+    std::string name;
+
+    // --- compute organization ---
+    uint32_t numSms = 68;
+    double coreClockGhz = 1.71;
+    uint32_t warpSize = 32;
+    uint32_t schedulersPerSm = 4;   //!< warp schedulers per SM
+    uint32_t fp32LanesPerSm = 128;  //!< FP32 CUDA cores per SM
+    uint32_t sfuLanesPerSm = 16;    //!< special-function units per SM
+
+    // --- occupancy limits ---
+    uint32_t maxWarpsPerSm = 48;
+    uint32_t maxCtasPerSm = 16;
+    uint32_t maxThreadsPerSm = 1536;
+    uint32_t regFilePerSm = 65536;      //!< 32-bit registers
+    uint32_t sharedMemPerSm = 102400;   //!< bytes
+
+    // --- memory hierarchy ---
+    uint32_t l1SizeBytes = 128 << 10;   //!< unified L1/shared per SM
+    uint64_t l2SizeBytes = 5ULL << 20;
+    double dramBandwidthGBps = 760.0;
+    double l2BandwidthBytesPerClk = 2048.0; //!< GPU-wide L2 read BW
+    double l1LatencyCycles = 32.0;
+    double l2LatencyCycles = 210.0;
+    double dramLatencyCycles = 470.0;
+    uint32_t sectorBytes = 32;          //!< memory transaction size
+
+    // --- fixed costs ---
+    double launchOverheadCycles = 800.0; //!< per kernel launch
+
+    /** DRAM bytes deliverable per core clock cycle. */
+    double dramBytesPerClk() const
+    {
+        return dramBandwidthGBps / coreClockGhz;
+    }
+
+    /**
+     * The RTX 3080-like Ampere baseline platform: 68 SMs, 760 GB/s
+     * DRAM bandwidth, 5 MB L2, 128 FP32 lanes/SM.
+     */
+    static ArchConfig ampereRtx3080();
+
+    /**
+     * The RTX 2080 Ti-like Turing platform: 68 SMs, 616 GB/s DRAM
+     * bandwidth, 5.5 MB L2, 64 FP32 lanes/SM, lower clock.
+     */
+    static ArchConfig turingRtx2080Ti();
+};
+
+} // namespace sieve::gpu
+
+#endif // SIEVE_GPU_ARCH_CONFIG_HH

@@ -1,0 +1,235 @@
+#include "gpu/hardware_executor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "gpu/occupancy.hh"
+
+namespace sieve::gpu {
+
+namespace {
+
+/**
+ * Cache-fit factor from a capacity ratio (cache size / working set).
+ * Sharp sigmoid-like curve: ratio 1 -> 0.5, ratio 1.2 -> ~0.81,
+ * ratio 0.8 -> ~0.14. Real caches transition quickly from "fits" to
+ * "thrashes" around the capacity point, which is what makes the
+ * Ampere (5 MB L2) vs Turing (5.5 MB L2) contrast matter for
+ * workloads with ~5.2 MB working sets (paper Fig. 9: lmc/lmr run
+ * *slower* on Ampere).
+ */
+double
+capacityFit(double ratio)
+{
+    double r2 = ratio * ratio;
+    double r8 = r2 * r2 * r2 * r2;
+    return r8 / (1.0 + r8);
+}
+
+} // namespace
+
+HardwareExecutor::HardwareExecutor(ArchConfig arch, double noise_sigma)
+    : _arch(std::move(arch)), _noise_sigma(noise_sigma)
+{
+    SIEVE_ASSERT(_noise_sigma >= 0.0, "negative noise sigma");
+}
+
+uint32_t
+HardwareExecutor::ctasPerSm(const trace::LaunchConfig &launch) const
+{
+    return maxResidentCtas(_arch, launch);
+}
+
+KernelResult
+HardwareExecutor::run(const trace::KernelInvocation &inv) const
+{
+    const trace::InstructionMix &mix = inv.mix;
+    const trace::MemoryProfile &mem = inv.memory;
+    const trace::LaunchConfig &launch = inv.launch;
+
+    double warp_insts = static_cast<double>(mix.instructionCount);
+    SIEVE_ASSERT(warp_insts > 0.0, "invocation with zero instructions");
+
+    // --- occupancy and wave structure ---
+    uint32_t cpsm = ctasPerSm(launch);
+    uint32_t warps_per_cta = launch.warpsPerCta(_arch.warpSize);
+
+    double total_ctas = static_cast<double>(launch.numCtas());
+    double num_sms = static_cast<double>(_arch.numSms);
+    double concurrent_ctas = static_cast<double>(cpsm) * num_sms;
+    double waves = std::ceil(total_ctas / concurrent_ctas);
+    double tail_ctas = total_ctas - (waves - 1.0) * concurrent_ctas;
+
+    // Tail (or sub-machine) phase: the remaining CTAs spread across
+    // as many SMs as possible; an SM with few resident warps issues
+    // below peak, saturating once it holds about two warps per
+    // scheduler.
+    double tail_active_sms = std::min(num_sms, tail_ctas);
+    double tail_resident_ctas = std::min<double>(
+        static_cast<double>(cpsm),
+        std::ceil(tail_ctas / tail_active_sms));
+    double tail_resident_warps = std::min<double>(
+        tail_resident_ctas * warps_per_cta, _arch.maxWarpsPerSm);
+    double saturation_warps =
+        2.0 * static_cast<double>(_arch.schedulersPerSm);
+    double tail_factor =
+        std::min(1.0, tail_resident_warps / saturation_warps);
+    double tail_sms = std::max(tail_active_sms * tail_factor, 1.0);
+
+    // Effective parallelism in SM units: work-weighted harmonic
+    // combination of the full waves (whole machine) and the tail.
+    double full_frac = (waves - 1.0) * concurrent_ctas / total_ctas;
+    double tail_frac = tail_ctas / total_ctas;
+    double effective_sms =
+        1.0 / (full_frac / num_sms + tail_frac / tail_sms);
+    effective_sms = std::clamp(effective_sms, 1.0, num_sms);
+
+    // Warps resident per busy SM (for latency hiding), taken from the
+    // phase holding most of the work.
+    double full_warps = std::min<double>(
+        static_cast<double>(cpsm) * warps_per_cta, _arch.maxWarpsPerSm);
+    double active_warps =
+        waves > 1.0 ? full_warps : tail_resident_warps;
+
+    // --- instruction class decomposition (warp granularity) ---
+    double warp_size = static_cast<double>(_arch.warpSize);
+    double mem_warp_insts = std::min(
+        static_cast<double>(mix.totalMemoryInstructions()) / warp_size,
+        warp_insts);
+    double shared_warp_insts = std::min(
+        static_cast<double>(mix.threadSharedLoads +
+                            mix.threadSharedStores) / warp_size,
+        mem_warp_insts);
+    double alu_warp_insts = std::max(warp_insts - mem_warp_insts, 0.0);
+    double long_lat_insts = alu_warp_insts * mem.longLatencyFrac;
+    double short_alu_insts = alu_warp_insts - long_lat_insts;
+
+    double insts_per_sm = warp_insts / effective_sms;
+
+    // --- compute bound ---
+    double issue_rate = static_cast<double>(_arch.schedulersPerSm);
+    double fp32_rate = static_cast<double>(_arch.fp32LanesPerSm) /
+                       warp_size;
+    double sfu_rate = static_cast<double>(_arch.sfuLanesPerSm) /
+                      warp_size;
+    // Shared memory: one warp access per cycle, replayed on conflicts.
+    double shared_rate = 1.0;
+    double conflict_replays = 1.0 + 3.0 * mem.bankConflictRate;
+
+    double compute_cycles = std::max({
+        insts_per_sm / issue_rate,
+        (short_alu_insts / effective_sms) / fp32_rate,
+        (long_lat_insts / effective_sms) / sfu_rate,
+        (shared_warp_insts / effective_sms) * conflict_replays /
+            shared_rate,
+    });
+
+    // --- memory traffic through the hierarchy ---
+    double sectors =
+        static_cast<double>(mix.coalescedGlobalLoads +
+                            mix.coalescedGlobalStores +
+                            mix.coalescedLocalLoads) +
+        static_cast<double>(mix.threadGlobalAtomics);
+    double bytes = sectors * _arch.sectorBytes;
+
+    double ws = std::max<double>(
+        static_cast<double>(mem.workingSetBytes), 1.0);
+    double per_sm_ws = ws / static_cast<double>(_arch.numSms);
+    double l1_fit =
+        capacityFit(static_cast<double>(_arch.l1SizeBytes) / per_sm_ws);
+    double l1_hit = mem.l1Locality * l1_fit;
+    double l2_fit =
+        capacityFit(static_cast<double>(_arch.l2SizeBytes) / ws);
+    double l2_hit = mem.l2Locality * l2_fit;
+
+    double l2_bytes = bytes * (1.0 - l1_hit);
+    double dram_bytes = l2_bytes * (1.0 - l2_hit);
+
+    double bw_cycles = std::max(dram_bytes / _arch.dramBytesPerClk(),
+                                l2_bytes / _arch.l2BandwidthBytesPerClk);
+
+    // Atomic serialization: GPU-wide throughput of one warp atomic per
+    // cycle across 32 ROP-like units.
+    double atomic_cycles =
+        static_cast<double>(mix.threadGlobalAtomics) / 32.0;
+    bw_cycles = std::max(bw_cycles, atomic_cycles);
+
+    // --- memory latency bound (MLP-limited) ---
+    double avg_latency =
+        l1_hit * _arch.l1LatencyCycles +
+        (1.0 - l1_hit) * (l2_hit * _arch.l2LatencyCycles +
+                          (1.0 - l2_hit) * _arch.dramLatencyCycles);
+    double mlp = std::max(active_warps * mem.ilp, 1.0);
+    double lat_cycles =
+        (mem_warp_insts / effective_sms) * avg_latency / mlp;
+
+    double memory_cycles = std::max(bw_cycles, lat_cycles);
+
+    // --- combine ---
+    double ramp = 2.0 * avg_latency + 100.0 * waves;
+    double cycles = std::max(compute_cycles, memory_cycles) + ramp +
+                    _arch.launchOverheadCycles;
+
+    KernelResult result;
+    if (_arch.launchOverheadCycles >
+        std::max(compute_cycles, memory_cycles)) {
+        result.bound = KernelResult::Bound::Launch;
+    } else if (compute_cycles >= memory_cycles) {
+        result.bound = KernelResult::Bound::Compute;
+    } else if (bw_cycles >= lat_cycles) {
+        result.bound = KernelResult::Bound::Memory;
+    } else {
+        result.bound = KernelResult::Bound::Latency;
+    }
+
+    // --- deterministic run-to-run noise ---
+    if (_noise_sigma > 0.0) {
+        Rng rng(inv.noiseSeed ^ hashLabel(_arch.name));
+        double factor = 1.0 + _noise_sigma * rng.normal();
+        cycles *= std::max(factor, 0.5);
+    }
+
+    result.cycles = cycles;
+    result.ipc = warp_insts / cycles;
+    result.timeUs = cycles / (_arch.coreClockGhz * 1e3);
+    return result;
+}
+
+KernelResult
+HardwareExecutor::runCold(const trace::KernelInvocation &inv) const
+{
+    KernelResult warm = run(inv);
+
+    // Compulsory misses: the working set streams in from DRAM once.
+    // For long kernels this vanishes into steady state; for short
+    // ones it dominates — exactly the hazard of skipping warmup.
+    double ws_bytes = static_cast<double>(inv.memory.workingSetBytes);
+    double fill_cycles =
+        ws_bytes / _arch.dramBytesPerClk() + _arch.dramLatencyCycles;
+
+    KernelResult cold = warm;
+    cold.cycles = warm.cycles + fill_cycles;
+    cold.ipc = static_cast<double>(inv.mix.instructionCount) /
+               cold.cycles;
+    cold.timeUs = cold.cycles / (_arch.coreClockGhz * 1e3);
+    return cold;
+}
+
+WorkloadResult
+HardwareExecutor::runWorkload(const trace::Workload &workload) const
+{
+    WorkloadResult out;
+    out.perInvocation.reserve(workload.numInvocations());
+    for (const auto &inv : workload.invocations()) {
+        KernelResult r = run(inv);
+        out.totalCycles += r.cycles;
+        out.totalTimeUs += r.timeUs;
+        out.totalInstructions += inv.mix.instructionCount;
+        out.perInvocation.push_back(r);
+    }
+    return out;
+}
+
+} // namespace sieve::gpu

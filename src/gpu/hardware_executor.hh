@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Analytical GPU timing model — the "real hardware" stand-in.
+ *
+ * The paper collects per-invocation cycle counts on real RTX 3080 /
+ * RTX 2080 Ti silicon to form the golden reference and the sampling
+ * accuracy metric (Section IV-3). Without GPUs, this module plays the
+ * silicon's role: a deterministic interval-style analytical model
+ * (occupancy, issue/execute throughput, cache-filtered DRAM bandwidth
+ * and latency bounds, launch overhead, small run-to-run noise) that
+ * prices a kernel invocation in O(1), which makes whole-workload
+ * "hardware runs" over 10^5+ invocations practical.
+ *
+ * What matters for methodology fidelity is not absolute accuracy but
+ * that cycle counts relate to workload structure the way silicon's
+ * do: invocations of the same kernel with the same instruction count
+ * take the same time (modulo noise), IPC shifts with occupancy,
+ * memory-boundedness, and cache fit, and part of that behaviour is
+ * driven by MemoryProfile fields that no profiler exposes.
+ */
+
+#ifndef SIEVE_GPU_HARDWARE_EXECUTOR_HH
+#define SIEVE_GPU_HARDWARE_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/arch_config.hh"
+#include "trace/workload.hh"
+
+namespace sieve::gpu {
+
+/** Timing outcome of one kernel invocation. */
+struct KernelResult
+{
+    double cycles = 0.0;      //!< core-clock cycles
+    double ipc = 0.0;         //!< warp instructions per cycle (GPU-wide)
+    double timeUs = 0.0;      //!< wall time in microseconds
+
+    /** Dominant bottleneck, for diagnostics and tests. */
+    enum class Bound { Compute, Memory, Latency, Launch };
+    Bound bound = Bound::Compute;
+};
+
+/** Timing outcome of a full workload execution. */
+struct WorkloadResult
+{
+    std::vector<KernelResult> perInvocation;
+    double totalCycles = 0.0;
+    double totalTimeUs = 0.0;
+    uint64_t totalInstructions = 0;
+
+    /** Whole-application IPC. */
+    double ipc() const
+    {
+        return totalCycles > 0.0
+                   ? static_cast<double>(totalInstructions) / totalCycles
+                   : 0.0;
+    }
+};
+
+/**
+ * Deterministic analytical executor for one architecture.
+ * Thread-compatible: const after construction.
+ */
+class HardwareExecutor
+{
+  public:
+    /**
+     * @param arch architecture to model
+     * @param noise_sigma relative run-to-run noise (0 disables);
+     *        defaults to 0.4%, about what back-to-back kernel timing
+     *        on a real, otherwise-idle GPU shows
+     */
+    explicit HardwareExecutor(ArchConfig arch,
+                              double noise_sigma = 0.004);
+
+    const ArchConfig &arch() const { return _arch; }
+
+    /** Time one kernel invocation (perfect-warmup assumption). */
+    KernelResult run(const trace::KernelInvocation &inv) const;
+
+    /**
+     * Time one kernel invocation executed *standalone with cold
+     * caches* — the situation a sampled simulator faces when it
+     * fast-forwards to a representative without warmup. The paper
+     * assumes perfect warmup and leaves the warmup study to future
+     * work (Section IV-3); this method enables that study: every
+     * working-set line incurs one compulsory DRAM fetch on top of the
+     * steady-state behaviour.
+     */
+    KernelResult runCold(const trace::KernelInvocation &inv) const;
+
+    /** Time every invocation of a workload ("run it on hardware"). */
+    WorkloadResult runWorkload(const trace::Workload &workload) const;
+
+    /**
+     * Occupancy helper: concurrent CTAs per SM for a launch,
+     * considering thread, CTA, register, and shared-memory limits.
+     * Always at least 1 (a launch that fits nothing is a user error
+     * and trips fatal()).
+     */
+    uint32_t ctasPerSm(const trace::LaunchConfig &launch) const;
+
+  private:
+    ArchConfig _arch;
+    double _noise_sigma;
+};
+
+} // namespace sieve::gpu
+
+#endif // SIEVE_GPU_HARDWARE_EXECUTOR_HH

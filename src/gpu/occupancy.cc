@@ -1,0 +1,46 @@
+#include "gpu/occupancy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sieve::gpu {
+
+uint32_t
+maxResidentCtas(const ArchConfig &arch,
+                const trace::LaunchConfig &launch)
+{
+    uint32_t cta_size = launch.ctaSize();
+    if (cta_size == 0 || cta_size > arch.maxThreadsPerSm)
+        fatal("CTA of ", cta_size, " threads cannot run on ", arch.name);
+
+    uint32_t by_threads = arch.maxThreadsPerSm / cta_size;
+    uint32_t by_ctas = arch.maxCtasPerSm;
+
+    uint32_t regs_per_cta = launch.regsPerThread * cta_size;
+    uint32_t by_regs = regs_per_cta > 0
+                           ? arch.regFilePerSm / regs_per_cta
+                           : by_ctas;
+    if (by_regs == 0)
+        fatal("CTA register demand ", regs_per_cta, " exceeds the ",
+              arch.name, " register file");
+
+    uint32_t by_shmem = by_ctas;
+    if (launch.sharedMemBytes > 0) {
+        if (launch.sharedMemBytes > arch.sharedMemPerSm)
+            fatal("CTA shared-memory demand ", launch.sharedMemBytes,
+                  " exceeds ", arch.name);
+        by_shmem = arch.sharedMemPerSm / launch.sharedMemBytes;
+    }
+
+    uint32_t warps_per_cta = launch.warpsPerCta(arch.warpSize);
+    uint32_t by_warps = warps_per_cta > 0
+                            ? arch.maxWarpsPerSm / warps_per_cta
+                            : by_ctas;
+
+    uint32_t fit = std::min({by_threads, by_ctas, by_regs, by_shmem,
+                             by_warps});
+    return std::max<uint32_t>(fit, 1);
+}
+
+} // namespace sieve::gpu

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Occupancy arithmetic shared by the analytical executor and the
+ * cycle-level simulator.
+ */
+
+#ifndef SIEVE_GPU_OCCUPANCY_HH
+#define SIEVE_GPU_OCCUPANCY_HH
+
+#include <cstdint>
+
+#include "gpu/arch_config.hh"
+#include "trace/launch_config.hh"
+
+namespace sieve::gpu {
+
+/**
+ * Concurrent CTAs per SM for a launch, honouring the thread, CTA,
+ * register, shared-memory, and warp-slot limits. fatal() if a single
+ * CTA cannot fit at all (a user configuration error).
+ */
+uint32_t maxResidentCtas(const ArchConfig &arch,
+                         const trace::LaunchConfig &launch);
+
+} // namespace sieve::gpu
+
+#endif // SIEVE_GPU_OCCUPANCY_HH

@@ -1,0 +1,104 @@
+#include "gpusim/cache.hh"
+
+#include "common/logging.hh"
+
+namespace sieve::gpusim {
+
+namespace {
+
+bool
+isPowerOfTwo(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(uint32_t num_sets, uint32_t assoc, uint32_t num_mshrs)
+    : _num_sets(num_sets), _assoc(assoc), _num_mshrs(num_mshrs),
+      _ways(static_cast<size_t>(num_sets) * assoc)
+{
+    SIEVE_ASSERT(isPowerOfTwo(num_sets), "cache sets ", num_sets,
+                 " not a power of two");
+    SIEVE_ASSERT(assoc > 0, "zero-way cache");
+    SIEVE_ASSERT(num_mshrs > 0, "cache without MSHRs");
+}
+
+Cache
+Cache::fromCapacity(uint64_t capacity_bytes, uint32_t line_bytes,
+                    uint32_t assoc, uint32_t num_mshrs)
+{
+    SIEVE_ASSERT(line_bytes > 0 && assoc > 0, "bad cache geometry");
+    uint64_t lines = capacity_bytes / line_bytes;
+    uint64_t sets = lines / assoc;
+    // Round down to a power of two.
+    uint32_t pow2 = 1;
+    while (static_cast<uint64_t>(pow2) * 2 <= sets)
+        pow2 *= 2;
+    return Cache(pow2, assoc, num_mshrs);
+}
+
+CacheOutcome
+Cache::access(uint64_t line, uint64_t now)
+{
+    ++_stats.accesses;
+    size_t set = static_cast<size_t>(line & (_num_sets - 1));
+    Way *base = &_ways[set * _assoc];
+
+    for (uint32_t w = 0; w < _assoc; ++w) {
+        if (base[w].valid && base[w].line == line) {
+            base[w].lastUse = now;
+            ++_stats.hits;
+            return CacheOutcome::Hit;
+        }
+    }
+
+    auto it = _mshrs.find(line);
+    if (it != _mshrs.end()) {
+        ++it->second;
+        ++_stats.mshrMerges;
+        return CacheOutcome::MshrMerge;
+    }
+    if (_mshrs.size() >= _num_mshrs) {
+        ++_stats.mshrStalls;
+        --_stats.accesses; // the access will retry; do not count twice
+        return CacheOutcome::MshrFull;
+    }
+    _mshrs.emplace(line, 1);
+    ++_stats.misses;
+    return CacheOutcome::Miss;
+}
+
+void
+Cache::fill(uint64_t line)
+{
+    _mshrs.erase(line);
+
+    size_t set = static_cast<size_t>(line & (_num_sets - 1));
+    Way *base = &_ways[set * _assoc];
+
+    // Install into an invalid way, else evict LRU.
+    Way *victim = &base[0];
+    for (uint32_t w = 0; w < _assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->lastUse = 0;
+}
+
+void
+Cache::reset()
+{
+    for (auto &way : _ways)
+        way = Way{};
+    _mshrs.clear();
+    _stats = CacheStats{};
+}
+
+} // namespace sieve::gpusim

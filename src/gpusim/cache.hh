@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and a bounded
+ * miss-status holding register (MSHR) file.
+ *
+ * Used for the per-SM L1 data caches and the GPU-wide shared L2 in
+ * the cycle-level simulator. Timing is handled by the caller; the
+ * cache answers hit/miss (with MSHR merging for in-flight lines) and
+ * tracks statistics.
+ */
+
+#ifndef SIEVE_GPUSIM_CACHE_HH
+#define SIEVE_GPUSIM_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sieve::gpusim {
+
+/** Outcome of a cache access. */
+enum class CacheOutcome : uint8_t {
+    Hit,        //!< line present
+    Miss,       //!< line allocated an MSHR; fill from the next level
+    MshrMerge,  //!< miss on a line already in flight (no new request)
+    MshrFull,   //!< structural stall: retry later
+};
+
+/** Aggregate cache statistics. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t mshrMerges = 0;
+    uint64_t mshrStalls = 0;
+
+    /** Hit rate over completed (non-stalled) accesses. */
+    double hitRate() const
+    {
+        uint64_t done = hits + misses + mshrMerges;
+        return done > 0 ? static_cast<double>(hits) /
+                              static_cast<double>(done)
+                        : 0.0;
+    }
+};
+
+/**
+ * Set-associative, line-addressed LRU cache with MSHRs.
+ * Addresses are line indexes (the trace is already line-granular).
+ */
+class Cache
+{
+  public:
+    /**
+     * @param num_sets sets; must be a power of two
+     * @param assoc ways per set
+     * @param num_mshrs maximum outstanding missed lines
+     */
+    Cache(uint32_t num_sets, uint32_t assoc, uint32_t num_mshrs);
+
+    /** Build a cache from a byte capacity and line size. */
+    static Cache fromCapacity(uint64_t capacity_bytes,
+                              uint32_t line_bytes, uint32_t assoc,
+                              uint32_t num_mshrs);
+
+    /**
+     * Access a line at the given cycle.
+     * Miss outcomes allocate an MSHR; the caller must later call
+     * fill() when the next level delivers the line.
+     */
+    CacheOutcome access(uint64_t line, uint64_t now);
+
+    /** Deliver a previously missed line: install and free its MSHR. */
+    void fill(uint64_t line);
+
+    /** Number of MSHRs currently in flight. */
+    size_t inflight() const { return _mshrs.size(); }
+
+    const CacheStats &stats() const { return _stats; }
+
+    /** Drop all content and statistics (fresh kernel launch). */
+    void reset();
+
+  private:
+    struct Way
+    {
+        uint64_t line = ~0ULL;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    uint32_t _num_sets;
+    uint32_t _assoc;
+    uint32_t _num_mshrs;
+    std::vector<Way> _ways;                 //!< num_sets x assoc
+    std::unordered_map<uint64_t, uint32_t> _mshrs; //!< line -> merges
+    CacheStats _stats;
+};
+
+} // namespace sieve::gpusim
+
+#endif // SIEVE_GPUSIM_CACHE_HH

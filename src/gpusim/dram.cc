@@ -1,0 +1,37 @@
+#include "gpusim/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sieve::gpusim {
+
+DramModel::DramModel(double bytes_per_cycle, double latency_cycles)
+    : _bytes_per_cycle(bytes_per_cycle), _latency(latency_cycles)
+{
+    SIEVE_ASSERT(bytes_per_cycle > 0.0, "non-positive DRAM bandwidth");
+    SIEVE_ASSERT(latency_cycles >= 0.0, "negative DRAM latency");
+}
+
+uint64_t
+DramModel::request(uint64_t bytes, uint64_t now)
+{
+    double start = std::max(_pipe_free, static_cast<double>(now));
+    double service = static_cast<double>(bytes) / _bytes_per_cycle;
+    _pipe_free = start + service;
+
+    ++_stats.requests;
+    _stats.bytes += bytes;
+    _stats.busyCycles += static_cast<uint64_t>(service);
+
+    return static_cast<uint64_t>(_pipe_free + _latency);
+}
+
+void
+DramModel::reset()
+{
+    _pipe_free = 0.0;
+    _stats = DramStats{};
+}
+
+} // namespace sieve::gpusim

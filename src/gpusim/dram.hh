@@ -1,0 +1,58 @@
+/**
+ * @file
+ * DRAM bandwidth/latency model for the cycle-level simulator.
+ *
+ * Requests are serviced in order through a bandwidth pipe: each
+ * request occupies the pipe for bytes/bytes-per-cycle cycles, and the
+ * data returns a fixed access latency after service. This captures
+ * the two first-order DRAM effects — queueing under bandwidth
+ * saturation and raw access latency — without modelling banks,
+ * channels, or scheduling policy.
+ */
+
+#ifndef SIEVE_GPUSIM_DRAM_HH
+#define SIEVE_GPUSIM_DRAM_HH
+
+#include <cstdint>
+
+namespace sieve::gpusim {
+
+/** Aggregate DRAM statistics. */
+struct DramStats
+{
+    uint64_t requests = 0;
+    uint64_t bytes = 0;
+    uint64_t busyCycles = 0;
+};
+
+/** In-order bandwidth pipe with fixed access latency. */
+class DramModel
+{
+  public:
+    /**
+     * @param bytes_per_cycle deliverable bandwidth per core cycle
+     * @param latency_cycles fixed access latency
+     */
+    DramModel(double bytes_per_cycle, double latency_cycles);
+
+    /**
+     * Enqueue a request of the given size at cycle `now`.
+     * @return the cycle at which the data is available.
+     */
+    uint64_t request(uint64_t bytes, uint64_t now);
+
+    const DramStats &stats() const { return _stats; }
+
+    /** Clear queue state and statistics. */
+    void reset();
+
+  private:
+    double _bytes_per_cycle;
+    double _latency;
+    double _pipe_free = 0.0; //!< cycle the pipe next frees up
+    DramStats _stats;
+};
+
+} // namespace sieve::gpusim
+
+#endif // SIEVE_GPUSIM_DRAM_HH

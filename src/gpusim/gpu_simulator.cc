@@ -1,0 +1,194 @@
+#include "gpusim/gpu_simulator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+#include "gpu/occupancy.hh"
+#include "gpusim/memory_system.hh"
+#include "gpusim/sm.hh"
+
+namespace sieve::gpusim {
+
+GpuSimulator::GpuSimulator(gpu::ArchConfig arch, GpuSimConfig config)
+    : _arch(std::move(arch)), _config(config)
+{
+    if (_config.simSms == 0 || _config.simSms > _arch.numSms)
+        fatal("simSms ", _config.simSms, " out of [1, ", _arch.numSms,
+              "]");
+}
+
+KernelSimResult
+GpuSimulator::simulate(const trace::KernelTrace &trace) const
+{
+    SIEVE_ASSERT(!trace.ctas.empty(), "empty kernel trace");
+    auto wall_start = std::chrono::steady_clock::now();
+
+    uint32_t cpsm = gpu::maxResidentCtas(_arch, trace.launch);
+
+    // Use only as many SMs as the traced CTAs can fill at full
+    // residency: a half-empty simulated wave would run at lower
+    // occupancy than the real machine and bias the extrapolation.
+    uint32_t sim_sms = std::clamp<uint32_t>(
+        static_cast<uint32_t>(trace.ctas.size() / cpsm), 1,
+        _config.simSms);
+    double machine_fraction = static_cast<double>(sim_sms) /
+                              static_cast<double>(_arch.numSms);
+
+    MemorySystem memsys(_arch, machine_fraction);
+    std::vector<StreamingMultiprocessor> sms;
+    sms.reserve(sim_sms);
+    for (uint32_t s = 0; s < sim_sms; ++s)
+        sms.emplace_back(_arch, &memsys);
+
+    // Wave-synchronous CTA scheduling: fill every SM to its residency
+    // limit, run the wave to completion, then launch the next wave.
+    uint64_t now = 0;
+    size_t next_cta = 0;
+    size_t waves_sim = 0;
+
+    // PKP state: windowed IPC convergence detection.
+    auto issued_so_far = [&sms] {
+        uint64_t total = 0;
+        for (const auto &sm : sms)
+            total += sm.stats().warpInstructions;
+        return total;
+    };
+    uint64_t pkp_window_insts = 0;
+    uint64_t pkp_window_start = 0;
+    double pkp_prev_ipc = -1.0;
+    uint32_t pkp_streak = 0;
+    bool pkp_stop = false;
+
+    while (next_cta < trace.ctas.size() && !pkp_stop) {
+        for (auto &sm : sms) {
+            for (uint32_t slot = 0;
+                 slot < cpsm && next_cta < trace.ctas.size(); ++slot) {
+                sm.assignCta(&trace.ctas[next_cta++]);
+            }
+        }
+        ++waves_sim;
+
+        bool any_busy = true;
+        while (any_busy) {
+            bool issued = false;
+            any_busy = false;
+            for (auto &sm : sms) {
+                if (sm.busy()) {
+                    any_busy = true;
+                    issued |= sm.step(now);
+                }
+            }
+            if (!any_busy)
+                break;
+            if (issued) {
+                ++now;
+            } else {
+                // Nothing issued: fast-forward to the earliest event.
+                uint64_t next = ~0ULL;
+                for (auto &sm : sms) {
+                    if (sm.busy())
+                        next = std::min(next, sm.nextEventAfter(now));
+                }
+                now = std::max(next == ~0ULL ? now + 1 : next, now + 1);
+            }
+
+        }
+        for (auto &sm : sms)
+            sm.clearResidency();
+
+        // PKP convergence is checked at CTA-wave granularity: a wave
+        // is the natural repeating unit of a kernel's execution, and
+        // measuring across the wave boundary includes the drain
+        // overhead that mid-wave windows would miss.
+        if (_config.pkpEnabled) {
+            uint64_t done = issued_so_far();
+            double span = static_cast<double>(now - pkp_window_start);
+            double wave_ipc =
+                static_cast<double>(done - pkp_window_insts) /
+                std::max(span, 1.0);
+            pkp_window_insts = done;
+            pkp_window_start = now;
+
+            if (pkp_prev_ipc > 0.0 && wave_ipc > 0.0) {
+                double delta = std::fabs(wave_ipc - pkp_prev_ipc) /
+                               pkp_prev_ipc;
+                pkp_streak = delta < _config.pkpTolerance
+                                 ? pkp_streak + 1
+                                 : 0;
+                if (pkp_streak >= _config.pkpPatience)
+                    pkp_stop = true;
+            }
+            pkp_prev_ipc = wave_ipc;
+        }
+    }
+
+    KernelSimResult result;
+    result.simCycles = now;
+
+    // PKP extrapolation: charge the unsimulated remainder of the
+    // trace at the converged IPC.
+    uint64_t traced_total = trace.tracedInstructions();
+    uint64_t done = issued_so_far();
+    if (pkp_stop && done < traced_total && pkp_prev_ipc > 0.0) {
+        result.pkpStoppedEarly = true;
+        result.simCycles +=
+            static_cast<uint64_t>(static_cast<double>(
+                                      traced_total - done) /
+                                  pkp_prev_ipc);
+    }
+    result.fractionSimulated =
+        traced_total > 0
+            ? static_cast<double>(done) /
+                  static_cast<double>(traced_total)
+            : 1.0;
+
+    for (const auto &sm : sms) {
+        result.instructionsSimulated += sm.stats().warpInstructions;
+        const CacheStats &l1 = sm.l1Stats();
+        result.l1.accesses += l1.accesses;
+        result.l1.hits += l1.hits;
+        result.l1.misses += l1.misses;
+        result.l1.mshrMerges += l1.mshrMerges;
+        result.l1.mshrStalls += l1.mshrStalls;
+    }
+    result.l2 = memsys.l2Stats();
+    result.dram = memsys.dramStats();
+    result.ipc = result.simCycles > 0
+                     ? static_cast<double>(result.instructionsSimulated) /
+                           static_cast<double>(result.simCycles)
+                     : 0.0;
+
+    // Extrapolate to the full grid on the full machine: cycles scale
+    // with the number of full-residency CTA waves each configuration
+    // needs.
+    double total_ctas = static_cast<double>(
+        std::max<uint64_t>(trace.launch.numCtas(), 1));
+    double traced_ctas = static_cast<double>(trace.ctas.size());
+    double waves_real = std::ceil(
+        total_ctas /
+        (static_cast<double>(_arch.numSms) * static_cast<double>(cpsm)));
+    double waves_traced = std::ceil(
+        traced_ctas /
+        (static_cast<double>(sim_sms) * static_cast<double>(cpsm)));
+    double scale = std::max(waves_real / waves_traced, 1.0);
+    result.estimatedKernelCycles =
+        static_cast<double>(result.simCycles) * scale +
+        _arch.launchOverheadCycles;
+
+    double represented_insts =
+        static_cast<double>(result.instructionsSimulated) *
+        (total_ctas / traced_ctas);
+    result.estimatedIpc =
+        represented_insts / result.estimatedKernelCycles;
+
+    (void)waves_sim;
+    auto wall_end = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    return result;
+}
+
+} // namespace sieve::gpusim

@@ -1,0 +1,146 @@
+#include "gpusim/memory_system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sieve::gpusim {
+
+namespace {
+
+constexpr uint32_t kLineBytes = 128;
+constexpr uint32_t kL2Assoc = 16;
+constexpr uint32_t kL2MshrsPerSlice = 32;
+
+// Full-machine organization the scaled model derives from.
+constexpr size_t kFullMachineSlices = 32;
+constexpr size_t kFullMachineChannels = 8;
+
+size_t
+scaledCount(size_t full, double fraction)
+{
+    return std::max<size_t>(
+        static_cast<size_t>(std::round(static_cast<double>(full) *
+                                       fraction)),
+        1);
+}
+
+} // namespace
+
+MemorySystem::MemorySystem(const gpu::ArchConfig &arch,
+                           double machine_fraction)
+    : _l2_latency(arch.l2LatencyCycles)
+{
+    SIEVE_ASSERT(machine_fraction > 0.0 && machine_fraction <= 1.0,
+                 "machine fraction ", machine_fraction,
+                 " out of (0, 1]");
+
+    size_t n_slices = scaledCount(kFullMachineSlices, machine_fraction);
+    size_t n_channels =
+        scaledCount(kFullMachineChannels, machine_fraction);
+
+    uint64_t slice_capacity = static_cast<uint64_t>(
+        static_cast<double>(arch.l2SizeBytes) * machine_fraction /
+        static_cast<double>(n_slices));
+    for (size_t s = 0; s < n_slices; ++s) {
+        _slices.push_back(Cache::fromCapacity(
+            std::max<uint64_t>(slice_capacity, 16 * kLineBytes),
+            kLineBytes, kL2Assoc, kL2MshrsPerSlice));
+    }
+    _atomic_free.assign(n_slices, 0);
+
+    double channel_bw = arch.dramBytesPerClk() * machine_fraction /
+                        static_cast<double>(n_channels);
+    for (size_t c = 0; c < n_channels; ++c)
+        _channels.emplace_back(channel_bw, arch.dramLatencyCycles);
+}
+
+size_t
+MemorySystem::sliceOf(uint64_t line) const
+{
+    // Mix bits so strided streams still spread across slices.
+    uint64_t h = line ^ (line >> 7);
+    return static_cast<size_t>(h % _slices.size());
+}
+
+size_t
+MemorySystem::channelOf(uint64_t line) const
+{
+    uint64_t h = (line >> 2) ^ (line >> 11);
+    return static_cast<size_t>(h % _channels.size());
+}
+
+uint64_t
+MemorySystem::accessGlobal(uint64_t line, uint32_t bytes, uint64_t now)
+{
+    Cache &slice = _slices[sliceOf(line)];
+    CacheOutcome outcome = slice.access(line, now);
+    if (outcome == CacheOutcome::Hit) {
+        return now + static_cast<uint64_t>(_l2_latency);
+    }
+    // Miss (or structural pressure treated as miss): fetch through
+    // the line's DRAM channel and install.
+    slice.fill(line);
+    uint64_t ready = _channels[channelOf(line)].request(bytes, now);
+    return ready + static_cast<uint64_t>(_l2_latency) / 4;
+}
+
+uint64_t
+MemorySystem::atomic(uint64_t line, uint64_t now)
+{
+    size_t s = sliceOf(line);
+    // Atomics serialize on the slice's atomic pipe: 4 cycles each.
+    uint64_t start = std::max(_atomic_free[s], now);
+    _atomic_free[s] = start + 4;
+
+    Cache &slice = _slices[s];
+    CacheOutcome outcome = slice.access(line, now);
+    if (outcome != CacheOutcome::Hit) {
+        slice.fill(line);
+        return _channels[channelOf(line)].request(kLineBytes / 4,
+                                                  start) +
+               static_cast<uint64_t>(_l2_latency);
+    }
+    return start + static_cast<uint64_t>(_l2_latency);
+}
+
+CacheStats
+MemorySystem::l2Stats() const
+{
+    CacheStats total;
+    for (const Cache &slice : _slices) {
+        const CacheStats &s = slice.stats();
+        total.accesses += s.accesses;
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.mshrMerges += s.mshrMerges;
+        total.mshrStalls += s.mshrStalls;
+    }
+    return total;
+}
+
+DramStats
+MemorySystem::dramStats() const
+{
+    DramStats total;
+    for (const DramModel &channel : _channels) {
+        const DramStats &s = channel.stats();
+        total.requests += s.requests;
+        total.bytes += s.bytes;
+        total.busyCycles += s.busyCycles;
+    }
+    return total;
+}
+
+void
+MemorySystem::reset()
+{
+    for (Cache &slice : _slices)
+        slice.reset();
+    for (DramModel &channel : _channels)
+        channel.reset();
+    std::fill(_atomic_free.begin(), _atomic_free.end(), 0);
+}
+
+} // namespace sieve::gpusim

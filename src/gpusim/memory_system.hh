@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The GPU-wide shared memory system of the cycle-level simulator.
+ *
+ * Modern GPUs split the L2 into address-interleaved slices, each with
+ * its own tag array and bandwidth, and stripe DRAM traffic across
+ * independent channels. The model here follows that organization:
+ * line addresses select an L2 slice and a DRAM channel by
+ * interleaving, so hot channels/slices serialize while spread traffic
+ * enjoys the aggregate bandwidth — first-order NoC/DRAM contention
+ * without modelling the crossbar itself. A serialized atomic pipe
+ * per slice handles global atomics.
+ *
+ * Fills are installed immediately while the data-ready time is
+ * returned to the requesting warp ("instant fill, delayed data"):
+ * hit-rate behaviour stays faithful without a full event queue.
+ */
+
+#ifndef SIEVE_GPUSIM_MEMORY_SYSTEM_HH
+#define SIEVE_GPUSIM_MEMORY_SYSTEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/arch_config.hh"
+#include "gpusim/cache.hh"
+#include "gpusim/dram.hh"
+
+namespace sieve::gpusim {
+
+/** Shared sliced-L2 + multi-channel DRAM + atomic pipes. */
+class MemorySystem
+{
+  public:
+    /**
+     * @param arch architecture parameters
+     * @param machine_fraction fraction of the real machine being
+     *        simulated (simulated SMs / total SMs); scales slice
+     *        count, capacity, and channel bandwidth so per-SM
+     *        pressure matches the full machine
+     */
+    MemorySystem(const gpu::ArchConfig &arch, double machine_fraction);
+
+    /**
+     * Service an L1 miss for a line of `bytes` at cycle `now`.
+     * @return the cycle the data is available at the SM.
+     */
+    uint64_t accessGlobal(uint64_t line, uint32_t bytes, uint64_t now);
+
+    /**
+     * Execute a global atomic: always reaches its L2 slice,
+     * serialized through the slice's atomic pipe.
+     * @return the cycle the result is available.
+     */
+    uint64_t atomic(uint64_t line, uint64_t now);
+
+    /** Aggregated L2 statistics across slices. */
+    CacheStats l2Stats() const;
+
+    /** Aggregated DRAM statistics across channels. */
+    DramStats dramStats() const;
+
+    size_t numSlices() const { return _slices.size(); }
+    size_t numChannels() const { return _channels.size(); }
+
+    void reset();
+
+  private:
+    size_t sliceOf(uint64_t line) const;
+    size_t channelOf(uint64_t line) const;
+
+    double _l2_latency;
+    std::vector<Cache> _slices;
+    std::vector<DramModel> _channels;
+    std::vector<uint64_t> _atomic_free; //!< per-slice atomic pipe
+};
+
+} // namespace sieve::gpusim
+
+#endif // SIEVE_GPUSIM_MEMORY_SYSTEM_HH

@@ -1,0 +1,298 @@
+#include "gpusim/sm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sieve::gpusim {
+
+namespace {
+
+constexpr uint32_t kLineBytes = 128;
+constexpr uint32_t kL1Assoc = 8;
+constexpr uint32_t kL1Mshrs = 32;
+
+// Pipeline latencies (cycles) per instruction class.
+constexpr uint64_t kAluLatency = 4;
+constexpr uint64_t kFmaLatency = 4;
+constexpr uint64_t kSfuLatency = 16;
+constexpr uint64_t kDfmaLatency = 48;
+constexpr uint64_t kSharedLatency = 24;
+constexpr uint64_t kL1HitLatency = 32;
+constexpr uint64_t kBranchLatency = 2;
+// Instructions serialized after a divergent branch (approximate
+// distance to the reconvergence point).
+constexpr uint32_t kDivergenceWindow = 12;
+
+} // namespace
+
+StreamingMultiprocessor::StreamingMultiprocessor(
+    const gpu::ArchConfig &arch, MemorySystem *memsys)
+    : _arch(arch), _memsys(memsys),
+      _l1(Cache::fromCapacity(arch.l1SizeBytes, kLineBytes, kL1Assoc,
+                              kL1Mshrs))
+{
+    SIEVE_ASSERT(memsys != nullptr, "SM without a memory system");
+}
+
+void
+StreamingMultiprocessor::assignCta(const trace::CtaTrace *cta)
+{
+    SIEVE_ASSERT(cta != nullptr, "null CTA");
+    for (const trace::WarpTrace &wt : cta->warps) {
+        WarpContext ctx;
+        ctx.stream = &wt;
+        ctx.pc = 0;
+        ctx.done = wt.instructions.empty();
+        if (!ctx.done)
+            ++_active_warps;
+        _warps.push_back(std::move(ctx));
+    }
+    ++_resident_ctas;
+}
+
+void
+StreamingMultiprocessor::clearResidency()
+{
+    SIEVE_ASSERT(_active_warps == 0,
+                 "clearing residency with warps in flight");
+    _stats.ctasCompleted += _resident_ctas;
+    _warps.clear();
+    _resident_ctas = 0;
+    _rr_cursor = 0;
+    _inflight_misses.clear();
+}
+
+void
+StreamingMultiprocessor::retireExpiredMisses(uint64_t now)
+{
+    while (!_inflight_misses.empty() && _inflight_misses.front() <= now) {
+        std::pop_heap(_inflight_misses.begin(), _inflight_misses.end(),
+                      std::greater<>());
+        _inflight_misses.pop_back();
+    }
+}
+
+bool
+StreamingMultiprocessor::tryIssue(WarpContext &warp, uint64_t now)
+{
+    using trace::Opcode;
+
+    if (warp.done || warp.stallUntil > now)
+        return false;
+
+    const trace::SassInstruction &inst =
+        warp.stream->instructions[warp.pc];
+
+    // Scoreboard: both sources must be ready.
+    if (warp.regReady[inst.srcReg0] > now ||
+        warp.regReady[inst.srcReg1] > now)
+        return false;
+
+    // Per-pipe throughput tokens.
+    switch (inst.opcode) {
+      case Opcode::FFma:
+      case Opcode::DFma:
+        if (_fp32_tokens < 1.0)
+            return false;
+        break;
+      case Opcode::Mufu:
+        if (_sfu_tokens < 1.0)
+            return false;
+        break;
+      case Opcode::Lds:
+      case Opcode::Sts:
+        if (_shared_tokens < 1.0)
+            return false;
+        break;
+      case Opcode::Ldg:
+      case Opcode::Stg:
+      case Opcode::Ldl:
+      case Opcode::Stl:
+      case Opcode::Atom:
+        if (_mem_tokens < 1.0)
+            return false;
+        if (_inflight_misses.size() >= kL1Mshrs)
+            return false; // structural: MSHRs exhausted
+        break;
+      default:
+        break;
+    }
+
+    // Issue.
+    uint64_t ready = now;
+    switch (inst.opcode) {
+      case Opcode::IAdd:
+        ready = now + kAluLatency;
+        break;
+      case Opcode::FFma:
+        _fp32_tokens -= 1.0;
+        ready = now + kFmaLatency;
+        break;
+      case Opcode::DFma:
+        _fp32_tokens -= 1.0;
+        ready = now + kDfmaLatency;
+        break;
+      case Opcode::Mufu:
+        _sfu_tokens -= 1.0;
+        ready = now + kSfuLatency;
+        break;
+      case Opcode::Lds:
+      case Opcode::Sts:
+        _shared_tokens -= 1.0;
+        ready = now + kSharedLatency;
+        break;
+      case Opcode::Bra:
+        ready = now + kBranchLatency;
+        warp.stallUntil = ready;
+        if (inst.isDivergentBranch()) {
+            // SIMT divergence: until reconvergence (approximated as
+            // the next basic block), the warp walks both paths
+            // serially — every instruction costs an extra issue slot.
+            warp.divergedFor = kDivergenceWindow;
+        }
+        break;
+      case Opcode::Exit:
+        warp.done = true;
+        SIEVE_ASSERT(_active_warps > 0, "warp underflow");
+        --_active_warps;
+        break;
+      case Opcode::Ldg:
+      case Opcode::Ldl:
+      case Opcode::Stl: {
+        _mem_tokens -= 1.0;
+        CacheOutcome outcome = _l1.access(inst.lineAddress, now);
+        if (outcome == CacheOutcome::Hit) {
+            ready = now + kL1HitLatency;
+        } else {
+            _l1.fill(inst.lineAddress);
+            uint32_t bytes = static_cast<uint32_t>(inst.sectors) *
+                             _arch.sectorBytes;
+            ready = _memsys->accessGlobal(inst.lineAddress,
+                                          std::max(bytes, 32u), now);
+            _inflight_misses.push_back(ready);
+            std::push_heap(_inflight_misses.begin(),
+                           _inflight_misses.end(), std::greater<>());
+        }
+        break;
+      }
+      case Opcode::Stg: {
+        _mem_tokens -= 1.0;
+        // Write-through, fire-and-forget: consumes bandwidth but
+        // does not block the warp.
+        uint32_t bytes = static_cast<uint32_t>(inst.sectors) *
+                         _arch.sectorBytes;
+        _memsys->accessGlobal(inst.lineAddress, std::max(bytes, 32u),
+                              now);
+        ready = now;
+        break;
+      }
+      case Opcode::Atom: {
+        _mem_tokens -= 1.0;
+        ready = _memsys->atomic(inst.lineAddress, now);
+        _inflight_misses.push_back(ready);
+        std::push_heap(_inflight_misses.begin(),
+                       _inflight_misses.end(), std::greater<>());
+        break;
+      }
+    }
+
+    if (inst.destReg != 0)
+        warp.regReady[inst.destReg] = ready;
+
+    if (warp.divergedFor > 0 && inst.opcode != Opcode::Bra) {
+        // SIMT path serialization: each instruction in the divergent
+        // region issues twice (once per path), consuming a second
+        // scheduler slot before the warp's pc advances.
+        if (!warp.replayPending) {
+            warp.replayPending = true;
+            ++_stats.divergenceReplays;
+            return true; // slot consumed; pc stays for the replay
+        }
+        warp.replayPending = false;
+        --warp.divergedFor;
+    }
+
+    ++warp.pc;
+    ++_stats.warpInstructions;
+    if (!warp.done && warp.pc >= warp.stream->instructions.size()) {
+        warp.done = true;
+        SIEVE_ASSERT(_active_warps > 0, "warp underflow");
+        --_active_warps;
+    }
+    return true;
+}
+
+bool
+StreamingMultiprocessor::step(uint64_t now)
+{
+    if (_active_warps == 0)
+        return false;
+
+    retireExpiredMisses(now);
+
+    // Refill per-cycle issue tokens (accumulators allow sub-1/cycle
+    // rates for the SFU pipe; caps prevent unbounded hoarding).
+    if (_token_cycle != now) {
+        double fp32_rate =
+            static_cast<double>(_arch.fp32LanesPerSm) / _arch.warpSize;
+        double sfu_rate =
+            static_cast<double>(_arch.sfuLanesPerSm) / _arch.warpSize;
+        _fp32_tokens = std::min(_fp32_tokens + fp32_rate,
+                                2.0 * fp32_rate + 1.0);
+        _sfu_tokens = std::min(_sfu_tokens + sfu_rate,
+                               2.0 * sfu_rate + 1.0);
+        _mem_tokens = std::min(_mem_tokens + 1.0, 2.0);
+        _shared_tokens = std::min(_shared_tokens + 1.0, 2.0);
+        _token_cycle = now;
+    }
+
+    // Greedy-oldest round robin: each scheduler issues at most one
+    // instruction; warps are statically partitioned by index.
+    uint32_t issued = 0;
+    uint32_t schedulers = _arch.schedulersPerSm;
+    size_t n = _warps.size();
+    if (n == 0)
+        return false;
+
+    for (uint32_t s = 0; s < schedulers; ++s) {
+        for (size_t probe = 0; probe < n; ++probe) {
+            size_t idx = (_rr_cursor + probe) % n;
+            if (idx % schedulers != s)
+                continue;
+            if (tryIssue(_warps[idx], now)) {
+                ++issued;
+                _rr_cursor = static_cast<uint32_t>((idx + 1) % n);
+                break;
+            }
+        }
+    }
+
+    if (issued > 0)
+        ++_stats.issueCyclesUsed;
+    return issued > 0;
+}
+
+uint64_t
+StreamingMultiprocessor::nextEventAfter(uint64_t now) const
+{
+    uint64_t next = ~0ULL;
+    for (const WarpContext &warp : _warps) {
+        if (warp.done)
+            continue;
+        uint64_t candidate = warp.stallUntil;
+        const trace::SassInstruction &inst =
+            warp.stream->instructions[warp.pc];
+        candidate = std::max({candidate, warp.regReady[inst.srcReg0],
+                              warp.regReady[inst.srcReg1]});
+        if (candidate > now)
+            next = std::min(next, candidate);
+        else
+            return now + 1; // this warp is issuable next cycle
+    }
+    if (!_inflight_misses.empty())
+        next = std::min(next, _inflight_misses.front());
+    return next == ~0ULL ? now + 1 : next;
+}
+
+} // namespace sieve::gpusim

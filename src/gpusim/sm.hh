@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Streaming multiprocessor model: resident CTAs, per-warp program
+ * state, register scoreboards, warp schedulers with per-pipe issue
+ * throughput, an L1 data cache, and MSHR-bounded outstanding misses.
+ */
+
+#ifndef SIEVE_GPUSIM_SM_HH
+#define SIEVE_GPUSIM_SM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/arch_config.hh"
+#include "gpusim/cache.hh"
+#include "gpusim/memory_system.hh"
+#include "trace/sass_trace.hh"
+
+namespace sieve::gpusim {
+
+/** Per-SM statistics. */
+struct SmStats
+{
+    uint64_t warpInstructions = 0;
+    uint64_t divergenceReplays = 0; //!< extra issues for split paths
+    uint64_t issueCyclesUsed = 0;
+    uint64_t ctasCompleted = 0;
+};
+
+/** One simulated streaming multiprocessor. */
+class StreamingMultiprocessor
+{
+  public:
+    /**
+     * @param arch architecture parameters
+     * @param memsys the shared L2/DRAM system (not owned)
+     */
+    StreamingMultiprocessor(const gpu::ArchConfig &arch,
+                            MemorySystem *memsys);
+
+    /** Resident CTA count. */
+    size_t residentCtas() const { return _resident_ctas; }
+
+    /** True while any resident warp has instructions left. */
+    bool busy() const { return _active_warps > 0; }
+
+    /** Place a CTA's warps on this SM. @pre there is a free slot */
+    void assignCta(const trace::CtaTrace *cta);
+
+    /**
+     * Drop completed residency between CTA waves (caches and
+     * statistics persist). @pre !busy()
+     */
+    void clearResidency();
+
+    /**
+     * Advance one cycle: each scheduler issues at most one warp
+     * instruction, subject to scoreboard, pipe-throughput, and MSHR
+     * constraints.
+     * @return true if at least one instruction issued
+     */
+    bool step(uint64_t now);
+
+    /**
+     * Earliest future cycle at which any stalled warp could issue
+     * (for fast-forwarding idle stretches). Returns now + 1 when
+     * nothing better is known.
+     */
+    uint64_t nextEventAfter(uint64_t now) const;
+
+    const SmStats &stats() const { return _stats; }
+    const CacheStats &l1Stats() const { return _l1.stats(); }
+
+  private:
+    struct WarpContext
+    {
+        const trace::WarpTrace *stream = nullptr;
+        size_t pc = 0;
+        uint64_t regReady[32] = {};
+        uint64_t stallUntil = 0;
+        /** Instructions left under divergence serialization. */
+        uint32_t divergedFor = 0;
+        /** Replay pass pending for the current instruction. */
+        bool replayPending = false;
+        bool done = true;
+    };
+
+    bool tryIssue(WarpContext &warp, uint64_t now);
+    void retireExpiredMisses(uint64_t now);
+
+    const gpu::ArchConfig &_arch;
+    MemorySystem *_memsys;
+    Cache _l1;
+    std::vector<WarpContext> _warps;
+    std::vector<uint64_t> _inflight_misses; //!< min-heap of ready times
+    size_t _resident_ctas = 0;
+    size_t _active_warps = 0;
+    uint32_t _rr_cursor = 0; //!< round-robin scheduling cursor
+
+    // Per-cycle issue budgets (token accumulators for sub-1/cycle
+    // throughputs).
+    double _fp32_tokens = 0.0;
+    double _sfu_tokens = 0.0;
+    double _mem_tokens = 0.0;
+    double _shared_tokens = 0.0;
+    uint64_t _token_cycle = ~0ULL;
+
+    SmStats _stats;
+};
+
+} // namespace sieve::gpusim
+
+#endif // SIEVE_GPUSIM_SM_HH

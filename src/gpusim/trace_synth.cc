@@ -1,0 +1,224 @@
+#include "gpusim/trace_synth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sieve::gpusim {
+
+namespace {
+
+using trace::Opcode;
+using trace::SassInstruction;
+
+/** Per-warp synthesis state. */
+struct WarpSynth
+{
+    Rng rng;
+    uint8_t next_reg = 8;      //!< cycling destination registers
+    uint64_t recent_lines[4] = {0, 0, 0, 0};
+    size_t recent_pos = 0;
+
+    explicit WarpSynth(Rng r) : rng(std::move(r)) {}
+
+    uint8_t
+    allocReg()
+    {
+        uint8_t r = next_reg;
+        next_reg = next_reg >= 30 ? 8 : next_reg + 1;
+        return r;
+    }
+};
+
+} // namespace
+
+trace::KernelTrace
+synthesizeTrace(const trace::Workload &workload, size_t invocation_index,
+                TraceSynthOptions options)
+{
+    const trace::KernelInvocation &inv =
+        workload.invocation(invocation_index);
+    const trace::InstructionMix &mix = inv.mix;
+    const trace::MemoryProfile &mem = inv.memory;
+
+    trace::KernelTrace out;
+    out.kernelName = workload.kernel(inv.kernelId).name;
+    out.invocationId = inv.invocationId;
+    out.launch = inv.launch;
+
+    uint64_t total_ctas = std::max<uint64_t>(inv.launch.numCtas(), 1);
+    uint64_t traced_ctas =
+        std::min<uint64_t>(total_ctas, options.maxTracedCtas);
+    out.ctaReplication = (total_ctas + traced_ctas - 1) / traced_ctas;
+
+    uint32_t warps_per_cta = std::max(inv.launch.warpsPerCta(), 1u);
+    uint64_t total_warps = total_ctas * warps_per_cta;
+    uint64_t insts_per_warp = std::max<uint64_t>(
+        mix.instructionCount / std::max<uint64_t>(total_warps, 1), 4);
+
+    // Class probabilities per warp instruction, from the mix. The
+    // thread-level counters divide by the active lane count to give
+    // warp-level op counts.
+    double wi = static_cast<double>(mix.instructionCount);
+    double lanes = std::max(mix.divergenceEfficiency * 32.0, 1.0);
+    auto frac = [&](uint64_t thread_count) {
+        return std::min(static_cast<double>(thread_count) / lanes / wi,
+                        0.45);
+    };
+    double p_ldg = frac(mix.threadGlobalLoads);
+    double p_stg = frac(mix.threadGlobalStores);
+    double p_ldl = frac(mix.threadLocalLoads);
+    double p_lds = frac(mix.threadSharedLoads);
+    double p_sts = frac(mix.threadSharedStores);
+    double p_atom = frac(mix.threadGlobalAtomics);
+    double p_long = std::max(0.0, (1.0 - p_ldg - p_stg - p_ldl - p_lds -
+                                   p_sts - p_atom)) *
+                    mem.longLatencyFrac;
+
+    // Average sectors per global access, recovered from the mix.
+    double accesses =
+        static_cast<double>(mix.threadGlobalLoads +
+                            mix.threadGlobalStores) / lanes;
+    double sectors_per_access =
+        accesses > 0.0
+            ? std::clamp(static_cast<double>(mix.coalescedGlobalLoads +
+                                             mix.coalescedGlobalStores) /
+                             accesses,
+                         1.0, 32.0)
+            : 1.0;
+
+    uint64_t ws_lines = std::max<uint64_t>(
+        mem.workingSetBytes / options.lineBytes, 16);
+    uint8_t active_lanes = static_cast<uint8_t>(
+        std::clamp(mix.divergenceEfficiency * 32.0, 1.0, 32.0));
+    // Dependency distance approximates the kernel's ILP: a source
+    // register produced `ilp` instructions ago stalls only when the
+    // pipeline is longer than the gap.
+    uint32_t dep_distance = static_cast<uint32_t>(
+        std::clamp(mem.ilp, 1.0, 8.0));
+
+    Rng base_rng(hashLabel(out.kernelName) ^ inv.noiseSeed);
+
+    for (uint64_t c = 0; c < traced_ctas; ++c) {
+        trace::CtaTrace cta;
+        // CTA-private slice of the working set plus a shared region,
+        // so both intra-CTA reuse and cross-CTA sharing exist.
+        uint64_t cta_base = (c * ws_lines) / traced_ctas;
+
+        for (uint32_t w = 0; w < warps_per_cta; ++w) {
+            trace::WarpTrace warp;
+            warp.instructions.reserve(insts_per_warp + 2);
+            WarpSynth synth(base_rng.split(c * 1024 + w));
+
+            std::vector<uint8_t> recent_dests;
+            recent_dests.reserve(dep_distance + 1);
+
+            for (uint64_t i = 0; i < insts_per_warp; ++i) {
+                SassInstruction inst;
+                inst.activeLanes = active_lanes;
+
+                double r = synth.rng.uniform();
+                double acc = 0.0;
+                auto in_class = [&](double p) {
+                    acc += p;
+                    return r < acc;
+                };
+
+                if (in_class(p_ldg)) {
+                    inst.opcode = Opcode::Ldg;
+                } else if (in_class(p_stg)) {
+                    inst.opcode = Opcode::Stg;
+                } else if (in_class(p_ldl)) {
+                    inst.opcode = Opcode::Ldl;
+                } else if (in_class(p_lds)) {
+                    inst.opcode = Opcode::Lds;
+                } else if (in_class(p_sts)) {
+                    inst.opcode = Opcode::Sts;
+                } else if (in_class(p_atom)) {
+                    inst.opcode = Opcode::Atom;
+                } else if (in_class(p_long)) {
+                    inst.opcode = synth.rng.bernoulli(0.5)
+                                      ? Opcode::Mufu
+                                      : Opcode::DFma;
+                } else if (options.basicBlockSize > 0 &&
+                           (i + 1) % options.basicBlockSize == 0) {
+                    inst.opcode = Opcode::Bra;
+                    // Low lane efficiency means the kernel's branches
+                    // split the warp: mark a fraction of branches
+                    // divergent with a proportional taken-mask.
+                    double div = 1.0 - mix.divergenceEfficiency;
+                    if (div > 0.01 && synth.rng.bernoulli(
+                                          std::min(2.0 * div, 0.9))) {
+                        inst.sectors = static_cast<uint8_t>(std::clamp(
+                            static_cast<int>(active_lanes / 2), 1,
+                            static_cast<int>(active_lanes) - 1));
+                    } else {
+                        inst.sectors =
+                            active_lanes; // uniform branch
+                    }
+                } else {
+                    inst.opcode = synth.rng.bernoulli(0.6)
+                                      ? Opcode::FFma
+                                      : Opcode::IAdd;
+                }
+
+                // Register dependencies: read a value produced about
+                // dep_distance instructions ago.
+                if (inst.opcode != Opcode::Bra) {
+                    inst.destReg = synth.allocReg();
+                    if (!recent_dests.empty()) {
+                        size_t back = std::min<size_t>(
+                            dep_distance, recent_dests.size());
+                        inst.srcReg0 =
+                            recent_dests[recent_dests.size() - back];
+                        inst.srcReg1 = recent_dests.back();
+                    }
+                    recent_dests.push_back(inst.destReg);
+                    if (recent_dests.size() > 16) {
+                        recent_dests.erase(recent_dests.begin(),
+                                           recent_dests.begin() + 8);
+                    }
+                }
+
+                // Memory addresses: reuse a recent line with the
+                // kernel's locality probability, else touch a fresh
+                // line of the CTA's working-set slice.
+                if (isGlobalMemory(inst.opcode)) {
+                    inst.sectors = static_cast<uint8_t>(std::clamp(
+                        sectors_per_access +
+                            synth.rng.uniform(-0.49, 0.49),
+                        1.0, 32.0));
+                    if (synth.rng.bernoulli(mem.l1Locality)) {
+                        inst.lineAddress =
+                            synth.recent_lines[synth.recent_pos % 4];
+                    } else if (synth.rng.bernoulli(mem.l2Locality)) {
+                        // Shared region: same lines across CTAs.
+                        inst.lineAddress =
+                            synth.rng.next() % (ws_lines / 4 + 1);
+                    } else {
+                        inst.lineAddress =
+                            cta_base + synth.rng.next() % ws_lines;
+                    }
+                    synth.recent_pos =
+                        (synth.recent_pos + 1) % 4;
+                    synth.recent_lines[synth.recent_pos] =
+                        inst.lineAddress;
+                }
+
+                warp.instructions.push_back(inst);
+            }
+
+            SassInstruction exit;
+            exit.opcode = Opcode::Exit;
+            exit.activeLanes = active_lanes;
+            warp.instructions.push_back(exit);
+            cta.warps.push_back(std::move(warp));
+        }
+        out.ctas.push_back(std::move(cta));
+    }
+    return out;
+}
+
+} // namespace sieve::gpusim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SASS trace synthesis from the workload IR.
+ *
+ * Section V-G of the paper modifies the Accel-sim/NVBit tracer to
+ * dump the SASS streams of only the selected kernel invocations. The
+ * equivalent here synthesizes a trace::KernelTrace from a
+ * KernelInvocation: per-warp instruction streams whose class mix
+ * matches the invocation's InstructionMix, whose register dependency
+ * spacing matches the kernel's ILP, and whose memory address stream
+ * reproduces the kernel's hidden locality (so the cycle-level cache
+ * hierarchy sees realistic hit rates).
+ *
+ * Large grids are traced CTA-representatively: only maxTracedCtas
+ * distinct CTAs are materialized and trace.ctaReplication records how
+ * many launched CTAs each stands for — the standard CTA-sampling
+ * device that keeps trace files and simulation times tractable.
+ */
+
+#ifndef SIEVE_GPUSIM_TRACE_SYNTH_HH
+#define SIEVE_GPUSIM_TRACE_SYNTH_HH
+
+#include <cstdint>
+
+#include "trace/sass_trace.hh"
+#include "trace/workload.hh"
+
+namespace sieve::gpusim {
+
+/** Options controlling trace synthesis. */
+struct TraceSynthOptions
+{
+    /** Maximum distinct CTAs materialized in the trace. */
+    uint64_t maxTracedCtas = 32;
+
+    /** Instructions per basic block (branch spacing). */
+    uint32_t basicBlockSize = 12;
+
+    /** Cache-line granularity of the synthesized address stream. */
+    uint32_t lineBytes = 128;
+};
+
+/**
+ * Synthesize the SASS trace of one kernel invocation.
+ *
+ * @param workload the owning workload (for the kernel name)
+ * @param invocation_index index into workload.invocations()
+ */
+trace::KernelTrace synthesizeTrace(const trace::Workload &workload,
+                                   size_t invocation_index,
+                                   TraceSynthOptions options = {});
+
+} // namespace sieve::gpusim
+
+#endif // SIEVE_GPUSIM_TRACE_SYNTH_HH

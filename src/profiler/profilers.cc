@@ -1,0 +1,121 @@
+#include "profiler/profilers.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "trace/instruction_mix.hh"
+#include "trace/profile_io.hh"
+
+namespace sieve::profiler {
+
+namespace {
+
+/** Paper-scale extrapolation factor for a generated workload. */
+double
+paperScale(const trace::Workload &workload)
+{
+    if (workload.paperInvocations() == 0 ||
+        workload.numInvocations() == 0)
+        return 1.0;
+    return static_cast<double>(workload.paperInvocations()) /
+           static_cast<double>(workload.numInvocations());
+}
+
+} // namespace
+
+NvbitProfiler::NvbitProfiler(ProfilingCostParams params)
+    : _params(params)
+{
+}
+
+CsvTable
+NvbitProfiler::collect(const trace::Workload &workload) const
+{
+    return trace::sieveProfileTable(workload);
+}
+
+double
+NvbitProfiler::collectionHours(const trace::Workload &workload,
+                               const gpu::WorkloadResult &golden) const
+{
+    SIEVE_ASSERT(golden.perInvocation.size() ==
+                     workload.numInvocations(),
+                 "golden results do not match workload");
+
+    // One instrumented run: native execution inflated by the
+    // instrumentation slowdown, plus a fixed callback cost per
+    // invocation.
+    double us = 0.0;
+    for (const auto &r : golden.perInvocation)
+        us += r.timeUs * _params.nvbitSlowdown +
+              _params.nvbitPerInvocationUs;
+
+    return us * paperScale(workload) / 3.6e9;
+}
+
+NsightProfiler::NsightProfiler(ProfilingCostParams params)
+    : _params(params)
+{
+}
+
+CsvTable
+NsightProfiler::collect(const trace::Workload &workload) const
+{
+    return trace::pksProfileTable(workload);
+}
+
+uint32_t
+NsightProfiler::passesFor(const trace::Workload &workload) const
+{
+    uint32_t passes = (trace::kNumPksMetrics + _params.metricsPerPass -
+                       1) /
+                      _params.metricsPerPass;
+    if (workload.suite() == "mlperf")
+        passes += _params.extraPassesMlperf;
+    return passes;
+}
+
+double
+NsightProfiler::collectionHours(const trace::Workload &workload,
+                                const gpu::WorkloadResult &golden) const
+{
+    SIEVE_ASSERT(golden.perInvocation.size() ==
+                     workload.numInvocations(),
+                 "golden results do not match workload");
+
+    double passes = passesFor(workload);
+    double scale = paperScale(workload);
+
+    // Average per-invocation cost of one profiled invocation: every
+    // pass replays the kernel natively and pays the save/restore
+    // overhead.
+    double per_inv_us = 0.0;
+    for (const auto &r : golden.perInvocation)
+        per_inv_us += passes *
+                      (r.timeUs + _params.nsightReplayOverheadUs);
+    per_inv_us /= static_cast<double>(golden.perInvocation.size());
+
+    // Super-linear accumulation at paper scale: the i-th profiled
+    // invocation costs (1 + growth * i / 100k) times the base cost.
+    // Summed in closed form over n invocations.
+    double n = static_cast<double>(workload.numInvocations()) * scale;
+    double growth = _params.nsightGrowthPer100k / 1e5;
+    double total_us = per_inv_us * (n + growth * n * (n - 1.0) / 2.0);
+
+    return total_us / 3.6e9;
+}
+
+ProfilingTimes
+estimateProfilingTimes(const trace::Workload &workload,
+                       const gpu::WorkloadResult &golden,
+                       ProfilingCostParams params)
+{
+    ProfilingTimes times;
+    times.nvbitHours =
+        NvbitProfiler(params).collectionHours(workload, golden);
+    times.nsightHours =
+        NsightProfiler(params).collectionHours(workload, golden);
+    return times;
+}
+
+} // namespace sieve::profiler

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Profiler front-ends and their cost models.
+ *
+ * Sieve profiles one characteristic (dynamic instruction count) with a
+ * light-weight NVBit-style binary-instrumentation pass; PKS collects
+ * all 12 Table II characteristics with an Nsight-Compute-style
+ * profiler that replays every kernel invocation multiple times, saves
+ * and restores device memory between passes, and (as the paper
+ * observes in Section V-C) slows down super-linearly as the number of
+ * profiled invocations grows. The cost models here reproduce the
+ * profiling-time gap of Fig. 7 from that cost structure.
+ *
+ * Profiling time is reported at *paper scale*: per-invocation costs
+ * computed on the generated workload are extrapolated to the Table I
+ * invocation counts, like for like with the paper's setup.
+ */
+
+#ifndef SIEVE_PROFILER_PROFILERS_HH
+#define SIEVE_PROFILER_PROFILERS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/csv.hh"
+#include "gpu/hardware_executor.hh"
+#include "trace/workload.hh"
+
+namespace sieve::profiler {
+
+/** Tunable constants of the profiling cost models. */
+struct ProfilingCostParams
+{
+    /** NVBit instrumented-execution slowdown versus native. */
+    double nvbitSlowdown = 3.0;
+
+    /** NVBit per-invocation callback/flush overhead (microseconds). */
+    double nvbitPerInvocationUs = 5.0;
+
+    /** Metrics collected per Nsight replay pass. */
+    uint32_t metricsPerPass = 3;
+
+    /**
+     * Extra replay passes for workloads with a richer instruction-
+     * type repertoire (the paper names this as the reason MLPerf
+     * profiles are costlier than Cactus ones).
+     */
+    uint32_t extraPassesMlperf = 4;
+
+    /** Per-invocation, per-pass replay overhead: kernel relaunch plus
+     *  device-memory save/restore (microseconds). */
+    double nsightReplayOverheadUs = 2000.0;
+
+    /**
+     * Super-linear growth: the per-invocation cost multiplier
+     * increases by this factor per 100k invocations profiled
+     * (Nsight "becomes progressively slower", Section V-C).
+     */
+    double nsightGrowthPer100k = 1.0;
+};
+
+/** Simulated wall-clock cost of profiling one workload. */
+struct ProfilingTimes
+{
+    double nvbitHours = 0.0;   //!< Sieve profile (instruction count)
+    double nsightHours = 0.0;  //!< PKS profile (12 metrics)
+
+    /** Profiling-time speedup of Sieve over PKS (Fig. 7). */
+    double speedup() const
+    {
+        return nvbitHours > 0.0 ? nsightHours / nvbitHours : 0.0;
+    }
+};
+
+/**
+ * NVBit-style instrumentation profiler: emits the Sieve profile
+ * (kernel, invocation, instruction count, CTA size).
+ */
+class NvbitProfiler
+{
+  public:
+    explicit NvbitProfiler(ProfilingCostParams params = {});
+
+    /** The profile CSV a Sieve run consumes. */
+    CsvTable collect(const trace::Workload &workload) const;
+
+    /**
+     * Simulated collection time at paper scale.
+     * @param golden native per-invocation timing of the workload
+     */
+    double collectionHours(const trace::Workload &workload,
+                           const gpu::WorkloadResult &golden) const;
+
+  private:
+    ProfilingCostParams _params;
+};
+
+/**
+ * Nsight-Compute-style profiler: emits the full 12-metric PKS
+ * profile via multi-pass kernel replay.
+ */
+class NsightProfiler
+{
+  public:
+    explicit NsightProfiler(ProfilingCostParams params = {});
+
+    /** The profile CSV a PKS run consumes. */
+    CsvTable collect(const trace::Workload &workload) const;
+
+    /** Replay passes needed for a workload's 12-metric profile. */
+    uint32_t passesFor(const trace::Workload &workload) const;
+
+    /** Simulated collection time at paper scale. */
+    double collectionHours(const trace::Workload &workload,
+                           const gpu::WorkloadResult &golden) const;
+
+  private:
+    ProfilingCostParams _params;
+};
+
+/** Convenience: both profilers' costs for one workload. */
+ProfilingTimes estimateProfilingTimes(
+    const trace::Workload &workload, const gpu::WorkloadResult &golden,
+    ProfilingCostParams params = {});
+
+} // namespace sieve::profiler
+
+#endif // SIEVE_PROFILER_PROFILERS_HH

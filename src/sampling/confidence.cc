@@ -1,0 +1,92 @@
+#include "sampling/confidence.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace sieve::sampling {
+
+std::vector<std::vector<size_t>>
+measurementPlan(const SamplingResult &result, size_t probes)
+{
+    SIEVE_ASSERT(probes >= 1, "measurement plan needs >= 1 probe");
+
+    std::vector<std::vector<size_t>> plan;
+    plan.reserve(result.strata.size());
+    for (const Stratum &stratum : result.strata) {
+        std::vector<size_t> picks = {stratum.representative};
+        // Spread additional probes across the member list so drift
+        // within a stratum is straddled rather than sampled at one
+        // end.
+        size_t n = stratum.members.size();
+        for (size_t p = 1; p < probes && picks.size() < n; ++p) {
+            size_t idx = stratum.members[(p * (n - 1)) / (probes - 1)];
+            if (std::find(picks.begin(), picks.end(), idx) ==
+                picks.end())
+                picks.push_back(idx);
+        }
+        plan.push_back(std::move(picks));
+    }
+    return plan;
+}
+
+PredictionInterval
+predictWithConfidence(const SamplingResult &result,
+                      const trace::Workload &workload,
+                      const std::vector<std::vector<size_t>> &plan,
+                      const std::vector<gpu::KernelResult> &measured,
+                      double z)
+{
+    SIEVE_ASSERT(plan.size() == result.strata.size(),
+                 "plan does not match the sampling result");
+
+    PredictionInterval out;
+    double variance = 0.0;
+
+    for (size_t h = 0; h < result.strata.size(); ++h) {
+        const Stratum &stratum = result.strata[h];
+        const std::vector<size_t> &picks = plan[h];
+        SIEVE_ASSERT(!picks.empty(), "empty plan for stratum ", h);
+
+        // Stratum instruction mass.
+        double insts_h = 0.0;
+        for (size_t idx : stratum.members) {
+            insts_h += static_cast<double>(
+                workload.invocation(idx).instructions());
+        }
+
+        // Measured per-instruction cost (CPI) of the probes.
+        stats::Accumulator cpi;
+        for (size_t idx : picks) {
+            SIEVE_ASSERT(idx < measured.size(),
+                         "probe index out of range");
+            double insts = static_cast<double>(
+                workload.invocation(idx).instructions());
+            SIEVE_ASSERT(insts > 0.0, "probe with zero instructions");
+            cpi.add(measured[idx].cycles / insts);
+        }
+
+        out.predictedCycles += insts_h * cpi.mean();
+
+        // Within-stratum variance contribution (sample variance with
+        // Bessel's correction; zero when only one probe exists).
+        size_t n_h = picks.size();
+        size_t pop_h = stratum.members.size();
+        if (n_h >= 2 && pop_h > 1) {
+            double s2 = cpi.variance() * static_cast<double>(n_h) /
+                        static_cast<double>(n_h - 1);
+            double fpc = 1.0 - static_cast<double>(n_h) /
+                                   static_cast<double>(pop_h);
+            variance += insts_h * insts_h * s2 /
+                        static_cast<double>(n_h) * std::max(fpc, 0.0);
+        }
+    }
+
+    out.standardError = std::sqrt(variance);
+    out.halfWidth = z * out.standardError;
+    return out;
+}
+
+} // namespace sieve::sampling

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Confidence intervals for stratified sampling predictions.
+ *
+ * Sieve is textbook stratified sampling, which means classical survey
+ * theory applies: if more than one invocation per stratum is
+ * measured, the within-stratum variance of per-instruction cost (CPI)
+ * can be estimated, and with it a standard error on the predicted
+ * application cycle count:
+ *
+ *     cycles_hat = sum_h I_h * cpi_hat_h,
+ *     Var(cycles_hat) = sum_h I_h^2 * s_h^2 / n_h * (1 - n_h / N_h),
+ *
+ * with I_h the stratum instruction mass, cpi_hat_h the mean measured
+ * CPI in stratum h, s_h^2 the sample CPI variance, n_h the measured
+ * count, and N_h the stratum population (the finite-population
+ * correction). The paper does not report error bars; this module
+ * adds them, turning "the error happened to be 1.2%" into "the method
+ * knew its error was about that size before the golden run existed".
+ */
+
+#ifndef SIEVE_SAMPLING_CONFIDENCE_HH
+#define SIEVE_SAMPLING_CONFIDENCE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "gpu/hardware_executor.hh"
+#include "sampling/sample.hh"
+#include "trace/workload.hh"
+
+namespace sieve::sampling {
+
+/** A cycle-count prediction with a symmetric confidence interval. */
+struct PredictionInterval
+{
+    double predictedCycles = 0.0;
+    double standardError = 0.0;
+    /** Half-width at the requested confidence level. */
+    double halfWidth = 0.0;
+
+    double lower() const { return predictedCycles - halfWidth; }
+    double upper() const { return predictedCycles + halfWidth; }
+
+    /** Half-width as a fraction of the prediction. */
+    double
+    relativeHalfWidth() const
+    {
+        return predictedCycles > 0.0 ? halfWidth / predictedCycles
+                                     : 0.0;
+    }
+
+    /** True if the given measured value falls inside the interval. */
+    bool
+    covers(double measured) const
+    {
+        return measured >= lower() && measured <= upper();
+    }
+};
+
+/**
+ * Pick the invocations to measure per stratum: the representative
+ * plus up to (probes - 1) additional spread-out members, so strata
+ * with more than one member yield a variance estimate.
+ *
+ * @return measurement plan: for each stratum, the invocation indexes
+ *         to execute.
+ */
+std::vector<std::vector<size_t>> measurementPlan(
+    const SamplingResult &result, size_t probes = 2);
+
+/**
+ * Stratified prediction with a confidence interval.
+ *
+ * @param result the Sieve sampling result
+ * @param workload the workload (instruction masses)
+ * @param plan the measurement plan from measurementPlan()
+ * @param measured per-invocation results; only planned indexes read
+ * @param z normal quantile for the confidence level (1.96 = 95%)
+ */
+PredictionInterval predictWithConfidence(
+    const SamplingResult &result, const trace::Workload &workload,
+    const std::vector<std::vector<size_t>> &plan,
+    const std::vector<gpu::KernelResult> &measured, double z = 1.96);
+
+} // namespace sieve::sampling
+
+#endif // SIEVE_SAMPLING_CONFIDENCE_HH

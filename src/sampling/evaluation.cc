@@ -1,0 +1,66 @@
+#include "sampling/evaluation.hh"
+
+#include "common/logging.hh"
+#include "stats/descriptive.hh"
+#include "stats/error_metrics.hh"
+
+namespace sieve::sampling {
+
+double
+weightedClusterCycleCov(const SamplingResult &result,
+                        const std::vector<gpu::KernelResult> &golden)
+{
+    double weighted_sum = 0.0;
+    double weight_total = 0.0;
+    for (const auto &stratum : result.strata) {
+        stats::Accumulator acc;
+        for (size_t idx : stratum.members) {
+            SIEVE_ASSERT(idx < golden.size(),
+                         "stratum member out of range");
+            acc.add(golden[idx].cycles);
+        }
+        double w = static_cast<double>(stratum.members.size());
+        weighted_sum += w * acc.cov();
+        weight_total += w;
+    }
+    return weight_total > 0.0 ? weighted_sum / weight_total : 0.0;
+}
+
+double
+simulationSpeedup(const SamplingResult &result,
+                  const std::vector<gpu::KernelResult> &golden)
+{
+    double total = 0.0;
+    for (const auto &r : golden)
+        total += r.cycles;
+
+    double rep_cycles = 0.0;
+    for (const auto &stratum : result.strata) {
+        SIEVE_ASSERT(stratum.representative < golden.size(),
+                     "representative out of range");
+        rep_cycles += golden[stratum.representative].cycles;
+    }
+    SIEVE_ASSERT(rep_cycles > 0.0, "zero representative cycles");
+    return total / rep_cycles;
+}
+
+MethodEvaluation
+evaluate(const SamplingResult &result, double predicted_cycles,
+         const std::vector<gpu::KernelResult> &golden)
+{
+    double measured = 0.0;
+    for (const auto &r : golden)
+        measured += r.cycles;
+
+    MethodEvaluation eval;
+    eval.method = result.method;
+    eval.predictedCycles = predicted_cycles;
+    eval.measuredCycles = measured;
+    eval.error = stats::relativeError(predicted_cycles, measured);
+    eval.speedup = simulationSpeedup(result, golden);
+    eval.numRepresentatives = result.numRepresentatives();
+    eval.weightedClusterCov = weightedClusterCycleCov(result, golden);
+    return eval;
+}
+
+} // namespace sieve::sampling

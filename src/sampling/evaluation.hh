@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sampling-method evaluation: the accuracy, speedup, and dispersion
+ * metrics of Section IV-3 and Figs. 3-6.
+ *
+ *   Error   = |C_predicted - C_measured| / C_measured
+ *   Speedup = total cycles of the full run / total cycles of the
+ *             representative invocations (i.e. the simulation-time
+ *             reduction a simulator would see)
+ *   Dispersion = weighted average CoV of cycle counts within each
+ *             stratum/cluster (Fig. 4)
+ */
+
+#ifndef SIEVE_SAMPLING_EVALUATION_HH
+#define SIEVE_SAMPLING_EVALUATION_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/hardware_executor.hh"
+#include "sampling/sample.hh"
+#include "trace/workload.hh"
+
+namespace sieve::sampling {
+
+/** Evaluation of one sampling method on one workload. */
+struct MethodEvaluation
+{
+    std::string method;
+    double predictedCycles = 0.0;
+    double measuredCycles = 0.0;
+    double error = 0.0;          //!< relative prediction error
+    double speedup = 0.0;        //!< simulation speedup
+    size_t numRepresentatives = 0;
+    double weightedClusterCov = 0.0; //!< Fig. 4 dispersion metric
+};
+
+/**
+ * Evaluate a sampling result given its prediction and the golden
+ * per-invocation results.
+ */
+MethodEvaluation evaluate(
+    const SamplingResult &result, double predicted_cycles,
+    const std::vector<gpu::KernelResult> &golden);
+
+/**
+ * The Fig. 4 metric: the average CoV of cycle counts within each
+ * stratum/cluster, weighted by stratum member count.
+ */
+double weightedClusterCycleCov(
+    const SamplingResult &result,
+    const std::vector<gpu::KernelResult> &golden);
+
+/**
+ * Simulation speedup: total measured cycles divided by the cycles
+ * spent in representative invocations only.
+ */
+double simulationSpeedup(
+    const SamplingResult &result,
+    const std::vector<gpu::KernelResult> &golden);
+
+} // namespace sieve::sampling
+
+#endif // SIEVE_SAMPLING_EVALUATION_HH

@@ -1,0 +1,169 @@
+#include "sampling/pks.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "stats/kmeans.hh"
+#include "stats/pca.hh"
+
+namespace sieve::sampling {
+
+const char *
+pksSelectionName(PksSelection s)
+{
+    switch (s) {
+      case PksSelection::FirstChronological:
+        return "first";
+      case PksSelection::Random:
+        return "random";
+      case PksSelection::Centroid:
+        return "centroid";
+    }
+    panic("unknown PKS selection ", static_cast<int>(s));
+}
+
+PksSampler::PksSampler(PksConfig config) : _config(config)
+{
+    if (_config.maxK == 0)
+        fatal("PKS maxK must be positive");
+    if (_config.varianceToKeep <= 0.0 || _config.varianceToKeep > 1.0)
+        fatal("PKS varianceToKeep out of (0, 1]: ",
+              _config.varianceToKeep);
+}
+
+namespace {
+
+/** Select the representative of one cluster under a policy. */
+size_t
+selectRepresentative(const std::vector<size_t> &members,
+                     PksSelection policy, size_t centroid_member,
+                     Rng &rng)
+{
+    SIEVE_ASSERT(!members.empty(), "empty PKS cluster");
+    switch (policy) {
+      case PksSelection::FirstChronological:
+        return members.front();
+      case PksSelection::Random:
+        return members[static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(members.size()) - 1))];
+      case PksSelection::Centroid:
+        return centroid_member;
+    }
+    panic("unknown PKS selection policy");
+}
+
+} // namespace
+
+SamplingResult
+PksSampler::sample(const trace::Workload &workload,
+                   const std::vector<gpu::KernelResult> &golden) const
+{
+    size_t n = workload.numInvocations();
+    SIEVE_ASSERT(n > 0, "PKS on an empty workload");
+    if (golden.size() != n)
+        fatal("PKS golden reference has ", golden.size(),
+              " entries for ", n, " invocations");
+
+    double golden_total = 0.0;
+    for (const auto &r : golden)
+        golden_total += r.cycles;
+
+    // Feature matrix: all 12 Table II characteristics per invocation.
+    stats::Matrix features(n, trace::kNumPksMetrics);
+    for (size_t i = 0; i < n; ++i) {
+        auto fv = workload.invocation(i).mix.featureVector();
+        for (size_t c = 0; c < fv.size(); ++c)
+            features.at(i, c) = fv[c];
+    }
+
+    // Standardize + PCA (Section II-A).
+    stats::Pca pca(features, _config.varianceToKeep);
+    stats::Matrix reduced = pca.transform(features);
+
+    // Evaluate every k up to maxK against the golden reference and
+    // keep the k with the lowest prediction error — PKS' hardware-
+    // dependent tuning step.
+    Rng base_rng(_config.seed ^ hashLabel(workload.name()));
+    SamplingResult best;
+    double best_error = -1.0;
+
+    size_t max_k = std::min(_config.maxK, n);
+    for (size_t k = 1; k <= max_k; ++k) {
+        Rng kmeans_rng = base_rng.split("kmeans:" + std::to_string(k));
+        stats::KMeansResult clustering =
+            stats::kMeans(reduced, k, kmeans_rng);
+
+        std::vector<std::vector<size_t>> clusters(clustering.k());
+        for (size_t i = 0; i < n; ++i)
+            clusters[clustering.assignments[i]].push_back(i);
+
+        std::vector<size_t> centroid_members =
+            _config.selection == PksSelection::Centroid
+                ? clustering.closestToCentroid(reduced)
+                : std::vector<size_t>(clustering.k(),
+                                      stats::KMeansResult::npos);
+
+        SamplingResult candidate;
+        candidate.method = std::string("pks-") +
+                           pksSelectionName(_config.selection);
+        candidate.chosenK = k;
+
+        Rng select_rng = base_rng.split("select:" + std::to_string(k));
+        // k-selection metric: sum of per-cluster absolute prediction
+        // errors against the golden reference. Using the per-cluster
+        // (not total) error prevents overprediction in one cluster
+        // cancelling underprediction in another — the total error is
+        // what Section IV later *evaluates*, but a selection that
+        // minimized it directly would be trivially near-zero, which
+        // is inconsistent with the errors PKA itself reports.
+        double abs_error_sum = 0.0;
+        for (size_t c = 0; c < clusters.size(); ++c) {
+            if (clusters[c].empty())
+                continue;
+            Stratum stratum;
+            stratum.members = clusters[c];
+            stratum.tier = Tier::None;
+            stratum.representative = selectRepresentative(
+                clusters[c], _config.selection, centroid_members[c],
+                select_rng);
+            stratum.weight = static_cast<double>(clusters[c].size()) /
+                             static_cast<double>(n);
+
+            double cluster_pred =
+                static_cast<double>(clusters[c].size()) *
+                golden[stratum.representative].cycles;
+            double cluster_actual = 0.0;
+            for (size_t idx : clusters[c])
+                cluster_actual += golden[idx].cycles;
+            abs_error_sum += std::fabs(cluster_pred - cluster_actual);
+
+            candidate.strata.push_back(std::move(stratum));
+        }
+
+        double error = abs_error_sum / golden_total;
+        if (best_error < 0.0 || error < best_error) {
+            best_error = error;
+            best = std::move(candidate);
+        }
+    }
+    return best;
+}
+
+double
+PksSampler::predictCycles(
+    const SamplingResult &result,
+    const std::vector<gpu::KernelResult> &per_invocation) const
+{
+    double predicted = 0.0;
+    for (const auto &stratum : result.strata) {
+        SIEVE_ASSERT(stratum.representative < per_invocation.size(),
+                     "representative index out of range");
+        predicted += static_cast<double>(stratum.members.size()) *
+                     per_invocation[stratum.representative].cycles;
+    }
+    return predicted;
+}
+
+} // namespace sieve::sampling

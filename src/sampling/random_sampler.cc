@@ -1,0 +1,59 @@
+#include "sampling/random_sampler.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sieve::sampling {
+
+RandomSampler::RandomSampler(RandomConfig config) : _config(config)
+{
+    if (_config.sampleSize == 0)
+        fatal("random sampler needs a positive sample size");
+}
+
+SamplingResult
+RandomSampler::sample(const trace::Workload &workload) const
+{
+    size_t n = workload.numInvocations();
+    SIEVE_ASSERT(n > 0, "random sampling of an empty workload");
+    size_t take = std::min(_config.sampleSize, n);
+
+    std::vector<size_t> indexes(n);
+    std::iota(indexes.begin(), indexes.end(), 0);
+    Rng rng(_config.seed ^ hashLabel(workload.name()));
+    rng.shuffle(indexes);
+    indexes.resize(take);
+    std::sort(indexes.begin(), indexes.end());
+
+    SamplingResult result;
+    result.method = "random";
+    result.strata.reserve(take);
+    for (size_t idx : indexes) {
+        Stratum stratum;
+        stratum.members = {idx};
+        stratum.representative = idx;
+        stratum.weight = 1.0 / static_cast<double>(take);
+        stratum.kernelId = workload.invocation(idx).kernelId;
+        result.strata.push_back(std::move(stratum));
+    }
+    return result;
+}
+
+double
+RandomSampler::predictCycles(
+    const SamplingResult &result, const trace::Workload &workload,
+    const std::vector<gpu::KernelResult> &per_invocation) const
+{
+    SIEVE_ASSERT(!result.strata.empty(), "empty random sample");
+    double sampled = 0.0;
+    for (const auto &stratum : result.strata)
+        sampled += per_invocation[stratum.representative].cycles;
+    double expansion = static_cast<double>(workload.numInvocations()) /
+                       static_cast<double>(result.strata.size());
+    return sampled * expansion;
+}
+
+} // namespace sieve::sampling

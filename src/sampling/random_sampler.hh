@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Uniform random invocation sampling — the statistical floor.
+ *
+ * Classic simple random sampling (Conte et al.-style for CPUs,
+ * Section VI): draw N kernel invocations uniformly without
+ * replacement and expand the sampled cycle mass by the sampling
+ * ratio. No profiling, no structure — the baseline every structured
+ * method must beat per unit of simulated work.
+ */
+
+#ifndef SIEVE_SAMPLING_RANDOM_SAMPLER_HH
+#define SIEVE_SAMPLING_RANDOM_SAMPLER_HH
+
+#include <cstdint>
+
+#include "gpu/hardware_executor.hh"
+#include "sampling/sample.hh"
+#include "trace/workload.hh"
+
+namespace sieve::sampling {
+
+/** Configuration for uniform random sampling. */
+struct RandomConfig
+{
+    /** Invocations drawn (clamped to the workload size). */
+    size_t sampleSize = 64;
+
+    /** Seed for the draw. */
+    uint64_t seed = 0x5a3d011;
+};
+
+/** Uniform random invocation sampler. */
+class RandomSampler
+{
+  public:
+    explicit RandomSampler(RandomConfig config = {});
+
+    const RandomConfig &config() const { return _config; }
+
+    /**
+     * Draw the sample. Each selected invocation forms a singleton
+     * stratum with weight 1/sampleSize.
+     */
+    SamplingResult sample(const trace::Workload &workload) const;
+
+    /**
+     * Expansion estimator: (n_total / n_sample) x sum of sampled
+     * cycle counts.
+     */
+    double predictCycles(
+        const SamplingResult &result, const trace::Workload &workload,
+        const std::vector<gpu::KernelResult> &per_invocation) const;
+
+  private:
+    RandomConfig _config;
+};
+
+} // namespace sieve::sampling
+
+#endif // SIEVE_SAMPLING_RANDOM_SAMPLER_HH

@@ -1,0 +1,56 @@
+#include "sampling/sample.hh"
+
+#include "common/logging.hh"
+
+namespace sieve::sampling {
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::None:
+        return "none";
+      case Tier::Tier1:
+        return "tier-1";
+      case Tier::Tier2:
+        return "tier-2";
+      case Tier::Tier3:
+        return "tier-3";
+    }
+    panic("unknown tier ", static_cast<int>(t));
+}
+
+std::vector<size_t>
+SamplingResult::representatives() const
+{
+    std::vector<size_t> reps;
+    reps.reserve(strata.size());
+    for (const auto &s : strata)
+        reps.push_back(s.representative);
+    return reps;
+}
+
+size_t
+SamplingResult::totalMembers() const
+{
+    size_t total = 0;
+    for (const auto &s : strata)
+        total += s.members.size();
+    return total;
+}
+
+double
+SamplingResult::tierInvocationFraction(Tier tier) const
+{
+    size_t total = totalMembers();
+    if (total == 0)
+        return 0.0;
+    size_t in_tier = 0;
+    for (const auto &s : strata) {
+        if (s.tier == tier)
+            in_tier += s.members.size();
+    }
+    return static_cast<double>(in_tier) / static_cast<double>(total);
+}
+
+} // namespace sieve::sampling

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared sampling types: strata/clusters, representatives, weights.
+ *
+ * Both samplers produce the same artifact — a set of invocation
+ * groups, each with one representative kernel invocation and a weight
+ * — which downstream code uses identically for prediction, speedup
+ * accounting, and trace export. Only the grouping rule, the selection
+ * rule, and the weight semantics differ between Sieve and PKS.
+ */
+
+#ifndef SIEVE_SAMPLING_SAMPLE_HH
+#define SIEVE_SAMPLING_SAMPLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace sieve::sampling {
+
+/** Sieve tier classification (paper Section III-B). */
+enum class Tier : uint8_t {
+    None = 0, //!< not applicable (PKS clusters)
+    Tier1,    //!< zero instruction-count variation across invocations
+    Tier2,    //!< CoV below the theta threshold
+    Tier3,    //!< CoV at or above theta; KDE-substratified
+};
+
+/** Name of a tier ("tier-1", ...). */
+const char *tierName(Tier t);
+
+/** One stratum (Sieve) or cluster (PKS) of kernel invocations. */
+struct Stratum
+{
+    /** Invocation indexes (into Workload::invocations()), ascending. */
+    std::vector<size_t> members;
+
+    /** Index of the selected representative invocation. */
+    size_t representative = 0;
+
+    /**
+     * Normalized weight. Sieve: stratum instruction count over total
+     * instruction count. PKS: invocation count over total invocation
+     * count.
+     */
+    double weight = 0.0;
+
+    /** Kernel the stratum belongs to (Sieve only; PKS clusters may
+     *  mix kernels and leave this at kNoKernel). */
+    uint32_t kernelId = kNoKernel;
+
+    /** Sieve tier of this stratum. */
+    Tier tier = Tier::None;
+
+    static constexpr uint32_t kNoKernel = 0xffffffff;
+
+    size_t size() const { return members.size(); }
+};
+
+/** Output of a sampling method for one workload. */
+struct SamplingResult
+{
+    std::string method;        //!< "sieve" or "pks" (+ policy suffix)
+    std::vector<Stratum> strata;
+
+    // Method metadata.
+    double theta = 0.0;        //!< Sieve CoV threshold
+    size_t chosenK = 0;        //!< PKS selected cluster count
+
+    /** Number of representative kernel invocations selected. */
+    size_t numRepresentatives() const { return strata.size(); }
+
+    /** All representative invocation indexes, in stratum order. */
+    std::vector<size_t> representatives() const;
+
+    /** Total members across all strata (= invocations covered). */
+    size_t totalMembers() const;
+
+    /**
+     * Fraction of invocations whose stratum has the given tier.
+     * Reproduces one bar of Fig. 2.
+     */
+    double tierInvocationFraction(Tier tier) const;
+};
+
+} // namespace sieve::sampling
+
+#endif // SIEVE_SAMPLING_SAMPLE_HH

@@ -1,0 +1,168 @@
+#include "sampling/sieve.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "stats/descriptive.hh"
+#include "stats/kde.hh"
+#include "stats/weighted.hh"
+
+namespace sieve::sampling {
+
+SieveSampler::SieveSampler(SieveConfig config) : _config(config)
+{
+    if (_config.theta <= 0.0)
+        fatal("Sieve theta must be positive, got ", _config.theta);
+}
+
+size_t
+SieveSampler::selectRepresentative(const trace::Workload &workload,
+                                   const std::vector<size_t> &members,
+                                   Tier tier) const
+{
+    SIEVE_ASSERT(!members.empty(), "empty stratum");
+
+    // Members are ascending by invocation index, which is
+    // chronological order; the first entry is the first-chronological
+    // invocation.
+    if (tier == Tier::Tier1 ||
+        _config.selection == SieveSelection::FirstChronological)
+        return members.front();
+
+    if (_config.selection == SieveSelection::MaxCta) {
+        uint32_t max_cta = 0;
+        for (size_t idx : members) {
+            max_cta = std::max(max_cta,
+                               workload.invocation(idx).launch.ctaSize());
+        }
+        for (size_t idx : members) {
+            if (workload.invocation(idx).launch.ctaSize() == max_cta)
+                return idx;
+        }
+    }
+
+    // Default policy: dominant (most frequent) CTA size, then first
+    // chronological among invocations with that size.
+    std::map<uint32_t, size_t> cta_counts;
+    for (size_t idx : members)
+        ++cta_counts[workload.invocation(idx).launch.ctaSize()];
+
+    uint32_t dominant = 0;
+    size_t best_count = 0;
+    for (const auto &[size, count] : cta_counts) {
+        if (count > best_count) {
+            best_count = count;
+            dominant = size;
+        }
+    }
+    for (size_t idx : members) {
+        if (workload.invocation(idx).launch.ctaSize() == dominant)
+            return idx;
+    }
+    return members.front(); // unreachable; keeps the compiler content
+}
+
+SamplingResult
+SieveSampler::sample(const trace::Workload &workload) const
+{
+    SamplingResult result;
+    result.method = "sieve";
+    result.theta = _config.theta;
+
+    uint64_t total_insts = workload.totalInstructions();
+    SIEVE_ASSERT(total_insts > 0, "workload with zero instructions");
+
+    for (uint32_t k = 0; k < workload.numKernels(); ++k) {
+        std::vector<size_t> members = workload.invocationsOfKernel(k);
+        if (members.empty())
+            continue;
+
+        std::vector<double> counts;
+        counts.reserve(members.size());
+        for (size_t idx : members) {
+            counts.push_back(static_cast<double>(
+                workload.invocation(idx).instructions()));
+        }
+
+        // Tier the kernel by instruction-count variability.
+        bool all_equal = std::all_of(
+            counts.begin(), counts.end(),
+            [&](double c) { return c == counts.front(); });
+        double cov = stats::coefficientOfVariation(counts);
+
+        if (all_equal || cov < _config.theta) {
+            Tier tier = all_equal ? Tier::Tier1 : Tier::Tier2;
+            Stratum stratum;
+            stratum.members = members;
+            stratum.kernelId = k;
+            stratum.tier = tier;
+            stratum.representative =
+                selectRepresentative(workload, members, tier);
+            result.strata.push_back(std::move(stratum));
+            continue;
+        }
+
+        // Tier-3: KDE sub-stratification until each stratum's CoV is
+        // below theta.
+        std::vector<size_t> labels =
+            stats::stratifyByDensity(counts, _config.theta);
+        size_t n_strata = stats::numStrata(labels);
+
+        std::vector<std::vector<size_t>> groups(n_strata);
+        for (size_t i = 0; i < members.size(); ++i)
+            groups[labels[i]].push_back(members[i]);
+
+        for (auto &group : groups) {
+            if (group.empty())
+                continue;
+            Stratum stratum;
+            stratum.members = std::move(group);
+            stratum.kernelId = k;
+            stratum.tier = Tier::Tier3;
+            stratum.representative = selectRepresentative(
+                workload, stratum.members, Tier::Tier3);
+            result.strata.push_back(std::move(stratum));
+        }
+    }
+
+    // Weights: stratum instruction count over total instruction count.
+    for (auto &stratum : result.strata) {
+        uint64_t insts = 0;
+        for (size_t idx : stratum.members)
+            insts += workload.invocation(idx).instructions();
+        stratum.weight = static_cast<double>(insts) /
+                         static_cast<double>(total_insts);
+    }
+    return result;
+}
+
+double
+SieveSampler::predictIpc(
+    const SamplingResult &result,
+    const std::vector<gpu::KernelResult> &per_invocation) const
+{
+    std::vector<double> ipcs;
+    std::vector<double> weights;
+    ipcs.reserve(result.strata.size());
+    weights.reserve(result.strata.size());
+    for (const auto &stratum : result.strata) {
+        SIEVE_ASSERT(stratum.representative < per_invocation.size(),
+                     "representative index out of range");
+        ipcs.push_back(per_invocation[stratum.representative].ipc);
+        weights.push_back(stratum.weight);
+    }
+    return stats::weightedHarmonicMean(ipcs, weights);
+}
+
+double
+SieveSampler::predictCycles(
+    const SamplingResult &result, const trace::Workload &workload,
+    const std::vector<gpu::KernelResult> &per_invocation) const
+{
+    double ipc = predictIpc(result, per_invocation);
+    SIEVE_ASSERT(ipc > 0.0, "non-positive predicted IPC");
+    return static_cast<double>(workload.totalInstructions()) / ipc;
+}
+
+} // namespace sieve::sampling

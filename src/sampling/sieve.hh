@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The Sieve stratified sampler — the paper's primary contribution.
+ *
+ * Pipeline (paper Section III):
+ *  1. Per kernel, gather the instruction counts of all invocations.
+ *  2. Tier the kernel: Tier-1 if counts are identical, Tier-2 if the
+ *     CoV is below theta, Tier-3 otherwise.
+ *  3. Tier-1/2 kernels form one stratum each; Tier-3 kernels are
+ *     sub-stratified with kernel density estimation so that each
+ *     stratum's CoV drops below theta.
+ *  4. Representative selection: Tier-1 takes the first-chronological
+ *     invocation; Tier-2/3 take the first-chronological invocation
+ *     with the stratum's dominant CTA size.
+ *  5. Stratum weight = stratum instruction count / total instruction
+ *     count.
+ *  6. Prediction: application IPC is the weighted harmonic mean of
+ *     representative IPCs; predicted cycles = total instructions /
+ *     predicted IPC.
+ */
+
+#ifndef SIEVE_SAMPLING_SIEVE_HH
+#define SIEVE_SAMPLING_SIEVE_HH
+
+#include <vector>
+
+#include "gpu/hardware_executor.hh"
+#include "sampling/sample.hh"
+#include "trace/workload.hh"
+
+namespace sieve::sampling {
+
+/** Representative selection policies for Sieve (ablation study). */
+enum class SieveSelection : uint8_t {
+    /** First chronological with dominant CTA size (paper default). */
+    FirstDominantCta,
+    /** Plain first chronological, ignoring CTA size. */
+    FirstChronological,
+    /** First chronological with the *maximum* CTA size — considered
+     *  and rejected by the paper as less accurate. */
+    MaxCta,
+};
+
+/** Configuration for the Sieve sampler. */
+struct SieveConfig
+{
+    /**
+     * CoV threshold separating Tier-2 from Tier-3, and the bound
+     * enforced on every stratum. The paper finds theta = 0.4 balances
+     * accuracy and speedup (Section III-B, Fig. 10).
+     */
+    double theta = 0.4;
+
+    /** Representative selection policy. */
+    SieveSelection selection = SieveSelection::FirstDominantCta;
+};
+
+/** The Sieve stratified sampling methodology. */
+class SieveSampler
+{
+  public:
+    explicit SieveSampler(SieveConfig config = {});
+
+    const SieveConfig &config() const { return _config; }
+
+    /**
+     * Stratify a workload and select representatives. Uses only the
+     * profile-visible instruction counts, kernel identities, and CTA
+     * sizes — never cycle counts (Sieve needs no golden reference).
+     */
+    SamplingResult sample(const trace::Workload &workload) const;
+
+    /**
+     * Predict whole-application cycle count from the measured (or
+     * simulated) performance of the representatives only.
+     *
+     * @param result the sampling result for this workload
+     * @param workload the workload (for total instruction count)
+     * @param per_invocation per-invocation results; only entries at
+     *        representative indexes are read
+     */
+    double predictCycles(
+        const SamplingResult &result, const trace::Workload &workload,
+        const std::vector<gpu::KernelResult> &per_invocation) const;
+
+    /**
+     * Predict application IPC (the weighted harmonic mean of
+     * representative IPCs, Section III-D).
+     */
+    double predictIpc(
+        const SamplingResult &result,
+        const std::vector<gpu::KernelResult> &per_invocation) const;
+
+  private:
+    size_t selectRepresentative(const trace::Workload &workload,
+                                const std::vector<size_t> &members,
+                                Tier tier) const;
+
+    SieveConfig _config;
+};
+
+} // namespace sieve::sampling
+
+#endif // SIEVE_SAMPLING_SIEVE_HH

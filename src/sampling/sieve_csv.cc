@@ -1,0 +1,143 @@
+#include "sampling/sieve_csv.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "stats/descriptive.hh"
+#include "stats/kde.hh"
+
+namespace sieve::sampling {
+
+namespace {
+
+using trace::SieveProfileRow;
+
+/** First-chronological row with the group's dominant CTA size. */
+const SieveProfileRow *
+dominantCtaFirst(const std::vector<const SieveProfileRow *> &rows)
+{
+    std::map<uint32_t, size_t> cta_counts;
+    for (const SieveProfileRow *row : rows)
+        ++cta_counts[row->ctaSize];
+    uint32_t dominant = 0;
+    size_t best = 0;
+    for (const auto &[size, count] : cta_counts) {
+        if (count > best) {
+            best = count;
+            dominant = size;
+        }
+    }
+    for (const SieveProfileRow *row : rows) {
+        if (row->ctaSize == dominant)
+            return row;
+    }
+    return rows.front();
+}
+
+} // namespace
+
+CsvTable
+CsvSamplingResult::toCsv() const
+{
+    CsvTable table({"kernel", "invocation", "tier", "stratum_size",
+                    "weight"});
+    for (const CsvRepresentative &rep : representatives) {
+        table.addRow({
+            rep.kernelName,
+            std::to_string(rep.invocationId),
+            tierName(rep.tier),
+            std::to_string(rep.stratumSize),
+            toFixed(rep.weight, 8),
+        });
+    }
+    return table;
+}
+
+CsvSamplingResult
+sieveFromProfile(const std::vector<SieveProfileRow> &rows,
+                 SieveConfig config)
+{
+    if (rows.empty())
+        fatal("empty profile: nothing to stratify");
+    if (config.theta <= 0.0)
+        fatal("Sieve theta must be positive, got ", config.theta);
+
+    // Group rows by kernel name, preserving chronological order
+    // within each kernel.
+    std::vector<std::string> kernel_order;
+    std::map<std::string, std::vector<const SieveProfileRow *>> groups;
+    uint64_t total_insts = 0;
+    for (const SieveProfileRow &row : rows) {
+        auto [it, inserted] = groups.try_emplace(row.kernelName);
+        if (inserted)
+            kernel_order.push_back(row.kernelName);
+        it->second.push_back(&row);
+        total_insts += row.instructionCount;
+    }
+    SIEVE_ASSERT(total_insts > 0, "profile with zero instructions");
+
+    CsvSamplingResult out;
+    out.totalInstructions = total_insts;
+
+    for (const std::string &kernel : kernel_order) {
+        const auto &members = groups[kernel];
+
+        std::vector<double> counts;
+        counts.reserve(members.size());
+        for (const SieveProfileRow *row : members)
+            counts.push_back(
+                static_cast<double>(row->instructionCount));
+
+        bool all_equal = std::all_of(
+            counts.begin(), counts.end(),
+            [&](double c) { return c == counts.front(); });
+        double cov = stats::coefficientOfVariation(counts);
+
+        auto emit = [&](const std::vector<const SieveProfileRow *> &g,
+                        Tier tier) {
+            uint64_t insts = 0;
+            for (const SieveProfileRow *row : g)
+                insts += row->instructionCount;
+            const SieveProfileRow *rep =
+                tier == Tier::Tier1 ? g.front() : dominantCtaFirst(g);
+
+            CsvRepresentative r;
+            r.kernelName = kernel;
+            r.invocationId = rep->invocationId;
+            r.tier = tier;
+            r.stratumSize = g.size();
+            r.weight = static_cast<double>(insts) /
+                       static_cast<double>(total_insts);
+            out.representatives.push_back(std::move(r));
+        };
+
+        if (all_equal) {
+            emit(members, Tier::Tier1);
+        } else if (cov < config.theta) {
+            emit(members, Tier::Tier2);
+        } else {
+            std::vector<size_t> labels =
+                stats::stratifyByDensity(counts, config.theta);
+            size_t n_strata = stats::numStrata(labels);
+            std::vector<std::vector<const SieveProfileRow *>> strata(
+                n_strata);
+            for (size_t i = 0; i < members.size(); ++i)
+                strata[labels[i]].push_back(members[i]);
+            for (const auto &stratum : strata) {
+                if (!stratum.empty())
+                    emit(stratum, Tier::Tier3);
+            }
+        }
+    }
+    return out;
+}
+
+CsvSamplingResult
+sieveFromProfileCsv(const CsvTable &table, SieveConfig config)
+{
+    return sieveFromProfile(trace::parseSieveProfile(table), config);
+}
+
+} // namespace sieve::sampling

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The CSV-driven Sieve back-end.
+ *
+ * The paper's released tooling is a set of scripts: the profiler
+ * writes "a readable CSV file which serves as input to PKS and Sieve"
+ * (Section IV-3), and the Sieve back-end turns that CSV into the list
+ * of representative kernel invocations and weights. This module is
+ * that back-end: it consumes only the four profile columns (kernel,
+ * invocation, instruction count, CTA size) — no Workload object, no
+ * hidden state — and emits the same stratification the in-memory
+ * sampler produces. A test asserts the two paths agree exactly.
+ */
+
+#ifndef SIEVE_SAMPLING_SIEVE_CSV_HH
+#define SIEVE_SAMPLING_SIEVE_CSV_HH
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "sampling/sample.hh"
+#include "sampling/sieve.hh"
+#include "trace/profile_io.hh"
+
+namespace sieve::sampling {
+
+/** One selected representative, as the script pipeline reports it. */
+struct CsvRepresentative
+{
+    std::string kernelName;
+    uint64_t invocationId = 0;  //!< global chronological id
+    Tier tier = Tier::None;
+    size_t stratumSize = 0;     //!< invocations it stands for
+    double weight = 0.0;        //!< instruction-count share
+};
+
+/** Output of the CSV back-end. */
+struct CsvSamplingResult
+{
+    std::vector<CsvRepresentative> representatives;
+    uint64_t totalInstructions = 0;
+
+    /** Serialize as the representative-list CSV the tooling ships. */
+    CsvTable toCsv() const;
+};
+
+/**
+ * Run Sieve stratification over parsed profile rows.
+ * Rows must be in chronological (invocationId) order, as the
+ * profiler emits them.
+ */
+CsvSamplingResult sieveFromProfile(
+    const std::vector<trace::SieveProfileRow> &rows,
+    SieveConfig config = {});
+
+/** Convenience: parse a profile CSV table and stratify it. */
+CsvSamplingResult sieveFromProfileCsv(const CsvTable &table,
+                                      SieveConfig config = {});
+
+} // namespace sieve::sampling
+
+#endif // SIEVE_SAMPLING_SIEVE_CSV_HH

@@ -1,0 +1,88 @@
+#include "sampling/tbpoint.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+#include "stats/hierarchical.hh"
+#include "stats/kmeans.hh" // squaredDistance
+
+namespace sieve::sampling {
+
+TbPointSampler::TbPointSampler(TbPointConfig config) : _config(config)
+{
+    if (_config.distanceCutoff <= 0.0)
+        fatal("TBPoint distance cutoff must be positive, got ",
+              _config.distanceCutoff);
+}
+
+SamplingResult
+TbPointSampler::sample(const trace::Workload &workload) const
+{
+    size_t n = workload.numInvocations();
+    SIEVE_ASSERT(n > 0, "TBPoint on an empty workload");
+
+    stats::Matrix features(n, trace::kNumPksMetrics);
+    for (size_t i = 0; i < n; ++i) {
+        auto fv = workload.invocation(i).mix.featureVector();
+        for (size_t c = 0; c < fv.size(); ++c)
+            features.at(i, c) = fv[c];
+    }
+    stats::Matrix z = stats::standardizeColumns(features);
+
+    stats::HierarchicalOptions options;
+    options.distanceCutoff = _config.distanceCutoff;
+    options.maxDendrogramPoints = _config.maxDendrogramPoints;
+    options.seed = _config.seed;
+    stats::HierarchicalResult clustering =
+        stats::hierarchicalCluster(z, options);
+
+    SamplingResult result;
+    result.method = "tbpoint";
+    result.chosenK = clustering.k();
+
+    std::vector<std::vector<size_t>> clusters(clustering.k());
+    for (size_t i = 0; i < n; ++i)
+        clusters[clustering.assignments[i]].push_back(i);
+
+    for (size_t c = 0; c < clusters.size(); ++c) {
+        if (clusters[c].empty())
+            continue;
+        Stratum stratum;
+        stratum.members = clusters[c];
+        stratum.tier = Tier::None;
+        stratum.weight = static_cast<double>(clusters[c].size()) /
+                         static_cast<double>(n);
+
+        // TBPoint's policy: the member closest to the centroid.
+        size_t best = clusters[c].front();
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t idx : clusters[c]) {
+            double d = stats::squaredDistance(z, idx,
+                                              clustering.centroids, c);
+            if (d < best_d) {
+                best_d = d;
+                best = idx;
+            }
+        }
+        stratum.representative = best;
+        result.strata.push_back(std::move(stratum));
+    }
+    return result;
+}
+
+double
+TbPointSampler::predictCycles(
+    const SamplingResult &result,
+    const std::vector<gpu::KernelResult> &per_invocation) const
+{
+    double predicted = 0.0;
+    for (const auto &stratum : result.strata) {
+        SIEVE_ASSERT(stratum.representative < per_invocation.size(),
+                     "representative index out of range");
+        predicted += static_cast<double>(stratum.members.size()) *
+                     per_invocation[stratum.representative].cycles;
+    }
+    return predicted;
+}
+
+} // namespace sieve::sampling

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TBPoint-style baseline sampler (Huang et al., IPDPS 2014).
+ *
+ * The pre-PKS state of the art the paper covers in Section VI:
+ * kernel invocations are characterized by a broad set of execution
+ * characteristics and grouped with *hierarchical* clustering (cut at
+ * a similarity threshold) rather than k-means. One representative is
+ * simulated per group; application performance is predicted as an
+ * invocation-count-weighted sum of representative cycle counts, as
+ * for PKS. Implemented here so the three generations of GPU sampling
+ * (TBPoint -> PKS -> Sieve) can be compared on the same workloads.
+ */
+
+#ifndef SIEVE_SAMPLING_TBPOINT_HH
+#define SIEVE_SAMPLING_TBPOINT_HH
+
+#include <cstdint>
+
+#include "gpu/hardware_executor.hh"
+#include "sampling/sample.hh"
+#include "trace/workload.hh"
+
+namespace sieve::sampling {
+
+/** Configuration for the TBPoint-style sampler. */
+struct TbPointConfig
+{
+    /**
+     * Dendrogram cut: merges above this distance (in standardized
+     * feature space, average linkage) are rejected. Smaller values
+     * give more clusters and higher fidelity.
+     */
+    double distanceCutoff = 1.0;
+
+    /** Dendrogram subsample bound (hierarchical clustering is
+     *  quadratic; see stats/hierarchical.hh). */
+    size_t maxDendrogramPoints = 2000;
+
+    /** Seed for the subsample draw. */
+    uint64_t seed = 0x7b901717;
+};
+
+/** The TBPoint-style hierarchical-clustering sampler. */
+class TbPointSampler
+{
+  public:
+    explicit TbPointSampler(TbPointConfig config = {});
+
+    const TbPointConfig &config() const { return _config; }
+
+    /**
+     * Cluster a workload and select representatives (closest to each
+     * cluster centroid, TBPoint's policy). Unlike PKS, no golden
+     * reference is consulted — the cut threshold is fixed a priori.
+     */
+    SamplingResult sample(const trace::Workload &workload) const;
+
+    /** Invocation-count-weighted sum of representative cycles. */
+    double predictCycles(
+        const SamplingResult &result,
+        const std::vector<gpu::KernelResult> &per_invocation) const;
+
+  private:
+    TbPointConfig _config;
+};
+
+} // namespace sieve::sampling
+
+#endif // SIEVE_SAMPLING_TBPOINT_HH

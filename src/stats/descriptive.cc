@@ -1,0 +1,149 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sieve::stats {
+
+double
+Summary::cov() const
+{
+    if (count == 0 || mean == 0.0)
+        return 0.0;
+    return stddev / std::fabs(mean);
+}
+
+void
+Accumulator::add(double value, double weight)
+{
+    SIEVE_ASSERT(weight > 0.0, "non-positive observation weight ", weight);
+    if (_count == 0) {
+        _min = value;
+        _max = value;
+    } else {
+        _min = std::min(_min, value);
+        _max = std::max(_max, value);
+    }
+    ++_count;
+
+    // Weighted Welford (West 1979).
+    double new_weight = _weight + weight;
+    double delta = value - _mean;
+    double r = delta * weight / new_weight;
+    _mean += r;
+    _m2 += _weight * delta * r;
+    _weight = new_weight;
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        *this = other;
+        return;
+    }
+    double total = _weight + other._weight;
+    double delta = other._mean - _mean;
+    _m2 += other._m2 + delta * delta * _weight * other._weight / total;
+    _mean += delta * other._weight / total;
+    _weight = total;
+    _count += other._count;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+double
+Accumulator::variance() const
+{
+    if (_count == 0 || _weight <= 0.0)
+        return 0.0;
+    return _m2 / _weight;
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::cov() const
+{
+    if (_count == 0 || _mean == 0.0)
+        return 0.0;
+    return stddev() / std::fabs(_mean);
+}
+
+Summary
+Accumulator::summary() const
+{
+    Summary s;
+    s.count = _count;
+    s.mean = _mean;
+    s.variance = variance();
+    s.stddev = stddev();
+    s.min = _min;
+    s.max = _max;
+    return s;
+}
+
+Summary
+summarize(const std::vector<double> &values)
+{
+    Accumulator acc;
+    for (double v : values)
+        acc.add(v);
+    return acc.summary();
+}
+
+Summary
+summarize(const std::vector<double> &values,
+          const std::vector<double> &weights)
+{
+    SIEVE_ASSERT(values.size() == weights.size(),
+                 "values/weights length mismatch: ", values.size(), " vs ",
+                 weights.size());
+    Accumulator acc;
+    for (size_t i = 0; i < values.size(); ++i)
+        acc.add(values[i], weights[i]);
+    return acc.summary();
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    return summarize(values).mean;
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    return summarize(values).stddev;
+}
+
+double
+coefficientOfVariation(const std::vector<double> &values)
+{
+    return summarize(values).cov();
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    SIEVE_ASSERT(!values.empty(), "percentile of empty sample");
+    SIEVE_ASSERT(p >= 0.0 && p <= 100.0, "percentile ", p, " out of range");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+} // namespace sieve::stats

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Descriptive statistics: streaming accumulation and batch summaries.
+ *
+ * The central quantity in the Sieve methodology is the Coefficient of
+ * Variation (CoV = sigma / mu) of instruction counts across kernel
+ * invocations (paper Section III-B); this module provides it along
+ * with the usual moments.
+ */
+
+#ifndef SIEVE_STATS_DESCRIPTIVE_HH
+#define SIEVE_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sieve::stats {
+
+/** Summary of a sample: count, moments, extrema, and CoV. */
+struct Summary
+{
+    size_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0;  //!< population variance (divide by n)
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    /**
+     * Coefficient of variation, sigma / mu.
+     * Zero for an empty sample or a zero mean (by convention: a
+     * degenerate stratum has no meaningful relative dispersion).
+     */
+    double cov() const;
+};
+
+/**
+ * Numerically stable streaming accumulator (Welford's algorithm).
+ * Supports weighted observations for weighted-CoV computations
+ * (Fig. 4 reports *weighted* average intra-cluster CoV).
+ */
+class Accumulator
+{
+  public:
+    /** Add one observation with optional weight. @pre weight > 0 */
+    void add(double value, double weight = 1.0);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+    /** Number of observations added. */
+    size_t count() const { return _count; }
+
+    /** Total weight added. */
+    double totalWeight() const { return _weight; }
+
+    /** Weighted mean of the observations so far. */
+    double mean() const { return _mean; }
+
+    /** Weighted population variance. */
+    double variance() const;
+
+    /** Weighted population standard deviation. */
+    double stddev() const;
+
+    /** sigma / mu; zero when undefined. */
+    double cov() const;
+
+    double min() const { return _min; }
+    double max() const { return _max; }
+
+    /** Snapshot into a Summary struct. */
+    Summary summary() const;
+
+  private:
+    size_t _count = 0;
+    double _weight = 0.0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Batch summary of a value vector. */
+Summary summarize(const std::vector<double> &values);
+
+/** Batch summary with per-value weights. @pre equal lengths */
+Summary summarize(const std::vector<double> &values,
+                  const std::vector<double> &weights);
+
+/** Arithmetic mean; zero for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation; zero for n < 2. */
+double stddev(const std::vector<double> &values);
+
+/** Coefficient of variation of a vector; zero when undefined. */
+double coefficientOfVariation(const std::vector<double> &values);
+
+/**
+ * Percentile by linear interpolation between order statistics.
+ * @param p in [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
+} // namespace sieve::stats
+
+#endif // SIEVE_STATS_DESCRIPTIVE_HH

@@ -1,0 +1,37 @@
+#include "stats/error_metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sieve::stats {
+
+double
+relativeError(double predicted, double measured)
+{
+    if (measured == 0.0)
+        fatal("relative error against a zero measurement");
+    return std::fabs(predicted - measured) / std::fabs(measured);
+}
+
+double
+meanError(const std::vector<double> &errors)
+{
+    if (errors.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double e : errors)
+        sum += e;
+    return sum / static_cast<double>(errors.size());
+}
+
+double
+maxError(const std::vector<double> &errors)
+{
+    if (errors.empty())
+        return 0.0;
+    return *std::max_element(errors.begin(), errors.end());
+}
+
+} // namespace sieve::stats

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Prediction-error metrics shared by the Sieve and PKS evaluations.
+ *
+ * The paper's accuracy metric (Section IV-3) is
+ *     Error = |C_predicted - C_measured| / C_measured
+ * applied identically to both sampling methods.
+ */
+
+#ifndef SIEVE_STATS_ERROR_METRICS_HH
+#define SIEVE_STATS_ERROR_METRICS_HH
+
+#include <vector>
+
+namespace sieve::stats {
+
+/**
+ * Absolute relative error |predicted - measured| / measured.
+ * fatal() if measured is zero.
+ */
+double relativeError(double predicted, double measured);
+
+/** Mean of a vector of error values; zero when empty. */
+double meanError(const std::vector<double> &errors);
+
+/** Maximum of a vector of error values; zero when empty. */
+double maxError(const std::vector<double> &errors);
+
+} // namespace sieve::stats
+
+#endif // SIEVE_STATS_ERROR_METRICS_HH

@@ -1,0 +1,241 @@
+#include "stats/hierarchical.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "stats/kmeans.hh" // squaredDistance
+
+namespace sieve::stats {
+
+namespace {
+
+/** One dendrogram merge: clusters a and b joined at `height`. */
+struct Merge
+{
+    size_t a;
+    size_t b;
+    double height;
+};
+
+/** Disjoint-set forest for cutting the dendrogram. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : _parent(n)
+    {
+        std::iota(_parent.begin(), _parent.end(), 0);
+    }
+
+    size_t
+    find(size_t x)
+    {
+        while (_parent[x] != x) {
+            _parent[x] = _parent[_parent[x]];
+            x = _parent[x];
+        }
+        return x;
+    }
+
+    void
+    unite(size_t a, size_t b)
+    {
+        _parent[find(a)] = find(b);
+    }
+
+  private:
+    std::vector<size_t> _parent;
+};
+
+/**
+ * Full average-linkage dendrogram via the nearest-neighbour chain
+ * algorithm (O(m^2) time, O(m^2) memory). Average linkage is
+ * reducible, so NN-chain produces the exact dendrogram.
+ */
+std::vector<Merge>
+buildDendrogram(const Matrix &points)
+{
+    size_t m = points.rows();
+    SIEVE_ASSERT(m >= 1, "dendrogram of empty sample");
+
+    // Pairwise average-linkage distances, updated via Lance-Williams.
+    std::vector<double> dist(m * m, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = i + 1; j < m; ++j) {
+            double d = std::sqrt(squaredDistance(points, i, points, j));
+            dist[i * m + j] = d;
+            dist[j * m + i] = d;
+        }
+    }
+
+    std::vector<bool> active(m, true);
+    std::vector<size_t> size(m, 1);
+    std::vector<Merge> merges;
+    merges.reserve(m > 0 ? m - 1 : 0);
+
+    std::vector<size_t> chain;
+    chain.reserve(m);
+
+    auto nearest = [&](size_t c) {
+        size_t best = c;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t o = 0; o < m; ++o) {
+            if (o == c || !active[o])
+                continue;
+            double d = dist[c * m + o];
+            if (d < best_d) {
+                best_d = d;
+                best = o;
+            }
+        }
+        return std::pair<size_t, double>(best, best_d);
+    };
+
+    size_t remaining = m;
+    while (remaining > 1) {
+        if (chain.empty()) {
+            // Start the chain from the lowest-index active cluster.
+            for (size_t c = 0; c < m; ++c) {
+                if (active[c]) {
+                    chain.push_back(c);
+                    break;
+                }
+            }
+        }
+        size_t top = chain.back();
+        auto [nn, d] = nearest(top);
+        if (chain.size() >= 2 && nn == chain[chain.size() - 2]) {
+            // Reciprocal nearest neighbours: merge top and nn.
+            chain.pop_back();
+            chain.pop_back();
+
+            size_t a = top;
+            size_t b = nn;
+            merges.push_back({a, b, d});
+
+            // Lance-Williams average-linkage update into slot a.
+            double na = static_cast<double>(size[a]);
+            double nb = static_cast<double>(size[b]);
+            for (size_t o = 0; o < m; ++o) {
+                if (!active[o] || o == a || o == b)
+                    continue;
+                double updated = (na * dist[a * m + o] +
+                                  nb * dist[b * m + o]) /
+                                 (na + nb);
+                dist[a * m + o] = updated;
+                dist[o * m + a] = updated;
+            }
+            size[a] += size[b];
+            active[b] = false;
+            --remaining;
+        } else {
+            chain.push_back(nn);
+        }
+    }
+    return merges;
+}
+
+} // namespace
+
+HierarchicalResult
+hierarchicalCluster(const Matrix &data, HierarchicalOptions options)
+{
+    SIEVE_ASSERT(data.rows() > 0, "clustering empty data");
+    if (options.distanceCutoff <= 0.0 && options.targetClusters == 0)
+        fatal("hierarchicalCluster needs a distance cutoff or a "
+              "target cluster count");
+
+    size_t n = data.rows();
+    size_t m = std::min(n, options.maxDendrogramPoints);
+
+    // Deterministic subsample for the dendrogram.
+    std::vector<size_t> pool(n);
+    std::iota(pool.begin(), pool.end(), 0);
+    if (m < n) {
+        Rng rng(options.seed);
+        rng.shuffle(pool);
+    }
+    pool.resize(m);
+    std::sort(pool.begin(), pool.end());
+
+    Matrix sample(m, data.cols());
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t c = 0; c < data.cols(); ++c)
+            sample.at(i, c) = data.at(pool[i], c);
+    }
+
+    // Build the dendrogram, then cut it: apply merges in height order
+    // until either criterion triggers.
+    std::vector<Merge> merges = buildDendrogram(sample);
+    std::sort(merges.begin(), merges.end(),
+              [](const Merge &a, const Merge &b) {
+                  return a.height < b.height;
+              });
+
+    UnionFind forest(m);
+    size_t clusters = m;
+    double cut = 0.0;
+    for (const Merge &merge : merges) {
+        if (options.targetClusters > 0 &&
+            clusters <= options.targetClusters)
+            break;
+        if (options.distanceCutoff > 0.0 &&
+            merge.height > options.distanceCutoff)
+            break;
+        if (forest.find(merge.a) == forest.find(merge.b))
+            continue; // already connected via an earlier (lower) merge
+        forest.unite(merge.a, merge.b);
+        --clusters;
+        cut = merge.height;
+    }
+
+    // Dense cluster ids over the subsample.
+    std::vector<size_t> root_to_id(m, static_cast<size_t>(-1));
+    std::vector<size_t> sample_label(m);
+    size_t next_id = 0;
+    for (size_t i = 0; i < m; ++i) {
+        size_t root = forest.find(i);
+        if (root_to_id[root] == static_cast<size_t>(-1))
+            root_to_id[root] = next_id++;
+        sample_label[i] = root_to_id[root];
+    }
+
+    // Centroids from the subsample members.
+    Matrix centroids(next_id, data.cols());
+    std::vector<size_t> counts(next_id, 0);
+    for (size_t i = 0; i < m; ++i) {
+        size_t c = sample_label[i];
+        ++counts[c];
+        for (size_t f = 0; f < data.cols(); ++f)
+            centroids.at(c, f) += sample.at(i, f);
+    }
+    for (size_t c = 0; c < next_id; ++c) {
+        double inv = 1.0 / static_cast<double>(counts[c]);
+        for (size_t f = 0; f < data.cols(); ++f)
+            centroids.at(c, f) *= inv;
+    }
+
+    // Assign every point (sampled or not) to its nearest centroid.
+    HierarchicalResult result;
+    result.centroids = std::move(centroids);
+    result.cutDistance = cut;
+    result.assignments.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        size_t best = 0;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < result.centroids.rows(); ++c) {
+            double d =
+                squaredDistance(data, i, result.centroids, c);
+            if (d < best_d) {
+                best_d = d;
+                best = c;
+            }
+        }
+        result.assignments[i] = best;
+    }
+    return result;
+}
+
+} // namespace sieve::stats

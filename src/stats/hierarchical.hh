@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Agglomerative (bottom-up) hierarchical clustering with average
+ * linkage.
+ *
+ * TBPoint (Huang et al., IPDPS 2014) — the pre-PKS state of the art
+ * the paper discusses in Section VI — groups kernel invocations with
+ * hierarchical clustering. Its O(n^2) cost is exactly why PKA moved
+ * to k-means "to scale to larger workloads"; the TBPoint-style
+ * baseline here therefore builds the dendrogram on a bounded
+ * subsample and assigns the remaining points to the nearest cluster
+ * centroid, which preserves the method's behaviour at tractable cost.
+ */
+
+#ifndef SIEVE_STATS_HIERARCHICAL_HH
+#define SIEVE_STATS_HIERARCHICAL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "stats/matrix.hh"
+
+namespace sieve::stats {
+
+/** Result of a hierarchical clustering run. */
+struct HierarchicalResult
+{
+    /** Cluster index per observation, in [0, k). */
+    std::vector<size_t> assignments;
+
+    /** Cluster centroids (k x features). */
+    Matrix centroids;
+
+    /** Merge distance at which clustering stopped. */
+    double cutDistance = 0.0;
+
+    size_t k() const { return centroids.rows(); }
+};
+
+/** Options for hierarchicalCluster(). */
+struct HierarchicalOptions
+{
+    /**
+     * Stop merging when the next merge's average-linkage distance
+     * exceeds this value. <= 0 disables the distance criterion.
+     */
+    double distanceCutoff = 0.0;
+
+    /** Stop merging when this many clusters remain (0 = ignore). */
+    size_t targetClusters = 0;
+
+    /**
+     * Dendrogram subsample bound: clustering runs on at most this
+     * many points; the rest are assigned to the nearest centroid.
+     */
+    size_t maxDendrogramPoints = 2000;
+
+    /** Seed for the subsample draw. */
+    uint64_t seed = 0x7b9017;
+};
+
+/**
+ * Cluster the rows of `data` bottom-up with average linkage.
+ * At least one of distanceCutoff / targetClusters must be set.
+ */
+HierarchicalResult hierarchicalCluster(const Matrix &data,
+                                       HierarchicalOptions options);
+
+} // namespace sieve::stats
+
+#endif // SIEVE_STATS_HIERARCHICAL_HH

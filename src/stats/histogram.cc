@@ -1,0 +1,85 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sieve::stats {
+
+Histogram::Histogram(double lo, double hi, size_t num_bins)
+    : _lo(lo), _width((hi - lo) / static_cast<double>(num_bins)),
+      _counts(num_bins, 0)
+{
+    SIEVE_ASSERT(num_bins > 0, "histogram with zero bins");
+    SIEVE_ASSERT(hi > lo, "histogram range [", lo, ", ", hi, ")");
+}
+
+Histogram
+Histogram::fit(const std::vector<double> &values, size_t num_bins)
+{
+    SIEVE_ASSERT(!values.empty(), "cannot fit histogram to empty sample");
+    auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+    double lo = *lo_it;
+    double hi = *hi_it;
+    if (hi <= lo)
+        hi = lo + 1.0; // degenerate sample: one bin catches everything
+    Histogram h(lo, hi, num_bins);
+    h.addAll(values);
+    return h;
+}
+
+void
+Histogram::add(double value)
+{
+    double pos = (value - _lo) / _width;
+    long bin = static_cast<long>(pos);
+    bin = std::clamp(bin, 0L, static_cast<long>(_counts.size()) - 1);
+    ++_counts[static_cast<size_t>(bin)];
+    ++_total;
+}
+
+void
+Histogram::addAll(const std::vector<double> &values)
+{
+    for (double v : values)
+        add(v);
+}
+
+uint64_t
+Histogram::binCount(size_t bin) const
+{
+    SIEVE_ASSERT(bin < _counts.size(), "bin ", bin, " out of range");
+    return _counts[bin];
+}
+
+double
+Histogram::binLow(size_t bin) const
+{
+    SIEVE_ASSERT(bin < _counts.size(), "bin ", bin, " out of range");
+    return _lo + _width * static_cast<double>(bin);
+}
+
+double
+Histogram::binCenter(size_t bin) const
+{
+    return binLow(bin) + 0.5 * _width;
+}
+
+double
+Histogram::binFraction(size_t bin) const
+{
+    if (_total == 0)
+        return 0.0;
+    return static_cast<double>(binCount(bin)) /
+           static_cast<double>(_total);
+}
+
+size_t
+Histogram::modeBin() const
+{
+    return static_cast<size_t>(
+        std::max_element(_counts.begin(), _counts.end()) -
+        _counts.begin());
+}
+
+} // namespace sieve::stats

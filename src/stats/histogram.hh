@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-width histogram over a numeric range.
+ */
+
+#ifndef SIEVE_STATS_HISTOGRAM_HH
+#define SIEVE_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sieve::stats {
+
+/**
+ * Equal-width histogram. Values outside [lo, hi) clamp into the first
+ * or last bin so no observation is silently dropped.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin
+     * @param hi upper edge of the last bin, must exceed lo
+     * @param num_bins number of bins, must be positive
+     */
+    Histogram(double lo, double hi, size_t num_bins);
+
+    /** Convenience: span the min..max of a sample. */
+    static Histogram fit(const std::vector<double> &values,
+                         size_t num_bins);
+
+    /** Add one observation. */
+    void add(double value);
+
+    /** Add a batch of observations. */
+    void addAll(const std::vector<double> &values);
+
+    size_t numBins() const { return _counts.size(); }
+    uint64_t binCount(size_t bin) const;
+    uint64_t totalCount() const { return _total; }
+
+    /** Lower edge of the given bin. */
+    double binLow(size_t bin) const;
+
+    /** Center of the given bin. */
+    double binCenter(size_t bin) const;
+
+    /** Fraction of observations in the given bin (0 when empty). */
+    double binFraction(size_t bin) const;
+
+    /** Index of the fullest bin (ties resolve to the lowest index). */
+    size_t modeBin() const;
+
+  private:
+    double _lo;
+    double _width;
+    std::vector<uint64_t> _counts;
+    uint64_t _total = 0;
+};
+
+} // namespace sieve::stats
+
+#endif // SIEVE_STATS_HISTOGRAM_HH

@@ -1,0 +1,223 @@
+#include "stats/kde.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numbers>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace sieve::stats {
+
+KernelDensity::KernelDensity(std::vector<double> sample, double bandwidth)
+    : _sample(std::move(sample)), _bandwidth(bandwidth)
+{
+    SIEVE_ASSERT(!_sample.empty(), "KDE over empty sample");
+    if (_bandwidth <= 0.0)
+        _bandwidth = silvermanBandwidth(_sample);
+}
+
+double
+KernelDensity::silvermanBandwidth(const std::vector<double> &sample)
+{
+    SIEVE_ASSERT(!sample.empty(), "bandwidth of empty sample");
+    double sigma = stddev(sample);
+    double q1 = percentile(sample, 25.0);
+    double q3 = percentile(sample, 75.0);
+    double iqr = q3 - q1;
+
+    double spread = sigma;
+    if (iqr > 0.0)
+        spread = std::min(spread, iqr / 1.34);
+    double n = static_cast<double>(sample.size());
+    double h = 0.9 * spread * std::pow(n, -0.2);
+
+    if (h <= 0.0) {
+        // Degenerate (near-constant) sample: any tiny positive width
+        // keeps density() well defined; callers see one stratum anyway.
+        double scale = std::fabs(mean(sample));
+        h = scale > 0.0 ? 1e-3 * scale : 1e-3;
+    }
+    return h;
+}
+
+double
+KernelDensity::density(double x) const
+{
+    const double inv_h = 1.0 / _bandwidth;
+    const double norm =
+        inv_h / (std::sqrt(2.0 * std::numbers::pi) *
+                 static_cast<double>(_sample.size()));
+    double sum = 0.0;
+    for (double xi : _sample) {
+        double u = (x - xi) * inv_h;
+        sum += std::exp(-0.5 * u * u);
+    }
+    return norm * sum;
+}
+
+std::vector<double>
+KernelDensity::densityGrid(double lo, double hi, size_t points) const
+{
+    SIEVE_ASSERT(points >= 2, "density grid needs at least two points");
+    SIEVE_ASSERT(hi >= lo, "grid range [", lo, ", ", hi, "]");
+    std::vector<double> out(points);
+    double step = (hi - lo) / static_cast<double>(points - 1);
+    for (size_t i = 0; i < points; ++i)
+        out[i] = density(lo + step * static_cast<double>(i));
+    return out;
+}
+
+std::vector<double>
+densityValleys(const std::vector<double> &sample, size_t grid_points)
+{
+    SIEVE_ASSERT(!sample.empty(), "valleys of empty sample");
+    auto [lo_it, hi_it] = std::minmax_element(sample.begin(), sample.end());
+    double lo = *lo_it;
+    double hi = *hi_it;
+    if (hi <= lo)
+        return {}; // constant sample: unimodal by definition
+
+    KernelDensity kde(sample);
+    // Pad the grid by one bandwidth on each side so boundary modes are
+    // not mistaken for monotone edges.
+    lo -= kde.bandwidth();
+    hi += kde.bandwidth();
+    std::vector<double> dens = kde.densityGrid(lo, hi, grid_points);
+
+    std::vector<double> cuts;
+    double step = (hi - lo) / static_cast<double>(grid_points - 1);
+    for (size_t i = 1; i + 1 < dens.size(); ++i) {
+        if (dens[i] < dens[i - 1] && dens[i] <= dens[i + 1])
+            cuts.push_back(lo + step * static_cast<double>(i));
+    }
+    return cuts;
+}
+
+namespace {
+
+/** A contiguous run [begin, end) of indexes into a sorted sample. */
+struct Segment
+{
+    size_t begin;
+    size_t end;
+};
+
+double
+segmentCov(const std::vector<double> &sorted, const Segment &seg)
+{
+    Accumulator acc;
+    for (size_t i = seg.begin; i < seg.end; ++i)
+        acc.add(sorted[i]);
+    return acc.cov();
+}
+
+/**
+ * Split a CoV-violating segment at its widest internal value gap.
+ * @pre the segment spans at least two distinct values.
+ */
+size_t
+widestGapSplit(const std::vector<double> &sorted, const Segment &seg)
+{
+    size_t best = seg.begin + 1;
+    double best_gap = -1.0;
+    for (size_t i = seg.begin + 1; i < seg.end; ++i) {
+        double gap = sorted[i] - sorted[i - 1];
+        if (gap > best_gap) {
+            best_gap = gap;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<size_t>
+stratifyByDensity(const std::vector<double> &values, double max_cov)
+{
+    SIEVE_ASSERT(max_cov > 0.0, "non-positive CoV bound ", max_cov);
+    SIEVE_ASSERT(!values.empty(), "stratify of empty sample");
+
+    // Work on a sorted copy; map back through the permutation at the end.
+    std::vector<size_t> order(values.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return values[a] < values[b];
+    });
+    std::vector<double> sorted(values.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        sorted[i] = values[order[i]];
+
+    // Phase 1: initial segmentation at KDE density valleys.
+    std::vector<double> cuts = densityValleys(sorted);
+    std::vector<Segment> segments;
+    {
+        size_t begin = 0;
+        for (double cut : cuts) {
+            size_t end = static_cast<size_t>(
+                std::lower_bound(sorted.begin() + begin, sorted.end(),
+                                 cut) - sorted.begin());
+            if (end > begin) {
+                segments.push_back({begin, end});
+                begin = end;
+            }
+        }
+        if (begin < sorted.size())
+            segments.push_back({begin, sorted.size()});
+    }
+
+    // Phase 2: enforce the CoV bound by recursive widest-gap splits.
+    std::deque<Segment> work(segments.begin(), segments.end());
+    segments.clear();
+    while (!work.empty()) {
+        Segment seg = work.front();
+        work.pop_front();
+        if (segmentCov(sorted, seg) < max_cov ||
+            sorted[seg.begin] == sorted[seg.end - 1]) {
+            segments.push_back(seg);
+            continue;
+        }
+        size_t mid = widestGapSplit(sorted, seg);
+        work.push_front({mid, seg.end});
+        work.push_front({seg.begin, mid});
+    }
+    std::sort(segments.begin(), segments.end(),
+              [](const Segment &a, const Segment &b) {
+                  return a.begin < b.begin;
+              });
+
+    // Phase 3: greedily merge neighbours to minimize the stratum count.
+    std::vector<Segment> merged;
+    for (const Segment &seg : segments) {
+        if (!merged.empty()) {
+            Segment candidate{merged.back().begin, seg.end};
+            if (segmentCov(sorted, candidate) < max_cov) {
+                merged.back() = candidate;
+                continue;
+            }
+        }
+        merged.push_back(seg);
+    }
+
+    // Map stratum labels back to the input order.
+    std::vector<size_t> labels(values.size());
+    for (size_t s = 0; s < merged.size(); ++s) {
+        for (size_t i = merged[s].begin; i < merged[s].end; ++i)
+            labels[order[i]] = s;
+    }
+    return labels;
+}
+
+size_t
+numStrata(const std::vector<size_t> &labels)
+{
+    size_t max_label = 0;
+    for (size_t l : labels)
+        max_label = std::max(max_label, l);
+    return labels.empty() ? 0 : max_label + 1;
+}
+
+} // namespace sieve::stats

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * One-dimensional Gaussian kernel density estimation and
+ * density-valley stratification.
+ *
+ * Sieve uses KDE to sub-stratify Tier-3 kernels (high instruction-count
+ * variability across invocations) such that (1) the number of strata is
+ * minimized and (2) the CoV of instruction count within each stratum
+ * stays below the threshold theta (paper Section III-B). The
+ * implementation here mirrors the scikit-learn 1-D KDE example the
+ * paper cites: evaluate a Gaussian KDE on a grid, cut the sample at
+ * density valleys (local minima), then repair any stratum that still
+ * violates the CoV bound and greedily re-merge neighbours that do not.
+ */
+
+#ifndef SIEVE_STATS_KDE_HH
+#define SIEVE_STATS_KDE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sieve::stats {
+
+/** Gaussian kernel density estimator over a 1-D sample. */
+class KernelDensity
+{
+  public:
+    /**
+     * @param sample observations (copied); must be non-empty
+     * @param bandwidth kernel bandwidth; <= 0 selects Silverman's rule
+     */
+    explicit KernelDensity(std::vector<double> sample,
+                           double bandwidth = 0.0);
+
+    /** Density estimate at point x. */
+    double density(double x) const;
+
+    /** Evaluate the density on a uniform grid over [lo, hi]. */
+    std::vector<double> densityGrid(double lo, double hi,
+                                    size_t points) const;
+
+    /** The bandwidth in use (after rule-of-thumb selection). */
+    double bandwidth() const { return _bandwidth; }
+
+    /**
+     * Silverman's rule-of-thumb bandwidth:
+     * 0.9 * min(sigma, IQR / 1.34) * n^(-1/5).
+     * Falls back to a small positive value for degenerate samples.
+     */
+    static double silvermanBandwidth(const std::vector<double> &sample);
+
+  private:
+    std::vector<double> _sample;
+    double _bandwidth;
+};
+
+/**
+ * Cut points of a sample at KDE density valleys.
+ *
+ * @return ascending cut values c_1 < ... < c_m; a value v belongs to
+ *         segment i where c_i <= v < c_{i+1} (with sentinels at
+ *         +/- infinity). Empty when the density is unimodal.
+ */
+std::vector<double> densityValleys(const std::vector<double> &sample,
+                                   size_t grid_points = 256);
+
+/**
+ * Stratify a 1-D sample so every stratum has CoV below max_cov.
+ *
+ * Pipeline: KDE valley cuts -> split any violating stratum at its
+ * widest internal gap until compliant -> greedily merge adjacent
+ * strata whose union still satisfies the bound (minimizing strata).
+ *
+ * @param values the sample (need not be sorted)
+ * @param max_cov upper bound on per-stratum CoV; must be positive
+ * @return stratum index per input value, in [0, num_strata); stratum
+ *         indices are ordered by ascending value range
+ */
+std::vector<size_t> stratifyByDensity(const std::vector<double> &values,
+                                      double max_cov);
+
+/** Number of distinct strata in a stratifyByDensity() labelling. */
+size_t numStrata(const std::vector<size_t> &labels);
+
+} // namespace sieve::stats
+
+#endif // SIEVE_STATS_KDE_HH

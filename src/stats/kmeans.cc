@@ -1,0 +1,148 @@
+#include "stats/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace sieve::stats {
+
+double
+squaredDistance(const Matrix &a, size_t row_a, const Matrix &b,
+                size_t row_b)
+{
+    SIEVE_ASSERT(a.cols() == b.cols(), "dimension mismatch ", a.cols(),
+                 " vs ", b.cols());
+    double sum = 0.0;
+    for (size_t c = 0; c < a.cols(); ++c) {
+        double d = a.at(row_a, c) - b.at(row_b, c);
+        sum += d * d;
+    }
+    return sum;
+}
+
+std::vector<size_t>
+KMeansResult::clusterSizes() const
+{
+    std::vector<size_t> sizes(k(), 0);
+    for (size_t c : assignments)
+        ++sizes[c];
+    return sizes;
+}
+
+std::vector<size_t>
+KMeansResult::closestToCentroid(const Matrix &data) const
+{
+    std::vector<size_t> best(k(), npos);
+    std::vector<double> best_dist(k(),
+                                  std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < assignments.size(); ++i) {
+        size_t c = assignments[i];
+        double d = squaredDistance(data, i, centroids, c);
+        if (d < best_dist[c]) {
+            best_dist[c] = d;
+            best[c] = i;
+        }
+    }
+    return best;
+}
+
+KMeansResult
+kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters)
+{
+    SIEVE_ASSERT(data.rows() > 0, "k-means on empty data");
+    k = std::clamp<size_t>(k, 1, data.rows());
+
+    size_t n = data.rows();
+    size_t dims = data.cols();
+
+    // --- k-means++ seeding ---
+    Matrix centroids(k, dims);
+    std::vector<double> min_dist(n,
+                                 std::numeric_limits<double>::infinity());
+
+    size_t first = static_cast<size_t>(
+        rng.uniformInt(0, static_cast<int64_t>(n) - 1));
+    for (size_t c = 0; c < dims; ++c)
+        centroids.at(0, c) = data.at(first, c);
+
+    for (size_t centroid = 1; centroid < k; ++centroid) {
+        double total = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double d = squaredDistance(data, i, centroids, centroid - 1);
+            min_dist[i] = std::min(min_dist[i], d);
+            total += min_dist[i];
+        }
+        size_t chosen;
+        if (total <= 0.0) {
+            // All points coincide with existing centroids; any pick
+            // works, keep it deterministic.
+            chosen = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int64_t>(n) - 1));
+        } else {
+            double r = rng.uniform() * total;
+            double acc = 0.0;
+            chosen = n - 1;
+            for (size_t i = 0; i < n; ++i) {
+                acc += min_dist[i];
+                if (r < acc) {
+                    chosen = i;
+                    break;
+                }
+            }
+        }
+        for (size_t c = 0; c < dims; ++c)
+            centroids.at(centroid, c) = data.at(chosen, c);
+    }
+
+    // --- Lloyd iterations ---
+    KMeansResult result;
+    result.assignments.assign(n, 0);
+    std::vector<size_t> counts(k, 0);
+
+    for (size_t iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        result.inertia = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            size_t best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (size_t c = 0; c < k; ++c) {
+                double d = squaredDistance(data, i, centroids, c);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.assignments[i] != best) {
+                result.assignments[i] = best;
+                changed = true;
+            }
+            result.inertia += best_d;
+        }
+        result.iterations = iter + 1;
+        if (!changed && iter > 0)
+            break;
+
+        // Recompute centroids; empty clusters keep their old position.
+        Matrix next(k, dims);
+        std::fill(counts.begin(), counts.end(), 0);
+        for (size_t i = 0; i < n; ++i) {
+            size_t c = result.assignments[i];
+            ++counts[c];
+            for (size_t d = 0; d < dims; ++d)
+                next.at(c, d) += data.at(i, d);
+        }
+        for (size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue;
+            double inv = 1.0 / static_cast<double>(counts[c]);
+            for (size_t d = 0; d < dims; ++d)
+                centroids.at(c, d) = next.at(c, d) * inv;
+        }
+    }
+
+    result.centroids = std::move(centroids);
+    return result;
+}
+
+} // namespace sieve::stats

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * k-means clustering with k-means++ seeding.
+ *
+ * PKS groups kernel invocations with k-means in the PCA-reduced
+ * feature space, evaluating every k up to 20 and choosing the one that
+ * minimizes the prediction error against a golden hardware reference
+ * (paper Section II-B). This module provides the clustering kernel;
+ * the k selection policy lives in the PKS sampler.
+ */
+
+#ifndef SIEVE_STATS_KMEANS_HH
+#define SIEVE_STATS_KMEANS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "stats/matrix.hh"
+
+namespace sieve::stats {
+
+/** Result of one k-means run. */
+struct KMeansResult
+{
+    /** Cluster index per observation, in [0, k). */
+    std::vector<size_t> assignments;
+    /** Cluster centroids (k x features). */
+    Matrix centroids;
+    /** Sum of squared distances to the assigned centroid. */
+    double inertia = 0.0;
+    /** Lloyd iterations executed before convergence. */
+    size_t iterations = 0;
+
+    /** Number of clusters (some may be empty after convergence). */
+    size_t k() const { return centroids.rows(); }
+
+    /** Observation counts per cluster. */
+    std::vector<size_t> clusterSizes() const;
+
+    /**
+     * Index of the observation closest to each cluster's centroid
+     * (the "centroid representative" selection policy of Fig. 5).
+     * Empty clusters yield npos entries.
+     */
+    std::vector<size_t> closestToCentroid(const Matrix &data) const;
+
+    static constexpr size_t npos = static_cast<size_t>(-1);
+};
+
+/**
+ * Run k-means (k-means++ seeding, Lloyd refinement).
+ *
+ * @param data observations (rows) in feature space
+ * @param k number of clusters; clamped to the number of rows
+ * @param rng deterministic random stream for seeding
+ * @param max_iters Lloyd iteration cap
+ */
+KMeansResult kMeans(const Matrix &data, size_t k, Rng rng,
+                    size_t max_iters = 100);
+
+/** Squared Euclidean distance between a data row and a centroid row. */
+double squaredDistance(const Matrix &a, size_t row_a, const Matrix &b,
+                       size_t row_b);
+
+} // namespace sieve::stats
+
+#endif // SIEVE_STATS_KMEANS_HH

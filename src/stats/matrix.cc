@@ -1,0 +1,152 @@
+#include "stats/matrix.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sieve::stats {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : _rows(rows), _cols(cols), _data(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    Matrix m(rows.size(), rows.front().size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != m._cols)
+            fatal("ragged matrix input: row ", r, " has ", rows[r].size(),
+                  " columns, expected ", m._cols);
+        for (size_t c = 0; c < m._cols; ++c)
+            m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+double &
+Matrix::at(size_t r, size_t c)
+{
+    SIEVE_ASSERT(r < _rows && c < _cols,
+                 "matrix index (", r, ", ", c, ") out of ", _rows, "x",
+                 _cols);
+    return _data[r * _cols + c];
+}
+
+double
+Matrix::at(size_t r, size_t c) const
+{
+    SIEVE_ASSERT(r < _rows && c < _cols,
+                 "matrix index (", r, ", ", c, ") out of ", _rows, "x",
+                 _cols);
+    return _data[r * _cols + c];
+}
+
+std::vector<double>
+Matrix::row(size_t r) const
+{
+    std::vector<double> out(_cols);
+    for (size_t c = 0; c < _cols; ++c)
+        out[c] = at(r, c);
+    return out;
+}
+
+std::vector<double>
+Matrix::col(size_t c) const
+{
+    std::vector<double> out(_rows);
+    for (size_t r = 0; r < _rows; ++r)
+        out[r] = at(r, c);
+    return out;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    if (_cols != other._rows)
+        fatal("matrix product shape mismatch: ", _rows, "x", _cols,
+              " * ", other._rows, "x", other._cols);
+    Matrix out(_rows, other._cols);
+    for (size_t r = 0; r < _rows; ++r) {
+        for (size_t k = 0; k < _cols; ++k) {
+            double v = at(r, k);
+            if (v == 0.0)
+                continue;
+            for (size_t c = 0; c < other._cols; ++c)
+                out.at(r, c) += v * other.at(k, c);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(_cols, _rows);
+    for (size_t r = 0; r < _rows; ++r)
+        for (size_t c = 0; c < _cols; ++c)
+            out.at(c, r) = at(r, c);
+    return out;
+}
+
+Matrix
+standardizeColumns(const Matrix &m)
+{
+    Matrix out(m.rows(), m.cols());
+    if (m.empty())
+        return out;
+    double n = static_cast<double>(m.rows());
+    for (size_t c = 0; c < m.cols(); ++c) {
+        double sum = 0.0;
+        for (size_t r = 0; r < m.rows(); ++r)
+            sum += m.at(r, c);
+        double mean = sum / n;
+
+        double sq = 0.0;
+        for (size_t r = 0; r < m.rows(); ++r) {
+            double d = m.at(r, c) - mean;
+            sq += d * d;
+        }
+        double sd = std::sqrt(sq / n);
+        double inv = sd > 0.0 ? 1.0 / sd : 1.0;
+        for (size_t r = 0; r < m.rows(); ++r)
+            out.at(r, c) = (m.at(r, c) - mean) * inv;
+    }
+    return out;
+}
+
+Matrix
+covarianceMatrix(const Matrix &m)
+{
+    SIEVE_ASSERT(m.rows() > 0, "covariance of empty matrix");
+    size_t d = m.cols();
+    double n = static_cast<double>(m.rows());
+
+    std::vector<double> means(d, 0.0);
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < d; ++c)
+            means[c] += m.at(r, c);
+    for (double &mu : means)
+        mu /= n;
+
+    Matrix cov(d, d);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        for (size_t i = 0; i < d; ++i) {
+            double di = m.at(r, i) - means[i];
+            for (size_t j = i; j < d; ++j)
+                cov.at(i, j) += di * (m.at(r, j) - means[j]);
+        }
+    }
+    for (size_t i = 0; i < d; ++i) {
+        for (size_t j = i; j < d; ++j) {
+            cov.at(i, j) /= n;
+            cov.at(j, i) = cov.at(i, j);
+        }
+    }
+    return cov;
+}
+
+} // namespace sieve::stats

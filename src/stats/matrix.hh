@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small dense row-major matrix used by the PCA and k-means substrates.
+ *
+ * Deliberately minimal: the sampling pipelines need matrices of at
+ * most a few hundred thousand rows by a dozen columns, so a flat
+ * vector with bounds-checked accessors is both sufficient and easy to
+ * audit.
+ */
+
+#ifndef SIEVE_STATS_MATRIX_HH
+#define SIEVE_STATS_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace sieve::stats {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix initialized to zero. */
+    Matrix(size_t rows, size_t cols);
+
+    /** Build from row vectors. fatal() on ragged input. */
+    static Matrix fromRows(const std::vector<std::vector<double>> &rows);
+
+    size_t rows() const { return _rows; }
+    size_t cols() const { return _cols; }
+    bool empty() const { return _rows == 0 || _cols == 0; }
+
+    /** Element access (bounds-checked via SIEVE_ASSERT). */
+    double &at(size_t r, size_t c);
+    double at(size_t r, size_t c) const;
+
+    /** Copy out one row. */
+    std::vector<double> row(size_t r) const;
+
+    /** Copy out one column. */
+    std::vector<double> col(size_t c) const;
+
+    /** Matrix product this * other. fatal() on shape mismatch. */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+  private:
+    size_t _rows = 0;
+    size_t _cols = 0;
+    std::vector<double> _data;
+};
+
+/**
+ * Z-score standardization per column: subtract the column mean,
+ * divide by the column standard deviation. Constant columns are
+ * centred but left unscaled (their stddev is zero).
+ */
+Matrix standardizeColumns(const Matrix &m);
+
+/** Sample covariance matrix (divides by n) of the rows of m. */
+Matrix covarianceMatrix(const Matrix &m);
+
+} // namespace sieve::stats
+
+#endif // SIEVE_STATS_MATRIX_HH

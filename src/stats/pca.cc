@@ -1,0 +1,164 @@
+#include "stats/pca.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace sieve::stats {
+
+EigenDecomposition
+jacobiEigen(const Matrix &symmetric, size_t max_sweeps, double tolerance)
+{
+    if (symmetric.rows() != symmetric.cols())
+        fatal("jacobiEigen requires a square matrix, got ",
+              symmetric.rows(), "x", symmetric.cols());
+
+    size_t n = symmetric.rows();
+    Matrix a = symmetric;
+    Matrix v(n, n);
+    for (size_t i = 0; i < n; ++i)
+        v.at(i, i) = 1.0;
+
+    for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        // Sum of squared off-diagonal elements measures convergence.
+        double off = 0.0;
+        for (size_t p = 0; p < n; ++p)
+            for (size_t q = p + 1; q < n; ++q)
+                off += a.at(p, q) * a.at(p, q);
+        if (off < tolerance)
+            break;
+
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double apq = a.at(p, q);
+                if (std::fabs(apq) < 1e-300)
+                    continue;
+                double app = a.at(p, p);
+                double aqq = a.at(q, q);
+                double theta = (aqq - app) / (2.0 * apq);
+                double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                           (std::fabs(theta) +
+                            std::sqrt(theta * theta + 1.0));
+                double c = 1.0 / std::sqrt(t * t + 1.0);
+                double s = t * c;
+
+                for (size_t k = 0; k < n; ++k) {
+                    double akp = a.at(k, p);
+                    double akq = a.at(k, q);
+                    a.at(k, p) = c * akp - s * akq;
+                    a.at(k, q) = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double apk = a.at(p, k);
+                    double aqk = a.at(q, k);
+                    a.at(p, k) = c * apk - s * aqk;
+                    a.at(q, k) = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    double vkp = v.at(k, p);
+                    double vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return a.at(x, x) > a.at(y, y);
+    });
+
+    EigenDecomposition out;
+    out.values.resize(n);
+    out.vectors = Matrix(n, n);
+    for (size_t j = 0; j < n; ++j) {
+        out.values[j] = a.at(order[j], order[j]);
+        for (size_t i = 0; i < n; ++i)
+            out.vectors.at(i, j) = v.at(i, order[j]);
+    }
+    return out;
+}
+
+Pca::Pca(const Matrix &data, double variance_to_keep)
+{
+    SIEVE_ASSERT(variance_to_keep > 0.0 && variance_to_keep <= 1.0,
+                 "variance_to_keep ", variance_to_keep, " out of (0, 1]");
+    if (data.rows() == 0 || data.cols() == 0)
+        fatal("PCA on an empty data matrix");
+
+    size_t d = data.cols();
+    double n = static_cast<double>(data.rows());
+
+    // Record training standardization so transform() is reusable.
+    _means.assign(d, 0.0);
+    _inv_stddevs.assign(d, 1.0);
+    for (size_t c = 0; c < d; ++c) {
+        double sum = 0.0;
+        for (size_t r = 0; r < data.rows(); ++r)
+            sum += data.at(r, c);
+        _means[c] = sum / n;
+    }
+    for (size_t c = 0; c < d; ++c) {
+        double sq = 0.0;
+        for (size_t r = 0; r < data.rows(); ++r) {
+            double diff = data.at(r, c) - _means[c];
+            sq += diff * diff;
+        }
+        double sd = std::sqrt(sq / n);
+        _inv_stddevs[c] = sd > 0.0 ? 1.0 / sd : 1.0;
+    }
+
+    Matrix z(data.rows(), d);
+    for (size_t r = 0; r < data.rows(); ++r)
+        for (size_t c = 0; c < d; ++c)
+            z.at(r, c) = (data.at(r, c) - _means[c]) * _inv_stddevs[c];
+
+    EigenDecomposition eig = jacobiEigen(covarianceMatrix(z));
+    _eigenvalues = eig.values;
+
+    double total = 0.0;
+    for (double ev : eig.values)
+        total += std::max(ev, 0.0);
+    if (total <= 0.0) {
+        // All-constant data: keep one (arbitrary) component so that
+        // downstream clustering still has a 1-D space to work in.
+        total = 1.0;
+    }
+
+    size_t keep = 0;
+    double acc = 0.0;
+    while (keep < d) {
+        acc += std::max(eig.values[keep], 0.0);
+        ++keep;
+        if (acc / total >= variance_to_keep)
+            break;
+    }
+    keep = std::max<size_t>(keep, 1);
+    _explained = acc / total;
+
+    _components = Matrix(d, keep);
+    for (size_t i = 0; i < d; ++i)
+        for (size_t j = 0; j < keep; ++j)
+            _components.at(i, j) = eig.vectors.at(i, j);
+}
+
+Matrix
+Pca::transform(const Matrix &data) const
+{
+    if (data.cols() != _means.size())
+        fatal("PCA transform feature count ", data.cols(),
+              " does not match training feature count ", _means.size());
+
+    Matrix z(data.rows(), data.cols());
+    for (size_t r = 0; r < data.rows(); ++r)
+        for (size_t c = 0; c < data.cols(); ++c)
+            z.at(r, c) = (data.at(r, c) - _means[c]) * _inv_stddevs[c];
+    return z.multiply(_components);
+}
+
+} // namespace sieve::stats

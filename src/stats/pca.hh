@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Principal Component Analysis via a cyclic Jacobi eigensolver.
+ *
+ * PKS applies PCA to its 12-dimensional microarchitecture-independent
+ * feature vectors to reduce dimensionality before k-means clustering
+ * (paper Section II-A). The feature dimensionality is tiny, so a
+ * dense Jacobi rotation eigensolver on the covariance matrix is exact
+ * enough and dependency-free.
+ */
+
+#ifndef SIEVE_STATS_PCA_HH
+#define SIEVE_STATS_PCA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/matrix.hh"
+
+namespace sieve::stats {
+
+/** Eigen decomposition of a symmetric matrix. */
+struct EigenDecomposition
+{
+    /** Eigenvalues in descending order. */
+    std::vector<double> values;
+    /** Matching eigenvectors as matrix columns (orthonormal). */
+    Matrix vectors;
+};
+
+/**
+ * Eigen decomposition of a symmetric matrix via cyclic Jacobi
+ * rotations. fatal() if the matrix is not square.
+ */
+EigenDecomposition jacobiEigen(const Matrix &symmetric,
+                               size_t max_sweeps = 64,
+                               double tolerance = 1e-12);
+
+/** A fitted PCA model. */
+class Pca
+{
+  public:
+    /**
+     * Fit to a data matrix (rows = observations, cols = features).
+     * Columns are z-score standardized before the covariance is taken,
+     * matching the PKS preprocessing.
+     *
+     * @param data observation matrix
+     * @param variance_to_keep fraction of total variance the retained
+     *        components must explain, in (0, 1]
+     */
+    Pca(const Matrix &data, double variance_to_keep = 0.9);
+
+    /** Number of retained components. */
+    size_t numComponents() const { return _components.cols(); }
+
+    /** Eigenvalues of all (not just retained) components. */
+    const std::vector<double> &eigenvalues() const { return _eigenvalues; }
+
+    /** Fraction of variance explained by the retained components. */
+    double explainedVariance() const { return _explained; }
+
+    /**
+     * Project observations into the retained component space.
+     * The input must have the same feature count as the training data
+     * and is standardized with the training statistics.
+     */
+    Matrix transform(const Matrix &data) const;
+
+  private:
+    std::vector<double> _means;
+    std::vector<double> _inv_stddevs;
+    std::vector<double> _eigenvalues;
+    Matrix _components; //!< features x retained-components
+    double _explained = 0.0;
+};
+
+} // namespace sieve::stats
+
+#endif // SIEVE_STATS_PCA_HH

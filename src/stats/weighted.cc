@@ -1,0 +1,93 @@
+#include "stats/weighted.hh"
+
+#include "common/logging.hh"
+
+namespace sieve::stats {
+
+namespace {
+
+void
+checkLengths(const std::vector<double> &values,
+             const std::vector<double> &weights)
+{
+    SIEVE_ASSERT(values.size() == weights.size(),
+                 "values/weights length mismatch: ", values.size(), " vs ",
+                 weights.size());
+    SIEVE_ASSERT(!values.empty(), "weighted mean of empty sample");
+}
+
+} // namespace
+
+std::vector<double>
+normalizeWeights(const std::vector<double> &weights)
+{
+    if (weights.empty())
+        fatal("cannot normalize an empty weight vector");
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            fatal("negative weight ", w);
+        total += w;
+    }
+    if (total <= 0.0)
+        fatal("weights sum to zero");
+
+    std::vector<double> out(weights.size());
+    for (size_t i = 0; i < weights.size(); ++i)
+        out[i] = weights[i] / total;
+    return out;
+}
+
+double
+weightedArithmeticMean(const std::vector<double> &values,
+                       const std::vector<double> &weights)
+{
+    checkLengths(values, weights);
+    double num = 0.0;
+    double den = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+        num += weights[i] * values[i];
+        den += weights[i];
+    }
+    SIEVE_ASSERT(den > 0.0, "zero total weight");
+    return num / den;
+}
+
+double
+weightedHarmonicMean(const std::vector<double> &values,
+                     const std::vector<double> &weights)
+{
+    checkLengths(values, weights);
+    double num = 0.0;
+    double den = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (weights[i] == 0.0)
+            continue;
+        if (values[i] <= 0.0)
+            fatal("harmonic mean over non-positive value ", values[i]);
+        num += weights[i];
+        den += weights[i] / values[i];
+    }
+    SIEVE_ASSERT(den > 0.0, "zero total weight");
+    return num / den;
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    std::vector<double> unit(values.size(), 1.0);
+    return weightedHarmonicMean(values, unit);
+}
+
+double
+weightedSum(const std::vector<double> &values,
+            const std::vector<double> &weights)
+{
+    checkLengths(values, weights);
+    double sum = 0.0;
+    for (size_t i = 0; i < values.size(); ++i)
+        sum += weights[i] * values[i];
+    return sum;
+}
+
+} // namespace sieve::stats

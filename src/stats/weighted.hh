@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Weighted mean computations used for performance projection.
+ *
+ * Sieve predicts application IPC as the *weighted harmonic mean* of
+ * per-stratum IPC with instruction-count weights (paper Section
+ * III-D); PKS predicts cycle count as a *weighted sum* of
+ * representative cycle counts with invocation-count weights (Section
+ * II-A). Both live here, alongside weight normalization.
+ */
+
+#ifndef SIEVE_STATS_WEIGHTED_HH
+#define SIEVE_STATS_WEIGHTED_HH
+
+#include <vector>
+
+namespace sieve::stats {
+
+/**
+ * Normalize weights to sum to one.
+ * fatal() if the weights are empty, negative, or sum to zero.
+ */
+std::vector<double> normalizeWeights(const std::vector<double> &weights);
+
+/**
+ * Weighted arithmetic mean: sum(w_i * x_i) / sum(w_i).
+ * The correct mean for CPI-like (time-per-work) metrics with
+ * work-based weights.
+ */
+double weightedArithmeticMean(const std::vector<double> &values,
+                              const std::vector<double> &weights);
+
+/**
+ * Weighted harmonic mean: sum(w_i) / sum(w_i / x_i).
+ * The correct mean for IPC-like (work-per-time) metrics with
+ * work-based weights. fatal() on a non-positive value.
+ */
+double weightedHarmonicMean(const std::vector<double> &values,
+                            const std::vector<double> &weights);
+
+/** Unweighted harmonic mean. fatal() on a non-positive value. */
+double harmonicMean(const std::vector<double> &values);
+
+/** Weighted sum: sum(w_i * x_i). */
+double weightedSum(const std::vector<double> &values,
+                   const std::vector<double> &weights);
+
+} // namespace sieve::stats
+
+#endif // SIEVE_STATS_WEIGHTED_HH

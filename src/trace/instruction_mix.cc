@@ -1,0 +1,60 @@
+#include "trace/instruction_mix.hh"
+
+namespace sieve::trace {
+
+std::array<double, kNumPksMetrics>
+InstructionMix::featureVector() const
+{
+    return {
+        static_cast<double>(coalescedGlobalLoads),
+        static_cast<double>(coalescedGlobalStores),
+        static_cast<double>(coalescedLocalLoads),
+        static_cast<double>(threadGlobalLoads),
+        static_cast<double>(threadGlobalStores),
+        static_cast<double>(threadLocalLoads),
+        static_cast<double>(threadSharedLoads),
+        static_cast<double>(threadSharedStores),
+        static_cast<double>(threadGlobalAtomics),
+        static_cast<double>(instructionCount),
+        divergenceEfficiency,
+        static_cast<double>(numThreadBlocks),
+    };
+}
+
+const std::array<std::string, kNumPksMetrics> &
+InstructionMix::metricNames()
+{
+    static const std::array<std::string, kNumPksMetrics> names = {
+        "coalesced_global_loads",
+        "coalesced_global_stores",
+        "coalesced_local_loads",
+        "thread_global_loads",
+        "thread_global_stores",
+        "thread_local_loads",
+        "thread_shared_loads",
+        "thread_shared_stores",
+        "thread_global_atomics",
+        "instruction_count",
+        "divergence_efficiency",
+        "num_thread_blocks",
+    };
+    return names;
+}
+
+uint64_t
+InstructionMix::totalMemoryInstructions() const
+{
+    return threadGlobalLoads + threadGlobalStores + threadLocalLoads +
+           threadSharedLoads + threadSharedStores + threadGlobalAtomics;
+}
+
+double
+InstructionMix::memoryIntensity() const
+{
+    if (instructionCount == 0)
+        return 0.0;
+    double mem = static_cast<double>(totalMemoryInstructions());
+    return mem / static_cast<double>(instructionCount);
+}
+
+} // namespace sieve::trace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The microarchitecture-independent execution characteristics of one
+ * kernel invocation.
+ *
+ * Table II of the paper lists the twelve characteristics PKS profiles
+ * versus the single one (instruction count) Sieve profiles. This
+ * struct carries all twelve so that either profiler model can expose
+ * its own subset.
+ */
+
+#ifndef SIEVE_TRACE_INSTRUCTION_MIX_HH
+#define SIEVE_TRACE_INSTRUCTION_MIX_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sieve::trace {
+
+/** Number of PKS execution characteristics (Table II). */
+inline constexpr size_t kNumPksMetrics = 12;
+
+/**
+ * Microarchitecture-independent execution characteristics of a kernel
+ * invocation — the full PKS feature set, of which Sieve uses only
+ * instructionCount.
+ */
+struct InstructionMix
+{
+    uint64_t coalescedGlobalLoads = 0;  //!< 32B-transaction global loads
+    uint64_t coalescedGlobalStores = 0; //!< 32B-transaction global stores
+    uint64_t coalescedLocalLoads = 0;   //!< local-space transactions
+    uint64_t threadGlobalLoads = 0;     //!< per-thread global load insts
+    uint64_t threadGlobalStores = 0;    //!< per-thread global store insts
+    uint64_t threadLocalLoads = 0;      //!< per-thread local load insts
+    uint64_t threadSharedLoads = 0;     //!< per-thread shared load insts
+    uint64_t threadSharedStores = 0;    //!< per-thread shared store insts
+    uint64_t threadGlobalAtomics = 0;   //!< per-thread global atomics
+    uint64_t instructionCount = 0;      //!< dynamic warp instructions
+    double divergenceEfficiency = 1.0;  //!< active-lane fraction [0, 1]
+    uint64_t numThreadBlocks = 0;       //!< CTAs launched
+
+    /**
+     * The 12-entry PKS feature vector, in Table II order.
+     * This is exactly the input PKS feeds to PCA.
+     */
+    std::array<double, kNumPksMetrics> featureVector() const;
+
+    /** Metric names in Table II order (for CSV headers and reports). */
+    static const std::array<std::string, kNumPksMetrics> &metricNames();
+
+    /** Sum of all per-thread memory instruction counters. */
+    uint64_t totalMemoryInstructions() const;
+
+    /** Fraction of instructions that are memory operations. */
+    double memoryIntensity() const;
+
+    bool operator==(const InstructionMix &) const = default;
+};
+
+} // namespace sieve::trace
+
+#endif // SIEVE_TRACE_INSTRUCTION_MIX_HH

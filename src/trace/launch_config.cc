@@ -1,0 +1,16 @@
+#include "trace/launch_config.hh"
+
+#include <sstream>
+
+namespace sieve::trace {
+
+std::string
+LaunchConfig::toString() const
+{
+    std::ostringstream oss;
+    oss << '(' << grid.x << ',' << grid.y << ',' << grid.z << ")x("
+        << cta.x << ',' << cta.y << ',' << cta.z << ')';
+    return oss.str();
+}
+
+} // namespace sieve::trace

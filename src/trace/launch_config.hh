@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Kernel launch geometry: grid and CTA (thread block) dimensions.
+ *
+ * In Nvidia terminology a Cooperative Thread Array (CTA) is a thread
+ * block; Sieve's representative selection for Tier-2/3 strata picks
+ * the first-chronological invocation with the *most dominant CTA
+ * size* within the stratum (paper Section III-C), so CTA geometry is
+ * a first-class part of the invocation record.
+ */
+
+#ifndef SIEVE_TRACE_LAUNCH_CONFIG_HH
+#define SIEVE_TRACE_LAUNCH_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sieve::trace {
+
+/** Three-dimensional extent, CUDA dim3-style. */
+struct Dim3
+{
+    uint32_t x = 1;
+    uint32_t y = 1;
+    uint32_t z = 1;
+
+    /** Total element count, x*y*z. */
+    uint64_t count() const
+    {
+        return static_cast<uint64_t>(x) * y * z;
+    }
+
+    bool operator==(const Dim3 &) const = default;
+};
+
+/** Launch geometry of one kernel invocation. */
+struct LaunchConfig
+{
+    Dim3 grid;               //!< CTAs per grid
+    Dim3 cta;                //!< threads per CTA
+    uint32_t sharedMemBytes = 0;  //!< dynamic shared memory per CTA
+    uint32_t regsPerThread = 32;  //!< registers per thread
+
+    /** Threads per CTA (the "CTA size" Sieve keys on). */
+    uint32_t ctaSize() const
+    {
+        return static_cast<uint32_t>(cta.count());
+    }
+
+    /** CTAs in the grid. */
+    uint64_t numCtas() const { return grid.count(); }
+
+    /** Total threads launched. */
+    uint64_t totalThreads() const { return numCtas() * ctaSize(); }
+
+    /** Warps per CTA for the given warp width. */
+    uint32_t warpsPerCta(uint32_t warp_size = 32) const
+    {
+        return (ctaSize() + warp_size - 1) / warp_size;
+    }
+
+    /** "(gx,gy,gz)x(bx,by,bz)" rendering for logs and traces. */
+    std::string toString() const;
+
+    bool operator==(const LaunchConfig &) const = default;
+};
+
+} // namespace sieve::trace
+
+#endif // SIEVE_TRACE_LAUNCH_CONFIG_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Hidden memory/execution behaviour of a kernel invocation.
+ *
+ * These parameters drive the timing models but are deliberately *not*
+ * part of any profiler's output: they stand in for the aspects of
+ * real-kernel behaviour (cache locality, bank conflicts, instruction
+ * latency mix) that the 12 microarchitecture-independent PKS metrics
+ * do not capture. This under-determination is the honest mechanism
+ * behind the intra-cluster cycle-count variability the paper reports
+ * for PKS (Fig. 4): invocations from different kernels can share a
+ * feature vector yet differ in performance.
+ */
+
+#ifndef SIEVE_TRACE_MEMORY_PROFILE_HH
+#define SIEVE_TRACE_MEMORY_PROFILE_HH
+
+#include <cstdint>
+
+namespace sieve::trace {
+
+/**
+ * Locality and latency behaviour invisible to the profilers.
+ * All fractions are in [0, 1].
+ */
+struct MemoryProfile
+{
+    /** Fraction of global accesses that hit in a warmed L1. */
+    double l1Locality = 0.5;
+
+    /** Fraction of L1 misses that hit in a warmed, large-enough L2. */
+    double l2Locality = 0.5;
+
+    /** Resident working set; drives capacity misses vs L2 size. */
+    uint64_t workingSetBytes = 1ULL << 20;
+
+    /** Shared-memory bank conflict degree (0 = none, 1 = worst). */
+    double bankConflictRate = 0.0;
+
+    /**
+     * Fraction of compute instructions that are long-latency
+     * (FP64 / SFU / tensor-like) rather than single-issue ALU.
+     */
+    double longLatencyFrac = 0.1;
+
+    /**
+     * Instruction-level parallelism within a warp's stream; higher
+     * means latency hides better at low occupancy.
+     */
+    double ilp = 2.0;
+
+    bool operator==(const MemoryProfile &) const = default;
+};
+
+} // namespace sieve::trace
+
+#endif // SIEVE_TRACE_MEMORY_PROFILE_HH

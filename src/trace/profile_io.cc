@@ -1,0 +1,106 @@
+#include "trace/profile_io.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace sieve::trace {
+
+namespace {
+
+std::string
+u64(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+CsvTable
+sieveProfileTable(const Workload &workload)
+{
+    CsvTable table({"kernel", "invocation", "instruction_count",
+                    "cta_size"});
+    for (const auto &inv : workload.invocations()) {
+        table.addRow({
+            workload.kernel(inv.kernelId).name,
+            u64(inv.invocationId),
+            u64(inv.mix.instructionCount),
+            u64(inv.launch.ctaSize()),
+        });
+    }
+    return table;
+}
+
+std::vector<SieveProfileRow>
+parseSieveProfile(const CsvTable &table)
+{
+    size_t kernel_col = table.columnIndex("kernel");
+    size_t inv_col = table.columnIndex("invocation");
+    size_t inst_col = table.columnIndex("instruction_count");
+    size_t cta_col = table.columnIndex("cta_size");
+    if (kernel_col == CsvTable::npos || inv_col == CsvTable::npos ||
+        inst_col == CsvTable::npos || cta_col == CsvTable::npos)
+        fatal("Sieve profile CSV is missing a required column");
+
+    std::vector<SieveProfileRow> rows;
+    rows.reserve(table.numRows());
+    for (size_t r = 0; r < table.numRows(); ++r) {
+        SieveProfileRow row;
+        row.kernelName = table.cell(r, kernel_col);
+        row.invocationId = table.cellAsUint(r, inv_col);
+        row.instructionCount = table.cellAsUint(r, inst_col);
+        row.ctaSize = static_cast<uint32_t>(table.cellAsUint(r, cta_col));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+CsvTable
+pksProfileTable(const Workload &workload)
+{
+    std::vector<std::string> header = {"kernel", "invocation"};
+    for (const auto &name : InstructionMix::metricNames())
+        header.push_back(name);
+
+    CsvTable table(std::move(header));
+    for (const auto &inv : workload.invocations()) {
+        std::vector<std::string> row = {
+            workload.kernel(inv.kernelId).name,
+            u64(inv.invocationId),
+        };
+        for (double v : inv.mix.featureVector()) {
+            std::ostringstream oss;
+            oss << v;
+            row.push_back(oss.str());
+        }
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+std::vector<std::vector<double>>
+parsePksProfile(const CsvTable &table)
+{
+    std::vector<size_t> cols;
+    for (const auto &name : InstructionMix::metricNames()) {
+        size_t c = table.columnIndex(name);
+        if (c == CsvTable::npos)
+            fatal("PKS profile CSV is missing metric column '", name, "'");
+        cols.push_back(c);
+    }
+
+    std::vector<std::vector<double>> rows;
+    rows.reserve(table.numRows());
+    for (size_t r = 0; r < table.numRows(); ++r) {
+        std::vector<double> features;
+        features.reserve(cols.size());
+        for (size_t c : cols)
+            features.push_back(table.cellAsDouble(r, c));
+        rows.push_back(std::move(features));
+    }
+    return rows;
+}
+
+} // namespace sieve::trace

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Profile CSV interchange, mirroring the paper's workflow where
+ * profiler output "is converted into a readable CSV file which serves
+ * as input to PKS and Sieve" (Section IV-3).
+ *
+ * Two schemas:
+ *   - Sieve profile: kernel, invocation, instruction count, CTA size
+ *     (the minimal NVBit-style profile; CTA size is needed for the
+ *     Tier-2/3 dominant-CTA representative selection).
+ *   - PKS profile: kernel, invocation, plus all 12 Table II metrics.
+ */
+
+#ifndef SIEVE_TRACE_PROFILE_IO_HH
+#define SIEVE_TRACE_PROFILE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "trace/workload.hh"
+
+namespace sieve::trace {
+
+/** One row of a Sieve (instruction-count-only) profile. */
+struct SieveProfileRow
+{
+    std::string kernelName;
+    uint64_t invocationId = 0;
+    uint64_t instructionCount = 0;
+    uint32_t ctaSize = 0;
+};
+
+/** Build the Sieve profile table for a workload. */
+CsvTable sieveProfileTable(const Workload &workload);
+
+/** Parse a Sieve profile table back into rows. */
+std::vector<SieveProfileRow> parseSieveProfile(const CsvTable &table);
+
+/** Build the PKS 12-metric profile table for a workload. */
+CsvTable pksProfileTable(const Workload &workload);
+
+/**
+ * Parse a PKS profile back into per-invocation feature vectors
+ * (rows in invocation order, Table II column order).
+ */
+std::vector<std::vector<double>> parsePksProfile(const CsvTable &table);
+
+} // namespace sieve::trace
+
+#endif // SIEVE_TRACE_PROFILE_IO_HH

@@ -1,0 +1,199 @@
+#include "trace/sass_trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace sieve::trace {
+
+namespace {
+
+struct OpcodeEntry
+{
+    Opcode op;
+    const char *name;
+};
+
+constexpr OpcodeEntry kOpcodeTable[] = {
+    {Opcode::IAdd, "IADD"}, {Opcode::FFma, "FFMA"},
+    {Opcode::Mufu, "MUFU"}, {Opcode::DFma, "DFMA"},
+    {Opcode::Ldg, "LDG"},   {Opcode::Stg, "STG"},
+    {Opcode::Lds, "LDS"},   {Opcode::Sts, "STS"},
+    {Opcode::Ldl, "LDL"},   {Opcode::Stl, "STL"},
+    {Opcode::Atom, "ATOM"}, {Opcode::Bra, "BRA"},
+    {Opcode::Exit, "EXIT"},
+};
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    for (const auto &e : kOpcodeTable) {
+        if (e.op == op)
+            return e.name;
+    }
+    panic("unknown opcode ", static_cast<int>(op));
+}
+
+Opcode
+parseOpcode(const std::string &name)
+{
+    for (const auto &e : kOpcodeTable) {
+        if (name == e.name)
+            return e.op;
+    }
+    fatal("unknown opcode mnemonic '", name, "' in trace");
+}
+
+bool
+isGlobalMemory(Opcode op)
+{
+    return op == Opcode::Ldg || op == Opcode::Stg || op == Opcode::Ldl ||
+           op == Opcode::Stl || op == Opcode::Atom;
+}
+
+bool
+isSharedMemory(Opcode op)
+{
+    return op == Opcode::Lds || op == Opcode::Sts;
+}
+
+uint64_t
+KernelTrace::tracedInstructions() const
+{
+    uint64_t total = 0;
+    for (const auto &cta : ctas)
+        for (const auto &warp : cta.warps)
+            total += warp.instructions.size();
+    return total;
+}
+
+uint64_t
+KernelTrace::representedInstructions() const
+{
+    return tracedInstructions() * ctaReplication;
+}
+
+void
+writeTrace(const KernelTrace &trace, std::ostream &os)
+{
+    os << "kernel " << trace.kernelName << '\n'
+       << "invocation " << trace.invocationId << '\n'
+       << "grid " << trace.launch.grid.x << ' ' << trace.launch.grid.y
+       << ' ' << trace.launch.grid.z << '\n'
+       << "cta " << trace.launch.cta.x << ' ' << trace.launch.cta.y << ' '
+       << trace.launch.cta.z << '\n'
+       << "shmem " << trace.launch.sharedMemBytes << '\n'
+       << "regs " << trace.launch.regsPerThread << '\n'
+       << "replication " << trace.ctaReplication << '\n';
+
+    for (size_t c = 0; c < trace.ctas.size(); ++c) {
+        os << "cta_begin " << c << '\n';
+        const CtaTrace &cta = trace.ctas[c];
+        for (size_t w = 0; w < cta.warps.size(); ++w) {
+            os << "warp " << w << '\n';
+            for (const SassInstruction &inst :
+                 cta.warps[w].instructions) {
+                os << opcodeName(inst.opcode) << ' '
+                   << unsigned(inst.destReg) << ' '
+                   << unsigned(inst.srcReg0) << ' '
+                   << unsigned(inst.srcReg1) << ' '
+                   << unsigned(inst.activeLanes) << ' '
+                   << unsigned(inst.sectors) << ' ' << inst.lineAddress
+                   << '\n';
+            }
+        }
+        os << "cta_end\n";
+    }
+}
+
+void
+writeTraceFile(const KernelTrace &trace, const std::string &path)
+{
+    std::ofstream ofs(path);
+    if (!ofs)
+        fatal("cannot open trace file '", path, "' for writing");
+    writeTrace(trace, ofs);
+}
+
+KernelTrace
+readTrace(std::istream &is)
+{
+    KernelTrace trace;
+    std::string line;
+    CtaTrace *cur_cta = nullptr;
+    WarpTrace *cur_warp = nullptr;
+
+    while (std::getline(is, line)) {
+        auto text = trim(line);
+        if (text.empty())
+            continue;
+        std::istringstream iss{std::string(text)};
+        std::string head;
+        iss >> head;
+
+        if (head == "kernel") {
+            iss >> trace.kernelName;
+        } else if (head == "invocation") {
+            iss >> trace.invocationId;
+        } else if (head == "grid") {
+            iss >> trace.launch.grid.x >> trace.launch.grid.y >>
+                trace.launch.grid.z;
+        } else if (head == "cta") {
+            iss >> trace.launch.cta.x >> trace.launch.cta.y >>
+                trace.launch.cta.z;
+        } else if (head == "shmem") {
+            iss >> trace.launch.sharedMemBytes;
+        } else if (head == "regs") {
+            iss >> trace.launch.regsPerThread;
+        } else if (head == "replication") {
+            iss >> trace.ctaReplication;
+        } else if (head == "cta_begin") {
+            trace.ctas.emplace_back();
+            cur_cta = &trace.ctas.back();
+            cur_warp = nullptr;
+        } else if (head == "cta_end") {
+            cur_cta = nullptr;
+            cur_warp = nullptr;
+        } else if (head == "warp") {
+            if (!cur_cta)
+                fatal("trace: 'warp' outside cta_begin/cta_end");
+            cur_cta->warps.emplace_back();
+            cur_warp = &cur_cta->warps.back();
+        } else {
+            if (!cur_warp)
+                fatal("trace: instruction outside a warp block");
+            SassInstruction inst;
+            inst.opcode = parseOpcode(head);
+            unsigned dest, src0, src1, lanes, sectors;
+            uint64_t addr;
+            if (!(iss >> dest >> src0 >> src1 >> lanes >> sectors >> addr))
+                fatal("trace: malformed instruction line '",
+                      std::string(text), "'");
+            inst.destReg = static_cast<uint8_t>(dest);
+            inst.srcReg0 = static_cast<uint8_t>(src0);
+            inst.srcReg1 = static_cast<uint8_t>(src1);
+            inst.activeLanes = static_cast<uint8_t>(lanes);
+            inst.sectors = static_cast<uint8_t>(sectors);
+            inst.lineAddress = addr;
+            cur_warp->instructions.push_back(inst);
+        }
+    }
+    if (trace.kernelName.empty())
+        fatal("trace: missing kernel header");
+    return trace;
+}
+
+KernelTrace
+readTraceFile(const std::string &path)
+{
+    std::ifstream ifs(path);
+    if (!ifs)
+        fatal("cannot open trace file '", path, "' for reading");
+    return readTrace(ifs);
+}
+
+} // namespace sieve::trace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SASS-like instruction traces.
+ *
+ * Section V-G of the paper modifies the Accel-sim tracer (built on
+ * NVBit) to emit "simple plain text files" containing the SASS trace
+ * of only the selected kernel invocations, which Accel-sim then
+ * simulates. This module defines the equivalent trace representation
+ * for this repository's cycle-level simulator: per-warp instruction
+ * streams with register dependencies, lane masks, and line-granular
+ * memory addresses, plus the plain-text (de)serialization.
+ */
+
+#ifndef SIEVE_TRACE_SASS_TRACE_HH
+#define SIEVE_TRACE_SASS_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/launch_config.hh"
+
+namespace sieve::trace {
+
+/** Instruction classes modelled by the simulator. */
+enum class Opcode : uint8_t {
+    IAdd,    //!< single-cycle integer ALU
+    FFma,    //!< FP32 fused multiply-add (FMA pipe)
+    Mufu,    //!< special-function unit (rsqrt, sin, ...)
+    DFma,    //!< FP64 / long-latency arithmetic
+    Ldg,     //!< global load
+    Stg,     //!< global store
+    Lds,     //!< shared-memory load
+    Sts,     //!< shared-memory store
+    Ldl,     //!< local-space load
+    Stl,     //!< local-space store
+    Atom,    //!< global atomic
+    Bra,     //!< branch
+    Exit,    //!< warp termination
+};
+
+/** Name of an opcode ("FFMA", "LDG", ...). */
+const char *opcodeName(Opcode op);
+
+/** Parse an opcode name; fatal() on unknown mnemonics. */
+Opcode parseOpcode(const std::string &name);
+
+/** True for opcodes that access global/local memory (through caches). */
+bool isGlobalMemory(Opcode op);
+
+/** True for shared-memory opcodes. */
+bool isSharedMemory(Opcode op);
+
+/** One warp-level instruction in a trace. */
+struct SassInstruction
+{
+    Opcode opcode = Opcode::IAdd;
+    uint8_t destReg = 0;      //!< destination register (0 = none)
+    uint8_t srcReg0 = 0;      //!< first source register (0 = none)
+    uint8_t srcReg1 = 0;      //!< second source register (0 = none)
+    uint8_t activeLanes = 32; //!< SIMT lanes active, 1..32
+    /**
+     * For memory ops: number of 32B sectors the warp's accesses
+     * coalesce into (1 = perfectly coalesced, 32 = fully scattered).
+     * For BRA: the number of lanes that take the branch — a value
+     * strictly between 0 and activeLanes marks a *divergent* branch
+     * whose paths the SIMT hardware must serialize.
+     */
+    uint8_t sectors = 1;
+
+    /** True for a BRA on which the warp diverges. */
+    bool
+    isDivergentBranch() const
+    {
+        return opcode == Opcode::Bra && sectors > 0 &&
+               sectors < activeLanes;
+    }
+    /** For global/local memory ops: first cache-line index touched. */
+    uint64_t lineAddress = 0;
+};
+
+/** The instruction stream of one warp. */
+struct WarpTrace
+{
+    std::vector<SassInstruction> instructions;
+};
+
+/** The traced warps of one CTA. */
+struct CtaTrace
+{
+    std::vector<WarpTrace> warps;
+};
+
+/**
+ * The trace of one kernel invocation.
+ *
+ * Large grids are traced CTA-representatively: `ctas` holds the
+ * distinct traced CTAs and `ctaReplication` says how many launched
+ * CTAs each traced CTA stands for, so total work is
+ * ctas.size() * ctaReplication CTAs.
+ */
+struct KernelTrace
+{
+    std::string kernelName;
+    uint64_t invocationId = 0;
+    LaunchConfig launch;
+    uint64_t ctaReplication = 1;
+    std::vector<CtaTrace> ctas;
+
+    /** Warp instructions across traced CTAs (without replication). */
+    uint64_t tracedInstructions() const;
+
+    /** Total warp instructions the trace stands for. */
+    uint64_t representedInstructions() const;
+};
+
+/** Serialize a kernel trace to the plain-text format. */
+void writeTrace(const KernelTrace &trace, std::ostream &os);
+
+/** Serialize a kernel trace to a file. fatal() if unwritable. */
+void writeTraceFile(const KernelTrace &trace, const std::string &path);
+
+/** Parse a kernel trace from the plain-text format. */
+KernelTrace readTrace(std::istream &is);
+
+/** Parse a kernel trace from a file. fatal() if unreadable. */
+KernelTrace readTraceFile(const std::string &path);
+
+} // namespace sieve::trace
+
+#endif // SIEVE_TRACE_SASS_TRACE_HH

@@ -1,0 +1,64 @@
+#include "trace/workload.hh"
+
+#include "common/logging.hh"
+
+namespace sieve::trace {
+
+Workload::Workload(std::string suite, std::string name)
+    : _suite(std::move(suite)), _name(std::move(name))
+{
+}
+
+uint32_t
+Workload::addKernel(std::string name)
+{
+    uint32_t id = static_cast<uint32_t>(_kernels.size());
+    _kernels.push_back({id, std::move(name)});
+    return id;
+}
+
+void
+Workload::addInvocation(KernelInvocation inv)
+{
+    SIEVE_ASSERT(inv.kernelId < _kernels.size(),
+                 "invocation references unknown kernel ", inv.kernelId);
+    inv.invocationId = _invocations.size();
+    _invocations.push_back(std::move(inv));
+}
+
+const Kernel &
+Workload::kernel(uint32_t id) const
+{
+    SIEVE_ASSERT(id < _kernels.size(), "kernel id ", id, " out of range");
+    return _kernels[id];
+}
+
+const KernelInvocation &
+Workload::invocation(size_t idx) const
+{
+    SIEVE_ASSERT(idx < _invocations.size(), "invocation ", idx,
+                 " out of range");
+    return _invocations[idx];
+}
+
+std::vector<size_t>
+Workload::invocationsOfKernel(uint32_t kernel_id) const
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < _invocations.size(); ++i) {
+        if (_invocations[i].kernelId == kernel_id)
+            out.push_back(i);
+    }
+    return out;
+}
+
+uint64_t
+Workload::totalInstructions() const
+{
+    uint64_t total = 0;
+    for (const auto &inv : _invocations)
+        total += inv.mix.instructionCount;
+    return total;
+}
+
+} // namespace sieve::trace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The workload intermediate representation: kernels and their
+ * chronological invocation stream.
+ *
+ * A GPU program consists of multiple kernels, each executed many
+ * times; different executions of the same kernel are *kernel
+ * invocations* (paper Section III-A). The Workload is the object
+ * every other subsystem consumes: profilers read it, the hardware
+ * executor times it, and the samplers select representative
+ * invocations from it.
+ */
+
+#ifndef SIEVE_TRACE_WORKLOAD_HH
+#define SIEVE_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/instruction_mix.hh"
+#include "trace/launch_config.hh"
+#include "trace/memory_profile.hh"
+
+namespace sieve::trace {
+
+/** A static kernel (one __global__ function in the program). */
+struct Kernel
+{
+    uint32_t id = 0;          //!< dense index within the workload
+    std::string name;         //!< demangled kernel name
+};
+
+/** One dynamic execution of a kernel. */
+struct KernelInvocation
+{
+    uint32_t kernelId = 0;    //!< which Kernel this executes
+    uint64_t invocationId = 0;//!< global chronological sequence number
+    LaunchConfig launch;      //!< grid/CTA geometry
+    InstructionMix mix;       //!< the 12 profile-visible characteristics
+    MemoryProfile memory;     //!< profile-invisible behaviour
+    uint64_t noiseSeed = 0;   //!< per-invocation run-to-run noise seed
+
+    /** Dynamic instruction count (the one metric Sieve profiles). */
+    uint64_t instructions() const { return mix.instructionCount; }
+};
+
+/** A complete workload: kernel table plus invocation stream. */
+class Workload
+{
+  public:
+    Workload() = default;
+    Workload(std::string suite, std::string name);
+
+    const std::string &suite() const { return _suite; }
+    const std::string &name() const { return _name; }
+
+    /** Register a kernel; returns its dense id. */
+    uint32_t addKernel(std::string name);
+
+    /** Append an invocation. Its invocationId is assigned here. */
+    void addInvocation(KernelInvocation inv);
+
+    size_t numKernels() const { return _kernels.size(); }
+    size_t numInvocations() const { return _invocations.size(); }
+
+    const Kernel &kernel(uint32_t id) const;
+    const std::vector<Kernel> &kernels() const { return _kernels; }
+
+    const KernelInvocation &invocation(size_t idx) const;
+    const std::vector<KernelInvocation> &invocations() const
+    {
+        return _invocations;
+    }
+
+    /** Chronological invocation indexes of one kernel. */
+    std::vector<size_t> invocationsOfKernel(uint32_t kernel_id) const;
+
+    /** Sum of dynamic instruction counts over all invocations. */
+    uint64_t totalInstructions() const;
+
+    /**
+     * Paper-scale metadata: the invocation count of the original
+     * (unscaled) workload from Table I. Zero when not applicable.
+     */
+    uint64_t paperInvocations() const { return _paper_invocations; }
+    void setPaperInvocations(uint64_t n) { _paper_invocations = n; }
+
+  private:
+    std::string _suite;
+    std::string _name;
+    std::vector<Kernel> _kernels;
+    std::vector<KernelInvocation> _invocations;
+    uint64_t _paper_invocations = 0;
+};
+
+} // namespace sieve::trace
+
+#endif // SIEVE_TRACE_WORKLOAD_HH

@@ -1,0 +1,202 @@
+#include "trace/workload_io.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace sieve::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'I', 'E', 'V', 'E', 'W', 'L', '\0'};
+
+// --- little-endian primitive writers/readers ---
+
+template <typename T>
+void
+writePod(std::ostream &os, T value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!is)
+        fatal("truncated workload file");
+    return value;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    writePod<uint32_t>(os, static_cast<uint32_t>(s.size()));
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::istream &is)
+{
+    uint32_t len = readPod<uint32_t>(is);
+    if (len > (64u << 20))
+        fatal("implausible string length ", len, " in workload file");
+    std::string s(len, '\0');
+    is.read(s.data(), len);
+    if (!is)
+        fatal("truncated workload file");
+    return s;
+}
+
+void
+writeInvocation(std::ostream &os, const KernelInvocation &inv)
+{
+    writePod<uint32_t>(os, inv.kernelId);
+    writePod<uint64_t>(os, inv.invocationId);
+
+    writePod<uint32_t>(os, inv.launch.grid.x);
+    writePod<uint32_t>(os, inv.launch.grid.y);
+    writePod<uint32_t>(os, inv.launch.grid.z);
+    writePod<uint32_t>(os, inv.launch.cta.x);
+    writePod<uint32_t>(os, inv.launch.cta.y);
+    writePod<uint32_t>(os, inv.launch.cta.z);
+    writePod<uint32_t>(os, inv.launch.sharedMemBytes);
+    writePod<uint32_t>(os, inv.launch.regsPerThread);
+
+    writePod<uint64_t>(os, inv.mix.coalescedGlobalLoads);
+    writePod<uint64_t>(os, inv.mix.coalescedGlobalStores);
+    writePod<uint64_t>(os, inv.mix.coalescedLocalLoads);
+    writePod<uint64_t>(os, inv.mix.threadGlobalLoads);
+    writePod<uint64_t>(os, inv.mix.threadGlobalStores);
+    writePod<uint64_t>(os, inv.mix.threadLocalLoads);
+    writePod<uint64_t>(os, inv.mix.threadSharedLoads);
+    writePod<uint64_t>(os, inv.mix.threadSharedStores);
+    writePod<uint64_t>(os, inv.mix.threadGlobalAtomics);
+    writePod<uint64_t>(os, inv.mix.instructionCount);
+    writePod<double>(os, inv.mix.divergenceEfficiency);
+    writePod<uint64_t>(os, inv.mix.numThreadBlocks);
+
+    writePod<double>(os, inv.memory.l1Locality);
+    writePod<double>(os, inv.memory.l2Locality);
+    writePod<uint64_t>(os, inv.memory.workingSetBytes);
+    writePod<double>(os, inv.memory.bankConflictRate);
+    writePod<double>(os, inv.memory.longLatencyFrac);
+    writePod<double>(os, inv.memory.ilp);
+
+    writePod<uint64_t>(os, inv.noiseSeed);
+}
+
+KernelInvocation
+readInvocation(std::istream &is)
+{
+    KernelInvocation inv;
+    inv.kernelId = readPod<uint32_t>(is);
+    inv.invocationId = readPod<uint64_t>(is);
+
+    inv.launch.grid.x = readPod<uint32_t>(is);
+    inv.launch.grid.y = readPod<uint32_t>(is);
+    inv.launch.grid.z = readPod<uint32_t>(is);
+    inv.launch.cta.x = readPod<uint32_t>(is);
+    inv.launch.cta.y = readPod<uint32_t>(is);
+    inv.launch.cta.z = readPod<uint32_t>(is);
+    inv.launch.sharedMemBytes = readPod<uint32_t>(is);
+    inv.launch.regsPerThread = readPod<uint32_t>(is);
+
+    inv.mix.coalescedGlobalLoads = readPod<uint64_t>(is);
+    inv.mix.coalescedGlobalStores = readPod<uint64_t>(is);
+    inv.mix.coalescedLocalLoads = readPod<uint64_t>(is);
+    inv.mix.threadGlobalLoads = readPod<uint64_t>(is);
+    inv.mix.threadGlobalStores = readPod<uint64_t>(is);
+    inv.mix.threadLocalLoads = readPod<uint64_t>(is);
+    inv.mix.threadSharedLoads = readPod<uint64_t>(is);
+    inv.mix.threadSharedStores = readPod<uint64_t>(is);
+    inv.mix.threadGlobalAtomics = readPod<uint64_t>(is);
+    inv.mix.instructionCount = readPod<uint64_t>(is);
+    inv.mix.divergenceEfficiency = readPod<double>(is);
+    inv.mix.numThreadBlocks = readPod<uint64_t>(is);
+
+    inv.memory.l1Locality = readPod<double>(is);
+    inv.memory.l2Locality = readPod<double>(is);
+    inv.memory.workingSetBytes = readPod<uint64_t>(is);
+    inv.memory.bankConflictRate = readPod<double>(is);
+    inv.memory.longLatencyFrac = readPod<double>(is);
+    inv.memory.ilp = readPod<double>(is);
+
+    inv.noiseSeed = readPod<uint64_t>(is);
+    return inv;
+}
+
+} // namespace
+
+void
+saveWorkload(const Workload &workload, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    writePod<uint32_t>(os, kWorkloadFormatVersion);
+    writeString(os, workload.suite());
+    writeString(os, workload.name());
+    writePod<uint64_t>(os, workload.paperInvocations());
+
+    writePod<uint32_t>(os,
+                       static_cast<uint32_t>(workload.numKernels()));
+    for (const Kernel &kernel : workload.kernels())
+        writeString(os, kernel.name);
+
+    writePod<uint64_t>(os, workload.numInvocations());
+    for (const KernelInvocation &inv : workload.invocations())
+        writeInvocation(os, inv);
+}
+
+void
+saveWorkloadFile(const Workload &workload, const std::string &path)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs)
+        fatal("cannot open '", path, "' for writing");
+    saveWorkload(workload, ofs);
+    if (!ofs)
+        fatal("write to '", path, "' failed");
+}
+
+Workload
+loadWorkload(std::istream &is)
+{
+    char magic[sizeof(kMagic)];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("not a sieve workload file (bad magic)");
+    uint32_t version = readPod<uint32_t>(is);
+    if (version != kWorkloadFormatVersion)
+        fatal("workload file version ", version, " unsupported (want ",
+              kWorkloadFormatVersion, ")");
+
+    std::string suite = readString(is);
+    std::string name = readString(is);
+    Workload workload(suite, name);
+    workload.setPaperInvocations(readPod<uint64_t>(is));
+
+    uint32_t num_kernels = readPod<uint32_t>(is);
+    for (uint32_t k = 0; k < num_kernels; ++k)
+        workload.addKernel(readString(is));
+
+    uint64_t num_invocations = readPod<uint64_t>(is);
+    for (uint64_t i = 0; i < num_invocations; ++i)
+        workload.addInvocation(readInvocation(is));
+    return workload;
+}
+
+Workload
+loadWorkloadFile(const std::string &path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        fatal("cannot open '", path, "' for reading");
+    return loadWorkload(ifs);
+}
+
+} // namespace sieve::trace

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Whole-workload (de)serialization.
+ *
+ * The paper releases its identified representative kernel invocations
+ * and traces so others can skip the profiling step; the equivalent
+ * here is saving a complete generated workload — kernel table,
+ * chronological invocation stream, visible characteristics, and the
+ * hidden behaviour needed to re-run the timing models — to a single
+ * file. The format is a versioned little-endian binary: compact
+ * enough for 24k-invocation workloads to round-trip in milliseconds,
+ * explicit enough to be read by other tools.
+ */
+
+#ifndef SIEVE_TRACE_WORKLOAD_IO_HH
+#define SIEVE_TRACE_WORKLOAD_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/workload.hh"
+
+namespace sieve::trace {
+
+/** Current workload-file format version. */
+inline constexpr uint32_t kWorkloadFormatVersion = 1;
+
+/** Serialize a workload to a binary stream. */
+void saveWorkload(const Workload &workload, std::ostream &os);
+
+/** Serialize a workload to a file. fatal() if unwritable. */
+void saveWorkloadFile(const Workload &workload,
+                      const std::string &path);
+
+/**
+ * Deserialize a workload. fatal() on magic/version mismatch or a
+ * truncated stream.
+ */
+Workload loadWorkload(std::istream &is);
+
+/** Deserialize a workload from a file. fatal() if unreadable. */
+Workload loadWorkloadFile(const std::string &path);
+
+} // namespace sieve::trace
+
+#endif // SIEVE_TRACE_WORKLOAD_IO_HH

@@ -1,0 +1,534 @@
+#include "workloads/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace sieve::workloads {
+
+const char *
+countPatternName(CountPattern p)
+{
+    switch (p) {
+      case CountPattern::Constant:
+        return "constant";
+      case CountPattern::LowVariance:
+        return "low-variance";
+      case CountPattern::Multimodal:
+        return "multimodal";
+      case CountPattern::Drift:
+        return "drift";
+    }
+    panic("unknown count pattern ", static_cast<int>(p));
+}
+
+namespace {
+
+/** Lognormal sigma that yields a target coefficient of variation. */
+double
+lognormalSigmaForCov(double cov)
+{
+    return std::sqrt(std::log(1.0 + cov * cov));
+}
+
+constexpr uint64_t kMinWarpInsts = 20'000;
+
+/** CTA size palette; weighted towards the common 128/256 choices. */
+uint32_t
+drawCtaSize(Rng &rng)
+{
+    static const uint32_t sizes[] = {64, 128, 256, 512, 1024};
+    static const std::vector<double> weights = {1.0, 3.0, 4.0, 2.0, 0.5};
+    return sizes[rng.categorical(weights)];
+}
+
+/**
+ * Per-kernel instruction counts for each of its n invocations, by
+ * pattern. Counts are indexed by the kernel's own chronological
+ * ordinal (0 = its first invocation), which matters for Drift.
+ */
+std::vector<uint64_t>
+drawCounts(const KernelSpec &spec, size_t n, Rng &rng)
+{
+    std::vector<uint64_t> counts(n);
+    double base = spec.baseInstructions;
+
+    switch (spec.pattern) {
+      case CountPattern::Constant: {
+        uint64_t c = std::max<uint64_t>(
+            static_cast<uint64_t>(base), kMinWarpInsts);
+        std::fill(counts.begin(), counts.end(), c);
+        break;
+      }
+      case CountPattern::LowVariance: {
+        double sigma = lognormalSigmaForCov(spec.covTarget);
+        double mu = std::log(base) - 0.5 * sigma * sigma;
+        for (auto &c : counts) {
+            c = std::max<uint64_t>(
+                static_cast<uint64_t>(rng.logNormal(mu, sigma)),
+                kMinWarpInsts);
+        }
+        break;
+      }
+      case CountPattern::Multimodal: {
+        size_t modes = std::max<size_t>(spec.numModes, 2);
+        // Geometric mode spacing; the span grows with the CoV target.
+        double span = std::max(spec.covTarget * 3.0, 2.0);
+        double step = std::pow(span, 1.0 / static_cast<double>(modes - 1));
+        std::vector<double> mode_base(modes);
+        std::vector<double> mode_weight(modes);
+        for (size_t m = 0; m < modes; ++m) {
+            mode_base[m] = base * std::pow(step, static_cast<double>(m)) /
+                           std::sqrt(span);
+            mode_weight[m] = rng.uniform(0.5, 2.0);
+        }
+        double jitter_sigma = lognormalSigmaForCov(0.02);
+        for (auto &c : counts) {
+            size_t m = rng.categorical(mode_weight);
+            c = std::max<uint64_t>(
+                static_cast<uint64_t>(
+                    mode_base[m] * rng.logNormal(0.0, jitter_sigma)),
+                kMinWarpInsts);
+        }
+        break;
+      }
+      case CountPattern::Drift: {
+        double ratio = std::max(spec.driftRatio, 1.01);
+        double jitter_sigma = lognormalSigmaForCov(0.02);
+        for (size_t i = 0; i < n; ++i) {
+            double t = n > 1
+                           ? static_cast<double>(i) /
+                                 static_cast<double>(n - 1)
+                           : 0.0;
+            double scale = 1.0 + (ratio - 1.0) * t;
+            counts[i] = std::max<uint64_t>(
+                static_cast<uint64_t>(base * scale *
+                                      rng.logNormal(0.0, jitter_sigma)),
+                kMinWarpInsts);
+        }
+        break;
+      }
+    }
+    return counts;
+}
+
+} // namespace
+
+std::vector<KernelSpec>
+buildKernelSpecs(const WorkloadSpec &spec)
+{
+    SIEVE_ASSERT(spec.numKernels > 0, "workload with zero kernels");
+    const WorkloadCharacter &ch = spec.character;
+    Rng rng = Rng("kernels:" + spec.seedLabel());
+
+    size_t n = spec.numKernels;
+    std::vector<KernelSpec> kernels(n);
+
+    // Invocation shares: Zipf over a shuffled rank order.
+    std::vector<size_t> ranks(n);
+    std::iota(ranks.begin(), ranks.end(), 0);
+    rng.shuffle(ranks);
+    for (size_t k = 0; k < n; ++k) {
+        kernels[k].invocationWeight = 1.0 /
+            std::pow(static_cast<double>(ranks[k] + 1), ch.zipfExponent);
+    }
+
+    // Pattern assignment: round the fractional targets to kernel
+    // counts. Drift patterns optionally pin to the highest-share
+    // kernels (driftOnHeavy); everything else is shuffled so pattern
+    // does not correlate with kernel id.
+    struct PatternSlot
+    {
+        CountPattern pattern;
+        bool slow;
+        double covHint = 0.0; //!< fixed CoV target when positive
+    };
+    auto frac_count = [n](double f) {
+        return std::min(static_cast<size_t>(
+                            std::round(f * static_cast<double>(n))),
+                        n);
+    };
+    size_t tier1 = frac_count(ch.tier1Frac);
+    size_t tier3 = std::min(frac_count(ch.tier3Frac), n - tier1);
+    size_t fast_drift =
+        std::min(frac_count(ch.driftFrac), n - tier1 - tier3);
+    size_t slow_drift = std::min(frac_count(ch.slowDriftFrac),
+                                 n - tier1 - tier3 - fast_drift);
+
+    std::vector<PatternSlot> drift_slots;
+    drift_slots.insert(drift_slots.end(), fast_drift,
+                       {CountPattern::Drift, false});
+    drift_slots.insert(drift_slots.end(), slow_drift,
+                       {CountPattern::Drift, true});
+
+    std::vector<PatternSlot> other_slots;
+    other_slots.insert(other_slots.end(), tier1,
+                       {CountPattern::Constant, false});
+    other_slots.insert(other_slots.end(), tier3,
+                       {CountPattern::Multimodal, false});
+    other_slots.insert(other_slots.end(),
+                       n - tier1 - tier3 - drift_slots.size(),
+                       {CountPattern::LowVariance, false});
+
+    std::vector<PatternSlot> slots(n);
+    if (ch.driftOnHeavy) {
+        // Invocation-count leaders stay Tier-1 (Fig. 2: most
+        // invocations show little to no count variability); the next
+        // tier of kernels — which the generator below gives larger
+        // per-invocation sizes, so they dominate *cycles* — drifts.
+        std::vector<size_t> by_weight(n);
+        std::iota(by_weight.begin(), by_weight.end(), 0);
+        std::stable_sort(by_weight.begin(), by_weight.end(),
+                         [&](size_t a, size_t b) {
+                             return kernels[a].invocationWeight >
+                                    kernels[b].invocationWeight;
+                         });
+
+        size_t n_top = std::min<size_t>(
+            tier1, (n + 3) / 4); // top quarter by invocation count
+        auto constant_end = std::stable_partition(
+            other_slots.begin(), other_slots.end(),
+            [](const PatternSlot &s) {
+                return s.pattern == CountPattern::Constant;
+            });
+        size_t n_const =
+            static_cast<size_t>(constant_end - other_slots.begin());
+        n_top = std::min(n_top, n_const);
+
+        // other_slots now: [constants..., rest...]. Reserve n_top
+        // constants for the leaders, shuffle everything else.
+        std::vector<PatternSlot> rest(other_slots.begin() +
+                                          static_cast<long>(n_top),
+                                      other_slots.end());
+        rng.shuffle(rest);
+
+        size_t next_rest = 0;
+        for (size_t pos = 0; pos < n; ++pos) {
+            PatternSlot slot;
+            if (pos < n_top) {
+                // Alternate exact-repeat and near-repeat leaders:
+                // Fig. 2 shows a sizeable Tier-2 share even at
+                // theta = 0.1, i.e. heavy kernels whose counts vary
+                // by only a few percent.
+                if (pos % 3 == 1) {
+                    slot = {CountPattern::LowVariance, false,
+                            rng.uniform(0.02, 0.09)};
+                } else {
+                    slot = {CountPattern::Constant, false, 0.0};
+                }
+            } else if (pos < n_top + drift_slots.size()) {
+                slot = drift_slots[pos - n_top];
+            } else {
+                slot = rest[next_rest++];
+            }
+            slots[by_weight[pos]] = slot;
+        }
+    } else {
+        std::vector<PatternSlot> pool = drift_slots;
+        pool.insert(pool.end(), other_slots.begin(), other_slots.end());
+        rng.shuffle(pool);
+        slots = pool;
+    }
+
+    std::vector<double> arch_weights(ch.archetypeWeights.begin(),
+                                     ch.archetypeWeights.end());
+
+    for (size_t k = 0; k < n; ++k) {
+        KernelSpec &ks = kernels[k];
+        ks.pattern = slots[k].pattern;
+
+        double log10_base =
+            rng.uniform(ch.baseInstLog10Lo, ch.baseInstLog10Hi);
+        if (ch.driftOnHeavy && ks.pattern == CountPattern::Drift) {
+            // Drift kernels sit at the top of the size range so they
+            // carry the cycle share even though the invocation-count
+            // leaders are Tier-1.
+            log10_base = rng.uniform(ch.baseInstLog10Hi - 0.4,
+                                     ch.baseInstLog10Hi + 0.2);
+        }
+        ks.baseInstructions = std::pow(10.0, log10_base);
+
+        switch (ks.pattern) {
+          case CountPattern::Constant:
+            ks.covTarget = 0.0;
+            break;
+          case CountPattern::LowVariance: {
+            if (slots[k].covHint > 0.0) {
+                ks.covTarget = slots[k].covHint;
+                break;
+            }
+            // Log-uniform CoV draw across [covLo, covHi].
+            double u = rng.uniform(std::log(ch.covLo),
+                                   std::log(ch.covHi));
+            ks.covTarget = std::exp(u);
+            break;
+          }
+          case CountPattern::Multimodal:
+            // Spread the CoV targets across (0.6, 2.2]: kernels at
+            // the low end merge back into one stratum as theta
+            // approaches 1, which is what bends the Fig. 10 error
+            // curve upward at large thresholds.
+            ks.covTarget = rng.uniform(0.6, 2.2);
+            ks.numModes = static_cast<size_t>(rng.uniformInt(2, 5));
+            break;
+          case CountPattern::Drift:
+            if (slots[k].slow) {
+                // Slow drift: CoV of a linear ramp 1..r sampled
+                // uniformly is (r-1)/(sqrt(3)(r+1)), so ratios up to
+                // ~2.6 keep the kernel below theta = 0.4 (Tier-2).
+                double hi = std::max(ch.slowDriftRatioHi, 1.1);
+                double lo = 1.0 + 0.55 * (hi - 1.0);
+                ks.driftRatio = rng.uniform(lo, hi);
+            } else {
+                // Fast drift: ratios of 3-8x put the kernel firmly in
+                // Tier-3 so KDE stratification covers it; this
+                // mirrors iterative solvers whose work shrinks or
+                // grows with convergence.
+                ks.driftRatio = rng.uniform(3.0, 8.0);
+            }
+            ks.covTarget = 0.5; // informational; actual CoV ~ ratio
+            break;
+        }
+
+        Archetype arch =
+            static_cast<Archetype>(rng.categorical(arch_weights));
+        Rng kernel_rng = rng.split("profile:" + std::to_string(k));
+        ks.profile = drawMixProfile(arch, kernel_rng, ch.hiddenSpread);
+
+        // Aliasing: adopt an earlier kernel's entire visible identity
+        // (mix, base size, pattern spread) but keep this kernel's own
+        // freshly drawn *hidden* behaviour. The two kernels are then
+        // indistinguishable to any profiler yet perform differently.
+        bool pinned_drift = ch.driftOnHeavy &&
+                            slots[k].pattern == CountPattern::Drift;
+        if (k > 0 && !pinned_drift && rng.bernoulli(ch.aliasFrac)) {
+            size_t target = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int64_t>(k) - 1));
+            const KernelSpec &src = kernels[target];
+            trace::MemoryProfile own_hidden = ks.profile.memory;
+            ks.pattern = src.pattern;
+            ks.covTarget = src.covTarget;
+            ks.numModes = src.numModes;
+            ks.driftRatio = src.driftRatio;
+            ks.baseInstructions = src.baseInstructions;
+            ks.profile = src.profile;
+            ks.profile.memory = own_hidden;
+            ks.ctaSizePrimary = src.ctaSizePrimary;
+            ks.ctaSizeSecondary = src.ctaSizeSecondary;
+            ks.ctaSecondaryProb = src.ctaSecondaryProb;
+            if (ch.workingSetOverride > 0)
+                ks.profile.memory.workingSetBytes =
+                    ch.workingSetOverride;
+            if (ch.ilpOverride > 0.0)
+                ks.profile.memory.ilp = ch.ilpOverride;
+            if (ch.l2LocalityOverride > 0.0)
+                ks.profile.memory.l2Locality = ch.l2LocalityOverride;
+            if (ch.sectorsOverride > 0.0)
+                ks.profile.sectorsPerAccess = ch.sectorsOverride;
+            ks.name = spec.name + "_k" + std::to_string(k) + "_" +
+                      archetypeName(ks.profile.archetype) + "_alias";
+            continue;
+        }
+        if (ch.workingSetOverride > 0)
+            ks.profile.memory.workingSetBytes = ch.workingSetOverride;
+        if (ch.ilpOverride > 0.0)
+            ks.profile.memory.ilp = ch.ilpOverride;
+        if (ch.l2LocalityOverride > 0.0)
+            ks.profile.memory.l2Locality = ch.l2LocalityOverride;
+        if (ch.sectorsOverride > 0.0)
+            ks.profile.sectorsPerAccess = ch.sectorsOverride;
+
+        ks.ctaSizePrimary = drawCtaSize(rng);
+        if (ks.pattern != CountPattern::Constant && rng.bernoulli(0.3)) {
+            // Real kernels that re-tune their CTA size move to an
+            // adjacent configuration (half or double), and only for a
+            // minority of launches.
+            ks.ctaSizeSecondary = rng.bernoulli(0.5)
+                                      ? ks.ctaSizePrimary * 2
+                                      : ks.ctaSizePrimary / 2;
+            ks.ctaSizeSecondary =
+                std::clamp<uint32_t>(ks.ctaSizeSecondary, 64, 1024);
+            if (ks.ctaSizeSecondary == ks.ctaSizePrimary)
+                ks.ctaSizeSecondary = 0;
+            else
+                ks.ctaSecondaryProb = rng.uniform(0.05, 0.15);
+        }
+
+        ks.name = spec.name + "_k" + std::to_string(k) + "_" +
+                  archetypeName(arch);
+    }
+
+    if (ch.dominantInvocation && !kernels.empty()) {
+        // gst structure: kernel 0 is highly variable and one of its
+        // invocations is boosted to dominate total time.
+        kernels[0].pattern = CountPattern::Multimodal;
+        kernels[0].covTarget = 2.0;
+        kernels[0].numModes = 4;
+        kernels[0].dominantBoost = 200.0;
+        kernels[0].invocationWeight =
+            std::max(kernels[0].invocationWeight, 0.8);
+    }
+
+    return kernels;
+}
+
+trace::Workload
+generateWorkload(const WorkloadSpec &spec)
+{
+    const WorkloadCharacter &ch = spec.character;
+    std::vector<KernelSpec> kernel_specs = buildKernelSpecs(spec);
+    Rng rng = Rng("stream:" + spec.seedLabel());
+
+    size_t total = std::max<size_t>(spec.generatedInvocations,
+                                    kernel_specs.size());
+
+    // Apportion invocations to kernels by weight; every kernel gets
+    // at least one (Table I counts kernels that actually ran).
+    double weight_sum = 0.0;
+    for (const auto &ks : kernel_specs)
+        weight_sum += ks.invocationWeight;
+
+    std::vector<size_t> n_invocations(kernel_specs.size());
+    size_t assigned = 0;
+    for (size_t k = 0; k < kernel_specs.size(); ++k) {
+        size_t share = static_cast<size_t>(
+            std::floor(kernel_specs[k].invocationWeight / weight_sum *
+                       static_cast<double>(total)));
+        n_invocations[k] = std::max<size_t>(share, 1);
+        assigned += n_invocations[k];
+    }
+    // Fix up rounding drift on the highest-weight kernel.
+    size_t heaviest = static_cast<size_t>(
+        std::max_element(kernel_specs.begin(), kernel_specs.end(),
+                         [](const KernelSpec &a, const KernelSpec &b) {
+                             return a.invocationWeight <
+                                    b.invocationWeight;
+                         }) -
+        kernel_specs.begin());
+    while (assigned < total) {
+        ++n_invocations[heaviest];
+        ++assigned;
+    }
+    while (assigned > total && n_invocations[heaviest] > 1) {
+        --n_invocations[heaviest];
+        --assigned;
+    }
+
+    // Chronological layout: spread each kernel's invocations evenly
+    // over the program timeline with jitter, then sort by position.
+    // This interleaves kernels the way iterative applications do and
+    // gives Drift kernels a meaningful time axis.
+    struct Slot
+    {
+        double position;
+        uint32_t kernel;
+        uint32_t ordinal; //!< per-kernel chronological index
+    };
+    std::vector<Slot> slots;
+    slots.reserve(total);
+    for (size_t k = 0; k < kernel_specs.size(); ++k) {
+        size_t n = n_invocations[k];
+        double stride = 1.0 / static_cast<double>(n);
+        for (size_t i = 0; i < n; ++i) {
+            double pos = (static_cast<double>(i) + 0.5) * stride +
+                         stride * 0.4 * (rng.uniform() - 0.5);
+            slots.push_back({pos, static_cast<uint32_t>(k),
+                             static_cast<uint32_t>(i)});
+        }
+    }
+    std::stable_sort(slots.begin(), slots.end(),
+                     [](const Slot &a, const Slot &b) {
+                         return a.position < b.position;
+                     });
+
+    // Pre-draw per-kernel instruction counts (indexed by ordinal).
+    std::vector<std::vector<uint64_t>> counts(kernel_specs.size());
+    for (size_t k = 0; k < kernel_specs.size(); ++k) {
+        Rng kernel_rng = rng.split("counts:" + std::to_string(k));
+        counts[k] = drawCounts(kernel_specs[k], n_invocations[k],
+                               kernel_rng);
+        if (kernel_specs[k].dominantBoost > 0.0 && !counts[k].empty()) {
+            // Boost a mid-stream invocation into the dominant one.
+            size_t idx = counts[k].size() / 2;
+            counts[k][idx] = static_cast<uint64_t>(
+                static_cast<double>(counts[k][idx]) *
+                kernel_specs[k].dominantBoost);
+        }
+    }
+
+    trace::Workload workload(spec.suite, spec.name);
+    workload.setPaperInvocations(spec.paperInvocations);
+    for (const auto &ks : kernel_specs)
+        workload.addKernel(ks.name);
+
+    for (const Slot &slot : slots) {
+        const KernelSpec &ks = kernel_specs[slot.kernel];
+        uint64_t warp_insts = counts[slot.kernel][slot.ordinal];
+
+        trace::KernelInvocation inv;
+        inv.kernelId = slot.kernel;
+
+        uint32_t cta_size = ks.ctaSizePrimary;
+        if (ks.ctaSizeSecondary != 0 &&
+            rng.bernoulli(ks.ctaSecondaryProb))
+            cta_size = ks.ctaSizeSecondary;
+
+        double threads = static_cast<double>(warp_insts) * 32.0 /
+                         ks.profile.instsPerThread;
+        uint64_t num_ctas = std::max<uint64_t>(
+            static_cast<uint64_t>(std::ceil(threads / cta_size)), 1);
+
+        inv.launch.grid = {static_cast<uint32_t>(
+                               std::min<uint64_t>(num_ctas, 1u << 30)),
+                           1, 1};
+        inv.launch.cta = {cta_size, 1, 1};
+        inv.launch.regsPerThread = 32;
+        inv.launch.sharedMemBytes =
+            (ks.profile.sharedLoadFrac > 0.0) ? 16384 : 0;
+
+        inv.mix = realizeMix(ks.profile, warp_insts,
+                             inv.launch.numCtas());
+        inv.memory = ks.profile.memory;
+        // A kernel's resident working set scales with its input (and
+        // hence instruction count): larger invocations of the same
+        // kernel press harder on the caches. This gives wide strata
+        // a mild IPC gradient — the effect behind Fig. 10's error
+        // growth with theta. Two exemptions: workloads that pin the
+        // working set (lmc/lmr), and Drift kernels — iterative
+        // solvers refine the *same* buffers, so their footprint does
+        // not follow the per-iteration work.
+        if (ch.workingSetOverride == 0 &&
+            ks.pattern != CountPattern::Drift) {
+            double ratio = static_cast<double>(warp_insts) /
+                           ks.baseInstructions;
+            // Multimodal kernels' operating points correspond to
+            // genuinely different buffers, so their footprints track
+            // size more strongly.
+            double alpha =
+                ks.pattern == CountPattern::Multimodal ? 0.6 : 0.25;
+            double scaled =
+                static_cast<double>(ks.profile.memory.workingSetBytes) *
+                std::pow(ratio, alpha);
+            // Quantize to ~15% buckets: real data structures resize
+            // in coarse steps (pool doubling, refinement levels), so
+            // a few-percent change in work does not move the
+            // footprint — which keeps near-capacity cache behaviour
+            // stable inside narrow strata.
+            double step = std::log2(1.15);
+            scaled = std::exp2(
+                std::round(std::log2(std::max(scaled, 4096.0)) / step) *
+                step);
+            inv.memory.workingSetBytes = static_cast<uint64_t>(
+                std::clamp(scaled, 4096.0, 2.1e9));
+        }
+        inv.noiseSeed = rng.next();
+
+        workload.addInvocation(std::move(inv));
+    }
+    return workload;
+}
+
+} // namespace sieve::workloads

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Synthetic workload generation from a WorkloadSpec.
+ *
+ * The generator resolves a spec into kernel specs (patterns, mixes,
+ * hidden behaviour), lays the invocations out on a chronological
+ * timeline with realistic interleaving, and realizes per-invocation
+ * instruction counts, launch geometry, and feature vectors. All
+ * randomness derives from the spec's seed label, so a given spec
+ * always produces the identical workload.
+ */
+
+#ifndef SIEVE_WORKLOADS_GENERATOR_HH
+#define SIEVE_WORKLOADS_GENERATOR_HH
+
+#include <vector>
+
+#include "trace/workload.hh"
+#include "workloads/spec.hh"
+
+namespace sieve::workloads {
+
+/**
+ * Resolve the per-kernel specifications of a workload.
+ * Deterministic in the spec; exposed separately for tests and for
+ * inspection tools.
+ */
+std::vector<KernelSpec> buildKernelSpecs(const WorkloadSpec &spec);
+
+/** Generate the concrete workload a spec describes. */
+trace::Workload generateWorkload(const WorkloadSpec &spec);
+
+} // namespace sieve::workloads
+
+#endif // SIEVE_WORKLOADS_GENERATOR_HH

@@ -1,0 +1,186 @@
+#include "workloads/mix_archetypes.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sieve::workloads {
+
+const char *
+archetypeName(Archetype a)
+{
+    switch (a) {
+      case Archetype::Gemm:
+        return "gemm";
+      case Archetype::Elementwise:
+        return "elementwise";
+      case Archetype::Reduction:
+        return "reduction";
+      case Archetype::Stencil:
+        return "stencil";
+      case Archetype::Gather:
+        return "gather";
+      case Archetype::Copy:
+        return "copy";
+    }
+    panic("unknown archetype ", static_cast<int>(a));
+}
+
+namespace {
+
+/** Family centre values; per-kernel draws jitter around these. */
+struct ArchetypeParams
+{
+    double globalLoad, globalStore, sharedLoad, sharedStore, atomic;
+    double sectors;        //!< sectors per global access
+    double divergence;
+    double l1Loc, l2Loc;   //!< hidden locality centres
+    double longLat;        //!< long-latency instruction fraction
+    double ilp;
+    double instsPerThread;
+};
+
+const ArchetypeParams &
+params(Archetype a)
+{
+    // globalLd, globalSt, sharedLd, sharedSt, atomic, sectors, div,
+    // l1, l2, longLat, ilp, ipt
+    static const ArchetypeParams table[kNumArchetypes] = {
+        // Gemm: shared-memory tiled, low global traffic, compute bound
+        {0.04, 0.01, 0.22, 0.08, 0.000, 1.2, 0.99,
+         0.80, 0.85, 0.05, 4.0, 700.0},
+        // Elementwise: streaming, perfectly coalesced
+        {0.16, 0.08, 0.00, 0.00, 0.000, 1.05, 1.00,
+         0.25, 0.40, 0.08, 3.0, 200.0},
+        // Reduction: shared tree plus a few atomics
+        {0.12, 0.01, 0.10, 0.05, 0.004, 1.3, 0.96,
+         0.55, 0.70, 0.06, 2.5, 300.0},
+        // Stencil: neighbourhood reuse, high spatial locality
+        {0.20, 0.06, 0.06, 0.03, 0.000, 1.6, 0.98,
+         0.70, 0.80, 0.10, 2.2, 500.0},
+        // Gather: irregular, divergent, scattered accesses
+        {0.18, 0.05, 0.00, 0.00, 0.010, 9.0, 0.62,
+         0.18, 0.35, 0.12, 1.5, 250.0},
+        // Copy: pure bandwidth
+        {0.24, 0.22, 0.00, 0.00, 0.000, 1.0, 1.00,
+         0.05, 0.15, 0.02, 4.0, 100.0},
+    };
+    return table[static_cast<size_t>(a)];
+}
+
+/** Multiplicative jitter: centre * lognormal(sigma). */
+double
+jitter(Rng &rng, double centre, double sigma)
+{
+    return centre * rng.logNormal(0.0, sigma);
+}
+
+/** Clamp a fraction into a safe open interval. */
+double
+clampFrac(double v, double hi = 0.45)
+{
+    return std::clamp(v, 0.0, hi);
+}
+
+} // namespace
+
+MixProfile
+drawMixProfile(Archetype archetype, Rng &rng, double hidden_spread)
+{
+    SIEVE_ASSERT(hidden_spread >= 0.0 && hidden_spread <= 1.0,
+                 "hidden_spread ", hidden_spread, " out of [0, 1]");
+    const ArchetypeParams &p = params(archetype);
+
+    MixProfile prof;
+    prof.archetype = archetype;
+
+    // Visible mix: modest jitter keeps same-family kernels close in
+    // feature space (so PKS clusters them together).
+    constexpr double kVisibleSigma = 0.15;
+    prof.globalLoadFrac = clampFrac(jitter(rng, p.globalLoad,
+                                           kVisibleSigma));
+    prof.globalStoreFrac = clampFrac(jitter(rng, p.globalStore,
+                                            kVisibleSigma));
+    prof.sharedLoadFrac = clampFrac(jitter(rng, p.sharedLoad,
+                                           kVisibleSigma));
+    prof.sharedStoreFrac = clampFrac(jitter(rng, p.sharedStore,
+                                            kVisibleSigma));
+    prof.atomicFrac = clampFrac(jitter(rng, p.atomic, kVisibleSigma),
+                                0.05);
+    prof.localLoadFrac =
+        archetype == Archetype::Gemm && rng.bernoulli(0.2)
+            ? clampFrac(rng.uniform(0.005, 0.02), 0.05)
+            : 0.0;
+
+    prof.sectorsPerAccess =
+        std::clamp(jitter(rng, p.sectors, kVisibleSigma), 1.0, 32.0);
+    prof.divergenceEfficiency =
+        std::clamp(jitter(rng, p.divergence, 0.05), 0.2, 1.0);
+    prof.instsPerThread =
+        std::clamp(jitter(rng, p.instsPerThread, 0.3), 50.0, 1200.0);
+
+    // Hidden behaviour: spread scales how far kernels of the same
+    // family diverge in locality/latency without moving in feature
+    // space.
+    double h = 0.1 + 0.9 * hidden_spread;
+    prof.memory.l1Locality =
+        std::clamp(p.l1Loc + h * rng.uniform(-0.45, 0.45), 0.02, 0.98);
+    prof.memory.l2Locality =
+        std::clamp(p.l2Loc + h * rng.uniform(-0.40, 0.40), 0.05, 0.98);
+    prof.memory.longLatencyFrac =
+        std::clamp(p.longLat * rng.logNormal(0.0, 0.3 + 0.7 * h), 0.005,
+                   0.6);
+    prof.memory.ilp =
+        std::clamp(p.ilp * rng.logNormal(0.0, 0.2 + 0.6 * h), 1.0, 8.0);
+    prof.memory.bankConflictRate =
+        (archetype == Archetype::Gemm || archetype == Archetype::Reduction)
+            ? std::clamp(h * rng.uniform(0.0, 0.5), 0.0, 0.9)
+            : 0.0;
+    // Working set: log-uniform across five decades; drives L2-fit
+    // sensitivity differences between architectures.
+    double ws_exp = rng.uniform(18.0, 26.0); // 256 KB .. 64 MB
+    prof.memory.workingSetBytes =
+        static_cast<uint64_t>(std::exp2(ws_exp));
+
+    return prof;
+}
+
+trace::InstructionMix
+realizeMix(const MixProfile &profile, uint64_t warp_insts,
+           uint64_t num_ctas, uint32_t warp_size)
+{
+    SIEVE_ASSERT(warp_insts > 0, "realizeMix with zero instructions");
+
+    trace::InstructionMix mix;
+    mix.instructionCount = warp_insts;
+    mix.numThreadBlocks = num_ctas;
+    mix.divergenceEfficiency = profile.divergenceEfficiency;
+
+    double wi = static_cast<double>(warp_insts);
+    double lanes = profile.divergenceEfficiency *
+                   static_cast<double>(warp_size);
+
+    auto threads = [&](double frac) {
+        return static_cast<uint64_t>(wi * frac * lanes);
+    };
+    auto warps = [&](double frac) { return wi * frac; };
+
+    mix.threadGlobalLoads = threads(profile.globalLoadFrac);
+    mix.threadGlobalStores = threads(profile.globalStoreFrac);
+    mix.threadLocalLoads = threads(profile.localLoadFrac);
+    mix.threadSharedLoads = threads(profile.sharedLoadFrac);
+    mix.threadSharedStores = threads(profile.sharedStoreFrac);
+    mix.threadGlobalAtomics = threads(profile.atomicFrac);
+
+    mix.coalescedGlobalLoads = static_cast<uint64_t>(
+        warps(profile.globalLoadFrac) * profile.sectorsPerAccess);
+    mix.coalescedGlobalStores = static_cast<uint64_t>(
+        warps(profile.globalStoreFrac) * profile.sectorsPerAccess);
+    mix.coalescedLocalLoads = static_cast<uint64_t>(
+        warps(profile.localLoadFrac) * 2.0);
+
+    return mix;
+}
+
+} // namespace sieve::workloads

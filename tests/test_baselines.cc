@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for hierarchical clustering and the TBPoint-style / random
+ * baseline samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+#include "gpu/hardware_executor.hh"
+#include "sampling/random_sampler.hh"
+#include "sampling/tbpoint.hh"
+#include "stats/hierarchical.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve {
+namespace {
+
+stats::Matrix
+blobs(size_t per_blob, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    const double centres[3][2] = {{0, 0}, {50, 0}, {0, 50}};
+    for (int b = 0; b < 3; ++b) {
+        for (size_t i = 0; i < per_blob; ++i) {
+            rows.push_back({centres[b][0] + rng.normal(),
+                            centres[b][1] + rng.normal()});
+        }
+    }
+    return stats::Matrix::fromRows(rows);
+}
+
+TEST(Hierarchical, RecoversBlobsByTargetCount)
+{
+    stats::Matrix data = blobs(40, 71);
+    stats::HierarchicalOptions opts;
+    opts.targetClusters = 3;
+    auto result = stats::hierarchicalCluster(data, opts);
+    EXPECT_EQ(result.k(), 3u);
+    // Each blob homogeneous.
+    for (int b = 0; b < 3; ++b) {
+        size_t first = result.assignments[b * 40];
+        for (int i = 0; i < 40; ++i)
+            EXPECT_EQ(result.assignments[b * 40 + i], first);
+    }
+}
+
+TEST(Hierarchical, DistanceCutoffSeparatesFarBlobs)
+{
+    stats::Matrix data = blobs(30, 72);
+    stats::HierarchicalOptions opts;
+    opts.distanceCutoff = 10.0; // far below inter-blob distance ~50
+    auto result = stats::hierarchicalCluster(data, opts);
+    EXPECT_EQ(result.k(), 3u);
+    EXPECT_LE(result.cutDistance, 10.0);
+}
+
+TEST(Hierarchical, LooseCutoffMergesEverything)
+{
+    stats::Matrix data = blobs(20, 73);
+    stats::HierarchicalOptions opts;
+    opts.distanceCutoff = 1000.0;
+    auto result = stats::hierarchicalCluster(data, opts);
+    EXPECT_EQ(result.k(), 1u);
+}
+
+TEST(Hierarchical, SubsamplingStillCoversAllPoints)
+{
+    stats::Matrix data = blobs(200, 74); // 600 points
+    stats::HierarchicalOptions opts;
+    opts.targetClusters = 3;
+    opts.maxDendrogramPoints = 90; // force the subsample path
+    auto result = stats::hierarchicalCluster(data, opts);
+    EXPECT_EQ(result.assignments.size(), 600u);
+    EXPECT_EQ(result.k(), 3u);
+    std::set<size_t> labels(result.assignments.begin(),
+                            result.assignments.end());
+    EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(Hierarchical, Deterministic)
+{
+    stats::Matrix data = blobs(50, 75);
+    stats::HierarchicalOptions opts;
+    opts.targetClusters = 4;
+    opts.maxDendrogramPoints = 60;
+    auto a = stats::hierarchicalCluster(data, opts);
+    auto b = stats::hierarchicalCluster(data, opts);
+    EXPECT_EQ(a.assignments, b.assignments);
+}
+
+TEST(HierarchicalDeathTest, NeedsACriterion)
+{
+    stats::Matrix data = blobs(5, 76);
+    EXPECT_EXIT(stats::hierarchicalCluster(data, {}),
+                ::testing::ExitedWithCode(1), "cutoff");
+}
+
+struct Prepared
+{
+    trace::Workload workload;
+    gpu::WorkloadResult golden;
+};
+
+Prepared
+prepare(const std::string &name, size_t cap = 3000)
+{
+    auto spec = workloads::findSpec(name, cap);
+    Prepared p{workloads::generateWorkload(*spec), {}};
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+    p.golden = hw.runWorkload(p.workload);
+    return p;
+}
+
+TEST(TbPoint, ClustersPartitionInvocations)
+{
+    Prepared p = prepare("gru");
+    sampling::TbPointSampler sampler;
+    sampling::SamplingResult result = sampler.sample(p.workload);
+
+    EXPECT_GE(result.strata.size(), 1u);
+    std::vector<int> covered(p.workload.numInvocations(), 0);
+    for (const auto &s : result.strata) {
+        EXPECT_TRUE(std::find(s.members.begin(), s.members.end(),
+                              s.representative) != s.members.end());
+        for (size_t idx : s.members)
+            ++covered[idx];
+    }
+    EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                            [](int c) { return c == 1; }));
+}
+
+TEST(TbPoint, TighterCutoffMoreClusters)
+{
+    Prepared p = prepare("rfl");
+    sampling::TbPointConfig tight;
+    tight.distanceCutoff = 0.3;
+    sampling::TbPointConfig loose;
+    loose.distanceCutoff = 3.0;
+    size_t k_tight =
+        sampling::TbPointSampler(tight).sample(p.workload).strata.size();
+    size_t k_loose =
+        sampling::TbPointSampler(loose).sample(p.workload).strata.size();
+    EXPECT_GT(k_tight, k_loose);
+}
+
+TEST(TbPoint, NeedsNoGoldenReference)
+{
+    // Unlike PKS, sample() takes the workload only — compile-time
+    // property, exercised for the record.
+    Prepared p = prepare("gms");
+    sampling::TbPointSampler sampler;
+    sampling::SamplingResult result = sampler.sample(p.workload);
+    EXPECT_EQ(result.method, "tbpoint");
+}
+
+TEST(TbPointDeathTest, BadCutoffIsFatal)
+{
+    sampling::TbPointConfig cfg;
+    cfg.distanceCutoff = 0.0;
+    EXPECT_EXIT(sampling::TbPointSampler{cfg},
+                ::testing::ExitedWithCode(1), "cutoff");
+}
+
+TEST(RandomSampler, DrawsRequestedCount)
+{
+    Prepared p = prepare("gms");
+    sampling::RandomConfig cfg;
+    cfg.sampleSize = 32;
+    sampling::RandomSampler sampler(cfg);
+    sampling::SamplingResult result = sampler.sample(p.workload);
+    EXPECT_EQ(result.strata.size(), 32u);
+    std::set<size_t> distinct;
+    for (const auto &s : result.strata) {
+        EXPECT_EQ(s.members.size(), 1u);
+        distinct.insert(s.representative);
+    }
+    EXPECT_EQ(distinct.size(), 32u); // without replacement
+}
+
+TEST(RandomSampler, ClampsToWorkloadSize)
+{
+    Prepared p = prepare("bfs_ny"); // 11 invocations
+    sampling::RandomConfig cfg;
+    cfg.sampleSize = 1000;
+    sampling::SamplingResult result =
+        sampling::RandomSampler(cfg).sample(p.workload);
+    EXPECT_EQ(result.strata.size(), p.workload.numInvocations());
+}
+
+TEST(RandomSampler, ExpansionEstimatorIsUnbiasedOnFullSample)
+{
+    // Sampling everything: the estimate must equal the measurement.
+    Prepared p = prepare("bfs_ny");
+    sampling::RandomConfig cfg;
+    cfg.sampleSize = p.workload.numInvocations();
+    sampling::RandomSampler sampler(cfg);
+    sampling::SamplingResult result = sampler.sample(p.workload);
+    double predicted = sampler.predictCycles(result, p.workload,
+                                             p.golden.perInvocation);
+    EXPECT_NEAR(predicted, p.golden.totalCycles,
+                1e-9 * p.golden.totalCycles);
+}
+
+TEST(RandomSampler, DeterministicPerWorkload)
+{
+    Prepared p = prepare("gms");
+    sampling::RandomSampler sampler;
+    auto a = sampler.sample(p.workload);
+    auto b = sampler.sample(p.workload);
+    EXPECT_EQ(a.representatives(), b.representatives());
+}
+
+} // namespace
+} // namespace sieve

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit and property tests for descriptive statistics and weighted
+ * means.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "stats/descriptive.hh"
+#include "stats/error_metrics.hh"
+#include "stats/weighted.hh"
+
+namespace sieve::stats {
+namespace {
+
+TEST(Descriptive, BasicMoments)
+{
+    std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    Summary s = summarize(v);
+    EXPECT_EQ(s.count, 8u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 2.0); // classic textbook sample
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+    EXPECT_DOUBLE_EQ(s.cov(), 0.4);
+}
+
+TEST(Descriptive, EmptySampleIsSafe)
+{
+    Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.cov(), 0.0);
+}
+
+TEST(Descriptive, ConstantSampleHasZeroCov)
+{
+    std::vector<double> v(100, 3.5);
+    EXPECT_DOUBLE_EQ(coefficientOfVariation(v), 0.0);
+}
+
+TEST(Descriptive, WeightedMatchesReplication)
+{
+    // A weight of 3 must equal the value appearing three times.
+    Accumulator weighted;
+    weighted.add(2.0, 3.0);
+    weighted.add(10.0, 1.0);
+
+    Accumulator replicated;
+    replicated.add(2.0);
+    replicated.add(2.0);
+    replicated.add(2.0);
+    replicated.add(10.0);
+
+    EXPECT_NEAR(weighted.mean(), replicated.mean(), 1e-12);
+    EXPECT_NEAR(weighted.variance(), replicated.variance(), 1e-12);
+}
+
+TEST(Descriptive, MergeEqualsSequential)
+{
+    Rng rng(99);
+    Accumulator all;
+    Accumulator left;
+    Accumulator right;
+    for (int i = 0; i < 500; ++i) {
+        double v = rng.normal(10.0, 2.0);
+        all.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Descriptive, MergeWithEmpty)
+{
+    Accumulator a;
+    a.add(1.0);
+    Accumulator empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+}
+
+TEST(Descriptive, Percentiles)
+{
+    std::vector<double> v = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+}
+
+/** Property: streaming equals batch over random samples. */
+class StreamingVsBatch : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(StreamingVsBatch, Agree)
+{
+    Rng rng(GetParam());
+    std::vector<double> values;
+    Accumulator acc;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.logNormal(2.0, 1.0);
+        values.push_back(v);
+        acc.add(v);
+    }
+    Summary batch = summarize(values);
+    EXPECT_NEAR(acc.mean(), batch.mean, 1e-9 * batch.mean);
+    EXPECT_NEAR(acc.stddev(), batch.stddev, 1e-9 * batch.stddev);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingVsBatch,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// --- weighted means ---
+
+TEST(Weighted, NormalizeWeights)
+{
+    auto w = normalizeWeights({1.0, 3.0});
+    EXPECT_DOUBLE_EQ(w[0], 0.25);
+    EXPECT_DOUBLE_EQ(w[1], 0.75);
+}
+
+TEST(WeightedDeathTest, NormalizeRejectsBadInput)
+{
+    EXPECT_EXIT(normalizeWeights({}), ::testing::ExitedWithCode(1),
+                "empty");
+    EXPECT_EXIT(normalizeWeights({-1.0, 2.0}),
+                ::testing::ExitedWithCode(1), "negative");
+    EXPECT_EXIT(normalizeWeights({0.0, 0.0}),
+                ::testing::ExitedWithCode(1), "zero");
+}
+
+TEST(Weighted, HarmonicMeanIdentity)
+{
+    // Equal values: every mean equals the value.
+    std::vector<double> v(5, 4.0);
+    std::vector<double> w = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(weightedHarmonicMean(v, w), 4.0);
+    EXPECT_DOUBLE_EQ(weightedArithmeticMean(v, w), 4.0);
+}
+
+TEST(Weighted, HarmonicLeqArithmetic)
+{
+    std::vector<double> v = {1.0, 2.0, 8.0};
+    std::vector<double> w = {1.0, 1.0, 1.0};
+    EXPECT_LT(weightedHarmonicMean(v, w),
+              weightedArithmeticMean(v, w));
+}
+
+TEST(Weighted, IpcAggregationIsExact)
+{
+    // The paper's identity: with per-stratum instruction weights, the
+    // weighted harmonic mean of IPCs exactly reproduces total
+    // instructions / total cycles.
+    std::vector<double> insts = {1e6, 3e6, 5e5};
+    std::vector<double> cycles = {2e6, 1e6, 1e6};
+    std::vector<double> ipcs;
+    double total_insts = 0.0;
+    double total_cycles = 0.0;
+    for (size_t i = 0; i < insts.size(); ++i) {
+        ipcs.push_back(insts[i] / cycles[i]);
+        total_insts += insts[i];
+        total_cycles += cycles[i];
+    }
+    double ipc = weightedHarmonicMean(ipcs, insts);
+    EXPECT_NEAR(total_insts / ipc, total_cycles,
+                1e-9 * total_cycles);
+}
+
+TEST(Weighted, WeightedSum)
+{
+    EXPECT_DOUBLE_EQ(weightedSum({1.0, 2.0}, {10.0, 100.0}), 210.0);
+}
+
+TEST(WeightedDeathTest, HarmonicRejectsNonPositive)
+{
+    EXPECT_EXIT(harmonicMean({1.0, 0.0}), ::testing::ExitedWithCode(1),
+                "non-positive");
+}
+
+// --- error metrics ---
+
+TEST(ErrorMetrics, RelativeError)
+{
+    EXPECT_DOUBLE_EQ(relativeError(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(100.0, 100.0), 0.0);
+}
+
+TEST(ErrorMetrics, MeanAndMax)
+{
+    std::vector<double> e = {0.1, 0.2, 0.6};
+    EXPECT_NEAR(meanError(e), 0.3, 1e-12);
+    EXPECT_DOUBLE_EQ(maxError(e), 0.6);
+    EXPECT_DOUBLE_EQ(meanError({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxError({}), 0.0);
+}
+
+TEST(ErrorMetricsDeathTest, ZeroMeasurementIsFatal)
+{
+    EXPECT_EXIT(relativeError(1.0, 0.0), ::testing::ExitedWithCode(1),
+                "zero");
+}
+
+} // namespace
+} // namespace sieve::stats

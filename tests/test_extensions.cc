@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the extension features: PKP early-stopping in the
+ * cycle-level simulator, cold-cache representative pricing, the
+ * working-set quantization of the generator, and instance salting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+#include "gpu/hardware_executor.hh"
+#include "stats/descriptive.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "gpusim/trace_synth.hh"
+#include "sampling/confidence.hh"
+#include "sampling/sieve.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve {
+namespace {
+
+trace::KernelTrace
+longHomogeneousTrace(size_t ctas)
+{
+    trace::KernelTrace kt;
+    kt.kernelName = "steady";
+    kt.launch.grid = {static_cast<uint32_t>(ctas), 1, 1};
+    kt.launch.cta = {128, 1, 1};
+
+    Rng rng(404);
+    for (size_t c = 0; c < ctas; ++c) {
+        trace::CtaTrace cta;
+        for (int w = 0; w < 4; ++w) {
+            trace::WarpTrace warp;
+            for (int i = 0; i < 200; ++i) {
+                trace::SassInstruction inst;
+                inst.opcode = (i % 4 == 0) ? trace::Opcode::Ldg
+                                           : trace::Opcode::FFma;
+                inst.destReg = static_cast<uint8_t>(8 + i % 16);
+                inst.srcReg0 = static_cast<uint8_t>(8 + (i + 4) % 16);
+                inst.sectors = 2;
+                inst.lineAddress = rng.next() % 4096;
+                warp.instructions.push_back(inst);
+            }
+            trace::SassInstruction exit;
+            exit.opcode = trace::Opcode::Exit;
+            warp.instructions.push_back(exit);
+            cta.warps.push_back(std::move(warp));
+        }
+        kt.ctas.push_back(std::move(cta));
+    }
+    return kt;
+}
+
+TEST(Pkp, StopsEarlyOnSteadyTrace)
+{
+    trace::KernelTrace kt = longHomogeneousTrace(512);
+    gpusim::GpuSimConfig cfg;
+    cfg.pkpEnabled = true;
+    gpusim::GpuSimulator sim(gpu::ArchConfig::ampereRtx3080(), cfg);
+    gpusim::KernelSimResult result = sim.simulate(kt);
+
+    EXPECT_TRUE(result.pkpStoppedEarly);
+    EXPECT_LT(result.fractionSimulated, 0.95);
+    EXPECT_GT(result.fractionSimulated, 0.0);
+}
+
+TEST(Pkp, ExtrapolationStaysCloseToFullSimulation)
+{
+    trace::KernelTrace kt = longHomogeneousTrace(512);
+    gpusim::GpuSimulator full(gpu::ArchConfig::ampereRtx3080());
+    gpusim::GpuSimConfig cfg;
+    cfg.pkpEnabled = true;
+    gpusim::GpuSimulator pkp(gpu::ArchConfig::ampereRtx3080(), cfg);
+
+    double base = full.simulate(kt).estimatedKernelCycles;
+    double projected = pkp.simulate(kt).estimatedKernelCycles;
+    EXPECT_NEAR(projected / base, 1.0, 0.15);
+}
+
+TEST(Pkp, DisabledByDefault)
+{
+    trace::KernelTrace kt = longHomogeneousTrace(64);
+    gpusim::GpuSimulator sim(gpu::ArchConfig::ampereRtx3080());
+    gpusim::KernelSimResult result = sim.simulate(kt);
+    EXPECT_FALSE(result.pkpStoppedEarly);
+    EXPECT_DOUBLE_EQ(result.fractionSimulated, 1.0);
+}
+
+TEST(Pkp, NeverStopsOnShortTraces)
+{
+    // A single wave gives PKP no second wave to compare against.
+    trace::KernelTrace kt = longHomogeneousTrace(8);
+    gpusim::GpuSimConfig cfg;
+    cfg.pkpEnabled = true;
+    gpusim::GpuSimulator sim(gpu::ArchConfig::ampereRtx3080(), cfg);
+    EXPECT_FALSE(sim.simulate(kt).pkpStoppedEarly);
+}
+
+TEST(ColdStart, AddsCompulsoryFillCost)
+{
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080(), 0.0);
+    trace::KernelInvocation inv;
+    inv.launch.grid = {1024, 1, 1};
+    inv.launch.cta = {256, 1, 1};
+    inv.mix.instructionCount = 1'000'000;
+    inv.memory.workingSetBytes = 64 << 20; // large fill
+
+    gpu::KernelResult warm = hw.run(inv);
+    gpu::KernelResult cold = hw.runCold(inv);
+    EXPECT_GT(cold.cycles, warm.cycles);
+    EXPECT_LT(cold.ipc, warm.ipc);
+
+    // The fill term equals working set / DRAM bandwidth + latency.
+    double expected_fill =
+        (64 << 20) / hw.arch().dramBytesPerClk() +
+        hw.arch().dramLatencyCycles;
+    EXPECT_NEAR(cold.cycles - warm.cycles, expected_fill, 1.0);
+}
+
+TEST(ColdStart, NegligibleForLongKernels)
+{
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080(), 0.0);
+    trace::KernelInvocation inv;
+    inv.launch.grid = {500'000, 1, 1};
+    inv.launch.cta = {256, 1, 1};
+    inv.mix.instructionCount = 2'000'000'000;
+    inv.memory.workingSetBytes = 1 << 20;
+
+    gpu::KernelResult warm = hw.run(inv);
+    gpu::KernelResult cold = hw.runCold(inv);
+    EXPECT_LT((cold.cycles - warm.cycles) / warm.cycles, 0.01);
+}
+
+TEST(WorkingSetQuantization, SmallWobbleSameFootprint)
+{
+    // Invocations of a low-CoV kernel must share quantized working
+    // sets (the property protecting narrow strata from cache-cliff
+    // jitter).
+    auto spec = workloads::findSpec("srad", 2000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    for (uint32_t k = 0; k < wl.numKernels(); ++k) {
+        auto idxs = wl.invocationsOfKernel(k);
+        std::set<uint64_t> footprints;
+        std::vector<double> counts;
+        for (size_t i : idxs) {
+            footprints.insert(wl.invocation(i).memory.workingSetBytes);
+            counts.push_back(static_cast<double>(
+                wl.invocation(i).instructions()));
+        }
+        double cov = stats::coefficientOfVariation(counts);
+        if (cov < 0.05) {
+            EXPECT_LE(footprints.size(), 3u)
+                << wl.kernel(k).name << " cov " << cov;
+        }
+    }
+}
+
+TEST(WorkingSetQuantization, LargeSpreadDifferentFootprints)
+{
+    // A multimodal kernel's modes must land in different buckets.
+    workloads::WorkloadSpec spec;
+    spec.suite = "test";
+    spec.name = "modes";
+    spec.numKernels = 1;
+    spec.paperInvocations = 400;
+    spec.generatedInvocations = 400;
+    spec.character.tier1Frac = 0.0;
+    spec.character.tier3Frac = 1.0;
+    trace::Workload wl = workloads::generateWorkload(spec);
+
+    std::set<uint64_t> footprints;
+    for (const auto &inv : wl.invocations())
+        footprints.insert(inv.memory.workingSetBytes);
+    EXPECT_GE(footprints.size(), 2u);
+}
+
+TEST(Confidence, PlanContainsRepresentativeFirst)
+{
+    auto spec = workloads::findSpec("gru", 3000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    sampling::SieveSampler sieve;
+    sampling::SamplingResult strata = sieve.sample(wl);
+    auto plan = sampling::measurementPlan(strata, 3);
+
+    ASSERT_EQ(plan.size(), strata.strata.size());
+    for (size_t h = 0; h < plan.size(); ++h) {
+        ASSERT_FALSE(plan[h].empty());
+        EXPECT_EQ(plan[h].front(), strata.strata[h].representative);
+        EXPECT_LE(plan[h].size(), 3u);
+        // All picks are members.
+        for (size_t idx : plan[h]) {
+            EXPECT_TRUE(std::find(strata.strata[h].members.begin(),
+                                  strata.strata[h].members.end(),
+                                  idx) !=
+                        strata.strata[h].members.end());
+        }
+    }
+}
+
+TEST(Confidence, ExactWhenCpiIsUniform)
+{
+    auto spec = workloads::findSpec("gms", 3000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    sampling::SieveSampler sieve;
+    sampling::SamplingResult strata = sieve.sample(wl);
+    auto plan = sampling::measurementPlan(strata, 2);
+
+    // Constant CPI everywhere: zero variance, exact prediction.
+    std::vector<gpu::KernelResult> fake(wl.numInvocations());
+    const double cpi = 0.01;
+    double total = 0.0;
+    for (size_t i = 0; i < fake.size(); ++i) {
+        double insts =
+            static_cast<double>(wl.invocation(i).instructions());
+        fake[i].cycles = insts * cpi;
+        fake[i].ipc = 1.0 / cpi;
+        total += fake[i].cycles;
+    }
+    sampling::PredictionInterval interval =
+        sampling::predictWithConfidence(strata, wl, plan, fake);
+    EXPECT_NEAR(interval.predictedCycles, total, 1e-6 * total);
+    EXPECT_NEAR(interval.standardError, 0.0, 1e-9 * total);
+    EXPECT_NEAR(interval.relativeHalfWidth(), 0.0, 1e-9);
+}
+
+TEST(Confidence, VarianceWidensTheInterval)
+{
+    auto spec = workloads::findSpec("spt", 3000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    sampling::SieveSampler sieve;
+    sampling::SamplingResult strata = sieve.sample(wl);
+    auto plan = sampling::measurementPlan(strata, 2);
+
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+    std::vector<gpu::KernelResult> sparse(wl.numInvocations());
+    for (const auto &picks : plan) {
+        for (size_t idx : picks)
+            sparse[idx] = hw.run(wl.invocation(idx));
+    }
+    sampling::PredictionInterval narrow =
+        sampling::predictWithConfidence(strata, wl, plan, sparse,
+                                        1.0);
+    sampling::PredictionInterval wide =
+        sampling::predictWithConfidence(strata, wl, plan, sparse,
+                                        3.0);
+    EXPECT_GT(wide.halfWidth, narrow.halfWidth);
+    EXPECT_DOUBLE_EQ(wide.predictedCycles, narrow.predictedCycles);
+    EXPECT_GT(narrow.standardError, 0.0); // drift strata have spread
+}
+
+TEST(InstanceSalt, RegistryPinsAreStable)
+{
+    // The pinned instances must stay pinned: the registry encodes
+    // which synthetic instance reproduces the paper's per-workload
+    // identities.
+    auto spt = workloads::findSpec("spt");
+    EXPECT_EQ(spt->seedSalt, "z");
+    auto rnnt = workloads::findSpec("rnnt");
+    EXPECT_EQ(rnnt->seedSalt, "e");
+    auto cfd = workloads::findSpec("cfd");
+    EXPECT_EQ(cfd->seedSalt, "h");
+    auto lgt = workloads::findSpec("lgt");
+    EXPECT_EQ(lgt->seedSalt, "i");
+}
+
+} // namespace
+} // namespace sieve

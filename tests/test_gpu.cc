@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the architecture configs, occupancy arithmetic, and the
+ * analytical hardware executor (the golden-reference stand-in).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpu/arch_config.hh"
+#include "gpu/hardware_executor.hh"
+#include "gpu/occupancy.hh"
+#include "trace/workload.hh"
+
+namespace sieve::gpu {
+namespace {
+
+using trace::KernelInvocation;
+using trace::LaunchConfig;
+
+KernelInvocation
+makeInvocation(uint64_t warp_insts, uint32_t cta_size = 256,
+               uint64_t ctas = 4096)
+{
+    KernelInvocation inv;
+    inv.kernelId = 0;
+    inv.launch.grid = {static_cast<uint32_t>(ctas), 1, 1};
+    inv.launch.cta = {cta_size, 1, 1};
+    inv.mix.instructionCount = warp_insts;
+    inv.mix.numThreadBlocks = ctas;
+    inv.mix.threadGlobalLoads = warp_insts * 4; // light traffic
+    inv.mix.coalescedGlobalLoads = warp_insts / 8;
+    inv.memory.l1Locality = 0.5;
+    inv.memory.l2Locality = 0.5;
+    inv.memory.workingSetBytes = 1 << 20;
+    inv.noiseSeed = 42;
+    return inv;
+}
+
+TEST(ArchConfig, PaperPlatformParameters)
+{
+    ArchConfig ampere = ArchConfig::ampereRtx3080();
+    EXPECT_EQ(ampere.numSms, 68u);
+    EXPECT_DOUBLE_EQ(ampere.dramBandwidthGBps, 760.0);
+    ArchConfig turing = ArchConfig::turingRtx2080Ti();
+    EXPECT_EQ(turing.numSms, 68u);
+    EXPECT_DOUBLE_EQ(turing.dramBandwidthGBps, 616.0);
+    EXPECT_GT(ampere.coreClockGhz, turing.coreClockGhz);
+    EXPECT_GT(turing.l2SizeBytes, ampere.l2SizeBytes);
+    EXPECT_EQ(ampere.fp32LanesPerSm, 2 * turing.fp32LanesPerSm);
+}
+
+TEST(Occupancy, ThreadLimit)
+{
+    ArchConfig arch = ArchConfig::ampereRtx3080(); // 1536 thr/SM
+    LaunchConfig launch;
+    launch.cta = {512, 1, 1};
+    launch.regsPerThread = 16;
+    EXPECT_EQ(maxResidentCtas(arch, launch), 3u);
+}
+
+TEST(Occupancy, RegisterLimit)
+{
+    ArchConfig arch = ArchConfig::ampereRtx3080(); // 64K regs/SM
+    LaunchConfig launch;
+    launch.cta = {256, 1, 1};
+    launch.regsPerThread = 128; // 32K regs per CTA -> 2 CTAs
+    EXPECT_EQ(maxResidentCtas(arch, launch), 2u);
+}
+
+TEST(Occupancy, SharedMemoryLimit)
+{
+    ArchConfig arch = ArchConfig::ampereRtx3080(); // 100 KB/SM
+    LaunchConfig launch;
+    launch.cta = {64, 1, 1};
+    launch.regsPerThread = 16;
+    launch.sharedMemBytes = 48 << 10; // only 2 fit
+    EXPECT_EQ(maxResidentCtas(arch, launch), 2u);
+}
+
+TEST(Occupancy, WarpSlotLimit)
+{
+    ArchConfig arch = ArchConfig::turingRtx2080Ti(); // 32 warps/SM
+    LaunchConfig launch;
+    launch.cta = {1024, 1, 1}; // 32 warps per CTA
+    launch.regsPerThread = 16;
+    EXPECT_EQ(maxResidentCtas(arch, launch), 1u);
+}
+
+TEST(OccupancyDeathTest, OversizedCtaIsFatal)
+{
+    ArchConfig arch = ArchConfig::turingRtx2080Ti();
+    LaunchConfig launch;
+    launch.cta = {2048, 1, 1}; // exceeds 1024 threads/SM
+    EXPECT_EXIT(maxResidentCtas(arch, launch),
+                ::testing::ExitedWithCode(1), "cannot run");
+}
+
+TEST(HardwareExecutor, Deterministic)
+{
+    HardwareExecutor hw(ArchConfig::ampereRtx3080());
+    KernelInvocation inv = makeInvocation(1'000'000);
+    KernelResult a = hw.run(inv);
+    KernelResult b = hw.run(inv);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+}
+
+TEST(HardwareExecutor, NoiseVariesWithSeedOnly)
+{
+    HardwareExecutor hw(ArchConfig::ampereRtx3080());
+    KernelInvocation a = makeInvocation(1'000'000);
+    KernelInvocation b = a;
+    b.noiseSeed = 43;
+    double ca = hw.run(a).cycles;
+    double cb = hw.run(b).cycles;
+    EXPECT_NE(ca, cb);
+    EXPECT_NEAR(cb / ca, 1.0, 0.05); // noise is small
+}
+
+TEST(HardwareExecutor, ZeroNoiseIsExactlyRepeatable)
+{
+    HardwareExecutor hw(ArchConfig::ampereRtx3080(), 0.0);
+    KernelInvocation a = makeInvocation(1'000'000);
+    KernelInvocation b = a;
+    b.noiseSeed = 999; // must not matter with noise disabled
+    EXPECT_DOUBLE_EQ(hw.run(a).cycles, hw.run(b).cycles);
+}
+
+TEST(HardwareExecutor, CyclesGrowWithInstructions)
+{
+    HardwareExecutor hw(ArchConfig::ampereRtx3080(), 0.0);
+    double prev = 0.0;
+    for (uint64_t insts : {100'000ULL, 1'000'000ULL, 10'000'000ULL}) {
+        double cycles =
+            hw.run(makeInvocation(insts, 256, insts / 256)).cycles;
+        EXPECT_GT(cycles, prev);
+        prev = cycles;
+    }
+}
+
+TEST(HardwareExecutor, IpcIsSizeStableForLargeGrids)
+{
+    // Two invocations of the same kernel differing 2x in size should
+    // have nearly identical IPC once the machine is saturated — the
+    // property that makes Sieve's Tier-2 strata predictable.
+    HardwareExecutor hw(ArchConfig::ampereRtx3080(), 0.0);
+    KernelInvocation small = makeInvocation(8'000'000, 256, 8000);
+    KernelInvocation big = makeInvocation(16'000'000, 256, 16000);
+    double ipc_small = hw.run(small).ipc;
+    double ipc_big = hw.run(big).ipc;
+    EXPECT_NEAR(ipc_big / ipc_small, 1.0, 0.05);
+}
+
+TEST(HardwareExecutor, BandwidthBoundKernelTracksDramBandwidth)
+{
+    // A streaming kernel's Ampere/Turing time ratio should approach
+    // the DRAM bandwidth ratio.
+    KernelInvocation inv = makeInvocation(10'000'000, 256, 40000);
+    inv.mix.threadGlobalLoads = 8 * inv.mix.instructionCount;
+    inv.mix.coalescedGlobalLoads = inv.mix.instructionCount / 2;
+    inv.mix.coalescedGlobalStores = inv.mix.instructionCount / 4;
+    inv.memory.l1Locality = 0.05;
+    inv.memory.l2Locality = 0.05;
+    inv.memory.workingSetBytes = 1ULL << 30; // far beyond any cache
+    inv.memory.ilp = 8.0;
+
+    HardwareExecutor ampere(ArchConfig::ampereRtx3080(), 0.0);
+    HardwareExecutor turing(ArchConfig::turingRtx2080Ti(), 0.0);
+    KernelResult ra = ampere.run(inv);
+    KernelResult rt = turing.run(inv);
+
+    EXPECT_EQ(ra.bound, KernelResult::Bound::Memory);
+    double speedup = rt.timeUs / ra.timeUs;
+    EXPECT_NEAR(speedup, 760.0 / 616.0, 0.12);
+}
+
+TEST(HardwareExecutor, ComputeBoundKernelTracksFp32Throughput)
+{
+    // An FFMA-dominated kernel should speed up roughly with the FP32
+    // rate (lanes x clock) between the two platforms.
+    KernelInvocation inv = makeInvocation(50'000'000, 256, 50000);
+    inv.mix.threadGlobalLoads = inv.mix.instructionCount / 100;
+    inv.mix.coalescedGlobalLoads = inv.mix.instructionCount / 3200;
+    inv.memory.longLatencyFrac = 0.0;
+    inv.memory.l1Locality = 0.9;
+    inv.memory.l2Locality = 0.9;
+    inv.memory.workingSetBytes = 1 << 18;
+
+    HardwareExecutor ampere(ArchConfig::ampereRtx3080(), 0.0);
+    HardwareExecutor turing(ArchConfig::turingRtx2080Ti(), 0.0);
+    KernelResult ra = ampere.run(inv);
+    KernelResult rt = turing.run(inv);
+
+    EXPECT_EQ(ra.bound, KernelResult::Bound::Compute);
+    double speedup = rt.timeUs / ra.timeUs;
+    double fp32_ratio = (128.0 * 1.71) / (64.0 * 1.545);
+    EXPECT_GT(speedup, 1.5);
+    EXPECT_LT(speedup, fp32_ratio + 0.2);
+}
+
+TEST(HardwareExecutor, L2CapacityCliffFavoursTuring)
+{
+    // Working set between the two L2 sizes: latency-bound kernels run
+    // *slower* on Ampere (the lmc/lmr effect of Fig. 9).
+    KernelInvocation inv = makeInvocation(5'000'000, 128, 20000);
+    inv.mix.threadGlobalLoads = 8 * inv.mix.instructionCount;
+    inv.mix.coalescedGlobalLoads = inv.mix.instructionCount;
+    inv.memory.l1Locality = 0.1;
+    inv.memory.l2Locality = 0.95;
+    inv.memory.workingSetBytes = 5'450'000;
+    inv.memory.ilp = 1.0;
+
+    HardwareExecutor ampere(ArchConfig::ampereRtx3080(), 0.0);
+    HardwareExecutor turing(ArchConfig::turingRtx2080Ti(), 0.0);
+    double speedup = turing.run(inv).timeUs / ampere.run(inv).timeUs;
+    EXPECT_LT(speedup, 1.0);
+}
+
+TEST(HardwareExecutor, LaunchBoundClassification)
+{
+    HardwareExecutor hw(ArchConfig::ampereRtx3080(), 0.0);
+    KernelInvocation tiny = makeInvocation(2'000, 64, 64);
+    tiny.mix.threadGlobalLoads = 0; // compute-only helper kernel
+    tiny.mix.coalescedGlobalLoads = 0;
+    EXPECT_EQ(hw.run(tiny).bound, KernelResult::Bound::Launch);
+}
+
+TEST(HardwareExecutor, WorkloadTotalsAreSums)
+{
+    HardwareExecutor hw(ArchConfig::ampereRtx3080(), 0.0);
+    trace::Workload wl("s", "n");
+    wl.addKernel("k");
+    for (int i = 0; i < 5; ++i) {
+        KernelInvocation inv = makeInvocation(500'000 * (i + 1));
+        inv.kernelId = 0;
+        wl.addInvocation(std::move(inv));
+    }
+    WorkloadResult result = hw.runWorkload(wl);
+    ASSERT_EQ(result.perInvocation.size(), 5u);
+    double sum = 0.0;
+    for (const auto &r : result.perInvocation)
+        sum += r.cycles;
+    EXPECT_NEAR(result.totalCycles, sum, 1e-6);
+    EXPECT_EQ(result.totalInstructions, wl.totalInstructions());
+    EXPECT_GT(result.ipc(), 0.0);
+}
+
+/** Arch sweep: fundamental sanity on both platforms. */
+class ExecutorArchSweep
+    : public ::testing::TestWithParam<const char *>
+{
+  public:
+    static ArchConfig
+    configFor(const std::string &name)
+    {
+        return name == "ampere" ? ArchConfig::ampereRtx3080()
+                                : ArchConfig::turingRtx2080Ti();
+    }
+};
+
+TEST_P(ExecutorArchSweep, IpcWithinIssueBounds)
+{
+    ArchConfig arch = configFor(GetParam());
+    HardwareExecutor hw(arch, 0.0);
+    KernelResult r = hw.run(makeInvocation(10'000'000, 256, 40000));
+    EXPECT_GT(r.ipc, 0.0);
+    // GPU-wide IPC can never beat SMs x schedulers.
+    EXPECT_LE(r.ipc, static_cast<double>(arch.numSms) *
+                         arch.schedulersPerSm);
+}
+
+TEST_P(ExecutorArchSweep, TimeMatchesCyclesAndClock)
+{
+    ArchConfig arch = configFor(GetParam());
+    HardwareExecutor hw(arch, 0.0);
+    KernelResult r = hw.run(makeInvocation(2'000'000));
+    EXPECT_NEAR(r.timeUs, r.cycles / (arch.coreClockGhz * 1e3),
+                1e-9 * r.timeUs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, ExecutorArchSweep,
+                         ::testing::Values("ampere", "turing"));
+
+} // namespace
+} // namespace sieve::gpu

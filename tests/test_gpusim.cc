@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Tests for the cycle-level simulator substrate: caches, DRAM model,
+ * trace synthesis, and the full trace-driven simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "gpu/hardware_executor.hh"
+#include "gpusim/cache.hh"
+#include "gpusim/dram.hh"
+#include "gpusim/memory_system.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "gpusim/trace_synth.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::gpusim {
+namespace {
+
+// --- cache ---
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(16, 2, 8);
+    EXPECT_EQ(cache.access(100, 0), CacheOutcome::Miss);
+    cache.fill(100);
+    EXPECT_EQ(cache.access(100, 1), CacheOutcome::Hit);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, MshrMergeAndFull)
+{
+    Cache cache(16, 2, 2);
+    EXPECT_EQ(cache.access(1, 0), CacheOutcome::Miss);
+    EXPECT_EQ(cache.access(1, 1), CacheOutcome::MshrMerge);
+    EXPECT_EQ(cache.access(2, 2), CacheOutcome::Miss);
+    EXPECT_EQ(cache.access(3, 3), CacheOutcome::MshrFull);
+    cache.fill(1);
+    EXPECT_EQ(cache.access(3, 4), CacheOutcome::Miss);
+    EXPECT_EQ(cache.stats().mshrMerges, 1u);
+    EXPECT_EQ(cache.stats().mshrStalls, 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // One set (sets=1), 2 ways: the least-recently-used line leaves.
+    Cache cache(1, 2, 8);
+    cache.access(10, 0);
+    cache.fill(10);
+    cache.access(20, 1);
+    cache.fill(20);
+    EXPECT_EQ(cache.access(10, 2), CacheOutcome::Hit); // 10 now MRU
+    cache.access(30, 3);
+    cache.fill(30); // evicts 20
+    EXPECT_EQ(cache.access(10, 4), CacheOutcome::Hit);
+    EXPECT_EQ(cache.access(20, 5), CacheOutcome::Miss);
+}
+
+TEST(Cache, SetIsolation)
+{
+    Cache cache(2, 1, 8);
+    cache.access(0, 0); // set 0
+    cache.fill(0);
+    cache.access(1, 1); // set 1
+    cache.fill(1);
+    EXPECT_EQ(cache.access(0, 2), CacheOutcome::Hit);
+    EXPECT_EQ(cache.access(1, 3), CacheOutcome::Hit);
+}
+
+TEST(Cache, FromCapacityGeometry)
+{
+    // 64 KB, 128 B lines, 8-way -> 64 sets (power of two).
+    Cache cache = Cache::fromCapacity(64 << 10, 128, 8, 16);
+    (void)cache;
+    // 100 KB -> rounds down to a power-of-two set count; access works.
+    Cache odd = Cache::fromCapacity(100 << 10, 128, 8, 16);
+    EXPECT_EQ(odd.access(12345, 0), CacheOutcome::Miss);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache cache(4, 1, 4);
+    cache.access(5, 0);
+    cache.fill(5);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_EQ(cache.access(5, 0), CacheOutcome::Miss);
+}
+
+// --- DRAM ---
+
+TEST(Dram, LatencyOnIdlePipe)
+{
+    DramModel dram(32.0, 400.0);
+    EXPECT_EQ(dram.request(32, 100), 501u); // 1 service + 400 latency
+}
+
+TEST(Dram, BandwidthSerializesRequests)
+{
+    DramModel dram(32.0, 0.0);
+    uint64_t first = dram.request(3200, 0);  // 100 cycles of service
+    uint64_t second = dram.request(3200, 0); // queues behind
+    EXPECT_EQ(first, 100u);
+    EXPECT_EQ(second, 200u);
+}
+
+TEST(Dram, TracksStats)
+{
+    DramModel dram(64.0, 100.0);
+    dram.request(128, 0);
+    dram.request(256, 0);
+    EXPECT_EQ(dram.stats().requests, 2u);
+    EXPECT_EQ(dram.stats().bytes, 384u);
+}
+
+// --- memory system (sliced L2 + channels) ---
+
+TEST(MemorySystem, ScalesSlicesWithMachineFraction)
+{
+    gpu::ArchConfig arch = gpu::ArchConfig::ampereRtx3080();
+    MemorySystem full(arch, 1.0);
+    MemorySystem slice(arch, 4.0 / 68.0);
+    EXPECT_EQ(full.numSlices(), 32u);
+    EXPECT_EQ(full.numChannels(), 8u);
+    EXPECT_LT(slice.numSlices(), full.numSlices());
+    EXPECT_GE(slice.numSlices(), 1u);
+}
+
+TEST(MemorySystem, HitAfterFill)
+{
+    gpu::ArchConfig arch = gpu::ArchConfig::ampereRtx3080();
+    MemorySystem mem(arch, 1.0);
+    uint64_t first = mem.accessGlobal(42, 128, 0);
+    uint64_t second = mem.accessGlobal(42, 128, first);
+    // The second access hits in L2: far cheaper than the DRAM trip.
+    EXPECT_LT(second - first, first);
+    EXPECT_EQ(mem.l2Stats().hits, 1u);
+    EXPECT_EQ(mem.l2Stats().misses, 1u);
+}
+
+TEST(MemorySystem, ChannelsAbsorbSpreadTraffic)
+{
+    // Many distinct lines spread over channels: aggregate service is
+    // faster than if they all serialized on one channel.
+    gpu::ArchConfig arch = gpu::ArchConfig::ampereRtx3080();
+    MemorySystem mem(arch, 1.0);
+    uint64_t worst_ready = 0;
+    const int n = 64;
+    for (int i = 0; i < n; ++i) {
+        worst_ready = std::max(
+            worst_ready, mem.accessGlobal(1000 + i * 13, 128, 0));
+    }
+    // One channel would take n * bytes / channel_bw + latency.
+    double channel_bw = arch.dramBytesPerClk() / 8.0;
+    double serial = n * 128.0 / channel_bw + arch.dramLatencyCycles;
+    EXPECT_LT(static_cast<double>(worst_ready), serial);
+}
+
+TEST(MemorySystem, AtomicsSerializePerSlice)
+{
+    gpu::ArchConfig arch = gpu::ArchConfig::ampereRtx3080();
+    MemorySystem mem(arch, 1.0);
+    uint64_t line = 7;
+    mem.atomic(line, 0); // warm the line into L2
+
+    // A burst to the same line drains through the slice's atomic
+    // pipe at one op per 4 cycles.
+    uint64_t first = mem.atomic(line, 100);
+    uint64_t last = first;
+    for (int i = 0; i < 9; ++i)
+        last = mem.atomic(line, 100);
+    EXPECT_GE(last, first + 9 * 4);
+}
+
+TEST(MemorySystem, ResetClearsState)
+{
+    gpu::ArchConfig arch = gpu::ArchConfig::ampereRtx3080();
+    MemorySystem mem(arch, 1.0);
+    mem.accessGlobal(5, 128, 0);
+    mem.reset();
+    EXPECT_EQ(mem.l2Stats().accesses, 0u);
+    EXPECT_EQ(mem.dramStats().requests, 0u);
+}
+
+// --- trace synthesis ---
+
+struct Prepared
+{
+    trace::Workload workload;
+};
+
+Prepared
+prepare(const std::string &name, size_t cap = 2000)
+{
+    auto spec = workloads::findSpec(name, cap);
+    return {workloads::generateWorkload(*spec)};
+}
+
+TEST(TraceSynth, Deterministic)
+{
+    Prepared p = prepare("gru");
+    trace::KernelTrace a = synthesizeTrace(p.workload, 0);
+    trace::KernelTrace b = synthesizeTrace(p.workload, 0);
+    ASSERT_EQ(a.tracedInstructions(), b.tracedInstructions());
+    ASSERT_EQ(a.ctas.size(), b.ctas.size());
+    EXPECT_EQ(a.ctas[0].warps[0].instructions[0].lineAddress,
+              b.ctas[0].warps[0].instructions[0].lineAddress);
+}
+
+TEST(TraceSynth, ReplicationCoversTheGrid)
+{
+    Prepared p = prepare("lmc");
+    const auto &inv = p.workload.invocation(0);
+    TraceSynthOptions options;
+    options.maxTracedCtas = 16;
+    trace::KernelTrace kt = synthesizeTrace(p.workload, 0, options);
+    EXPECT_LE(kt.ctas.size(), 16u);
+    EXPECT_GE(kt.ctas.size() * kt.ctaReplication,
+              inv.launch.numCtas());
+    EXPECT_LT((kt.ctas.size() - 1) * kt.ctaReplication,
+              inv.launch.numCtas());
+}
+
+TEST(TraceSynth, MixFractionsRoughlyMatch)
+{
+    Prepared p = prepare("lmc");
+    // Find a memory-heavy invocation for a robust comparison.
+    size_t idx = 0;
+    for (size_t i = 0; i < p.workload.numInvocations(); ++i) {
+        if (p.workload.invocation(i).mix.memoryIntensity() > 0.1) {
+            idx = i;
+            break;
+        }
+    }
+    const auto &inv = p.workload.invocation(idx);
+    trace::KernelTrace kt = synthesizeTrace(p.workload, idx);
+
+    uint64_t loads = 0;
+    uint64_t total = 0;
+    for (const auto &cta : kt.ctas) {
+        for (const auto &warp : cta.warps) {
+            for (const auto &inst : warp.instructions) {
+                total += 1;
+                loads += inst.opcode == trace::Opcode::Ldg;
+            }
+        }
+    }
+    double lanes = std::max(inv.mix.divergenceEfficiency * 32.0, 1.0);
+    double expected = static_cast<double>(inv.mix.threadGlobalLoads) /
+                      lanes /
+                      static_cast<double>(inv.mix.instructionCount);
+    double actual = static_cast<double>(loads) /
+                    static_cast<double>(total);
+    EXPECT_NEAR(actual, expected, 0.35 * expected + 0.01);
+}
+
+TEST(TraceSynth, EveryWarpEndsWithExit)
+{
+    Prepared p = prepare("gru");
+    trace::KernelTrace kt = synthesizeTrace(p.workload, 3);
+    for (const auto &cta : kt.ctas) {
+        for (const auto &warp : cta.warps) {
+            ASSERT_FALSE(warp.instructions.empty());
+            EXPECT_EQ(warp.instructions.back().opcode,
+                      trace::Opcode::Exit);
+        }
+    }
+}
+
+// --- simulator ---
+
+TEST(GpuSimulator, SimulatesASmallTrace)
+{
+    Prepared p = prepare("gru");
+    TraceSynthOptions options;
+    options.maxTracedCtas = 4;
+    trace::KernelTrace kt = synthesizeTrace(p.workload, 0, options);
+
+    GpuSimulator sim(gpu::ArchConfig::ampereRtx3080());
+    KernelSimResult result = sim.simulate(kt);
+
+    EXPECT_GT(result.simCycles, 0u);
+    EXPECT_EQ(result.instructionsSimulated, kt.tracedInstructions());
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_GT(result.estimatedKernelCycles, 0.0);
+    EXPECT_GT(result.l1.accesses, 0u);
+}
+
+TEST(GpuSimulator, Deterministic)
+{
+    Prepared p = prepare("gms");
+    TraceSynthOptions options;
+    options.maxTracedCtas = 4;
+    trace::KernelTrace kt = synthesizeTrace(p.workload, 1, options);
+    GpuSimulator sim(gpu::ArchConfig::ampereRtx3080());
+    KernelSimResult a = sim.simulate(kt);
+    KernelSimResult b = sim.simulate(kt);
+    EXPECT_EQ(a.simCycles, b.simCycles);
+    EXPECT_EQ(a.l1.hits, b.l1.hits);
+}
+
+TEST(GpuSimulator, MemoryHeavyTraceHasLowerIpc)
+{
+    trace::KernelTrace compute;
+    compute.kernelName = "compute";
+    compute.launch.grid = {8, 1, 1};
+    compute.launch.cta = {64, 1, 1};
+    trace::KernelTrace memory = compute;
+    memory.kernelName = "memory";
+
+    Rng rng(77);
+    for (int c = 0; c < 8; ++c) {
+        trace::CtaTrace cta_c;
+        trace::CtaTrace cta_m;
+        for (int w = 0; w < 2; ++w) {
+            trace::WarpTrace warp_c;
+            trace::WarpTrace warp_m;
+            for (int i = 0; i < 400; ++i) {
+                trace::SassInstruction inst;
+                inst.destReg = static_cast<uint8_t>(8 + i % 16);
+                inst.srcReg0 = static_cast<uint8_t>(8 + (i + 8) % 16);
+                inst.opcode = trace::Opcode::FFma;
+                warp_c.instructions.push_back(inst);
+
+                inst.opcode = (i % 2 == 0) ? trace::Opcode::Ldg
+                                           : trace::Opcode::IAdd;
+                inst.sectors = 8;
+                inst.lineAddress = rng.next() % 1'000'000;
+                warp_m.instructions.push_back(inst);
+            }
+            trace::SassInstruction exit;
+            exit.opcode = trace::Opcode::Exit;
+            warp_c.instructions.push_back(exit);
+            warp_m.instructions.push_back(exit);
+            cta_c.warps.push_back(std::move(warp_c));
+            cta_m.warps.push_back(std::move(warp_m));
+        }
+        compute.ctas.push_back(std::move(cta_c));
+        memory.ctas.push_back(std::move(cta_m));
+    }
+
+    GpuSimulator sim(gpu::ArchConfig::ampereRtx3080());
+    double ipc_compute = sim.simulate(compute).ipc;
+    double ipc_memory = sim.simulate(memory).ipc;
+    EXPECT_GT(ipc_compute, 2.0 * ipc_memory);
+}
+
+TEST(GpuSimulator, DivergentBranchesSlowTheWarp)
+{
+    // Same instruction stream, with and without divergent branches.
+    auto build = [](bool divergent) {
+        trace::KernelTrace kt;
+        kt.kernelName = divergent ? "div" : "uniform";
+        kt.launch.grid = {8, 1, 1};
+        kt.launch.cta = {128, 1, 1};
+        for (int c = 0; c < 8; ++c) {
+            trace::CtaTrace cta;
+            for (int w = 0; w < 4; ++w) {
+                trace::WarpTrace warp;
+                for (int i = 0; i < 300; ++i) {
+                    trace::SassInstruction inst;
+                    if ((i + 1) % 10 == 0) {
+                        inst.opcode = trace::Opcode::Bra;
+                        inst.activeLanes = 32;
+                        inst.sectors = divergent ? 16 : 32;
+                    } else {
+                        inst.opcode = trace::Opcode::IAdd;
+                        inst.destReg =
+                            static_cast<uint8_t>(8 + i % 16);
+                    }
+                    warp.instructions.push_back(inst);
+                }
+                trace::SassInstruction exit;
+                exit.opcode = trace::Opcode::Exit;
+                warp.instructions.push_back(exit);
+                cta.warps.push_back(std::move(warp));
+            }
+            kt.ctas.push_back(std::move(cta));
+        }
+        return kt;
+    };
+
+    GpuSimulator sim(gpu::ArchConfig::ampereRtx3080());
+    uint64_t uniform = sim.simulate(build(false)).simCycles;
+    uint64_t divergent = sim.simulate(build(true)).simCycles;
+    EXPECT_GT(divergent, uniform + uniform / 4);
+}
+
+TEST(GpuSimulator, CorrelatesWithAnalyticalExecutor)
+{
+    // The two timing models are independent implementations; their
+    // per-invocation cycle estimates must at least order workload
+    // invocations consistently (rank correlation).
+    Prepared p = prepare("lmc", 1500);
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080(), 0.0);
+    GpuSimulator sim(gpu::ArchConfig::ampereRtx3080());
+
+    TraceSynthOptions options;
+    options.maxTracedCtas = 8;
+
+    std::vector<double> analytical;
+    std::vector<double> simulated;
+    for (size_t i = 0; i < 12; ++i) {
+        size_t idx = i * p.workload.numInvocations() / 12;
+        analytical.push_back(hw.run(p.workload.invocation(idx)).cycles);
+        trace::KernelTrace kt =
+            synthesizeTrace(p.workload, idx, options);
+        simulated.push_back(sim.simulate(kt).estimatedKernelCycles);
+    }
+
+    // Spearman rank correlation.
+    auto ranks = [](const std::vector<double> &v) {
+        std::vector<size_t> order(v.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return v[a] < v[b];
+        });
+        std::vector<double> r(v.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            r[order[i]] = static_cast<double>(i);
+        return r;
+    };
+    auto ra = ranks(analytical);
+    auto rs = ranks(simulated);
+    double n = static_cast<double>(ra.size());
+    double d2 = 0.0;
+    for (size_t i = 0; i < ra.size(); ++i)
+        d2 += (ra[i] - rs[i]) * (ra[i] - rs[i]);
+    double spearman = 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+    EXPECT_GT(spearman, 0.7);
+}
+
+TEST(GpuSimulator, ArchSensitivity)
+{
+    // A compute-heavy trace should run faster (fewer estimated
+    // cycles x higher clock) on Ampere than Turing.
+    Prepared p = prepare("dcg", 1500);
+    // Pick the largest invocation: most likely compute-bound GEMM.
+    size_t idx = 0;
+    for (size_t i = 0; i < p.workload.numInvocations(); ++i) {
+        if (p.workload.invocation(i).instructions() >
+            p.workload.invocation(idx).instructions())
+            idx = i;
+    }
+    TraceSynthOptions options;
+    options.maxTracedCtas = 8;
+    trace::KernelTrace kt = synthesizeTrace(p.workload, idx, options);
+
+    GpuSimulator ampere(gpu::ArchConfig::ampereRtx3080());
+    GpuSimulator turing(gpu::ArchConfig::turingRtx2080Ti());
+    double time_a = ampere.simulate(kt).estimatedKernelCycles / 1.71;
+    double time_t = turing.simulate(kt).estimatedKernelCycles / 1.545;
+    EXPECT_LT(time_a, time_t);
+}
+
+TEST(GpuSimulatorDeathTest, BadConfigIsFatal)
+{
+    GpuSimConfig cfg;
+    cfg.simSms = 0;
+    EXPECT_EXIT(GpuSimulator(gpu::ArchConfig::ampereRtx3080(), cfg),
+                ::testing::ExitedWithCode(1), "simSms");
+}
+
+} // namespace
+} // namespace sieve::gpusim

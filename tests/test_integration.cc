@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Integration tests: the full pipeline from workload generation
+ * through golden execution, both samplers, and the evaluation
+ * metrics — asserting the paper's headline relationships hold on the
+ * generated suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hh"
+#include "eval/experiment.hh"
+#include "eval/report.hh"
+#include "profiler/profilers.hh"
+#include "trace/profile_io.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::eval {
+namespace {
+
+/** Shared context so expensive golden runs happen once per suite. */
+ExperimentContext &
+sharedContext()
+{
+    static ExperimentContext ctx;
+    return ctx;
+}
+
+TEST(Integration, SieveBeatsPksOnChallengingSuites)
+{
+    double sieve_sum = 0.0;
+    double pks_sum = 0.0;
+    size_t n = 0;
+    for (const auto &spec : workloads::challengingSpecs(6000)) {
+        WorkloadOutcome outcome = sharedContext().run(spec);
+        sieve_sum += outcome.sieve.error;
+        pks_sum += outcome.pks.error;
+        ++n;
+        // Per-workload: Sieve stays in single digits everywhere.
+        EXPECT_LT(outcome.sieve.error, 0.10) << spec.name;
+    }
+    double sieve_avg = sieve_sum / static_cast<double>(n);
+    double pks_avg = pks_sum / static_cast<double>(n);
+    EXPECT_LT(sieve_avg, 0.03);
+    EXPECT_GT(pks_avg, 3.0 * sieve_avg);
+}
+
+TEST(Integration, BothAccurateOnTraditionalSuites)
+{
+    for (const auto &spec : workloads::traditionalSpecs(6000)) {
+        WorkloadOutcome outcome = sharedContext().run(spec);
+        EXPECT_LT(outcome.sieve.error, 0.05) << spec.name;
+        if (spec.name != "cfd") // the paper's own PKS outlier
+            EXPECT_LT(outcome.pks.error, 0.30) << spec.name;
+    }
+}
+
+TEST(Integration, SpeedupsAreSubstantial)
+{
+    for (const auto &spec : workloads::challengingSpecs(6000)) {
+        WorkloadOutcome outcome = sharedContext().run(spec);
+        if (spec.name == "gst") {
+            // Dominant-invocation structure caps the speedup (paper
+            // Section V-B).
+            EXPECT_LT(outcome.sieve.speedup, 20.0);
+            continue;
+        }
+        EXPECT_GT(outcome.sieve.speedup, 20.0) << spec.name;
+        EXPECT_GT(outcome.pks.speedup, 20.0) << spec.name;
+    }
+}
+
+TEST(Integration, SieveDispersionBelowPks)
+{
+    size_t sieve_wins = 0;
+    size_t total = 0;
+    for (const auto &spec : workloads::challengingSpecs(6000)) {
+        WorkloadOutcome outcome = sharedContext().run(spec);
+        sieve_wins += outcome.sieve.weightedClusterCov <
+                      outcome.pks.weightedClusterCov;
+        ++total;
+    }
+    EXPECT_GE(sieve_wins, total - 2);
+}
+
+TEST(Integration, OutcomesAreReproducible)
+{
+    auto spec = workloads::findSpec("lmr", 6000);
+    ExperimentContext fresh1;
+    ExperimentContext fresh2;
+    WorkloadOutcome a = fresh1.run(*spec);
+    WorkloadOutcome b = fresh2.run(*spec);
+    EXPECT_DOUBLE_EQ(a.sieve.error, b.sieve.error);
+    EXPECT_DOUBLE_EQ(a.pks.error, b.pks.error);
+    EXPECT_DOUBLE_EQ(a.sieve.speedup, b.sieve.speedup);
+    EXPECT_EQ(a.sieveResult.numRepresentatives(),
+              b.sieveResult.numRepresentatives());
+}
+
+TEST(Integration, CsvProfilePipelineIsConsistent)
+{
+    // The CSV written by the NVBit front-end carries exactly the
+    // information the Sieve backend uses: rebuilding per-kernel
+    // count vectors from it reproduces the sampler's stratum count.
+    auto spec = workloads::findSpec("gru", 4000);
+    const trace::Workload &wl = sharedContext().workload(*spec);
+
+    CsvTable csv = profiler::NvbitProfiler().collect(wl);
+    auto rows = trace::parseSieveProfile(csv);
+    ASSERT_EQ(rows.size(), wl.numInvocations());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].instructionCount,
+                  wl.invocation(i).instructions());
+        EXPECT_EQ(rows[i].kernelName,
+                  wl.kernel(wl.invocation(i).kernelId).name);
+    }
+}
+
+TEST(Integration, ProfilingSpeedupInBand)
+{
+    // Fig. 7 shape: Sieve profiling is faster everywhere, with the
+    // larger gains on MLPerf.
+    double cactus_max = 0.0;
+    double mlperf_min = 1e9;
+    for (const auto &spec : workloads::challengingSpecs(6000)) {
+        const trace::Workload &wl = sharedContext().workload(spec);
+        const gpu::WorkloadResult &gold = sharedContext().golden(spec);
+        profiler::ProfilingTimes times =
+            profiler::estimateProfilingTimes(wl, gold);
+        EXPECT_GT(times.speedup(), 1.5) << spec.name;
+        EXPECT_LT(times.speedup(), 200.0) << spec.name;
+        if (spec.suite == "cactus")
+            cactus_max = std::max(cactus_max, times.speedup());
+        else
+            mlperf_min = std::min(mlperf_min, times.speedup());
+    }
+    EXPECT_GT(mlperf_min, 2.0);
+}
+
+TEST(Integration, ReportCsvModeMatchesTable)
+{
+    Report report("CSV mode check");
+    report.setColumns({"name", "value"});
+    report.addRow({"a", "1"});
+    report.addRule();
+    report.addRow({"b", "2"});
+
+    std::ostringstream oss;
+    report.writeCsv(oss);
+    std::istringstream iss(oss.str());
+    CsvTable parsed = CsvTable::read(iss);
+    ASSERT_EQ(parsed.numRows(), 2u); // rule rows skipped
+    EXPECT_EQ(parsed.cell(0, 0), "a");
+    EXPECT_EQ(parsed.cellAsUint(1, 1), 2u);
+    EXPECT_EQ(report.slug(), "csv_mode_check");
+}
+
+TEST(Integration, ReportRendersWithoutCrashing)
+{
+    Report report("smoke");
+    report.setColumns({"a", "b"});
+    report.addRow({"x", Report::percent(0.123)});
+    report.addRule();
+    report.addRow({"y", Report::times(1234.5)});
+    ::testing::internal::CaptureStdout();
+    report.print();
+    std::string out = ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("12.3%"), std::string::npos);
+    EXPECT_NE(out.find("1234.5x"), std::string::npos);
+}
+
+} // namespace
+} // namespace sieve::eval

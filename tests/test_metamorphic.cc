@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Metamorphic properties of the sampling pipeline: transformations of
+ * the input with a known effect on the correct output. These catch
+ * whole classes of bugs (hidden unit dependencies, accidental use of
+ * absolute ids, order sensitivity) that example-based tests miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gpu/hardware_executor.hh"
+#include "sampling/pks.hh"
+#include "sampling/sieve.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::sampling {
+namespace {
+
+trace::Workload
+baseWorkload(const char *name = "rfl", size_t cap = 3000)
+{
+    auto spec = workloads::findSpec(name, cap);
+    return workloads::generateWorkload(*spec);
+}
+
+/** Apply a function to every invocation of a copy of the workload. */
+template <typename Fn>
+trace::Workload
+transformed(const trace::Workload &original, Fn &&fn)
+{
+    trace::Workload out(original.suite(), original.name());
+    out.setPaperInvocations(original.paperInvocations());
+    for (const auto &kernel : original.kernels())
+        out.addKernel(kernel.name);
+    for (const auto &inv : original.invocations()) {
+        trace::KernelInvocation copy = inv;
+        fn(copy);
+        out.addInvocation(std::move(copy));
+    }
+    return out;
+}
+
+TEST(Metamorphic, SieveIsInstructionScaleInvariant)
+{
+    // Doubling every instruction count rescales the axis KDE works
+    // on; strata membership, representatives, and weights must not
+    // move (CoV and relative structure are scale-free).
+    trace::Workload base = baseWorkload();
+    trace::Workload doubled =
+        transformed(base, [](trace::KernelInvocation &inv) {
+            inv.mix.instructionCount *= 2;
+        });
+
+    SieveSampler sampler;
+    SamplingResult a = sampler.sample(base);
+    SamplingResult b = sampler.sample(doubled);
+
+    ASSERT_EQ(a.strata.size(), b.strata.size());
+    for (size_t i = 0; i < a.strata.size(); ++i) {
+        EXPECT_EQ(a.strata[i].representative,
+                  b.strata[i].representative);
+        EXPECT_EQ(a.strata[i].members, b.strata[i].members);
+        EXPECT_NEAR(a.strata[i].weight, b.strata[i].weight, 1e-9);
+    }
+}
+
+TEST(Metamorphic, SieveIgnoresKernelNames)
+{
+    // Renaming kernels must not change the stratification: Sieve
+    // keys on kernel *identity*, not the label.
+    trace::Workload base = baseWorkload();
+    trace::Workload renamed(base.suite(), base.name());
+    for (const auto &kernel : base.kernels())
+        renamed.addKernel("z_" + kernel.name + "_renamed");
+    for (const auto &inv : base.invocations())
+        renamed.addInvocation(trace::KernelInvocation(inv));
+
+    SieveSampler sampler;
+    SamplingResult a = sampler.sample(base);
+    SamplingResult b = sampler.sample(renamed);
+    ASSERT_EQ(a.strata.size(), b.strata.size());
+    for (size_t i = 0; i < a.strata.size(); ++i)
+        EXPECT_EQ(a.strata[i].members, b.strata[i].members);
+}
+
+TEST(Metamorphic, SieveIsHiddenStateBlind)
+{
+    // Perturbing everything the profiler cannot see (locality, ILP,
+    // noise seeds) must leave the selection bit-identical — the
+    // microarchitecture-independence the paper claims for Sieve.
+    trace::Workload base = baseWorkload();
+    trace::Workload perturbed =
+        transformed(base, [](trace::KernelInvocation &inv) {
+            inv.memory.l1Locality = 0.123;
+            inv.memory.l2Locality = 0.456;
+            inv.memory.ilp = 7.0;
+            inv.noiseSeed ^= 0xdeadbeef;
+        });
+
+    SieveSampler sampler;
+    SamplingResult a = sampler.sample(base);
+    SamplingResult b = sampler.sample(perturbed);
+    ASSERT_EQ(a.strata.size(), b.strata.size());
+    for (size_t i = 0; i < a.strata.size(); ++i) {
+        EXPECT_EQ(a.strata[i].representative,
+                  b.strata[i].representative);
+        EXPECT_EQ(a.strata[i].members, b.strata[i].members);
+    }
+}
+
+TEST(Metamorphic, PksIsNotHiddenStateBlind)
+{
+    // The contrast the paper draws: PKS consults a golden cycle
+    // reference for its k selection, so changing hidden behaviour
+    // (which moves cycle counts) may change its selection. We assert
+    // the *pipeline* property we rely on: same workload + same golden
+    // -> identical output; perturbed golden -> output may differ but
+    // must stay structurally valid.
+    trace::Workload base = baseWorkload();
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+    gpu::WorkloadResult golden = hw.runWorkload(base);
+
+    gpu::WorkloadResult perturbed = golden;
+    for (auto &r : perturbed.perInvocation)
+        r.cycles *= 1.5;
+
+    PksSampler pks;
+    SamplingResult a = pks.sample(base, golden.perInvocation);
+    SamplingResult b = pks.sample(base, perturbed.perInvocation);
+
+    size_t covered = 0;
+    for (const auto &s : b.strata)
+        covered += s.members.size();
+    EXPECT_EQ(covered, base.numInvocations());
+    // Uniform 1.5x scaling preserves relative errors, so the chosen
+    // clustering is actually stable under this particular change.
+    EXPECT_EQ(a.chosenK, b.chosenK);
+}
+
+TEST(Metamorphic, SievePredictionScalesWithCycles)
+{
+    // Scaling all measured cycle counts by c scales the prediction by
+    // exactly c (the projection is linear in measured time).
+    trace::Workload base = baseWorkload();
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+    gpu::WorkloadResult golden = hw.runWorkload(base);
+
+    SieveSampler sampler;
+    SamplingResult strata = sampler.sample(base);
+    double before =
+        sampler.predictCycles(strata, base, golden.perInvocation);
+
+    std::vector<gpu::KernelResult> scaled = golden.perInvocation;
+    for (auto &r : scaled) {
+        r.cycles *= 3.0;
+        r.ipc /= 3.0;
+    }
+    double after = sampler.predictCycles(strata, base, scaled);
+    EXPECT_NEAR(after, 3.0 * before, 1e-9 * after);
+}
+
+TEST(Metamorphic, StratumWeightsEqualInstructionShares)
+{
+    // Invariant linking the sampler to the workload: each stratum's
+    // weight equals its instruction mass over the total, regardless
+    // of workload.
+    for (const char *name : {"gru", "nst", "bert"}) {
+        trace::Workload wl = baseWorkload(name, 2500);
+        SieveSampler sampler;
+        SamplingResult result = sampler.sample(wl);
+        double total =
+            static_cast<double>(wl.totalInstructions());
+        for (const auto &s : result.strata) {
+            double insts = 0.0;
+            for (size_t idx : s.members) {
+                insts += static_cast<double>(
+                    wl.invocation(idx).instructions());
+            }
+            EXPECT_NEAR(s.weight, insts / total, 1e-12) << name;
+        }
+    }
+}
+
+} // namespace
+} // namespace sieve::sampling

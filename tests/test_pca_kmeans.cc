@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the matrix substrate, Jacobi eigensolver, PCA, and
+ * k-means clustering — the machinery PKS is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "stats/kmeans.hh"
+#include "stats/matrix.hh"
+#include "stats/pca.hh"
+
+namespace sieve::stats {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess)
+{
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+    m.at(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+}
+
+TEST(Matrix, FromRows)
+{
+    Matrix m = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+    EXPECT_EQ(m.row(1), (std::vector<double>{3.0, 4.0}));
+    EXPECT_EQ(m.col(0), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(MatrixDeathTest, RaggedRowsFatal)
+{
+    EXPECT_EXIT(Matrix::fromRows({{1.0}, {1.0, 2.0}}),
+                ::testing::ExitedWithCode(1), "ragged");
+}
+
+TEST(Matrix, Multiply)
+{
+    Matrix a = Matrix::fromRows({{1.0, 2.0}, {3.0, 4.0}});
+    Matrix b = Matrix::fromRows({{5.0, 6.0}, {7.0, 8.0}});
+    Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matrix, Transposed)
+{
+    Matrix a = Matrix::fromRows({{1.0, 2.0, 3.0}});
+    Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 1u);
+    EXPECT_DOUBLE_EQ(t.at(2, 0), 3.0);
+}
+
+TEST(Matrix, StandardizeColumns)
+{
+    Matrix m = Matrix::fromRows({{1.0, 100.0}, {3.0, 100.0}});
+    Matrix z = standardizeColumns(m);
+    EXPECT_NEAR(z.at(0, 0), -1.0, 1e-12);
+    EXPECT_NEAR(z.at(1, 0), 1.0, 1e-12);
+    // Constant column: centred, unscaled.
+    EXPECT_NEAR(z.at(0, 1), 0.0, 1e-12);
+}
+
+TEST(Matrix, Covariance)
+{
+    // Perfectly anti-correlated columns.
+    Matrix m = Matrix::fromRows({{1.0, -1.0}, {-1.0, 1.0}});
+    Matrix cov = covarianceMatrix(m);
+    EXPECT_NEAR(cov.at(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(cov.at(0, 1), -1.0, 1e-12);
+    EXPECT_NEAR(cov.at(1, 0), cov.at(0, 1), 1e-12);
+}
+
+TEST(Eigen, KnownSymmetricMatrix)
+{
+    // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+    Matrix m = Matrix::fromRows({{2.0, 1.0}, {1.0, 2.0}});
+    EigenDecomposition eig = jacobiEigen(m);
+    ASSERT_EQ(eig.values.size(), 2u);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-9);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-9);
+    // First eigenvector is (1, 1)/sqrt(2) up to sign.
+    double x = eig.vectors.at(0, 0);
+    double y = eig.vectors.at(1, 0);
+    EXPECT_NEAR(std::fabs(x), 1.0 / std::sqrt(2.0), 1e-9);
+    EXPECT_NEAR(x, y, 1e-9);
+}
+
+TEST(Eigen, VectorsAreOrthonormal)
+{
+    Rng rng(21);
+    // Random symmetric 6x6.
+    Matrix m(6, 6);
+    for (size_t i = 0; i < 6; ++i) {
+        for (size_t j = i; j < 6; ++j) {
+            double v = rng.normal();
+            m.at(i, j) = v;
+            m.at(j, i) = v;
+        }
+    }
+    EigenDecomposition eig = jacobiEigen(m);
+    for (size_t a = 0; a < 6; ++a) {
+        for (size_t b = 0; b < 6; ++b) {
+            double dot = 0.0;
+            for (size_t i = 0; i < 6; ++i)
+                dot += eig.vectors.at(i, a) * eig.vectors.at(i, b);
+            EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+        }
+    }
+}
+
+TEST(Pca, RecoversDominantDirection)
+{
+    // Points along y = 2x with small noise: the first component must
+    // align with (1, 2)/sqrt(5) in standardized space -> equal
+    // loadings after z-scoring.
+    Rng rng(22);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 400; ++i) {
+        double t = rng.normal();
+        rows.push_back({t + rng.normal() * 0.01,
+                        2.0 * t + rng.normal() * 0.01});
+    }
+    Pca pca(Matrix::fromRows(rows), 0.9);
+    EXPECT_EQ(pca.numComponents(), 1u);
+    EXPECT_GT(pca.explainedVariance(), 0.95);
+}
+
+TEST(Pca, KeepsMoreComponentsForIsotropicData)
+{
+    Rng rng(23);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 500; ++i)
+        rows.push_back({rng.normal(), rng.normal(), rng.normal()});
+    Pca pca(Matrix::fromRows(rows), 0.9);
+    EXPECT_GE(pca.numComponents(), 2u);
+}
+
+TEST(Pca, TransformShape)
+{
+    Rng rng(24);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 100; ++i)
+        rows.push_back({rng.normal(), rng.normal(), rng.normal(),
+                        rng.normal()});
+    Matrix data = Matrix::fromRows(rows);
+    Pca pca(data, 0.9);
+    Matrix projected = pca.transform(data);
+    EXPECT_EQ(projected.rows(), 100u);
+    EXPECT_EQ(projected.cols(), pca.numComponents());
+}
+
+TEST(Pca, EigenvaluesDescending)
+{
+    Rng rng(25);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 300; ++i) {
+        double a = rng.normal() * 5.0;
+        double b = rng.normal();
+        rows.push_back({a, b, a + b, rng.normal() * 0.1});
+    }
+    Pca pca(Matrix::fromRows(rows), 1.0);
+    const auto &ev = pca.eigenvalues();
+    for (size_t i = 1; i < ev.size(); ++i)
+        EXPECT_GE(ev[i - 1], ev[i] - 1e-9);
+}
+
+// --- k-means ---
+
+Matrix
+threeBlobs(size_t per_blob, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> rows;
+    const double centres[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int b = 0; b < 3; ++b) {
+        for (size_t i = 0; i < per_blob; ++i) {
+            rows.push_back({centres[b][0] + rng.normal() * 0.3,
+                            centres[b][1] + rng.normal() * 0.3});
+        }
+    }
+    return Matrix::fromRows(rows);
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs)
+{
+    Matrix data = threeBlobs(50, 31);
+    KMeansResult result = kMeans(data, 3, Rng(1));
+    // Each blob's points share a label; the three labels differ.
+    std::set<size_t> labels;
+    for (int b = 0; b < 3; ++b) {
+        size_t first = result.assignments[b * 50];
+        for (int i = 0; i < 50; ++i)
+            EXPECT_EQ(result.assignments[b * 50 + i], first);
+        labels.insert(first);
+    }
+    EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeans, InertiaDecreasesWithK)
+{
+    Matrix data = threeBlobs(40, 32);
+    double prev = -1.0;
+    for (size_t k : {1, 2, 3}) {
+        KMeansResult r = kMeans(data, k, Rng(2));
+        if (prev >= 0.0)
+            EXPECT_LT(r.inertia, prev);
+        prev = r.inertia;
+    }
+}
+
+TEST(KMeans, ClusterSizesPartitionData)
+{
+    Matrix data = threeBlobs(30, 33);
+    KMeansResult r = kMeans(data, 4, Rng(3));
+    size_t total = 0;
+    for (size_t s : r.clusterSizes())
+        total += s;
+    EXPECT_EQ(total, data.rows());
+}
+
+TEST(KMeans, KClampedToRows)
+{
+    Matrix data = Matrix::fromRows({{0.0}, {1.0}});
+    KMeansResult r = kMeans(data, 10, Rng(4));
+    EXPECT_LE(r.k(), 2u);
+}
+
+TEST(KMeans, ClosestToCentroidIsClusterMember)
+{
+    Matrix data = threeBlobs(25, 34);
+    KMeansResult r = kMeans(data, 3, Rng(5));
+    auto reps = r.closestToCentroid(data);
+    for (size_t c = 0; c < reps.size(); ++c) {
+        if (reps[c] == KMeansResult::npos)
+            continue;
+        EXPECT_EQ(r.assignments[reps[c]], c);
+    }
+}
+
+TEST(KMeans, Deterministic)
+{
+    Matrix data = threeBlobs(20, 35);
+    KMeansResult a = kMeans(data, 3, Rng(6));
+    KMeansResult b = kMeans(data, 3, Rng(6));
+    EXPECT_EQ(a.assignments, b.assignments);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, IdenticalPointsAreFine)
+{
+    Matrix data = Matrix::fromRows(
+        std::vector<std::vector<double>>(10, {1.0, 2.0}));
+    KMeansResult r = kMeans(data, 3, Rng(7));
+    EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace sieve::stats

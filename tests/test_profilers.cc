@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the profiler front-ends and their cost models (the
+ * machinery behind Table II and Fig. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/hardware_executor.hh"
+#include "profiler/profilers.hh"
+#include "trace/instruction_mix.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::profiler {
+namespace {
+
+struct Prepared
+{
+    trace::Workload workload;
+    gpu::WorkloadResult golden;
+};
+
+Prepared
+prepare(const std::string &name, size_t cap = 3000)
+{
+    auto spec = workloads::findSpec(name, cap);
+    Prepared p{workloads::generateWorkload(*spec), {}};
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+    p.golden = hw.runWorkload(p.workload);
+    return p;
+}
+
+TEST(Profilers, NvbitEmitsTheSieveSchema)
+{
+    Prepared p = prepare("gru");
+    CsvTable table = NvbitProfiler().collect(p.workload);
+    EXPECT_EQ(table.numRows(), p.workload.numInvocations());
+    EXPECT_NE(table.columnIndex("instruction_count"), CsvTable::npos);
+    EXPECT_NE(table.columnIndex("cta_size"), CsvTable::npos);
+    // The NVBit profile must NOT contain the other 11 PKS metrics.
+    EXPECT_EQ(table.columnIndex("thread_global_loads"), CsvTable::npos);
+    EXPECT_EQ(table.numCols(), 4u);
+}
+
+TEST(Profilers, NsightEmitsAllTwelveMetrics)
+{
+    Prepared p = prepare("gru");
+    CsvTable table = NsightProfiler().collect(p.workload);
+    EXPECT_EQ(table.numRows(), p.workload.numInvocations());
+    for (const auto &metric : trace::InstructionMix::metricNames())
+        EXPECT_NE(table.columnIndex(metric), CsvTable::npos) << metric;
+}
+
+TEST(Profilers, NsightIsSlowerThanNvbit)
+{
+    Prepared p = prepare("lmr");
+    ProfilingTimes times =
+        estimateProfilingTimes(p.workload, p.golden);
+    EXPECT_GT(times.nsightHours, times.nvbitHours);
+    EXPECT_GT(times.speedup(), 1.0);
+}
+
+TEST(Profilers, MlperfNeedsExtraPasses)
+{
+    Prepared cactus = prepare("lmr");
+    Prepared mlperf = prepare("bert");
+    NsightProfiler nsight;
+    EXPECT_GT(nsight.passesFor(mlperf.workload),
+              nsight.passesFor(cactus.workload));
+}
+
+TEST(Profilers, SuperlinearGrowthWithInvocationCount)
+{
+    // Doubling the profiled invocation count should more than double
+    // Nsight's time (the paper's "progressively slower" observation),
+    // while NVBit stays essentially linear.
+    auto spec_small = workloads::findSpec("lmr", 2000);
+    auto spec_big = workloads::findSpec("lmr", 4000);
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+
+    // Neutralize paper-scale extrapolation so we compare the raw
+    // cost curves.
+    spec_small->paperInvocations = 2000;
+    spec_big->paperInvocations = 4000;
+    trace::Workload small = workloads::generateWorkload(*spec_small);
+    trace::Workload big = workloads::generateWorkload(*spec_big);
+    auto golden_small = hw.runWorkload(small);
+    auto golden_big = hw.runWorkload(big);
+
+    NsightProfiler nsight;
+    NvbitProfiler nvbit;
+    double ns_ratio = nsight.collectionHours(big, golden_big) /
+                      nsight.collectionHours(small, golden_small);
+    double nv_ratio = nvbit.collectionHours(big, golden_big) /
+                      nvbit.collectionHours(small, golden_small);
+    EXPECT_GT(ns_ratio, 2.0);
+    EXPECT_NEAR(nv_ratio, 2.0, 0.5);
+}
+
+TEST(Profilers, PaperScaleExtrapolation)
+{
+    // Profiling time is quoted at Table I scale: scaling the paper
+    // invocation count scales the NVBit estimate proportionally.
+    auto spec = workloads::findSpec("lmr", 2000);
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    auto golden = hw.runWorkload(wl);
+
+    NvbitProfiler nvbit;
+    double base = nvbit.collectionHours(wl, golden);
+    trace::Workload doubled = wl;
+    doubled.setPaperInvocations(2 * wl.paperInvocations());
+    EXPECT_NEAR(nvbit.collectionHours(doubled, golden) / base, 2.0,
+                1e-9);
+}
+
+TEST(Profilers, CostParamsArePluggable)
+{
+    Prepared p = prepare("gru");
+    ProfilingCostParams expensive;
+    expensive.nsightReplayOverheadUs = 10'000.0;
+    ProfilingCostParams cheap;
+    cheap.nsightReplayOverheadUs = 100.0;
+    EXPECT_GT(
+        NsightProfiler(expensive).collectionHours(p.workload, p.golden),
+        NsightProfiler(cheap).collectionHours(p.workload, p.golden));
+}
+
+} // namespace
+} // namespace sieve::profiler

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the deterministic splittable RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace sieve {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, LabelSeedingIsStable)
+{
+    Rng a("cactus/lmc");
+    Rng b("cactus/lmc");
+    EXPECT_EQ(a.next(), b.next());
+    Rng c("cactus/lmr");
+    Rng d("cactus/lmc");
+    EXPECT_NE(c.next(), d.next());
+}
+
+TEST(Rng, SplitIsDrawIndependent)
+{
+    // Splitting must not depend on how many values were drawn first.
+    Rng parent1(7);
+    Rng parent2(7);
+    parent2.next();
+    parent2.next();
+    Rng child1 = parent1.split("x");
+    Rng child2 = parent2.split("x");
+    EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(Rng, SplitByLabelAndIndexDiffer)
+{
+    Rng parent(7);
+    EXPECT_NE(parent.split("a").next(), parent.split("b").next());
+    EXPECT_NE(parent.split(0).next(), parent.split(1).next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(5);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // all four values occur
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(6);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal();
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, LogNormalIsPositive)
+{
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.logNormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(9);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights)
+{
+    Rng rng(10);
+    std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.categorical(weights)];
+    EXPECT_EQ(counts[2], 0); // zero weight never drawn
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(11);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, HashLabelStable)
+{
+    EXPECT_EQ(hashLabel("sieve"), hashLabel("sieve"));
+    EXPECT_NE(hashLabel("sieve"), hashLabel("pks"));
+    EXPECT_NE(hashLabel(""), hashLabel("a"));
+}
+
+/** Property sweep: moments of uniform() across many seeds. */
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, UniformMeanNearHalf)
+{
+    Rng rng(GetParam());
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 17, 1000003,
+                                           0xdeadbeefULL,
+                                           0xffffffffffffffffULL));
+
+} // namespace
+} // namespace sieve

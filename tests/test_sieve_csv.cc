@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the CSV-driven Sieve back-end: the script pipeline must
+ * produce exactly the stratification the in-memory sampler produces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "profiler/profilers.hh"
+#include "sampling/sieve.hh"
+#include "sampling/sieve_csv.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::sampling {
+namespace {
+
+TEST(SieveCsv, MatchesInMemorySampler)
+{
+    for (const char *name : {"gru", "lmc", "spt", "gst"}) {
+        auto spec = workloads::findSpec(name, 4000);
+        trace::Workload wl = workloads::generateWorkload(*spec);
+
+        // Script path: NVBit profile CSV -> backend.
+        CsvTable csv = profiler::NvbitProfiler().collect(wl);
+        CsvSamplingResult from_csv = sieveFromProfileCsv(csv);
+
+        // Library path: in-memory sampler.
+        SieveSampler sampler;
+        SamplingResult from_memory = sampler.sample(wl);
+
+        // Same representative set with the same weights and tiers.
+        ASSERT_EQ(from_csv.representatives.size(),
+                  from_memory.strata.size())
+            << name;
+        std::map<uint64_t, const Stratum *> by_rep;
+        for (const auto &s : from_memory.strata)
+            by_rep[wl.invocation(s.representative).invocationId] = &s;
+
+        for (const auto &rep : from_csv.representatives) {
+            auto it = by_rep.find(rep.invocationId);
+            ASSERT_NE(it, by_rep.end())
+                << name << ": CSV-selected invocation "
+                << rep.invocationId << " not selected in memory";
+            EXPECT_EQ(rep.tier, it->second->tier) << name;
+            EXPECT_EQ(rep.stratumSize, it->second->members.size())
+                << name;
+            EXPECT_NEAR(rep.weight, it->second->weight, 1e-12) << name;
+        }
+        EXPECT_EQ(from_csv.totalInstructions, wl.totalInstructions())
+            << name;
+    }
+}
+
+TEST(SieveCsv, WeightsSumToOne)
+{
+    auto spec = workloads::findSpec("rfl", 4000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    CsvSamplingResult result =
+        sieveFromProfileCsv(profiler::NvbitProfiler().collect(wl));
+    double total = 0.0;
+    for (const auto &rep : result.representatives)
+        total += rep.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SieveCsv, RepresentativeCsvRoundTripsThroughTable)
+{
+    auto spec = workloads::findSpec("gms", 3000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    CsvSamplingResult result =
+        sieveFromProfileCsv(profiler::NvbitProfiler().collect(wl));
+
+    CsvTable table = result.toCsv();
+    EXPECT_EQ(table.numRows(), result.representatives.size());
+    size_t inv_col = table.columnIndex("invocation");
+    size_t weight_col = table.columnIndex("weight");
+    ASSERT_NE(inv_col, CsvTable::npos);
+    for (size_t r = 0; r < table.numRows(); ++r) {
+        EXPECT_EQ(table.cellAsUint(r, inv_col),
+                  result.representatives[r].invocationId);
+        EXPECT_NEAR(table.cellAsDouble(r, weight_col),
+                    result.representatives[r].weight, 1e-6);
+    }
+}
+
+TEST(SieveCsv, ThetaIsRespected)
+{
+    auto spec = workloads::findSpec("lgt", 4000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    CsvTable csv = profiler::NvbitProfiler().collect(wl);
+    size_t tight = sieveFromProfileCsv(csv, {0.1}).representatives.size();
+    size_t loose = sieveFromProfileCsv(csv, {1.0}).representatives.size();
+    EXPECT_GT(tight, loose);
+}
+
+TEST(SieveCsvDeathTest, EmptyProfileIsFatal)
+{
+    std::vector<trace::SieveProfileRow> empty;
+    EXPECT_EXIT(sieveFromProfile(empty), ::testing::ExitedWithCode(1),
+                "empty profile");
+}
+
+} // namespace
+} // namespace sieve::sampling

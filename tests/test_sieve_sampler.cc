@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the Sieve stratified sampler — tiering, KDE
+ * sub-stratification, representative selection, weights, and the
+ * IPC-projection math.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "gpu/hardware_executor.hh"
+#include "sampling/sieve.hh"
+#include "stats/descriptive.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::sampling {
+namespace {
+
+using trace::KernelInvocation;
+using trace::Workload;
+
+/** Hand-built workload with one kernel per tier. */
+Workload
+threeTierWorkload()
+{
+    Workload wl("test", "tiers");
+    uint32_t k_const = wl.addKernel("constant");
+    uint32_t k_low = wl.addKernel("low_var");
+    uint32_t k_high = wl.addKernel("high_var");
+
+    Rng rng(123);
+    auto add = [&](uint32_t kernel, uint64_t insts, uint32_t cta) {
+        KernelInvocation inv;
+        inv.kernelId = kernel;
+        inv.mix.instructionCount = insts;
+        inv.launch.grid = {512, 1, 1};
+        inv.launch.cta = {cta, 1, 1};
+        inv.memory.workingSetBytes = 1 << 20;
+        inv.noiseSeed = rng.next();
+        wl.addInvocation(std::move(inv));
+    };
+
+    for (int i = 0; i < 40; ++i) {
+        // Tier-1: identical counts.
+        add(k_const, 1'000'000, 256);
+        // Tier-2: ~10% CoV around 2M.
+        add(k_low, static_cast<uint64_t>(
+                       2e6 * rng.logNormal(0.0, 0.1)), 256);
+        // Tier-3: two far-apart modes.
+        add(k_high, rng.bernoulli(0.5) ? 500'000 : 8'000'000, 256);
+    }
+    return wl;
+}
+
+TEST(SieveSampler, TierClassification)
+{
+    SieveSampler sampler({0.4});
+    SamplingResult result = sampler.sample(threeTierWorkload());
+
+    std::map<uint32_t, Tier> kernel_tier;
+    std::map<uint32_t, size_t> kernel_strata;
+    for (const auto &s : result.strata) {
+        kernel_tier[s.kernelId] = s.tier;
+        ++kernel_strata[s.kernelId];
+    }
+    EXPECT_EQ(kernel_tier[0], Tier::Tier1);
+    EXPECT_EQ(kernel_tier[1], Tier::Tier2);
+    EXPECT_EQ(kernel_tier[2], Tier::Tier3);
+    EXPECT_EQ(kernel_strata[0], 1u);
+    EXPECT_EQ(kernel_strata[1], 1u);
+    EXPECT_GE(kernel_strata[2], 2u); // KDE split the two modes
+}
+
+TEST(SieveSampler, WeightsSumToOne)
+{
+    SieveSampler sampler;
+    SamplingResult result = sampler.sample(threeTierWorkload());
+    double total = 0.0;
+    for (const auto &s : result.strata)
+        total += s.weight;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SieveSampler, StrataPartitionInvocations)
+{
+    Workload wl = threeTierWorkload();
+    SieveSampler sampler;
+    SamplingResult result = sampler.sample(wl);
+
+    std::vector<int> covered(wl.numInvocations(), 0);
+    for (const auto &s : result.strata) {
+        for (size_t idx : s.members)
+            ++covered[idx];
+    }
+    for (size_t i = 0; i < covered.size(); ++i)
+        EXPECT_EQ(covered[i], 1) << "invocation " << i;
+}
+
+TEST(SieveSampler, RepresentativeIsChronologicalFirstForTier1)
+{
+    Workload wl = threeTierWorkload();
+    SieveSampler sampler;
+    SamplingResult result = sampler.sample(wl);
+    for (const auto &s : result.strata) {
+        EXPECT_TRUE(std::find(s.members.begin(), s.members.end(),
+                              s.representative) != s.members.end());
+        if (s.tier == Tier::Tier1)
+            EXPECT_EQ(s.representative, s.members.front());
+    }
+}
+
+TEST(SieveSampler, DominantCtaSelection)
+{
+    // A Tier-2 kernel whose first invocation uses a rare CTA size:
+    // the default policy must skip it for the first dominant-CTA one.
+    Workload wl("test", "cta");
+    uint32_t k = wl.addKernel("k");
+    Rng rng(5);
+    for (int i = 0; i < 30; ++i) {
+        KernelInvocation inv;
+        inv.kernelId = k;
+        inv.mix.instructionCount = static_cast<uint64_t>(
+            1e6 * rng.logNormal(0.0, 0.1));
+        inv.launch.grid = {512, 1, 1};
+        inv.launch.cta = {i == 0 ? 64u : 256u, 1, 1};
+        wl.addInvocation(std::move(inv));
+    }
+
+    SamplingResult dom = SieveSampler({0.4}).sample(wl);
+    ASSERT_EQ(dom.strata.size(), 1u);
+    EXPECT_EQ(dom.strata[0].representative, 1u); // first 256-CTA one
+
+    SieveConfig first_cfg;
+    first_cfg.selection = SieveSelection::FirstChronological;
+    SamplingResult first = SieveSampler(first_cfg).sample(wl);
+    EXPECT_EQ(first.strata[0].representative, 0u);
+}
+
+TEST(SieveSampler, MaxCtaSelection)
+{
+    Workload wl("test", "maxcta");
+    uint32_t k = wl.addKernel("k");
+    Rng rng(6);
+    for (int i = 0; i < 20; ++i) {
+        KernelInvocation inv;
+        inv.kernelId = k;
+        inv.mix.instructionCount = static_cast<uint64_t>(
+            1e6 * rng.logNormal(0.0, 0.1));
+        inv.launch.grid = {512, 1, 1};
+        inv.launch.cta = {i == 7 ? 512u : 128u, 1, 1};
+        wl.addInvocation(std::move(inv));
+    }
+    SieveConfig cfg;
+    cfg.selection = SieveSelection::MaxCta;
+    SamplingResult result = SieveSampler(cfg).sample(wl);
+    ASSERT_EQ(result.strata.size(), 1u);
+    EXPECT_EQ(result.strata[0].representative, 7u);
+}
+
+TEST(SieveSampler, PredictionExactWhenIpcUniform)
+{
+    // If every invocation has the same IPC, the weighted harmonic
+    // mean projection is exact by construction.
+    Workload wl = threeTierWorkload();
+    SieveSampler sampler;
+    SamplingResult result = sampler.sample(wl);
+
+    std::vector<gpu::KernelResult> fake(wl.numInvocations());
+    const double ipc = 100.0;
+    double total_cycles = 0.0;
+    for (size_t i = 0; i < fake.size(); ++i) {
+        fake[i].ipc = ipc;
+        fake[i].cycles = static_cast<double>(
+                             wl.invocation(i).instructions()) /
+                         ipc;
+        total_cycles += fake[i].cycles;
+    }
+    double predicted = sampler.predictCycles(result, wl, fake);
+    EXPECT_NEAR(predicted, total_cycles, 1e-6 * total_cycles);
+}
+
+TEST(SieveSampler, ThetaControlsStrataCount)
+{
+    auto spec = workloads::findSpec("lgt", 6000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    size_t strata_tight = SieveSampler({0.1}).sample(wl).strata.size();
+    size_t strata_default =
+        SieveSampler({0.4}).sample(wl).strata.size();
+    size_t strata_loose = SieveSampler({1.0}).sample(wl).strata.size();
+    EXPECT_GE(strata_tight, strata_default);
+    EXPECT_GE(strata_default, strata_loose);
+    EXPECT_GE(strata_loose, wl.numKernels());
+}
+
+TEST(SieveSamplerDeathTest, NonPositiveThetaIsFatal)
+{
+    EXPECT_EXIT(SieveSampler({0.0}), ::testing::ExitedWithCode(1),
+                "theta");
+}
+
+TEST(SieveSampler, TierFractionsSumToOne)
+{
+    auto spec = workloads::findSpec("rfl", 6000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    SamplingResult result = SieveSampler().sample(wl);
+    double sum = result.tierInvocationFraction(Tier::Tier1) +
+                 result.tierInvocationFraction(Tier::Tier2) +
+                 result.tierInvocationFraction(Tier::Tier3);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+/**
+ * The core Sieve invariant across all challenging workloads: every
+ * stratum keeps instruction-count CoV below theta, all invocations
+ * are covered exactly once, and representatives honour the
+ * first-chronological-dominant-CTA rule.
+ */
+class SieveInvariants : public ::testing::TestWithParam<std::string>
+{
+  public:
+    static constexpr double kTheta = 0.4;
+};
+
+TEST_P(SieveInvariants, StratumCovBelowTheta)
+{
+    auto spec = workloads::findSpec(GetParam(), 6000);
+    ASSERT_TRUE(spec.has_value());
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    SamplingResult result = SieveSampler({kTheta}).sample(wl);
+
+    for (const auto &s : result.strata) {
+        std::vector<double> counts;
+        for (size_t idx : s.members) {
+            counts.push_back(static_cast<double>(
+                wl.invocation(idx).instructions()));
+        }
+        double cov = stats::coefficientOfVariation(counts);
+        bool degenerate = counts.size() < 2;
+        EXPECT_TRUE(cov < kTheta || degenerate)
+            << wl.kernel(s.kernelId).name << " CoV " << cov;
+    }
+}
+
+TEST_P(SieveInvariants, CompleteSingleCoverage)
+{
+    auto spec = workloads::findSpec(GetParam(), 6000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    SamplingResult result = SieveSampler({kTheta}).sample(wl);
+    EXPECT_EQ(result.totalMembers(), wl.numInvocations());
+
+    std::vector<int> covered(wl.numInvocations(), 0);
+    for (const auto &s : result.strata) {
+        EXPECT_EQ(s.tier == Tier::Tier1 || s.tier == Tier::Tier2 ||
+                      s.tier == Tier::Tier3,
+                  true);
+        for (size_t idx : s.members) {
+            ++covered[idx];
+            EXPECT_EQ(wl.invocation(idx).kernelId, s.kernelId);
+        }
+    }
+    EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                            [](int c) { return c == 1; }));
+}
+
+TEST_P(SieveInvariants, StrataAreSortedWithinKernel)
+{
+    auto spec = workloads::findSpec(GetParam(), 6000);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    SamplingResult result = SieveSampler({kTheta}).sample(wl);
+    for (const auto &s : result.strata)
+        EXPECT_TRUE(std::is_sorted(s.members.begin(), s.members.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Challenging, SieveInvariants,
+    ::testing::Values("gru", "gst", "gms", "lmc", "lmr", "dcg", "lgt",
+                      "nst", "rfl", "spt", "3d-unet", "bert",
+                      "resnet50", "rnnt", "ssd-mobilenet",
+                      "ssd-resnet34"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace sieve::sampling

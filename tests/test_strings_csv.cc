@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for string utilities, CSV interchange, and logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace sieve {
+namespace {
+
+// --- strings ---
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField)
+{
+    auto parts = split("alone", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x  "), "x");
+    EXPECT_EQ(trim("\t\n a b \r"), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("sieve_rocks", "sieve"));
+    EXPECT_FALSE(startsWith("si", "sieve"));
+    EXPECT_TRUE(startsWith("anything", ""));
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(Strings, ToFixed)
+{
+    EXPECT_EQ(toFixed(1.2345, 2), "1.23");
+    EXPECT_EQ(toFixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, EngineeringNotation)
+{
+    EXPECT_EQ(engineeringNotation(950), "950");
+    EXPECT_EQ(engineeringNotation(1234), "1.23K");
+    EXPECT_EQ(engineeringNotation(5.6e6), "5.60M");
+    EXPECT_EQ(engineeringNotation(2.1e9), "2.10B");
+}
+
+TEST(Strings, Padding)
+{
+    EXPECT_EQ(padLeft("x", 3), "  x");
+    EXPECT_EQ(padRight("x", 3), "x  ");
+    EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+// --- logging ---
+
+TEST(Logging, LevelGatingRoundTrip)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(old);
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad user input"), ::testing::ExitedWithCode(1),
+                "bad user input");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("internal bug"), "internal bug");
+}
+
+TEST(LoggingDeathTest, AssertMacroFiresOnFalse)
+{
+    EXPECT_DEATH(SIEVE_ASSERT(1 == 2, "math broke"), "math broke");
+}
+
+// --- CSV ---
+
+TEST(Csv, RoundTrip)
+{
+    CsvTable table({"kernel", "count"});
+    table.addRow({"k0", "10"});
+    table.addRow({"k1", "20"});
+
+    std::ostringstream oss;
+    table.write(oss);
+    std::istringstream iss(oss.str());
+    CsvTable parsed = CsvTable::read(iss);
+
+    ASSERT_EQ(parsed.numRows(), 2u);
+    ASSERT_EQ(parsed.numCols(), 2u);
+    EXPECT_EQ(parsed.cell(1, 0), "k1");
+    EXPECT_EQ(parsed.cellAsUint(1, 1), 20u);
+}
+
+TEST(Csv, ColumnIndex)
+{
+    CsvTable table({"a", "b"});
+    EXPECT_EQ(table.columnIndex("b"), 1u);
+    EXPECT_EQ(table.columnIndex("missing"), CsvTable::npos);
+}
+
+TEST(Csv, NumericParsing)
+{
+    CsvTable table({"v"});
+    table.addRow({"2.5"});
+    EXPECT_DOUBLE_EQ(table.cellAsDouble(0, 0), 2.5);
+}
+
+TEST(Csv, SkipsBlankLines)
+{
+    std::istringstream iss("h\n1\n\n2\n");
+    CsvTable parsed = CsvTable::read(iss);
+    EXPECT_EQ(parsed.numRows(), 2u);
+}
+
+TEST(CsvDeathTest, RaggedRowIsFatal)
+{
+    CsvTable table({"a", "b"});
+    EXPECT_EXIT(table.addRow({"only-one"}),
+                ::testing::ExitedWithCode(1), "row width");
+}
+
+TEST(CsvDeathTest, MalformedNumberIsFatal)
+{
+    CsvTable table({"v"});
+    table.addRow({"not-a-number"});
+    EXPECT_EXIT((void)table.cellAsDouble(0, 0),
+                ::testing::ExitedWithCode(1), "malformed");
+}
+
+TEST(CsvDeathTest, TrailingGarbageIsFatal)
+{
+    CsvTable table({"v"});
+    table.addRow({"12x"});
+    EXPECT_EXIT((void)table.cellAsUint(0, 0),
+                ::testing::ExitedWithCode(1), "trailing");
+}
+
+} // namespace
+} // namespace sieve

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the workload IR: launch geometry, instruction mixes, the
+ * workload container, profile CSV interchange, and SASS traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/instruction_mix.hh"
+#include "trace/launch_config.hh"
+#include "trace/profile_io.hh"
+#include "trace/sass_trace.hh"
+#include "trace/workload_io.hh"
+#include "trace/workload.hh"
+
+namespace sieve::trace {
+namespace {
+
+TEST(LaunchConfig, Geometry)
+{
+    LaunchConfig launch;
+    launch.grid = {100, 2, 1};
+    launch.cta = {128, 1, 1};
+    EXPECT_EQ(launch.numCtas(), 200u);
+    EXPECT_EQ(launch.ctaSize(), 128u);
+    EXPECT_EQ(launch.totalThreads(), 25600u);
+    EXPECT_EQ(launch.warpsPerCta(), 4u);
+}
+
+TEST(LaunchConfig, WarpRounding)
+{
+    LaunchConfig launch;
+    launch.cta = {33, 1, 1};
+    EXPECT_EQ(launch.warpsPerCta(), 2u); // 33 threads need 2 warps
+}
+
+TEST(LaunchConfig, ToString)
+{
+    LaunchConfig launch;
+    launch.grid = {4, 1, 1};
+    launch.cta = {256, 1, 1};
+    EXPECT_EQ(launch.toString(), "(4,1,1)x(256,1,1)");
+}
+
+TEST(InstructionMix, FeatureVectorOrderMatchesTableII)
+{
+    InstructionMix mix;
+    mix.coalescedGlobalLoads = 1;
+    mix.coalescedGlobalStores = 2;
+    mix.coalescedLocalLoads = 3;
+    mix.threadGlobalLoads = 4;
+    mix.threadGlobalStores = 5;
+    mix.threadLocalLoads = 6;
+    mix.threadSharedLoads = 7;
+    mix.threadSharedStores = 8;
+    mix.threadGlobalAtomics = 9;
+    mix.instructionCount = 10;
+    mix.divergenceEfficiency = 0.5;
+    mix.numThreadBlocks = 12;
+
+    auto fv = mix.featureVector();
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(fv[i], static_cast<double>(i + 1));
+    EXPECT_DOUBLE_EQ(fv[10], 0.5);
+    EXPECT_DOUBLE_EQ(fv[11], 12.0);
+    EXPECT_EQ(InstructionMix::metricNames().size(), kNumPksMetrics);
+    EXPECT_EQ(InstructionMix::metricNames()[9], "instruction_count");
+}
+
+TEST(InstructionMix, MemoryIntensity)
+{
+    InstructionMix mix;
+    mix.instructionCount = 100;
+    mix.threadGlobalLoads = 20;
+    mix.threadSharedStores = 10;
+    EXPECT_EQ(mix.totalMemoryInstructions(), 30u);
+    EXPECT_DOUBLE_EQ(mix.memoryIntensity(), 0.3);
+}
+
+TEST(Workload, KernelAndInvocationBookkeeping)
+{
+    Workload wl("suite", "name");
+    uint32_t k0 = wl.addKernel("alpha");
+    uint32_t k1 = wl.addKernel("beta");
+    EXPECT_EQ(k0, 0u);
+    EXPECT_EQ(k1, 1u);
+
+    for (int i = 0; i < 3; ++i) {
+        KernelInvocation inv;
+        inv.kernelId = static_cast<uint32_t>(i % 2);
+        inv.mix.instructionCount = 100 * (i + 1);
+        wl.addInvocation(std::move(inv));
+    }
+
+    EXPECT_EQ(wl.numKernels(), 2u);
+    EXPECT_EQ(wl.numInvocations(), 3u);
+    EXPECT_EQ(wl.invocation(2).invocationId, 2u);
+    EXPECT_EQ(wl.totalInstructions(), 600u);
+
+    auto of_k0 = wl.invocationsOfKernel(0);
+    EXPECT_EQ(of_k0, (std::vector<size_t>{0, 2}));
+    EXPECT_EQ(wl.kernel(1).name, "beta");
+}
+
+TEST(WorkloadDeathTest, UnknownKernelIsAPanic)
+{
+    Workload wl("s", "n");
+    KernelInvocation inv;
+    inv.kernelId = 7;
+    EXPECT_DEATH(wl.addInvocation(std::move(inv)), "unknown kernel");
+}
+
+TEST(ProfileIo, SieveProfileRoundTrip)
+{
+    Workload wl("s", "n");
+    wl.addKernel("k");
+    KernelInvocation inv;
+    inv.kernelId = 0;
+    inv.mix.instructionCount = 12345;
+    inv.launch.cta = {256, 1, 1};
+    wl.addInvocation(std::move(inv));
+
+    CsvTable table = sieveProfileTable(wl);
+    auto rows = parseSieveProfile(table);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].kernelName, "k");
+    EXPECT_EQ(rows[0].instructionCount, 12345u);
+    EXPECT_EQ(rows[0].ctaSize, 256u);
+}
+
+TEST(ProfileIo, PksProfileRoundTrip)
+{
+    Workload wl("s", "n");
+    wl.addKernel("k");
+    KernelInvocation inv;
+    inv.kernelId = 0;
+    inv.mix.instructionCount = 500;
+    inv.mix.threadGlobalLoads = 77;
+    inv.mix.divergenceEfficiency = 0.25;
+    wl.addInvocation(std::move(inv));
+
+    CsvTable table = pksProfileTable(wl);
+    auto features = parsePksProfile(table);
+    ASSERT_EQ(features.size(), 1u);
+    ASSERT_EQ(features[0].size(), kNumPksMetrics);
+    EXPECT_DOUBLE_EQ(features[0][3], 77.0);   // thread_global_loads
+    EXPECT_DOUBLE_EQ(features[0][9], 500.0);  // instruction_count
+    EXPECT_DOUBLE_EQ(features[0][10], 0.25);  // divergence
+}
+
+TEST(ProfileIoDeathTest, MissingColumnIsFatal)
+{
+    CsvTable bogus({"kernel", "invocation"});
+    EXPECT_EXIT(parseSieveProfile(bogus), ::testing::ExitedWithCode(1),
+                "missing");
+}
+
+// --- SASS traces ---
+
+TEST(SassTrace, OpcodeNamesRoundTrip)
+{
+    for (int op = 0; op <= static_cast<int>(Opcode::Exit); ++op) {
+        Opcode opcode = static_cast<Opcode>(op);
+        EXPECT_EQ(parseOpcode(opcodeName(opcode)), opcode);
+    }
+}
+
+TEST(SassTraceDeathTest, UnknownOpcodeIsFatal)
+{
+    EXPECT_EXIT(parseOpcode("FROB"), ::testing::ExitedWithCode(1),
+                "unknown opcode");
+}
+
+TEST(SassTrace, MemoryClassPredicates)
+{
+    EXPECT_TRUE(isGlobalMemory(Opcode::Ldg));
+    EXPECT_TRUE(isGlobalMemory(Opcode::Atom));
+    EXPECT_FALSE(isGlobalMemory(Opcode::Lds));
+    EXPECT_TRUE(isSharedMemory(Opcode::Sts));
+    EXPECT_FALSE(isSharedMemory(Opcode::FFma));
+}
+
+KernelTrace
+makeSmallTrace()
+{
+    KernelTrace kt;
+    kt.kernelName = "k_test";
+    kt.invocationId = 9;
+    kt.launch.grid = {64, 1, 1};
+    kt.launch.cta = {64, 1, 1};
+    kt.ctaReplication = 8;
+
+    CtaTrace cta;
+    WarpTrace warp;
+    SassInstruction ffma;
+    ffma.opcode = Opcode::FFma;
+    ffma.destReg = 9;
+    ffma.srcReg0 = 8;
+    warp.instructions.push_back(ffma);
+    SassInstruction ldg;
+    ldg.opcode = Opcode::Ldg;
+    ldg.destReg = 10;
+    ldg.sectors = 4;
+    ldg.lineAddress = 1234;
+    warp.instructions.push_back(ldg);
+    SassInstruction exit;
+    exit.opcode = Opcode::Exit;
+    warp.instructions.push_back(exit);
+    cta.warps.push_back(warp);
+    kt.ctas.push_back(cta);
+    return kt;
+}
+
+TEST(SassTrace, InstructionAccounting)
+{
+    KernelTrace kt = makeSmallTrace();
+    EXPECT_EQ(kt.tracedInstructions(), 3u);
+    EXPECT_EQ(kt.representedInstructions(), 24u);
+}
+
+TEST(SassTrace, TextRoundTrip)
+{
+    KernelTrace kt = makeSmallTrace();
+    std::ostringstream oss;
+    writeTrace(kt, oss);
+    std::istringstream iss(oss.str());
+    KernelTrace back = readTrace(iss);
+
+    EXPECT_EQ(back.kernelName, kt.kernelName);
+    EXPECT_EQ(back.invocationId, kt.invocationId);
+    EXPECT_EQ(back.launch, kt.launch);
+    EXPECT_EQ(back.ctaReplication, kt.ctaReplication);
+    ASSERT_EQ(back.ctas.size(), 1u);
+    ASSERT_EQ(back.ctas[0].warps.size(), 1u);
+    const auto &insts = back.ctas[0].warps[0].instructions;
+    ASSERT_EQ(insts.size(), 3u);
+    EXPECT_EQ(insts[0].opcode, Opcode::FFma);
+    EXPECT_EQ(insts[1].opcode, Opcode::Ldg);
+    EXPECT_EQ(insts[1].sectors, 4u);
+    EXPECT_EQ(insts[1].lineAddress, 1234u);
+    EXPECT_EQ(insts[2].opcode, Opcode::Exit);
+}
+
+TEST(SassTraceDeathTest, MalformedTraceIsFatal)
+{
+    std::istringstream iss("kernel k\nwarp 0\n");
+    EXPECT_EXIT(readTrace(iss), ::testing::ExitedWithCode(1),
+                "outside");
+}
+
+// --- workload (de)serialization ---
+
+Workload
+makeRichWorkload()
+{
+    Workload wl("suite-x", "wl-y");
+    wl.setPaperInvocations(123456);
+    wl.addKernel("alpha");
+    wl.addKernel("beta");
+    for (int i = 0; i < 7; ++i) {
+        KernelInvocation inv;
+        inv.kernelId = static_cast<uint32_t>(i % 2);
+        inv.launch.grid = {100u + static_cast<uint32_t>(i), 2, 1};
+        inv.launch.cta = {128, 1, 1};
+        inv.launch.sharedMemBytes = 4096;
+        inv.mix.instructionCount = 1000 * (i + 1);
+        inv.mix.threadGlobalLoads = 17 * (i + 1);
+        inv.mix.divergenceEfficiency = 0.75;
+        inv.memory.l1Locality = 0.3 + 0.01 * i;
+        inv.memory.workingSetBytes = 1 << (18 + i % 3);
+        inv.memory.ilp = 2.5;
+        inv.noiseSeed = 0xabc000 + static_cast<uint64_t>(i);
+        wl.addInvocation(std::move(inv));
+    }
+    return wl;
+}
+
+TEST(WorkloadIo, BinaryRoundTrip)
+{
+    Workload original = makeRichWorkload();
+    std::stringstream buffer;
+    saveWorkload(original, buffer);
+    Workload loaded = loadWorkload(buffer);
+
+    EXPECT_EQ(loaded.suite(), original.suite());
+    EXPECT_EQ(loaded.name(), original.name());
+    EXPECT_EQ(loaded.paperInvocations(), original.paperInvocations());
+    ASSERT_EQ(loaded.numKernels(), original.numKernels());
+    ASSERT_EQ(loaded.numInvocations(), original.numInvocations());
+    for (size_t i = 0; i < original.numInvocations(); ++i) {
+        const auto &a = original.invocation(i);
+        const auto &b = loaded.invocation(i);
+        EXPECT_EQ(a.kernelId, b.kernelId);
+        EXPECT_EQ(a.launch, b.launch);
+        EXPECT_EQ(a.mix, b.mix);
+        EXPECT_EQ(a.memory, b.memory);
+        EXPECT_EQ(a.noiseSeed, b.noiseSeed);
+    }
+}
+
+TEST(WorkloadIoDeathTest, BadMagicIsFatal)
+{
+    std::stringstream buffer;
+    buffer << "NOTSIEVE0000";
+    EXPECT_EXIT(loadWorkload(buffer), ::testing::ExitedWithCode(1),
+                "magic");
+}
+
+TEST(WorkloadIoDeathTest, TruncationIsFatal)
+{
+    Workload original = makeRichWorkload();
+    std::stringstream buffer;
+    saveWorkload(original, buffer);
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream truncated(bytes);
+    EXPECT_EXIT(loadWorkload(truncated), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+} // namespace
+} // namespace sieve::trace

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator and the Table I
+ * registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "stats/descriptive.hh"
+#include "workloads/generator.hh"
+#include "workloads/mix_archetypes.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::workloads {
+namespace {
+
+TEST(Registry, AllFortyWorkloadsPresent)
+{
+    auto specs = allSpecs();
+    EXPECT_EQ(specs.size(), 40u);
+    EXPECT_EQ(parboilSpecs().size(), 5u);
+    EXPECT_EQ(rodiniaSpecs().size(), 9u);
+    EXPECT_EQ(sdkSpecs().size(), 10u);
+    EXPECT_EQ(cactusSpecs().size(), 10u);
+    EXPECT_EQ(mlperfSpecs().size(), 6u);
+    EXPECT_EQ(challengingSpecs().size(), 16u);
+    EXPECT_EQ(traditionalSpecs().size(), 24u);
+}
+
+TEST(Registry, TableOneCountsMatchThePaper)
+{
+    // Spot-check the published kernel/invocation counts.
+    struct Expected
+    {
+        const char *name;
+        size_t kernels;
+        uint64_t invocations;
+    };
+    const Expected expected[] = {
+        {"lbm", 1, 3000},        {"cfd", 4, 14003},
+        {"gaussian", 2, 16382},  {"gru", 8, 43837},
+        {"gst", 15, 175},        {"gms", 14, 92520},
+        {"lmc", 58, 248548},     {"lmr", 62, 74765},
+        {"dcg", 59, 414585},     {"lgt", 74, 532707},
+        {"nst", 50, 1072246},    {"rfl", 57, 206407},
+        {"spt", 43, 112668},     {"3d-unet", 20, 113183},
+        {"bert", 11, 141964},    {"resnet50", 20, 78825},
+        {"rnnt", 39, 205440},    {"ssd-mobilenet", 33, 64138},
+        {"ssd-resnet34", 26, 57267},
+    };
+    for (const auto &e : expected) {
+        auto spec = findSpec(e.name);
+        ASSERT_TRUE(spec.has_value()) << e.name;
+        EXPECT_EQ(spec->numKernels, e.kernels) << e.name;
+        EXPECT_EQ(spec->paperInvocations, e.invocations) << e.name;
+    }
+}
+
+TEST(Registry, FindSpecByQualifiedName)
+{
+    EXPECT_TRUE(findSpec("cactus/lmc").has_value());
+    EXPECT_TRUE(findSpec("lmc").has_value());
+    EXPECT_FALSE(findSpec("nonexistent").has_value());
+}
+
+TEST(Registry, InvocationCapApplies)
+{
+    auto spec = findSpec("nst", 1000);
+    ASSERT_TRUE(spec.has_value());
+    EXPECT_EQ(spec->generatedInvocations, 1000u);
+    auto full = findSpec("lbm", 1000000);
+    EXPECT_EQ(full->generatedInvocations, 3000u); // below any cap
+}
+
+TEST(Generator, DeterministicAcrossCalls)
+{
+    auto spec = findSpec("gru");
+    trace::Workload a = generateWorkload(*spec);
+    trace::Workload b = generateWorkload(*spec);
+    ASSERT_EQ(a.numInvocations(), b.numInvocations());
+    for (size_t i = 0; i < a.numInvocations(); ++i) {
+        EXPECT_EQ(a.invocation(i).mix.instructionCount,
+                  b.invocation(i).mix.instructionCount);
+        EXPECT_EQ(a.invocation(i).kernelId, b.invocation(i).kernelId);
+        EXPECT_EQ(a.invocation(i).noiseSeed, b.invocation(i).noiseSeed);
+    }
+}
+
+TEST(Generator, SaltChangesTheInstance)
+{
+    auto spec = findSpec("gru");
+    trace::Workload a = generateWorkload(*spec);
+    auto salted = *spec;
+    salted.seedSalt = "other";
+    trace::Workload b = generateWorkload(salted);
+    bool any_diff = false;
+    for (size_t i = 0; i < std::min(a.numInvocations(),
+                                    b.numInvocations());
+         ++i) {
+        any_diff |= a.invocation(i).mix.instructionCount !=
+                    b.invocation(i).mix.instructionCount;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, EveryKernelIsInvoked)
+{
+    auto spec = findSpec("lgt");
+    trace::Workload wl = generateWorkload(*spec);
+    EXPECT_EQ(wl.numKernels(), spec->numKernels);
+    for (uint32_t k = 0; k < wl.numKernels(); ++k)
+        EXPECT_FALSE(wl.invocationsOfKernel(k).empty()) << "kernel "
+                                                        << k;
+}
+
+TEST(Generator, InvocationCountMatchesSpec)
+{
+    for (const char *name : {"lmc", "histo", "bert"}) {
+        auto spec = findSpec(name);
+        trace::Workload wl = generateWorkload(*spec);
+        EXPECT_EQ(wl.numInvocations(), spec->generatedInvocations)
+            << name;
+    }
+}
+
+TEST(Generator, GmsKernelsStayBelowCovTenth)
+{
+    // Paper Fig. 2: gms is all Tier-1/2 even at theta = 0.1.
+    auto spec = findSpec("gms");
+    trace::Workload wl = generateWorkload(*spec);
+    for (uint32_t k = 0; k < wl.numKernels(); ++k) {
+        std::vector<double> counts;
+        for (size_t idx : wl.invocationsOfKernel(k)) {
+            counts.push_back(static_cast<double>(
+                wl.invocation(idx).instructions()));
+        }
+        EXPECT_LT(stats::coefficientOfVariation(counts), 0.1)
+            << wl.kernel(k).name;
+    }
+}
+
+TEST(Generator, GstHasADominantInvocation)
+{
+    // Paper Section V-B: one gst invocation holds ~85% of execution;
+    // structurally, one invocation's instruction count dwarfs the
+    // rest of its kernel.
+    auto spec = findSpec("gst");
+    trace::Workload wl = generateWorkload(*spec);
+    uint64_t max_insts = 0;
+    for (const auto &inv : wl.invocations())
+        max_insts = std::max(max_insts, inv.mix.instructionCount);
+    double share = static_cast<double>(max_insts) /
+                   static_cast<double>(wl.totalInstructions());
+    EXPECT_GT(share, 0.3);
+}
+
+TEST(Generator, AliasedKernelsShareVisibleIdentity)
+{
+    auto spec = findSpec("lmc");
+    auto kernels = buildKernelSpecs(*spec);
+    size_t aliases = 0;
+    for (const auto &ks : kernels) {
+        if (ks.name.find("_alias") == std::string::npos)
+            continue;
+        ++aliases;
+        // Some earlier kernel shares its visible profile but not its
+        // hidden behaviour.
+        bool matched = false;
+        for (const auto &other : kernels) {
+            if (&other == &ks ||
+                other.name.find("_alias") != std::string::npos)
+                continue;
+            if (other.baseInstructions == ks.baseInstructions &&
+                other.profile.globalLoadFrac ==
+                    ks.profile.globalLoadFrac &&
+                other.ctaSizePrimary == ks.ctaSizePrimary) {
+                matched = true;
+                EXPECT_FALSE(other.profile.memory == ks.profile.memory)
+                    << "alias copied hidden behaviour";
+            }
+        }
+        EXPECT_TRUE(matched) << ks.name;
+    }
+    EXPECT_GT(aliases, 0u) << "lmc should contain aliased kernels";
+}
+
+TEST(Generator, ChronologicalInterleaving)
+{
+    // Invocations of a frequently-run kernel should spread over the
+    // timeline rather than cluster at one end.
+    auto spec = findSpec("gru");
+    trace::Workload wl = generateWorkload(*spec);
+    auto heavy = wl.invocationsOfKernel(0);
+    size_t n = wl.numInvocations();
+    for (uint32_t k = 1; k < wl.numKernels(); ++k) {
+        auto other = wl.invocationsOfKernel(k);
+        if (other.size() > heavy.size())
+            heavy = other;
+    }
+    ASSERT_GT(heavy.size(), 10u);
+    // First and last occurrence land in the outer quarters.
+    EXPECT_LT(heavy.front(), n / 4);
+    EXPECT_GT(heavy.back(), 3 * n / 4);
+}
+
+TEST(Generator, DriftKernelsGrowOverTime)
+{
+    auto spec = findSpec("spt");
+    auto kernels = buildKernelSpecs(*spec);
+    trace::Workload wl = generateWorkload(*spec);
+    for (uint32_t k = 0; k < kernels.size(); ++k) {
+        if (kernels[k].pattern != CountPattern::Drift)
+            continue;
+        auto idxs = wl.invocationsOfKernel(k);
+        if (idxs.size() < 10)
+            continue;
+        uint64_t first = wl.invocation(idxs.front()).instructions();
+        uint64_t last = wl.invocation(idxs.back()).instructions();
+        EXPECT_GT(static_cast<double>(last),
+                  1.2 * static_cast<double>(first))
+            << wl.kernel(k).name;
+    }
+}
+
+TEST(MixArchetypes, RealizedMixIsConsistent)
+{
+    Rng rng("test");
+    MixProfile prof = drawMixProfile(Archetype::Elementwise, rng, 0.3);
+    trace::InstructionMix mix = realizeMix(prof, 1'000'000, 4096);
+
+    EXPECT_EQ(mix.instructionCount, 1'000'000u);
+    EXPECT_EQ(mix.numThreadBlocks, 4096u);
+    // Thread-level counts consistent with fractions and lanes.
+    double lanes = prof.divergenceEfficiency * 32.0;
+    EXPECT_NEAR(static_cast<double>(mix.threadGlobalLoads),
+                prof.globalLoadFrac * 1e6 * lanes,
+                0.01 * prof.globalLoadFrac * 1e6 * lanes + 64);
+    // Elementwise kernels have no shared memory traffic.
+    EXPECT_EQ(mix.threadSharedLoads, 0u);
+    // Coalesced sectors >= warp-level accesses.
+    EXPECT_GE(mix.coalescedGlobalLoads,
+              static_cast<uint64_t>(prof.globalLoadFrac * 1e6 * 0.9));
+}
+
+TEST(MixArchetypes, SameInstCountSameFeatures)
+{
+    // The Tier-1 property: identical instruction counts yield
+    // identical feature vectors for a kernel.
+    Rng rng("test2");
+    MixProfile prof = drawMixProfile(Archetype::Gemm, rng, 0.5);
+    auto a = realizeMix(prof, 777'777, 100).featureVector();
+    auto b = realizeMix(prof, 777'777, 100).featureVector();
+    EXPECT_EQ(a, b);
+}
+
+TEST(MixArchetypes, HiddenSpreadWidensLocalityRange)
+{
+    Rng rng_narrow("narrow");
+    Rng rng_wide("wide");
+    stats::Accumulator narrow;
+    stats::Accumulator wide;
+    for (int i = 0; i < 200; ++i) {
+        narrow.add(drawMixProfile(Archetype::Stencil, rng_narrow, 0.0)
+                       .memory.l1Locality);
+        wide.add(drawMixProfile(Archetype::Stencil, rng_wide, 1.0)
+                     .memory.l1Locality);
+    }
+    EXPECT_GT(wide.stddev(), 2.0 * narrow.stddev());
+}
+
+TEST(MixArchetypes, ArchetypeNames)
+{
+    EXPECT_STREQ(archetypeName(Archetype::Gemm), "gemm");
+    EXPECT_STREQ(archetypeName(Archetype::Copy), "copy");
+}
+
+/** Structural sweep over every Table I workload. */
+class AllWorkloadsSweep
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllWorkloadsSweep, StructureIsSane)
+{
+    auto spec = findSpec(GetParam(), 4000); // small cap for speed
+    ASSERT_TRUE(spec.has_value());
+    trace::Workload wl = generateWorkload(*spec);
+
+    EXPECT_EQ(wl.numKernels(), spec->numKernels);
+    EXPECT_EQ(wl.numInvocations(), spec->generatedInvocations);
+    EXPECT_GT(wl.totalInstructions(), 0u);
+    for (const auto &inv : wl.invocations()) {
+        EXPECT_GT(inv.mix.instructionCount, 0u);
+        EXPECT_GE(inv.launch.numCtas(), 1u);
+        EXPECT_GE(inv.launch.ctaSize(), 32u);
+        EXPECT_LE(inv.launch.ctaSize(), 1024u);
+        EXPECT_GE(inv.mix.divergenceEfficiency, 0.0);
+        EXPECT_LE(inv.mix.divergenceEfficiency, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOne, AllWorkloadsSweep,
+    ::testing::Values("bfs_ny", "histo", "lbm", "mri-g", "stencil",
+                      "cfd", "dwt2d", "gaussian", "heartwall",
+                      "hotspot3d", "huffman", "lud", "nw", "srad",
+                      "blackscholes", "cholesky", "gradient", "dct8x8",
+                      "histogram", "hsopticalflow", "mergesort",
+                      "nvjpeg", "random", "sortingnet", "gru", "gst",
+                      "gms", "lmc", "lmr", "dcg", "lgt", "nst", "rfl",
+                      "spt", "3d-unet", "bert", "resnet50", "rnnt",
+                      "ssd-mobilenet", "ssd-resnet34"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace sieve::workloads

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * sieve — the command-line driver.
+ *
+ * The paper ships its methodology as scripts plus the identified
+ * representative kernel invocations and their traces; this tool is
+ * that release surface for this repository:
+ *
+ *   sieve list
+ *       Table I registry: workloads, kernels, invocation counts.
+ *   sieve profile <workload> [--pks] [-o FILE]
+ *       Write the profile CSV (Sieve schema by default, the
+ *       12-metric PKS schema with --pks).
+ *   sieve sample <workload> [--method sieve|pks|tbpoint|random]
+ *                [--theta X] [-o FILE]
+ *       Select representative invocations; write them with their
+ *       weights as CSV.
+ *   sieve evaluate <workload> [--method M] [--arch ampere|turing]
+ *                [--theta X]
+ *       Run the full evaluation (golden run + prediction) and print
+ *       error, speedup, and dispersion.
+ *   sieve trace <workload> [--out DIR] [--theta X] [--ctas N]
+ *       Export the SASS traces of the Sieve representatives.
+ *   sieve simulate <trace-file> [--arch ampere|turing] [--pkp]
+ *       Run the cycle-level simulator on one exported trace.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "eval/experiment.hh"
+#include "eval/report.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "gpusim/trace_synth.hh"
+#include "profiler/profilers.hh"
+#include "sampling/pks.hh"
+#include "sampling/random_sampler.hh"
+#include "sampling/sieve.hh"
+#include "sampling/tbpoint.hh"
+#include "trace/profile_io.hh"
+#include "trace/sass_trace.hh"
+#include "trace/workload_io.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace {
+
+using namespace sieve;
+
+/** Minimal argv parser: positionals plus --key[=| ]value options. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                std::string key = arg.substr(2);
+                std::string value = "true";
+                size_t eq = key.find('=');
+                if (eq != std::string::npos) {
+                    value = key.substr(eq + 1);
+                    key = key.substr(0, eq);
+                } else if (i + 1 < argc &&
+                           std::string(argv[i + 1]).rfind("--", 0) !=
+                               0 &&
+                           needsValue(key)) {
+                    value = argv[++i];
+                }
+                _options[key] = value;
+            } else if (arg == "-o" && i + 1 < argc) {
+                _options["out"] = argv[++i];
+            } else {
+                _positional.push_back(std::move(arg));
+            }
+        }
+    }
+
+    static bool
+    needsValue(const std::string &key)
+    {
+        return key != "pks" && key != "pkp";
+    }
+
+    const std::vector<std::string> &positional() const
+    {
+        return _positional;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = _options.find(key);
+        return it == _options.end() ? fallback : it->second;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return _options.count(key) > 0;
+    }
+
+  private:
+    std::vector<std::string> _positional;
+    std::map<std::string, std::string> _options;
+};
+
+gpu::ArchConfig
+archFor(const std::string &name)
+{
+    if (name == "ampere")
+        return gpu::ArchConfig::ampereRtx3080();
+    if (name == "turing")
+        return gpu::ArchConfig::turingRtx2080Ti();
+    fatal("unknown architecture '", name, "' (ampere | turing)");
+}
+
+workloads::WorkloadSpec
+specFor(const std::string &name)
+{
+    auto spec = workloads::findSpec(name);
+    if (!spec)
+        fatal("unknown workload '", name,
+              "'; run `sieve list` for the registry");
+    return *spec;
+}
+
+/**
+ * Resolve a workload argument: a path to a saved .swl file loads it,
+ * anything else is looked up in the Table I registry and generated.
+ */
+trace::Workload
+resolveWorkload(const std::string &name)
+{
+    if (std::filesystem::exists(name))
+        return trace::loadWorkloadFile(name);
+    return workloads::generateWorkload(specFor(name));
+}
+
+int
+cmdList()
+{
+    eval::Report report("Registered workloads (Table I)");
+    report.setColumns({"suite", "workload", "#kernels",
+                       "#invocations (paper)", "#generated"});
+    std::string last_suite;
+    for (const auto &spec : workloads::allSpecs()) {
+        if (!last_suite.empty() && spec.suite != last_suite)
+            report.addRule();
+        last_suite = spec.suite;
+        report.addRow({spec.suite, spec.name,
+                       std::to_string(spec.numKernels),
+                       std::to_string(spec.paperInvocations),
+                       std::to_string(spec.generatedInvocations)});
+    }
+    report.print();
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve profile <workload> [--pks] [-o FILE]");
+    auto spec = specFor(args.positional()[0]);
+    trace::Workload wl = workloads::generateWorkload(spec);
+
+    CsvTable table = args.has("pks")
+                         ? profiler::NsightProfiler().collect(wl)
+                         : profiler::NvbitProfiler().collect(wl);
+
+    std::string out = args.get(
+        "out", spec.name + (args.has("pks") ? "_pks" : "_sieve") +
+                   "_profile.csv");
+    table.writeFile(out);
+    std::printf("wrote %zu rows x %zu columns to %s\n",
+                table.numRows(), table.numCols(), out.c_str());
+    return 0;
+}
+
+/** Run the configured sampler; returns (result, predicted cycles). */
+std::pair<sampling::SamplingResult, double>
+runSampler(const std::string &method, const trace::Workload &wl,
+           const gpu::WorkloadResult &gold, double theta)
+{
+    if (method == "sieve") {
+        sampling::SieveSampler sampler({theta});
+        auto result = sampler.sample(wl);
+        double pred =
+            sampler.predictCycles(result, wl, gold.perInvocation);
+        return {std::move(result), pred};
+    }
+    if (method == "pks") {
+        sampling::PksSampler sampler;
+        auto result = sampler.sample(wl, gold.perInvocation);
+        double pred = sampler.predictCycles(result, gold.perInvocation);
+        return {std::move(result), pred};
+    }
+    if (method == "tbpoint") {
+        sampling::TbPointSampler sampler;
+        auto result = sampler.sample(wl);
+        double pred = sampler.predictCycles(result, gold.perInvocation);
+        return {std::move(result), pred};
+    }
+    if (method == "random") {
+        sampling::RandomSampler sampler;
+        auto result = sampler.sample(wl);
+        double pred =
+            sampler.predictCycles(result, wl, gold.perInvocation);
+        return {std::move(result), pred};
+    }
+    fatal("unknown method '", method,
+          "' (sieve | pks | tbpoint | random)");
+}
+
+int
+cmdSample(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve sample <workload> [--method M] "
+              "[--theta X] [-o FILE]");
+    std::string method = args.get("method", "sieve");
+    double theta = std::stod(args.get("theta", "0.4"));
+
+    trace::Workload wl = resolveWorkload(args.positional()[0]);
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+    gpu::WorkloadResult gold = hw.runWorkload(wl);
+    auto [result, predicted] = runSampler(method, wl, gold, theta);
+
+    CsvTable table({"stratum", "kernel", "invocation", "tier",
+                    "members", "weight", "cta_size",
+                    "instruction_count"});
+    for (size_t s = 0; s < result.strata.size(); ++s) {
+        const auto &stratum = result.strata[s];
+        const auto &inv = wl.invocation(stratum.representative);
+        table.addRow({
+            std::to_string(s),
+            stratum.kernelId == sampling::Stratum::kNoKernel
+                ? std::string("-")
+                : wl.kernel(stratum.kernelId).name,
+            std::to_string(stratum.representative),
+            sampling::tierName(stratum.tier),
+            std::to_string(stratum.members.size()),
+            eval::Report::num(stratum.weight, 8),
+            std::to_string(inv.launch.ctaSize()),
+            std::to_string(inv.instructions()),
+        });
+    }
+
+    std::string out =
+        args.get("out", wl.name() + "_" + method + "_reps.csv");
+    table.writeFile(out);
+    std::printf("%s selected %zu representatives for %s; wrote %s\n",
+                method.c_str(), result.strata.size(),
+                wl.name().c_str(), out.c_str());
+    return 0;
+}
+
+int
+cmdEvaluate(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve evaluate <workload> [--method M] "
+              "[--arch A] [--theta X]");
+    std::string method = args.get("method", "sieve");
+    double theta = std::stod(args.get("theta", "0.4"));
+
+    trace::Workload wl = resolveWorkload(args.positional()[0]);
+    gpu::HardwareExecutor hw(archFor(args.get("arch", "ampere")));
+    gpu::WorkloadResult gold = hw.runWorkload(wl);
+    auto [result, predicted] = runSampler(method, wl, gold, theta);
+    sampling::MethodEvaluation eval =
+        sampling::evaluate(result, predicted, gold.perInvocation);
+
+    eval::Report report("Evaluation: " + method + " on " + wl.suite() +
+                        "/" + wl.name());
+    report.setColumns({"metric", "value"});
+    report.addRow({"representatives",
+                   std::to_string(eval.numRepresentatives)});
+    report.addRow({"predicted cycles",
+                   eval::Report::count(eval.predictedCycles)});
+    report.addRow({"measured cycles",
+                   eval::Report::count(eval.measuredCycles)});
+    report.addRow({"error", eval::Report::percent(eval.error, 2)});
+    report.addRow({"simulation speedup",
+                   eval::Report::times(eval.speedup)});
+    report.addRow({"intra-cluster cycle CoV",
+                   eval::Report::num(eval.weightedClusterCov)});
+    report.print();
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve trace <workload> [--out DIR] [--theta X] "
+              "[--ctas N]");
+    double theta = std::stod(args.get("theta", "0.4"));
+
+    gpusim::TraceSynthOptions synth;
+    synth.maxTracedCtas =
+        static_cast<uint64_t>(std::stoul(args.get("ctas", "32")));
+
+    trace::Workload wl = resolveWorkload(args.positional()[0]);
+    std::filesystem::path out_dir =
+        args.get("out", wl.name() + "_traces");
+    std::filesystem::create_directories(out_dir);
+    sampling::SieveSampler sampler({theta});
+    sampling::SamplingResult result = sampler.sample(wl);
+
+    uint64_t bytes = 0;
+    for (const auto &stratum : result.strata) {
+        trace::KernelTrace kt = gpusim::synthesizeTrace(
+            wl, stratum.representative, synth);
+        std::filesystem::path file =
+            out_dir / (wl.name() + "_inv" +
+                       std::to_string(stratum.representative) +
+                       ".trace");
+        trace::writeTraceFile(kt, file.string());
+        bytes += std::filesystem::file_size(file);
+    }
+    std::printf("exported %zu traces (%.1f MB) to %s\n",
+                result.strata.size(),
+                static_cast<double>(bytes) / 1e6,
+                out_dir.string().c_str());
+    return 0;
+}
+
+int
+cmdExport(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve export <workload> [-o FILE]");
+    trace::Workload wl = resolveWorkload(args.positional()[0]);
+    std::string out = args.get("out", wl.name() + ".swl");
+    trace::saveWorkloadFile(wl, out);
+    std::printf("saved %s/%s (%zu kernels, %zu invocations) to %s\n",
+                wl.suite().c_str(), wl.name().c_str(), wl.numKernels(),
+                wl.numInvocations(), out.c_str());
+    return 0;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve simulate <trace-file> [--arch A] [--pkp]");
+    trace::KernelTrace kt =
+        trace::readTraceFile(args.positional()[0]);
+
+    gpusim::GpuSimConfig cfg;
+    cfg.pkpEnabled = args.has("pkp");
+    gpusim::GpuSimulator sim(archFor(args.get("arch", "ampere")), cfg);
+    gpusim::KernelSimResult result = sim.simulate(kt);
+
+    eval::Report report("Simulation: " + kt.kernelName +
+                        " invocation " +
+                        std::to_string(kt.invocationId));
+    report.setColumns({"metric", "value"});
+    report.addRow({"traced instructions",
+                   eval::Report::count(static_cast<double>(
+                       result.instructionsSimulated))});
+    report.addRow({"slice cycles",
+                   eval::Report::count(
+                       static_cast<double>(result.simCycles))});
+    report.addRow({"estimated kernel cycles",
+                   eval::Report::count(result.estimatedKernelCycles)});
+    report.addRow({"estimated IPC",
+                   eval::Report::num(result.estimatedIpc)});
+    report.addRow({"L1 hit rate",
+                   eval::Report::percent(result.l1.hitRate())});
+    report.addRow({"L2 hit rate",
+                   eval::Report::percent(result.l2.hitRate())});
+    report.addRow({"DRAM bytes",
+                   eval::Report::count(
+                       static_cast<double>(result.dram.bytes))});
+    if (result.pkpStoppedEarly) {
+        report.addRow({"PKP simulated fraction",
+                       eval::Report::percent(
+                           result.fractionSimulated)});
+    }
+    report.addRow({"wall time",
+                   eval::Report::num(result.wallSeconds, 3) + " s"});
+    report.print();
+    return 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: sieve <command> [args]\n"
+        "  list                           registry of Table I workloads\n"
+        "  profile <workload> [--pks]     write a profile CSV\n"
+        "  sample <workload> [--method M] select representatives\n"
+        "  evaluate <workload> [...]      error/speedup vs golden run\n"
+        "  trace <workload> [--out DIR]   export representative traces\n"
+        "  export <workload> [-o FILE]    save a workload as .swl\n"
+        "  simulate <trace> [--pkp]       cycle-level simulation\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    std::string command = argv[1];
+    Args args(argc, argv);
+
+    if (command == "list")
+        return cmdList();
+    if (command == "profile")
+        return cmdProfile(args);
+    if (command == "sample")
+        return cmdSample(args);
+    if (command == "evaluate")
+        return cmdEvaluate(args);
+    if (command == "trace")
+        return cmdTrace(args);
+    if (command == "export")
+        return cmdExport(args);
+    if (command == "simulate")
+        return cmdSimulate(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+}
