@@ -11,11 +11,15 @@
  *     from the weighting rule.
  */
 
+#include <array>
 #include <cstdio>
+#include <utility>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "stats/error_metrics.hh"
 #include "workloads/suites.hh"
 
@@ -36,32 +40,30 @@ predictWithCountWeights(const sampling::SamplingResult &result,
     return predicted;
 }
 
-} // namespace
-
-int
-main()
+void
+selectionStudy(eval::SuiteRunner &runner,
+               const std::vector<workloads::WorkloadSpec> &specs)
 {
-    eval::ExperimentContext ctx;
+    eval::ExperimentContext &ctx = runner.context();
+    eval::Report report("Ablation: Sieve representative selection "
+                        "policy (Cactus + MLPerf)");
+    report.setColumns({"workload", "dominant-CTA (default)",
+                       "first-chronological", "max-CTA"});
 
-    // --- Ablation 1: representative selection policy ---
-    {
-        eval::Report report("Ablation: Sieve representative selection "
-                            "policy (Cactus + MLPerf)");
-        report.setColumns({"workload", "dominant-CTA (default)",
-                           "first-chronological", "max-CTA"});
+    const sampling::SieveSelection policies[] = {
+        sampling::SieveSelection::FirstDominantCta,
+        sampling::SieveSelection::FirstChronological,
+        sampling::SieveSelection::MaxCta,
+    };
 
-        const sampling::SieveSelection policies[] = {
-            sampling::SieveSelection::FirstDominantCta,
-            sampling::SieveSelection::FirstChronological,
-            sampling::SieveSelection::MaxCta,
-        };
-
-        std::vector<std::vector<double>> errors(3);
-        for (const auto &spec : workloads::challengingSpecs()) {
+    std::vector<std::vector<double>> errors(3);
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
             const trace::Workload &wl = ctx.workload(spec);
             const gpu::WorkloadResult &gold = ctx.golden(spec);
 
-            std::vector<std::string> row = {spec.name};
+            std::array<double, 3> errs{};
             for (size_t p = 0; p < 3; ++p) {
                 sampling::SieveConfig cfg;
                 cfg.selection = policies[p];
@@ -69,32 +71,44 @@ main()
                 sampling::SamplingResult result = sampler.sample(wl);
                 double predicted = sampler.predictCycles(
                     result, wl, gold.perInvocation);
-                double error = stats::relativeError(predicted,
-                                                    gold.totalCycles);
-                errors[p].push_back(error);
-                row.push_back(eval::Report::percent(error, 2));
+                errs[p] = stats::relativeError(predicted,
+                                               gold.totalCycles);
+            }
+            return errs;
+        },
+        [&](const workloads::WorkloadSpec &spec,
+            std::array<double, 3> errs) {
+            std::vector<std::string> row = {spec.name};
+            for (size_t p = 0; p < 3; ++p) {
+                errors[p].push_back(errs[p]);
+                row.push_back(eval::Report::percent(errs[p], 2));
             }
             report.addRow(std::move(row));
-        }
-        report.addRule();
-        report.addRow(
-            {"average",
-             eval::Report::percent(stats::meanError(errors[0]), 2),
-             eval::Report::percent(stats::meanError(errors[1]), 2),
-             eval::Report::percent(stats::meanError(errors[2]), 2)});
-        report.print();
-    }
+        });
+    report.addRule();
+    report.addRow(
+        {"average",
+         eval::Report::percent(stats::meanError(errors[0]), 2),
+         eval::Report::percent(stats::meanError(errors[1]), 2),
+         eval::Report::percent(stats::meanError(errors[2]), 2)});
+    report.print();
+}
 
-    // --- Ablation 2: stratum weighting rule ---
-    {
-        eval::Report report("Ablation: Sieve weighting — instruction "
-                            "count vs invocation count");
-        report.setColumns({"workload", "instruction weights (default)",
-                           "invocation-count weights"});
+void
+weightingStudy(eval::SuiteRunner &runner,
+               const std::vector<workloads::WorkloadSpec> &specs)
+{
+    eval::ExperimentContext &ctx = runner.context();
+    eval::Report report("Ablation: Sieve weighting — instruction "
+                        "count vs invocation count");
+    report.setColumns({"workload", "instruction weights (default)",
+                       "invocation-count weights"});
 
-        std::vector<double> inst_errors;
-        std::vector<double> count_errors;
-        for (const auto &spec : workloads::challengingSpecs()) {
+    std::vector<double> inst_errors;
+    std::vector<double> count_errors;
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
             const trace::Workload &wl = ctx.workload(spec);
             const gpu::WorkloadResult &gold = ctx.golden(spec);
 
@@ -106,24 +120,41 @@ main()
             double count_pred =
                 predictWithCountWeights(result, gold.perInvocation);
 
-            double inst_err = stats::relativeError(inst_pred,
-                                                   gold.totalCycles);
-            double count_err = stats::relativeError(count_pred,
-                                                    gold.totalCycles);
-            inst_errors.push_back(inst_err);
-            count_errors.push_back(count_err);
+            return std::pair<double, double>{
+                stats::relativeError(inst_pred, gold.totalCycles),
+                stats::relativeError(count_pred, gold.totalCycles)};
+        },
+        [&](const workloads::WorkloadSpec &spec,
+            std::pair<double, double> errs) {
+            inst_errors.push_back(errs.first);
+            count_errors.push_back(errs.second);
             report.addRow({spec.name,
-                           eval::Report::percent(inst_err, 2),
-                           eval::Report::percent(count_err, 2)});
-        }
-        report.addRule();
-        report.addRow(
-            {"average",
-             eval::Report::percent(stats::meanError(inst_errors), 2),
-             eval::Report::percent(stats::meanError(count_errors),
-                                   2)});
-        report.print();
-    }
+                           eval::Report::percent(errs.first, 2),
+                           eval::Report::percent(errs.second, 2)});
+        });
+    report.addRule();
+    report.addRow(
+        {"average",
+         eval::Report::percent(stats::meanError(inst_errors), 2),
+         eval::Report::percent(stats::meanError(count_errors), 2)});
+    report.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_ablations [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::challengingSpecs(), opts.positional);
+
+    eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
+
+    selectionStudy(runner, specs);
+    weightingStudy(runner, specs);
 
     std::printf("\nExpected: dominant-CTA selection at least matches "
                 "the alternatives; instruction-count weighting is a "

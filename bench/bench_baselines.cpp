@@ -11,11 +11,14 @@
  * and Sieve dominates on accuracy at comparable speedup.
  */
 
+#include <array>
 #include <cstdio>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "sampling/pks.hh"
 #include "sampling/random_sampler.hh"
 #include "sampling/sieve.hh"
@@ -24,65 +27,73 @@
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_baselines [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::challengingSpecs(), opts.positional);
+
     eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
     eval::Report report("Baselines: prediction error across sampler "
                         "generations (Cactus + MLPerf)");
     report.setColumns({"workload", "random", "TBPoint", "PKS", "Sieve",
                        "TBPoint k"});
 
+    struct Generations
+    {
+        std::array<double, 4> errors{};
+        size_t tbpointK = 0;
+    };
+
     std::vector<double> errors[4];
-    std::string last_suite;
-    for (const auto &spec : workloads::challengingSpecs()) {
-        if (!last_suite.empty() && spec.suite != last_suite)
-            report.addRule();
-        last_suite = spec.suite;
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            const trace::Workload &wl = ctx.workload(spec);
+            const gpu::WorkloadResult &gold = ctx.golden(spec);
 
-        const trace::Workload &wl = ctx.workload(spec);
-        const gpu::WorkloadResult &gold = ctx.golden(spec);
+            Generations g;
 
-        sampling::RandomSampler random;
-        sampling::SamplingResult r_res = random.sample(wl);
-        double r_err = stats::relativeError(
-            random.predictCycles(r_res, wl, gold.perInvocation),
-            gold.totalCycles);
+            sampling::RandomSampler random;
+            sampling::SamplingResult r_res = random.sample(wl);
+            g.errors[0] = stats::relativeError(
+                random.predictCycles(r_res, wl, gold.perInvocation),
+                gold.totalCycles);
 
-        sampling::TbPointSampler tbpoint;
-        sampling::SamplingResult t_res = tbpoint.sample(wl);
-        double t_err = stats::relativeError(
-            tbpoint.predictCycles(t_res, gold.perInvocation),
-            gold.totalCycles);
+            sampling::TbPointSampler tbpoint;
+            sampling::SamplingResult t_res = tbpoint.sample(wl);
+            g.errors[1] = stats::relativeError(
+                tbpoint.predictCycles(t_res, gold.perInvocation),
+                gold.totalCycles);
+            g.tbpointK = t_res.chosenK;
 
-        sampling::PksSampler pks;
-        sampling::SamplingResult p_res =
-            pks.sample(wl, gold.perInvocation);
-        double p_err = stats::relativeError(
-            pks.predictCycles(p_res, gold.perInvocation),
-            gold.totalCycles);
+            sampling::PksSampler pks;
+            sampling::SamplingResult p_res =
+                pks.sample(wl, gold.perInvocation);
+            g.errors[2] = stats::relativeError(
+                pks.predictCycles(p_res, gold.perInvocation),
+                gold.totalCycles);
 
-        sampling::SieveSampler sieve;
-        sampling::SamplingResult s_res = sieve.sample(wl);
-        double s_err = stats::relativeError(
-            sieve.predictCycles(s_res, wl, gold.perInvocation),
-            gold.totalCycles);
-
-        errors[0].push_back(r_err);
-        errors[1].push_back(t_err);
-        errors[2].push_back(p_err);
-        errors[3].push_back(s_err);
-
-        report.addRow({
-            spec.name,
-            eval::Report::percent(r_err),
-            eval::Report::percent(t_err),
-            eval::Report::percent(p_err),
-            eval::Report::percent(s_err),
-            std::to_string(t_res.chosenK),
+            sampling::SieveSampler sieve;
+            sampling::SamplingResult s_res = sieve.sample(wl);
+            g.errors[3] = stats::relativeError(
+                sieve.predictCycles(s_res, wl, gold.perInvocation),
+                gold.totalCycles);
+            return g;
+        },
+        [&](const workloads::WorkloadSpec &spec, Generations g) {
+            std::vector<std::string> row = {spec.name};
+            for (size_t i = 0; i < 4; ++i) {
+                errors[i].push_back(g.errors[i]);
+                row.push_back(eval::Report::percent(g.errors[i]));
+            }
+            row.push_back(std::to_string(g.tbpointK));
+            report.addSuiteRow(spec.suite, std::move(row));
         });
-    }
 
     report.addRule();
     report.addRow({"average",

@@ -20,57 +20,79 @@
 #include <cstdio>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "sampling/confidence.hh"
 #include "sampling/sieve.hh"
 #include "stats/error_metrics.hh"
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_confidence [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::challengingSpecs(), opts.positional);
+
     eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
     eval::Report report("Extension: 95% confidence intervals from "
                         "four probes per stratum (Cactus + MLPerf)");
     report.setColumns({"workload", "predicted", "golden",
                        "95% half-width", "actual error", "covered"});
 
+    struct IntervalCheck
+    {
+        sampling::PredictionInterval interval;
+        double goldenCycles = 0.0;
+    };
+
     size_t covered = 0;
     size_t total = 0;
-    for (const auto &spec : workloads::challengingSpecs()) {
-        const trace::Workload &wl = ctx.workload(spec);
-        const gpu::WorkloadResult &gold = ctx.golden(spec);
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            const trace::Workload &wl = ctx.workload(spec);
+            const gpu::WorkloadResult &gold = ctx.golden(spec);
 
-        sampling::SieveSampler sieve;
-        sampling::SamplingResult strata = sieve.sample(wl);
-        auto plan = sampling::measurementPlan(strata, 4);
+            sampling::SieveSampler sieve;
+            sampling::SamplingResult strata = sieve.sample(wl);
+            auto plan = sampling::measurementPlan(strata, 4);
 
-        // Measure only the planned invocations (4 per stratum).
-        std::vector<gpu::KernelResult> sparse(wl.numInvocations());
-        for (const auto &picks : plan) {
-            for (size_t idx : picks)
-                sparse[idx] = ctx.executor().run(wl.invocation(idx));
-        }
+            // Measure only the planned invocations (4 per stratum).
+            std::vector<gpu::KernelResult> sparse(
+                wl.numInvocations());
+            for (const auto &picks : plan) {
+                for (size_t idx : picks)
+                    sparse[idx] =
+                        ctx.executor().run(wl.invocation(idx));
+            }
 
-        sampling::PredictionInterval interval =
-            sampling::predictWithConfidence(strata, wl, plan, sparse);
-        bool hit = interval.covers(gold.totalCycles);
-        covered += hit;
-        ++total;
+            return IntervalCheck{
+                sampling::predictWithConfidence(strata, wl, plan,
+                                                sparse),
+                gold.totalCycles};
+        },
+        [&](const workloads::WorkloadSpec &spec, IntervalCheck c) {
+            bool hit = c.interval.covers(c.goldenCycles);
+            covered += hit;
+            ++total;
 
-        report.addRow({
-            spec.name,
-            eval::Report::count(interval.predictedCycles),
-            eval::Report::count(gold.totalCycles),
-            eval::Report::percent(interval.relativeHalfWidth()),
-            eval::Report::percent(stats::relativeError(
-                interval.predictedCycles, gold.totalCycles)),
-            hit ? "yes" : "NO",
+            report.addRow({
+                spec.name,
+                eval::Report::count(c.interval.predictedCycles),
+                eval::Report::count(c.goldenCycles),
+                eval::Report::percent(c.interval.relativeHalfWidth()),
+                eval::Report::percent(stats::relativeError(
+                    c.interval.predictedCycles, c.goldenCycles)),
+                hit ? "yes" : "NO",
+            });
         });
-    }
     report.print();
 
     std::printf("\ncoverage: %zu / %zu workloads inside their 95%% "

@@ -19,11 +19,14 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "gpusim/gpu_simulator.hh"
 #include "gpusim/trace_synth.hh"
 #include "sampling/sieve.hh"
@@ -35,8 +38,9 @@ namespace {
 using namespace sieve;
 
 void
-pkpStudy(eval::ExperimentContext &ctx)
+pkpStudy(eval::SuiteRunner &runner)
 {
+    eval::ExperimentContext &ctx = runner.context();
     eval::Report report("Extension: Principal Kernel Projection on "
                         "dominant representatives");
     report.setColumns({"workload", "baseline cycles", "PKP cycles",
@@ -51,46 +55,63 @@ pkpStudy(eval::ExperimentContext &ctx)
                                    pkp_cfg);
 
     // gst is the motivating case; two regular workloads for contrast.
+    std::vector<workloads::WorkloadSpec> specs;
     for (const std::string name : {"gst", "gru", "gms"}) {
         auto spec = workloads::findSpec(name);
-        const trace::Workload &wl = ctx.workload(*spec);
-
-        // Heaviest Sieve stratum's representative = the invocation
-        // that dominates simulation time.
-        sampling::SieveSampler sieve;
-        sampling::SamplingResult strata = sieve.sample(wl);
-        size_t rep = 0;
-        double best_weight = -1.0;
-        for (const auto &s : strata.strata) {
-            if (s.weight > best_weight) {
-                best_weight = s.weight;
-                rep = s.representative;
-            }
-        }
-
-        // PKP pays off on long, multi-wave traces: CTA-sampling to
-        // 8 CTAs would already hide the effect, so this study traces
-        // 512 CTAs (dozens of SM waves) per representative.
-        gpusim::TraceSynthOptions synth;
-        synth.maxTracedCtas = 512;
-        trace::KernelTrace kt = gpusim::synthesizeTrace(wl, rep, synth);
-
-        gpusim::KernelSimResult full = baseline.simulate(kt);
-        gpusim::KernelSimResult pkp = projected.simulate(kt);
-
-        report.addRow({
-            spec->name,
-            eval::Report::count(full.estimatedKernelCycles),
-            eval::Report::count(pkp.estimatedKernelCycles),
-            eval::Report::percent(
-                stats::relativeError(pkp.estimatedKernelCycles,
-                                     full.estimatedKernelCycles)),
-            eval::Report::percent(pkp.fractionSimulated),
-            eval::Report::times(full.wallSeconds /
-                                    std::max(pkp.wallSeconds, 1e-9),
-                                1),
-        });
+        SIEVE_ASSERT(spec.has_value(), "unknown workload ", name);
+        specs.push_back(*spec);
     }
+
+    struct PkpOutcome
+    {
+        gpusim::KernelSimResult full;
+        gpusim::KernelSimResult pkp;
+    };
+
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            const trace::Workload &wl = ctx.workload(spec);
+
+            // Heaviest Sieve stratum's representative = the invocation
+            // that dominates simulation time.
+            sampling::SieveSampler sieve;
+            sampling::SamplingResult strata = sieve.sample(wl);
+            size_t rep = 0;
+            double best_weight = -1.0;
+            for (const auto &s : strata.strata) {
+                if (s.weight > best_weight) {
+                    best_weight = s.weight;
+                    rep = s.representative;
+                }
+            }
+
+            // PKP pays off on long, multi-wave traces: CTA-sampling to
+            // 8 CTAs would already hide the effect, so this study
+            // traces 512 CTAs (dozens of SM waves) per representative.
+            gpusim::TraceSynthOptions synth;
+            synth.maxTracedCtas = 512;
+            trace::KernelTrace kt =
+                gpusim::synthesizeTrace(wl, rep, synth);
+
+            return PkpOutcome{baseline.simulate(kt),
+                              projected.simulate(kt)};
+        },
+        [&](const workloads::WorkloadSpec &spec, PkpOutcome o) {
+            report.addRow({
+                spec.name,
+                eval::Report::count(o.full.estimatedKernelCycles),
+                eval::Report::count(o.pkp.estimatedKernelCycles),
+                eval::Report::percent(
+                    stats::relativeError(o.pkp.estimatedKernelCycles,
+                                         o.full.estimatedKernelCycles)),
+                eval::Report::percent(o.pkp.fractionSimulated),
+                eval::Report::times(o.full.wallSeconds /
+                                        std::max(o.pkp.wallSeconds,
+                                                 1e-9),
+                                    1),
+            });
+        });
     report.print();
     std::printf("\nExpected: PKP simulates a fraction of each "
                 "dominant representative at small cycle deviation — "
@@ -99,8 +120,9 @@ pkpStudy(eval::ExperimentContext &ctx)
 }
 
 void
-warmupStudy(eval::ExperimentContext &ctx)
+warmupStudy(eval::SuiteRunner &runner)
 {
+    eval::ExperimentContext &ctx = runner.context();
     eval::Report report("Extension: warmup sensitivity of Sieve "
                         "(perfect warmup vs cold representatives)");
     report.setColumns({"workload", "warm error", "cold error",
@@ -108,37 +130,45 @@ warmupStudy(eval::ExperimentContext &ctx)
 
     std::vector<double> warm_errors;
     std::vector<double> cold_errors;
-    for (const auto &spec : workloads::challengingSpecs()) {
-        const trace::Workload &wl = ctx.workload(spec);
-        const gpu::WorkloadResult &gold = ctx.golden(spec);
+    runner.forEach(
+        workloads::challengingSpecs(),
+        [&](const workloads::WorkloadSpec &spec) {
+            const trace::Workload &wl = ctx.workload(spec);
+            const gpu::WorkloadResult &gold = ctx.golden(spec);
 
-        sampling::SieveSampler sieve;
-        sampling::SamplingResult strata = sieve.sample(wl);
+            sampling::SieveSampler sieve;
+            sampling::SamplingResult strata = sieve.sample(wl);
 
-        // Representatives measured standalone: warm vs cold caches.
-        std::vector<gpu::KernelResult> warm(wl.numInvocations());
-        std::vector<gpu::KernelResult> cold(wl.numInvocations());
-        for (const auto &s : strata.strata) {
-            warm[s.representative] =
-                ctx.executor().run(wl.invocation(s.representative));
-            cold[s.representative] = ctx.executor().runCold(
-                wl.invocation(s.representative));
-        }
+            // Representatives measured standalone: warm vs cold
+            // caches.
+            std::vector<gpu::KernelResult> warm(wl.numInvocations());
+            std::vector<gpu::KernelResult> cold(wl.numInvocations());
+            for (const auto &s : strata.strata) {
+                warm[s.representative] = ctx.executor().run(
+                    wl.invocation(s.representative));
+                cold[s.representative] = ctx.executor().runCold(
+                    wl.invocation(s.representative));
+            }
 
-        double warm_err = stats::relativeError(
-            sieve.predictCycles(strata, wl, warm), gold.totalCycles);
-        double cold_err = stats::relativeError(
-            sieve.predictCycles(strata, wl, cold), gold.totalCycles);
-        warm_errors.push_back(warm_err);
-        cold_errors.push_back(cold_err);
-
-        report.addRow({
-            spec.name,
-            eval::Report::percent(warm_err),
-            eval::Report::percent(cold_err),
-            eval::Report::percent(cold_err - warm_err),
+            return std::pair<double, double>{
+                stats::relativeError(
+                    sieve.predictCycles(strata, wl, warm),
+                    gold.totalCycles),
+                stats::relativeError(
+                    sieve.predictCycles(strata, wl, cold),
+                    gold.totalCycles)};
+        },
+        [&](const workloads::WorkloadSpec &spec,
+            std::pair<double, double> errs) {
+            warm_errors.push_back(errs.first);
+            cold_errors.push_back(errs.second);
+            report.addRow({
+                spec.name,
+                eval::Report::percent(errs.first),
+                eval::Report::percent(errs.second),
+                eval::Report::percent(errs.second - errs.first),
+            });
         });
-    }
     report.addRule();
     report.addRow({"average",
                    eval::Report::percent(
@@ -158,10 +188,14 @@ warmupStudy(eval::ExperimentContext &ctx)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    eval::BenchOptions opts =
+        eval::parseBenchArgs(argc, argv, "bench_extensions");
+
     eval::ExperimentContext ctx;
-    pkpStudy(ctx);
-    warmupStudy(ctx);
+    eval::SuiteRunner runner(ctx, {opts.jobs});
+    pkpStudy(runner);
+    warmupStudy(runner);
     return 0;
 }

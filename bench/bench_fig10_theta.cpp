@@ -12,23 +12,38 @@
 #include <cstdio>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "sampling/sieve.hh"
 #include "stats/error_metrics.hh"
 #include "stats/weighted.hh"
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_fig10_theta [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::challengingSpecs(), opts.positional);
+
     eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
     eval::Report report("Fig. 10: Sieve error vs speedup across theta "
                         "(Cactus + MLPerf averages)");
     report.setColumns({"theta", "avg error", "max error",
                        "hmean speedup", "avg strata"});
+
+    struct PerWorkload
+    {
+        double error = 0.0;
+        double speedup = 0.0;
+        size_t strata = 0;
+    };
 
     for (double theta :
          {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
@@ -37,24 +52,32 @@ main()
         double strata = 0.0;
         size_t count = 0;
 
-        for (const auto &spec : workloads::challengingSpecs()) {
-            const trace::Workload &wl = ctx.workload(spec);
-            const gpu::WorkloadResult &gold = ctx.golden(spec);
+        runner.forEach(
+            specs,
+            [&](const workloads::WorkloadSpec &spec) {
+                const trace::Workload &wl = ctx.workload(spec);
+                const gpu::WorkloadResult &gold = ctx.golden(spec);
 
-            sampling::SieveSampler sampler({theta});
-            sampling::SamplingResult result = sampler.sample(wl);
-            double predicted = sampler.predictCycles(
-                result, wl, gold.perInvocation);
+                sampling::SieveSampler sampler({theta});
+                sampling::SamplingResult result = sampler.sample(wl);
+                double predicted = sampler.predictCycles(
+                    result, wl, gold.perInvocation);
 
-            errors.push_back(stats::relativeError(predicted,
-                                                  gold.totalCycles));
-            if (spec.name != "gst") {
-                speedups.push_back(sampling::simulationSpeedup(
-                    result, gold.perInvocation));
-            }
-            strata += static_cast<double>(result.strata.size());
-            ++count;
-        }
+                PerWorkload r;
+                r.error = stats::relativeError(predicted,
+                                               gold.totalCycles);
+                r.speedup = sampling::simulationSpeedup(
+                    result, gold.perInvocation);
+                r.strata = result.strata.size();
+                return r;
+            },
+            [&](const workloads::WorkloadSpec &spec, PerWorkload r) {
+                errors.push_back(r.error);
+                if (spec.name != "gst")
+                    speedups.push_back(r.speedup);
+                strata += static_cast<double>(r.strata);
+                ++count;
+            });
 
         report.addRow({
             eval::Report::num(theta, 1),

@@ -14,19 +14,27 @@
 #include <cstdio>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "sampling/sieve.hh"
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
+
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_fig2_tiers [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::challengingSpecs(), opts.positional);
 
     const std::vector<double> thetas = {0.1, 0.5, 1.0};
 
     eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
     eval::Report report("Fig. 2: tier fractions of kernel invocations "
                         "(Cactus + MLPerf)");
     report.setColumns({"workload", "t1@0.1", "t2@0.1", "t3@0.1",
@@ -37,28 +45,40 @@ main()
     std::vector<double> tier2_avg(thetas.size(), 0.0);
     size_t count = 0;
 
-    for (const auto &spec : workloads::challengingSpecs()) {
-        const trace::Workload &wl = ctx.workload(spec);
+    struct TierFractions
+    {
+        std::vector<double> tier1, tier2, tier3;
+    };
 
-        std::vector<std::string> row = {spec.name};
-        for (size_t t = 0; t < thetas.size(); ++t) {
-            sampling::SieveSampler sampler({thetas[t]});
-            sampling::SamplingResult result = sampler.sample(wl);
-            double t1 = result.tierInvocationFraction(
-                sampling::Tier::Tier1);
-            double t2 = result.tierInvocationFraction(
-                sampling::Tier::Tier2);
-            double t3 = result.tierInvocationFraction(
-                sampling::Tier::Tier3);
-            row.push_back(eval::Report::percent(t1, 0));
-            row.push_back(eval::Report::percent(t2, 0));
-            row.push_back(eval::Report::percent(t3, 0));
-            tier1_avg[t] += t1;
-            tier2_avg[t] += t2;
-        }
-        report.addRow(std::move(row));
-        ++count;
-    }
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            const trace::Workload &wl = ctx.workload(spec);
+            TierFractions f;
+            for (double theta : thetas) {
+                sampling::SieveSampler sampler({theta});
+                sampling::SamplingResult result = sampler.sample(wl);
+                f.tier1.push_back(result.tierInvocationFraction(
+                    sampling::Tier::Tier1));
+                f.tier2.push_back(result.tierInvocationFraction(
+                    sampling::Tier::Tier2));
+                f.tier3.push_back(result.tierInvocationFraction(
+                    sampling::Tier::Tier3));
+            }
+            return f;
+        },
+        [&](const workloads::WorkloadSpec &spec, TierFractions f) {
+            std::vector<std::string> row = {spec.name};
+            for (size_t t = 0; t < thetas.size(); ++t) {
+                row.push_back(eval::Report::percent(f.tier1[t], 0));
+                row.push_back(eval::Report::percent(f.tier2[t], 0));
+                row.push_back(eval::Report::percent(f.tier3[t], 0));
+                tier1_avg[t] += f.tier1[t];
+                tier2_avg[t] += f.tier2[t];
+            }
+            report.addRow(std::move(row));
+            ++count;
+        });
 
     report.addRule();
     std::vector<std::string> avg_row = {"average"};

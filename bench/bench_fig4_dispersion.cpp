@@ -8,19 +8,32 @@
  * ~0.57 for PKS (up to ~3.25 in dcg).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_fig4_dispersion [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::challengingSpecs(), opts.positional);
+
+    sampling::SieveConfig sieve_cfg;
+    if (opts.theta)
+        sieve_cfg.theta = *opts.theta;
+
     eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
     eval::Report report("Fig. 4: intra-cluster cycle-count CoV, "
                         "Sieve vs PKS (Cactus + MLPerf)");
     report.setColumns({"workload", "Sieve CoV", "PKS CoV"});
@@ -30,23 +43,24 @@ main()
     double sieve_max = 0.0;
     double pks_max = 0.0;
     size_t n = 0;
-    std::string last_suite;
-    for (const auto &spec : workloads::challengingSpecs()) {
-        if (!last_suite.empty() && spec.suite != last_suite)
-            report.addRule();
-        last_suite = spec.suite;
-
-        eval::WorkloadOutcome outcome = ctx.run(spec);
-        double s = outcome.sieve.weightedClusterCov;
-        double p = outcome.pks.weightedClusterCov;
-        sieve_sum += s;
-        pks_sum += p;
-        sieve_max = std::max(sieve_max, s);
-        pks_max = std::max(pks_max, p);
-        ++n;
-        report.addRow({spec.name, eval::Report::num(s),
-                       eval::Report::num(p)});
-    }
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            return ctx.run(spec, sieve_cfg);
+        },
+        [&](const workloads::WorkloadSpec &spec,
+            eval::WorkloadOutcome outcome) {
+            double s = outcome.sieve.weightedClusterCov;
+            double p = outcome.pks.weightedClusterCov;
+            sieve_sum += s;
+            pks_sum += p;
+            sieve_max = std::max(sieve_max, s);
+            pks_max = std::max(pks_max, p);
+            ++n;
+            report.addSuiteRow(spec.suite,
+                               {spec.name, eval::Report::num(s),
+                                eval::Report::num(p)});
+        });
 
     report.addRule();
     report.addRow({"average",

@@ -9,22 +9,31 @@
  * (3.9% avg), and none closes the gap to Sieve (1.2% avg).
  */
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "sampling/pks.hh"
 #include "stats/error_metrics.hh"
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_fig5_selection [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::challengingSpecs(), opts.positional);
+
     eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
     eval::Report report("Fig. 5: PKS error by representative selection "
                         "policy vs Sieve (Cactus + MLPerf)");
     report.setColumns(
@@ -38,41 +47,42 @@ main()
     };
 
     std::vector<std::vector<double>> errors(4);
-    std::string last_suite;
-    for (const auto &spec : workloads::challengingSpecs()) {
-        if (!last_suite.empty() && spec.suite != last_suite)
-            report.addRule();
-        last_suite = spec.suite;
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            const trace::Workload &wl = ctx.workload(spec);
+            const gpu::WorkloadResult &gold = ctx.golden(spec);
 
-        const trace::Workload &wl = ctx.workload(spec);
-        const gpu::WorkloadResult &gold = ctx.golden(spec);
+            std::array<double, 4> errs{};
+            for (size_t p = 0; p < 3; ++p) {
+                sampling::PksConfig cfg;
+                cfg.selection = policies[p];
+                sampling::PksSampler pks(cfg);
+                sampling::SamplingResult result =
+                    pks.sample(wl, gold.perInvocation);
+                double predicted =
+                    pks.predictCycles(result, gold.perInvocation);
+                errs[p] = std::fabs(predicted - gold.totalCycles) /
+                          gold.totalCycles;
+            }
 
-        std::vector<std::string> row = {spec.name};
-        for (size_t p = 0; p < 3; ++p) {
-            sampling::PksConfig cfg;
-            cfg.selection = policies[p];
-            sampling::PksSampler pks(cfg);
-            sampling::SamplingResult result =
-                pks.sample(wl, gold.perInvocation);
-            double predicted =
-                pks.predictCycles(result, gold.perInvocation);
-            double error = std::fabs(predicted - gold.totalCycles) /
-                           gold.totalCycles;
-            errors[p].push_back(error);
-            row.push_back(eval::Report::percent(error));
-        }
-
-        sampling::SieveSampler sieve;
-        sampling::SamplingResult sresult = sieve.sample(wl);
-        double spred =
-            sieve.predictCycles(sresult, wl, gold.perInvocation);
-        double serror = std::fabs(spred - gold.totalCycles) /
-                        gold.totalCycles;
-        errors[3].push_back(serror);
-        row.push_back(eval::Report::percent(serror));
-
-        report.addRow(std::move(row));
-    }
+            sampling::SieveSampler sieve;
+            sampling::SamplingResult sresult = sieve.sample(wl);
+            double spred =
+                sieve.predictCycles(sresult, wl, gold.perInvocation);
+            errs[3] = std::fabs(spred - gold.totalCycles) /
+                      gold.totalCycles;
+            return errs;
+        },
+        [&](const workloads::WorkloadSpec &spec,
+            std::array<double, 4> errs) {
+            std::vector<std::string> row = {spec.name};
+            for (size_t p = 0; p < 4; ++p) {
+                errors[p].push_back(errs[p]);
+                row.push_back(eval::Report::percent(errs[p]));
+            }
+            report.addSuiteRow(spec.suite, std::move(row));
+        });
 
     report.addRule();
     report.addRow({"average",

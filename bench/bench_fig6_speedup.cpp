@@ -17,17 +17,29 @@
 #include <cstdio>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "stats/weighted.hh"
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_fig6_speedup [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::challengingSpecs(), opts.positional);
+
+    sampling::SieveConfig sieve_cfg;
+    if (opts.theta)
+        sieve_cfg.theta = *opts.theta;
+
     eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
     eval::Report report(
         "Fig. 6: simulation speedup, Sieve vs PKS (Cactus + MLPerf)");
     report.setColumns({"workload", "Sieve", "PKS", "Sieve reps",
@@ -35,29 +47,29 @@ main()
 
     std::vector<double> sieve_speedups;
     std::vector<double> pks_speedups;
-    std::string last_suite;
-    for (const auto &spec : workloads::challengingSpecs()) {
-        if (!last_suite.empty() && spec.suite != last_suite)
-            report.addRule();
-        last_suite = spec.suite;
-
-        eval::WorkloadOutcome outcome = ctx.run(spec);
-        double scale =
-            static_cast<double>(spec.paperInvocations) /
-            static_cast<double>(outcome.numInvocations);
-        if (spec.name != "gst") { // excluded from means, as in paper
-            sieve_speedups.push_back(outcome.sieve.speedup);
-            pks_speedups.push_back(outcome.pks.speedup);
-        }
-        report.addRow({
-            spec.name,
-            eval::Report::times(outcome.sieve.speedup, 0),
-            eval::Report::times(outcome.pks.speedup, 0),
-            std::to_string(outcome.sieve.numRepresentatives),
-            std::to_string(outcome.pks.numRepresentatives),
-            eval::Report::times(outcome.sieve.speedup * scale, 0),
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            return ctx.run(spec, sieve_cfg);
+        },
+        [&](const workloads::WorkloadSpec &spec,
+            eval::WorkloadOutcome outcome) {
+            double scale =
+                static_cast<double>(spec.paperInvocations) /
+                static_cast<double>(outcome.numInvocations);
+            if (spec.name != "gst") { // excluded from means, as in paper
+                sieve_speedups.push_back(outcome.sieve.speedup);
+                pks_speedups.push_back(outcome.pks.speedup);
+            }
+            report.addSuiteRow(spec.suite, {
+                spec.name,
+                eval::Report::times(outcome.sieve.speedup, 0),
+                eval::Report::times(outcome.pks.speedup, 0),
+                std::to_string(outcome.sieve.numRepresentatives),
+                std::to_string(outcome.pks.numRepresentatives),
+                eval::Report::times(outcome.sieve.speedup * scale, 0),
+            });
         });
-    }
 
     report.addRule();
     report.addRow({"harmonic mean (excl. gst)",

@@ -9,21 +9,30 @@
  * replay passes.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "profiler/profilers.hh"
 #include "stats/weighted.hh"
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_fig7_profiling [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::challengingSpecs(), opts.positional);
+
     eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
     eval::Report report("Fig. 7: profiling-time speedup, Sieve (NVBit) "
                         "over PKS (Nsight), paper-scale runs");
     report.setColumns({"workload", "Sieve profiling", "PKS profiling",
@@ -31,26 +40,24 @@ main()
 
     std::vector<double> speedups;
     double max_speedup = 0.0;
-    std::string last_suite;
-    for (const auto &spec : workloads::challengingSpecs()) {
-        if (!last_suite.empty() && spec.suite != last_suite)
-            report.addRule();
-        last_suite = spec.suite;
-
-        const trace::Workload &wl = ctx.workload(spec);
-        const gpu::WorkloadResult &gold = ctx.golden(spec);
-        profiler::ProfilingTimes times =
-            profiler::estimateProfilingTimes(wl, gold);
-
-        speedups.push_back(times.speedup());
-        max_speedup = std::max(max_speedup, times.speedup());
-        report.addRow({
-            spec.name,
-            eval::Report::num(times.nvbitHours, 2) + " h",
-            eval::Report::num(times.nsightHours, 1) + " h",
-            eval::Report::times(times.speedup()),
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            const trace::Workload &wl = ctx.workload(spec);
+            const gpu::WorkloadResult &gold = ctx.golden(spec);
+            return profiler::estimateProfilingTimes(wl, gold);
+        },
+        [&](const workloads::WorkloadSpec &spec,
+            profiler::ProfilingTimes times) {
+            speedups.push_back(times.speedup());
+            max_speedup = std::max(max_speedup, times.speedup());
+            report.addSuiteRow(spec.suite, {
+                spec.name,
+                eval::Report::num(times.nvbitHours, 2) + " h",
+                eval::Report::num(times.nsightHours, 1) + " h",
+                eval::Report::times(times.speedup()),
+            });
         });
-    }
 
     report.addRule();
     report.addRow({"harmonic mean", "", "",

@@ -11,38 +11,50 @@
 #include <cstdio>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "stats/error_metrics.hh"
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_fig8_simple_suites [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::traditionalSpecs(), opts.positional);
+
+    sampling::SieveConfig sieve_cfg;
+    if (opts.theta)
+        sieve_cfg.theta = *opts.theta;
+
     eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
     eval::Report report("Fig. 8: prediction error on the traditional "
                         "suites (Parboil + Rodinia + SDK)");
     report.setColumns({"workload", "Sieve error", "PKS error"});
 
     std::vector<double> sieve_errors;
     std::vector<double> pks_errors;
-    std::string last_suite;
-    for (const auto &spec : workloads::traditionalSpecs()) {
-        if (!last_suite.empty() && spec.suite != last_suite)
-            report.addRule();
-        last_suite = spec.suite;
-
-        eval::WorkloadOutcome outcome = ctx.run(spec);
-        sieve_errors.push_back(outcome.sieve.error);
-        pks_errors.push_back(outcome.pks.error);
-        report.addRow({
-            spec.name,
-            eval::Report::percent(outcome.sieve.error, 2),
-            eval::Report::percent(outcome.pks.error, 2),
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            return ctx.run(spec, sieve_cfg);
+        },
+        [&](const workloads::WorkloadSpec &spec,
+            eval::WorkloadOutcome outcome) {
+            sieve_errors.push_back(outcome.sieve.error);
+            pks_errors.push_back(outcome.pks.error);
+            report.addSuiteRow(spec.suite, {
+                spec.name,
+                eval::Report::percent(outcome.sieve.error, 2),
+                eval::Report::percent(outcome.pks.error, 2),
+            });
         });
-    }
 
     report.addRule();
     report.addRow({"average",

@@ -15,82 +15,99 @@
 #include <cstdio>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "sampling/pks.hh"
 #include "sampling/sieve.hh"
 #include "stats/error_metrics.hh"
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_fig9_relative [workload...]");
+
+    std::vector<workloads::WorkloadSpec> specs;
+    for (auto &spec : eval::filterSpecs(workloads::cactusSpecs(),
+                                        opts.positional)) {
+        if (spec.name != "rfl") // not runnable on the paper's Turing box
+            specs.push_back(std::move(spec));
+    }
+
     eval::ExperimentContext ampere(gpu::ArchConfig::ampereRtx3080());
     eval::ExperimentContext turing(gpu::ArchConfig::turingRtx2080Ti());
+    eval::SuiteRunner runner(ampere, {opts.jobs});
 
     eval::Report report("Fig. 9: Ampere-over-Turing speedup — golden "
                         "vs PKS vs Sieve (Cactus, excl. rfl)");
     report.setColumns({"workload", "golden", "PKS", "Sieve",
                        "PKS err", "Sieve err"});
 
+    struct Speedups
+    {
+        double golden, pks, sieve;
+    };
+
     std::vector<double> pks_errors;
     std::vector<double> sieve_errors;
-    for (const auto &spec : workloads::cactusSpecs()) {
-        if (spec.name == "rfl")
-            continue; // not runnable on the Turing box in the paper
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            const trace::Workload &wl = ampere.workload(spec);
+            const gpu::WorkloadResult &gold_a = ampere.golden(spec);
+            const gpu::WorkloadResult &gold_t = turing.golden(spec);
 
-        const trace::Workload &wl = ampere.workload(spec);
-        const gpu::WorkloadResult &gold_a = ampere.golden(spec);
-        const gpu::WorkloadResult &gold_t = turing.golden(spec);
+            Speedups s{};
+            s.golden = gold_t.totalTimeUs / gold_a.totalTimeUs;
 
-        double golden_speedup =
-            gold_t.totalTimeUs / gold_a.totalTimeUs;
+            // Sieve: representatives are microarchitecture-
+            // independent — select once from the profile, measure
+            // them on each platform, compare predicted times.
+            sampling::SieveSampler sieve;
+            sampling::SamplingResult sres = sieve.sample(wl);
+            double s_cycles_a =
+                sieve.predictCycles(sres, wl, gold_a.perInvocation);
+            double s_cycles_t =
+                sieve.predictCycles(sres, wl, gold_t.perInvocation);
+            s.sieve =
+                (s_cycles_t / turing.executor().arch().coreClockGhz) /
+                (s_cycles_a / ampere.executor().arch().coreClockGhz);
 
-        // Sieve: representatives are microarchitecture-independent —
-        // select once from the profile, measure them on each
-        // platform, compare predicted times.
-        sampling::SieveSampler sieve;
-        sampling::SamplingResult s = sieve.sample(wl);
-        double s_cycles_a =
-            sieve.predictCycles(s, wl, gold_a.perInvocation);
-        double s_cycles_t =
-            sieve.predictCycles(s, wl, gold_t.perInvocation);
-        double s_speedup =
-            (s_cycles_t / turing.executor().arch().coreClockGhz) /
-            (s_cycles_a / ampere.executor().arch().coreClockGhz);
+            // PKS: representatives are tuned against the *Ampere*
+            // golden reference (the hardware dependence the paper
+            // criticizes), then reused on Turing.
+            sampling::PksSampler pks;
+            sampling::SamplingResult pres =
+                pks.sample(wl, gold_a.perInvocation);
+            double p_cycles_a =
+                pks.predictCycles(pres, gold_a.perInvocation);
+            double p_cycles_t =
+                pks.predictCycles(pres, gold_t.perInvocation);
+            s.pks =
+                (p_cycles_t / turing.executor().arch().coreClockGhz) /
+                (p_cycles_a / ampere.executor().arch().coreClockGhz);
+            return s;
+        },
+        [&](const workloads::WorkloadSpec &spec, Speedups s) {
+            double p_err = stats::relativeError(s.pks, s.golden);
+            double s_err = stats::relativeError(s.sieve, s.golden);
+            pks_errors.push_back(p_err);
+            sieve_errors.push_back(s_err);
 
-        // PKS: representatives are tuned against the *Ampere* golden
-        // reference (the hardware dependence the paper criticizes),
-        // then reused on Turing.
-        sampling::PksSampler pks;
-        sampling::SamplingResult p =
-            pks.sample(wl, gold_a.perInvocation);
-        double p_cycles_a =
-            pks.predictCycles(p, gold_a.perInvocation);
-        double p_cycles_t =
-            pks.predictCycles(p, gold_t.perInvocation);
-        double p_speedup =
-            (p_cycles_t / turing.executor().arch().coreClockGhz) /
-            (p_cycles_a / ampere.executor().arch().coreClockGhz);
-
-        double p_err =
-            stats::relativeError(p_speedup, golden_speedup);
-        double s_err =
-            stats::relativeError(s_speedup, golden_speedup);
-        pks_errors.push_back(p_err);
-        sieve_errors.push_back(s_err);
-
-        report.addRow({
-            spec.name,
-            eval::Report::times(golden_speedup, 2),
-            eval::Report::times(p_speedup, 2),
-            eval::Report::times(s_speedup, 2),
-            eval::Report::percent(p_err),
-            eval::Report::percent(s_err),
+            report.addRow({
+                spec.name,
+                eval::Report::times(s.golden, 2),
+                eval::Report::times(s.pks, 2),
+                eval::Report::times(s.sieve, 2),
+                eval::Report::percent(p_err),
+                eval::Report::percent(s_err),
+            });
         });
-    }
 
     report.addRule();
     report.addRow({"average", "", "", "",

@@ -9,39 +9,61 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "eval/cli.hh"
+#include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "workloads/generator.hh"
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "bench_table1 [workload...]");
+    std::vector<workloads::WorkloadSpec> specs = eval::filterSpecs(
+        workloads::allSpecs(), opts.positional);
+
+    eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(ctx, {opts.jobs});
     eval::Report report(
         "Table I: workloads, kernels, and kernel invocations");
     report.setColumns({"suite", "workload", "#kernels",
                        "#invocations (paper)", "#invocations (gen)",
                        "total insts (gen)"});
 
-    std::string last_suite;
-    for (const auto &spec : workloads::allSpecs()) {
-        if (!last_suite.empty() && spec.suite != last_suite)
-            report.addRule();
-        last_suite = spec.suite;
+    struct Inventory
+    {
+        size_t kernels = 0;
+        size_t invocations = 0;
+        uint64_t instructions = 0;
+    };
 
-        trace::Workload wl = workloads::generateWorkload(spec);
-        report.addRow({
-            spec.suite,
-            spec.name,
-            std::to_string(wl.numKernels()),
-            std::to_string(spec.paperInvocations),
-            std::to_string(wl.numInvocations()),
-            eval::Report::count(
-                static_cast<double>(wl.totalInstructions())),
+    runner.forEach(
+        specs,
+        [](const workloads::WorkloadSpec &spec) {
+            // Generated locally (not through the context cache): the
+            // inventory needs each workload once, and 40 cached
+            // workloads would hold peak memory for no reuse.
+            trace::Workload wl = workloads::generateWorkload(spec);
+            return Inventory{wl.numKernels(), wl.numInvocations(),
+                             wl.totalInstructions()};
+        },
+        [&](const workloads::WorkloadSpec &spec, Inventory inv) {
+            report.addSuiteRow(spec.suite, {
+                spec.suite,
+                spec.name,
+                std::to_string(inv.kernels),
+                std::to_string(spec.paperInvocations),
+                std::to_string(inv.invocations),
+                eval::Report::count(
+                    static_cast<double>(inv.instructions)),
+            });
         });
-    }
     report.print();
 
     std::printf("\nInvocation counts above the %zu cap are scaled down"

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <set>
 
+#include "common/logging.hh"
+#include "eval/cli.hh"
 #include "eval/report.hh"
 #include "profiler/profilers.hh"
 #include "trace/instruction_mix.hh"
@@ -14,13 +16,20 @@
 #include "workloads/suites.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sieve;
 
+    eval::BenchOptions opts =
+        eval::parseBenchArgs(argc, argv, "bench_table2 [workload]");
+
     // Derive each profiler's metric set from its actual CSV output so
     // the table reflects the implementation, not a hand-copied list.
-    auto spec = workloads::findSpec("gru");
+    std::string name =
+        opts.positional.empty() ? "gru" : opts.positional.front();
+    auto spec = workloads::findSpec(name);
+    if (!spec)
+        fatal("unknown workload '", name, "'");
     trace::Workload wl = workloads::generateWorkload(*spec);
 
     CsvTable nvbit_table = profiler::NvbitProfiler().collect(wl);

@@ -21,8 +21,10 @@
 #include <string>
 #include <vector>
 
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "sampling/sieve.hh"
 #include "workloads/suites.hh"
 
@@ -53,11 +55,14 @@ main(int argc, char **argv)
 {
     using namespace sieve;
 
-    std::vector<std::string> names;
-    for (int i = 1; i < argc; ++i)
-        names.push_back(argv[i]);
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "arch_compare [workload ...]");
+
+    std::vector<std::string> names = opts.positional;
     if (names.empty())
         names = {"gms", "lmc", "lmr", "dcg", "spt"};
+    std::vector<workloads::WorkloadSpec> specs =
+        eval::filterSpecs(workloads::allSpecs(), names);
 
     // Three platforms: the two paper GPUs and a what-if variant.
     gpu::ArchConfig ampere = gpu::ArchConfig::ampereRtx3080();
@@ -73,42 +78,52 @@ main(int argc, char **argv)
 
     eval::ExperimentContext ampere_ctx(ampere);
     eval::ExperimentContext turing_ctx(turing);
+    eval::SuiteRunner runner(ampere_ctx, {opts.jobs});
 
-    for (const auto &name : names) {
-        auto spec = workloads::findSpec(name);
-        if (!spec) {
-            std::fprintf(stderr, "unknown workload '%s', skipping\n",
-                         name.c_str());
-            continue;
-        }
-        const trace::Workload &wl = ampere_ctx.workload(*spec);
+    gpu::HardwareExecutor hw_ampere(ampere);
+    gpu::HardwareExecutor hw_turing(turing);
+    gpu::HardwareExecutor hw_big(big_l2);
 
-        // Select once, from the profile alone.
-        sampling::SieveSampler sampler;
-        sampling::SamplingResult result = sampler.sample(wl);
+    struct Exploration
+    {
+        size_t reps = 0;
+        double ampereUs = 0.0;
+        double turingUs = 0.0;
+        double bigL2Us = 0.0;
+        double goldenSpeedup = 0.0;
+    };
 
-        gpu::HardwareExecutor hw_ampere(ampere);
-        gpu::HardwareExecutor hw_turing(turing);
-        gpu::HardwareExecutor hw_big(big_l2);
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            const trace::Workload &wl = ampere_ctx.workload(spec);
 
-        double t_ampere =
-            predictedTimeUs(sampler, result, wl, hw_ampere);
-        double t_turing =
-            predictedTimeUs(sampler, result, wl, hw_turing);
-        double t_big = predictedTimeUs(sampler, result, wl, hw_big);
+            // Select once, from the profile alone.
+            sampling::SieveSampler sampler;
+            sampling::SamplingResult result = sampler.sample(wl);
 
-        // Golden reference: full runs on both platforms.
-        double golden = turing_ctx.golden(*spec).totalTimeUs /
-                        ampere_ctx.golden(*spec).totalTimeUs;
+            Exploration e;
+            e.reps = result.numRepresentatives();
+            e.ampereUs =
+                predictedTimeUs(sampler, result, wl, hw_ampere);
+            e.turingUs =
+                predictedTimeUs(sampler, result, wl, hw_turing);
+            e.bigL2Us = predictedTimeUs(sampler, result, wl, hw_big);
 
-        report.addRow({
-            spec->name,
-            std::to_string(result.numRepresentatives()),
-            eval::Report::times(t_turing / t_ampere, 2),
-            eval::Report::times(golden, 2),
-            eval::Report::times(t_turing / t_big, 2),
+            // Golden reference: full runs on both platforms.
+            e.goldenSpeedup = turing_ctx.golden(spec).totalTimeUs /
+                              ampere_ctx.golden(spec).totalTimeUs;
+            return e;
+        },
+        [&](const workloads::WorkloadSpec &spec, Exploration e) {
+            report.addRow({
+                spec.name,
+                std::to_string(e.reps),
+                eval::Report::times(e.turingUs / e.ampereUs, 2),
+                eval::Report::times(e.goldenSpeedup, 2),
+                eval::Report::times(e.turingUs / e.bigL2Us, 2),
+            });
         });
-    }
     report.print();
 
     std::printf("\nOnly the representative invocations were executed "

@@ -14,7 +14,7 @@
  *   5. export a representative's SASS trace and simulate it with the
  *      cycle-level simulator.
  *
- * Usage: custom_workload [output-dir]
+ * Usage: custom_workload [--jobs N] [output-dir]
  */
 
 #include <algorithm>
@@ -23,6 +23,8 @@
 #include <filesystem>
 #include <string>
 
+#include "common/thread_pool.hh"
+#include "eval/cli.hh"
 #include "eval/report.hh"
 #include "gpu/hardware_executor.hh"
 #include "gpusim/gpu_simulator.hh"
@@ -38,9 +40,13 @@ main(int argc, char **argv)
     using namespace sieve;
     namespace fs = std::filesystem;
 
-    fs::path out_dir = argc > 1 ? argv[1]
-                                : fs::temp_directory_path() /
-                                      "sieve_custom_workload";
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "custom_workload [--jobs N] [output-dir]");
+
+    fs::path out_dir = opts.positional.empty()
+                           ? fs::temp_directory_path() /
+                                 "sieve_custom_workload"
+                           : fs::path(opts.positional.front());
     fs::create_directories(out_dir);
 
     // --- 1. Describe a custom iterative solver-style workload. ---
@@ -86,12 +92,17 @@ main(int argc, char **argv)
                 100.0 * strata.tierInvocationFraction(
                             sampling::Tier::Tier3));
 
-    // --- 4. Measure representatives, project, validate. ---
+    // --- 4. Measure representatives (in parallel), project,
+    // validate. Representative measurements are independent, so they
+    // fan out over the pool; results land at fixed indices and are
+    // identical at any --jobs value.
     gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+    ThreadPool pool(opts.jobs);
     std::vector<gpu::KernelResult> sparse(wl.numInvocations());
-    for (const auto &s : strata.strata)
-        sparse[s.representative] =
-            hw.run(wl.invocation(s.representative));
+    parallelFor(pool, strata.strata.size(), [&](size_t i) {
+        size_t rep = strata.strata[i].representative;
+        sparse[rep] = hw.run(wl.invocation(rep));
+    });
     double predicted = sieve.predictCycles(strata, wl, sparse);
 
     gpu::WorkloadResult golden = hw.runWorkload(wl);

@@ -10,7 +10,7 @@
  * different performance, and first-chronological representatives
  * that are unrepresentative of drifting invocation streams.
  *
- * Usage: pks_inspector [workload-name] [top-n]
+ * Usage: pks_inspector [--top N] [workload-name]
  */
 
 #include <algorithm>
@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
 #include "stats/descriptive.hh"
@@ -29,14 +31,15 @@ main(int argc, char **argv)
 {
     using namespace sieve;
 
-    std::string name = argc > 1 ? argv[1] : "lmc";
-    size_t top_n = argc > 2 ? std::stoul(argv[2]) : 15;
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "pks_inspector [--top N] [workload-name]");
+    std::string name =
+        opts.positional.empty() ? "lmc" : opts.positional.front();
+    size_t top_n = opts.topN ? opts.topN : 15;
 
     auto spec = workloads::findSpec(name);
-    if (!spec) {
-        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
-        return 1;
-    }
+    if (!spec)
+        fatal("unknown workload '", name, "'");
 
     eval::ExperimentContext ctx;
     const trace::Workload &wl = ctx.workload(*spec);

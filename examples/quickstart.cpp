@@ -15,8 +15,11 @@
 #include <cstdio>
 #include <string>
 
+#include "common/logging.hh"
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "workloads/suites.hh"
 
 int
@@ -24,17 +27,21 @@ main(int argc, char **argv)
 {
     using namespace sieve;
 
-    std::string name = argc > 1 ? argv[1] : "lmc";
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "quickstart [workload-name] [seed-salt]");
+
+    std::string name =
+        opts.positional.empty() ? "lmc" : opts.positional[0];
     auto spec = workloads::findSpec(name);
-    if (!spec) {
-        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
-        return 1;
-    }
-    if (argc > 2)
-        spec->seedSalt = argv[2];
+    if (!spec)
+        fatal("unknown workload '", name, "'");
+    if (opts.positional.size() > 1)
+        spec->seedSalt = opts.positional[1];
 
     eval::ExperimentContext ctx; // RTX 3080-like Ampere by default
-    eval::WorkloadOutcome outcome = ctx.run(*spec);
+    eval::SuiteRunner runner(ctx, {opts.jobs});
+    eval::WorkloadOutcome outcome =
+        std::move(runner.runSuite({*spec}).front());
 
     eval::Report report("Quickstart: " + spec->suite + "/" +
                         spec->name + " on " +

@@ -9,7 +9,7 @@
  * the tool to reach for when a workload's Sieve error looks too
  * high: it shows exactly which stratum is mispriced and why.
  *
- * Usage: stratum_inspector [workload-name] [top-n]
+ * Usage: stratum_inspector [--top N] [workload-name]
  */
 
 #include <algorithm>
@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
+#include "eval/cli.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
 #include "stats/descriptive.hh"
@@ -27,14 +29,15 @@ main(int argc, char **argv)
 {
     using namespace sieve;
 
-    std::string name = argc > 1 ? argv[1] : "lmc";
-    size_t top_n = argc > 2 ? std::stoul(argv[2]) : 15;
+    eval::BenchOptions opts = eval::parseBenchArgs(
+        argc, argv, "stratum_inspector [--top N] [workload-name]");
+    std::string name =
+        opts.positional.empty() ? "lmc" : opts.positional.front();
+    size_t top_n = opts.topN ? opts.topN : 15;
 
     auto spec = workloads::findSpec(name);
-    if (!spec) {
-        std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
-        return 1;
-    }
+    if (!spec)
+        fatal("unknown workload '", name, "'");
 
     eval::ExperimentContext ctx;
     const trace::Workload &wl = ctx.workload(*spec);

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI gate: strict build, full test suite, then the threaded tests
+# again under ThreadSanitizer.
+#
+#   1. configure + build with -DSIEVE_WERROR=ON (warnings are errors)
+#   2. run the complete ctest suite
+#   3. rebuild with -DSIEVE_SANITIZE=thread and run the
+#      concurrency-sensitive tests (thread pool, experiment context,
+#      suite runner) under TSan
+#
+# Build trees: build-ci/ (strict) and build-tsan/ (sanitized), kept
+# separate from the developer's build/ so CI never clobbers it.
+# Usage: scripts/ci.sh [jobs]   (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "=== 1/3: strict build (WERROR) ==="
+cmake -B build-ci -S . -DSIEVE_WERROR=ON -DCMAKE_BUILD_TYPE=Release
+cmake --build build-ci -j "$JOBS"
+
+echo "=== 2/3: test suite ==="
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== 3/3: threaded tests under TSan ==="
+cmake -B build-tsan -S . -DSIEVE_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$JOBS" --target \
+    test_thread_pool test_experiment test_suite_runner
+
+# Death tests fork, which TSan dislikes; skip them under the
+# sanitizer — they run in step 2.
+./build-tsan/tests/test_thread_pool
+./build-tsan/tests/test_experiment
+./build-tsan/tests/test_suite_runner --gtest_filter='-*DeathTest*'
+
+echo
+echo "ci: all gates passed"

@@ -1,0 +1,156 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace sieve {
+
+size_t
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("SIEVE_JOBS")) {
+        char *end = nullptr;
+        long parsed = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && parsed > 0)
+            return static_cast<size_t>(parsed);
+        warn("ignoring SIEVE_JOBS='", env,
+             "': expected a positive integer");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    if (workers == 0)
+        workers = defaultJobs();
+    // One worker = serial mode; the helpers bypass the queue, so no
+    // thread is needed. Still spawn it so submit() works uniformly.
+    _workers.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _stopping = true;
+    }
+    _cv.notify_all();
+    for (auto &w : _workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    SIEVE_ASSERT(task, "ThreadPool::submit called with empty task");
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        SIEVE_ASSERT(!_stopping, "submit on a stopping ThreadPool");
+        _queue.push_back(std::move(task));
+    }
+    _cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mu);
+            _cv.wait(lock, [this] {
+                return _stopping || _queueHead < _queue.size();
+            });
+            if (_queueHead >= _queue.size()) {
+                if (_stopping)
+                    return;
+                continue;
+            }
+            task = std::move(_queue[_queueHead++]);
+            // Reclaim the drained prefix once it dominates the queue.
+            if (_queueHead > 64 && _queueHead * 2 > _queue.size()) {
+                _queue.erase(_queue.begin(),
+                             _queue.begin() +
+                                 static_cast<ptrdiff_t>(_queueHead));
+                _queueHead = 0;
+            }
+        }
+        task();
+    }
+}
+
+namespace detail {
+
+void
+runIndexed(ThreadPool &pool, size_t n,
+           const std::function<void(size_t)> &body)
+{
+    // Shared ownership: pool workers may wake on a drained batch
+    // after the caller has already returned, so the batch state must
+    // outlive this frame.
+    struct Shared
+    {
+        std::function<void(size_t)> body;
+        size_t n = 0;
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        std::mutex mu;
+        std::condition_variable cv;
+        std::exception_ptr error;
+        size_t errorIndex = std::numeric_limits<size_t>::max();
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->body = body;
+    shared->n = n;
+
+    auto drive = [shared] {
+        for (;;) {
+            size_t i = shared->next.fetch_add(1);
+            if (i >= shared->n)
+                return;
+            try {
+                shared->body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(shared->mu);
+                if (i < shared->errorIndex) {
+                    shared->errorIndex = i;
+                    shared->error = std::current_exception();
+                }
+            }
+            if (shared->done.fetch_add(1) + 1 == shared->n) {
+                std::lock_guard<std::mutex> lock(shared->mu);
+                shared->cv.notify_all();
+            }
+        }
+    };
+
+    size_t drivers = std::min(pool.numWorkers(), n);
+    for (size_t d = 0; d < drivers; ++d)
+        pool.submit(drive);
+
+    // The caller participates too: steal iterations until the index
+    // space is exhausted, then wait for stragglers. Self-driving also
+    // makes nested fan-out safe — an inner batch never waits on pool
+    // capacity held by its own ancestors.
+    drive();
+    {
+        std::unique_lock<std::mutex> lock(shared->mu);
+        shared->cv.wait(lock,
+                        [&] { return shared->done.load() == n; });
+        if (shared->error)
+            std::rethrow_exception(shared->error);
+    }
+}
+
+} // namespace detail
+
+} // namespace sieve

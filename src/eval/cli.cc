@@ -1,0 +1,116 @@
+#include "eval/cli.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace sieve::eval {
+
+namespace {
+
+/** Parse the value of --flag, either "--flag=V" or the next argv. */
+std::string
+flagValue(std::string_view flag, std::string_view arg, int argc,
+          char **argv, int &i)
+{
+    size_t eq = arg.find('=');
+    if (eq != std::string_view::npos)
+        return std::string(arg.substr(eq + 1));
+    if (i + 1 >= argc)
+        fatal("missing value for ", flag);
+    return argv[++i];
+}
+
+size_t
+parseCount(std::string_view flag, const std::string &value)
+{
+    char *end = nullptr;
+    long parsed = std::strtol(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || parsed <= 0)
+        fatal(flag, " expects a positive integer, got '", value, "'");
+    return static_cast<size_t>(parsed);
+}
+
+double
+parseReal(std::string_view flag, const std::string &value)
+{
+    char *end = nullptr;
+    double parsed = std::strtod(value.c_str(), &end);
+    if (!end || *end != '\0' || !(parsed > 0.0))
+        fatal(flag, " expects a positive number, got '", value, "'");
+    return parsed;
+}
+
+} // namespace
+
+BenchOptions
+parseBenchArgs(int argc, char **argv, std::string_view usage)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [options]%s%.*s\n"
+                "  --jobs N    worker threads (default: SIEVE_JOBS "
+                "env, else hardware concurrency; 1 = serial)\n"
+                "  --theta X   Sieve stratification threshold\n"
+                "  --top N     limit detail rows (inspector tools)\n"
+                "  NAME...     restrict to the named workloads\n"
+                "Output is byte-identical for every --jobs value.\n",
+                argv[0], usage.empty() ? "" : "\n  ",
+                static_cast<int>(usage.size()), usage.data());
+            std::exit(0);
+        } else if (arg.rfind("--jobs", 0) == 0) {
+            opts.jobs = parseCount(
+                "--jobs", flagValue("--jobs", arg, argc, argv, i));
+        } else if (arg.rfind("--theta", 0) == 0) {
+            opts.theta = parseReal(
+                "--theta", flagValue("--theta", arg, argc, argv, i));
+        } else if (arg.rfind("--top", 0) == 0) {
+            opts.topN = parseCount(
+                "--top", flagValue("--top", arg, argc, argv, i));
+        } else if (arg.rfind("--", 0) == 0) {
+            fatal("unknown option '", arg, "' (see --help)");
+        } else {
+            opts.positional.emplace_back(arg);
+        }
+    }
+    return opts;
+}
+
+std::vector<workloads::WorkloadSpec>
+filterSpecs(std::vector<workloads::WorkloadSpec> specs,
+            const std::vector<std::string> &names)
+{
+    if (names.empty())
+        return specs;
+
+    for (const auto &name : names) {
+        bool known = std::any_of(
+            specs.begin(), specs.end(),
+            [&](const workloads::WorkloadSpec &s) {
+                return s.name == name ||
+                       s.suite + "/" + s.name == name;
+            });
+        if (!known)
+            fatal("workload '", name, "' is not in this suite");
+    }
+
+    std::vector<workloads::WorkloadSpec> kept;
+    for (auto &spec : specs) {
+        bool wanted = std::any_of(
+            names.begin(), names.end(), [&](const std::string &n) {
+                return spec.name == n ||
+                       spec.suite + "/" + spec.name == n;
+            });
+        if (wanted)
+            kept.push_back(std::move(spec));
+    }
+    return kept;
+}
+
+} // namespace sieve::eval

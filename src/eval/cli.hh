@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared command-line parsing for the bench binaries and examples.
+ *
+ * Every bench used to hand-roll its own argv walk (or take no
+ * arguments at all); this helper gives all of them one contract:
+ *
+ *   --jobs N    worker threads for the SuiteRunner fan-out
+ *               (default: SIEVE_JOBS env var, else hardware
+ *               concurrency; 1 = legacy serial execution)
+ *   --theta X   Sieve stratification threshold override
+ *   --top N     row limit for the inspector-style tools
+ *   NAME...     positional workload names restricting a registry
+ *               suite to the named subset (registry order is kept)
+ *
+ * Output is --jobs-invariant by the library-wide determinism rule,
+ * so the flags never change a table, only the wall-clock to print it.
+ */
+
+#ifndef SIEVE_EVAL_CLI_HH
+#define SIEVE_EVAL_CLI_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/suites.hh"
+
+namespace sieve::eval {
+
+/** Parsed common bench/example options. */
+struct BenchOptions
+{
+    /** Worker count for SuiteRunner (0 = resolve default). */
+    size_t jobs = 0;
+
+    /** Sieve theta override, when the tool exposes one. */
+    std::optional<double> theta;
+
+    /** Row limit for inspector tools (0 = tool default). */
+    size_t topN = 0;
+
+    /** Positional arguments (workload names, usually). */
+    std::vector<std::string> positional;
+};
+
+/**
+ * Parse the common options from argv. Unknown `--flags` are a user
+ * error (fatal). `--help` prints the shared contract plus the
+ * tool-specific `usage` line and exits 0.
+ */
+BenchOptions parseBenchArgs(int argc, char **argv,
+                            std::string_view usage = "");
+
+/**
+ * Restrict a registry suite to the named workloads, keeping registry
+ * order. An empty name list returns `specs` unchanged; a name that
+ * matches nothing is a user error (fatal) — catching typos beats
+ * silently printing an empty table.
+ */
+std::vector<workloads::WorkloadSpec> filterSpecs(
+    std::vector<workloads::WorkloadSpec> specs,
+    const std::vector<std::string> &names);
+
+} // namespace sieve::eval
+
+#endif // SIEVE_EVAL_CLI_HH

@@ -13,26 +13,23 @@ ExperimentContext::ExperimentContext(gpu::ArchConfig arch)
 const trace::Workload &
 ExperimentContext::workload(const workloads::WorkloadSpec &spec)
 {
-    std::string key = spec.seedLabel();
-    auto it = _workloads.find(key);
-    if (it == _workloads.end()) {
-        it = _workloads
-                 .emplace(key, workloads::generateWorkload(spec))
-                 .first;
-    }
-    return it->second;
+    Slot<trace::Workload> &slot =
+        slotFor(_workloads, spec.seedLabel());
+    std::call_once(slot.once, [&] {
+        slot.value.emplace(workloads::generateWorkload(spec));
+    });
+    return *slot.value;
 }
 
 const gpu::WorkloadResult &
 ExperimentContext::golden(const workloads::WorkloadSpec &spec)
 {
-    std::string key = spec.seedLabel();
-    auto it = _golden.find(key);
-    if (it == _golden.end()) {
-        it = _golden.emplace(key, _executor.runWorkload(workload(spec)))
-                 .first;
-    }
-    return it->second;
+    Slot<gpu::WorkloadResult> &slot =
+        slotFor(_golden, spec.seedLabel());
+    std::call_once(slot.once, [&] {
+        slot.value.emplace(_executor.runWorkload(workload(spec)));
+    });
+    return *slot.value;
 }
 
 WorkloadOutcome

@@ -14,6 +14,9 @@
 #define SIEVE_EVAL_EXPERIMENT_HH
 
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,7 +46,12 @@ struct WorkloadOutcome
 
 /**
  * Caching context for experiments against one architecture.
- * Not thread-safe; create one per thread if parallelizing.
+ *
+ * Thread-safe: one context may be shared by every worker of a
+ * SuiteRunner fan-out. Each cache entry is built exactly once (the
+ * first requester builds it, concurrent requesters for the same key
+ * wait), distinct keys build concurrently, and the returned
+ * references stay valid and stable for the context's lifetime.
  */
 class ExperimentContext
 {
@@ -66,9 +74,38 @@ class ExperimentContext
                         sampling::PksConfig pks_cfg = {});
 
   private:
+    /**
+     * One build-once cache slot. The slot address is pinned by a
+     * unique_ptr in the node-based map, so the per-slot once_flag and
+     * the cached value survive concurrent map growth and the handed
+     * out `const&`s never move.
+     */
+    template <typename T>
+    struct Slot
+    {
+        std::once_flag once;
+        std::optional<T> value;
+    };
+
+    /** Find-or-create the slot for a key under the map mutex. */
+    template <typename T>
+    Slot<T> &
+    slotFor(std::map<std::string, std::unique_ptr<Slot<T>>> &cache,
+            const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        auto &slot = cache[key];
+        if (!slot)
+            slot = std::make_unique<Slot<T>>();
+        return *slot;
+    }
+
     gpu::HardwareExecutor _executor;
-    std::map<std::string, trace::Workload> _workloads;
-    std::map<std::string, gpu::WorkloadResult> _golden;
+    std::mutex _mu; //!< guards the cache maps, not the slot builds
+    std::map<std::string, std::unique_ptr<Slot<trace::Workload>>>
+        _workloads;
+    std::map<std::string, std::unique_ptr<Slot<gpu::WorkloadResult>>>
+        _golden;
 };
 
 } // namespace sieve::eval

@@ -32,6 +32,16 @@ Report::addRow(std::vector<std::string> cells)
 }
 
 void
+Report::addSuiteRow(const std::string &suite,
+                    std::vector<std::string> cells)
+{
+    if (!_lastSuite.empty() && suite != _lastSuite)
+        addRule();
+    _lastSuite = suite;
+    addRow(std::move(cells));
+}
+
+void
 Report::addRule()
 {
     _rows.emplace_back(); // sentinel

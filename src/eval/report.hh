@@ -29,6 +29,14 @@ class Report
     /** Append one row; width must match the headers. */
     void addRow(std::vector<std::string> cells);
 
+    /**
+     * Append one per-workload row, inserting a separator rule
+     * whenever `suite` differs from the previous call's suite — the
+     * idiom every multi-suite table uses between Cactus and MLPerf.
+     */
+    void addSuiteRow(const std::string &suite,
+                     std::vector<std::string> cells);
+
     /** Append a separator rule before the next row. */
     void addRule();
 
@@ -64,6 +72,7 @@ class Report
     std::string _title;
     std::vector<std::string> _headers;
     std::vector<std::vector<std::string>> _rows; //!< empty row = rule
+    std::string _lastSuite; //!< addSuiteRow rule tracking
 };
 
 } // namespace sieve::eval

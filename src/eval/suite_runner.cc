@@ -1,0 +1,21 @@
+#include "eval/suite_runner.hh"
+
+namespace sieve::eval {
+
+SuiteRunner::SuiteRunner(ExperimentContext &ctx,
+                         SuiteRunnerOptions opts)
+    : _ctx(ctx), _pool(opts.jobs)
+{
+}
+
+std::vector<WorkloadOutcome>
+SuiteRunner::runSuite(
+    const std::vector<workloads::WorkloadSpec> &specs,
+    sampling::SieveConfig sieve_cfg, sampling::PksConfig pks_cfg)
+{
+    return map(specs, [&](const workloads::WorkloadSpec &spec) {
+        return _ctx.run(spec, sieve_cfg, pks_cfg);
+    });
+}
+
+} // namespace sieve::eval

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic parallel suite runner — the one evaluation engine
+ * behind every bench binary and example.
+ *
+ * Every figure/table reproduction used to walk the workload registry
+ * with its own serial loop; SuiteRunner replaces those loops with a
+ * single pipeline: fan the per-workload evaluation (generate →
+ * golden → Sieve/PKS sample → evaluate, or any caller-supplied
+ * stage) out over a common::ThreadPool, and hand the results back in
+ * registry order. Because all per-workload randomness derives from
+ * the workload's named seed label — never from worker identity or
+ * scheduling — the output is byte-identical for any `--jobs` value.
+ *
+ * The paper itself motivates the shape (§V-G: sampled-invocation
+ * simulation "parallelizes trivially"; serial time is the sum of
+ * per-trace times, parallel time the longest trace) — SuiteRunner is
+ * that observation applied to the whole evaluation harness.
+ */
+
+#ifndef SIEVE_EVAL_SUITE_RUNNER_HH
+#define SIEVE_EVAL_SUITE_RUNNER_HH
+
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "eval/experiment.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::eval {
+
+/** SuiteRunner configuration. */
+struct SuiteRunnerOptions
+{
+    /**
+     * Worker count: 0 resolves through ThreadPool::defaultJobs()
+     * (`SIEVE_JOBS` env var, else hardware concurrency); 1 runs the
+     * legacy serial path on the calling thread.
+     */
+    size_t jobs = 0;
+};
+
+/**
+ * Parallel evaluation engine over a workload-spec list.
+ *
+ * Holds the thread pool and a shared (thread-safe) ExperimentContext
+ * reference; per-call lambdas receive `const WorkloadSpec &` and may
+ * freely use the context's cached workload/golden handles from any
+ * worker.
+ */
+class SuiteRunner
+{
+  public:
+    explicit SuiteRunner(ExperimentContext &ctx,
+                         SuiteRunnerOptions opts = {});
+
+    /** The shared experiment context. */
+    ExperimentContext &context() { return _ctx; }
+
+    /** Resolved worker count. */
+    size_t jobs() const { return _pool.numWorkers(); }
+
+    /** The underlying pool, for batches outside the spec shape. */
+    ThreadPool &pool() { return _pool; }
+
+    /**
+     * Full Sieve-vs-PKS pipeline on every spec; outcomes in registry
+     * order.
+     */
+    std::vector<WorkloadOutcome> runSuite(
+        const std::vector<workloads::WorkloadSpec> &specs,
+        sampling::SieveConfig sieve_cfg = {},
+        sampling::PksConfig pks_cfg = {});
+
+    /**
+     * Fan an arbitrary per-workload evaluation over the pool;
+     * results in spec order. `fn` must not write to shared state and
+     * must derive randomness only from the spec (the library-wide
+     * determinism rule); the result type needs to be movable.
+     */
+    template <typename Fn>
+    auto
+    map(const std::vector<workloads::WorkloadSpec> &specs, Fn &&fn)
+        -> std::vector<decltype(fn(specs[size_t{}]))>
+    {
+        return parallelMap(_pool, specs.size(),
+                           [&](size_t i) { return fn(specs[i]); });
+    }
+
+    /**
+     * map() followed by an in-order serial consumption pass —
+     * evaluation fans out, presentation (report rows, accumulators)
+     * stays sequential and deterministic. `consume(spec, result)` is
+     * called on the calling thread, in registry order.
+     */
+    template <typename Fn, typename Consume>
+    void
+    forEach(const std::vector<workloads::WorkloadSpec> &specs,
+            Fn &&fn, Consume &&consume)
+    {
+        auto results = map(specs, std::forward<Fn>(fn));
+        for (size_t i = 0; i < specs.size(); ++i)
+            consume(specs[i], std::move(results[i]));
+    }
+
+  private:
+    ExperimentContext &_ctx;
+    ThreadPool _pool;
+};
+
+} // namespace sieve::eval
+
+#endif // SIEVE_EVAL_SUITE_RUNNER_HH

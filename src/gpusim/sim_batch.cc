@@ -1,0 +1,64 @@
+#include "gpusim/sim_batch.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sieve::gpusim {
+
+double
+BatchSimResult::serialSeconds() const
+{
+    double sum = 0.0;
+    for (const auto &r : results)
+        sum += r.wallSeconds;
+    return sum;
+}
+
+double
+BatchSimResult::criticalPathSeconds() const
+{
+    double longest = 0.0;
+    for (const auto &r : results)
+        longest = std::max(longest, r.wallSeconds);
+    return longest;
+}
+
+namespace {
+
+BatchSimResult
+runBatch(size_t n, ThreadPool &pool,
+         const std::function<KernelSimResult(size_t)> &simulateOne)
+{
+    BatchSimResult batch;
+    auto begin = std::chrono::steady_clock::now();
+    batch.results = parallelMap(pool, n, simulateOne);
+    batch.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+    return batch;
+}
+
+} // namespace
+
+BatchSimResult
+simulateBatch(const GpuSimulator &simulator,
+              const std::vector<trace::KernelTrace> &traces,
+              ThreadPool &pool)
+{
+    return runBatch(traces.size(), pool, [&](size_t i) {
+        return simulator.simulate(traces[i]);
+    });
+}
+
+BatchSimResult
+simulateTraceFiles(const GpuSimulator &simulator,
+                   const std::vector<std::string> &paths,
+                   ThreadPool &pool)
+{
+    return runBatch(paths.size(), pool, [&](size_t i) {
+        return simulator.simulate(trace::readTraceFile(paths[i]));
+    });
+}
+
+} // namespace sieve::gpusim

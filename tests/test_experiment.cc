@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the thread-safe ExperimentContext: find-or-create caching
+ * with stable references, build-once semantics under concurrent
+ * access, and parallel-vs-serial result identity. The concurrency
+ * tests are the ones `scripts/ci.sh` runs under TSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "eval/experiment.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::eval {
+namespace {
+
+/** Small but real specs keep the golden runs fast. */
+std::vector<workloads::WorkloadSpec>
+testSpecs()
+{
+    auto specs = workloads::cactusSpecs(2000);
+    specs.resize(4);
+    return specs;
+}
+
+TEST(ExperimentContext, SameSpecReturnsSameCachedObject)
+{
+    ExperimentContext ctx;
+    auto spec = testSpecs().front();
+
+    const trace::Workload &a = ctx.workload(spec);
+    const trace::Workload &b = ctx.workload(spec);
+    EXPECT_EQ(&a, &b) << "workload cache must return stable handles";
+
+    const gpu::WorkloadResult &g1 = ctx.golden(spec);
+    const gpu::WorkloadResult &g2 = ctx.golden(spec);
+    EXPECT_EQ(&g1, &g2) << "golden cache must return stable handles";
+}
+
+TEST(ExperimentContext, DifferentSaltIsADifferentCacheEntry)
+{
+    ExperimentContext ctx;
+    auto spec = testSpecs().front();
+    auto salted = spec;
+    salted.seedSalt = "other";
+
+    EXPECT_NE(&ctx.workload(spec), &ctx.workload(salted));
+}
+
+TEST(ExperimentContext, ConcurrentAccessYieldsOneObject)
+{
+    ExperimentContext ctx;
+    auto spec = testSpecs().front();
+
+    // Race 8 threads into the cold cache; every thread must get the
+    // same object, i.e. the entry was built exactly once.
+    ThreadPool pool(8);
+    std::vector<const trace::Workload *> seen =
+        parallelMap(pool, 8, [&](size_t) {
+            return &ctx.workload(spec);
+        });
+    for (const trace::Workload *p : seen)
+        EXPECT_EQ(p, seen.front());
+
+    std::vector<const gpu::WorkloadResult *> gold =
+        parallelMap(pool, 8, [&](size_t) {
+            return &ctx.golden(spec);
+        });
+    for (const gpu::WorkloadResult *p : gold)
+        EXPECT_EQ(p, gold.front());
+}
+
+TEST(ExperimentContext, ConcurrentRunMatchesSerialExactly)
+{
+    auto specs = testSpecs();
+
+    // Serial reference, one fresh context.
+    ExperimentContext serial_ctx;
+    std::vector<WorkloadOutcome> serial;
+    for (const auto &spec : specs)
+        serial.push_back(serial_ctx.run(spec));
+
+    // Same suite, fresh context, 8-way concurrent run() — including
+    // concurrent cold-cache fills.
+    ExperimentContext parallel_ctx;
+    ThreadPool pool(8);
+    std::vector<WorkloadOutcome> parallel = parallelMap(
+        pool, specs.size(),
+        [&](size_t i) { return parallel_ctx.run(specs[i]); });
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        const WorkloadOutcome &s = serial[i];
+        const WorkloadOutcome &p = parallel[i];
+        EXPECT_EQ(p.name, s.name);
+        EXPECT_EQ(p.numInvocations, s.numInvocations);
+        // Bit-exact, not approximate: parallelism must not perturb
+        // a single double anywhere in the pipeline.
+        EXPECT_EQ(p.sieve.predictedCycles, s.sieve.predictedCycles);
+        EXPECT_EQ(p.sieve.measuredCycles, s.sieve.measuredCycles);
+        EXPECT_EQ(p.sieve.error, s.sieve.error);
+        EXPECT_EQ(p.sieve.speedup, s.sieve.speedup);
+        EXPECT_EQ(p.sieve.numRepresentatives,
+                  s.sieve.numRepresentatives);
+        EXPECT_EQ(p.pks.predictedCycles, s.pks.predictedCycles);
+        EXPECT_EQ(p.pks.error, s.pks.error);
+        EXPECT_EQ(p.pks.numRepresentatives,
+                  s.pks.numRepresentatives);
+    }
+}
+
+} // namespace
+} // namespace sieve::eval

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the SuiteRunner pipeline and the shared bench CLI: suite
+ * outcomes must be independent of the worker count (the determinism
+ * regression test behind the --jobs contract), consumption must stay
+ * in registry order, and the common flag parsing must behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/cli.hh"
+#include "eval/experiment.hh"
+#include "eval/report.hh"
+#include "eval/suite_runner.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::eval {
+namespace {
+
+std::vector<workloads::WorkloadSpec>
+testSpecs()
+{
+    auto specs = workloads::cactusSpecs(2000);
+    specs.resize(4);
+    return specs;
+}
+
+/** Render outcomes exactly like a bench table, as CSV text. */
+std::string
+renderOutcomes(const std::vector<WorkloadOutcome> &outcomes)
+{
+    Report report("determinism check");
+    report.setColumns({"workload", "sieve err", "pks err",
+                       "sieve cycles", "pks cycles", "reps"});
+    for (const auto &o : outcomes) {
+        report.addSuiteRow(o.suite, {
+            o.name,
+            Report::percent(o.sieve.error, 6),
+            Report::percent(o.pks.error, 6),
+            Report::count(o.sieve.predictedCycles),
+            Report::count(o.pks.predictedCycles),
+            std::to_string(o.sieve.numRepresentatives),
+        });
+    }
+    std::ostringstream os;
+    report.writeCsv(os);
+    return os.str();
+}
+
+TEST(SuiteRunner, OutcomesAreIndependentOfJobCount)
+{
+    auto specs = testSpecs();
+
+    ExperimentContext ctx1;
+    SuiteRunner serial(ctx1, {1});
+    EXPECT_EQ(serial.jobs(), 1u);
+    std::string csv1 = renderOutcomes(serial.runSuite(specs));
+
+    ExperimentContext ctx8;
+    SuiteRunner threaded(ctx8, {8});
+    EXPECT_EQ(threaded.jobs(), 8u);
+    std::string csv8 = renderOutcomes(threaded.runSuite(specs));
+
+    // The whole point of the engine: byte-identical output at any
+    // --jobs value.
+    EXPECT_EQ(csv1, csv8);
+}
+
+TEST(SuiteRunner, RunSuitePreservesRegistryOrder)
+{
+    auto specs = testSpecs();
+    ExperimentContext ctx;
+    SuiteRunner runner(ctx, {8});
+    std::vector<WorkloadOutcome> outcomes = runner.runSuite(specs);
+
+    ASSERT_EQ(outcomes.size(), specs.size());
+    for (size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(outcomes[i].name, specs[i].name);
+}
+
+TEST(SuiteRunner, ForEachConsumesSeriallyInInputOrder)
+{
+    auto specs = testSpecs();
+    ExperimentContext ctx;
+    SuiteRunner runner(ctx, {8});
+
+    std::vector<std::string> consumed;
+    runner.forEach(
+        specs,
+        [&](const workloads::WorkloadSpec &spec) {
+            return spec.name + "!";
+        },
+        [&](const workloads::WorkloadSpec &spec, std::string tag) {
+            // The consume stage runs on the calling thread after the
+            // fan-out, so plain (unsynchronized) state is fine here.
+            EXPECT_EQ(tag, spec.name + "!");
+            consumed.push_back(spec.name);
+        });
+
+    ASSERT_EQ(consumed.size(), specs.size());
+    for (size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(consumed[i], specs[i].name);
+}
+
+TEST(BenchCli, ParsesCommonFlagsAndPositionals)
+{
+    const char *argv[] = {"bench", "--jobs", "4", "--theta=0.55",
+                          "--top", "7", "gru", "cactus/lmc"};
+    BenchOptions opts = parseBenchArgs(8, const_cast<char **>(argv));
+    EXPECT_EQ(opts.jobs, 4u);
+    ASSERT_TRUE(opts.theta.has_value());
+    EXPECT_DOUBLE_EQ(*opts.theta, 0.55);
+    EXPECT_EQ(opts.topN, 7u);
+    ASSERT_EQ(opts.positional.size(), 2u);
+    EXPECT_EQ(opts.positional[0], "gru");
+    EXPECT_EQ(opts.positional[1], "cactus/lmc");
+}
+
+TEST(BenchCli, DefaultsLeaveEverythingUnset)
+{
+    const char *argv[] = {"bench"};
+    BenchOptions opts = parseBenchArgs(1, const_cast<char **>(argv));
+    EXPECT_EQ(opts.jobs, 0u);
+    EXPECT_FALSE(opts.theta.has_value());
+    EXPECT_EQ(opts.topN, 0u);
+    EXPECT_TRUE(opts.positional.empty());
+}
+
+TEST(BenchCli, FilterKeepsRegistryOrderAndAcceptsQualifiedNames)
+{
+    auto specs = workloads::allSpecs();
+
+    // Names given out of registry order come back in registry order.
+    std::string first = specs.front().name;
+    std::string last = specs.back().suite + "/" + specs.back().name;
+    auto picked = filterSpecs(specs, {last, first});
+    ASSERT_EQ(picked.size(), 2u);
+    EXPECT_EQ(picked[0].name, specs.front().name);
+    EXPECT_EQ(picked[1].name, specs.back().name);
+
+    // No filter: the suite passes through untouched.
+    EXPECT_EQ(filterSpecs(specs, {}).size(), specs.size());
+}
+
+TEST(BenchCliDeathTest, UnknownWorkloadNameIsFatal)
+{
+    auto specs = workloads::allSpecs();
+    EXPECT_DEATH(filterSpecs(specs, {"no-such-workload"}),
+                 "not in this suite");
+}
+
+TEST(BenchCliDeathTest, UnknownFlagIsFatal)
+{
+    const char *argv[] = {"bench", "--frobnicate"};
+    EXPECT_DEATH(parseBenchArgs(2, const_cast<char **>(argv)),
+                 "unknown option");
+}
+
+} // namespace
+} // namespace sieve::eval

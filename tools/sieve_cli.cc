@@ -21,8 +21,10 @@
  *       error, speedup, and dispersion.
  *   sieve trace <workload> [--out DIR] [--theta X] [--ctas N]
  *       Export the SASS traces of the Sieve representatives.
- *   sieve simulate <trace-file> [--arch ampere|turing] [--pkp]
- *       Run the cycle-level simulator on one exported trace.
+ *   sieve simulate <trace-file>... [--arch ampere|turing] [--pkp]
+ *                [--jobs N]
+ *       Run the cycle-level simulator on exported traces; several
+ *       files are simulated concurrently over N workers.
  */
 
 #include <cstdio>
@@ -35,9 +37,11 @@
 
 #include "common/csv.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
 #include "gpusim/gpu_simulator.hh"
+#include "gpusim/sim_batch.hh"
 #include "gpusim/trace_synth.hh"
 #include "profiler/profilers.hh"
 #include "sampling/pks.hh"
@@ -151,15 +155,12 @@ cmdList()
     eval::Report report("Registered workloads (Table I)");
     report.setColumns({"suite", "workload", "#kernels",
                        "#invocations (paper)", "#generated"});
-    std::string last_suite;
     for (const auto &spec : workloads::allSpecs()) {
-        if (!last_suite.empty() && spec.suite != last_suite)
-            report.addRule();
-        last_suite = spec.suite;
-        report.addRow({spec.suite, spec.name,
-                       std::to_string(spec.numKernels),
-                       std::to_string(spec.paperInvocations),
-                       std::to_string(spec.generatedInvocations)});
+        report.addSuiteRow(spec.suite,
+                           {spec.suite, spec.name,
+                            std::to_string(spec.numKernels),
+                            std::to_string(spec.paperInvocations),
+                            std::to_string(spec.generatedInvocations)});
     }
     report.print();
     return 0;
@@ -349,18 +350,11 @@ cmdExport(const Args &args)
     return 0;
 }
 
-int
-cmdSimulate(const Args &args)
+/** Per-trace detail table for `sieve simulate` with one file. */
+void
+printSimResult(const trace::KernelTrace &kt,
+               const gpusim::KernelSimResult &result)
 {
-    if (args.positional().empty())
-        fatal("usage: sieve simulate <trace-file> [--arch A] [--pkp]");
-    trace::KernelTrace kt =
-        trace::readTraceFile(args.positional()[0]);
-
-    gpusim::GpuSimConfig cfg;
-    cfg.pkpEnabled = args.has("pkp");
-    gpusim::GpuSimulator sim(archFor(args.get("arch", "ampere")), cfg);
-    gpusim::KernelSimResult result = sim.simulate(kt);
 
     eval::Report report("Simulation: " + kt.kernelName +
                         " invocation " +
@@ -391,6 +385,57 @@ cmdSimulate(const Args &args)
     report.addRow({"wall time",
                    eval::Report::num(result.wallSeconds, 3) + " s"});
     report.print();
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve simulate <trace-file>... [--arch A] "
+              "[--pkp] [--jobs N]");
+
+    gpusim::GpuSimConfig cfg;
+    cfg.pkpEnabled = args.has("pkp");
+    gpusim::GpuSimulator sim(archFor(args.get("arch", "ampere")), cfg);
+
+    if (args.positional().size() == 1) {
+        trace::KernelTrace kt =
+            trace::readTraceFile(args.positional()[0]);
+        printSimResult(kt, sim.simulate(kt));
+        return 0;
+    }
+
+    // Several trace files: the paper's farm-out deployment. Fan the
+    // batch over the pool and summarize one row per trace.
+    ThreadPool pool(static_cast<size_t>(
+        std::stoul(args.get("jobs", "0"))));
+    gpusim::BatchSimResult batch =
+        gpusim::simulateTraceFiles(sim, args.positional(), pool);
+
+    eval::Report report("Simulation: " +
+                        std::to_string(batch.results.size()) +
+                        " traces, " + std::to_string(pool.numWorkers()) +
+                        " jobs");
+    report.setColumns({"trace", "insts", "est. cycles", "est. IPC",
+                       "sim time"});
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+        const gpusim::KernelSimResult &r = batch.results[i];
+        report.addRow({
+            std::filesystem::path(args.positional()[i])
+                .filename()
+                .string(),
+            eval::Report::count(
+                static_cast<double>(r.instructionsSimulated)),
+            eval::Report::count(r.estimatedKernelCycles),
+            eval::Report::num(r.estimatedIpc),
+            eval::Report::num(r.wallSeconds, 3) + " s",
+        });
+    }
+    report.print();
+    std::printf("batch wall time %.3f s (serial-cost model %.3f s, "
+                "longest trace %.3f s)\n",
+                batch.wallSeconds, batch.serialSeconds(),
+                batch.criticalPathSeconds());
     return 0;
 }
 
@@ -406,7 +451,7 @@ usage()
         "  evaluate <workload> [...]      error/speedup vs golden run\n"
         "  trace <workload> [--out DIR]   export representative traces\n"
         "  export <workload> [-o FILE]    save a workload as .swl\n"
-        "  simulate <trace> [--pkp]       cycle-level simulation\n");
+        "  simulate <trace>... [--pkp]    cycle-level simulation\n");
     return 2;
 }
 
