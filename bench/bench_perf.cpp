@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Perf-trajectory microbenchmark harness for the PR-2 hot-path
+ * optimizations.
+ *
+ * Times each optimized analysis stage against its retained naive
+ * reference (stats::reference) on paper-scale inputs, asserts the two
+ * produce byte-identical outputs, and emits a JSON record per op:
+ *
+ *   { "op": ..., "n": ..., "reps": ..., "median_ns": ..., "speedup": ... }
+ *
+ * Ops without a reference counterpart (PCA fit, PKS end-to-end, CSV
+ * serialization) are timed for the trajectory record and emit
+ * "speedup": null.
+ *
+ * Flags:
+ *   --reps N   timing repetitions per op (median reported; default 5)
+ *   --smoke    shrink inputs and validate schema + determinism only;
+ *              exit non-zero on any violation (CI gate — timing
+ *              numbers are recorded but never judged)
+ *   --out P    JSON output path (default BENCH_PR2.json)
+ *   --jobs N   worker threads for the optimized paths (0 = default)
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/strings.hh"
+#include "common/thread_pool.hh"
+#include "eval/experiment.hh"
+#include "sampling/pks.hh"
+#include "stats/kde.hh"
+#include "stats/kmeans.hh"
+#include "stats/pca.hh"
+#include "stats/reference.hh"
+#include "workloads/suites.hh"
+
+namespace {
+
+using namespace sieve;
+using Clock = std::chrono::steady_clock;
+
+struct OpRecord
+{
+    std::string op;
+    size_t n = 0;
+    int reps = 0;
+    double medianNs = 0.0;
+    double speedup = 0.0;   //!< vs the naive reference
+    bool hasSpeedup = false;
+};
+
+int failures = 0;
+
+void
+violation(const std::string &what)
+{
+    std::fprintf(stderr, "bench_perf: VIOLATION: %s\n", what.c_str());
+    ++failures;
+}
+
+/** Median wall-clock nanoseconds of `reps` runs of fn(). */
+template <typename F>
+double
+medianNs(int reps, F &&fn)
+{
+    std::vector<double> times;
+    times.reserve(static_cast<size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+        auto t0 = Clock::now();
+        fn();
+        auto t1 = Clock::now();
+        times.push_back(
+            std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+bool
+bitsEqual(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return a.size() == b.size() &&
+           (a.empty() || std::memcmp(a.data(), b.data(),
+                                     a.size() * sizeof(double)) == 0);
+}
+
+bool
+bitsEqual(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool
+matrixBitsEqual(const stats::Matrix &a, const stats::Matrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    for (size_t r = 0; r < a.rows(); ++r) {
+        auto ra = a.rowSpan(r);
+        auto rb = b.rowSpan(r);
+        if (std::memcmp(ra.data(), rb.data(),
+                        ra.size() * sizeof(double)) != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+samplingResultsEqual(const sampling::SamplingResult &a,
+                     const sampling::SamplingResult &b)
+{
+    if (a.method != b.method || a.chosenK != b.chosenK ||
+        a.strata.size() != b.strata.size())
+        return false;
+    for (size_t i = 0; i < a.strata.size(); ++i) {
+        const auto &sa = a.strata[i];
+        const auto &sb = b.strata[i];
+        if (sa.members != sb.members ||
+            sa.representative != sb.representative ||
+            !bitsEqual(sa.weight, sb.weight))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Paper-shaped 1-D sample: most mass in a tight mode (the common
+ * instruction count) plus a sparse heavy tail (the variable
+ * invocations) — the regime where Tier-3 KDE stratification runs.
+ * The tight IQR keeps the Silverman bandwidth, and therefore the
+ * windowed kernel support, narrow relative to the range.
+ */
+std::vector<double>
+makeSample(size_t n, Rng rng)
+{
+    std::vector<double> values;
+    values.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.98))
+            values.push_back(rng.normal(1000.0, 1.0));
+        else
+            values.push_back(rng.uniform(0.0, 1.0e4));
+    }
+    return values;
+}
+
+stats::Matrix
+makeFeatureMatrix(size_t n, size_t d, Rng rng)
+{
+    stats::Matrix m(n, d);
+    for (size_t r = 0; r < n; ++r) {
+        // Four loose planted clusters so k-means has structure to find.
+        double centre = static_cast<double>(r % 4) * 10.0;
+        auto row = m.rowSpan(r);
+        for (size_t c = 0; c < d; ++c)
+            row[c] = rng.normal(centre, 1.0 + static_cast<double>(c));
+    }
+    return m;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+void
+writeJson(const std::string &path, const std::vector<OpRecord> &records,
+          size_t jobs, bool smoke)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"bench\": \"bench_perf\",\n";
+    os << "  \"schema\": 1,\n";
+    os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    os << "  \"results\": [\n";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const auto &r = records[i];
+        os << "    {\"op\": \"" << r.op << "\", \"n\": " << r.n
+           << ", \"reps\": " << r.reps << ", \"median_ns\": "
+           << jsonNumber(r.medianNs) << ", \"speedup\": ";
+        if (r.hasSpeedup)
+            os << jsonNumber(r.speedup);
+        else
+            os << "null";
+        os << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+
+    std::string text = os.str();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '", path, "' for writing");
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+}
+
+/** The schema contract the CI smoke step enforces. */
+void
+validateRecords(const std::vector<OpRecord> &records)
+{
+    if (records.empty())
+        violation("no op records produced");
+    for (const auto &r : records) {
+        if (r.op.empty())
+            violation("record with empty op name");
+        if (r.n == 0)
+            violation(r.op + ": n must be positive");
+        if (r.reps <= 0)
+            violation(r.op + ": reps must be positive");
+        if (!(r.medianNs > 0.0))
+            violation(r.op + ": median_ns must be positive");
+        if (r.hasSpeedup && !(r.speedup > 0.0))
+            violation(r.op + ": speedup must be positive when present");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int reps = 5;
+    bool smoke = false;
+    std::string out = "BENCH_PR2.json";
+    size_t jobs = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--reps")
+            reps = std::stoi(value());
+        else if (arg == "--smoke")
+            smoke = true;
+        else if (arg == "--out")
+            out = value();
+        else if (arg == "--jobs")
+            jobs = static_cast<size_t>(std::stoul(value()));
+        else if (arg == "--help") {
+            std::printf("usage: bench_perf [--reps N] [--smoke] "
+                        "[--out PATH] [--jobs N]\n");
+            return 0;
+        } else {
+            fatal("unknown flag ", arg);
+        }
+    }
+    if (reps <= 0)
+        fatal("--reps must be positive");
+
+    ThreadPool pool(jobs);
+    std::vector<OpRecord> records;
+
+    const size_t n = smoke ? 20000 : 100000;
+    const size_t grid_points = 256;
+
+    Rng rng("bench_perf");
+    std::vector<double> values = makeSample(n, rng.split("sample"));
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+
+    // ---- densityGrid: windowed + parallel vs dense reference -------
+    stats::KernelDensity kde(sorted);
+    double lo = sorted.front();
+    double hi = sorted.back();
+
+    std::vector<double> grid_opt, grid_ref, grid_serial;
+    double grid_opt_ns = medianNs(reps, [&] {
+        grid_opt = kde.densityGrid(lo, hi, grid_points, &pool);
+    });
+    double grid_ref_ns = medianNs(reps, [&] {
+        grid_ref = stats::reference::densityGrid(sorted, kde.bandwidth(),
+                                                 lo, hi, grid_points);
+    });
+    grid_serial = kde.densityGrid(lo, hi, grid_points, nullptr);
+    if (!bitsEqual(grid_opt, grid_ref))
+        violation("densityGrid: optimized != reference bytes");
+    if (!bitsEqual(grid_opt, grid_serial))
+        violation("densityGrid: pooled != serial bytes");
+    records.push_back({"densityGrid", n, reps, grid_opt_ns,
+                       grid_ref_ns / grid_opt_ns, true});
+
+    // ---- stratifyByDensity: prefix-sum CoV vs Welford reference ----
+    const double theta = 0.3;
+    std::vector<size_t> labels_opt, labels_ref;
+    double strat_opt_ns = medianNs(reps, [&] {
+        labels_opt = stats::stratifyByDensity(values, theta, &pool);
+    });
+    double strat_ref_ns = medianNs(reps, [&] {
+        labels_ref = stats::reference::stratifyByDensity(values, theta);
+    });
+    if (labels_opt != labels_ref)
+        violation("stratifyByDensity: optimized != reference labels");
+    if (labels_opt != stats::stratifyByDensity(values, theta, nullptr))
+        violation("stratifyByDensity: pooled != serial labels");
+    records.push_back({"stratifyByDensity", n, reps, strat_opt_ns,
+                       strat_ref_ns / strat_opt_ns, true});
+
+    // ---- kMeans: norm-cached assignment vs at()-based reference ----
+    const size_t km_n = smoke ? 500 : 2000;
+    const size_t km_d = 12;
+    const size_t km_k = 8;
+    stats::Matrix data =
+        makeFeatureMatrix(km_n, km_d, rng.split("features"));
+    Rng km_rng = rng.split("kmeans");
+
+    stats::KMeansResult km_opt, km_ref;
+    double km_opt_ns = medianNs(reps, [&] {
+        km_opt = stats::kMeans(data, km_k, km_rng, 100, &pool);
+    });
+    double km_ref_ns = medianNs(reps, [&] {
+        km_ref = stats::reference::kMeans(data, km_k, km_rng, 100);
+    });
+    if (km_opt.assignments != km_ref.assignments ||
+        km_opt.iterations != km_ref.iterations ||
+        !bitsEqual(km_opt.inertia, km_ref.inertia) ||
+        !matrixBitsEqual(km_opt.centroids, km_ref.centroids))
+        violation("kMeans: optimized != reference result");
+    {
+        stats::KMeansResult serial =
+            stats::kMeans(data, km_k, km_rng, 100, nullptr);
+        if (serial.assignments != km_opt.assignments ||
+            !bitsEqual(serial.inertia, km_opt.inertia))
+            violation("kMeans: pooled != serial result");
+    }
+    records.push_back({"kMeans", km_n, reps, km_opt_ns,
+                       km_ref_ns / km_opt_ns, true});
+
+    // ---- PCA fit (timed for the trajectory; no reference) ----------
+    std::vector<double> eig_first;
+    double pca_ns = medianNs(reps, [&] {
+        stats::Pca pca(data, 0.9);
+        if (eig_first.empty())
+            eig_first = pca.eigenvalues();
+        else if (!bitsEqual(eig_first, pca.eigenvalues()))
+            violation("Pca: eigenvalues differ across reps");
+    });
+    records.push_back({"pcaFit", km_n, reps, pca_ns, 0.0, false});
+
+    // ---- PKS end-to-end (k sweep via parallelMap) ------------------
+    {
+        auto spec = workloads::findSpec(smoke ? "gru" : "lmc");
+        if (!spec)
+            fatal("bench workload spec not found");
+        eval::ExperimentContext ctx;
+        const trace::Workload &wl = ctx.workload(*spec);
+        const gpu::WorkloadResult &gold = ctx.golden(*spec);
+
+        sampling::PksSampler pks;
+        sampling::SamplingResult pks_opt;
+        double pks_ns = medianNs(reps, [&] {
+            pks_opt = pks.sample(wl, gold.perInvocation, &pool);
+        });
+        sampling::SamplingResult pks_serial =
+            pks.sample(wl, gold.perInvocation, nullptr);
+        if (!samplingResultsEqual(pks_opt, pks_serial))
+            violation("PksSampler: pooled != serial result");
+        records.push_back({"pksSample", wl.numInvocations(), reps,
+                           pks_ns, 0.0, false});
+    }
+
+    // ---- CSV serialization (reused line buffer) --------------------
+    {
+        const size_t rows = smoke ? 2000 : 20000;
+        CsvTable table({"suite", "workload", "kernel", "invocation",
+                        "instructions", "cta", "ipc", "cycles"});
+        Rng csv_rng = rng.split("csv");
+        for (size_t r = 0; r < rows; ++r) {
+            table.addRow({"cactus", "lmc",
+                          std::to_string(r % 61),
+                          std::to_string(r),
+                          std::to_string(csv_rng.next() % 100000000),
+                          "256",
+                          sieve::toFixed(csv_rng.uniform(), 4),
+                          std::to_string(csv_rng.next() % 10000000)});
+        }
+        std::string first;
+        double csv_ns = medianNs(reps, [&] {
+            std::ostringstream oss;
+            table.write(oss);
+            std::string text = oss.str();
+            if (first.empty())
+                first = std::move(text);
+            else if (text != first)
+                violation("CsvTable::write: bytes differ across reps");
+        });
+        records.push_back({"csvWrite", rows, reps, csv_ns, 0.0, false});
+    }
+
+    validateRecords(records);
+    writeJson(out, records, pool.numWorkers(), smoke);
+
+    std::printf("%-20s %10s %6s %14s %9s\n", "op", "n", "reps",
+                "median_ns", "speedup");
+    for (const auto &r : records) {
+        std::printf("%-20s %10zu %6d %14.0f %9s\n", r.op.c_str(), r.n,
+                    r.reps, r.medianNs,
+                    r.hasSpeedup
+                        ? (sieve::toFixed(r.speedup, 2) + "x").c_str()
+                        : "-");
+    }
+    if (failures > 0) {
+        std::fprintf(stderr, "bench_perf: %d violation(s)\n", failures);
+        return 1;
+    }
+    std::printf("bench_perf: all byte-identity checks passed -> %s\n",
+                out.c_str());
+    return 0;
+}

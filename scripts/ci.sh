@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # CI gate: strict build, full test suite, then the threaded tests
-# again under ThreadSanitizer.
+# again under ThreadSanitizer, then the perf-harness smoke.
 #
 #   1. configure + build with -DSIEVE_WERROR=ON (warnings are errors)
 #   2. run the complete ctest suite
 #   3. rebuild with -DSIEVE_SANITIZE=thread and run the
 #      concurrency-sensitive tests (thread pool, experiment context,
 #      suite runner) under TSan
+#   4. bench_perf --smoke: fails on byte-identity (optimized vs
+#      reference, pooled vs serial) or JSON-schema violations — never
+#      on timing, so the gate is load-insensitive
 #
 # Build trees: build-ci/ (strict) and build-tsan/ (sanitized), kept
 # separate from the developer's build/ so CI never clobbers it.
@@ -16,14 +19,14 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "=== 1/3: strict build (WERROR) ==="
+echo "=== 1/4: strict build (WERROR) ==="
 cmake -B build-ci -S . -DSIEVE_WERROR=ON -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci -j "$JOBS"
 
-echo "=== 2/3: test suite ==="
+echo "=== 2/4: test suite ==="
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== 3/3: threaded tests under TSan ==="
+echo "=== 3/4: threaded tests under TSan ==="
 cmake -B build-tsan -S . -DSIEVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
@@ -34,6 +37,10 @@ cmake --build build-tsan -j "$JOBS" --target \
 ./build-tsan/tests/test_thread_pool
 ./build-tsan/tests/test_experiment
 ./build-tsan/tests/test_suite_runner --gtest_filter='-*DeathTest*'
+
+echo "=== 4/4: perf-harness smoke (determinism + schema) ==="
+./build-ci/bench/bench_perf --reps 3 --smoke --jobs 8 \
+    --out build-ci/BENCH_SMOKE.json
 
 echo
 echo "ci: all gates passed"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Perf-trajectory run: build Release and record the hot-path timings
+# into BENCH_PR2.json at the repo root.
+#
+# bench_perf times each optimized analysis stage (KDE grid, density
+# stratification, k-means, PCA, PKS end-to-end, CSV serialization) on
+# paper-scale inputs, asserts byte-identity against the retained naive
+# references, and reports median-of-reps nanoseconds plus speedup.
+#
+# Usage: scripts/perf.sh [--reps N] [--jobs N] [--out PATH]
+# (flags pass straight through to bench_perf)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# RelWithDebInfo (-O2) is the project default; don't override the
+# developer build tree's configuration.
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" --target bench_perf
+
+./build/bench/bench_perf --out BENCH_PR2.json "$@"
+echo "perf: wrote $(pwd)/BENCH_PR2.json"

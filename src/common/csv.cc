@@ -1,7 +1,6 @@
 #include "common/csv.hh"
 
 #include <fstream>
-#include <sstream>
 
 #include "common/logging.hh"
 #include "common/strings.hh"
@@ -74,9 +73,23 @@ CsvTable::cellAsUint(size_t row, size_t col) const
 void
 CsvTable::write(std::ostream &os) const
 {
-    os << join(_header, ",") << '\n';
+    // One line buffer reused across every row; cells append in place
+    // instead of materialising a joined temporary per row.
+    std::string line;
+    auto emit = [&](const std::vector<std::string> &row) {
+        line.clear();
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i > 0)
+                line += ',';
+            line += row[i];
+        }
+        line += '\n';
+        os.write(line.data(),
+                 static_cast<std::streamsize>(line.size()));
+    };
+    emit(_header);
     for (const auto &row : _rows)
-        os << join(row, ",") << '\n';
+        emit(row);
 }
 
 void

@@ -1,8 +1,9 @@
 #include "common/strings.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
-#include <sstream>
+#include <cstdio>
 
 namespace sieve {
 
@@ -10,6 +11,9 @@ std::vector<std::string>
 split(std::string_view text, char delim)
 {
     std::vector<std::string> out;
+    out.reserve(static_cast<size_t>(
+                    std::count(text.begin(), text.end(), delim)) +
+                1);
     size_t start = 0;
     while (true) {
         size_t pos = text.find(delim, start);
@@ -47,6 +51,12 @@ std::string
 join(const std::vector<std::string> &parts, std::string_view sep)
 {
     std::string out;
+    if (parts.empty())
+        return out;
+    size_t total = sep.size() * (parts.size() - 1);
+    for (const auto &p : parts)
+        total += p.size();
+    out.reserve(total);
     for (size_t i = 0; i < parts.size(); ++i) {
         if (i > 0)
             out += sep;
@@ -58,11 +68,17 @@ join(const std::vector<std::string> &parts, std::string_view sep)
 std::string
 toFixed(double value, int decimals)
 {
-    std::ostringstream oss;
-    oss.setf(std::ios::fixed);
-    oss.precision(decimals);
-    oss << value;
-    return oss.str();
+    // snprintf "%.*f" and iostream fixed formatting are specified to
+    // produce the same digits (libstdc++ delegates to the former).
+    char buf[64];
+    int len = std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    if (len < 0)
+        return {};
+    if (static_cast<size_t>(len) < sizeof(buf))
+        return std::string(buf, static_cast<size_t>(len));
+    std::string out(static_cast<size_t>(len), '\0');
+    std::snprintf(out.data(), out.size() + 1, "%.*f", decimals, value);
+    return out;
 }
 
 std::string
@@ -81,26 +97,29 @@ engineeringNotation(double value)
         v = value / 1e3;
         suffix = "K";
     }
-    std::ostringstream oss;
-    oss.setf(std::ios::fixed);
-    oss.precision(*suffix ? 2 : 0);
-    oss << v << suffix;
-    return oss.str();
+    std::string out = toFixed(v, *suffix ? 2 : 0);
+    out += suffix;
+    return out;
 }
 
 std::string
 padLeft(std::string_view text, size_t width)
 {
-    std::string s(text);
-    if (s.size() < width)
-        s.insert(0, width - s.size(), ' ');
+    if (text.size() >= width)
+        return std::string(text);
+    std::string s;
+    s.reserve(width);
+    s.assign(width - text.size(), ' ');
+    s.append(text);
     return s;
 }
 
 std::string
 padRight(std::string_view text, size_t width)
 {
-    std::string s(text);
+    std::string s;
+    s.reserve(std::max(width, text.size()));
+    s.assign(text);
     if (s.size() < width)
         s.append(width - s.size(), ' ');
     return s;

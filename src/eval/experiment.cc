@@ -35,7 +35,7 @@ ExperimentContext::golden(const workloads::WorkloadSpec &spec)
 WorkloadOutcome
 ExperimentContext::run(const workloads::WorkloadSpec &spec,
                        sampling::SieveConfig sieve_cfg,
-                       sampling::PksConfig pks_cfg)
+                       sampling::PksConfig pks_cfg, ThreadPool *pool)
 {
     const trace::Workload &wl = workload(spec);
     const gpu::WorkloadResult &gold = golden(spec);
@@ -48,14 +48,14 @@ ExperimentContext::run(const workloads::WorkloadSpec &spec,
     outcome.paperInvocations = spec.paperInvocations;
 
     sampling::SieveSampler sieve(sieve_cfg);
-    outcome.sieveResult = sieve.sample(wl);
+    outcome.sieveResult = sieve.sample(wl, pool);
     double sieve_pred = sieve.predictCycles(outcome.sieveResult, wl,
                                             gold.perInvocation);
     outcome.sieve = sampling::evaluate(outcome.sieveResult, sieve_pred,
                                        gold.perInvocation);
 
     sampling::PksSampler pks(pks_cfg);
-    outcome.pksResult = pks.sample(wl, gold.perInvocation);
+    outcome.pksResult = pks.sample(wl, gold.perInvocation, pool);
     double pks_pred =
         pks.predictCycles(outcome.pksResult, gold.perInvocation);
     outcome.pks = sampling::evaluate(outcome.pksResult, pks_pred,

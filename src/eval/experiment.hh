@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "gpu/hardware_executor.hh"
 #include "sampling/evaluation.hh"
 #include "sampling/pks.hh"
@@ -68,10 +69,18 @@ class ExperimentContext
     const gpu::WorkloadResult &golden(
         const workloads::WorkloadSpec &spec);
 
-    /** Run Sieve + PKS on one workload and evaluate both. */
+    /**
+     * Run Sieve + PKS on one workload and evaluate both.
+     *
+     * @param pool optional worker pool handed down to the samplers'
+     *        inner fan-outs (KDE grid, PKS k sweep); nested use from
+     *        a SuiteRunner worker is safe (the pool self-drives) and
+     *        byte-identical at any worker count.
+     */
     WorkloadOutcome run(const workloads::WorkloadSpec &spec,
                         sampling::SieveConfig sieve_cfg = {},
-                        sampling::PksConfig pks_cfg = {});
+                        sampling::PksConfig pks_cfg = {},
+                        ThreadPool *pool = nullptr);
 
   private:
     /**

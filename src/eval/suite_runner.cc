@@ -13,8 +13,11 @@ SuiteRunner::runSuite(
     const std::vector<workloads::WorkloadSpec> &specs,
     sampling::SieveConfig sieve_cfg, sampling::PksConfig pks_cfg)
 {
+    // The samplers' inner fan-outs share this runner's pool; nested
+    // batches self-drive, so workers never deadlock on their own
+    // ancestors, and every write is order-preserving.
     return map(specs, [&](const workloads::WorkloadSpec &spec) {
-        return _ctx.run(spec, sieve_cfg, pks_cfg);
+        return _ctx.run(spec, sieve_cfg, pks_cfg, &_pool);
     });
 }
 

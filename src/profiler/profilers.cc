@@ -38,19 +38,17 @@ double
 NvbitProfiler::collectionHours(const trace::Workload &workload,
                                const gpu::WorkloadResult &golden) const
 {
-    SIEVE_ASSERT(golden.perInvocation.size() ==
-                     workload.numInvocations(),
-                 "golden results do not match workload");
+    return hoursFromInstrumentedUs(
+        workload,
+        accumulateGoldenCosts(workload, golden, _params)
+            .nvbitInstrumentedUs);
+}
 
-    // One instrumented run: native execution inflated by the
-    // instrumentation slowdown, plus a fixed callback cost per
-    // invocation.
-    double us = 0.0;
-    for (const auto &r : golden.perInvocation)
-        us += r.timeUs * _params.nvbitSlowdown +
-              _params.nvbitPerInvocationUs;
-
-    return us * paperScale(workload) / 3.6e9;
+double
+NvbitProfiler::hoursFromInstrumentedUs(const trace::Workload &workload,
+                                       double instrumented_us) const
+{
+    return instrumented_us * paperScale(workload) / 3.6e9;
 }
 
 NsightProfiler::NsightProfiler(ProfilingCostParams params)
@@ -79,30 +77,57 @@ double
 NsightProfiler::collectionHours(const trace::Workload &workload,
                                 const gpu::WorkloadResult &golden) const
 {
-    SIEVE_ASSERT(golden.perInvocation.size() ==
-                     workload.numInvocations(),
-                 "golden results do not match workload");
+    return hoursFromPerInvocationUs(
+        workload,
+        accumulateGoldenCosts(workload, golden, _params)
+            .nsightPerInvocationUs);
+}
 
-    double passes = passesFor(workload);
+double
+NsightProfiler::hoursFromPerInvocationUs(
+    const trace::Workload &workload, double per_invocation_us) const
+{
     double scale = paperScale(workload);
-
-    // Average per-invocation cost of one profiled invocation: every
-    // pass replays the kernel natively and pays the save/restore
-    // overhead.
-    double per_inv_us = 0.0;
-    for (const auto &r : golden.perInvocation)
-        per_inv_us += passes *
-                      (r.timeUs + _params.nsightReplayOverheadUs);
-    per_inv_us /= static_cast<double>(golden.perInvocation.size());
 
     // Super-linear accumulation at paper scale: the i-th profiled
     // invocation costs (1 + growth * i / 100k) times the base cost.
     // Summed in closed form over n invocations.
     double n = static_cast<double>(workload.numInvocations()) * scale;
     double growth = _params.nsightGrowthPer100k / 1e5;
-    double total_us = per_inv_us * (n + growth * n * (n - 1.0) / 2.0);
+    double total_us =
+        per_invocation_us * (n + growth * n * (n - 1.0) / 2.0);
 
     return total_us / 3.6e9;
+}
+
+GoldenCostSums
+accumulateGoldenCosts(const trace::Workload &workload,
+                      const gpu::WorkloadResult &golden,
+                      const ProfilingCostParams &params)
+{
+    SIEVE_ASSERT(golden.perInvocation.size() ==
+                     workload.numInvocations(),
+                 "golden results do not match workload");
+
+    // NVBit: one instrumented run -- native execution inflated by the
+    // instrumentation slowdown, plus a fixed callback cost per
+    // invocation. Nsight: every pass replays the kernel natively and
+    // pays the save/restore overhead; the sum is averaged into a
+    // per-invocation cost. Both accumulate over the same single walk,
+    // each with its own accumulator, so term order matches the
+    // profilers' historical independent loops exactly.
+    double passes = NsightProfiler(params).passesFor(workload);
+
+    GoldenCostSums sums;
+    for (const auto &r : golden.perInvocation) {
+        sums.nvbitInstrumentedUs += r.timeUs * params.nvbitSlowdown +
+                                    params.nvbitPerInvocationUs;
+        sums.nsightPerInvocationUs +=
+            passes * (r.timeUs + params.nsightReplayOverheadUs);
+    }
+    sums.nsightPerInvocationUs /=
+        static_cast<double>(golden.perInvocation.size());
+    return sums;
 }
 
 ProfilingTimes
@@ -110,11 +135,15 @@ estimateProfilingTimes(const trace::Workload &workload,
                        const gpu::WorkloadResult &golden,
                        ProfilingCostParams params)
 {
+    GoldenCostSums sums =
+        accumulateGoldenCosts(workload, golden, params);
+
     ProfilingTimes times;
-    times.nvbitHours =
-        NvbitProfiler(params).collectionHours(workload, golden);
+    times.nvbitHours = NvbitProfiler(params).hoursFromInstrumentedUs(
+        workload, sums.nvbitInstrumentedUs);
     times.nsightHours =
-        NsightProfiler(params).collectionHours(workload, golden);
+        NsightProfiler(params).hoursFromPerInvocationUs(
+            workload, sums.nsightPerInvocationUs);
     return times;
 }
 

@@ -91,6 +91,14 @@ class NvbitProfiler
     double collectionHours(const trace::Workload &workload,
                            const gpu::WorkloadResult &golden) const;
 
+    /**
+     * Collection time from an already-accumulated instrumented-run
+     * cost (see accumulateGoldenCosts), avoiding a second walk of the
+     * golden results when both profilers are estimated together.
+     */
+    double hoursFromInstrumentedUs(const trace::Workload &workload,
+                                   double instrumented_us) const;
+
   private:
     ProfilingCostParams _params;
 };
@@ -114,9 +122,38 @@ class NsightProfiler
     double collectionHours(const trace::Workload &workload,
                            const gpu::WorkloadResult &golden) const;
 
+    /**
+     * Collection time from an already-accumulated average profiled
+     * cost per invocation (see accumulateGoldenCosts), avoiding a
+     * second walk of the golden results.
+     */
+    double hoursFromPerInvocationUs(const trace::Workload &workload,
+                                    double per_invocation_us) const;
+
   private:
     ProfilingCostParams _params;
 };
+
+/**
+ * Both profilers' per-invocation cost sums from a *single* walk of
+ * the golden results. Each accumulator receives exactly the same
+ * per-element terms, in the same order, as the profiler's own
+ * standalone loop, so the derived hours are bit-identical to calling
+ * the two collectionHours() independently.
+ */
+struct GoldenCostSums
+{
+    /** Total NVBit instrumented-run cost (microseconds). */
+    double nvbitInstrumentedUs = 0.0;
+
+    /** Average Nsight profiled cost per invocation (microseconds). */
+    double nsightPerInvocationUs = 0.0;
+};
+
+/** Accumulate both profilers' cost sums in one golden-results pass. */
+GoldenCostSums accumulateGoldenCosts(const trace::Workload &workload,
+                                     const gpu::WorkloadResult &golden,
+                                     const ProfilingCostParams &params);
 
 /** Convenience: both profilers' costs for one workload. */
 ProfilingTimes estimateProfilingTimes(

@@ -58,7 +58,8 @@ selectRepresentative(const std::vector<size_t> &members,
 
 SamplingResult
 PksSampler::sample(const trace::Workload &workload,
-                   const std::vector<gpu::KernelResult> &golden) const
+                   const std::vector<gpu::KernelResult> &golden,
+                   ThreadPool *pool) const
 {
     size_t n = workload.numInvocations();
     SIEVE_ASSERT(n > 0, "PKS on an empty workload");
@@ -84,13 +85,21 @@ PksSampler::sample(const trace::Workload &workload,
 
     // Evaluate every k up to maxK against the golden reference and
     // keep the k with the lowest prediction error — PKS' hardware-
-    // dependent tuning step.
+    // dependent tuning step. The k evaluations are independent (each
+    // derives its randomness from per-k split streams, and all share
+    // the one `reduced` projection), so the sweep fans out over the
+    // pool; the winner is then chosen by a serial ascending-k scan
+    // whose strict `<` keeps the lowest k on exactly tied errors —
+    // identical selection to the historical serial loop.
     Rng base_rng(_config.seed ^ hashLabel(workload.name()));
-    SamplingResult best;
-    double best_error = -1.0;
 
     size_t max_k = std::min(_config.maxK, n);
-    for (size_t k = 1; k <= max_k; ++k) {
+    struct Candidate
+    {
+        SamplingResult result;
+        double error = 0.0;
+    };
+    auto evaluateK = [&](size_t k) -> Candidate {
         Rng kmeans_rng = base_rng.split("kmeans:" + std::to_string(k));
         stats::KMeansResult clustering =
             stats::kMeans(reduced, k, kmeans_rng);
@@ -142,10 +151,26 @@ PksSampler::sample(const trace::Workload &workload,
             candidate.strata.push_back(std::move(stratum));
         }
 
-        double error = abs_error_sum / golden_total;
-        if (best_error < 0.0 || error < best_error) {
-            best_error = error;
-            best = std::move(candidate);
+        return {std::move(candidate), abs_error_sum / golden_total};
+    };
+
+    std::vector<Candidate> candidates;
+    if (pool) {
+        candidates = parallelMap(*pool, max_k, [&](size_t i) {
+            return evaluateK(i + 1);
+        });
+    } else {
+        candidates.reserve(max_k);
+        for (size_t k = 1; k <= max_k; ++k)
+            candidates.push_back(evaluateK(k));
+    }
+
+    SamplingResult best;
+    double best_error = -1.0;
+    for (Candidate &candidate : candidates) {
+        if (best_error < 0.0 || candidate.error < best_error) {
+            best_error = candidate.error;
+            best = std::move(candidate.result);
         }
     }
     return best;

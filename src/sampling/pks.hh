@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "gpu/hardware_executor.hh"
 #include "sampling/sample.hh"
 #include "trace/workload.hh"
@@ -68,14 +69,22 @@ class PksSampler
     /**
      * Cluster a workload and select representatives.
      *
+     * The standardized/PCA-projected feature matrix is computed once
+     * and shared across the whole k sweep; with a pool, the sweep's
+     * independent k evaluations fan out via parallelMap (each k
+     * derives its randomness from per-k split streams, so the chosen
+     * k and clustering are byte-identical at any worker count).
+     *
      * @param workload the profiled workload
      * @param golden per-invocation golden cycle counts measured on
      *        real hardware — required by PKS' k-selection step. Must
      *        align index-for-index with workload.invocations().
+     * @param pool optional worker pool for the k sweep
      */
     SamplingResult sample(
         const trace::Workload &workload,
-        const std::vector<gpu::KernelResult> &golden) const;
+        const std::vector<gpu::KernelResult> &golden,
+        ThreadPool *pool = nullptr) const;
 
     /**
      * PKS prediction: weighted sum of representative cycle counts

@@ -64,7 +64,8 @@ SieveSampler::selectRepresentative(const trace::Workload &workload,
 }
 
 SamplingResult
-SieveSampler::sample(const trace::Workload &workload) const
+SieveSampler::sample(const trace::Workload &workload,
+                     ThreadPool *pool) const
 {
     SamplingResult result;
     result.method = "sieve";
@@ -106,7 +107,7 @@ SieveSampler::sample(const trace::Workload &workload) const
         // Tier-3: KDE sub-stratification until each stratum's CoV is
         // below theta.
         std::vector<size_t> labels =
-            stats::stratifyByDensity(counts, _config.theta);
+            stats::stratifyByDensity(counts, _config.theta, pool);
         size_t n_strata = stats::numStrata(labels);
 
         std::vector<std::vector<size_t>> groups(n_strata);

@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "gpu/hardware_executor.hh"
 #include "sampling/sample.hh"
 #include "trace/workload.hh"
@@ -67,8 +68,12 @@ class SieveSampler
      * Stratify a workload and select representatives. Uses only the
      * profile-visible instruction counts, kernel identities, and CTA
      * sizes — never cycle counts (Sieve needs no golden reference).
+     *
+     * @param pool optional worker pool for the Tier-3 KDE grid
+     *        evaluation; output is byte-identical at any worker count
      */
-    SamplingResult sample(const trace::Workload &workload) const;
+    SamplingResult sample(const trace::Workload &workload,
+                          ThreadPool *pool = nullptr) const;
 
     /**
      * Predict whole-application cycle count from the measured (or

@@ -17,6 +17,12 @@ KernelDensity::KernelDensity(std::vector<double> sample, double bandwidth)
     SIEVE_ASSERT(!_sample.empty(), "KDE over empty sample");
     if (_bandwidth <= 0.0)
         _bandwidth = silvermanBandwidth(_sample);
+    // The stratification pipeline always hands us an already-sorted
+    // sample, which unlocks the binary-searched kernel window in
+    // density(). The order of _sample is never changed here: the
+    // kernel sum must accumulate in storage order to stay bit-for-bit
+    // identical to the historical dense evaluation.
+    _sorted = std::is_sorted(_sample.begin(), _sample.end());
 }
 
 double
@@ -51,27 +57,56 @@ KernelDensity::density(double x) const
         inv_h / (std::sqrt(2.0 * std::numbers::pi) *
                  static_cast<double>(_sample.size()));
     double sum = 0.0;
-    for (double xi : _sample) {
-        double u = (x - xi) * inv_h;
-        sum += std::exp(-0.5 * u * u);
+    if (_sorted) {
+        // Only sample points within kKernelCutoff bandwidths of x can
+        // contribute a non-zero kernel term (see the constant's doc);
+        // binary-search that window and sum it in storage order. The
+        // skipped terms are exactly +0.0, and the accumulator is never
+        // -0.0, so the result is bit-identical to the dense sum.
+        const double radius = kKernelCutoff * _bandwidth;
+        auto first = std::lower_bound(_sample.begin(), _sample.end(),
+                                      x - radius);
+        auto last = std::upper_bound(first, _sample.end(), x + radius);
+        for (auto it = first; it != last; ++it) {
+            double u = (x - *it) * inv_h;
+            sum += std::exp(-0.5 * u * u);
+        }
+    } else {
+        // Unsorted sample (direct KernelDensity users): keep the full
+        // walk in storage order but skip the exp() call where the
+        // kernel underflows to exactly zero.
+        const double cutoff_sq = kKernelCutoff * kKernelCutoff;
+        for (double xi : _sample) {
+            double u = (x - xi) * inv_h;
+            if (u * u < cutoff_sq)
+                sum += std::exp(-0.5 * u * u);
+        }
     }
     return norm * sum;
 }
 
 std::vector<double>
-KernelDensity::densityGrid(double lo, double hi, size_t points) const
+KernelDensity::densityGrid(double lo, double hi, size_t points,
+                           ThreadPool *pool) const
 {
     SIEVE_ASSERT(points >= 2, "density grid needs at least two points");
     SIEVE_ASSERT(hi >= lo, "grid range [", lo, ", ", hi, "]");
     std::vector<double> out(points);
     double step = (hi - lo) / static_cast<double>(points - 1);
-    for (size_t i = 0; i < points; ++i)
+    auto eval = [&](size_t i) {
         out[i] = density(lo + step * static_cast<double>(i));
+    };
+    if (pool)
+        parallelFor(*pool, points, eval);
+    else
+        for (size_t i = 0; i < points; ++i)
+            eval(i);
     return out;
 }
 
 std::vector<double>
-densityValleys(const std::vector<double> &sample, size_t grid_points)
+densityValleys(const std::vector<double> &sample, size_t grid_points,
+               ThreadPool *pool)
 {
     SIEVE_ASSERT(!sample.empty(), "valleys of empty sample");
     auto [lo_it, hi_it] = std::minmax_element(sample.begin(), sample.end());
@@ -85,11 +120,20 @@ densityValleys(const std::vector<double> &sample, size_t grid_points)
     // not mistaken for monotone edges.
     lo -= kde.bandwidth();
     hi += kde.bandwidth();
-    std::vector<double> dens = kde.densityGrid(lo, hi, grid_points);
+    std::vector<double> dens = kde.densityGrid(lo, hi, grid_points, pool);
 
     std::vector<double> cuts;
+    cuts.reserve(8); // valleys are rare; avoid growth in the common case
     double step = (hi - lo) / static_cast<double>(grid_points - 1);
     for (size_t i = 1; i + 1 < dens.size(); ++i) {
+        // A valley is a strict drop from the left with no further drop
+        // to the right. The left strictness handles plateaus: on a flat
+        // run (dens[i] == dens[i-1] == dens[i+1]) the condition is
+        // false, and the asymmetric `<` / `<=` pair means a descending
+        // step into a plateau fires only at the plateau's first grid
+        // point — adjacent grid points can never both emit a cut, so a
+        // flat-density region yields at most one cut, not a run of
+        // duplicates.
         if (dens[i] < dens[i - 1] && dens[i] <= dens[i + 1])
             cuts.push_back(lo + step * static_cast<double>(i));
     }
@@ -105,14 +149,61 @@ struct Segment
     size_t end;
 };
 
-double
-segmentCov(const std::vector<double> &sorted, const Segment &seg)
+/**
+ * O(1) per-segment CoV oracle over a sorted sample, backed by prefix
+ * sums of (x - centre) and (x - centre)^2. Centering at the sample
+ * mean keeps the sum-of-squares cancellation well conditioned even
+ * for near-constant segments far from zero (instruction counts are
+ * huge and tightly clustered), where raw Σx² prefix sums would lose
+ * all significant digits of the variance.
+ *
+ * The CoV convention mirrors Accumulator::cov(): zero for a zero
+ * mean, sigma / |mu| otherwise (population variance, divide by n).
+ * The naive per-element reference lives in stats::reference and is
+ * asserted equivalent (identical stratification labels) by the
+ * oracle tests.
+ */
+class SegmentCov
 {
-    Accumulator acc;
-    for (size_t i = seg.begin; i < seg.end; ++i)
-        acc.add(sorted[i]);
-    return acc.cov();
-}
+  public:
+    explicit SegmentCov(const std::vector<double> &sorted)
+        : _centre(0.0), _psum(sorted.size() + 1, 0.0),
+          _psq(sorted.size() + 1, 0.0)
+    {
+        double total = 0.0;
+        for (double v : sorted)
+            total += v;
+        _centre = total / static_cast<double>(sorted.size());
+        for (size_t i = 0; i < sorted.size(); ++i) {
+            double d = sorted[i] - _centre;
+            _psum[i + 1] = _psum[i] + d;
+            _psq[i + 1] = _psq[i] + d * d;
+        }
+    }
+
+    double
+    operator()(const Segment &seg) const
+    {
+        SIEVE_ASSERT(seg.begin < seg.end && seg.end < _psum.size(),
+                     "segment [", seg.begin, ", ", seg.end, ") invalid");
+        double n = static_cast<double>(seg.end - seg.begin);
+        double s = _psum[seg.end] - _psum[seg.begin];
+        double q = _psq[seg.end] - _psq[seg.begin];
+        double centred_mean = s / n;
+        double var = q / n - centred_mean * centred_mean;
+        if (var < 0.0)
+            var = 0.0; // cancellation noise on (near-)constant segments
+        double mu = _centre + centred_mean;
+        if (mu == 0.0)
+            return 0.0;
+        return std::sqrt(var) / std::fabs(mu);
+    }
+
+  private:
+    double _centre;
+    std::vector<double> _psum;
+    std::vector<double> _psq;
+};
 
 /**
  * Split a CoV-violating segment at its widest internal value gap.
@@ -136,7 +227,8 @@ widestGapSplit(const std::vector<double> &sorted, const Segment &seg)
 } // namespace
 
 std::vector<size_t>
-stratifyByDensity(const std::vector<double> &values, double max_cov)
+stratifyByDensity(const std::vector<double> &values, double max_cov,
+                  ThreadPool *pool)
 {
     SIEVE_ASSERT(max_cov > 0.0, "non-positive CoV bound ", max_cov);
     SIEVE_ASSERT(!values.empty(), "stratify of empty sample");
@@ -152,7 +244,7 @@ stratifyByDensity(const std::vector<double> &values, double max_cov)
         sorted[i] = values[order[i]];
 
     // Phase 1: initial segmentation at KDE density valleys.
-    std::vector<double> cuts = densityValleys(sorted);
+    std::vector<double> cuts = densityValleys(sorted, 256, pool);
     std::vector<Segment> segments;
     {
         size_t begin = 0;
@@ -169,13 +261,17 @@ stratifyByDensity(const std::vector<double> &values, double max_cov)
             segments.push_back({begin, sorted.size()});
     }
 
+    // O(1) CoV queries for phases 2 and 3 (the former per-segment
+    // Welford pass made the splits/merges O(n) per decision).
+    SegmentCov segment_cov(sorted);
+
     // Phase 2: enforce the CoV bound by recursive widest-gap splits.
     std::deque<Segment> work(segments.begin(), segments.end());
     segments.clear();
     while (!work.empty()) {
         Segment seg = work.front();
         work.pop_front();
-        if (segmentCov(sorted, seg) < max_cov ||
+        if (segment_cov(seg) < max_cov ||
             sorted[seg.begin] == sorted[seg.end - 1]) {
             segments.push_back(seg);
             continue;
@@ -194,7 +290,7 @@ stratifyByDensity(const std::vector<double> &values, double max_cov)
     for (const Segment &seg : segments) {
         if (!merged.empty()) {
             Segment candidate{merged.back().begin, seg.end};
-            if (segmentCov(sorted, candidate) < max_cov) {
+            if (segment_cov(candidate) < max_cov) {
                 merged.back() = candidate;
                 continue;
             }

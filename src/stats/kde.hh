@@ -19,12 +19,26 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_pool.hh"
+
 namespace sieve::stats {
 
 /** Gaussian kernel density estimator over a 1-D sample. */
 class KernelDensity
 {
   public:
+    /**
+     * Kernel support cutoff: `exp(-0.5 * u * u)` is exactly +0.0 in
+     * IEEE double arithmetic for |u| >= 38.61 (the exponent falls
+     * below ln(DBL_TRUE_MIN / 2) ~ -745.13, so a correctly-rounded
+     * exp underflows to zero). 39 keeps a safety margin. Terms beyond
+     * the cutoff therefore contribute *bit-for-bit nothing* to the
+     * kernel sum, which is what lets density() restrict itself to a
+     * binary-searched window of a sorted sample without changing a
+     * single output bit relative to the dense sum.
+     */
+    static constexpr double kKernelCutoff = 39.0;
+
     /**
      * @param sample observations (copied); must be non-empty
      * @param bandwidth kernel bandwidth; <= 0 selects Silverman's rule
@@ -35,9 +49,14 @@ class KernelDensity
     /** Density estimate at point x. */
     double density(double x) const;
 
-    /** Evaluate the density on a uniform grid over [lo, hi]. */
-    std::vector<double> densityGrid(double lo, double hi,
-                                    size_t points) const;
+    /**
+     * Evaluate the density on a uniform grid over [lo, hi].
+     * Grid points are independent; a non-null pool fans them out via
+     * parallelFor with order-preserving writes (byte-identical to the
+     * serial evaluation at any worker count).
+     */
+    std::vector<double> densityGrid(double lo, double hi, size_t points,
+                                    ThreadPool *pool = nullptr) const;
 
     /** The bandwidth in use (after rule-of-thumb selection). */
     double bandwidth() const { return _bandwidth; }
@@ -52,6 +71,7 @@ class KernelDensity
   private:
     std::vector<double> _sample;
     double _bandwidth;
+    bool _sorted; //!< enables the windowed density() fast path
 };
 
 /**
@@ -62,7 +82,8 @@ class KernelDensity
  *         +/- infinity). Empty when the density is unimodal.
  */
 std::vector<double> densityValleys(const std::vector<double> &sample,
-                                   size_t grid_points = 256);
+                                   size_t grid_points = 256,
+                                   ThreadPool *pool = nullptr);
 
 /**
  * Stratify a 1-D sample so every stratum has CoV below max_cov.
@@ -73,11 +94,14 @@ std::vector<double> densityValleys(const std::vector<double> &sample,
  *
  * @param values the sample (need not be sorted)
  * @param max_cov upper bound on per-stratum CoV; must be positive
+ * @param pool optional worker pool for the KDE grid evaluation;
+ *        results are byte-identical at any worker count
  * @return stratum index per input value, in [0, num_strata); stratum
  *         indices are ordered by ascending value range
  */
 std::vector<size_t> stratifyByDensity(const std::vector<double> &values,
-                                      double max_cov);
+                                      double max_cov,
+                                      ThreadPool *pool = nullptr);
 
 /** Number of distinct strata in a stratifyByDensity() labelling. */
 size_t numStrata(const std::vector<size_t> &labels);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "common/logging.hh"
 
@@ -13,9 +14,11 @@ squaredDistance(const Matrix &a, size_t row_a, const Matrix &b,
 {
     SIEVE_ASSERT(a.cols() == b.cols(), "dimension mismatch ", a.cols(),
                  " vs ", b.cols());
+    std::span<const double> x = a.rowSpan(row_a);
+    std::span<const double> y = b.rowSpan(row_b);
     double sum = 0.0;
-    for (size_t c = 0; c < a.cols(); ++c) {
-        double d = a.at(row_a, c) - b.at(row_b, c);
+    for (size_t c = 0; c < x.size(); ++c) {
+        double d = x[c] - y[c];
         sum += d * d;
     }
     return sum;
@@ -39,7 +42,13 @@ KMeansResult::closestToCentroid(const Matrix &data) const
     for (size_t i = 0; i < assignments.size(); ++i) {
         size_t c = assignments[i];
         double d = squaredDistance(data, i, centroids, c);
-        if (d < best_dist[c]) {
+        // Explicit tie-break: on an exactly equal distance, keep the
+        // lowest observation index. The strict `<` alone would only
+        // achieve this as a side effect of the ascending scan; spelling
+        // the invariant out keeps it true under any future reordering
+        // (e.g. a parallel scan with per-chunk minima).
+        if (d < best_dist[c] ||
+            (d == best_dist[c] && i < best[c])) {
             best_dist[c] = d;
             best[c] = i;
         }
@@ -48,7 +57,8 @@ KMeansResult::closestToCentroid(const Matrix &data) const
 }
 
 KMeansResult
-kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters)
+kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters,
+       ThreadPool *pool)
 {
     SIEVE_ASSERT(data.rows() > 0, "k-means on empty data");
     k = std::clamp<size_t>(k, 1, data.rows());
@@ -56,7 +66,7 @@ kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters)
     size_t n = data.rows();
     size_t dims = data.cols();
 
-    // --- k-means++ seeding ---
+    // --- k-means++ seeding (identical arithmetic to the reference) ---
     Matrix centroids(k, dims);
     std::vector<double> min_dist(n,
                                  std::numeric_limits<double>::infinity());
@@ -96,28 +106,65 @@ kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters)
     }
 
     // --- Lloyd iterations ---
+    // Assignment ranks centroids by the score ||c||^2 - 2 x.c (the
+    // ||x||^2 term is constant across centroids, so dropping it keeps
+    // the argmin — and on exactly tied scores the ascending scan keeps
+    // the lowest centroid index, matching the reference's strict `<`).
+    // The inertia contribution is then *re-derived* from the winning
+    // centroid with the same full squared distance the reference
+    // computes, so the reported inertia matches bit-for-bit.
     KMeansResult result;
     result.assignments.assign(n, 0);
     std::vector<size_t> counts(k, 0);
 
+    std::vector<double> cent_norms(k);
+    std::vector<size_t> next_assign(n);
+    std::vector<double> next_dist(n);
+
     for (size_t iter = 0; iter < max_iters; ++iter) {
-        bool changed = false;
-        result.inertia = 0.0;
-        for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < k; ++c) {
+            std::span<const double> row = centroids.rowSpan(c);
+            double sum = 0.0;
+            for (double v : row)
+                sum += v * v;
+            cent_norms[c] = sum;
+        }
+
+        auto assignOne = [&](size_t i) {
+            std::span<const double> x = data.rowSpan(i);
             size_t best = 0;
-            double best_d = std::numeric_limits<double>::infinity();
+            double best_score =
+                std::numeric_limits<double>::infinity();
             for (size_t c = 0; c < k; ++c) {
-                double d = squaredDistance(data, i, centroids, c);
-                if (d < best_d) {
-                    best_d = d;
+                std::span<const double> cent = centroids.rowSpan(c);
+                double dot = 0.0;
+                for (size_t d = 0; d < dims; ++d)
+                    dot += x[d] * cent[d];
+                double score = cent_norms[c] - 2.0 * dot;
+                if (score < best_score) {
+                    best_score = score;
                     best = c;
                 }
             }
-            if (result.assignments[i] != best) {
-                result.assignments[i] = best;
+            next_assign[i] = best;
+            next_dist[i] = squaredDistance(data, i, centroids, best);
+        };
+        if (pool)
+            parallelFor(*pool, n, assignOne);
+        else
+            for (size_t i = 0; i < n; ++i)
+                assignOne(i);
+
+        // Serial in-order reduction: changed flag and inertia see the
+        // observations in the same sequence as the reference loop.
+        bool changed = false;
+        result.inertia = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            if (result.assignments[i] != next_assign[i]) {
+                result.assignments[i] = next_assign[i];
                 changed = true;
             }
-            result.inertia += best_d;
+            result.inertia += next_dist[i];
         }
         result.iterations = iter + 1;
         if (!changed && iter > 0)
@@ -129,15 +176,19 @@ kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters)
         for (size_t i = 0; i < n; ++i) {
             size_t c = result.assignments[i];
             ++counts[c];
+            std::span<const double> row = data.rowSpan(i);
+            std::span<double> acc = next.rowSpan(c);
             for (size_t d = 0; d < dims; ++d)
-                next.at(c, d) += data.at(i, d);
+                acc[d] += row[d];
         }
         for (size_t c = 0; c < k; ++c) {
             if (counts[c] == 0)
                 continue;
             double inv = 1.0 / static_cast<double>(counts[c]);
+            std::span<const double> acc = next.rowSpan(c);
+            std::span<double> cent = centroids.rowSpan(c);
             for (size_t d = 0; d < dims; ++d)
-                centroids.at(c, d) = next.at(c, d) * inv;
+                cent[d] = acc[d] * inv;
         }
     }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "stats/matrix.hh"
 
 namespace sieve::stats {
@@ -42,6 +43,11 @@ struct KMeansResult
      * Index of the observation closest to each cluster's centroid
      * (the "centroid representative" selection policy of Fig. 5).
      * Empty clusters yield npos entries.
+     *
+     * Tie-break invariant: when two members of a cluster are exactly
+     * equidistant from the centroid, the *lowest observation index*
+     * is selected. Callers (and the determinism rule) rely on this
+     * being a property of the distances, not of iteration order.
      */
     std::vector<size_t> closestToCentroid(const Matrix &data) const;
 
@@ -51,13 +57,22 @@ struct KMeansResult
 /**
  * Run k-means (k-means++ seeding, Lloyd refinement).
  *
+ * The Lloyd assignment step ranks centroids through the expansion
+ * ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b with cached squared norms
+ * (k times fewer multiplies than full distances) and, when a pool is
+ * supplied, fans the per-point argmin out with order-preserving
+ * writes — the reported inertia is always re-accumulated serially in
+ * observation order, so results are byte-identical at any worker
+ * count (and to the retained reference implementation).
+ *
  * @param data observations (rows) in feature space
  * @param k number of clusters; clamped to the number of rows
  * @param rng deterministic random stream for seeding
  * @param max_iters Lloyd iteration cap
+ * @param pool optional worker pool for the assignment step
  */
 KMeansResult kMeans(const Matrix &data, size_t k, Rng rng,
-                    size_t max_iters = 100);
+                    size_t max_iters = 100, ThreadPool *pool = nullptr);
 
 /** Squared Euclidean distance between a data row and a centroid row. */
 double squaredDistance(const Matrix &a, size_t row_a, const Matrix &b,

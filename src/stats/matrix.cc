@@ -45,6 +45,20 @@ Matrix::at(size_t r, size_t c) const
     return _data[r * _cols + c];
 }
 
+std::span<double>
+Matrix::rowSpan(size_t r)
+{
+    SIEVE_ASSERT(r < _rows, "matrix row ", r, " out of ", _rows);
+    return {_data.data() + r * _cols, _cols};
+}
+
+std::span<const double>
+Matrix::rowSpan(size_t r) const
+{
+    SIEVE_ASSERT(r < _rows, "matrix row ", r, " out of ", _rows);
+    return {_data.data() + r * _cols, _cols};
+}
+
 std::vector<double>
 Matrix::row(size_t r) const
 {
@@ -69,14 +83,23 @@ Matrix::multiply(const Matrix &other) const
     if (_cols != other._rows)
         fatal("matrix product shape mismatch: ", _rows, "x", _cols,
               " * ", other._rows, "x", other._cols);
+    // Cache-friendly (i, k, j) accumulation on raw row spans: the
+    // inner loop streams one row of `other` into one row of `out`
+    // with no per-element bounds checks. The zero-skip is bit-safe
+    // (the accumulators are never -0.0, so adding 0.0 * x is a
+    // no-op), and the (i, k, j) order keeps the arithmetic identical
+    // to the historical at()-based loop.
     Matrix out(_rows, other._cols);
     for (size_t r = 0; r < _rows; ++r) {
+        std::span<const double> a_row = rowSpan(r);
+        std::span<double> out_row = out.rowSpan(r);
         for (size_t k = 0; k < _cols; ++k) {
-            double v = at(r, k);
+            double v = a_row[k];
             if (v == 0.0)
                 continue;
+            std::span<const double> b_row = other.rowSpan(k);
             for (size_t c = 0; c < other._cols; ++c)
-                out.at(r, c) += v * other.at(k, c);
+                out_row[c] += v * b_row[c];
         }
     }
     return out;
@@ -98,22 +121,41 @@ standardizeColumns(const Matrix &m)
     Matrix out(m.rows(), m.cols());
     if (m.empty())
         return out;
+    // Row-major passes with per-column accumulators: each column's
+    // accumulator still receives its terms in row order (identical
+    // arithmetic to the historical column-major loops), but memory is
+    // streamed instead of strided.
     double n = static_cast<double>(m.rows());
-    for (size_t c = 0; c < m.cols(); ++c) {
-        double sum = 0.0;
-        for (size_t r = 0; r < m.rows(); ++r)
-            sum += m.at(r, c);
-        double mean = sum / n;
+    size_t d = m.cols();
+    std::vector<double> mean(d, 0.0);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        std::span<const double> row = m.rowSpan(r);
+        for (size_t c = 0; c < d; ++c)
+            mean[c] += row[c];
+    }
+    for (size_t c = 0; c < d; ++c)
+        mean[c] /= n;
 
-        double sq = 0.0;
-        for (size_t r = 0; r < m.rows(); ++r) {
-            double d = m.at(r, c) - mean;
-            sq += d * d;
+    std::vector<double> sq(d, 0.0);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        std::span<const double> row = m.rowSpan(r);
+        for (size_t c = 0; c < d; ++c) {
+            double diff = row[c] - mean[c];
+            sq[c] += diff * diff;
         }
-        double sd = std::sqrt(sq / n);
-        double inv = sd > 0.0 ? 1.0 / sd : 1.0;
-        for (size_t r = 0; r < m.rows(); ++r)
-            out.at(r, c) = (m.at(r, c) - mean) * inv;
+    }
+    std::vector<double> inv(d, 1.0);
+    for (size_t c = 0; c < d; ++c) {
+        double sd = std::sqrt(sq[c] / n);
+        if (sd > 0.0)
+            inv[c] = 1.0 / sd;
+    }
+
+    for (size_t r = 0; r < m.rows(); ++r) {
+        std::span<const double> src = m.rowSpan(r);
+        std::span<double> dst = out.rowSpan(r);
+        for (size_t c = 0; c < d; ++c)
+            dst[c] = (src[c] - mean[c]) * inv[c];
     }
     return out;
 }
@@ -126,18 +168,24 @@ covarianceMatrix(const Matrix &m)
     double n = static_cast<double>(m.rows());
 
     std::vector<double> means(d, 0.0);
-    for (size_t r = 0; r < m.rows(); ++r)
+    for (size_t r = 0; r < m.rows(); ++r) {
+        std::span<const double> row = m.rowSpan(r);
         for (size_t c = 0; c < d; ++c)
-            means[c] += m.at(r, c);
+            means[c] += row[c];
+    }
     for (double &mu : means)
         mu /= n;
 
+    // Upper-triangle accumulation on raw spans, (r, i, j) order as
+    // before so every cov entry sums its terms in the same sequence.
     Matrix cov(d, d);
     for (size_t r = 0; r < m.rows(); ++r) {
+        std::span<const double> row = m.rowSpan(r);
         for (size_t i = 0; i < d; ++i) {
-            double di = m.at(r, i) - means[i];
+            double di = row[i] - means[i];
+            std::span<double> cov_row = cov.rowSpan(i);
             for (size_t j = i; j < d; ++j)
-                cov.at(i, j) += di * (m.at(r, j) - means[j]);
+                cov_row[j] += di * (row[j] - means[j]);
         }
     }
     for (size_t i = 0; i < d; ++i) {

@@ -12,6 +12,7 @@
 #define SIEVE_STATS_MATRIX_HH
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace sieve::stats {
@@ -35,6 +36,15 @@ class Matrix
     /** Element access (bounds-checked via SIEVE_ASSERT). */
     double &at(size_t r, size_t c);
     double at(size_t r, size_t c) const;
+
+    /**
+     * Contiguous view of row r with *no per-element bounds checks* —
+     * the hot-path accessor for the k-means/PCA inner loops, where
+     * per-element at() dominates the profile. The row index itself is
+     * still asserted (one check per row, not per element).
+     */
+    std::span<double> rowSpan(size_t r);
+    std::span<const double> rowSpan(size_t r) const;
 
     /** Copy out one row. */
     std::vector<double> row(size_t r) const;

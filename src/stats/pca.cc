@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 
 #include "common/logging.hh"
 
@@ -95,28 +96,39 @@ Pca::Pca(const Matrix &data, double variance_to_keep)
     double n = static_cast<double>(data.rows());
 
     // Record training standardization so transform() is reusable.
+    // Row-major passes on raw spans: each column accumulator still
+    // receives its terms in row order (identical arithmetic to the
+    // former column-major loops) while memory streams sequentially.
     _means.assign(d, 0.0);
     _inv_stddevs.assign(d, 1.0);
-    for (size_t c = 0; c < d; ++c) {
-        double sum = 0.0;
-        for (size_t r = 0; r < data.rows(); ++r)
-            sum += data.at(r, c);
-        _means[c] = sum / n;
+    for (size_t r = 0; r < data.rows(); ++r) {
+        std::span<const double> row = data.rowSpan(r);
+        for (size_t c = 0; c < d; ++c)
+            _means[c] += row[c];
+    }
+    for (size_t c = 0; c < d; ++c)
+        _means[c] /= n;
+
+    std::vector<double> sq(d, 0.0);
+    for (size_t r = 0; r < data.rows(); ++r) {
+        std::span<const double> row = data.rowSpan(r);
+        for (size_t c = 0; c < d; ++c) {
+            double diff = row[c] - _means[c];
+            sq[c] += diff * diff;
+        }
     }
     for (size_t c = 0; c < d; ++c) {
-        double sq = 0.0;
-        for (size_t r = 0; r < data.rows(); ++r) {
-            double diff = data.at(r, c) - _means[c];
-            sq += diff * diff;
-        }
-        double sd = std::sqrt(sq / n);
+        double sd = std::sqrt(sq[c] / n);
         _inv_stddevs[c] = sd > 0.0 ? 1.0 / sd : 1.0;
     }
 
     Matrix z(data.rows(), d);
-    for (size_t r = 0; r < data.rows(); ++r)
+    for (size_t r = 0; r < data.rows(); ++r) {
+        std::span<const double> src = data.rowSpan(r);
+        std::span<double> dst = z.rowSpan(r);
         for (size_t c = 0; c < d; ++c)
-            z.at(r, c) = (data.at(r, c) - _means[c]) * _inv_stddevs[c];
+            dst[c] = (src[c] - _means[c]) * _inv_stddevs[c];
+    }
 
     EigenDecomposition eig = jacobiEigen(covarianceMatrix(z));
     _eigenvalues = eig.values;
@@ -155,9 +167,12 @@ Pca::transform(const Matrix &data) const
               " does not match training feature count ", _means.size());
 
     Matrix z(data.rows(), data.cols());
-    for (size_t r = 0; r < data.rows(); ++r)
+    for (size_t r = 0; r < data.rows(); ++r) {
+        std::span<const double> src = data.rowSpan(r);
+        std::span<double> dst = z.rowSpan(r);
         for (size_t c = 0; c < data.cols(); ++c)
-            z.at(r, c) = (data.at(r, c) - _means[c]) * _inv_stddevs[c];
+            dst[c] = (src[c] - _means[c]) * _inv_stddevs[c];
+    }
     return z.multiply(_components);
 }
 

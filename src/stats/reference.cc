@@ -1,0 +1,275 @@
+#include "stats/reference.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numbers>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "stats/descriptive.hh"
+#include "stats/kde.hh"
+
+namespace sieve::stats::reference {
+
+namespace {
+
+/** Dense kernel sum over the whole sample, in storage order. */
+double
+denseDensity(const std::vector<double> &sample, double bandwidth,
+             double x)
+{
+    const double inv_h = 1.0 / bandwidth;
+    const double norm =
+        inv_h / (std::sqrt(2.0 * std::numbers::pi) *
+                 static_cast<double>(sample.size()));
+    double sum = 0.0;
+    for (double xi : sample) {
+        double u = (x - xi) * inv_h;
+        sum += std::exp(-0.5 * u * u);
+    }
+    return norm * sum;
+}
+
+/** Pre-PR-2 densityValleys: dense grid, no reserve, no fast path. */
+std::vector<double>
+denseValleys(const std::vector<double> &sample, size_t grid_points)
+{
+    SIEVE_ASSERT(!sample.empty(), "valleys of empty sample");
+    auto [lo_it, hi_it] =
+        std::minmax_element(sample.begin(), sample.end());
+    double lo = *lo_it;
+    double hi = *hi_it;
+    if (hi <= lo)
+        return {};
+
+    double h = KernelDensity::silvermanBandwidth(sample);
+    lo -= h;
+    hi += h;
+    std::vector<double> dens =
+        densityGrid(sample, h, lo, hi, grid_points);
+
+    std::vector<double> cuts;
+    double step = (hi - lo) / static_cast<double>(grid_points - 1);
+    for (size_t i = 1; i + 1 < dens.size(); ++i) {
+        if (dens[i] < dens[i - 1] && dens[i] <= dens[i + 1])
+            cuts.push_back(lo + step * static_cast<double>(i));
+    }
+    return cuts;
+}
+
+struct Segment
+{
+    size_t begin;
+    size_t end;
+};
+
+/** Per-decision Welford pass — O(segment) per query. */
+double
+segmentCov(const std::vector<double> &sorted, const Segment &seg)
+{
+    Accumulator acc;
+    for (size_t i = seg.begin; i < seg.end; ++i)
+        acc.add(sorted[i]);
+    return acc.cov();
+}
+
+size_t
+widestGapSplit(const std::vector<double> &sorted, const Segment &seg)
+{
+    size_t best = seg.begin + 1;
+    double best_gap = -1.0;
+    for (size_t i = seg.begin + 1; i < seg.end; ++i) {
+        double gap = sorted[i] - sorted[i - 1];
+        if (gap > best_gap) {
+            best_gap = gap;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<double>
+densityGrid(const std::vector<double> &sample, double bandwidth,
+            double lo, double hi, size_t points)
+{
+    SIEVE_ASSERT(!sample.empty(), "reference KDE over empty sample");
+    SIEVE_ASSERT(bandwidth > 0.0, "non-positive bandwidth ", bandwidth);
+    SIEVE_ASSERT(points >= 2, "density grid needs at least two points");
+    SIEVE_ASSERT(hi >= lo, "grid range [", lo, ", ", hi, "]");
+    std::vector<double> out(points);
+    double step = (hi - lo) / static_cast<double>(points - 1);
+    for (size_t i = 0; i < points; ++i)
+        out[i] = denseDensity(sample, bandwidth,
+                              lo + step * static_cast<double>(i));
+    return out;
+}
+
+std::vector<size_t>
+stratifyByDensity(const std::vector<double> &values, double max_cov)
+{
+    SIEVE_ASSERT(max_cov > 0.0, "non-positive CoV bound ", max_cov);
+    SIEVE_ASSERT(!values.empty(), "stratify of empty sample");
+
+    std::vector<size_t> order(values.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return values[a] < values[b];
+    });
+    std::vector<double> sorted(values.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        sorted[i] = values[order[i]];
+
+    std::vector<double> cuts = denseValleys(sorted, 256);
+    std::vector<Segment> segments;
+    {
+        size_t begin = 0;
+        for (double cut : cuts) {
+            size_t end = static_cast<size_t>(
+                std::lower_bound(sorted.begin() + begin, sorted.end(),
+                                 cut) - sorted.begin());
+            if (end > begin) {
+                segments.push_back({begin, end});
+                begin = end;
+            }
+        }
+        if (begin < sorted.size())
+            segments.push_back({begin, sorted.size()});
+    }
+
+    std::deque<Segment> work(segments.begin(), segments.end());
+    segments.clear();
+    while (!work.empty()) {
+        Segment seg = work.front();
+        work.pop_front();
+        if (segmentCov(sorted, seg) < max_cov ||
+            sorted[seg.begin] == sorted[seg.end - 1]) {
+            segments.push_back(seg);
+            continue;
+        }
+        size_t mid = widestGapSplit(sorted, seg);
+        work.push_front({mid, seg.end});
+        work.push_front({seg.begin, mid});
+    }
+    std::sort(segments.begin(), segments.end(),
+              [](const Segment &a, const Segment &b) {
+                  return a.begin < b.begin;
+              });
+
+    std::vector<Segment> merged;
+    for (const Segment &seg : segments) {
+        if (!merged.empty()) {
+            Segment candidate{merged.back().begin, seg.end};
+            if (segmentCov(sorted, candidate) < max_cov) {
+                merged.back() = candidate;
+                continue;
+            }
+        }
+        merged.push_back(seg);
+    }
+
+    std::vector<size_t> labels(values.size());
+    for (size_t s = 0; s < merged.size(); ++s) {
+        for (size_t i = merged[s].begin; i < merged[s].end; ++i)
+            labels[order[i]] = s;
+    }
+    return labels;
+}
+
+KMeansResult
+kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters)
+{
+    SIEVE_ASSERT(data.rows() > 0, "k-means on empty data");
+    k = std::clamp<size_t>(k, 1, data.rows());
+
+    size_t n = data.rows();
+    size_t dims = data.cols();
+
+    Matrix centroids(k, dims);
+    std::vector<double> min_dist(n,
+                                 std::numeric_limits<double>::infinity());
+
+    size_t first = static_cast<size_t>(
+        rng.uniformInt(0, static_cast<int64_t>(n) - 1));
+    for (size_t c = 0; c < dims; ++c)
+        centroids.at(0, c) = data.at(first, c);
+
+    for (size_t centroid = 1; centroid < k; ++centroid) {
+        double total = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double d = squaredDistance(data, i, centroids, centroid - 1);
+            min_dist[i] = std::min(min_dist[i], d);
+            total += min_dist[i];
+        }
+        size_t chosen;
+        if (total <= 0.0) {
+            chosen = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int64_t>(n) - 1));
+        } else {
+            double r = rng.uniform() * total;
+            double acc = 0.0;
+            chosen = n - 1;
+            for (size_t i = 0; i < n; ++i) {
+                acc += min_dist[i];
+                if (r < acc) {
+                    chosen = i;
+                    break;
+                }
+            }
+        }
+        for (size_t c = 0; c < dims; ++c)
+            centroids.at(centroid, c) = data.at(chosen, c);
+    }
+
+    KMeansResult result;
+    result.assignments.assign(n, 0);
+    std::vector<size_t> counts(k, 0);
+
+    for (size_t iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        result.inertia = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            size_t best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (size_t c = 0; c < k; ++c) {
+                double d = squaredDistance(data, i, centroids, c);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.assignments[i] != best) {
+                result.assignments[i] = best;
+                changed = true;
+            }
+            result.inertia += best_d;
+        }
+        result.iterations = iter + 1;
+        if (!changed && iter > 0)
+            break;
+
+        Matrix next(k, dims);
+        std::fill(counts.begin(), counts.end(), 0);
+        for (size_t i = 0; i < n; ++i) {
+            size_t c = result.assignments[i];
+            ++counts[c];
+            for (size_t d = 0; d < dims; ++d)
+                next.at(c, d) += data.at(i, d);
+        }
+        for (size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue;
+            double inv = 1.0 / static_cast<double>(counts[c]);
+            for (size_t d = 0; d < dims; ++d)
+                centroids.at(c, d) = next.at(c, d) * inv;
+        }
+    }
+
+    result.centroids = std::move(centroids);
+    return result;
+}
+
+} // namespace sieve::stats::reference

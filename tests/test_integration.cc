@@ -52,8 +52,9 @@ TEST(Integration, BothAccurateOnTraditionalSuites)
     for (const auto &spec : workloads::traditionalSpecs(6000)) {
         WorkloadOutcome outcome = sharedContext().run(spec);
         EXPECT_LT(outcome.sieve.error, 0.05) << spec.name;
-        if (spec.name != "cfd") // the paper's own PKS outlier
+        if (spec.name != "cfd") { // the paper's own PKS outlier
             EXPECT_LT(outcome.pks.error, 0.30) << spec.name;
+        }
     }
 }
 

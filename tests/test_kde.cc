@@ -146,8 +146,9 @@ TEST(Stratify, LabelsAreDenseAndOrdered)
     // Strata are ordered by value range.
     for (size_t i = 0; i < sample.size(); ++i) {
         for (size_t j = 0; j < sample.size(); ++j) {
-            if (labels[i] < labels[j])
+            if (labels[i] < labels[j]) {
                 EXPECT_LE(sample[i], sample[j]);
+            }
         }
     }
 }

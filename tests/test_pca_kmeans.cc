@@ -215,8 +215,9 @@ TEST(KMeans, InertiaDecreasesWithK)
     double prev = -1.0;
     for (size_t k : {1, 2, 3}) {
         KMeansResult r = kMeans(data, k, Rng(2));
-        if (prev >= 0.0)
+        if (prev >= 0.0) {
             EXPECT_LT(r.inertia, prev);
+        }
         prev = r.inertia;
     }
 }

@@ -108,8 +108,9 @@ TEST(SieveSampler, RepresentativeIsChronologicalFirstForTier1)
     for (const auto &s : result.strata) {
         EXPECT_TRUE(std::find(s.members.begin(), s.members.end(),
                               s.representative) != s.members.end());
-        if (s.tier == Tier::Tier1)
+        if (s.tier == Tier::Tier1) {
             EXPECT_EQ(s.representative, s.members.front());
+        }
     }
 }
 
