@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: strict build, full test suite, then the threaded tests
-# again under ThreadSanitizer, then the perf-harness smoke.
+# again under ThreadSanitizer, then the perf-harness smoke, then the
+# observability gate.
 #
 #   1. configure + build with -DSIEVE_WERROR=ON (warnings are errors)
 #   2. run the complete ctest suite
@@ -10,6 +11,11 @@
 #   4. bench_perf --smoke: fails on byte-identity (optimized vs
 #      reference, pooled vs serial) or JSON-schema violations — never
 #      on timing, so the gate is load-insensitive
+#   5. observability gate: run one suite bench with --trace-out and
+#      --metrics-out, validate both files through the tool's own
+#      parsers (`sieve trace-summary`, `sieve metrics-diff`), and
+#      diff the stable counters between --jobs 1, 4, and 8 — the
+#      determinism contract of DESIGN.md §7
 #
 # Build trees: build-ci/ (strict) and build-tsan/ (sanitized), kept
 # separate from the developer's build/ so CI never clobbers it.
@@ -19,28 +25,56 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "=== 1/4: strict build (WERROR) ==="
+echo "=== 1/5: strict build (WERROR) ==="
 cmake -B build-ci -S . -DSIEVE_WERROR=ON -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci -j "$JOBS"
 
-echo "=== 2/4: test suite ==="
+echo "=== 2/5: test suite ==="
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== 3/4: threaded tests under TSan ==="
+echo "=== 3/5: threaded tests under TSan ==="
 cmake -B build-tsan -S . -DSIEVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
     test_thread_pool test_experiment test_suite_runner
+cmake --build build-tsan -j "$JOBS" --target test_obs
 
 # Death tests fork, which TSan dislikes; skip them under the
 # sanitizer — they run in step 2.
 ./build-tsan/tests/test_thread_pool
 ./build-tsan/tests/test_experiment
 ./build-tsan/tests/test_suite_runner --gtest_filter='-*DeathTest*'
+./build-tsan/tests/test_obs
 
-echo "=== 4/4: perf-harness smoke (determinism + schema) ==="
+echo "=== 4/5: perf-harness smoke (determinism + schema) ==="
 ./build-ci/bench/bench_perf --reps 3 --smoke --jobs 8 \
     --out build-ci/BENCH_SMOKE.json
+
+echo "=== 5/5: observability gate ==="
+OBS_DIR=build-ci/obs-gate
+rm -rf "$OBS_DIR" && mkdir -p "$OBS_DIR"
+
+# One real suite bench, fully instrumented, at three job counts.
+./build-ci/bench/bench_fig3_accuracy gru gst --jobs 1 \
+    --trace-out "$OBS_DIR/trace_j1.json" \
+    --metrics-out "$OBS_DIR/metrics_j1.json" > /dev/null
+./build-ci/bench/bench_fig3_accuracy gru gst --jobs 4 \
+    --metrics-out "$OBS_DIR/metrics_j4.json" > /dev/null
+./build-ci/bench/bench_fig3_accuracy gru gst --jobs 8 \
+    --metrics-out "$OBS_DIR/metrics_j8.json" > /dev/null
+
+# The trace must parse back through the tool's own aggregator (it
+# exits non-zero on schema violations or an empty trace).
+./build-ci/tools/sieve trace-summary "$OBS_DIR/trace_j1.json" > /dev/null
+echo "obs: trace schema OK"
+
+# Stable counters must be --jobs-invariant (metrics-diff exits 1 and
+# prints every differing counter otherwise).
+./build-ci/tools/sieve metrics-diff \
+    "$OBS_DIR/metrics_j1.json" "$OBS_DIR/metrics_j4.json"
+./build-ci/tools/sieve metrics-diff \
+    "$OBS_DIR/metrics_j1.json" "$OBS_DIR/metrics_j8.json"
+echo "obs: stable counters --jobs-invariant"
 
 echo
 echo "ci: all gates passed"

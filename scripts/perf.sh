@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Perf-trajectory run: build Release and record the hot-path timings
-# into BENCH_PR2.json at the repo root.
+# into BENCH_PR2.json at the repo root, plus a per-stage wall-clock
+# breakdown of a traced suite run into BENCH_STAGES.csv.
 #
 # bench_perf times each optimized analysis stage (KDE grid, density
 # stratification, k-means, PCA, PKS end-to-end, CSV serialization) on
 # paper-scale inputs, asserts byte-identity against the retained naive
 # references, and reports median-of-reps nanoseconds plus speedup.
+#
+# The stage breakdown comes from the observability layer: one
+# bench_fig3_accuracy run with --trace-out, aggregated by
+# `sieve trace-summary --csv`, showing where a real evaluation
+# pipeline spends its wall clock (gpusim vs sampling vs stats ...).
 #
 # Usage: scripts/perf.sh [--reps N] [--jobs N] [--out PATH]
 # (flags pass straight through to bench_perf)
@@ -15,7 +21,15 @@ cd "$(dirname "$0")/.."
 # RelWithDebInfo (-O2) is the project default; don't override the
 # developer build tree's configuration.
 cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)" --target bench_perf
+cmake --build build -j "$(nproc)" --target bench_perf bench_fig3_accuracy sieve
 
 ./build/bench/bench_perf --out BENCH_PR2.json "$@"
 echo "perf: wrote $(pwd)/BENCH_PR2.json"
+
+TRACE=build/perf_stage_trace.json
+# Fixed --jobs 8 so the breakdown includes the pool stage even on
+# boxes where hardware concurrency resolves to 1.
+./build/bench/bench_fig3_accuracy gru gst --jobs 8 --trace-out "$TRACE" > /dev/null
+./build/tools/sieve trace-summary "$TRACE" --csv -o BENCH_STAGES.csv
+./build/tools/sieve trace-summary "$TRACE"
+echo "perf: wrote $(pwd)/BENCH_STAGES.csv"

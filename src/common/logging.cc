@@ -1,12 +1,28 @@
 #include "common/logging.hh"
 
 #include <atomic>
+#include <mutex>
+
+#include "obs/trace.hh"
 
 namespace sieve {
 
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::Info};
+LogLevel
+initialLevel()
+{
+    if (const char *env = std::getenv("SIEVE_LOG_LEVEL")) {
+        if (auto parsed = parseLogLevel(env))
+            return *parsed;
+        // Can't use warn() here (re-entrant); report directly.
+        std::cerr << "[sieve:warn] ignoring SIEVE_LOG_LEVEL='" << env
+                  << "': expected quiet|warn|info|debug\n";
+    }
+    return LogLevel::Info;
+}
+
+std::atomic<LogLevel> g_level{initialLevel()};
 
 } // namespace
 
@@ -22,12 +38,46 @@ setLogLevel(LogLevel level)
     g_level.store(level, std::memory_order_relaxed);
 }
 
+std::optional<LogLevel>
+parseLogLevel(std::string_view name)
+{
+    if (name == "quiet")
+        return LogLevel::Quiet;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "debug")
+        return LogLevel::Debug;
+    return std::nullopt;
+}
+
 namespace detail {
 
 void
 emit(std::ostream &os, const char *tag, const std::string &msg)
 {
-    os << "[sieve:" << tag << "] " << msg << '\n';
+    // Build the whole line first, then write it in one insertion
+    // under a mutex: concurrent pool workers used to interleave
+    // partial lines on std::cerr. The thread tag attributes worker
+    // output ("(p0.w3)"); untagged threads keep the historic format.
+    std::string line;
+    line.reserve(msg.size() + 32);
+    line += "[sieve:";
+    line += tag;
+    line += "] ";
+    const std::string &thread = obs::threadTag();
+    if (!thread.empty()) {
+        line += '(';
+        line += thread;
+        line += ") ";
+    }
+    line += msg;
+    line += '\n';
+
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    os << line;
 }
 
 void

@@ -20,8 +20,10 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace sieve {
 
@@ -33,11 +35,18 @@ enum class LogLevel {
     Debug = 3,   //!< everything, including debug chatter
 };
 
-/** Get the process-wide log level. */
+/**
+ * Get the process-wide log level. The initial value comes from the
+ * SIEVE_LOG_LEVEL environment variable (quiet|warn|info|debug),
+ * defaulting to Info.
+ */
 LogLevel logLevel();
 
 /** Set the process-wide log level. */
 void setLogLevel(LogLevel level);
+
+/** Parse a level name (quiet|warn|info|debug); nullopt if unknown. */
+std::optional<LogLevel> parseLogLevel(std::string_view name);
 
 namespace detail {
 
@@ -51,7 +60,13 @@ concat(Args &&...args)
     return oss.str();
 }
 
-/** Emit one formatted log line to the given stream. */
+/**
+ * Emit one formatted log line to the given stream. The line is
+ * formatted into a single string — including the thread tag from
+ * obs::setThreadTag, so pool-worker output is attributable — and
+ * written under a mutex so concurrent workers can never interleave
+ * partial lines.
+ */
 void emit(std::ostream &os, const char *tag, const std::string &msg);
 
 [[noreturn]] void fatalExit();

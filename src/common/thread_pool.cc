@@ -6,8 +6,11 @@
 #include <exception>
 #include <limits>
 #include <memory>
+#include <string>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace sieve {
 
@@ -30,11 +33,26 @@ ThreadPool::ThreadPool(size_t workers)
 {
     if (workers == 0)
         workers = defaultJobs();
+    // Pools are numbered process-wide so worker thread tags stay
+    // unique in logs and traces even with several pools alive.
+    static std::atomic<int> g_pool_ids{0};
+    int pool_id = g_pool_ids.fetch_add(1, std::memory_order_relaxed);
     // One worker = serial mode; the helpers bypass the queue, so no
     // thread is needed. Still spawn it so submit() works uniformly.
     _workers.reserve(workers);
-    for (size_t i = 0; i < workers; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+    for (size_t i = 0; i < workers; ++i) {
+        // Built with append() rather than an operator+ chain: GCC 12
+        // -O3 misanalyzes the temporary chain and raises a bogus
+        // -Wrestrict, which the WERROR CI build turns fatal.
+        std::string tag = "p";
+        tag += std::to_string(pool_id);
+        tag += ".w";
+        tag += std::to_string(i);
+        _workers.emplace_back([this, tag = std::move(tag)] {
+            obs::setThreadTag(tag);
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -52,17 +70,28 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     SIEVE_ASSERT(task, "ThreadPool::submit called with empty task");
+    // Queue depth is a scheduling artifact, never --jobs-invariant.
+    static obs::Counter &c_submitted =
+        obs::counter("pool.tasks.submitted", obs::Stability::Volatile);
+    static obs::Gauge &g_depth = obs::gauge("pool.queue.depth");
     {
         std::lock_guard<std::mutex> lock(_mu);
         SIEVE_ASSERT(!_stopping, "submit on a stopping ThreadPool");
         _queue.push_back(std::move(task));
+        g_depth.set(
+            static_cast<int64_t>(_queue.size() - _queueHead));
     }
+    c_submitted.add();
     _cv.notify_one();
 }
 
 void
 ThreadPool::workerLoop()
 {
+    static obs::Counter &c_executed =
+        obs::counter("pool.tasks.executed", obs::Stability::Volatile);
+    static obs::Histogram &h_task_ns =
+        obs::histogram("pool.task.ns");
     for (;;) {
         std::function<void()> task;
         {
@@ -84,7 +113,17 @@ ThreadPool::workerLoop()
                 _queueHead = 0;
             }
         }
+        // One clock pair feeds both the latency histogram and the
+        // trace span; with observability off this is two branches.
+        bool timed = obs::metricsEnabled() || obs::traceEnabled();
+        uint64_t t0 = timed ? obs::nowNs() : 0;
         task();
+        if (timed) {
+            uint64_t dur = obs::nowNs() - t0;
+            h_task_ns.record(dur);
+            obs::emitCompleteEvent("pool", "task", t0, dur);
+        }
+        c_executed.add();
     }
 }
 
@@ -94,6 +133,20 @@ void
 runIndexed(ThreadPool &pool, size_t n,
            const std::function<void(size_t)> &body)
 {
+    // Batch counters are Volatile: the serial path (--jobs 1) never
+    // reaches runIndexed, so these tallies depend on the job count by
+    // construction.
+    static obs::Counter &c_batches =
+        obs::counter("pool.batches", obs::Stability::Volatile);
+    static obs::Counter &c_items =
+        obs::counter("pool.batch.items", obs::Stability::Volatile);
+    static obs::Counter &c_caller_iters = obs::counter(
+        "pool.batch.caller_iterations", obs::Stability::Volatile);
+    c_batches.add();
+    c_items.add(n);
+    obs::Span batch_span("pool", "batch",
+                         "n=" + std::to_string(n));
+
     // Shared ownership: pool workers may wake on a drained batch
     // after the caller has already returned, so the batch state must
     // outlive this frame.
@@ -112,11 +165,13 @@ runIndexed(ThreadPool &pool, size_t n,
     shared->body = body;
     shared->n = n;
 
-    auto drive = [shared] {
+    auto drive = [shared](bool caller) {
+        size_t executed = 0;
         for (;;) {
             size_t i = shared->next.fetch_add(1);
             if (i >= shared->n)
-                return;
+                break;
+            ++executed;
             try {
                 shared->body(i);
             } catch (...) {
@@ -131,17 +186,21 @@ runIndexed(ThreadPool &pool, size_t n,
                 shared->cv.notify_all();
             }
         }
+        // "Steals": iterations the caller ran itself instead of a
+        // pool worker.
+        if (caller && executed > 0)
+            c_caller_iters.add(executed);
     };
 
     size_t drivers = std::min(pool.numWorkers(), n);
     for (size_t d = 0; d < drivers; ++d)
-        pool.submit(drive);
+        pool.submit([drive] { drive(false); });
 
     // The caller participates too: steal iterations until the index
     // space is exhausted, then wait for stragglers. Self-driving also
     // makes nested fan-out safe — an inner batch never waits on pool
     // capacity held by its own ancestors.
-    drive();
+    drive(true);
     {
         std::unique_lock<std::mutex> lock(shared->mu);
         shared->cv.wait(lock,

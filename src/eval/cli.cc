@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/obs.hh"
 
 namespace sieve::eval {
 
@@ -55,12 +56,22 @@ parseBenchArgs(int argc, char **argv, std::string_view usage)
         if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [options]%s%.*s\n"
-                "  --jobs N    worker threads (default: SIEVE_JOBS "
-                "env, else hardware concurrency; 1 = serial)\n"
-                "  --theta X   Sieve stratification threshold\n"
-                "  --top N     limit detail rows (inspector tools)\n"
-                "  NAME...     restrict to the named workloads\n"
-                "Output is byte-identical for every --jobs value.\n",
+                "  --jobs N          worker threads (default: "
+                "SIEVE_JOBS env, else hardware concurrency; "
+                "1 = serial)\n"
+                "  --theta X         Sieve stratification threshold\n"
+                "  --top N           limit detail rows (inspector "
+                "tools)\n"
+                "  --trace-out FILE  write a Chrome trace of the run "
+                "(env: SIEVE_TRACE)\n"
+                "  --metrics-out F   write pipeline metrics as JSON, "
+                "or CSV for *.csv (env: SIEVE_METRICS)\n"
+                "  --log-level L     quiet|warn|info|debug (env: "
+                "SIEVE_LOG_LEVEL)\n"
+                "  NAME...           restrict to the named workloads\n"
+                "Table output is byte-identical for every --jobs "
+                "value;\nso are the stable counters in the metrics "
+                "export.\n",
                 argv[0], usage.empty() ? "" : "\n  ",
                 static_cast<int>(usage.size()), usage.data());
             std::exit(0);
@@ -70,6 +81,20 @@ parseBenchArgs(int argc, char **argv, std::string_view usage)
         } else if (arg.rfind("--theta", 0) == 0) {
             opts.theta = parseReal(
                 "--theta", flagValue("--theta", arg, argc, argv, i));
+        } else if (arg.rfind("--trace-out", 0) == 0) {
+            opts.traceOut =
+                flagValue("--trace-out", arg, argc, argv, i);
+        } else if (arg.rfind("--metrics-out", 0) == 0) {
+            opts.metricsOut =
+                flagValue("--metrics-out", arg, argc, argv, i);
+        } else if (arg.rfind("--log-level", 0) == 0) {
+            std::string value =
+                flagValue("--log-level", arg, argc, argv, i);
+            auto level = parseLogLevel(value);
+            if (!level)
+                fatal("--log-level expects quiet|warn|info|debug, "
+                      "got '", value, "'");
+            setLogLevel(*level);
         } else if (arg.rfind("--top", 0) == 0) {
             opts.topN = parseCount(
                 "--top", flagValue("--top", arg, argc, argv, i));
@@ -79,6 +104,11 @@ parseBenchArgs(int argc, char **argv, std::string_view usage)
             opts.positional.emplace_back(arg);
         }
     }
+
+    // Arm observability: env first, explicit flags override.
+    obs::configureObsFromEnv();
+    if (!opts.traceOut.empty() || !opts.metricsOut.empty())
+        obs::configureObs({opts.traceOut, opts.metricsOut});
     return opts;
 }
 

@@ -5,16 +5,25 @@
  * Every bench used to hand-roll its own argv walk (or take no
  * arguments at all); this helper gives all of them one contract:
  *
- *   --jobs N    worker threads for the SuiteRunner fan-out
- *               (default: SIEVE_JOBS env var, else hardware
- *               concurrency; 1 = legacy serial execution)
- *   --theta X   Sieve stratification threshold override
- *   --top N     row limit for the inspector-style tools
- *   NAME...     positional workload names restricting a registry
- *               suite to the named subset (registry order is kept)
+ *   --jobs N          worker threads for the SuiteRunner fan-out
+ *                     (default: SIEVE_JOBS env var, else hardware
+ *                     concurrency; 1 = legacy serial execution)
+ *   --theta X         Sieve stratification threshold override
+ *   --top N           row limit for the inspector-style tools
+ *   --trace-out FILE  write a Chrome trace-event JSON of the run
+ *                     (also: SIEVE_TRACE env var)
+ *   --metrics-out F   write the metrics registry as JSON (or CSV if
+ *                     F ends in .csv; also: SIEVE_METRICS env var)
+ *   --log-level L     quiet|warn|info|debug (also: SIEVE_LOG_LEVEL)
+ *   NAME...           positional workload names restricting a
+ *                     registry suite to the named subset (registry
+ *                     order is kept)
  *
- * Output is --jobs-invariant by the library-wide determinism rule,
- * so the flags never change a table, only the wall-clock to print it.
+ * Table output is --jobs-invariant by the library-wide determinism
+ * rule, so the flags never change a table, only the wall-clock to
+ * print it. The same split holds inside the observability outputs:
+ * stable counters are --jobs-invariant, trace timings are not (see
+ * DESIGN.md §7).
  */
 
 #ifndef SIEVE_EVAL_CLI_HH
@@ -41,6 +50,12 @@ struct BenchOptions
     /** Row limit for inspector tools (0 = tool default). */
     size_t topN = 0;
 
+    /** Chrome-trace output path ("" = tracing off). */
+    std::string traceOut;
+
+    /** Metrics output path, .csv or .json ("" = metrics off). */
+    std::string metricsOut;
+
     /** Positional arguments (workload names, usually). */
     std::vector<std::string> positional;
 };
@@ -49,6 +64,11 @@ struct BenchOptions
  * Parse the common options from argv. Unknown `--flags` are a user
  * error (fatal). `--help` prints the shared contract plus the
  * tool-specific `usage` line and exits 0.
+ *
+ * Side effects: applies --log-level immediately and arms the
+ * observability layer — SIEVE_TRACE/SIEVE_METRICS first, then the
+ * explicit flags — so the trace/metrics files are written when the
+ * tool exits.
  */
 BenchOptions parseBenchArgs(int argc, char **argv,
                             std::string_view usage = "");

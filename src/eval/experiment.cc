@@ -1,6 +1,8 @@
 #include "eval/experiment.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "workloads/generator.hh"
 
 namespace sieve::eval {
@@ -13,10 +15,21 @@ ExperimentContext::ExperimentContext(gpu::ArchConfig arch)
 const trace::Workload &
 ExperimentContext::workload(const workloads::WorkloadSpec &spec)
 {
+    // Requests and builds are both facts about work requested/done,
+    // not about scheduling: with N specs each evaluated once, every
+    // --jobs value requests each key the same number of times and
+    // call_once builds it exactly once.
+    static obs::Counter &c_requests =
+        obs::counter("eval.cache.workload.requests");
+    static obs::Counter &c_builds =
+        obs::counter("eval.cache.workload.builds");
+    c_requests.add();
     Slot<trace::Workload> &slot =
         slotFor(_workloads, spec.seedLabel());
     std::call_once(slot.once, [&] {
+        obs::Span span("eval", "workload:" + spec.seedLabel());
         slot.value.emplace(workloads::generateWorkload(spec));
+        c_builds.add();
     });
     return *slot.value;
 }
@@ -24,10 +37,17 @@ ExperimentContext::workload(const workloads::WorkloadSpec &spec)
 const gpu::WorkloadResult &
 ExperimentContext::golden(const workloads::WorkloadSpec &spec)
 {
+    static obs::Counter &c_requests =
+        obs::counter("eval.cache.golden.requests");
+    static obs::Counter &c_builds =
+        obs::counter("eval.cache.golden.builds");
+    c_requests.add();
     Slot<gpu::WorkloadResult> &slot =
         slotFor(_golden, spec.seedLabel());
     std::call_once(slot.once, [&] {
+        obs::Span span("eval", "golden:" + spec.seedLabel());
         slot.value.emplace(_executor.runWorkload(workload(spec)));
+        c_builds.add();
     });
     return *slot.value;
 }
@@ -37,6 +57,10 @@ ExperimentContext::run(const workloads::WorkloadSpec &spec,
                        sampling::SieveConfig sieve_cfg,
                        sampling::PksConfig pks_cfg, ThreadPool *pool)
 {
+    static obs::Counter &c_runs = obs::counter("eval.runs");
+    obs::Span span("eval", spec.suite + "/" + spec.name);
+    c_runs.add();
+
     const trace::Workload &wl = workload(spec);
     const gpu::WorkloadResult &gold = golden(spec);
 

@@ -1,6 +1,28 @@
 #include "eval/suite_runner.hh"
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace sieve::eval {
+
+SuiteRunner::FanOutScope::FanOutScope(size_t workloads)
+{
+    static obs::Counter &c_suites = obs::counter("eval.suites");
+    static obs::Counter &c_workloads =
+        obs::counter("eval.suite.workloads");
+    c_suites.add();
+    c_workloads.add(workloads);
+    if (obs::traceEnabled()) {
+        _span = new obs::Span(
+            "suite", "fan-out",
+            "workloads=" + std::to_string(workloads));
+    }
+}
+
+SuiteRunner::FanOutScope::~FanOutScope()
+{
+    delete static_cast<obs::Span *>(_span);
+}
 
 SuiteRunner::SuiteRunner(ExperimentContext &ctx,
                          SuiteRunnerOptions opts)

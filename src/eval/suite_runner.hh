@@ -52,6 +52,25 @@ struct SuiteRunnerOptions
 class SuiteRunner
 {
   public:
+    /**
+     * Observability hook for one suite fan-out: counts the batch and
+     * its workloads and holds a "suite" trace span open for the
+     * duration of the map. Non-template so the obs dependency stays
+     * in the .cc; near-zero cost when observability is off.
+     */
+    class FanOutScope
+    {
+      public:
+        explicit FanOutScope(size_t workloads);
+        ~FanOutScope();
+
+        FanOutScope(const FanOutScope &) = delete;
+        FanOutScope &operator=(const FanOutScope &) = delete;
+
+      private:
+        void *_span = nullptr; //!< obs::Span, opaque to the header
+    };
+
     explicit SuiteRunner(ExperimentContext &ctx,
                          SuiteRunnerOptions opts = {});
 
@@ -84,6 +103,7 @@ class SuiteRunner
     map(const std::vector<workloads::WorkloadSpec> &specs, Fn &&fn)
         -> std::vector<decltype(fn(specs[size_t{}]))>
     {
+        FanOutScope scope(specs.size());
         return parallelMap(_pool, specs.size(),
                            [&](size_t i) { return fn(specs[i]); });
     }

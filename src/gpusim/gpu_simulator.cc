@@ -9,6 +9,8 @@
 #include "gpu/occupancy.hh"
 #include "gpusim/memory_system.hh"
 #include "gpusim/sm.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace sieve::gpusim {
 
@@ -24,6 +26,7 @@ KernelSimResult
 GpuSimulator::simulate(const trace::KernelTrace &trace) const
 {
     SIEVE_ASSERT(!trace.ctas.empty(), "empty kernel trace");
+    obs::Span span("gpusim", "sim:" + trace.kernelName);
     auto wall_start = std::chrono::steady_clock::now();
 
     uint32_t cpsm = gpu::maxResidentCtas(_arch, trace.launch);
@@ -184,7 +187,38 @@ GpuSimulator::simulate(const trace::KernelTrace &trace) const
     result.estimatedIpc =
         represented_insts / result.estimatedKernelCycles;
 
-    (void)waves_sim;
+    // Simulation-fact counters, all derived from the result of the
+    // deterministic single-kernel simulation above, so every one is
+    // Stable regardless of how many kernels simulate concurrently.
+    static obs::Counter &c_kernels = obs::counter("gpusim.kernels");
+    static obs::Counter &c_insts = obs::counter("gpusim.insts");
+    static obs::Counter &c_cycles = obs::counter("gpusim.cycles");
+    static obs::Counter &c_waves = obs::counter("gpusim.waves");
+    static obs::Counter &c_l1_hits = obs::counter("gpusim.l1.hits");
+    static obs::Counter &c_l1_misses =
+        obs::counter("gpusim.l1.misses");
+    static obs::Counter &c_l2_hits = obs::counter("gpusim.l2.hits");
+    static obs::Counter &c_l2_misses =
+        obs::counter("gpusim.l2.misses");
+    static obs::Counter &c_dram_reqs =
+        obs::counter("gpusim.dram.accesses");
+    static obs::Counter &c_dram_bytes =
+        obs::counter("gpusim.dram.bytes");
+    static obs::Counter &c_pkp_stops =
+        obs::counter("gpusim.pkp.early_stops");
+    c_kernels.add();
+    c_insts.add(result.instructionsSimulated);
+    c_cycles.add(result.simCycles);
+    c_waves.add(waves_sim);
+    c_l1_hits.add(result.l1.hits);
+    c_l1_misses.add(result.l1.misses);
+    c_l2_hits.add(result.l2.hits);
+    c_l2_misses.add(result.l2.misses);
+    c_dram_reqs.add(result.dram.requests);
+    c_dram_bytes.add(result.dram.bytes);
+    if (result.pkpStoppedEarly)
+        c_pkp_stops.add();
+
     auto wall_end = std::chrono::steady_clock::now();
     result.wallSeconds =
         std::chrono::duration<double>(wall_end - wall_start).count();

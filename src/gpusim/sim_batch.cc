@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace sieve::gpusim {
 
 double
@@ -29,6 +32,13 @@ BatchSimResult
 runBatch(size_t n, ThreadPool &pool,
          const std::function<KernelSimResult(size_t)> &simulateOne)
 {
+    static obs::Counter &c_batches = obs::counter("gpusim.batches");
+    static obs::Counter &c_traces =
+        obs::counter("gpusim.batch.traces");
+    c_batches.add();
+    c_traces.add(n);
+    obs::Span span("gpusim", "batch", "traces=" + std::to_string(n));
+
     BatchSimResult batch;
     auto begin = std::chrono::steady_clock::now();
     batch.results = parallelMap(pool, n, simulateOne);

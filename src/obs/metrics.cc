@@ -1,0 +1,624 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+namespace sieve::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+/**
+ * Cell budget per thread shard. A counter takes one cell, a histogram
+ * 2 + kBuckets; the whole pipeline registers a few dozen metrics, so
+ * 4096 cells (32 KiB per thread) leaves an order of magnitude of
+ * headroom. Exceeding it is a programming error caught at
+ * registration time.
+ */
+constexpr size_t kMaxCells = 4096;
+
+/** One thread's private slice of every cell-backed metric. */
+struct Shard
+{
+    std::atomic<uint64_t> cells[kMaxCells] = {};
+};
+
+struct GaugeState
+{
+    std::atomic<int64_t> value{0};
+    std::atomic<int64_t> maxValue{0};
+};
+
+} // namespace
+
+namespace detail {
+
+struct MetricDef
+{
+    std::string name;
+    MetricValue::Kind kind = MetricValue::Kind::Counter;
+    Stability stability = Stability::Volatile;
+    size_t cellBase = 0;  //!< counters/histograms
+    size_t gaugeIndex = 0;
+};
+
+struct Access
+{
+    static void setCell(Counter &c, size_t cell) { c._cell = cell; }
+    static void setIndex(Gauge &g, size_t index) { g._index = index; }
+    static void setCells(Histogram &h, size_t cells)
+    {
+        h._cells = cells;
+    }
+};
+
+} // namespace detail
+
+namespace {
+
+/**
+ * The process-wide registry. Registration and snapshots take the
+ * mutex; the metric-update fast path touches only the calling
+ * thread's shard.
+ */
+class Registry
+{
+  public:
+    static Registry &
+    instance()
+    {
+        static Registry *r = new Registry; // never destroyed: handles
+        return *r;                         // outlive static teardown
+    }
+
+    Counter &
+    counter(std::string_view name, Stability stability)
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        if (auto it = _byName.find(std::string(name));
+            it != _byName.end())
+            return _counters[it->second.second];
+        size_t cell = allocCells(1, name);
+        _defs.push_back({std::string(name),
+                         MetricValue::Kind::Counter, stability, cell,
+                         0});
+        _counters.emplace_back();
+        detail::Access::setCell(_counters.back(), cell);
+        _byName.emplace(std::string(name),
+                        std::pair<size_t, size_t>{_defs.size() - 1,
+                                                  _counters.size() - 1});
+        return _counters.back();
+    }
+
+    Gauge &
+    gauge(std::string_view name)
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        if (auto it = _byName.find(std::string(name));
+            it != _byName.end())
+            return _gauges[it->second.second];
+        _gaugeStates.emplace_back();
+        _defs.push_back({std::string(name), MetricValue::Kind::Gauge,
+                         Stability::Volatile, 0,
+                         _gaugeStates.size() - 1});
+        _gauges.emplace_back();
+        detail::Access::setIndex(_gauges.back(),
+                                 _gaugeStates.size() - 1);
+        _byName.emplace(std::string(name),
+                        std::pair<size_t, size_t>{_defs.size() - 1,
+                                                  _gauges.size() - 1});
+        return _gauges.back();
+    }
+
+    Histogram &
+    histogram(std::string_view name)
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        if (auto it = _byName.find(std::string(name));
+            it != _byName.end())
+            return _histograms[it->second.second];
+        size_t cells = allocCells(2 + Histogram::kBuckets, name);
+        _defs.push_back({std::string(name),
+                         MetricValue::Kind::Histogram,
+                         Stability::Volatile, cells, 0});
+        _histograms.emplace_back();
+        detail::Access::setCells(_histograms.back(), cells);
+        _byName.emplace(
+            std::string(name),
+            std::pair<size_t, size_t>{_defs.size() - 1,
+                                      _histograms.size() - 1});
+        return _histograms.back();
+    }
+
+    Shard &
+    localShard()
+    {
+        thread_local Shard *tls = nullptr;
+        if (!tls) {
+            auto shard = std::make_shared<Shard>();
+            tls = shard.get();
+            std::lock_guard<std::mutex> lock(_mu);
+            // Shards are retained after thread exit so their tallies
+            // survive into the end-of-run snapshot.
+            _shards.push_back(std::move(shard));
+        }
+        return *tls;
+    }
+
+    GaugeState &
+    gaugeState(size_t index)
+    {
+        return _gaugeStates[index];
+    }
+
+    uint64_t
+    mergedCell(size_t cell) const
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        return mergedCellLocked(cell);
+    }
+
+    std::vector<MetricValue>
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        std::vector<MetricValue> out;
+        out.reserve(_defs.size());
+        for (const auto &def : _defs) {
+            MetricValue v;
+            v.name = def.name;
+            v.kind = def.kind;
+            v.stability = def.stability;
+            switch (def.kind) {
+              case MetricValue::Kind::Counter:
+                v.value = mergedCellLocked(def.cellBase);
+                break;
+              case MetricValue::Kind::Gauge:
+                v.value = static_cast<uint64_t>(
+                    _gaugeStates[def.gaugeIndex].value.load(
+                        std::memory_order_relaxed));
+                v.maxValue = _gaugeStates[def.gaugeIndex].maxValue.load(
+                    std::memory_order_relaxed);
+                break;
+              case MetricValue::Kind::Histogram:
+                v.count = mergedCellLocked(def.cellBase);
+                v.sum = mergedCellLocked(def.cellBase + 1);
+                v.buckets.resize(Histogram::kBuckets);
+                for (size_t b = 0; b < Histogram::kBuckets; ++b)
+                    v.buckets[b] =
+                        mergedCellLocked(def.cellBase + 2 + b);
+                break;
+            }
+            out.push_back(std::move(v));
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const MetricValue &a, const MetricValue &b) {
+                      return a.name < b.name;
+                  });
+        return out;
+    }
+
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        for (auto &shard : _shards)
+            for (auto &cell : shard->cells)
+                cell.store(0, std::memory_order_relaxed);
+        for (auto &g : _gaugeStates) {
+            g.value.store(0, std::memory_order_relaxed);
+            g.maxValue.store(0, std::memory_order_relaxed);
+        }
+    }
+
+  private:
+    Registry() = default;
+
+    size_t
+    allocCells(size_t n, std::string_view name)
+    {
+        if (_nextCell + n > kMaxCells) {
+            // Registration failure is a build-time sizing bug; obs is
+            // below logging, so report directly and trap.
+            std::fprintf(stderr,
+                         "[sieve:obs] metric cell budget exhausted "
+                         "registering '%.*s'\n",
+                         static_cast<int>(name.size()), name.data());
+            std::abort();
+        }
+        size_t base = _nextCell;
+        _nextCell += n;
+        return base;
+    }
+
+    uint64_t
+    mergedCellLocked(size_t cell) const
+    {
+        uint64_t total = 0;
+        for (const auto &shard : _shards)
+            total += shard->cells[cell].load(std::memory_order_relaxed);
+        return total;
+    }
+
+    mutable std::mutex _mu;
+    std::vector<detail::MetricDef> _defs;
+    //! name -> (def index, per-kind handle index)
+    std::map<std::string, std::pair<size_t, size_t>> _byName;
+    std::deque<Counter> _counters;     //!< deque: stable addresses
+    std::deque<Gauge> _gauges;
+    std::deque<Histogram> _histograms;
+    std::deque<GaugeState> _gaugeStates;
+    std::vector<std::shared_ptr<Shard>> _shards;
+    size_t _nextCell = 0;
+};
+
+} // namespace
+
+bool
+metricsEnabled()
+{
+    return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setMetricsEnabled(bool enabled)
+{
+    g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+shardAdd(size_t cell, uint64_t delta)
+{
+    Registry::instance().localShard().cells[cell].fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+uint64_t
+Counter::value() const
+{
+    return Registry::instance().mergedCell(_cell);
+}
+
+void
+Gauge::set(int64_t value)
+{
+    if (!metricsEnabled())
+        return;
+    GaugeState &g = Registry::instance().gaugeState(_index);
+    g.value.store(value, std::memory_order_relaxed);
+    int64_t seen = g.maxValue.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !g.maxValue.compare_exchange_weak(
+               seen, value, std::memory_order_relaxed)) {
+    }
+}
+
+void
+Gauge::add(int64_t delta)
+{
+    if (!metricsEnabled())
+        return;
+    GaugeState &g = Registry::instance().gaugeState(_index);
+    int64_t now =
+        g.value.fetch_add(delta, std::memory_order_relaxed) + delta;
+    int64_t seen = g.maxValue.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !g.maxValue.compare_exchange_weak(
+               seen, now, std::memory_order_relaxed)) {
+    }
+}
+
+int64_t
+Gauge::value() const
+{
+    return Registry::instance()
+        .gaugeState(_index)
+        .value.load(std::memory_order_relaxed);
+}
+
+int64_t
+Gauge::maxValue() const
+{
+    return Registry::instance()
+        .gaugeState(_index)
+        .maxValue.load(std::memory_order_relaxed);
+}
+
+size_t
+Histogram::bucketFor(uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    return std::min<size_t>(kBuckets - 1,
+                            static_cast<size_t>(std::bit_width(value)));
+}
+
+uint64_t
+Histogram::bucketLowerBound(size_t bucket)
+{
+    if (bucket == 0)
+        return 0;
+    return uint64_t{1} << (bucket - 1);
+}
+
+uint64_t
+Histogram::count() const
+{
+    return Registry::instance().mergedCell(_cells);
+}
+
+uint64_t
+Histogram::sum() const
+{
+    return Registry::instance().mergedCell(_cells + 1);
+}
+
+std::vector<uint64_t>
+Histogram::buckets() const
+{
+    std::vector<uint64_t> out(kBuckets);
+    for (size_t b = 0; b < kBuckets; ++b)
+        out[b] = Registry::instance().mergedCell(_cells + 2 + b);
+    return out;
+}
+
+Counter &
+counter(std::string_view name, Stability stability)
+{
+    return Registry::instance().counter(name, stability);
+}
+
+Gauge &
+gauge(std::string_view name)
+{
+    return Registry::instance().gauge(name);
+}
+
+Histogram &
+histogram(std::string_view name)
+{
+    return Registry::instance().histogram(name);
+}
+
+std::vector<MetricValue>
+snapshotMetrics()
+{
+    return Registry::instance().snapshot();
+}
+
+std::map<std::string, uint64_t>
+stableCounters()
+{
+    std::map<std::string, uint64_t> out;
+    for (const auto &m : snapshotMetrics()) {
+        if (m.kind == MetricValue::Kind::Counter &&
+            m.stability == Stability::Stable)
+            out.emplace(m.name, m.value);
+    }
+    return out;
+}
+
+namespace {
+
+/** Minimal JSON string escaping for metric names. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+template <typename Pred>
+void
+writeCounterObject(std::ostream &os, const std::vector<MetricValue> &all,
+                   const char *indent, Pred pred)
+{
+    bool first = true;
+    for (const auto &m : all) {
+        if (m.kind != MetricValue::Kind::Counter || !pred(m))
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << indent << '"' << jsonEscape(m.name) << "\": " << m.value;
+    }
+    if (!first)
+        os << '\n';
+}
+
+} // namespace
+
+void
+writeMetricsJson(std::ostream &os)
+{
+    std::vector<MetricValue> all = snapshotMetrics();
+
+    os << "{\n  \"schema\": 1,\n  \"tool\": \"sieve\",\n";
+    os << "  \"counters\": {\n";
+    writeCounterObject(os, all, "    ", [](const MetricValue &m) {
+        return m.stability == Stability::Stable;
+    });
+    os << "  },\n";
+
+    os << "  \"volatile\": {\n    \"counters\": {\n";
+    writeCounterObject(os, all, "      ", [](const MetricValue &m) {
+        return m.stability == Stability::Volatile;
+    });
+    os << "    },\n    \"gauges\": {\n";
+    bool first = true;
+    for (const auto &m : all) {
+        if (m.kind != MetricValue::Kind::Gauge)
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "      \"" << jsonEscape(m.name) << "\": {\"last\": "
+           << static_cast<int64_t>(m.value) << ", \"max\": "
+           << m.maxValue << "}";
+    }
+    if (!first)
+        os << '\n';
+    os << "    },\n    \"histograms\": {\n";
+    first = true;
+    for (const auto &m : all) {
+        if (m.kind != MetricValue::Kind::Histogram)
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "      \"" << jsonEscape(m.name) << "\": {\"count\": "
+           << m.count << ", \"sum\": " << m.sum << ", \"buckets\": [";
+        bool fb = true;
+        for (size_t b = 0; b < m.buckets.size(); ++b) {
+            if (m.buckets[b] == 0)
+                continue;
+            if (!fb)
+                os << ", ";
+            fb = false;
+            os << '[' << Histogram::bucketLowerBound(b) << ", "
+               << m.buckets[b] << ']';
+        }
+        os << "]}";
+    }
+    if (!first)
+        os << '\n';
+    os << "    }\n  }\n}\n";
+}
+
+void
+writeMetricsCsv(std::ostream &os)
+{
+    os << "metric,kind,stability,value\n";
+    for (const auto &m : snapshotMetrics()) {
+        const char *stab = m.stability == Stability::Stable
+                               ? "stable"
+                               : "volatile";
+        switch (m.kind) {
+          case MetricValue::Kind::Counter:
+            os << m.name << ",counter," << stab << ',' << m.value
+               << '\n';
+            break;
+          case MetricValue::Kind::Gauge:
+            os << m.name << ".last,gauge," << stab << ','
+               << static_cast<int64_t>(m.value) << '\n';
+            os << m.name << ".max,gauge," << stab << ',' << m.maxValue
+               << '\n';
+            break;
+          case MetricValue::Kind::Histogram:
+            os << m.name << ".count,histogram," << stab << ','
+               << m.count << '\n';
+            os << m.name << ".sum,histogram," << stab << ',' << m.sum
+               << '\n';
+            break;
+        }
+    }
+}
+
+bool
+writeMetricsFile(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr,
+                     "[sieve:obs] cannot open '%s' for writing\n",
+                     path.c_str());
+        return false;
+    }
+    if (path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".csv") == 0)
+        writeMetricsCsv(out);
+    else
+        writeMetricsJson(out);
+    return static_cast<bool>(out);
+}
+
+std::map<std::string, uint64_t>
+parseStableCounters(std::istream &is, std::string *error)
+{
+    std::map<std::string, uint64_t> out;
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        out.clear();
+        return out;
+    };
+
+    std::string line;
+    bool saw_schema = false;
+    bool in_counters = false;
+    bool closed = false;
+    while (std::getline(is, line)) {
+        if (line.find("\"schema\": 1") != std::string::npos)
+            saw_schema = true;
+        if (!in_counters) {
+            if (line.find("\"counters\": {") != std::string::npos)
+                in_counters = true;
+            continue;
+        }
+        size_t close = line.find('}');
+        if (close != std::string::npos) {
+            closed = true;
+            break;
+        }
+        // Expected shape:   "name": 123[,]
+        size_t q0 = line.find('"');
+        if (q0 == std::string::npos)
+            return fail("malformed counter line: " + line);
+        size_t q1 = line.find('"', q0 + 1);
+        size_t colon = line.find(':', q1);
+        if (q1 == std::string::npos || colon == std::string::npos)
+            return fail("malformed counter line: " + line);
+        std::string name = line.substr(q0 + 1, q1 - q0 - 1);
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long v =
+            std::strtoull(line.c_str() + colon + 1, &end, 10);
+        if (end == line.c_str() + colon + 1)
+            return fail("counter '" + name + "' has no numeric value");
+        out[name] = static_cast<uint64_t>(v);
+    }
+    if (!saw_schema)
+        return fail("not a sieve metrics file (missing \"schema\": 1)");
+    if (!in_counters || !closed)
+        return fail("missing or unterminated \"counters\" object");
+    if (error)
+        error->clear();
+    return out;
+}
+
+void
+resetMetrics()
+{
+    Registry::instance().reset();
+}
+
+} // namespace sieve::obs

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and fixed-bucket
+ * latency histograms, exportable to JSON and CSV.
+ *
+ * The registry is the quantitative half of the observability layer
+ * (the span tracer in obs/trace.hh is the temporal half). It is
+ * deliberately self-contained — no dependency on any other sieve
+ * library — so even the lowest layers (logging, the thread pool) can
+ * be instrumented without a link cycle.
+ *
+ * Fast path: each thread owns a shard of plain cache-line-local
+ * atomic cells; `Counter::add` is one relaxed fetch_add on the
+ * calling thread's own cell, with no lock and no sharing. A snapshot
+ * merges all shards. When metrics are disabled (the default) every
+ * update is a single relaxed load and a predictable branch.
+ *
+ * Determinism contract (see DESIGN.md §7): metrics are split into
+ *   - Stability::Stable   — count-valued facts about *work done*
+ *     (strata built, instructions simulated, cache builds). These
+ *     must be byte-identical for every `--jobs` value; the CI obs
+ *     gate diffs them between --jobs 1 and --jobs 8.
+ *   - Stability::Volatile — scheduling- or time-dependent values
+ *     (queue depths, caller-steal counts, latency histograms).
+ *     Excluded from the determinism gate by construction.
+ * Gauges and histograms are always Volatile: a gauge is an
+ * instantaneous observation and the histograms bucket wall-clock
+ * nanoseconds.
+ *
+ * Naming scheme: `subsystem.object.event`, lower-case, dot-separated
+ * (`pool.tasks.executed`, `sampling.sieve.strata.tier3`,
+ * `gpusim.l2.hits`). Exports are sorted by name so files diff cleanly
+ * regardless of registration order.
+ */
+
+#ifndef SIEVE_OBS_METRICS_HH
+#define SIEVE_OBS_METRICS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sieve::obs {
+
+/** Determinism class of a metric (see file comment). */
+enum class Stability {
+    Stable,   //!< --jobs-invariant by contract; CI-diffed
+    Volatile, //!< scheduling/timing dependent; excluded from the gate
+};
+
+/** Global metrics on/off switch (off by default). */
+bool metricsEnabled();
+void setMetricsEnabled(bool enabled);
+
+namespace detail {
+
+/** Registry-internal metric record; see metrics.cc. */
+struct MetricDef;
+
+/** Registry backdoor for wiring freshly registered handles. */
+struct Access;
+
+/** Relaxed fetch_add of `delta` into the calling thread's shard. */
+void shardAdd(size_t cell, uint64_t delta);
+
+} // namespace detail
+
+/**
+ * Monotonic counter. Handles are obtained once (typically through a
+ * function-local static) and are valid for the process lifetime.
+ */
+class Counter
+{
+  public:
+    /** No-op unless metrics are enabled. */
+    void
+    add(uint64_t delta = 1)
+    {
+        if (metricsEnabled())
+            detail::shardAdd(_cell, delta);
+    }
+
+    /** Merged total over all thread shards. */
+    uint64_t value() const;
+
+  private:
+    friend struct detail::Access;
+    size_t _cell = 0;
+};
+
+/**
+ * Instantaneous gauge (always Volatile). `set` records the latest
+ * observation and keeps a high-water mark.
+ */
+class Gauge
+{
+  public:
+    void set(int64_t value);
+    void add(int64_t delta);
+    int64_t value() const;
+    int64_t maxValue() const;
+
+  private:
+    friend struct detail::Access;
+    size_t _index = 0;
+};
+
+/**
+ * Fixed-bucket histogram of nanosecond durations (always Volatile).
+ * Bucket i holds values in [2^(i-1), 2^i) ns — bucket 0 holds exact
+ * zeros — so the boundaries are identical in every process and the
+ * merge across shards is a plain per-bucket sum.
+ */
+class Histogram
+{
+  public:
+    /** Power-of-two buckets; the last one absorbs the overflow. */
+    static constexpr size_t kBuckets = 40;
+
+    /** Bucket index for a value (exposed for tests). */
+    static size_t bucketFor(uint64_t value);
+
+    /** Inclusive lower bound of a bucket (for display). */
+    static uint64_t bucketLowerBound(size_t bucket);
+
+    /** No-op unless metrics are enabled. */
+    void
+    record(uint64_t value)
+    {
+        if (!metricsEnabled())
+            return;
+        detail::shardAdd(_cells + 0, 1);     // count
+        detail::shardAdd(_cells + 1, value); // sum
+        detail::shardAdd(_cells + 2 + bucketFor(value), 1);
+    }
+
+    uint64_t count() const;
+    uint64_t sum() const;
+    std::vector<uint64_t> buckets() const;
+
+  private:
+    friend struct detail::Access;
+    size_t _cells = 0; //!< base of count, sum, kBuckets bucket cells
+};
+
+/**
+ * Find-or-create a counter. If the name already exists the original
+ * handle (and its original stability) is returned.
+ */
+Counter &counter(std::string_view name,
+                 Stability stability = Stability::Stable);
+
+/** Find-or-create a gauge (always Volatile). */
+Gauge &gauge(std::string_view name);
+
+/** Find-or-create a nanosecond histogram (always Volatile). */
+Histogram &histogram(std::string_view name);
+
+/** One metric in a merged snapshot. */
+struct MetricValue
+{
+    std::string name;
+    enum class Kind { Counter, Gauge, Histogram } kind;
+    Stability stability = Stability::Volatile;
+    uint64_t value = 0;            //!< counter total / gauge last
+    int64_t maxValue = 0;          //!< gauges only
+    uint64_t count = 0;            //!< histograms only
+    uint64_t sum = 0;              //!< histograms only
+    std::vector<uint64_t> buckets; //!< histograms only (kBuckets)
+};
+
+/** Merged snapshot of every registered metric, sorted by name. */
+std::vector<MetricValue> snapshotMetrics();
+
+/** Stable counters only, keyed by name — the CI-diffed surface. */
+std::map<std::string, uint64_t> stableCounters();
+
+/**
+ * Write the snapshot as JSON: stable counters under "counters",
+ * everything scheduling/timing-dependent under "volatile". One
+ * key per line, sorted, so two exports diff line-by-line.
+ */
+void writeMetricsJson(std::ostream &os);
+
+/** Write the snapshot as CSV: metric,kind,stability,value. */
+void writeMetricsCsv(std::ostream &os);
+
+/**
+ * Write to a file; `.csv` suffix selects CSV, anything else JSON.
+ * Returns false (with a message on stderr) if the file cannot be
+ * written.
+ */
+bool writeMetricsFile(const std::string &path);
+
+/**
+ * Parse the "counters" object of a metrics JSON written by
+ * writeMetricsJson. On malformed input returns an empty map and sets
+ * *error. Used by `sieve metrics-diff` and the CI jobs-invariance
+ * gate.
+ */
+std::map<std::string, uint64_t> parseStableCounters(std::istream &is,
+                                                    std::string *error);
+
+/** Zero every metric value (test support; handles stay valid). */
+void resetMetrics();
+
+} // namespace sieve::obs
+
+#endif // SIEVE_OBS_METRICS_HH

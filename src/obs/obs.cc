@@ -1,0 +1,78 @@
+#include "obs/obs.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace sieve::obs {
+
+namespace {
+
+std::mutex g_mu;
+ObsOptions g_options;
+bool g_atexit_registered = false;
+
+void
+flushAtExit()
+{
+    flushObs();
+}
+
+} // namespace
+
+void
+configureObs(const ObsOptions &options)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (!options.traceOut.empty()) {
+        g_options.traceOut = options.traceOut;
+        setTraceEnabled(true);
+    }
+    if (!options.metricsOut.empty()) {
+        g_options.metricsOut = options.metricsOut;
+        setMetricsEnabled(true);
+    }
+    bool active =
+        !g_options.traceOut.empty() || !g_options.metricsOut.empty();
+    if (active && !g_atexit_registered) {
+        g_atexit_registered = true;
+        std::atexit(flushAtExit);
+    }
+}
+
+void
+configureObsFromEnv()
+{
+    ObsOptions options;
+    if (const char *env = std::getenv("SIEVE_TRACE"))
+        options.traceOut = env;
+    if (const char *env = std::getenv("SIEVE_METRICS"))
+        options.metricsOut = env;
+    if (!options.traceOut.empty() || !options.metricsOut.empty())
+        configureObs(options);
+}
+
+void
+flushObs()
+{
+    ObsOptions options;
+    {
+        std::lock_guard<std::mutex> lock(g_mu);
+        options = g_options;
+    }
+    if (!options.traceOut.empty() &&
+        writeChromeTraceFile(options.traceOut)) {
+        std::fprintf(stderr, "[sieve:obs] wrote trace to %s\n",
+                     options.traceOut.c_str());
+    }
+    if (!options.metricsOut.empty() &&
+        writeMetricsFile(options.metricsOut)) {
+        std::fprintf(stderr, "[sieve:obs] wrote metrics to %s\n",
+                     options.metricsOut.c_str());
+    }
+}
+
+} // namespace sieve::obs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Observability configuration: one call wires the metrics registry
+ * (obs/metrics.hh) and the span tracer (obs/trace.hh) to output
+ * files and registers an at-exit flush.
+ *
+ * Activation surfaces, in precedence order (later wins):
+ *   1. environment: SIEVE_TRACE=FILE, SIEVE_METRICS=FILE
+ *   2. flags: --trace-out FILE, --metrics-out FILE (parseBenchArgs
+ *      and sieve_cli both route here)
+ * With neither, both subsystems stay disabled and every
+ * instrumentation point is a relaxed load plus branch.
+ */
+
+#ifndef SIEVE_OBS_OBS_HH
+#define SIEVE_OBS_OBS_HH
+
+#include <string>
+
+namespace sieve::obs {
+
+/** Output configuration; empty path = that subsystem stays off. */
+struct ObsOptions
+{
+    std::string traceOut;   //!< Chrome trace-event JSON path
+    std::string metricsOut; //!< metrics path (.csv selects CSV)
+};
+
+/**
+ * Enable tracing/metrics for every non-empty path and register the
+ * at-exit flush (once per process). Callable more than once; later
+ * non-empty paths replace earlier ones.
+ */
+void configureObs(const ObsOptions &options);
+
+/** configureObs from SIEVE_TRACE / SIEVE_METRICS, if set. */
+void configureObsFromEnv();
+
+/**
+ * Write the configured output files now (also runs automatically at
+ * exit; flushing twice rewrites the same files). Safe to call when
+ * nothing is configured.
+ */
+void flushObs();
+
+} // namespace sieve::obs
+
+#endif // SIEVE_OBS_OBS_HH

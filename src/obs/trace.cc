@@ -1,0 +1,365 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace sieve::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+struct Event
+{
+    const char *category;
+    std::string name;
+    std::string detail;
+    uint64_t startNs;
+    uint64_t durationNs;
+};
+
+/** One thread's private event buffer. */
+struct TraceBuffer
+{
+    int tid = 0;
+    std::string threadName;
+    std::vector<Event> events;
+};
+
+/** Buffer registry: registration and flush lock; appends do not. */
+class Tracer
+{
+  public:
+    static Tracer &
+    instance()
+    {
+        static Tracer *t = new Tracer; // leaked: outlives atexit flush
+        return *t;
+    }
+
+    TraceBuffer &
+    localBuffer()
+    {
+        thread_local TraceBuffer *tls = nullptr;
+        if (!tls) {
+            auto buf = std::make_shared<TraceBuffer>();
+            tls = buf.get();
+            std::lock_guard<std::mutex> lock(_mu);
+            buf->tid = static_cast<int>(_buffers.size());
+            // Buffers are retained after thread exit so the final
+            // flush still sees every event.
+            _buffers.push_back(std::move(buf));
+        }
+        return *tls;
+    }
+
+    std::vector<std::shared_ptr<TraceBuffer>>
+    buffers() const
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        return _buffers;
+    }
+
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        for (auto &buf : _buffers)
+            buf->events.clear();
+    }
+
+  private:
+    Tracer() = default;
+
+    mutable std::mutex _mu;
+    std::vector<std::shared_ptr<TraceBuffer>> _buffers;
+};
+
+uint64_t
+traceEpoch()
+{
+    static const uint64_t epoch = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    return epoch;
+}
+
+std::string &
+localThreadTag()
+{
+    thread_local std::string tag;
+    return tag;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+traceEnabled()
+{
+    return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool enabled)
+{
+    if (enabled)
+        traceEpoch(); // pin the epoch before the first span
+    g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint64_t
+nowNs()
+{
+    uint64_t now = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    return now - traceEpoch();
+}
+
+void
+setThreadTag(std::string tag)
+{
+    localThreadTag() = std::move(tag);
+}
+
+const std::string &
+threadTag()
+{
+    return localThreadTag();
+}
+
+void
+emitCompleteEvent(const char *category, std::string name,
+                  uint64_t start_ns, uint64_t duration_ns,
+                  std::string detail)
+{
+    if (!traceEnabled())
+        return;
+    TraceBuffer &buf = Tracer::instance().localBuffer();
+    if (buf.threadName.empty()) {
+        const std::string &tag = threadTag();
+        buf.threadName = tag.empty() ? "main" : tag;
+    }
+    buf.events.push_back({category, std::move(name),
+                          std::move(detail), start_ns, duration_ns});
+}
+
+void
+writeChromeTrace(std::ostream &os)
+{
+    struct Flat
+    {
+        const Event *event;
+        int tid;
+    };
+    std::vector<Flat> flat;
+    auto buffers = Tracer::instance().buffers();
+
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const auto &buf : buffers) {
+        if (buf->events.empty())
+            continue;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << buf->tid
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << jsonEscape(buf->threadName) << "\"}}";
+        for (const Event &e : buf->events)
+            flat.push_back({&e, buf->tid});
+    }
+    std::sort(flat.begin(), flat.end(),
+              [](const Flat &a, const Flat &b) {
+                  return a.event->startNs < b.event->startNs;
+              });
+
+    char num[64];
+    for (const Flat &f : flat) {
+        const Event &e = *f.event;
+        os << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << f.tid
+           << ",\"cat\":\"" << e.category << "\",\"name\":\""
+           << jsonEscape(e.name) << "\",\"ts\":";
+        // Chrome trace timestamps are microseconds; keep ns precision
+        // via the fractional part.
+        std::snprintf(num, sizeof(num), "%.3f",
+                      static_cast<double>(e.startNs) / 1e3);
+        os << num << ",\"dur\":";
+        std::snprintf(num, sizeof(num), "%.3f",
+                      static_cast<double>(e.durationNs) / 1e3);
+        os << num;
+        if (!e.detail.empty())
+            os << ",\"args\":{\"detail\":\"" << jsonEscape(e.detail)
+               << "\"}";
+        os << '}';
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":"
+          "{\"tool\":\"sieve\",\"schema\":1}}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr,
+                     "[sieve:obs] cannot open '%s' for writing\n",
+                     path.c_str());
+        return false;
+    }
+    writeChromeTrace(out);
+    return static_cast<bool>(out);
+}
+
+size_t
+traceEventCount()
+{
+    size_t n = 0;
+    for (const auto &buf : Tracer::instance().buffers())
+        n += buf->events.size();
+    return n;
+}
+
+void
+resetTrace()
+{
+    Tracer::instance().reset();
+}
+
+namespace {
+
+/** Extract `"key":"value"` from one event line; empty if absent. */
+std::string
+extractString(const std::string &line, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":\"";
+    size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return {};
+    size_t begin = at + needle.size();
+    std::string out;
+    for (size_t i = begin; i < line.size(); ++i) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+            out.push_back(line[++i]);
+        } else if (line[i] == '"') {
+            return out;
+        } else {
+            out.push_back(line[i]);
+        }
+    }
+    return {};
+}
+
+/** Extract `"key":number`; false if absent or non-numeric. */
+bool
+extractNumber(const std::string &line, const std::string &key,
+              double *out)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    const char *start = line.c_str() + at + needle.size();
+    char *end = nullptr;
+    double v = std::strtod(start, &end);
+    if (end == start)
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+TraceSummary
+summarizeTrace(std::istream &is, bool by_name, std::string *error)
+{
+    TraceSummary summary;
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return TraceSummary{};
+    };
+
+    std::string line;
+    bool saw_header = false;
+    double first_start = -1.0;
+    double last_end = 0.0;
+    std::map<std::string, StageSummary> stages;
+    while (std::getline(is, line)) {
+        if (line.find("\"traceEvents\"") != std::string::npos)
+            saw_header = true;
+        if (line.find("\"ph\":\"X\"") == std::string::npos)
+            continue;
+        std::string cat = extractString(line, "cat");
+        std::string name = extractString(line, "name");
+        double ts = 0.0;
+        double dur = 0.0;
+        if (cat.empty() || name.empty() ||
+            !extractNumber(line, "ts", &ts) ||
+            !extractNumber(line, "dur", &dur))
+            return fail("malformed trace event: " + line);
+
+        ++summary.events;
+        if (first_start < 0.0 || ts < first_start)
+            first_start = ts;
+        last_end = std::max(last_end, ts + dur);
+
+        const std::string &key = by_name ? name : cat;
+        StageSummary &s = stages[key];
+        s.stage = key;
+        ++s.spans;
+        double ms = dur / 1e3; // ts/dur are microseconds
+        s.totalMs += ms;
+        s.maxMs = std::max(s.maxMs, ms);
+    }
+    if (!saw_header)
+        return fail("not a sieve trace file (missing traceEvents)");
+    if (summary.events == 0)
+        return fail("trace file contains no spans");
+
+    summary.wallMs = (last_end - first_start) / 1e3;
+    summary.stages.reserve(stages.size());
+    for (auto &[key, s] : stages)
+        summary.stages.push_back(std::move(s));
+    std::sort(summary.stages.begin(), summary.stages.end(),
+              [](const StageSummary &a, const StageSummary &b) {
+                  return a.totalMs > b.totalMs ||
+                         (a.totalMs == b.totalMs && a.stage < b.stage);
+              });
+    if (error)
+        error->clear();
+    return summary;
+}
+
+} // namespace sieve::obs

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * RAII span tracer emitting Chrome trace-event JSON.
+ *
+ * The temporal half of the observability layer: a `Span` measures one
+ * pipeline stage on one thread and, at destruction, appends a
+ * complete ("ph":"X") trace event to the calling thread's private
+ * buffer. Buffers are merged and sorted when the trace is written,
+ * so tracing from pool workers is allocation-cheap and lock-free on
+ * the hot path (the only locks are buffer registration — once per
+ * thread — and the final flush).
+ *
+ * The output loads directly in `chrome://tracing` and Perfetto
+ * (https://ui.perfetto.dev): one row per thread, spans nested by
+ * time. `sieve trace-summary FILE` aggregates the same file into a
+ * per-stage wall-clock table.
+ *
+ * Span categories name pipeline stages (`pool`, `eval`, `suite`,
+ * `profiler`, `sampling`, `stats`, `gpusim`); span names identify the
+ * unit of work ("cactus/lmc", "kmeans"). All span timing is
+ * wall-clock and therefore Volatile under the determinism contract —
+ * nothing in a trace file is expected to be --jobs-invariant.
+ *
+ * When tracing is disabled (the default) constructing a Span is one
+ * relaxed load and a branch: no clock read, no buffer write, no
+ * allocation beyond the caller's name argument.
+ */
+
+#ifndef SIEVE_OBS_TRACE_HH
+#define SIEVE_OBS_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sieve::obs {
+
+/** Global tracing on/off switch (off by default). */
+bool traceEnabled();
+void setTraceEnabled(bool enabled);
+
+/** Monotonic nanoseconds since the process trace epoch. */
+uint64_t nowNs();
+
+/**
+ * Tag the calling thread for logs and traces ("p0.w3" for pool
+ * workers, "main" for the main thread). The tag shows up as the
+ * Perfetto thread name and in log-line attribution.
+ */
+void setThreadTag(std::string tag);
+
+/** The calling thread's tag; empty if never set. */
+const std::string &threadTag();
+
+/**
+ * Append one complete trace event directly (the building block Span
+ * uses; exposed for call sites that already measured the interval).
+ * No-op when tracing is disabled.
+ */
+void emitCompleteEvent(const char *category, std::string name,
+                       uint64_t start_ns, uint64_t duration_ns,
+                       std::string detail = {});
+
+/**
+ * RAII span: measures construction-to-destruction on the calling
+ * thread. `category` must be a string literal (stored by pointer);
+ * `name` and `detail` are owned. `detail` lands in the event's args
+ * in the trace viewer.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *category, std::string name,
+                  std::string detail = {})
+        : _armed(traceEnabled()), _category(category)
+    {
+        if (_armed) {
+            _name = std::move(name);
+            _detail = std::move(detail);
+            _start = nowNs();
+        }
+    }
+
+    ~Span()
+    {
+        if (_armed)
+            emitCompleteEvent(_category, std::move(_name), _start,
+                              nowNs() - _start, std::move(_detail));
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    bool _armed;
+    const char *_category;
+    uint64_t _start = 0;
+    std::string _name;
+    std::string _detail;
+};
+
+/**
+ * Write all buffered events as Chrome trace-event JSON (the
+ * "traceEvents" object form), sorted by timestamp, with thread_name
+ * metadata from the per-thread tags. Call when the traced threads
+ * are quiescent (pools joined); the bench/CLI flush runs at exit.
+ */
+void writeChromeTrace(std::ostream &os);
+
+/** writeChromeTrace to a file; false + stderr message on failure. */
+bool writeChromeTraceFile(const std::string &path);
+
+/** Number of buffered events (test support). */
+size_t traceEventCount();
+
+/** Drop all buffered events (test support). */
+void resetTrace();
+
+/** Aggregated view of one stage (category) of a trace file. */
+struct StageSummary
+{
+    std::string stage;  //!< category, or name when keyed by name
+    uint64_t spans = 0;
+    double totalMs = 0.0;
+    double maxMs = 0.0;
+};
+
+/** Whole-file aggregation produced by summarizeTrace. */
+struct TraceSummary
+{
+    std::vector<StageSummary> stages; //!< sorted by totalMs, desc
+    uint64_t events = 0;
+    double wallMs = 0.0; //!< last span end minus first span start
+};
+
+/**
+ * Parse a trace file written by writeChromeTrace and aggregate the
+ * spans per category (or per name with `by_name`). Only understands
+ * this tool's own line-per-event layout — not a general JSON parser.
+ * On malformed input returns nullopt-like empty summary and sets
+ * *error.
+ */
+TraceSummary summarizeTrace(std::istream &is, bool by_name,
+                            std::string *error);
+
+} // namespace sieve::obs
+
+#endif // SIEVE_OBS_TRACE_HH

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "trace/instruction_mix.hh"
 #include "trace/profile_io.hh"
 
@@ -31,6 +33,10 @@ NvbitProfiler::NvbitProfiler(ProfilingCostParams params)
 CsvTable
 NvbitProfiler::collect(const trace::Workload &workload) const
 {
+    static obs::Counter &c_collects =
+        obs::counter("profiler.nvbit.collects");
+    c_collects.add();
+    obs::Span span("profiler", "nvbit:" + workload.name());
     return trace::sieveProfileTable(workload);
 }
 
@@ -59,6 +65,10 @@ NsightProfiler::NsightProfiler(ProfilingCostParams params)
 CsvTable
 NsightProfiler::collect(const trace::Workload &workload) const
 {
+    static obs::Counter &c_collects =
+        obs::counter("profiler.nsight.collects");
+    c_collects.add();
+    obs::Span span("profiler", "nsight:" + workload.name());
     return trace::pksProfileTable(workload);
 }
 
@@ -108,6 +118,11 @@ accumulateGoldenCosts(const trace::Workload &workload,
     SIEVE_ASSERT(golden.perInvocation.size() ==
                      workload.numInvocations(),
                  "golden results do not match workload");
+
+    static obs::Counter &c_costs =
+        obs::counter("profiler.golden_costs");
+    c_costs.add();
+    obs::Span span("profiler", "golden-costs:" + workload.name());
 
     // NVBit: one instrumented run -- native execution inflated by the
     // instrumentation slowdown, plus a fixed callback cost per

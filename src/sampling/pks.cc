@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/kmeans.hh"
 #include "stats/pca.hh"
 
@@ -61,6 +63,15 @@ PksSampler::sample(const trace::Workload &workload,
                    const std::vector<gpu::KernelResult> &golden,
                    ThreadPool *pool) const
 {
+    static obs::Counter &c_samples =
+        obs::counter("sampling.pks.samples");
+    static obs::Counter &c_k_evaluated =
+        obs::counter("sampling.pks.k_evaluated");
+    static obs::Counter &c_clusters =
+        obs::counter("sampling.pks.clusters");
+    c_samples.add();
+    obs::Span span("sampling", "pks:" + workload.name());
+
     size_t n = workload.numInvocations();
     SIEVE_ASSERT(n > 0, "PKS on an empty workload");
     if (golden.size() != n)
@@ -94,6 +105,7 @@ PksSampler::sample(const trace::Workload &workload,
     Rng base_rng(_config.seed ^ hashLabel(workload.name()));
 
     size_t max_k = std::min(_config.maxK, n);
+    c_k_evaluated.add(max_k);
     struct Candidate
     {
         SamplingResult result;
@@ -173,6 +185,7 @@ PksSampler::sample(const trace::Workload &workload,
             best = std::move(candidate.result);
         }
     }
+    c_clusters.add(best.strata.size());
     return best;
 }
 

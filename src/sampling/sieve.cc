@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/descriptive.hh"
 #include "stats/kde.hh"
 #include "stats/weighted.hh"
@@ -67,6 +69,17 @@ SamplingResult
 SieveSampler::sample(const trace::Workload &workload,
                      ThreadPool *pool) const
 {
+    static obs::Counter &c_samples =
+        obs::counter("sampling.sieve.samples");
+    static obs::Counter &c_tier1 =
+        obs::counter("sampling.sieve.strata.tier1");
+    static obs::Counter &c_tier2 =
+        obs::counter("sampling.sieve.strata.tier2");
+    static obs::Counter &c_tier3 =
+        obs::counter("sampling.sieve.strata.tier3");
+    c_samples.add();
+    obs::Span span("sampling", "sieve:" + workload.name());
+
     SamplingResult result;
     result.method = "sieve";
     result.theta = _config.theta;
@@ -101,6 +114,7 @@ SieveSampler::sample(const trace::Workload &workload,
             stratum.representative =
                 selectRepresentative(workload, members, tier);
             result.strata.push_back(std::move(stratum));
+            (tier == Tier::Tier1 ? c_tier1 : c_tier2).add();
             continue;
         }
 
@@ -124,6 +138,7 @@ SieveSampler::sample(const trace::Workload &workload,
             stratum.representative = selectRepresentative(
                 workload, stratum.members, Tier::Tier3);
             result.strata.push_back(std::move(stratum));
+            c_tier3.add();
         }
     }
 

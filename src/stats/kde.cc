@@ -7,6 +7,8 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "stats/descriptive.hh"
 
 namespace sieve::stats {
@@ -91,6 +93,13 @@ KernelDensity::densityGrid(double lo, double hi, size_t points,
 {
     SIEVE_ASSERT(points >= 2, "density grid needs at least two points");
     SIEVE_ASSERT(hi >= lo, "grid range [", lo, ", ", hi, "]");
+    // Per-grid (not per-point) instrumentation: density() is the hot
+    // loop and must stay untouched.
+    static obs::Counter &c_points =
+        obs::counter("stats.kde.grid_points");
+    c_points.add(points);
+    obs::Span span("stats", "kde.grid",
+                   "points=" + std::to_string(points));
     std::vector<double> out(points);
     double step = (hi - lo) / static_cast<double>(points - 1);
     auto eval = [&](size_t i) {
@@ -233,6 +242,14 @@ stratifyByDensity(const std::vector<double> &values, double max_cov,
     SIEVE_ASSERT(max_cov > 0.0, "non-positive CoV bound ", max_cov);
     SIEVE_ASSERT(!values.empty(), "stratify of empty sample");
 
+    static obs::Counter &c_calls =
+        obs::counter("stats.stratify.calls");
+    static obs::Counter &c_strata =
+        obs::counter("stats.stratify.strata");
+    c_calls.add();
+    obs::Span span("stats", "stratify",
+                   "n=" + std::to_string(values.size()));
+
     // Work on a sorted copy; map back through the permutation at the end.
     std::vector<size_t> order(values.size());
     std::iota(order.begin(), order.end(), 0);
@@ -297,6 +314,8 @@ stratifyByDensity(const std::vector<double> &values, double max_cov,
         }
         merged.push_back(seg);
     }
+
+    c_strata.add(merged.size());
 
     // Map stratum labels back to the input order.
     std::vector<size_t> labels(values.size());

@@ -5,6 +5,8 @@
 #include <span>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace sieve::stats {
 
@@ -62,6 +64,14 @@ kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters,
 {
     SIEVE_ASSERT(data.rows() > 0, "k-means on empty data");
     k = std::clamp<size_t>(k, 1, data.rows());
+
+    // Per-run (not per-assignment) instrumentation: assignOne is the
+    // hot loop and must stay untouched.
+    static obs::Counter &c_runs = obs::counter("stats.kmeans.runs");
+    static obs::Counter &c_iters =
+        obs::counter("stats.kmeans.iterations");
+    c_runs.add();
+    obs::Span span("stats", "kmeans", "k=" + std::to_string(k));
 
     size_t n = data.rows();
     size_t dims = data.cols();
@@ -192,6 +202,7 @@ kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters,
         }
     }
 
+    c_iters.add(result.iterations);
     result.centroids = std::move(centroids);
     return result;
 }

@@ -6,6 +6,8 @@
 #include <span>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace sieve::stats {
 
@@ -92,6 +94,13 @@ Pca::Pca(const Matrix &data, double variance_to_keep)
     if (data.rows() == 0 || data.cols() == 0)
         fatal("PCA on an empty data matrix");
 
+    static obs::Counter &c_fits = obs::counter("stats.pca.fits");
+    static obs::Counter &c_components =
+        obs::counter("stats.pca.components");
+    c_fits.add();
+    obs::Span span("stats", "pca.fit",
+                   "rows=" + std::to_string(data.rows()));
+
     size_t d = data.cols();
     double n = static_cast<double>(data.rows());
 
@@ -151,6 +160,7 @@ Pca::Pca(const Matrix &data, double variance_to_keep)
             break;
     }
     keep = std::max<size_t>(keep, 1);
+    c_components.add(keep);
     _explained = acc / total;
 
     _components = Matrix(d, keep);

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the observability layer: shard merging under thread
+ * hammering, histogram bucket boundaries, span nesting and ordering
+ * in the emitted Chrome trace, true no-op behaviour when disabled,
+ * the --jobs-invariance of stable counters, and thread-safe logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "stats/kde.hh"
+
+namespace sieve {
+namespace {
+
+/** Enable metrics/tracing for one test; restore the default after. */
+struct ObsGuard
+{
+    ObsGuard(bool metrics, bool trace)
+    {
+        obs::setMetricsEnabled(metrics);
+        obs::setTraceEnabled(trace);
+        obs::resetMetrics();
+        obs::resetTrace();
+    }
+
+    ~ObsGuard()
+    {
+        obs::setMetricsEnabled(false);
+        obs::setTraceEnabled(false);
+        obs::resetMetrics();
+        obs::resetTrace();
+    }
+};
+
+TEST(ObsMetrics, CounterMergesAcrossHammeringThreads)
+{
+    ObsGuard guard(true, false);
+    obs::Counter &c = obs::counter("test.hammer");
+
+    constexpr size_t kThreads = 8;
+    constexpr uint64_t kAddsPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (uint64_t i = 0; i < kAddsPerThread; ++i)
+                c.add(1 + (i % 3)); // deltas 1, 2, 3
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    uint64_t per_thread = 0;
+    for (uint64_t i = 0; i < kAddsPerThread; ++i)
+        per_thread += 1 + (i % 3);
+    EXPECT_EQ(c.value(), kThreads * per_thread);
+
+    // The merged snapshot agrees with the handle.
+    auto stable = obs::stableCounters();
+    EXPECT_EQ(stable.at("test.hammer"), c.value());
+}
+
+TEST(ObsMetrics, DisabledMetricsAreTrueNoOps)
+{
+    ObsGuard guard(false, false);
+    obs::Counter &c = obs::counter("test.disabled.counter");
+    obs::Histogram &h = obs::histogram("test.disabled.histogram");
+    c.add(42);
+    h.record(1000);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries)
+{
+    // Bucket 0 holds exact zeros; bucket i >= 1 covers [2^(i-1), 2^i).
+    EXPECT_EQ(obs::Histogram::bucketFor(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketFor(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucketFor(2), 2u);
+    EXPECT_EQ(obs::Histogram::bucketFor(3), 2u);
+    EXPECT_EQ(obs::Histogram::bucketFor(4), 3u);
+    EXPECT_EQ(obs::Histogram::bucketFor(7), 3u);
+    EXPECT_EQ(obs::Histogram::bucketFor(8), 4u);
+    EXPECT_EQ(obs::Histogram::bucketFor(~uint64_t{0}),
+              obs::Histogram::kBuckets - 1);
+
+    EXPECT_EQ(obs::Histogram::bucketLowerBound(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucketLowerBound(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucketLowerBound(2), 2u);
+    EXPECT_EQ(obs::Histogram::bucketLowerBound(3), 4u);
+
+    // Every boundary value lands in the bucket whose lower bound it is.
+    for (size_t b = 1; b < obs::Histogram::kBuckets; ++b) {
+        EXPECT_EQ(obs::Histogram::bucketFor(
+                      obs::Histogram::bucketLowerBound(b)),
+                  b)
+            << "bucket " << b;
+    }
+}
+
+TEST(ObsMetrics, HistogramRecordsCountSumAndBuckets)
+{
+    ObsGuard guard(true, false);
+    obs::Histogram &h = obs::histogram("test.latency");
+    h.record(0);
+    h.record(1);
+    h.record(5);
+    h.record(5);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 11u);
+
+    std::vector<uint64_t> buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), obs::Histogram::kBuckets);
+    EXPECT_EQ(buckets[0], 1u); // the zero
+    EXPECT_EQ(buckets[1], 1u); // 1 in [1, 2)
+    EXPECT_EQ(buckets[3], 2u); // both 5s in [4, 8)
+}
+
+TEST(ObsMetrics, JsonExportRoundTripsStableCounters)
+{
+    ObsGuard guard(true, false);
+    obs::counter("test.roundtrip.a").add(7);
+    obs::counter("test.roundtrip.b").add(9000000000ULL);
+    obs::counter("test.roundtrip.volatile", obs::Stability::Volatile)
+        .add(5);
+
+    std::stringstream json;
+    obs::writeMetricsJson(json);
+
+    std::string error;
+    auto parsed = obs::parseStableCounters(json, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(parsed, obs::stableCounters());
+    EXPECT_EQ(parsed.at("test.roundtrip.a"), 7u);
+    EXPECT_EQ(parsed.at("test.roundtrip.b"), 9000000000ULL);
+    EXPECT_EQ(parsed.count("test.roundtrip.volatile"), 0u);
+}
+
+TEST(ObsMetrics, StableCountersAreJobsInvariant)
+{
+    // The same stratification run at 1 and 8 workers must leave
+    // identical stable counters — the contract the CI obs gate
+    // enforces on a whole bench run.
+    std::vector<double> values;
+    for (size_t i = 0; i < 400; ++i)
+        values.push_back(static_cast<double>((i * 37) % 101) +
+                         (i < 200 ? 0.0 : 500.0));
+
+    auto run = [&](size_t jobs) {
+        ObsGuard guard(true, false);
+        ThreadPool pool(jobs);
+        stats::stratifyByDensity(values, 0.3, &pool);
+        return obs::stableCounters();
+    };
+    std::map<std::string, uint64_t> serial = run(1);
+    std::map<std::string, uint64_t> wide = run(8);
+
+    EXPECT_FALSE(serial.empty());
+    EXPECT_GT(serial.at("stats.stratify.calls"), 0u);
+    EXPECT_EQ(serial, wide);
+}
+
+TEST(ObsTrace, SpanNestingAndOrderingInEmittedJson)
+{
+    ObsGuard guard(false, true);
+    {
+        obs::Span outer("t-outer", "outer");
+        obs::Span inner("t-inner", "inner", "detail-value");
+    }
+    EXPECT_EQ(obs::traceEventCount(), 2u);
+
+    std::stringstream out;
+    obs::writeChromeTrace(out);
+    std::string json = out.str();
+
+    // Events are sorted by start time: the outer span opened first,
+    // so it must precede the inner one even though it completed last.
+    size_t outer_pos = json.find("\"name\":\"outer\"");
+    size_t inner_pos = json.find("\"name\":\"inner\"");
+    ASSERT_NE(outer_pos, std::string::npos);
+    ASSERT_NE(inner_pos, std::string::npos);
+    EXPECT_LT(outer_pos, inner_pos);
+    EXPECT_NE(json.find("\"detail\":\"detail-value\""),
+              std::string::npos);
+
+    // The file parses back through the aggregator.
+    std::stringstream in(json);
+    std::string error;
+    obs::TraceSummary summary =
+        obs::summarizeTrace(in, /*by_name=*/false, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(summary.events, 2u);
+    ASSERT_EQ(summary.stages.size(), 2u);
+    // The outer span covers the inner one, so it aggregates at least
+    // as much total time.
+    std::map<std::string, double> totals;
+    for (const auto &stage : summary.stages)
+        totals[stage.stage] = stage.totalMs;
+    EXPECT_GE(totals.at("t-outer"), totals.at("t-inner"));
+}
+
+TEST(ObsTrace, DisabledSpanEmitsNothing)
+{
+    ObsGuard guard(false, false);
+    {
+        obs::Span span("test", "should-not-appear");
+        obs::emitCompleteEvent("test", "also-not", 0, 1);
+    }
+    EXPECT_EQ(obs::traceEventCount(), 0u);
+}
+
+TEST(ObsTrace, SummarizeRejectsMalformedInput)
+{
+    std::stringstream in("this is not a trace file\n");
+    std::string error;
+    obs::TraceSummary summary =
+        obs::summarizeTrace(in, false, &error);
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(summary.events, 0u);
+}
+
+TEST(ObsLogging, ConcurrentEmitKeepsLinesIntact)
+{
+    // Hammer one stream from many threads; every line must come out
+    // whole — the bug this guards against was interleaved fragments
+    // from the old multi-insertion emit path.
+    std::ostringstream os;
+    constexpr size_t kThreads = 8;
+    constexpr size_t kLines = 200;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&os, t] {
+            for (size_t j = 0; j < kLines; ++j) {
+                detail::emit(os, "test",
+                             "thread-" + std::to_string(t) + "-msg-" +
+                                 std::to_string(j));
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    std::istringstream in(os.str());
+    std::string line;
+    size_t count = 0;
+    std::regex shape(
+        R"(\[sieve:test\] (\([^)]+\) )?thread-\d+-msg-\d+)");
+    while (std::getline(in, line)) {
+        EXPECT_TRUE(std::regex_match(line, shape))
+            << "mangled line: '" << line << "'";
+        ++count;
+    }
+    EXPECT_EQ(count, kThreads * kLines);
+}
+
+} // namespace
+} // namespace sieve

@@ -25,13 +25,25 @@
  *                [--jobs N]
  *       Run the cycle-level simulator on exported traces; several
  *       files are simulated concurrently over N workers.
+ *   sieve trace-summary <trace.json> [--by-name] [--csv] [-o FILE]
+ *       Aggregate a Chrome trace written by --trace-out into a
+ *       per-stage wall-clock table.
+ *   sieve metrics-diff <a.json> <b.json>
+ *       Compare the stable counters of two metrics exports; exit 1
+ *       on any difference (the CI determinism gate).
+ *
+ * Every command also accepts --trace-out FILE / --metrics-out FILE
+ * (or SIEVE_TRACE / SIEVE_METRICS) to record its own execution, and
+ * --log-level quiet|warn|info|debug (or SIEVE_LOG_LEVEL).
  */
 
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +52,9 @@
 #include "common/thread_pool.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "obs/metrics.hh"
+#include "obs/obs.hh"
+#include "obs/trace.hh"
 #include "gpusim/gpu_simulator.hh"
 #include "gpusim/sim_batch.hh"
 #include "gpusim/trace_synth.hh"
@@ -91,7 +106,8 @@ class Args
     static bool
     needsValue(const std::string &key)
     {
-        return key != "pks" && key != "pkp";
+        return key != "pks" && key != "pkp" && key != "by-name" &&
+               key != "csv";
     }
 
     const std::vector<std::string> &positional() const
@@ -440,6 +456,110 @@ cmdSimulate(const Args &args)
 }
 
 int
+cmdTraceSummary(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve trace-summary <trace.json> [--by-name] "
+              "[--csv] [-o FILE]");
+    const std::string &path = args.positional()[0];
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file '", path, "'");
+
+    std::string error;
+    obs::TraceSummary summary =
+        obs::summarizeTrace(in, args.has("by-name"), &error);
+    if (!error.empty())
+        fatal("malformed trace '", path, "': ", error);
+    if (summary.events == 0)
+        fatal("trace '", path, "' contains no spans");
+
+    if (args.has("csv")) {
+        CsvTable table({"stage", "spans", "total_ms", "max_ms"});
+        for (const auto &stage : summary.stages) {
+            table.addRow({stage.stage, std::to_string(stage.spans),
+                          eval::Report::num(stage.totalMs, 3),
+                          eval::Report::num(stage.maxMs, 3)});
+        }
+        if (args.has("out")) {
+            table.writeFile(args.get("out", ""));
+        } else {
+            std::ostringstream os;
+            table.write(os);
+            std::fputs(os.str().c_str(), stdout);
+        }
+        return 0;
+    }
+
+    eval::Report report("Trace summary: " + path);
+    report.setColumns({args.has("by-name") ? "span" : "stage",
+                       "spans", "total", "max"});
+    for (const auto &stage : summary.stages) {
+        report.addRow({stage.stage, std::to_string(stage.spans),
+                       eval::Report::num(stage.totalMs, 3) + " ms",
+                       eval::Report::num(stage.maxMs, 3) + " ms"});
+    }
+    report.print();
+    // Stage totals exceed the wall clock whenever spans nest or run
+    // concurrently; print the wall span so the table reads correctly.
+    std::printf("%llu spans over %.3f ms of wall clock\n",
+                static_cast<unsigned long long>(summary.events),
+                summary.wallMs);
+    return 0;
+}
+
+int
+cmdMetricsDiff(const Args &args)
+{
+    if (args.positional().size() != 2)
+        fatal("usage: sieve metrics-diff <a.json> <b.json>");
+
+    auto load = [](const std::string &path) {
+        std::ifstream in(path);
+        if (!in)
+            fatal("cannot open metrics file '", path, "'");
+        std::string error;
+        auto counters = obs::parseStableCounters(in, &error);
+        if (!error.empty())
+            fatal("malformed metrics '", path, "': ", error);
+        return counters;
+    };
+    auto a = load(args.positional()[0]);
+    auto b = load(args.positional()[1]);
+
+    // One merged walk reports missing keys and value mismatches in
+    // name order.
+    size_t differences = 0;
+    auto report = [&](const std::string &name, const std::string &lhs,
+                      const std::string &rhs) {
+        std::printf("  %-40s %s != %s\n", name.c_str(), lhs.c_str(),
+                    rhs.c_str());
+        ++differences;
+    };
+    for (const auto &[name, value] : a) {
+        auto it = b.find(name);
+        if (it == b.end())
+            report(name, std::to_string(value), "(missing)");
+        else if (it->second != value)
+            report(name, std::to_string(value),
+                   std::to_string(it->second));
+    }
+    for (const auto &[name, value] : b) {
+        if (!a.count(name))
+            report(name, "(missing)", std::to_string(value));
+    }
+
+    if (differences > 0) {
+        std::printf("%zu stable counter(s) differ between %s and %s\n",
+                    differences, args.positional()[0].c_str(),
+                    args.positional()[1].c_str());
+        return 1;
+    }
+    std::printf("%zu stable counters identical\n", a.size());
+    return 0;
+}
+
+int
 usage()
 {
     std::fprintf(
@@ -451,7 +571,15 @@ usage()
         "  evaluate <workload> [...]      error/speedup vs golden run\n"
         "  trace <workload> [--out DIR]   export representative traces\n"
         "  export <workload> [-o FILE]    save a workload as .swl\n"
-        "  simulate <trace>... [--pkp]    cycle-level simulation\n");
+        "  simulate <trace>... [--pkp]    cycle-level simulation\n"
+        "  trace-summary <trace.json>     per-stage wall-clock table\n"
+        "  metrics-diff <a.json> <b.json> compare stable counters\n"
+        "global options (all commands):\n"
+        "  --trace-out FILE    Chrome trace of this run "
+        "(env: SIEVE_TRACE)\n"
+        "  --metrics-out FILE  metrics JSON/CSV (env: SIEVE_METRICS)\n"
+        "  --log-level L       quiet|warn|info|debug "
+        "(env: SIEVE_LOG_LEVEL)\n");
     return 2;
 }
 
@@ -465,6 +593,22 @@ main(int argc, char **argv)
 
     std::string command = argv[1];
     Args args(argc, argv);
+
+    // Arm observability for every command: env first, then explicit
+    // flags (later config wins per field).
+    if (args.has("log-level")) {
+        std::string value = args.get("log-level", "");
+        auto level = parseLogLevel(value);
+        if (!level)
+            fatal("--log-level expects quiet|warn|info|debug, got '",
+                  value, "'");
+        setLogLevel(*level);
+    }
+    obs::configureObsFromEnv();
+    if (args.has("trace-out") || args.has("metrics-out")) {
+        obs::configureObs(
+            {args.get("trace-out", ""), args.get("metrics-out", "")});
+    }
 
     if (command == "list")
         return cmdList();
@@ -480,6 +624,10 @@ main(int argc, char **argv)
         return cmdExport(args);
     if (command == "simulate")
         return cmdSimulate(args);
+    if (command == "trace-summary")
+        return cmdTraceSummary(args);
+    if (command == "metrics-diff")
+        return cmdMetricsDiff(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
 }
