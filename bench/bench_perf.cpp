@@ -1,24 +1,27 @@
 /**
  * @file
- * Perf-trajectory microbenchmark harness for the PR-2 hot-path
- * optimizations.
+ * Perf-trajectory microbenchmark harness for the optimized analysis
+ * and simulation hot paths (PR 2 stats pipeline, PR 4 memoized
+ * simulation + bounds-pruned k-means).
  *
- * Times each optimized analysis stage against its retained naive
- * reference (stats::reference) on paper-scale inputs, asserts the two
- * produce byte-identical outputs, and emits a JSON record per op:
+ * Times each optimized stage against its retained naive baseline on
+ * paper-scale inputs, asserts the two produce byte-identical outputs,
+ * and emits a JSON record per op:
  *
- *   { "op": ..., "n": ..., "reps": ..., "median_ns": ..., "speedup": ... }
+ *   { "op": ..., "n": ..., "reps": ...,
+ *     "median_ns": ..., "baseline_ns": ..., "speedup": ... }
  *
- * Ops without a reference counterpart (PCA fit, PKS end-to-end, CSV
- * serialization) are timed for the trajectory record and emit
- * "speedup": null.
+ * Every op has a real measured baseline (schema 2): the stats ops
+ * time against stats::reference, PKS against
+ * PksSampler::sampleReference, CSV against CsvTable::writeReference,
+ * and batch simulation against the unmemoized simulateBatch.
  *
  * Flags:
  *   --reps N   timing repetitions per op (median reported; default 5)
  *   --smoke    shrink inputs and validate schema + determinism only;
  *              exit non-zero on any violation (CI gate — timing
  *              numbers are recorded but never judged)
- *   --out P    JSON output path (default BENCH_PR2.json)
+ *   --out P    JSON output path (default BENCH_PR4.json)
  *   --jobs N   worker threads for the optimized paths (0 = default)
  */
 
@@ -36,6 +39,11 @@
 #include "common/strings.hh"
 #include "common/thread_pool.hh"
 #include "eval/experiment.hh"
+#include "gpu/arch_config.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "gpusim/sim_batch.hh"
+#include "gpusim/sim_cache.hh"
+#include "gpusim/trace_synth.hh"
 #include "sampling/pks.hh"
 #include "stats/kde.hh"
 #include "stats/kmeans.hh"
@@ -54,8 +62,8 @@ struct OpRecord
     size_t n = 0;
     int reps = 0;
     double medianNs = 0.0;
-    double speedup = 0.0;   //!< vs the naive reference
-    bool hasSpeedup = false;
+    double baselineNs = 0.0; //!< the retained naive baseline
+    double speedup = 0.0;    //!< baselineNs / medianNs
 };
 
 int failures = 0;
@@ -83,6 +91,21 @@ medianNs(int reps, F &&fn)
     }
     std::sort(times.begin(), times.end());
     return times[times.size() / 2];
+}
+
+/** Build a record with the derived speedup. */
+OpRecord
+makeRecord(std::string op, size_t n, int reps, double median_ns,
+           double baseline_ns)
+{
+    OpRecord r;
+    r.op = std::move(op);
+    r.n = n;
+    r.reps = reps;
+    r.medianNs = median_ns;
+    r.baselineNs = baseline_ns;
+    r.speedup = baseline_ns / median_ns;
+    return r;
 }
 
 bool
@@ -130,6 +153,32 @@ samplingResultsEqual(const sampling::SamplingResult &a,
             return false;
     }
     return true;
+}
+
+bool
+cacheStatsEqual(const gpusim::CacheStats &a, const gpusim::CacheStats &b)
+{
+    return a.accesses == b.accesses && a.hits == b.hits &&
+           a.misses == b.misses && a.mshrMerges == b.mshrMerges &&
+           a.mshrStalls == b.mshrStalls;
+}
+
+/** Per-field identity, deliberately excluding the wallSeconds clock. */
+bool
+simResultsEqual(const gpusim::KernelSimResult &a,
+                const gpusim::KernelSimResult &b)
+{
+    return a.simCycles == b.simCycles &&
+           bitsEqual(a.estimatedKernelCycles, b.estimatedKernelCycles) &&
+           a.instructionsSimulated == b.instructionsSimulated &&
+           bitsEqual(a.ipc, b.ipc) &&
+           bitsEqual(a.estimatedIpc, b.estimatedIpc) &&
+           cacheStatsEqual(a.l1, b.l1) && cacheStatsEqual(a.l2, b.l2) &&
+           a.dram.requests == b.dram.requests &&
+           a.dram.bytes == b.dram.bytes &&
+           a.dram.busyCycles == b.dram.busyCycles &&
+           a.pkpStoppedEarly == b.pkpStoppedEarly &&
+           bitsEqual(a.fractionSimulated, b.fractionSimulated);
 }
 
 /**
@@ -182,7 +231,7 @@ writeJson(const std::string &path, const std::vector<OpRecord> &records,
     std::ostringstream os;
     os << "{\n";
     os << "  \"bench\": \"bench_perf\",\n";
-    os << "  \"schema\": 1,\n";
+    os << "  \"schema\": 2,\n";
     os << "  \"jobs\": " << jobs << ",\n";
     os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
     os << "  \"results\": [\n";
@@ -190,12 +239,10 @@ writeJson(const std::string &path, const std::vector<OpRecord> &records,
         const auto &r = records[i];
         os << "    {\"op\": \"" << r.op << "\", \"n\": " << r.n
            << ", \"reps\": " << r.reps << ", \"median_ns\": "
-           << jsonNumber(r.medianNs) << ", \"speedup\": ";
-        if (r.hasSpeedup)
-            os << jsonNumber(r.speedup);
-        else
-            os << "null";
-        os << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+           << jsonNumber(r.medianNs) << ", \"baseline_ns\": "
+           << jsonNumber(r.baselineNs) << ", \"speedup\": "
+           << jsonNumber(r.speedup) << "}"
+           << (i + 1 < records.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
 
@@ -222,8 +269,10 @@ validateRecords(const std::vector<OpRecord> &records)
             violation(r.op + ": reps must be positive");
         if (!(r.medianNs > 0.0))
             violation(r.op + ": median_ns must be positive");
-        if (r.hasSpeedup && !(r.speedup > 0.0))
-            violation(r.op + ": speedup must be positive when present");
+        if (!(r.baselineNs > 0.0))
+            violation(r.op + ": baseline_ns must be positive");
+        if (!(r.speedup > 0.0))
+            violation(r.op + ": speedup must be positive");
     }
 }
 
@@ -234,7 +283,7 @@ main(int argc, char **argv)
 {
     int reps = 5;
     bool smoke = false;
-    std::string out = "BENCH_PR2.json";
+    std::string out = "BENCH_PR4.json";
     size_t jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -292,8 +341,8 @@ main(int argc, char **argv)
         violation("densityGrid: optimized != reference bytes");
     if (!bitsEqual(grid_opt, grid_serial))
         violation("densityGrid: pooled != serial bytes");
-    records.push_back({"densityGrid", n, reps, grid_opt_ns,
-                       grid_ref_ns / grid_opt_ns, true});
+    records.push_back(makeRecord("densityGrid", n, reps, grid_opt_ns,
+                                 grid_ref_ns));
 
     // ---- stratifyByDensity: prefix-sum CoV vs Welford reference ----
     const double theta = 0.3;
@@ -308,10 +357,10 @@ main(int argc, char **argv)
         violation("stratifyByDensity: optimized != reference labels");
     if (labels_opt != stats::stratifyByDensity(values, theta, nullptr))
         violation("stratifyByDensity: pooled != serial labels");
-    records.push_back({"stratifyByDensity", n, reps, strat_opt_ns,
-                       strat_ref_ns / strat_opt_ns, true});
+    records.push_back(makeRecord("stratifyByDensity", n, reps,
+                                 strat_opt_ns, strat_ref_ns));
 
-    // ---- kMeans: norm-cached assignment vs at()-based reference ----
+    // ---- kMeans: bounds-pruned assignment vs at()-based reference --
     const size_t km_n = smoke ? 500 : 2000;
     const size_t km_d = 12;
     const size_t km_k = 8;
@@ -337,22 +386,42 @@ main(int argc, char **argv)
         if (serial.assignments != km_opt.assignments ||
             !bitsEqual(serial.inertia, km_opt.inertia))
             violation("kMeans: pooled != serial result");
+        stats::KMeansContext ctx = stats::makeKMeansContext(data);
+        stats::KMeansResult shared =
+            stats::kMeans(data, km_k, km_rng, 100, &pool, &ctx);
+        if (shared.assignments != km_opt.assignments ||
+            !bitsEqual(shared.inertia, km_opt.inertia))
+            violation("kMeans: shared-context != fresh-context result");
     }
-    records.push_back({"kMeans", km_n, reps, km_opt_ns,
-                       km_ref_ns / km_opt_ns, true});
+    records.push_back(makeRecord("kMeans", km_n, reps, km_opt_ns,
+                                 km_ref_ns));
 
-    // ---- PCA fit (timed for the trajectory; no reference) ----------
-    std::vector<double> eig_first;
-    double pca_ns = medianNs(reps, [&] {
-        stats::Pca pca(data, 0.9);
-        if (eig_first.empty())
-            eig_first = pca.eigenvalues();
-        else if (!bitsEqual(eig_first, pca.eigenvalues()))
-            violation("Pca: eigenvalues differ across reps");
-    });
-    records.push_back({"pcaFit", km_n, reps, pca_ns, 0.0, false});
+    // ---- PCA fit: row-major span passes vs at()-based reference ----
+    {
+        stats::reference::PcaFit ref_fit;
+        double pca_ref_ns = medianNs(reps, [&] {
+            ref_fit = stats::reference::pcaFit(data, 0.9);
+        });
+        std::vector<double> eig_first;
+        double pca_ns = medianNs(reps, [&] {
+            stats::Pca pca(data, 0.9);
+            if (eig_first.empty()) {
+                eig_first = pca.eigenvalues();
+                if (!bitsEqual(pca.eigenvalues(), ref_fit.eigenvalues))
+                    violation("Pca: eigenvalues != reference");
+                if (!bitsEqual(pca.explainedVariance(),
+                               ref_fit.explained))
+                    violation("Pca: explained variance != reference");
+            } else if (!bitsEqual(eig_first, pca.eigenvalues())) {
+                violation("Pca: eigenvalues differ across reps");
+            }
+        });
+        records.push_back(makeRecord("pcaFit", km_n, reps, pca_ns,
+                                     pca_ref_ns));
+    }
 
-    // ---- PKS end-to-end (k sweep via parallelMap) ------------------
+    // ---- PKS end-to-end: parallel sweep + context-sharing +
+    //      bounds-pruned k-means vs the serial reference pipeline ----
     {
         auto spec = workloads::findSpec(smoke ? "gru" : "lmc");
         if (!spec)
@@ -362,19 +431,24 @@ main(int argc, char **argv)
         const gpu::WorkloadResult &gold = ctx.golden(*spec);
 
         sampling::PksSampler pks;
-        sampling::SamplingResult pks_opt;
+        sampling::SamplingResult pks_opt, pks_ref;
         double pks_ns = medianNs(reps, [&] {
             pks_opt = pks.sample(wl, gold.perInvocation, &pool);
         });
+        double pks_ref_ns = medianNs(reps, [&] {
+            pks_ref = pks.sampleReference(wl, gold.perInvocation);
+        });
+        if (!samplingResultsEqual(pks_opt, pks_ref))
+            violation("PksSampler: optimized != reference result");
         sampling::SamplingResult pks_serial =
             pks.sample(wl, gold.perInvocation, nullptr);
         if (!samplingResultsEqual(pks_opt, pks_serial))
             violation("PksSampler: pooled != serial result");
-        records.push_back({"pksSample", wl.numInvocations(), reps,
-                           pks_ns, 0.0, false});
+        records.push_back(makeRecord("pksSample", wl.numInvocations(),
+                                     reps, pks_ns, pks_ref_ns));
     }
 
-    // ---- CSV serialization (reused line buffer) --------------------
+    // ---- CSV serialization: reused line buffer vs per-row join ----
     {
         const size_t rows = smoke ? 2000 : 20000;
         CsvTable table({"suite", "workload", "kernel", "invocation",
@@ -399,20 +473,90 @@ main(int argc, char **argv)
             else if (text != first)
                 violation("CsvTable::write: bytes differ across reps");
         });
-        records.push_back({"csvWrite", rows, reps, csv_ns, 0.0, false});
+        double csv_ref_ns = medianNs(reps, [&] {
+            std::ostringstream oss;
+            table.writeReference(oss);
+            if (oss.str() != first)
+                violation("CsvTable::writeReference: bytes differ "
+                          "from write()");
+        });
+        records.push_back(makeRecord("csvWrite", rows, reps, csv_ns,
+                                     csv_ref_ns));
+    }
+
+    // ---- simBatch: memoized golden simulation vs uncached ----------
+    // stencil launches one kernel with content-identical invocations,
+    // so content-seeded synthesis collapses its batch to a handful of
+    // distinct traces — the dedup regime the SimCache targets. The
+    // cache is constructed *inside* the timed lambda: every rep pays
+    // the real digest + unique-simulation cost, nothing is warm.
+    {
+        auto spec = workloads::findSpec("stencil");
+        if (!spec)
+            fatal("bench workload spec not found");
+        eval::ExperimentContext ctx;
+        const trace::Workload &wl = ctx.workload(*spec);
+
+        gpusim::TraceSynthOptions synth;
+        synth.maxTracedCtas = 8;
+        synth.contentSeeded = true;
+        const size_t batch_n =
+            std::min<size_t>(wl.numInvocations(), smoke ? 16 : 100);
+        std::vector<trace::KernelTrace> traces;
+        traces.reserve(batch_n);
+        for (size_t i = 0; i < batch_n; ++i)
+            traces.push_back(gpusim::synthesizeTrace(wl, i, synth));
+
+        gpusim::GpuSimulator simulator(
+            gpu::ArchConfig::ampereRtx3080());
+
+        gpusim::BatchSimResult uncached, cached;
+        double sim_ref_ns = medianNs(reps, [&] {
+            uncached = gpusim::simulateBatch(simulator, traces, pool);
+        });
+        double sim_ns = medianNs(reps, [&] {
+            gpusim::SimCache cache(simulator);
+            cached = gpusim::simulateBatchCached(cache, traces, pool);
+        });
+
+        if (cached.results.size() != uncached.results.size()) {
+            violation("simBatch: cached batch size mismatch");
+        } else {
+            for (size_t i = 0; i < cached.results.size(); ++i) {
+                if (!simResultsEqual(cached.results[i],
+                                     uncached.results[i])) {
+                    violation("simBatch: memoized != uncached result "
+                              "for trace " + std::to_string(i));
+                    break;
+                }
+            }
+        }
+        if (cached.uniqueTraces >= traces.size())
+            violation("simBatch: no dedup on content-seeded stencil "
+                      "batch (unique " +
+                      std::to_string(cached.uniqueTraces) + " of " +
+                      std::to_string(traces.size()) + ")");
+        if (cached.cacheHits !=
+            traces.size() - cached.uniqueTraces)
+            violation("simBatch: hits + unique != lookups");
+        std::printf("simBatch: %zu traces -> %zu unique (%.1fx dedup)\n",
+                    traces.size(), cached.uniqueTraces,
+                    static_cast<double>(traces.size()) /
+                        static_cast<double>(std::max<size_t>(
+                            cached.uniqueTraces, 1)));
+        records.push_back(makeRecord("simBatch", batch_n, reps, sim_ns,
+                                     sim_ref_ns));
     }
 
     validateRecords(records);
     writeJson(out, records, pool.numWorkers(), smoke);
 
-    std::printf("%-20s %10s %6s %14s %9s\n", "op", "n", "reps",
-                "median_ns", "speedup");
+    std::printf("%-20s %10s %6s %14s %14s %9s\n", "op", "n", "reps",
+                "median_ns", "baseline_ns", "speedup");
     for (const auto &r : records) {
-        std::printf("%-20s %10zu %6d %14.0f %9s\n", r.op.c_str(), r.n,
-                    r.reps, r.medianNs,
-                    r.hasSpeedup
-                        ? (sieve::toFixed(r.speedup, 2) + "x").c_str()
-                        : "-");
+        std::printf("%-20s %10zu %6d %14.0f %14.0f %9s\n", r.op.c_str(),
+                    r.n, r.reps, r.medianNs, r.baselineNs,
+                    (sieve::toFixed(r.speedup, 2) + "x").c_str());
     }
     if (failures > 0) {
         std::fprintf(stderr, "bench_perf: %d violation(s)\n", failures);

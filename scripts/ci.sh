@@ -7,10 +7,11 @@
 #   2. run the complete ctest suite
 #   3. rebuild with -DSIEVE_SANITIZE=thread and run the
 #      concurrency-sensitive tests (thread pool, experiment context,
-#      suite runner) under TSan
+#      suite runner, perf oracles, sim cache) under TSan
 #   4. bench_perf --smoke: fails on byte-identity (optimized vs
-#      reference, pooled vs serial) or JSON-schema violations — never
-#      on timing, so the gate is load-insensitive
+#      reference, pooled vs serial, memoized simulation vs uncached)
+#      or JSON-schema violations — never on timing, so the gate is
+#      load-insensitive
 #   5. observability gate: run one suite bench with --trace-out and
 #      --metrics-out, validate both files through the tool's own
 #      parsers (`sieve trace-summary`, `sieve metrics-diff`), and
@@ -37,7 +38,8 @@ cmake -B build-tsan -S . -DSIEVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
     test_thread_pool test_experiment test_suite_runner
-cmake --build build-tsan -j "$JOBS" --target test_obs
+cmake --build build-tsan -j "$JOBS" --target \
+    test_obs test_perf_oracle test_sim_cache
 
 # Death tests fork, which TSan dislikes; skip them under the
 # sanitizer — they run in step 2.
@@ -45,6 +47,8 @@ cmake --build build-tsan -j "$JOBS" --target test_obs
 ./build-tsan/tests/test_experiment
 ./build-tsan/tests/test_suite_runner --gtest_filter='-*DeathTest*'
 ./build-tsan/tests/test_obs
+./build-tsan/tests/test_perf_oracle
+./build-tsan/tests/test_sim_cache
 
 echo "=== 4/5: perf-harness smoke (determinism + schema) ==="
 ./build-ci/bench/bench_perf --reps 3 --smoke --jobs 8 \

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Perf-trajectory run: build Release and record the hot-path timings
-# into BENCH_PR2.json at the repo root, plus a per-stage wall-clock
+# into BENCH_PR4.json at the repo root, plus a per-stage wall-clock
 # breakdown of a traced suite run into BENCH_STAGES.csv.
 #
-# bench_perf times each optimized analysis stage (KDE grid, density
-# stratification, k-means, PCA, PKS end-to-end, CSV serialization) on
-# paper-scale inputs, asserts byte-identity against the retained naive
-# references, and reports median-of-reps nanoseconds plus speedup.
+# bench_perf times each optimized stage (KDE grid, density
+# stratification, bounds-pruned k-means, PCA, PKS end-to-end, CSV
+# serialization, memoized batch simulation) on paper-scale inputs,
+# asserts byte-identity against the retained naive baselines, and
+# reports median-of-reps nanoseconds, baseline nanoseconds, and the
+# measured speedup for every op.
 #
 # The stage breakdown comes from the observability layer: one
 # bench_fig3_accuracy run with --trace-out, aggregated by
@@ -23,8 +25,8 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target bench_perf bench_fig3_accuracy sieve
 
-./build/bench/bench_perf --out BENCH_PR2.json "$@"
-echo "perf: wrote $(pwd)/BENCH_PR2.json"
+./build/bench/bench_perf --out BENCH_PR4.json "$@"
+echo "perf: wrote $(pwd)/BENCH_PR4.json"
 
 TRACE=build/perf_stage_trace.json
 # Fixed --jobs 8 so the breakdown includes the pool stage even on

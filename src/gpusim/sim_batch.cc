@@ -46,6 +46,20 @@ runBatch(size_t n, ThreadPool &pool,
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - begin)
             .count();
+    batch.uniqueTraces = batch.results.size();
+    return batch;
+}
+
+/** runBatch through a cache, attributing the dedup delta to us. */
+BatchSimResult
+runBatchCached(const SimCache &cache, size_t n, ThreadPool &pool,
+               const std::function<KernelSimResult(size_t)> &simulateOne)
+{
+    SimCacheStats before = cache.stats();
+    BatchSimResult batch = runBatch(n, pool, simulateOne);
+    SimCacheStats after = cache.stats();
+    batch.uniqueTraces = after.unique - before.unique;
+    batch.cacheHits = after.hits - before.hits;
     return batch;
 }
 
@@ -68,6 +82,26 @@ simulateTraceFiles(const GpuSimulator &simulator,
 {
     return runBatch(paths.size(), pool, [&](size_t i) {
         return simulator.simulate(trace::readTraceFile(paths[i]));
+    });
+}
+
+BatchSimResult
+simulateBatchCached(const SimCache &cache,
+                    const std::vector<trace::KernelTrace> &traces,
+                    ThreadPool &pool)
+{
+    return runBatchCached(cache, traces.size(), pool, [&](size_t i) {
+        return cache.simulate(traces[i]);
+    });
+}
+
+BatchSimResult
+simulateTraceFilesCached(const SimCache &cache,
+                         const std::vector<std::string> &paths,
+                         ThreadPool &pool)
+{
+    return runBatchCached(cache, paths.size(), pool, [&](size_t i) {
+        return cache.simulate(trace::readTraceFile(paths[i]));
     });
 }
 

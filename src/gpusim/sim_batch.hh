@@ -21,6 +21,7 @@
 
 #include "common/thread_pool.hh"
 #include "gpusim/gpu_simulator.hh"
+#include "gpusim/sim_cache.hh"
 #include "trace/sass_trace.hh"
 
 namespace sieve::gpusim {
@@ -33,6 +34,17 @@ struct BatchSimResult
 
     /** Measured wall-clock seconds for the whole batch. */
     double wallSeconds = 0.0;
+
+    /**
+     * Distinct traces actually simulated. Equals results.size() for
+     * the uncached entry points; for the *Cached variants it is the
+     * batch's contribution to the cache's unique count — the dedup
+     * win is results.size() / uniqueTraces.
+     */
+    size_t uniqueTraces = 0;
+
+    /** Lookups this batch served from the cache (0 when uncached). */
+    size_t cacheHits = 0;
 
     /** Sum of per-trace simulation times (the serial-cost model). */
     double serialSeconds() const;
@@ -63,6 +75,23 @@ BatchSimResult simulateBatch(
 BatchSimResult simulateTraceFiles(
     const GpuSimulator &simulator,
     const std::vector<std::string> &paths, ThreadPool &pool);
+
+/**
+ * Memoized batch simulation: duplicate traces (by content digest) are
+ * simulated once and the result fanned out to every duplicate slot.
+ * Per-trace results are byte-identical to the uncached entry points
+ * except for the duplicates' `wallSeconds`, which reflect the single
+ * real simulation. The batch's dedup outcome is reported in
+ * `uniqueTraces` / `cacheHits`.
+ */
+BatchSimResult simulateBatchCached(
+    const SimCache &cache,
+    const std::vector<trace::KernelTrace> &traces, ThreadPool &pool);
+
+/** Trace-file variant of the memoized batch. */
+BatchSimResult simulateTraceFilesCached(
+    const SimCache &cache, const std::vector<std::string> &paths,
+    ThreadPool &pool);
 
 } // namespace sieve::gpusim
 

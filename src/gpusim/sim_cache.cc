@@ -1,0 +1,123 @@
+#include "gpusim/sim_cache.hh"
+
+#include "obs/metrics.hh"
+
+namespace sieve::gpusim {
+
+namespace {
+
+/**
+ * Two-lane word-at-a-time digest. Lane `a` is word-wise FNV-1a; lane
+ * `b` runs the same words through a SplitMix64-style finalizer chained
+ * into the accumulator. The lanes share no constants, so a collision
+ * requires both 64-bit states to collide on the same input.
+ */
+struct Digester
+{
+    uint64_t a = 0xcbf29ce484222325ULL; //!< FNV-1a offset basis
+    uint64_t b = 0x9e3779b97f4a7c15ULL;
+
+    void
+    u64(uint64_t v)
+    {
+        a = (a ^ v) * 0x100000001b3ULL;
+
+        uint64_t z = b + v + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        b = z ^ (z >> 31);
+    }
+};
+
+} // namespace
+
+TraceDigest
+digestTrace(const trace::KernelTrace &trace)
+{
+    Digester d;
+    // Canonical field order; every length is hashed before the
+    // elements so concatenation ambiguities cannot alias two traces.
+    d.u64(trace.launch.grid.x);
+    d.u64(trace.launch.grid.y);
+    d.u64(trace.launch.grid.z);
+    d.u64(trace.launch.cta.x);
+    d.u64(trace.launch.cta.y);
+    d.u64(trace.launch.cta.z);
+    d.u64(trace.launch.sharedMemBytes);
+    d.u64(trace.launch.regsPerThread);
+    d.u64(trace.ctaReplication);
+    d.u64(trace.ctas.size());
+    for (const trace::CtaTrace &cta : trace.ctas) {
+        d.u64(cta.warps.size());
+        for (const trace::WarpTrace &warp : cta.warps) {
+            d.u64(warp.instructions.size());
+            for (const trace::SassInstruction &inst : warp.instructions) {
+                // Pack the six byte-sized fields into one word.
+                uint64_t packed =
+                    static_cast<uint64_t>(inst.opcode) |
+                    (static_cast<uint64_t>(inst.destReg) << 8) |
+                    (static_cast<uint64_t>(inst.srcReg0) << 16) |
+                    (static_cast<uint64_t>(inst.srcReg1) << 24) |
+                    (static_cast<uint64_t>(inst.activeLanes) << 32) |
+                    (static_cast<uint64_t>(inst.sectors) << 40);
+                d.u64(packed);
+                d.u64(inst.lineAddress);
+            }
+        }
+    }
+    return {d.a, d.b};
+}
+
+SimCache::SimCache(const GpuSimulator &simulator) : _simulator(simulator)
+{
+}
+
+KernelSimResult
+SimCache::simulate(const trace::KernelTrace &trace) const
+{
+    static obs::Counter &c_lookups = obs::counter("gpusim.cache.lookups");
+    static obs::Counter &c_hits = obs::counter("gpusim.cache.hits");
+    static obs::Counter &c_unique = obs::counter("gpusim.cache.unique");
+
+    TraceDigest digest = digestTrace(trace);
+
+    Entry *entry = nullptr;
+    bool created = false;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_lookups;
+        auto it = _entries.find(digest);
+        if (it == _entries.end()) {
+            it = _entries
+                     .emplace(digest, std::make_unique<Entry>())
+                     .first;
+            created = true;
+        } else {
+            ++_hits;
+        }
+        entry = it->second.get();
+    }
+
+    // Which caller gets `created` is scheduling-dependent, but exactly
+    // one caller per digest does — so the unique/hit totals are pure
+    // functions of the input traces and stay Stable across --jobs.
+    c_lookups.add();
+    if (created)
+        c_unique.add();
+    else
+        c_hits.add();
+
+    std::call_once(entry->once, [&] {
+        entry->result = _simulator.simulate(trace);
+    });
+    return entry->result;
+}
+
+SimCacheStats
+SimCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return {_lookups, _hits, _lookups - _hits};
+}
+
+} // namespace sieve::gpusim

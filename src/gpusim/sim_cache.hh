@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Content-addressed memoization of kernel-trace simulation.
+ *
+ * The golden-reference half of the evaluation critical path simulates
+ * *every* invocation, yet a deterministic simulator is guaranteed to
+ * score byte-identical traces identically — re-simulating them is pure
+ * waste (the redundancy Sieve itself exists to avoid, paper §1). The
+ * SimCache closes that loop: a canonical 128-bit digest over the
+ * simulator-visible content of a trace::KernelTrace keys a thread-safe
+ * map of KernelSimResults, so a batch of traces with duplicates
+ * simulates each distinct trace exactly once and fans the result out.
+ *
+ * The digest covers precisely what GpuSimulator::simulate reads:
+ * the launch configuration, ctaReplication, and the full CTA/warp
+ * instruction streams (opcode, registers, lane mask, sectors, line
+ * address). It deliberately *excludes* kernelName (only used to label
+ * the tracing span) and invocationId (never read), so two invocations
+ * of the same kernel with identical traced content collide — which is
+ * the whole point.
+ *
+ * Determinism: which thread performs the one real simulation of a
+ * digest is scheduling-dependent, but the *number* of distinct digests
+ * is a pure function of the input traces — so the Stable counters
+ * `gpusim.cache.{lookups,hits,unique}` are --jobs-invariant by
+ * construction (hits = lookups - unique).
+ */
+
+#ifndef SIEVE_GPUSIM_SIM_CACHE_HH
+#define SIEVE_GPUSIM_SIM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "gpusim/gpu_simulator.hh"
+#include "trace/sass_trace.hh"
+
+namespace sieve::gpusim {
+
+/**
+ * Canonical 128-bit content digest of a kernel trace (two independent
+ * 64-bit FNV-style lanes, so accidental collisions are negligible at
+ * any realistic batch size).
+ */
+struct TraceDigest
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool operator==(const TraceDigest &) const = default;
+};
+
+/** Hash adaptor so TraceDigest can key unordered containers. */
+struct TraceDigestHash
+{
+    size_t
+    operator()(const TraceDigest &d) const
+    {
+        // The digest lanes are already well-mixed; fold them.
+        return static_cast<size_t>(d.lo ^ (d.hi * 0x9e3779b97f4a7c15ULL));
+    }
+};
+
+/**
+ * Digest the simulator-visible content of a trace: launch config,
+ * ctaReplication, and every instruction of every traced warp. The
+ * kernel name and invocation id are *not* hashed (the simulator never
+ * reads them), so content-identical invocations share a digest.
+ */
+TraceDigest digestTrace(const trace::KernelTrace &trace);
+
+/** Aggregate cache statistics (monotonic over the cache's lifetime). */
+struct SimCacheStats
+{
+    uint64_t lookups = 0; //!< total simulate() calls
+    uint64_t hits = 0;    //!< calls served from a prior simulation
+    uint64_t unique = 0;  //!< distinct traces actually simulated
+};
+
+/**
+ * Thread-safe memoizing front-end to a GpuSimulator.
+ *
+ * Concurrent lookups of the same digest are serialized per-entry with
+ * std::call_once: exactly one caller simulates, the rest block on the
+ * entry and then share the result. Distinct digests never contend
+ * beyond the brief map lookup.
+ */
+class SimCache
+{
+  public:
+    explicit SimCache(const GpuSimulator &simulator);
+
+    /** The wrapped simulator. */
+    const GpuSimulator &simulator() const { return _simulator; }
+
+    /**
+     * Simulate a trace, memoized by content digest. Duplicate traces
+     * return the stored KernelSimResult of the one real simulation —
+     * byte-identical to simulating the duplicate directly (the
+     * simulator is a pure function of the digested content), except
+     * that `wallSeconds` reflects the single real simulation rather
+     * than a fresh measurement.
+     */
+    KernelSimResult simulate(const trace::KernelTrace &trace) const;
+
+    /** Lifetime lookup/hit/unique totals. */
+    SimCacheStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        KernelSimResult result;
+    };
+
+    const GpuSimulator &_simulator;
+    mutable std::mutex _mutex; //!< guards the map structure only
+    mutable std::unordered_map<TraceDigest, std::unique_ptr<Entry>,
+                               TraceDigestHash>
+        _entries;
+    mutable uint64_t _lookups = 0;
+    mutable uint64_t _hits = 0;
+};
+
+} // namespace sieve::gpusim
+
+#endif // SIEVE_GPUSIM_SIM_CACHE_HH

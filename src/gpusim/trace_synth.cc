@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -31,6 +32,53 @@ struct WarpSynth
         return r;
     }
 };
+
+/**
+ * FNV-1a over the invocation fields that shape the synthesized trace.
+ * Two invocations with equal launch/mix/memory content hash equally,
+ * so contentSeeded synthesis gives them byte-identical traces.
+ */
+uint64_t
+contentSeed(const trace::KernelInvocation &inv)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix_in = [&h](uint64_t v) {
+        h = (h ^ v) * 0x100000001b3ULL;
+    };
+    auto mix_double = [&](double v) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        mix_in(bits);
+    };
+    mix_in(inv.launch.grid.x);
+    mix_in(inv.launch.grid.y);
+    mix_in(inv.launch.grid.z);
+    mix_in(inv.launch.cta.x);
+    mix_in(inv.launch.cta.y);
+    mix_in(inv.launch.cta.z);
+    mix_in(inv.launch.sharedMemBytes);
+    mix_in(inv.launch.regsPerThread);
+    mix_in(inv.mix.coalescedGlobalLoads);
+    mix_in(inv.mix.coalescedGlobalStores);
+    mix_in(inv.mix.coalescedLocalLoads);
+    mix_in(inv.mix.threadGlobalLoads);
+    mix_in(inv.mix.threadGlobalStores);
+    mix_in(inv.mix.threadLocalLoads);
+    mix_in(inv.mix.threadSharedLoads);
+    mix_in(inv.mix.threadSharedStores);
+    mix_in(inv.mix.threadGlobalAtomics);
+    mix_in(inv.mix.instructionCount);
+    mix_double(inv.mix.divergenceEfficiency);
+    mix_in(inv.mix.numThreadBlocks);
+    mix_double(inv.memory.l1Locality);
+    mix_double(inv.memory.l2Locality);
+    mix_in(inv.memory.workingSetBytes);
+    mix_double(inv.memory.bankConflictRate);
+    mix_double(inv.memory.longLatencyFrac);
+    mix_double(inv.memory.ilp);
+    return h;
+}
 
 } // namespace
 
@@ -99,7 +147,9 @@ synthesizeTrace(const trace::Workload &workload, size_t invocation_index,
     uint32_t dep_distance = static_cast<uint32_t>(
         std::clamp(mem.ilp, 1.0, 8.0));
 
-    Rng base_rng(hashLabel(out.kernelName) ^ inv.noiseSeed);
+    uint64_t stream_seed =
+        options.contentSeeded ? contentSeed(inv) : inv.noiseSeed;
+    Rng base_rng(hashLabel(out.kernelName) ^ stream_seed);
 
     for (uint64_t c = 0; c < traced_ctas; ++c) {
         trace::CtaTrace cta;

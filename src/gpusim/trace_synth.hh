@@ -38,6 +38,18 @@ struct TraceSynthOptions
 
     /** Cache-line granularity of the synthesized address stream. */
     uint32_t lineBytes = 128;
+
+    /**
+     * Seed the synthesis stream from the invocation's *content*
+     * (kernel name, launch config, instruction mix, memory profile)
+     * instead of its per-invocation noiseSeed. Content-identical
+     * invocations then synthesize byte-identical traces, which a
+     * SimCache can deduplicate — the golden-simulation memoization
+     * path. Off by default: the historical noiseSeed seeding keeps
+     * every invocation's trace distinct, and existing benches depend
+     * on those exact bytes.
+     */
+    bool contentSeeded = false;
 };
 
 /**

@@ -9,6 +9,7 @@
 #include "obs/trace.hh"
 #include "stats/kmeans.hh"
 #include "stats/pca.hh"
+#include "stats/reference.hh"
 
 namespace sieve::sampling {
 
@@ -81,6 +82,19 @@ PksSampler::sample(const trace::Workload &workload,
     double golden_total = 0.0;
     for (const auto &r : golden)
         golden_total += r.cycles;
+    // An all-zero (or otherwise degenerate) golden reference must not
+    // poison the sweep with 0/0 = NaN relative errors — NaN compares
+    // false against everything, which would make the winner scan keep
+    // k=1 regardless of the actual clusterings. Fall back to absolute
+    // error: the selection still minimizes the same per-cluster
+    // deviation, just unnormalized.
+    double error_scale = golden_total;
+    if (!(error_scale > 0.0)) {
+        warn("PKS golden cycle total is ", golden_total, " for '",
+             workload.name(),
+             "'; k-selection falls back to absolute error");
+        error_scale = 1.0;
+    }
 
     // Feature matrix: all 12 Table II characteristics per invocation.
     stats::Matrix features(n, trace::kNumPksMetrics);
@@ -93,6 +107,12 @@ PksSampler::sample(const trace::Workload &workload,
     // Standardize + PCA (Section II-A).
     stats::Pca pca(features, _config.varianceToKeep);
     stats::Matrix reduced = pca.transform(features);
+
+    // Row dedup + per-point norms, built once and shared by every
+    // k-means run of the sweep: the projection is the same matrix for
+    // all k, so the distinct-row structure and norms are too.
+    stats::KMeansContext kmeans_context =
+        stats::makeKMeansContext(reduced);
 
     // Evaluate every k up to maxK against the golden reference and
     // keep the k with the lowest prediction error — PKS' hardware-
@@ -113,8 +133,8 @@ PksSampler::sample(const trace::Workload &workload,
     };
     auto evaluateK = [&](size_t k) -> Candidate {
         Rng kmeans_rng = base_rng.split("kmeans:" + std::to_string(k));
-        stats::KMeansResult clustering =
-            stats::kMeans(reduced, k, kmeans_rng);
+        stats::KMeansResult clustering = stats::kMeans(
+            reduced, k, kmeans_rng, 100, nullptr, &kmeans_context);
 
         std::vector<std::vector<size_t>> clusters(clustering.k());
         for (size_t i = 0; i < n; ++i)
@@ -163,7 +183,7 @@ PksSampler::sample(const trace::Workload &workload,
             candidate.strata.push_back(std::move(stratum));
         }
 
-        return {std::move(candidate), abs_error_sum / golden_total};
+        return {std::move(candidate), abs_error_sum / error_scale};
     };
 
     std::vector<Candidate> candidates;
@@ -186,6 +206,99 @@ PksSampler::sample(const trace::Workload &workload,
         }
     }
     c_clusters.add(best.strata.size());
+    return best;
+}
+
+SamplingResult
+PksSampler::sampleReference(
+    const trace::Workload &workload,
+    const std::vector<gpu::KernelResult> &golden) const
+{
+    // Deliberate near-duplicate of sample(): the retained baseline
+    // must not share the optimized code paths it exists to check, so
+    // it repeats the pipeline with stats::reference::kMeans, no
+    // shared context, and a serial sweep. Counters are not bumped —
+    // this never runs in production, and double-counting would skew
+    // the Stable metrics the CI gate diffs.
+    size_t n = workload.numInvocations();
+    SIEVE_ASSERT(n > 0, "PKS on an empty workload");
+    if (golden.size() != n)
+        fatal("PKS golden reference has ", golden.size(),
+              " entries for ", n, " invocations");
+
+    double golden_total = 0.0;
+    for (const auto &r : golden)
+        golden_total += r.cycles;
+    double error_scale = golden_total;
+    if (!(error_scale > 0.0))
+        error_scale = 1.0;
+
+    stats::Matrix features(n, trace::kNumPksMetrics);
+    for (size_t i = 0; i < n; ++i) {
+        auto fv = workload.invocation(i).mix.featureVector();
+        for (size_t c = 0; c < fv.size(); ++c)
+            features.at(i, c) = fv[c];
+    }
+
+    stats::Pca pca(features, _config.varianceToKeep);
+    stats::Matrix reduced = pca.transform(features);
+
+    Rng base_rng(_config.seed ^ hashLabel(workload.name()));
+
+    size_t max_k = std::min(_config.maxK, n);
+    SamplingResult best;
+    double best_error = -1.0;
+    for (size_t k = 1; k <= max_k; ++k) {
+        Rng kmeans_rng = base_rng.split("kmeans:" + std::to_string(k));
+        stats::KMeansResult clustering =
+            stats::reference::kMeans(reduced, k, kmeans_rng);
+
+        std::vector<std::vector<size_t>> clusters(clustering.k());
+        for (size_t i = 0; i < n; ++i)
+            clusters[clustering.assignments[i]].push_back(i);
+
+        std::vector<size_t> centroid_members =
+            _config.selection == PksSelection::Centroid
+                ? clustering.closestToCentroid(reduced)
+                : std::vector<size_t>(clustering.k(),
+                                      stats::KMeansResult::npos);
+
+        SamplingResult candidate;
+        candidate.method = std::string("pks-") +
+                           pksSelectionName(_config.selection);
+        candidate.chosenK = k;
+
+        Rng select_rng = base_rng.split("select:" + std::to_string(k));
+        double abs_error_sum = 0.0;
+        for (size_t c = 0; c < clusters.size(); ++c) {
+            if (clusters[c].empty())
+                continue;
+            Stratum stratum;
+            stratum.members = clusters[c];
+            stratum.tier = Tier::None;
+            stratum.representative = selectRepresentative(
+                clusters[c], _config.selection, centroid_members[c],
+                select_rng);
+            stratum.weight = static_cast<double>(clusters[c].size()) /
+                             static_cast<double>(n);
+
+            double cluster_pred =
+                static_cast<double>(clusters[c].size()) *
+                golden[stratum.representative].cycles;
+            double cluster_actual = 0.0;
+            for (size_t idx : clusters[c])
+                cluster_actual += golden[idx].cycles;
+            abs_error_sum += std::fabs(cluster_pred - cluster_actual);
+
+            candidate.strata.push_back(std::move(stratum));
+        }
+
+        double error = abs_error_sum / error_scale;
+        if (best_error < 0.0 || error < best_error) {
+            best_error = error;
+            best = std::move(candidate);
+        }
+    }
     return best;
 }
 

@@ -87,6 +87,18 @@ class PksSampler
         ThreadPool *pool = nullptr) const;
 
     /**
+     * Retained serial baseline of sample(): the same pipeline with
+     * the k sweep run serially over stats::reference::kMeans (no row
+     * dedup, no bounds pruning, no shared context). Byte-identical to
+     * sample() by the determinism contract — the perf-oracle tests
+     * assert it, and bench_perf times optimized-vs-this to report the
+     * pksSample speedup. Not called by the production pipeline.
+     */
+    SamplingResult sampleReference(
+        const trace::Workload &workload,
+        const std::vector<gpu::KernelResult> &golden) const;
+
+    /**
      * PKS prediction: weighted sum of representative cycle counts
      * with invocation-count weights (Section II-A).
      */

@@ -1,8 +1,11 @@
 #include "stats/kmeans.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <span>
+#include <string_view>
+#include <unordered_map>
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
@@ -58,28 +61,131 @@ KMeansResult::closestToCentroid(const Matrix &data) const
     return best;
 }
 
+KMeansContext
+makeKMeansContext(const Matrix &data)
+{
+    KMeansContext ctx;
+    size_t n = data.rows();
+    size_t dims = data.cols();
+    ctx.distinctOf.resize(n);
+
+    // Bitwise row identity: keying on the raw row bytes means two rows
+    // are merged only when every double compares memcmp-equal, so any
+    // pure function of the row bytes (distance, argmin) provably
+    // yields the same bits for both. NaN payloads and -0.0 vs +0.0
+    // are treated as distinct — conservative and still correct.
+    std::unordered_map<std::string_view, size_t> ids;
+    ids.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        std::span<const double> row = data.rowSpan(i);
+        std::string_view key(reinterpret_cast<const char *>(row.data()),
+                             dims * sizeof(double));
+        auto [it, inserted] = ids.emplace(key, ctx.firstRow.size());
+        if (inserted) {
+            ctx.firstRow.push_back(i);
+            ctx.multiplicity.push_back(0);
+        }
+        ctx.distinctOf[i] = it->second;
+        ++ctx.multiplicity[it->second];
+    }
+
+    ctx.pointNorms.resize(ctx.firstRow.size());
+    for (size_t d = 0; d < ctx.firstRow.size(); ++d) {
+        std::span<const double> row = data.rowSpan(ctx.firstRow[d]);
+        double sum = 0.0;
+        for (double v : row)
+            sum += v * v;
+        ctx.pointNorms[d] = std::sqrt(sum);
+    }
+    return ctx;
+}
+
+namespace {
+
+// Conservative floating-point slack for the Hamerly bounds. Every
+// certified quantity is built from correctly-rounded operations whose
+// accumulated relative error is O(dims * 2^-53) ~ 1e-15; inflating
+// upper bounds and deflating lower bounds by 1e-12 therefore dominates
+// the rounding error by three orders of magnitude, so a bound
+// comparison can never prune an assignment the exact arithmetic would
+// have changed. (Pruning too *little* only costs a full scan, which
+// is always exact.)
+constexpr double kInflate = 1.0 + 1e-12;
+constexpr double kDeflate = 1.0 - 1e-12;
+
+/**
+ * Half the distance to each centroid's nearest other centroid,
+ * deflated — the classic Hamerly `s` value. A point within s of its
+ * assigned centroid is provably *strictly* closer to it than to any
+ * other. O(k^2 dims), negligible at PKS scale (k <= 20, dims <= 12).
+ */
+void
+computeHalfSeparations(const Matrix &centroids, std::vector<double> &out)
+{
+    size_t k = centroids.rows();
+    out.assign(k, std::numeric_limits<double>::infinity());
+    for (size_t a = 0; a < k; ++a) {
+        for (size_t b = a + 1; b < k; ++b) {
+            double d = squaredDistance(centroids, a, centroids, b);
+            out[a] = std::min(out[a], d);
+            out[b] = std::min(out[b], d);
+        }
+    }
+    for (size_t a = 0; a < k; ++a)
+        out[a] = 0.5 * std::sqrt(out[a]) * kDeflate;
+}
+
+} // namespace
+
 KMeansResult
 kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters,
-       ThreadPool *pool)
+       ThreadPool *pool, const KMeansContext *context)
 {
     SIEVE_ASSERT(data.rows() > 0, "k-means on empty data");
     k = std::clamp<size_t>(k, 1, data.rows());
 
-    // Per-run (not per-assignment) instrumentation: assignOne is the
-    // hot loop and must stay untouched.
+    // Per-run (not per-assignment) instrumentation: the assignment
+    // loop is the hot path and must stay untouched. All of these are
+    // pure functions of the input data, so they are Stable.
     static obs::Counter &c_runs = obs::counter("stats.kmeans.runs");
     static obs::Counter &c_iters =
         obs::counter("stats.kmeans.iterations");
+    static obs::Counter &c_points = obs::counter("stats.kmeans.points");
+    static obs::Counter &c_distinct =
+        obs::counter("stats.kmeans.distinct_points");
+    static obs::Counter &c_pruned =
+        obs::counter("stats.kmeans.pruned_scans");
+    static obs::Counter &c_scans =
+        obs::counter("stats.kmeans.full_scans");
     c_runs.add();
     obs::Span span("stats", "kmeans", "k=" + std::to_string(k));
 
     size_t n = data.rows();
     size_t dims = data.cols();
 
+    KMeansContext local_context;
+    if (!context) {
+        local_context = makeKMeansContext(data);
+        context = &local_context;
+    }
+    SIEVE_ASSERT(context->numPoints() == n,
+                 "k-means context built for ", context->numPoints(),
+                 " rows, data has ", n);
+    size_t m = context->numDistinct();
+    c_points.add(n);
+    c_distinct.add(m);
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+
     // --- k-means++ seeding (identical arithmetic to the reference) ---
+    // Distances are pure functions of the row bytes, so each round
+    // evaluates the new centroid's distance once per *distinct* row
+    // and fans it out; the min/total accumulation still walks the
+    // observations in reference order, so every rng draw and every
+    // sum is bit-identical.
     Matrix centroids(k, dims);
-    std::vector<double> min_dist(n,
-                                 std::numeric_limits<double>::infinity());
+    std::vector<double> min_dist(n, kInf);
+    std::vector<double> dist_to_new(m);
 
     size_t first = static_cast<size_t>(
         rng.uniformInt(0, static_cast<int64_t>(n) - 1));
@@ -87,10 +193,20 @@ kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters,
         centroids.at(0, c) = data.at(first, c);
 
     for (size_t centroid = 1; centroid < k; ++centroid) {
+        auto distOne = [&](size_t d) {
+            dist_to_new[d] = squaredDistance(
+                data, context->firstRow[d], centroids, centroid - 1);
+        };
+        if (pool)
+            parallelFor(*pool, m, distOne);
+        else
+            for (size_t d = 0; d < m; ++d)
+                distOne(d);
+
         double total = 0.0;
         for (size_t i = 0; i < n; ++i) {
-            double d = squaredDistance(data, i, centroids, centroid - 1);
-            min_dist[i] = std::min(min_dist[i], d);
+            min_dist[i] = std::min(min_dist[i],
+                                   dist_to_new[context->distinctOf[i]]);
             total += min_dist[i];
         }
         size_t chosen;
@@ -115,21 +231,38 @@ kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters,
             centroids.at(centroid, c) = data.at(chosen, c);
     }
 
-    // --- Lloyd iterations ---
-    // Assignment ranks centroids by the score ||c||^2 - 2 x.c (the
-    // ||x||^2 term is constant across centroids, so dropping it keeps
-    // the argmin — and on exactly tied scores the ascending scan keeps
-    // the lowest centroid index, matching the reference's strict `<`).
-    // The inertia contribution is then *re-derived* from the winning
-    // centroid with the same full squared distance the reference
-    // computes, so the reported inertia matches bit-for-bit.
+    // --- Lloyd iterations, Hamerly bounds-pruned exact assignment ---
+    //
+    // Per distinct row we keep the assigned centroid, its *exact*
+    // squared distance (recomputed every iteration — the inertia
+    // needs it regardless, so the classic Hamerly upper bound is
+    // always tight and free), and a certified Euclidean lower bound
+    // on the nearest *other* centroid. The full scan is skipped only
+    // when inflated-exact-distance < max(lower bound, half-separation
+    // of the assigned centroid): that certifies the assigned centroid
+    // is the unique strict argmin, which is exactly what the
+    // reference's ascending strict-< scan would select (uniqueness
+    // makes the lowest-index tie-break moot). Otherwise the fallback
+    // *is* the reference scan — ascending centroid order, exact
+    // squaredDistance, strict `<` — with centroids skipped only when
+    // the deflated norm-difference bound |  ||x|| - ||c||  |^2 already
+    // proves they cannot beat the current best.
     KMeansResult result;
     result.assignments.assign(n, 0);
     std::vector<size_t> counts(k, 0);
 
-    std::vector<double> cent_norms(k);
-    std::vector<size_t> next_assign(n);
-    std::vector<double> next_dist(n);
+    std::vector<size_t> assign_d(m, 0);
+    std::vector<double> dist_d(m, 0.0);
+    std::vector<double> lower_d(m, -kInf);
+    std::vector<uint8_t> scanned_d(m, 0);
+
+    std::vector<double> cent_norms(k); //!< Euclidean, for screening
+    std::vector<double> s_half(k);
+    std::vector<double> delta(k);
+    Matrix prev_centroids;
+
+    uint64_t pruned_total = 0;
+    uint64_t scans_total = 0;
 
     for (size_t iter = 0; iter < max_iters; ++iter) {
         for (size_t c = 0; c < k; ++c) {
@@ -137,50 +270,97 @@ kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters,
             double sum = 0.0;
             for (double v : row)
                 sum += v * v;
-            cent_norms[c] = sum;
+            cent_norms[c] = std::sqrt(sum);
         }
+        computeHalfSeparations(centroids, s_half);
 
-        auto assignOne = [&](size_t i) {
-            std::span<const double> x = data.rowSpan(i);
+        auto assignOne = [&](size_t d) {
+            size_t row = context->firstRow[d];
+            size_t a = assign_d[d];
+            double d_a = squaredDistance(data, row, centroids, a);
+            double u = std::sqrt(d_a) * kInflate;
+            if (u < std::max(lower_d[d], s_half[a])) {
+                dist_d[d] = d_a;
+                scanned_d[d] = 0;
+                return;
+            }
+
+            double pnorm = context->pointNorms[d];
             size_t best = 0;
-            double best_score =
-                std::numeric_limits<double>::infinity();
+            double best_dist = kInf;
+            double sec = kInf; // lower bound on the runner-up
             for (size_t c = 0; c < k; ++c) {
-                std::span<const double> cent = centroids.rowSpan(c);
-                double dot = 0.0;
-                for (size_t d = 0; d < dims; ++d)
-                    dot += x[d] * cent[d];
-                double score = cent_norms[c] - 2.0 * dot;
-                if (score < best_score) {
-                    best_score = score;
+                // Certified reverse-triangle screen: the norms carry
+                // ~1e-15 relative error each, and their *difference*
+                // can cancel, so subtract an absolute guard scaled by
+                // the norms before squaring. A skipped centroid
+                // provably satisfies dist >= lb2 >= best_dist, so the
+                // reference's strict `<` would not have updated on it
+                // either; its bound still feeds the runner-up
+                // tracking, keeping `sec` a true lower bound.
+                double gap = std::fabs(pnorm - cent_norms[c]) -
+                             1e-12 * (pnorm + cent_norms[c]);
+                if (gap > 0.0) {
+                    double lb2 = gap * gap * kDeflate;
+                    if (lb2 >= best_dist) {
+                        if (lb2 < sec)
+                            sec = lb2;
+                        continue;
+                    }
+                }
+                double dist = c == a
+                                  ? d_a
+                                  : squaredDistance(data, row,
+                                                    centroids, c);
+                if (dist < best_dist) {
+                    sec = best_dist;
+                    best_dist = dist;
                     best = c;
+                } else if (dist < sec) {
+                    sec = dist;
                 }
             }
-            next_assign[i] = best;
-            next_dist[i] = squaredDistance(data, i, centroids, best);
+            assign_d[d] = best;
+            dist_d[d] = best_dist;
+            lower_d[d] = std::sqrt(sec) * kDeflate;
+            scanned_d[d] = 1;
         };
         if (pool)
-            parallelFor(*pool, n, assignOne);
+            parallelFor(*pool, m, assignOne);
         else
-            for (size_t i = 0; i < n; ++i)
-                assignOne(i);
+            for (size_t d = 0; d < m; ++d)
+                assignOne(d);
+
+        for (size_t d = 0; d < m; ++d) {
+            if (scanned_d[d])
+                ++scans_total;
+            else
+                ++pruned_total;
+        }
 
         // Serial in-order reduction: changed flag and inertia see the
-        // observations in the same sequence as the reference loop.
+        // observations in the same sequence as the reference loop,
+        // with each duplicate contributing the identical bits its
+        // distinct row computed.
         bool changed = false;
         result.inertia = 0.0;
         for (size_t i = 0; i < n; ++i) {
-            if (result.assignments[i] != next_assign[i]) {
-                result.assignments[i] = next_assign[i];
+            size_t d = context->distinctOf[i];
+            if (result.assignments[i] != assign_d[d]) {
+                result.assignments[i] = assign_d[d];
                 changed = true;
             }
-            result.inertia += next_dist[i];
+            result.inertia += dist_d[d];
         }
         result.iterations = iter + 1;
         if (!changed && iter > 0)
             break;
 
         // Recompute centroids; empty clusters keep their old position.
+        // Per-observation accumulation in reference order — duplicate
+        // multiplicities must NOT be folded into weighted sums here,
+        // because count * x and x + x + ... round differently.
+        prev_centroids = centroids;
         Matrix next(k, dims);
         std::fill(counts.begin(), counts.end(), 0);
         for (size_t i = 0; i < n; ++i) {
@@ -200,9 +380,34 @@ kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters,
             for (size_t d = 0; d < dims; ++d)
                 cent[d] = acc[d] * inv;
         }
+
+        // Decay the lower bounds by the largest (inflated) centroid
+        // movement; exact distances are recomputed next iteration, so
+        // no upper bound needs maintenance.
+        double max_delta = 0.0;
+        for (size_t c = 0; c < k; ++c) {
+            delta[c] = std::sqrt(squaredDistance(prev_centroids, c,
+                                                 centroids, c)) *
+                       kInflate;
+            max_delta = std::max(max_delta, delta[c]);
+        }
+        if (max_delta > 0.0) {
+            for (size_t d = 0; d < m; ++d) {
+                double l = lower_d[d];
+                if (std::isinf(l))
+                    continue; // k == 1: no other centroid, ever
+                l -= max_delta;
+                // Deflating a positive bound keeps it conservative; a
+                // negative bound never enables a prune, and only
+                // decays further.
+                lower_d[d] = l > 0.0 ? l * kDeflate : l;
+            }
+        }
     }
 
     c_iters.add(result.iterations);
+    c_pruned.add(pruned_total);
+    c_scans.add(scans_total);
     result.centroids = std::move(centroids);
     return result;
 }

@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "stats/descriptive.hh"
 #include "stats/kde.hh"
+#include "stats/pca.hh"
 
 namespace sieve::stats::reference {
 
@@ -270,6 +271,93 @@ kMeans(const Matrix &data, size_t k, Rng rng, size_t max_iters)
 
     result.centroids = std::move(centroids);
     return result;
+}
+
+PcaFit
+pcaFit(const Matrix &data, double variance_to_keep)
+{
+    SIEVE_ASSERT(variance_to_keep > 0.0 && variance_to_keep <= 1.0,
+                 "variance_to_keep ", variance_to_keep,
+                 " out of (0, 1]");
+    SIEVE_ASSERT(data.rows() > 0 && data.cols() > 0,
+                 "reference PCA on an empty data matrix");
+
+    size_t d = data.cols();
+    double n = static_cast<double>(data.rows());
+
+    // Column-major bounds-checked passes. Each column accumulator
+    // receives its terms in row order, same as the optimized
+    // row-major span passes — bit-identical sums.
+    PcaFit fit;
+    fit.means.assign(d, 0.0);
+    fit.invStddevs.assign(d, 1.0);
+    for (size_t c = 0; c < d; ++c) {
+        for (size_t r = 0; r < data.rows(); ++r)
+            fit.means[c] += data.at(r, c);
+        fit.means[c] /= n;
+    }
+    for (size_t c = 0; c < d; ++c) {
+        double sq = 0.0;
+        for (size_t r = 0; r < data.rows(); ++r) {
+            double diff = data.at(r, c) - fit.means[c];
+            sq += diff * diff;
+        }
+        double sd = std::sqrt(sq / n);
+        fit.invStddevs[c] = sd > 0.0 ? 1.0 / sd : 1.0;
+    }
+
+    Matrix z(data.rows(), d);
+    for (size_t r = 0; r < data.rows(); ++r)
+        for (size_t c = 0; c < d; ++c)
+            z.at(r, c) =
+                (data.at(r, c) - fit.means[c]) * fit.invStddevs[c];
+
+    // Entry-at-a-time covariance: cov(i, j) sums its terms over r in
+    // storage order, exactly the per-entry sequence of the optimized
+    // (r, i, j) upper-triangle accumulation.
+    std::vector<double> zmeans(d, 0.0);
+    for (size_t c = 0; c < d; ++c) {
+        for (size_t r = 0; r < z.rows(); ++r)
+            zmeans[c] += z.at(r, c);
+        zmeans[c] /= n;
+    }
+    Matrix cov(d, d);
+    for (size_t i = 0; i < d; ++i) {
+        for (size_t j = i; j < d; ++j) {
+            double sum = 0.0;
+            for (size_t r = 0; r < z.rows(); ++r)
+                sum += (z.at(r, i) - zmeans[i]) *
+                       (z.at(r, j) - zmeans[j]);
+            cov.at(i, j) = sum / n;
+            cov.at(j, i) = cov.at(i, j);
+        }
+    }
+
+    EigenDecomposition eig = jacobiEigen(cov);
+    fit.eigenvalues = eig.values;
+
+    double total = 0.0;
+    for (double ev : eig.values)
+        total += std::max(ev, 0.0);
+    if (total <= 0.0)
+        total = 1.0;
+
+    size_t keep = 0;
+    double acc = 0.0;
+    while (keep < d) {
+        acc += std::max(eig.values[keep], 0.0);
+        ++keep;
+        if (acc / total >= variance_to_keep)
+            break;
+    }
+    keep = std::max<size_t>(keep, 1);
+    fit.explained = acc / total;
+
+    fit.components = Matrix(d, keep);
+    for (size_t i = 0; i < d; ++i)
+        for (size_t j = 0; j < keep; ++j)
+            fit.components.at(i, j) = eig.vectors.at(i, j);
+    return fit;
 }
 
 } // namespace sieve::stats::reference

@@ -30,6 +30,29 @@
 
 namespace sieve::stats::reference {
 
+/** Output of the reference PCA fit (mirrors the Pca accessors). */
+struct PcaFit
+{
+    std::vector<double> means;
+    std::vector<double> invStddevs;
+    /** Eigenvalues of all components, descending. */
+    std::vector<double> eigenvalues;
+    /** features x retained-components projection. */
+    Matrix components;
+    /** Fraction of variance explained by the retained components. */
+    double explained = 0.0;
+};
+
+/**
+ * Naive PCA fit: bounds-checked Matrix::at element loops for the
+ * standardization and an entry-at-a-time covariance, then the same
+ * jacobiEigen and component-selection logic as stats::Pca. Every
+ * accumulator receives its terms in the same order as the optimized
+ * row-major span passes, so the fit is bit-identical to Pca — the
+ * oracle tests assert it, and bench_perf times Pca against this.
+ */
+PcaFit pcaFit(const Matrix &data, double variance_to_keep = 0.9);
+
 /**
  * Dense O(n * points) KDE grid: every grid point sums the Gaussian
  * kernel over the *entire* sample in storage order (the pre-PR-2

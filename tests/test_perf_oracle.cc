@@ -22,6 +22,7 @@
 #include "stats/kde.hh"
 #include "stats/kmeans.hh"
 #include "stats/matrix.hh"
+#include "stats/pca.hh"
 #include "stats/reference.hh"
 #include "workloads/generator.hh"
 #include "workloads/suites.hh"
@@ -248,6 +249,114 @@ TEST(PerfOracle, KMeansMatchesReferenceOnDegenerateData)
     EXPECT_EQ(opt.assignments, ref.assignments);
     EXPECT_EQ(opt.inertia, ref.inertia);
     EXPECT_TRUE(matrixBitsEqual(opt.centroids, ref.centroids));
+}
+
+/** Assert optimized == reference at 1 worker, 8 workers, and with an
+ *  explicitly shared KMeansContext. */
+void
+expectKMeansMatchesReference(const Matrix &data, size_t k, Rng rng)
+{
+    ThreadPool pool(8);
+    KMeansContext ctx = makeKMeansContext(data);
+    KMeansResult ref = reference::kMeans(data, k, rng);
+    KMeansResult serial = kMeans(data, k, rng);
+    KMeansResult pooled = kMeans(data, k, rng, 100, &pool);
+    KMeansResult shared = kMeans(data, k, rng, 100, &pool, &ctx);
+
+    for (const KMeansResult *r : {&serial, &pooled, &shared}) {
+        EXPECT_EQ(r->assignments, ref.assignments);
+        EXPECT_EQ(r->iterations, ref.iterations);
+        EXPECT_EQ(r->inertia, ref.inertia); // exact, not near
+        EXPECT_TRUE(matrixBitsEqual(r->centroids, ref.centroids));
+    }
+}
+
+TEST(PerfOracle, KMeansMatchesReferenceOnAllDuplicatePoints)
+{
+    // A single distinct row (maximal dedup): the context collapses
+    // the whole matrix to one point and every distance ties at zero.
+    Matrix data(64, 4);
+    for (size_t r = 0; r < data.rows(); ++r)
+        for (size_t c = 0; c < data.cols(); ++c)
+            data.at(r, c) = -3.75;
+    for (size_t k : {1u, 3u, 8u}) {
+        KMeansContext ctx = makeKMeansContext(data);
+        EXPECT_EQ(ctx.numDistinct(), 1u);
+        EXPECT_EQ(ctx.multiplicity[0], data.rows());
+        expectKMeansMatchesReference(data, k, Rng(17 + k));
+    }
+}
+
+TEST(PerfOracle, KMeansMatchesReferenceWhenKExceedsDistinctPoints)
+{
+    // 30 observations but only 3 bitwise-distinct rows; k = 10 leaves
+    // most clusters empty (empty clusters keep their stale centroid).
+    Matrix data(30, 3);
+    for (size_t r = 0; r < data.rows(); ++r) {
+        double v = static_cast<double>(r % 3) * 5.0;
+        for (size_t c = 0; c < data.cols(); ++c)
+            data.at(r, c) = v + static_cast<double>(c);
+    }
+    KMeansContext ctx = makeKMeansContext(data);
+    EXPECT_EQ(ctx.numDistinct(), 3u);
+    for (size_t k : {2u, 3u, 10u})
+        expectKMeansMatchesReference(data, k, Rng(31 + k));
+}
+
+TEST(PerfOracle, KMeansMatchesReferenceOnEmptyClusterProneData)
+{
+    // Two tight far-apart blobs with k = 6: seeding necessarily
+    // places several centroids inside the same blob, so Lloyd rounds
+    // repeatedly empty clusters out.
+    Rng gen(404);
+    Matrix data(60, 2);
+    for (size_t r = 0; r < data.rows(); ++r) {
+        double centre = r < 30 ? 0.0 : 1e4;
+        data.at(r, 0) = centre + gen.normal(0.0, 0.01);
+        data.at(r, 1) = centre + gen.normal(0.0, 0.01);
+    }
+    for (size_t k : {4u, 6u})
+        expectKMeansMatchesReference(data, k, Rng(55 + k));
+}
+
+TEST(PerfOracle, KMeansMatchesReferenceOnSinglePoint)
+{
+    Matrix data(1, 5);
+    for (size_t c = 0; c < data.cols(); ++c)
+        data.at(0, c) = static_cast<double>(c) * 0.5;
+    // k clamps to 1 row regardless of the requested count.
+    for (size_t k : {1u, 4u})
+        expectKMeansMatchesReference(data, k, Rng(77 + k));
+}
+
+TEST(PerfOracle, KMeansContextDedupsBitwiseIdenticalRowsOnly)
+{
+    // 0.0 vs -0.0 differ bitwise and must stay distinct; exact
+    // duplicates must merge with the first occurrence as canonical.
+    Matrix data = Matrix::fromRows({{1.0, 0.0},
+                                    {1.0, -0.0},
+                                    {1.0, 0.0},
+                                    {2.0, 3.0}});
+    KMeansContext ctx = makeKMeansContext(data);
+    EXPECT_EQ(ctx.numDistinct(), 3u);
+    EXPECT_EQ(ctx.distinctOf[0], ctx.distinctOf[2]);
+    EXPECT_NE(ctx.distinctOf[0], ctx.distinctOf[1]);
+    EXPECT_EQ(ctx.firstRow[ctx.distinctOf[2]], 0u);
+    EXPECT_EQ(ctx.multiplicity[ctx.distinctOf[0]], 2u);
+}
+
+// ---- PCA fit --------------------------------------------------------
+
+TEST(PerfOracle, PcaFitMatchesReferenceBitForBit)
+{
+    for (uint64_t seed : {61u, 62u}) {
+        Matrix data = randomMatrix(120, 6, seed);
+        Pca pca(data, 0.9);
+        reference::PcaFit ref = reference::pcaFit(data, 0.9);
+        EXPECT_TRUE(bitsEqual(pca.eigenvalues(), ref.eigenvalues));
+        EXPECT_EQ(pca.explainedVariance(), ref.explained);
+        EXPECT_EQ(pca.numComponents(), ref.components.cols());
+    }
 }
 
 TEST(KMeansResult_, ClosestToCentroidPrefersLowestIndexOnExactTie)

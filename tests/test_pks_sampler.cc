@@ -141,6 +141,54 @@ TEST(PksSampler, Deterministic)
     }
 }
 
+TEST(PksSampler, MatchesSerialReferencePipeline)
+{
+    Prepared p = prepare("lmr");
+    PksSampler pks;
+    ThreadPool pool(8);
+    SamplingResult opt =
+        pks.sample(p.workload, p.golden.perInvocation, &pool);
+    SamplingResult ref =
+        pks.sampleReference(p.workload, p.golden.perInvocation);
+    EXPECT_EQ(opt.method, ref.method);
+    EXPECT_EQ(opt.chosenK, ref.chosenK);
+    ASSERT_EQ(opt.strata.size(), ref.strata.size());
+    for (size_t i = 0; i < opt.strata.size(); ++i) {
+        EXPECT_EQ(opt.strata[i].members, ref.strata[i].members);
+        EXPECT_EQ(opt.strata[i].representative,
+                  ref.strata[i].representative);
+        EXPECT_EQ(opt.strata[i].weight, ref.strata[i].weight);
+    }
+}
+
+TEST(PksSampler, AllZeroGoldenFallsBackToAbsoluteError)
+{
+    // A golden reference with zero cycles everywhere must not poison
+    // the k sweep with 0/0 = NaN relative errors: the sampler falls
+    // back to absolute error and still returns a valid clustering
+    // (identical to the serial reference pipeline under the same
+    // fallback).
+    Prepared p = prepare("gru");
+    std::vector<gpu::KernelResult> zero = p.golden.perInvocation;
+    for (auto &r : zero)
+        r.cycles = 0;
+
+    PksSampler pks;
+    SamplingResult result = pks.sample(p.workload, zero);
+    EXPECT_GE(result.chosenK, 1u);
+    EXPECT_FALSE(result.strata.empty());
+    size_t members = 0;
+    for (const auto &stratum : result.strata)
+        members += stratum.members.size();
+    EXPECT_EQ(members, p.workload.numInvocations());
+
+    SamplingResult ref = pks.sampleReference(p.workload, zero);
+    EXPECT_EQ(result.chosenK, ref.chosenK);
+    ASSERT_EQ(result.strata.size(), ref.strata.size());
+    for (size_t i = 0; i < result.strata.size(); ++i)
+        EXPECT_EQ(result.strata[i].members, ref.strata[i].members);
+}
+
 TEST(PksSampler, MethodNameEncodesPolicy)
 {
     Prepared p = prepare("gru");

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * SimCache: content digesting, memoized simulation identity, and
+ * --jobs-invariant cache statistics.
+ */
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+#include "gpu/arch_config.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "gpusim/sim_batch.hh"
+#include "gpusim/sim_cache.hh"
+#include "gpusim/trace_synth.hh"
+#include "workloads/suites.hh"
+#include "workloads/generator.hh"
+
+namespace {
+
+using namespace sieve;
+
+bool
+bitsEqual(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/** Per-field identity, deliberately excluding the wallSeconds clock. */
+void
+expectSimResultsEqual(const gpusim::KernelSimResult &a,
+                      const gpusim::KernelSimResult &b)
+{
+    EXPECT_EQ(a.simCycles, b.simCycles);
+    EXPECT_TRUE(
+        bitsEqual(a.estimatedKernelCycles, b.estimatedKernelCycles));
+    EXPECT_EQ(a.instructionsSimulated, b.instructionsSimulated);
+    EXPECT_TRUE(bitsEqual(a.ipc, b.ipc));
+    EXPECT_TRUE(bitsEqual(a.estimatedIpc, b.estimatedIpc));
+    EXPECT_EQ(a.l1.accesses, b.l1.accesses);
+    EXPECT_EQ(a.l1.hits, b.l1.hits);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+    EXPECT_EQ(a.l2.accesses, b.l2.accesses);
+    EXPECT_EQ(a.l2.hits, b.l2.hits);
+    EXPECT_EQ(a.l2.misses, b.l2.misses);
+    EXPECT_EQ(a.dram.requests, b.dram.requests);
+    EXPECT_EQ(a.dram.bytes, b.dram.bytes);
+    EXPECT_EQ(a.dram.busyCycles, b.dram.busyCycles);
+    EXPECT_EQ(a.pkpStoppedEarly, b.pkpStoppedEarly);
+    EXPECT_TRUE(bitsEqual(a.fractionSimulated, b.fractionSimulated));
+}
+
+/** A small synthesized trace to mutate in the digest tests. */
+trace::KernelTrace
+makeTrace(const std::string &workload_name = "stencil",
+          size_t invocation = 0, bool content_seeded = false)
+{
+    auto spec = workloads::findSpec(workload_name);
+    EXPECT_TRUE(spec.has_value());
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    gpusim::TraceSynthOptions synth;
+    synth.maxTracedCtas = 4;
+    synth.contentSeeded = content_seeded;
+    return gpusim::synthesizeTrace(wl, invocation, synth);
+}
+
+TEST(TraceDigest_, IgnoresKernelNameAndInvocationId)
+{
+    trace::KernelTrace kt = makeTrace();
+    gpusim::TraceDigest base = gpusim::digestTrace(kt);
+
+    trace::KernelTrace renamed = kt;
+    renamed.kernelName = "a_completely_different_name";
+    renamed.invocationId = kt.invocationId + 12345;
+    EXPECT_EQ(gpusim::digestTrace(renamed), base)
+        << "digest must ignore fields the simulator never reads";
+}
+
+TEST(TraceDigest_, ChangesOnSimulatorVisibleContent)
+{
+    trace::KernelTrace kt = makeTrace();
+    gpusim::TraceDigest base = gpusim::digestTrace(kt);
+
+    {
+        trace::KernelTrace t = kt;
+        t.launch.grid.x += 1;
+        EXPECT_NE(gpusim::digestTrace(t), base);
+    }
+    {
+        trace::KernelTrace t = kt;
+        t.ctaReplication += 1;
+        EXPECT_NE(gpusim::digestTrace(t), base);
+    }
+    {
+        trace::KernelTrace t = kt;
+        ASSERT_FALSE(t.ctas.empty());
+        ASSERT_FALSE(t.ctas[0].warps.empty());
+        ASSERT_FALSE(t.ctas[0].warps[0].instructions.empty());
+        t.ctas[0].warps[0].instructions[0].lineAddress += 1;
+        EXPECT_NE(gpusim::digestTrace(t), base);
+    }
+    {
+        trace::KernelTrace t = kt;
+        t.ctas[0].warps[0].instructions[0].activeLanes ^= 1;
+        EXPECT_NE(gpusim::digestTrace(t), base);
+    }
+    {
+        // Moving an instruction across a warp boundary changes the
+        // stream structure even if the flattened sequence matches.
+        trace::KernelTrace t = kt;
+        if (t.ctas[0].warps.size() > 1 &&
+            !t.ctas[0].warps[1].instructions.empty()) {
+            auto inst = t.ctas[0].warps[1].instructions.front();
+            t.ctas[0].warps[1].instructions.erase(
+                t.ctas[0].warps[1].instructions.begin());
+            t.ctas[0].warps[0].instructions.push_back(inst);
+            EXPECT_NE(gpusim::digestTrace(t), base);
+        }
+    }
+}
+
+TEST(SimCache_, MemoizedResultMatchesDirectSimulation)
+{
+    trace::KernelTrace kt = makeTrace();
+    gpusim::GpuSimulator simulator(gpu::ArchConfig::ampereRtx3080());
+    gpusim::KernelSimResult direct = simulator.simulate(kt);
+
+    gpusim::SimCache cache(simulator);
+    gpusim::KernelSimResult first = cache.simulate(kt);
+    gpusim::KernelSimResult second = cache.simulate(kt);
+
+    expectSimResultsEqual(first, direct);
+    expectSimResultsEqual(second, direct);
+
+    gpusim::SimCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.lookups, 2u);
+    EXPECT_EQ(stats.unique, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(SimCache_, ContentSeededStencilBatchDeduplicates)
+{
+    // stencil launches one kernel whose invocations are content-
+    // identical; content-seeded synthesis therefore collapses the
+    // batch to one distinct trace, while the historical noiseSeed
+    // path keeps every trace distinct.
+    auto spec = workloads::findSpec("stencil");
+    ASSERT_TRUE(spec.has_value());
+    trace::Workload wl = workloads::generateWorkload(*spec);
+
+    gpusim::TraceSynthOptions content;
+    content.maxTracedCtas = 4;
+    content.contentSeeded = true;
+    gpusim::TraceSynthOptions noise;
+    noise.maxTracedCtas = 4;
+
+    const size_t batch_n = 12;
+    std::vector<trace::KernelTrace> content_traces, noise_traces;
+    for (size_t i = 0; i < batch_n; ++i) {
+        content_traces.push_back(
+            gpusim::synthesizeTrace(wl, i, content));
+        noise_traces.push_back(gpusim::synthesizeTrace(wl, i, noise));
+    }
+
+    gpusim::GpuSimulator simulator(gpu::ArchConfig::ampereRtx3080());
+    ThreadPool pool(4);
+
+    gpusim::SimCache content_cache(simulator);
+    gpusim::BatchSimResult content_batch = gpusim::simulateBatchCached(
+        content_cache, content_traces, pool);
+    EXPECT_LT(content_batch.uniqueTraces, batch_n)
+        << "content-identical invocations must share digests";
+    EXPECT_EQ(content_batch.cacheHits,
+              batch_n - content_batch.uniqueTraces);
+
+    gpusim::SimCache noise_cache(simulator);
+    gpusim::BatchSimResult noise_batch =
+        gpusim::simulateBatchCached(noise_cache, noise_traces, pool);
+    EXPECT_EQ(noise_batch.uniqueTraces, batch_n)
+        << "noise-seeded traces must stay distinct";
+    EXPECT_EQ(noise_batch.cacheHits, 0u);
+
+    // Memoized batch results are identical to the uncached batch.
+    gpusim::BatchSimResult uncached =
+        gpusim::simulateBatch(simulator, content_traces, pool);
+    ASSERT_EQ(content_batch.results.size(), uncached.results.size());
+    for (size_t i = 0; i < uncached.results.size(); ++i)
+        expectSimResultsEqual(content_batch.results[i],
+                              uncached.results[i]);
+}
+
+TEST(SimCache_, StatsAreJobsInvariant)
+{
+    auto spec = workloads::findSpec("stencil");
+    ASSERT_TRUE(spec.has_value());
+    trace::Workload wl = workloads::generateWorkload(*spec);
+
+    gpusim::TraceSynthOptions synth;
+    synth.maxTracedCtas = 4;
+    synth.contentSeeded = true;
+    std::vector<trace::KernelTrace> traces;
+    for (size_t i = 0; i < 10; ++i)
+        traces.push_back(gpusim::synthesizeTrace(wl, i, synth));
+
+    gpusim::GpuSimulator simulator(gpu::ArchConfig::ampereRtx3080());
+
+    auto runWithJobs = [&](size_t jobs) {
+        ThreadPool pool(jobs);
+        gpusim::SimCache cache(simulator);
+        gpusim::simulateBatchCached(cache, traces, pool);
+        return cache.stats();
+    };
+    gpusim::SimCacheStats serial = runWithJobs(1);
+    gpusim::SimCacheStats parallel = runWithJobs(8);
+
+    EXPECT_EQ(serial.lookups, parallel.lookups);
+    EXPECT_EQ(serial.hits, parallel.hits);
+    EXPECT_EQ(serial.unique, parallel.unique);
+    EXPECT_EQ(serial.lookups, traces.size());
+    EXPECT_EQ(serial.hits + serial.unique, serial.lookups);
+}
+
+} // namespace
