@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: strict build, full test suite, then the threaded tests
 # again under ThreadSanitizer, then the perf-harness smoke, then the
-# observability gate.
+# observability gate, then the ingestion-robustness gate.
 #
 #   1. configure + build with -DSIEVE_WERROR=ON (warnings are errors)
 #   2. run the complete ctest suite
@@ -17,23 +17,29 @@
 #      parsers (`sieve trace-summary`, `sieve metrics-diff`), and
 #      diff the stable counters between --jobs 1, 4, and 8 — the
 #      determinism contract of DESIGN.md §7
+#   6. robustness gate: rebuild the fault-injection harness under
+#      ASan+UBSan and run `sieve fuzz-ingest --smoke` plus the
+#      fault-injection/round-trip tests there; then check that the
+#      `ingest.errors.*` and `suite.quarantined` stable counters are
+#      --jobs-invariant through `sieve metrics-diff` (DESIGN.md §9)
 #
-# Build trees: build-ci/ (strict) and build-tsan/ (sanitized), kept
-# separate from the developer's build/ so CI never clobbers it.
+# Build trees: build-ci/ (strict), build-tsan/ and build-asan/
+# (sanitized), kept separate from the developer's build/ so CI never
+# clobbers it.
 # Usage: scripts/ci.sh [jobs]   (default: nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "=== 1/5: strict build (WERROR) ==="
+echo "=== 1/6: strict build (WERROR) ==="
 cmake -B build-ci -S . -DSIEVE_WERROR=ON -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci -j "$JOBS"
 
-echo "=== 2/5: test suite ==="
+echo "=== 2/6: test suite ==="
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== 3/5: threaded tests under TSan ==="
+echo "=== 3/6: threaded tests under TSan ==="
 cmake -B build-tsan -S . -DSIEVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
@@ -50,11 +56,11 @@ cmake --build build-tsan -j "$JOBS" --target \
 ./build-tsan/tests/test_perf_oracle
 ./build-tsan/tests/test_sim_cache
 
-echo "=== 4/5: perf-harness smoke (determinism + schema) ==="
+echo "=== 4/6: perf-harness smoke (determinism + schema) ==="
 ./build-ci/bench/bench_perf --reps 3 --smoke --jobs 8 \
     --out build-ci/BENCH_SMOKE.json
 
-echo "=== 5/5: observability gate ==="
+echo "=== 5/6: observability gate ==="
 OBS_DIR=build-ci/obs-gate
 rm -rf "$OBS_DIR" && mkdir -p "$OBS_DIR"
 
@@ -79,6 +85,53 @@ echo "obs: trace schema OK"
 ./build-ci/tools/sieve metrics-diff \
     "$OBS_DIR/metrics_j1.json" "$OBS_DIR/metrics_j8.json"
 echo "obs: stable counters --jobs-invariant"
+
+echo "=== 6/6: ingestion-robustness gate (ASan+UBSan) ==="
+cmake -B build-asan -S . -DSIEVE_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS" --target \
+    sieve test_fault_injection test_ingest_roundtrip
+
+# The seeded corruptor sweep and the round-trip properties, with
+# memory and UB errors fatal.
+./build-asan/tests/test_fault_injection
+./build-asan/tests/test_ingest_roundtrip
+./build-asan/tools/sieve fuzz-ingest --smoke
+
+ROB_DIR=build-ci/robust-gate
+rm -rf "$ROB_DIR" && mkdir -p "$ROB_DIR"
+
+# ingest.errors.* must be --jobs-invariant: the fuzz sweep parses an
+# identical corpus at 1 and 8 workers, so the error counters of the
+# two runs must match exactly.
+./build-ci/tools/sieve fuzz-ingest --smoke --jobs 1 \
+    --metrics-out "$ROB_DIR/fuzz_j1.json" > /dev/null
+./build-ci/tools/sieve fuzz-ingest --smoke --jobs 8 \
+    --metrics-out "$ROB_DIR/fuzz_j8.json" > /dev/null
+./build-ci/tools/sieve metrics-diff \
+    "$ROB_DIR/fuzz_j1.json" "$ROB_DIR/fuzz_j8.json"
+echo "robust: ingest.errors.* --jobs-invariant"
+
+# suite.quarantined must be --jobs-invariant too: simulate a trace
+# batch with one deliberately corrupted member — the run exits 1
+# (quarantine is an error) but the counters must not depend on the
+# worker count.
+./build-ci/tools/sieve trace gru --out "$ROB_DIR/traces" > /dev/null
+first_trace=$(ls "$ROB_DIR"/traces/*.trace | head -1)
+printf 'bogus_directive 1 2 3\n' > "$first_trace"
+if ./build-ci/tools/sieve simulate "$ROB_DIR"/traces/*.trace \
+    --jobs 1 --metrics-out "$ROB_DIR/sim_j1.json" > /dev/null; then
+    echo "robust: expected quarantine exit code, got success" >&2
+    exit 1
+fi
+if ./build-ci/tools/sieve simulate "$ROB_DIR"/traces/*.trace \
+    --jobs 8 --metrics-out "$ROB_DIR/sim_j8.json" > /dev/null; then
+    echo "robust: expected quarantine exit code, got success" >&2
+    exit 1
+fi
+./build-ci/tools/sieve metrics-diff \
+    "$ROB_DIR/sim_j1.json" "$ROB_DIR/sim_j8.json"
+echo "robust: suite.quarantined --jobs-invariant"
 
 echo
 echo "ci: all gates passed"

@@ -7,6 +7,12 @@
  * module provides that interchange format: header row + typed column
  * access, no quoting/escaping (field values in this library never
  * contain commas or newlines).
+ *
+ * Ingestion is recoverable: the try* entry points return
+ * Expected<...> with file/line context instead of aborting, and the
+ * typed cell accessors parse strictly (no whitespace skipping, no
+ * integer wrapping, no inf/nan). The historical fatal() entry points
+ * remain as thin unwrapOrFatal() wrappers.
  */
 
 #ifndef SIEVE_COMMON_CSV_HH
@@ -16,6 +22,8 @@
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "common/error.hh"
 
 namespace sieve {
 
@@ -51,6 +59,15 @@ class CsvTable
     /** Raw cell access. */
     const std::string &cell(size_t row, size_t col) const;
 
+    /**
+     * Cell parsed as a strict finite double. Errors carry the cell's
+     * source file and line when the table came from tryRead.
+     */
+    Expected<double> tryCellAsDouble(size_t row, size_t col) const;
+
+    /** Cell parsed as a strict base-10 uint64 (no sign, no wrap). */
+    Expected<uint64_t> tryCellAsUint(size_t row, size_t col) const;
+
     /** Cell parsed as double; fatal() on malformed content. */
     double cellAsDouble(size_t row, size_t col) const;
 
@@ -71,15 +88,49 @@ class CsvTable
     /** Serialize the table to a file. fatal() if unwritable. */
     void writeFile(const std::string &path) const;
 
-    /** Parse a table from a stream. fatal() on ragged rows. */
+    /**
+     * Parse a table from a stream, strictly and recoverably:
+     * per-cell surrounding whitespace is trimmed, blank lines are
+     * skipped, and a missing header, empty header cell, or ragged
+     * row is a structured error carrying `source` and the 1-based
+     * line number. The parsed table remembers each row's source line
+     * so typed-access errors can point at the offending input line.
+     */
+    static Expected<CsvTable> tryRead(std::istream &is,
+                                      const std::string &source =
+                                          "<stream>");
+
+    /** tryRead from a file; unreadable files are an IoError. */
+    static Expected<CsvTable> tryReadFile(const std::string &path);
+
+    /** Parse a table from a stream. fatal() on any error. */
     static CsvTable read(std::istream &is);
 
     /** Parse a table from a file. fatal() if unreadable. */
     static CsvTable readFile(const std::string &path);
 
+    /** Source name recorded by tryRead; empty for in-memory tables. */
+    const std::string &source() const { return _source; }
+
+    /**
+     * 1-based source line a data row came from; 0 for rows added in
+     * memory via addRow.
+     */
+    size_t
+    rowLine(size_t row) const
+    {
+        return row < _rowLines.size() ? _rowLines[row] : 0;
+    }
+
   private:
+    template <typename T>
+    Expected<T> tryCellNumeric(size_t row, size_t col,
+                               const char *what) const;
+
     std::vector<std::string> _header;
     std::vector<std::vector<std::string>> _rows;
+    std::string _source;           //!< set by tryRead
+    std::vector<size_t> _rowLines; //!< per-row source lines (tryRead)
 };
 
 } // namespace sieve

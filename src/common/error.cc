@@ -1,0 +1,84 @@
+#include "common/error.hh"
+
+#include "obs/metrics.hh"
+
+namespace sieve {
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Parse:
+        return "ParseError";
+      case ErrorKind::Io:
+        return "IoError";
+      case ErrorKind::Validation:
+        return "ValidationError";
+      case ErrorKind::Sim:
+        return "SimError";
+    }
+    panic("unknown ErrorKind ", static_cast<int>(kind));
+}
+
+std::string
+Error::toString() const
+{
+    std::string out = errorKindName(kind);
+    out += ": ";
+    out += message;
+    if (!source.empty()) {
+        out += " (";
+        out += source;
+        if (line > 0) {
+            out += ':';
+            out += std::to_string(line);
+        } else if (byteOffset != kNoOffset) {
+            out += " @ byte ";
+            out += std::to_string(byteOffset);
+        }
+        out += ')';
+    }
+    return out;
+}
+
+namespace {
+
+obs::Counter &
+ingestErrorCounter(ErrorKind kind)
+{
+    // Handles are process-lifetime; look each up once.
+    static obs::Counter &c_parse = obs::counter("ingest.errors.parse");
+    static obs::Counter &c_io = obs::counter("ingest.errors.io");
+    static obs::Counter &c_validation =
+        obs::counter("ingest.errors.validation");
+    static obs::Counter &c_sim = obs::counter("ingest.errors.sim");
+    switch (kind) {
+      case ErrorKind::Parse:
+        return c_parse;
+      case ErrorKind::Io:
+        return c_io;
+      case ErrorKind::Validation:
+        return c_validation;
+      case ErrorKind::Sim:
+        return c_sim;
+    }
+    panic("unknown ErrorKind ", static_cast<int>(kind));
+}
+
+} // namespace
+
+Error
+ingestError(ErrorKind kind, std::string message, std::string source,
+            size_t line, size_t byte_offset)
+{
+    ingestErrorCounter(kind).add();
+    Error error;
+    error.kind = kind;
+    error.message = std::move(message);
+    error.source = std::move(source);
+    error.line = line;
+    error.byteOffset = byte_offset;
+    return error;
+}
+
+} // namespace sieve

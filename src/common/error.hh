@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Recoverable errors: a structured taxonomy plus Expected<T>.
+ *
+ * The ingestion surface (profile CSVs, workload binaries, SASS
+ * traces) historically reported every problem through fatal() — fine
+ * for a researcher's terminal, wrong for a production pipeline where
+ * one truncated profile must not abort a whole suite run. This module
+ * is the alternative: parsers return Expected<T>, carrying either the
+ * value or an Error that says *what* went wrong (the taxonomy),
+ * *where* (source file, line, byte offset), and *why* (a message).
+ * Callers that still want abort-on-error semantics unwrap through
+ * unwrapOrFatal(), which preserves the old behaviour exactly.
+ *
+ * Taxonomy (see DESIGN.md §9):
+ *   - Parse:      the bytes do not match the format grammar
+ *     (bad magic, non-numeric cell, unknown opcode, trailing junk).
+ *   - Io:         the operating system failed us (unreadable file,
+ *     short read / truncation).
+ *   - Validation: the bytes parse but violate a semantic invariant
+ *     (ragged row, non-monotonic invocation ids, NaN metric,
+ *     out-of-range register).
+ *   - Sim:        a downstream evaluation/simulation stage failed on
+ *     otherwise well-formed input (used by the quarantine layers).
+ */
+
+#ifndef SIEVE_COMMON_ERROR_HH
+#define SIEVE_COMMON_ERROR_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.hh"
+
+namespace sieve {
+
+/** Category of a recoverable error (see file comment). */
+enum class ErrorKind : uint8_t {
+    Parse,      //!< bytes do not match the format grammar
+    Io,         //!< file unreadable / short read / truncation
+    Validation, //!< well-formed bytes violating a semantic invariant
+    Sim,        //!< downstream evaluation failure (quarantine layer)
+};
+
+/** Canonical name of an error kind ("ParseError", ...). */
+const char *errorKindName(ErrorKind kind);
+
+/** A structured, recoverable error with source context. */
+struct Error
+{
+    /** Sentinel for "no byte offset recorded". */
+    static constexpr size_t kNoOffset = static_cast<size_t>(-1);
+
+    ErrorKind kind = ErrorKind::Parse;
+    std::string message;           //!< human-readable cause
+    std::string source;            //!< file / stream name; may be empty
+    size_t line = 0;               //!< 1-based source line; 0 = n/a
+    size_t byteOffset = kNoOffset; //!< binary formats; kNoOffset = n/a
+
+    /**
+     * One-line rendering:
+     *   "ParseError: <message> (<source>:<line>)"            text
+     *   "IoError: <message> (<source> @ byte <offset>)"      binary
+     * Context parentheses are omitted when absent.
+     */
+    std::string toString() const;
+
+    /** True if the error names its source (file + line or offset). */
+    bool
+    hasContext() const
+    {
+        return !source.empty() &&
+               (line > 0 || byteOffset != kNoOffset);
+    }
+};
+
+/**
+ * Build an ingestion-layer error and count it into the Stable
+ * `ingest.errors.<kind>` counters (jobs-invariant: the same parse
+ * attempts produce the same errors at any worker count). All the
+ * try*-parser entry points create their errors through this helper;
+ * errors that merely propagate are not re-counted.
+ */
+Error ingestError(ErrorKind kind, std::string message,
+                  std::string source = {}, size_t line = 0,
+                  size_t byte_offset = Error::kNoOffset);
+
+/**
+ * Either a value or an Error. Implicitly constructible from both, so
+ * parsers `return value;` on success and `return ingestError(...);`
+ * on failure. Accessing the wrong side is a panic (an internal bug,
+ * not a user error).
+ */
+template <typename T>
+class [[nodiscard]] Expected
+{
+  public:
+    using value_type = T;
+
+    Expected(T value) : _v(std::in_place_index<0>, std::move(value)) {}
+    Expected(Error error) : _v(std::in_place_index<1>, std::move(error))
+    {
+    }
+
+    /** True if a value is held. */
+    bool ok() const { return _v.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const &
+    {
+        requireOk();
+        return std::get<0>(_v);
+    }
+
+    T &
+    value() &
+    {
+        requireOk();
+        return std::get<0>(_v);
+    }
+
+    T &&
+    value() &&
+    {
+        requireOk();
+        return std::get<0>(std::move(_v));
+    }
+
+    const Error &
+    error() const
+    {
+        SIEVE_ASSERT(!ok(), "error() on an ok Expected");
+        return std::get<1>(_v);
+    }
+
+    /** The value, or `fallback` if an error is held. */
+    T
+    valueOr(T fallback) const &
+    {
+        return ok() ? std::get<0>(_v) : std::move(fallback);
+    }
+
+  private:
+    void
+    requireOk() const
+    {
+        if (!ok())
+            panic("value() on failed Expected: ",
+                  std::get<1>(_v).toString());
+    }
+
+    std::variant<T, Error> _v;
+};
+
+/** Expected<void>: success, or an Error. */
+template <>
+class [[nodiscard]] Expected<void>
+{
+  public:
+    using value_type = void;
+
+    Expected() = default;
+    Expected(Error error) : _error(std::move(error)), _failed(true) {}
+
+    bool ok() const { return !_failed; }
+    explicit operator bool() const { return ok(); }
+
+    const Error &
+    error() const
+    {
+        SIEVE_ASSERT(_failed, "error() on an ok Expected");
+        return _error;
+    }
+
+  private:
+    Error _error;
+    bool _failed = false;
+};
+
+/**
+ * Unwrap, preserving the legacy abort-on-error contract: on failure
+ * print the structured error through fatal() (exit code 1). The
+ * pre-Expected entry points (CsvTable::readFile, loadWorkloadFile,
+ * readTraceFile, ...) are these two lines around their try* twins.
+ */
+template <typename T>
+T
+unwrapOrFatal(Expected<T> expected)
+{
+    if (!expected.ok())
+        fatal(expected.error().toString());
+    return std::move(expected).value();
+}
+
+inline void
+unwrapOrFatal(Expected<void> expected)
+{
+    if (!expected.ok())
+        fatal(expected.error().toString());
+}
+
+} // namespace sieve
+
+#endif // SIEVE_COMMON_ERROR_HH

@@ -1,0 +1,33 @@
+#include "common/quarantine.hh"
+
+#include "obs/metrics.hh"
+
+namespace sieve {
+
+void
+QuarantineReport::add(size_t index, std::string label, Error error)
+{
+    // Stable: quarantine decisions depend only on the inputs (the
+    // same items fail the same way at any --jobs), and this method is
+    // only called from the serial in-order consumption pass.
+    static obs::Counter &c_quarantined =
+        obs::counter("suite.quarantined");
+    c_quarantined.add();
+    items.push_back({index, std::move(label), std::move(error)});
+}
+
+std::string
+QuarantineReport::toString(size_t batch_size) const
+{
+    if (items.empty())
+        return {};
+    std::string out = "quarantined " + std::to_string(items.size()) +
+                      " of " + std::to_string(batch_size) + " items:";
+    for (const QuarantinedItem &item : items) {
+        out += "\n  [" + std::to_string(item.index) + "] " +
+               item.label + ": " + item.error.toString();
+    }
+    return out;
+}
+
+} // namespace sieve

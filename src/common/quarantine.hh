@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quarantine bookkeeping for failure-isolated batch runs.
+ *
+ * The isolation layers (eval::SuiteRunner::mapIsolated,
+ * gpusim::simulateTraceFilesIsolated) map a recoverable per-item
+ * function over a batch and keep going when one item fails: the
+ * failed item is *quarantined* — its structured Error recorded here,
+ * its result slot left empty — while every other item completes
+ * byte-identically to a clean run. The report is filled in a serial
+ * in-order pass, so its contents (and the Stable
+ * `suite.quarantined` counter it feeds) are jobs-invariant.
+ */
+
+#ifndef SIEVE_COMMON_QUARANTINE_HH
+#define SIEVE_COMMON_QUARANTINE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace sieve {
+
+/** One quarantined batch item. */
+struct QuarantinedItem
+{
+    size_t index = 0;    //!< position in the input batch
+    std::string label;   //!< spec seed label, file path, ...
+    Error error;         //!< why the item was quarantined
+};
+
+/** Every item a failure-isolated batch run had to skip. */
+struct QuarantineReport
+{
+    std::vector<QuarantinedItem> items;
+
+    /** True if nothing was quarantined. */
+    bool allOk() const { return items.empty(); }
+
+    /** Number of quarantined items. */
+    size_t numQuarantined() const { return items.size(); }
+
+    /**
+     * Record one quarantined item and bump the Stable
+     * `suite.quarantined` counter.
+     */
+    void add(size_t index, std::string label, Error error);
+
+    /**
+     * Multi-line run summary:
+     *   quarantined 2 of 37 items:
+     *     [3] bench/foo: IoError: ... (foo.swl @ byte 96)
+     * Empty string when nothing was quarantined.
+     */
+    std::string toString(size_t batch_size) const;
+};
+
+} // namespace sieve
+
+#endif // SIEVE_COMMON_QUARANTINE_HH

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+
+#include "common/logging.hh"
 
 namespace sieve {
 
@@ -24,6 +27,25 @@ split(std::string_view text, char delim)
         out.emplace_back(text.substr(start, pos - start));
         start = pos + 1;
     }
+}
+
+std::vector<std::string_view>
+splitWhitespace(std::string_view text)
+{
+    std::vector<std::string_view> out;
+    size_t i = 0;
+    while (i < text.size()) {
+        while (i < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+        size_t start = i;
+        while (i < text.size() &&
+               !std::isspace(static_cast<unsigned char>(text[i])))
+            ++i;
+        if (i > start)
+            out.push_back(text.substr(start, i - start));
+    }
+    return out;
 }
 
 std::string_view
@@ -112,6 +134,66 @@ padLeft(std::string_view text, size_t width)
     s.assign(width - text.size(), ' ');
     s.append(text);
     return s;
+}
+
+const char *
+numericParseMessage(NumericParse status)
+{
+    switch (status) {
+      case NumericParse::Ok:
+        return "ok";
+      case NumericParse::Empty:
+        return "empty field";
+      case NumericParse::Malformed:
+        return "malformed number";
+      case NumericParse::Trailing:
+        return "trailing characters after number";
+      case NumericParse::OutOfRange:
+        return "number out of representable range";
+      case NumericParse::NonFinite:
+        return "non-finite value";
+    }
+    panic("unknown NumericParse ", static_cast<int>(status));
+}
+
+NumericParse
+parseUint64(std::string_view text, uint64_t &out)
+{
+    out = 0;
+    if (text.empty())
+        return NumericParse::Empty;
+    uint64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec == std::errc::invalid_argument)
+        return NumericParse::Malformed;
+    if (ec == std::errc::result_out_of_range)
+        return NumericParse::OutOfRange;
+    if (ptr != text.data() + text.size())
+        return NumericParse::Trailing;
+    out = value;
+    return NumericParse::Ok;
+}
+
+NumericParse
+parseDouble(std::string_view text, double &out)
+{
+    out = 0.0;
+    if (text.empty())
+        return NumericParse::Empty;
+    double value = 0.0;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec == std::errc::invalid_argument)
+        return NumericParse::Malformed;
+    if (ec == std::errc::result_out_of_range)
+        return NumericParse::OutOfRange;
+    if (ptr != text.data() + text.size())
+        return NumericParse::Trailing;
+    if (!std::isfinite(value))
+        return NumericParse::NonFinite;
+    out = value;
+    return NumericParse::Ok;
 }
 
 std::string

@@ -15,6 +15,10 @@ namespace sieve {
 /** Split a string on a delimiter character (keeps empty fields). */
 std::vector<std::string> split(std::string_view text, char delim);
 
+/** Split on runs of ASCII whitespace (no empty tokens). The views
+ *  alias `text` and are valid only while it is. */
+std::vector<std::string_view> splitWhitespace(std::string_view text);
+
 /** Strip leading and trailing ASCII whitespace. */
 std::string_view trim(std::string_view text);
 
@@ -39,6 +43,40 @@ std::string padLeft(std::string_view text, size_t width);
 
 /** Right-pad (left-justify) a string to the given width. */
 std::string padRight(std::string_view text, size_t width);
+
+/**
+ * Outcome of a strict numeric parse. The pre-robustness readers went
+ * through std::stoull/std::stod, which silently *wrap* negative
+ * integers ("-1" becomes 2^64-1), skip leading whitespace, and accept
+ * locale-dependent forms; the strict parsers below reject all of
+ * that with a distinct cause, so ingestion can report exactly what
+ * was wrong with a field.
+ */
+enum class NumericParse : uint8_t {
+    Ok,         //!< parsed, value stored
+    Empty,      //!< empty field (e.g. a trailing "a,b," cell)
+    Malformed,  //!< not a number at all (includes signs/whitespace
+                //!< std::stoull used to tolerate or wrap)
+    Trailing,   //!< a number followed by junk ("12x")
+    OutOfRange, //!< syntactically valid but unrepresentable
+    NonFinite,  //!< "inf"/"nan": valid IEEE, invalid in our data
+};
+
+/** Short human-readable cause for a failed parse status. */
+const char *numericParseMessage(NumericParse status);
+
+/**
+ * Strict base-10 uint64 parse: digits only, full consumption, no
+ * sign, no whitespace, no wrap. On anything but Ok, `out` is 0.
+ */
+NumericParse parseUint64(std::string_view text, uint64_t &out);
+
+/**
+ * Strict finite double parse (std::from_chars general format): full
+ * consumption, no leading '+'/whitespace, rejects inf/nan and
+ * overflow. On anything but Ok, `out` is 0.0.
+ */
+NumericParse parseDouble(std::string_view text, double &out);
 
 } // namespace sieve
 

@@ -53,6 +53,46 @@ ExperimentContext::golden(const workloads::WorkloadSpec &spec)
 }
 
 WorkloadOutcome
+evaluateWorkload(const trace::Workload &wl,
+                 const gpu::WorkloadResult &golden,
+                 sampling::SieveConfig sieve_cfg,
+                 sampling::PksConfig pks_cfg, ThreadPool *pool)
+{
+    WorkloadOutcome outcome;
+    outcome.suite = wl.suite();
+    outcome.name = wl.name();
+    outcome.numKernels = wl.numKernels();
+    outcome.numInvocations = wl.numInvocations();
+    outcome.paperInvocations = wl.paperInvocations();
+
+    sampling::SieveSampler sieve(sieve_cfg);
+    outcome.sieveResult = sieve.sample(wl, pool);
+    double sieve_pred = sieve.predictCycles(outcome.sieveResult, wl,
+                                            golden.perInvocation);
+    outcome.sieve = sampling::evaluate(outcome.sieveResult, sieve_pred,
+                                       golden.perInvocation);
+
+    sampling::PksSampler pks(pks_cfg);
+    outcome.pksResult = pks.sample(wl, golden.perInvocation, pool);
+    double pks_pred =
+        pks.predictCycles(outcome.pksResult, golden.perInvocation);
+    outcome.pks = sampling::evaluate(outcome.pksResult, pks_pred,
+                                     golden.perInvocation);
+
+    return outcome;
+}
+
+WorkloadOutcome
+evaluateWorkload(const gpu::HardwareExecutor &executor,
+                 const trace::Workload &wl,
+                 sampling::SieveConfig sieve_cfg,
+                 sampling::PksConfig pks_cfg, ThreadPool *pool)
+{
+    gpu::WorkloadResult golden = executor.runWorkload(wl);
+    return evaluateWorkload(wl, golden, sieve_cfg, pks_cfg, pool);
+}
+
+WorkloadOutcome
 ExperimentContext::run(const workloads::WorkloadSpec &spec,
                        sampling::SieveConfig sieve_cfg,
                        sampling::PksConfig pks_cfg, ThreadPool *pool)
@@ -64,27 +104,11 @@ ExperimentContext::run(const workloads::WorkloadSpec &spec,
     const trace::Workload &wl = workload(spec);
     const gpu::WorkloadResult &gold = golden(spec);
 
-    WorkloadOutcome outcome;
+    WorkloadOutcome outcome =
+        evaluateWorkload(wl, gold, sieve_cfg, pks_cfg, pool);
     outcome.suite = spec.suite;
     outcome.name = spec.name;
-    outcome.numKernels = wl.numKernels();
-    outcome.numInvocations = wl.numInvocations();
     outcome.paperInvocations = spec.paperInvocations;
-
-    sampling::SieveSampler sieve(sieve_cfg);
-    outcome.sieveResult = sieve.sample(wl, pool);
-    double sieve_pred = sieve.predictCycles(outcome.sieveResult, wl,
-                                            gold.perInvocation);
-    outcome.sieve = sampling::evaluate(outcome.sieveResult, sieve_pred,
-                                       gold.perInvocation);
-
-    sampling::PksSampler pks(pks_cfg);
-    outcome.pksResult = pks.sample(wl, gold.perInvocation, pool);
-    double pks_pred =
-        pks.predictCycles(outcome.pksResult, gold.perInvocation);
-    outcome.pks = sampling::evaluate(outcome.pksResult, pks_pred,
-                                     gold.perInvocation);
-
     return outcome;
 }
 

@@ -46,6 +46,27 @@ struct WorkloadOutcome
 };
 
 /**
+ * Evaluate Sieve + PKS on an already-materialized workload against
+ * precomputed golden results. Identity fields (suite, name, paper
+ * invocation count) come from the workload itself, so this also
+ * serves workloads loaded from .swl files rather than generated from
+ * a registry spec. `pool` is handed down to the samplers' inner
+ * fan-outs; output is byte-identical at any worker count.
+ */
+WorkloadOutcome evaluateWorkload(const trace::Workload &workload,
+                                 const gpu::WorkloadResult &golden,
+                                 sampling::SieveConfig sieve_cfg = {},
+                                 sampling::PksConfig pks_cfg = {},
+                                 ThreadPool *pool = nullptr);
+
+/** evaluateWorkload, running the golden pass on `executor` first. */
+WorkloadOutcome evaluateWorkload(const gpu::HardwareExecutor &executor,
+                                 const trace::Workload &workload,
+                                 sampling::SieveConfig sieve_cfg = {},
+                                 sampling::PksConfig pks_cfg = {},
+                                 ThreadPool *pool = nullptr);
+
+/**
  * Caching context for experiments against one architecture.
  *
  * Thread-safe: one context may be shared by every worker of a

@@ -43,4 +43,20 @@ SuiteRunner::runSuite(
     });
 }
 
+IsolatedSuiteResult
+SuiteRunner::runSuiteIsolated(
+    const std::vector<workloads::WorkloadSpec> &specs,
+    sampling::SieveConfig sieve_cfg, sampling::PksConfig pks_cfg)
+{
+    IsolatedSuiteResult result;
+    result.outcomes = mapIsolated(
+        specs,
+        [&](const workloads::WorkloadSpec &spec)
+            -> Expected<WorkloadOutcome> {
+            return _ctx.run(spec, sieve_cfg, pks_cfg, &_pool);
+        },
+        result.quarantine);
+    return result;
+}
+
 } // namespace sieve::eval

@@ -21,14 +21,25 @@
 #ifndef SIEVE_EVAL_SUITE_RUNNER_HH
 #define SIEVE_EVAL_SUITE_RUNNER_HH
 
+#include <exception>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/quarantine.hh"
 #include "common/thread_pool.hh"
 #include "eval/experiment.hh"
 #include "workloads/suites.hh"
 
 namespace sieve::eval {
+
+/** Outcome of a failure-isolated suite run. */
+struct IsolatedSuiteResult
+{
+    /** Per-spec outcomes in registry order; nullopt = quarantined. */
+    std::vector<std::optional<WorkloadOutcome>> outcomes;
+    QuarantineReport quarantine;
+};
 
 /** SuiteRunner configuration. */
 struct SuiteRunnerOptions
@@ -107,6 +118,59 @@ class SuiteRunner
         return parallelMap(_pool, specs.size(),
                            [&](size_t i) { return fn(specs[i]); });
     }
+
+    /**
+     * Failure-isolated map(): `fn` returns Expected<R>; items whose
+     * attempt fails (a structured error, or an exception — converted
+     * to a SimError) are quarantined into `report` instead of taking
+     * the batch down, and their result slot is nullopt. All other
+     * items complete byte-identically to a plain map(). The report is
+     * filled in a serial in-order pass after the fan-out, so report
+     * contents and the `suite.quarantined` Stable counter are
+     * jobs-invariant.
+     */
+    template <typename Fn>
+    auto
+    mapIsolated(const std::vector<workloads::WorkloadSpec> &specs,
+                Fn &&fn, QuarantineReport &report)
+        -> std::vector<std::optional<
+            typename decltype(fn(specs[size_t{}]))::value_type>>
+    {
+        using E = decltype(fn(specs[size_t{}]));
+        using R = typename E::value_type;
+        FanOutScope scope(specs.size());
+        auto attempts =
+            parallelMap(_pool, specs.size(), [&](size_t i) -> E {
+                try {
+                    return fn(specs[i]);
+                } catch (const std::exception &ex) {
+                    return ingestError(ErrorKind::Sim, ex.what(),
+                                       specs[i].seedLabel());
+                }
+            });
+        std::vector<std::optional<R>> out;
+        out.reserve(specs.size());
+        for (size_t i = 0; i < specs.size(); ++i) {
+            if (attempts[i].ok()) {
+                out.emplace_back(std::move(attempts[i]).value());
+            } else {
+                report.add(i, specs[i].seedLabel(),
+                           attempts[i].error());
+                out.emplace_back(std::nullopt);
+            }
+        }
+        return out;
+    }
+
+    /**
+     * Failure-isolated runSuite(): one bad workload is quarantined
+     * and reported while the rest of the suite completes with
+     * byte-identical outcomes.
+     */
+    IsolatedSuiteResult runSuiteIsolated(
+        const std::vector<workloads::WorkloadSpec> &specs,
+        sampling::SieveConfig sieve_cfg = {},
+        sampling::PksConfig pks_cfg = {});
 
     /**
      * map() followed by an in-order serial consumption pass —

@@ -105,4 +105,57 @@ simulateTraceFilesCached(const SimCache &cache,
     });
 }
 
+size_t
+IsolatedBatchSimResult::numSimulated() const
+{
+    size_t n = 0;
+    for (const auto &r : results)
+        n += r.has_value();
+    return n;
+}
+
+IsolatedBatchSimResult
+simulateTraceFilesIsolated(const GpuSimulator &simulator,
+                           const std::vector<std::string> &paths,
+                           ThreadPool &pool)
+{
+    static obs::Counter &c_batches = obs::counter("gpusim.batches");
+    static obs::Counter &c_traces =
+        obs::counter("gpusim.batch.traces");
+    c_batches.add();
+    c_traces.add(paths.size());
+    obs::Span span("gpusim", "batch-isolated",
+                   "traces=" + std::to_string(paths.size()));
+
+    IsolatedBatchSimResult out;
+    auto begin = std::chrono::steady_clock::now();
+    auto attempts = parallelMap(
+        pool, paths.size(),
+        [&](size_t i) -> Expected<KernelSimResult> {
+            auto kt = trace::tryReadTraceFile(paths[i]);
+            if (!kt)
+                return kt.error();
+            try {
+                return simulator.simulate(kt.value());
+            } catch (const std::exception &ex) {
+                return ingestError(ErrorKind::Sim, ex.what(),
+                                   paths[i]);
+            }
+        });
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count();
+
+    out.results.reserve(paths.size());
+    for (size_t i = 0; i < paths.size(); ++i) {
+        if (attempts[i].ok()) {
+            out.results.emplace_back(std::move(attempts[i]).value());
+        } else {
+            out.quarantine.add(i, paths[i], attempts[i].error());
+            out.results.emplace_back(std::nullopt);
+        }
+    }
+    return out;
+}
+
 } // namespace sieve::gpusim

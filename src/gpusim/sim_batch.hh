@@ -16,9 +16,11 @@
 #define SIEVE_GPUSIM_SIM_BATCH_HH
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/quarantine.hh"
 #include "common/thread_pool.hh"
 #include "gpusim/gpu_simulator.hh"
 #include "gpusim/sim_cache.hh"
@@ -92,6 +94,31 @@ BatchSimResult simulateBatchCached(
 BatchSimResult simulateTraceFilesCached(
     const SimCache &cache, const std::vector<std::string> &paths,
     ThreadPool &pool);
+
+/** Outcome of a failure-isolated trace-file batch. */
+struct IsolatedBatchSimResult
+{
+    /** Per-path results in input order; nullopt = quarantined. */
+    std::vector<std::optional<KernelSimResult>> results;
+    QuarantineReport quarantine;
+
+    /** Measured wall-clock seconds for the whole batch. */
+    double wallSeconds = 0.0;
+
+    /** Paths that simulated successfully. */
+    size_t numSimulated() const;
+};
+
+/**
+ * Failure-isolated simulateTraceFiles(): each trace file is read
+ * through the recoverable parser, and an unreadable, malformed, or
+ * invalid file is quarantined (with its structured error and path in
+ * the report) instead of aborting, while every other trace's result
+ * stays byte-identical to the plain batch.
+ */
+IsolatedBatchSimResult simulateTraceFilesIsolated(
+    const GpuSimulator &simulator,
+    const std::vector<std::string> &paths, ThreadPool &pool);
 
 } // namespace sieve::gpusim
 

@@ -55,14 +55,17 @@ CsvSamplingResult::toCsv() const
     return table;
 }
 
-CsvSamplingResult
-sieveFromProfile(const std::vector<SieveProfileRow> &rows,
-                 SieveConfig config)
+Expected<CsvSamplingResult>
+trySieveFromProfile(const std::vector<SieveProfileRow> &rows,
+                    SieveConfig config)
 {
     if (rows.empty())
-        fatal("empty profile: nothing to stratify");
+        return ingestError(ErrorKind::Validation,
+                           "empty profile: nothing to stratify");
     if (config.theta <= 0.0)
-        fatal("Sieve theta must be positive, got ", config.theta);
+        return ingestError(ErrorKind::Validation,
+                           "Sieve theta must be positive, got " +
+                               std::to_string(config.theta));
 
     // Group rows by kernel name, preserving chronological order
     // within each kernel.
@@ -76,7 +79,9 @@ sieveFromProfile(const std::vector<SieveProfileRow> &rows,
         it->second.push_back(&row);
         total_insts += row.instructionCount;
     }
-    SIEVE_ASSERT(total_insts > 0, "profile with zero instructions");
+    if (total_insts == 0)
+        return ingestError(ErrorKind::Validation,
+                           "profile with zero instructions");
 
     CsvSamplingResult out;
     out.totalInstructions = total_insts;
@@ -134,10 +139,26 @@ sieveFromProfile(const std::vector<SieveProfileRow> &rows,
     return out;
 }
 
+Expected<CsvSamplingResult>
+trySieveFromProfileCsv(const CsvTable &table, SieveConfig config)
+{
+    auto rows = trace::tryParseSieveProfile(table);
+    if (!rows)
+        return rows.error();
+    return trySieveFromProfile(rows.value(), config);
+}
+
+CsvSamplingResult
+sieveFromProfile(const std::vector<SieveProfileRow> &rows,
+                 SieveConfig config)
+{
+    return unwrapOrFatal(trySieveFromProfile(rows, config));
+}
+
 CsvSamplingResult
 sieveFromProfileCsv(const CsvTable &table, SieveConfig config)
 {
-    return sieveFromProfile(trace::parseSieveProfile(table), config);
+    return unwrapOrFatal(trySieveFromProfileCsv(table, config));
 }
 
 } // namespace sieve::sampling

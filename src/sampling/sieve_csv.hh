@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/csv.hh"
+#include "common/error.hh"
 #include "sampling/sample.hh"
 #include "sampling/sieve.hh"
 #include "trace/profile_io.hh"
@@ -46,9 +47,22 @@ struct CsvSamplingResult
 };
 
 /**
+ * Run Sieve stratification over parsed profile rows. An empty
+ * profile, a non-positive theta, or a zero total instruction count
+ * is a ValidationError.
+ */
+Expected<CsvSamplingResult> trySieveFromProfile(
+    const std::vector<trace::SieveProfileRow> &rows,
+    SieveConfig config = {});
+
+/** Parse a profile CSV table and stratify it, recoverably. */
+Expected<CsvSamplingResult> trySieveFromProfileCsv(
+    const CsvTable &table, SieveConfig config = {});
+
+/**
  * Run Sieve stratification over parsed profile rows.
  * Rows must be in chronological (invocationId) order, as the
- * profiler emits them.
+ * profiler emits them. fatal() on invalid input.
  */
 CsvSamplingResult sieveFromProfile(
     const std::vector<trace::SieveProfileRow> &rows,

@@ -1,0 +1,622 @@
+#include "testing/fault_injection.hh"
+
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "common/thread_pool.hh"
+#include "trace/profile_io.hh"
+#include "trace/sass_trace.hh"
+#include "trace/workload_io.hh"
+
+namespace sieve::testing {
+
+namespace {
+
+// --- corruption primitives ---
+
+/** (offset, length) spans of the fields of one line. Fields are
+ * comma-separated when the line contains a comma (CSV), otherwise
+ * whitespace-separated (trace) — matching how the parsers split. */
+std::vector<std::pair<size_t, size_t>>
+fieldSpans(std::string_view line)
+{
+    std::vector<std::pair<size_t, size_t>> spans;
+    if (line.find(',') != std::string_view::npos) {
+        size_t start = 0;
+        while (true) {
+            size_t comma = line.find(',', start);
+            size_t end =
+                comma == std::string_view::npos ? line.size() : comma;
+            spans.emplace_back(start, end - start);
+            if (comma == std::string_view::npos)
+                break;
+            start = comma + 1;
+        }
+        return spans;
+    }
+    size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && std::isspace(
+                   static_cast<unsigned char>(line[i])))
+            ++i;
+        size_t start = i;
+        while (i < line.size() && !std::isspace(
+                   static_cast<unsigned char>(line[i])))
+            ++i;
+        if (i > start)
+            spans.emplace_back(start, i - start);
+    }
+    return spans;
+}
+
+/** (offset, length) spans of each line, without the newline. */
+std::vector<std::pair<size_t, size_t>>
+lineSpans(std::string_view text)
+{
+    std::vector<std::pair<size_t, size_t>> spans;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t nl = text.find('\n', start);
+        size_t end = nl == std::string_view::npos ? text.size() : nl;
+        if (end > start)
+            spans.emplace_back(start, end - start);
+        if (nl == std::string_view::npos)
+            break;
+        start = nl + 1;
+    }
+    return spans;
+}
+
+/**
+ * Replace (replacement set) or delete (replacement empty) one random
+ * field of one random non-empty line. No-op on field-free text.
+ */
+void
+mutateTextField(std::string &bytes, Rng &rng,
+                std::optional<std::string> replacement)
+{
+    auto lines = lineSpans(bytes);
+    if (lines.empty())
+        return;
+    auto [loff, llen] = lines[static_cast<size_t>(rng.uniformInt(
+        0, static_cast<int64_t>(lines.size()) - 1))];
+    std::string_view line(bytes.data() + loff, llen);
+    auto fields = fieldSpans(line);
+    if (fields.empty())
+        return;
+    size_t f = static_cast<size_t>(rng.uniformInt(
+        0, static_cast<int64_t>(fields.size()) - 1));
+    size_t fstart = loff + fields[f].first;
+    size_t flen = fields[f].second;
+
+    if (replacement) {
+        bytes.replace(fstart, flen, *replacement);
+        return;
+    }
+    // Deletion: also swallow one adjoining delimiter so a CSV cell
+    // disappears instead of becoming empty.
+    if (fields.size() == 1) {
+        bytes.erase(loff, llen);
+        return;
+    }
+    if (f > 0) {
+        size_t prev_end = loff + fields[f - 1].first +
+                          fields[f - 1].second;
+        bytes.erase(prev_end, fstart + flen - prev_end);
+    } else {
+        size_t next_start = loff + fields[f + 1].first;
+        bytes.erase(fstart, next_start - fstart);
+    }
+}
+
+/** Overwrite up to 8 bytes at a random offset with `pattern`. */
+void
+overwriteBytes(std::string &bytes, Rng &rng, uint64_t pattern)
+{
+    size_t n = std::min<size_t>(8, bytes.size());
+    size_t max_pos = bytes.size() - n;
+    size_t pos = static_cast<size_t>(
+        rng.uniformInt(0, static_cast<int64_t>(max_pos)));
+    std::memcpy(bytes.data() + pos, &pattern, n);
+}
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+} // namespace
+
+const char *
+faultOpName(FaultOp op)
+{
+    switch (op) {
+    case FaultOp::BitFlip:        return "bit-flip";
+    case FaultOp::Truncate:       return "truncate";
+    case FaultOp::DeleteField:    return "delete-field";
+    case FaultOp::InjectNaN:      return "inject-nan";
+    case FaultOp::InjectInf:      return "inject-inf";
+    case FaultOp::InjectOverflow: return "inject-overflow";
+    }
+    panic("unknown fault op ", static_cast<int>(op));
+}
+
+Corruptor::Mutation
+Corruptor::mutate(std::string_view clean, std::string_view label,
+                  uint64_t index, bool text) const
+{
+    Rng rng = Rng(_seed).split(label).split(index);
+    Mutation m;
+    m.op = static_cast<FaultOp>(rng.uniformInt(
+        0, static_cast<int64_t>(kNumFaultOps) - 1));
+    m.bytes.assign(clean.begin(), clean.end());
+    if (m.bytes.empty())
+        return m;
+
+    switch (m.op) {
+    case FaultOp::BitFlip: {
+        size_t pos = static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(m.bytes.size()) - 1));
+        m.bytes[pos] = static_cast<char>(
+            m.bytes[pos] ^ (1u << rng.uniformInt(0, 7)));
+        break;
+    }
+    case FaultOp::Truncate: {
+        m.bytes.resize(static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(m.bytes.size()) - 1)));
+        break;
+    }
+    case FaultOp::DeleteField: {
+        if (text) {
+            mutateTextField(m.bytes, rng, std::nullopt);
+        } else {
+            size_t pos = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(m.bytes.size()) - 1));
+            size_t len = std::min<size_t>(
+                static_cast<size_t>(rng.uniformInt(1, 8)),
+                m.bytes.size() - pos);
+            m.bytes.erase(pos, len);
+        }
+        break;
+    }
+    case FaultOp::InjectNaN: {
+        if (text)
+            mutateTextField(m.bytes, rng, std::string("nan"));
+        else
+            overwriteBytes(
+                m.bytes, rng,
+                doubleBits(std::numeric_limits<double>::quiet_NaN()));
+        break;
+    }
+    case FaultOp::InjectInf: {
+        if (text)
+            mutateTextField(m.bytes, rng, std::string("inf"));
+        else
+            overwriteBytes(
+                m.bytes, rng,
+                doubleBits(std::numeric_limits<double>::infinity()));
+        break;
+    }
+    case FaultOp::InjectOverflow: {
+        if (text) {
+            static const char *kOverflows[] = {
+                "-17",                     // negative into unsigned
+                "36893488147419103232",    // 2^65
+                "1e+400",                  // double overflow
+            };
+            mutateTextField(
+                m.bytes, rng,
+                std::string(kOverflows[rng.uniformInt(0, 2)]));
+        } else {
+            overwriteBytes(m.bytes, rng, ~uint64_t{0});
+        }
+        break;
+    }
+    }
+    return m;
+}
+
+FaultyFile::FaultyFile(std::string_view bytes, std::string_view stem)
+{
+    static std::atomic<uint64_t> counter{0};
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path();
+    _path = (dir / (std::string(stem) + "-" +
+                    std::to_string(::getpid()) + "-" +
+                    std::to_string(counter.fetch_add(1)) + ".tmp"))
+                .string();
+    std::ofstream os(_path, std::ios::binary);
+    if (!os)
+        fatal("cannot create fault-injection file '", _path, "'");
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+FaultyFile::~FaultyFile()
+{
+    std::error_code ec;
+    std::filesystem::remove(_path, ec);
+}
+
+const char *
+ingestFormatName(IngestFormat format)
+{
+    switch (format) {
+    case IngestFormat::SieveProfileCsv: return "sieve-profile-csv";
+    case IngestFormat::PksProfileCsv:   return "pks-profile-csv";
+    case IngestFormat::WorkloadBinary:  return "workload-binary";
+    case IngestFormat::SassTrace:       return "sass-trace";
+    }
+    panic("unknown ingest format ", static_cast<int>(format));
+}
+
+namespace {
+
+// --- clean baselines ---
+
+/** Small deterministic workload the corpora are derived from. */
+trace::Workload
+makeFuzzWorkload()
+{
+    trace::Workload wl("fuzz", "corpus");
+    wl.setPaperInvocations(24000);
+    wl.addKernel("alpha_kernel");
+    wl.addKernel("beta_kernel");
+    wl.addKernel("gamma_kernel");
+    for (uint32_t i = 0; i < 12; ++i) {
+        trace::KernelInvocation inv;
+        inv.kernelId = i % 3;
+        inv.launch.grid = {16 + i, 2, 1};
+        inv.launch.cta = {64u << (i % 3), 1, 1};
+        inv.launch.sharedMemBytes = 1024 * (i % 4);
+        inv.launch.regsPerThread = 32 + (i % 3) * 8;
+        inv.mix.instructionCount = 1000 + 37 * i;
+        inv.mix.threadGlobalLoads = 100 + i;
+        inv.mix.threadGlobalStores = 50 + i;
+        inv.mix.threadSharedLoads = 10 * i;
+        inv.mix.coalescedGlobalLoads = 80 + i;
+        inv.mix.divergenceEfficiency = 0.5 + 0.04 * i;
+        inv.mix.numThreadBlocks = inv.launch.numCtas();
+        inv.memory.l1Locality = 0.25 + 0.05 * (i % 5);
+        inv.memory.l2Locality = 0.5;
+        inv.memory.workingSetBytes = uint64_t{1} << (16 + i % 4);
+        inv.memory.ilp = 2.0 + 0.25 * (i % 3);
+        inv.noiseSeed = 0x9000 + i;
+        wl.addInvocation(std::move(inv));
+    }
+    return wl;
+}
+
+/** Small deterministic SASS trace exercising every opcode class. */
+trace::KernelTrace
+makeFuzzTrace()
+{
+    using trace::Opcode;
+    trace::KernelTrace kt;
+    kt.kernelName = "fuzz_kernel";
+    kt.invocationId = 7;
+    kt.launch.grid = {32, 1, 1};
+    kt.launch.cta = {128, 1, 1};
+    kt.launch.sharedMemBytes = 2048;
+    kt.launch.regsPerThread = 40;
+    kt.ctaReplication = 4;
+
+    const Opcode body[] = {
+        Opcode::Ldg,  Opcode::FFma, Opcode::IAdd, Opcode::Lds,
+        Opcode::Sts,  Opcode::Mufu, Opcode::Bra,  Opcode::DFma,
+        Opcode::Stg,  Opcode::Atom,
+    };
+    for (int c = 0; c < 2; ++c) {
+        trace::CtaTrace cta;
+        for (int w = 0; w < 2; ++w) {
+            trace::WarpTrace warp;
+            uint64_t addr = 4096 * (c * 2 + w);
+            for (size_t i = 0; i < std::size(body); ++i) {
+                trace::SassInstruction inst;
+                inst.opcode = body[i];
+                inst.destReg = static_cast<uint8_t>(8 + i);
+                inst.srcReg0 = static_cast<uint8_t>(4 + i);
+                inst.srcReg1 = static_cast<uint8_t>(i);
+                inst.activeLanes = 32;
+                inst.sectors =
+                    inst.opcode == Opcode::Bra
+                        ? 16
+                        : static_cast<uint8_t>(1 + i % 4);
+                inst.lineAddress = addr + i * 4;
+                warp.instructions.push_back(inst);
+            }
+            trace::SassInstruction exit;
+            exit.opcode = Opcode::Exit;
+            warp.instructions.push_back(exit);
+            cta.warps.push_back(std::move(warp));
+        }
+        kt.ctas.push_back(std::move(cta));
+    }
+    return kt;
+}
+
+// --- canonical (re)serialization for the fixpoint check ---
+
+/** Shortest exact decimal rendering (from_chars round-trips it). */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+canonSieveRows(const std::vector<trace::SieveProfileRow> &rows)
+{
+    CsvTable table({"kernel", "invocation", "instruction_count",
+                    "cta_size"});
+    for (const auto &row : rows) {
+        table.addRow({row.kernelName, std::to_string(row.invocationId),
+                      std::to_string(row.instructionCount),
+                      std::to_string(row.ctaSize)});
+    }
+    std::ostringstream os;
+    table.write(os);
+    return os.str();
+}
+
+std::string
+canonPksRows(const std::vector<std::vector<double>> &rows)
+{
+    std::vector<std::string> header;
+    for (const auto &name : trace::InstructionMix::metricNames())
+        header.push_back(name);
+    CsvTable table(std::move(header));
+    for (const auto &features : rows) {
+        std::vector<std::string> cells;
+        cells.reserve(features.size());
+        for (double v : features)
+            cells.push_back(fmtDouble(v));
+        table.addRow(std::move(cells));
+    }
+    std::ostringstream os;
+    table.write(os);
+    return os.str();
+}
+
+/**
+ * Parse `bytes` as `format` and, on acceptance, return the canonical
+ * serialization of the parsed value.
+ */
+Expected<std::string>
+canonicalize(IngestFormat format, const std::string &bytes,
+             const std::string &source)
+{
+    switch (format) {
+    case IngestFormat::SieveProfileCsv: {
+        std::istringstream is(bytes);
+        auto table = CsvTable::tryRead(is, source);
+        if (!table)
+            return table.error();
+        auto rows = trace::tryParseSieveProfile(table.value());
+        if (!rows)
+            return rows.error();
+        return canonSieveRows(rows.value());
+    }
+    case IngestFormat::PksProfileCsv: {
+        std::istringstream is(bytes);
+        auto table = CsvTable::tryRead(is, source);
+        if (!table)
+            return table.error();
+        auto rows = trace::tryParsePksProfile(table.value());
+        if (!rows)
+            return rows.error();
+        return canonPksRows(rows.value());
+    }
+    case IngestFormat::WorkloadBinary: {
+        std::istringstream is(bytes);
+        auto wl = trace::tryLoadWorkload(is, source);
+        if (!wl)
+            return wl.error();
+        std::ostringstream os;
+        trace::saveWorkload(wl.value(), os);
+        return os.str();
+    }
+    case IngestFormat::SassTrace: {
+        std::istringstream is(bytes);
+        auto kt = trace::tryReadTrace(is, source);
+        if (!kt)
+            return kt.error();
+        std::ostringstream os;
+        trace::writeTrace(kt.value(), os);
+        return os.str();
+    }
+    }
+    panic("unknown ingest format ", static_cast<int>(format));
+}
+
+constexpr IngestFormat kFormats[kNumIngestFormats] = {
+    IngestFormat::SieveProfileCsv,
+    IngestFormat::PksProfileCsv,
+    IngestFormat::WorkloadBinary,
+    IngestFormat::SassTrace,
+};
+
+bool
+isTextFormat(IngestFormat format)
+{
+    return format != IngestFormat::WorkloadBinary;
+}
+
+} // namespace
+
+std::string
+cleanIngestInput(IngestFormat format)
+{
+    trace::Workload wl = makeFuzzWorkload();
+    switch (format) {
+    case IngestFormat::SieveProfileCsv: {
+        std::ostringstream os;
+        trace::sieveProfileTable(wl).write(os);
+        return os.str();
+    }
+    case IngestFormat::PksProfileCsv: {
+        std::ostringstream os;
+        trace::pksProfileTable(wl).write(os);
+        return os.str();
+    }
+    case IngestFormat::WorkloadBinary: {
+        std::ostringstream os;
+        trace::saveWorkload(wl, os);
+        return os.str();
+    }
+    case IngestFormat::SassTrace: {
+        std::ostringstream os;
+        trace::writeTrace(makeFuzzTrace(), os);
+        return os.str();
+    }
+    }
+    panic("unknown ingest format ", static_cast<int>(format));
+}
+
+size_t
+FuzzReport::totalCases() const
+{
+    size_t total = 0;
+    for (const auto &f : formats)
+        total += f.cases;
+    return total;
+}
+
+std::string
+FuzzReport::summary() const
+{
+    size_t errors = 0, accepts = 0, failed = 0;
+    for (const auto &f : formats) {
+        errors += f.structuredErrors;
+        accepts += f.benignAccepts;
+        failed += f.failures;
+    }
+    std::string out = "fuzz-ingest: " + std::to_string(totalCases()) +
+                      " cases, " + std::to_string(errors) +
+                      " structured errors, " + std::to_string(accepts) +
+                      " benign accepts, " + std::to_string(failed) +
+                      " failures";
+    for (const auto &f : formats) {
+        out += "\n  " + f.format + ": " + std::to_string(f.cases) +
+               " cases, " + std::to_string(f.structuredErrors) +
+               " errors, " + std::to_string(f.benignAccepts) +
+               " accepts, " + std::to_string(f.failures) +
+               " failures";
+    }
+    for (const auto &failure : failures)
+        out += "\nFAIL " + failure;
+    return out;
+}
+
+FuzzReport
+runFuzzIngest(const FuzzOptions &opts)
+{
+    struct CaseOutcome
+    {
+        FuzzOutcome outcome = FuzzOutcome::StructuredError;
+        FaultOp op = FaultOp::BitFlip;
+        std::string detail;
+    };
+
+    Corruptor corruptor(opts.seed);
+    std::array<std::string, kNumIngestFormats> cleans;
+    for (size_t f = 0; f < kNumIngestFormats; ++f)
+        cleans[f] = cleanIngestInput(kFormats[f]);
+
+    const size_t per = opts.mutationsPerFormat;
+    const size_t total = per * kNumIngestFormats;
+    ThreadPool pool(opts.jobs);
+
+    auto outcomes = parallelMap(pool, total, [&](size_t i) {
+        const size_t f = i / per;
+        const uint64_t index = i % per;
+        const IngestFormat format = kFormats[f];
+        const char *name = ingestFormatName(format);
+
+        CaseOutcome out;
+        Corruptor::Mutation m = corruptor.mutate(
+            cleans[f], name, index, isTextFormat(format));
+        out.op = m.op;
+        std::string source = std::string("fuzz:") + name + ":" +
+                             std::to_string(index);
+        try {
+            auto first = canonicalize(format, m.bytes, source);
+            if (!first.ok()) {
+                if (first.error().message.empty()) {
+                    out.outcome = FuzzOutcome::SilentCorruption;
+                    out.detail = "rejected with an empty error message";
+                } else {
+                    out.outcome = FuzzOutcome::StructuredError;
+                }
+                return out;
+            }
+            auto second = canonicalize(format, first.value(),
+                                       source + ":fixpoint");
+            if (!second.ok()) {
+                out.outcome = FuzzOutcome::SilentCorruption;
+                out.detail =
+                    "accepted, but its canonical form re-parses "
+                    "with: " + second.error().toString();
+            } else if (second.value() != first.value()) {
+                out.outcome = FuzzOutcome::SilentCorruption;
+                out.detail = "accepted, but parse -> serialize -> "
+                             "parse is not a fixpoint";
+            } else {
+                out.outcome = FuzzOutcome::BenignAccept;
+            }
+        } catch (const std::exception &ex) {
+            out.outcome = FuzzOutcome::SilentCorruption;
+            out.detail = std::string("uncaught exception: ") +
+                         ex.what();
+        }
+        return out;
+    });
+
+    // Serial in-order aggregation: the report is jobs-invariant.
+    FuzzReport report;
+    for (size_t f = 0; f < kNumIngestFormats; ++f) {
+        FormatFuzzStats stats;
+        stats.format = ingestFormatName(kFormats[f]);
+        for (size_t index = 0; index < per; ++index) {
+            const CaseOutcome &out = outcomes[f * per + index];
+            ++stats.cases;
+            switch (out.outcome) {
+            case FuzzOutcome::StructuredError:
+                ++stats.structuredErrors;
+                break;
+            case FuzzOutcome::BenignAccept:
+                ++stats.benignAccepts;
+                break;
+            case FuzzOutcome::SilentCorruption:
+                ++stats.failures;
+                report.failures.push_back(
+                    "(" + stats.format + ", case " +
+                    std::to_string(index) + ", " +
+                    faultOpName(out.op) + "): " + out.detail);
+                break;
+            }
+        }
+        report.formats.push_back(std::move(stats));
+    }
+    return report;
+}
+
+} // namespace sieve::testing

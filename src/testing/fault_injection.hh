@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Deterministic fault-injection harness for the ingestion surface.
+ *
+ * The robustness contract of the try* parsers (profile CSVs,
+ * workload binaries, SASS traces) is: any input, however mangled,
+ * either parses to a semantically valid value or comes back as a
+ * structured Error — never a crash, never silently-wrong data. This
+ * harness checks that contract by construction: it derives a corpus
+ * of corrupted inputs from clean baselines using a seeded splittable
+ * Rng (bit-flips, truncation, field deletion, NaN/Inf/overflow
+ * injection), replays each case through the recoverable parsers, and
+ * classifies every outcome:
+ *
+ *   - StructuredError: the parser rejected the input with a
+ *     non-empty structured error. Expected and fine.
+ *   - BenignAccept: the mutation kept the input valid (e.g. a bit
+ *     flip inside a kernel name). Accepted values must pass the
+ *     *fixpoint check*: serializing the parse and re-parsing the
+ *     serialization must reproduce the exact same value (compared in
+ *     canonical byte form).
+ *   - SilentCorruption: the parser accepted the input but the
+ *     fixpoint check failed, or it threw. This is the bug class the
+ *     harness exists to catch, and it fails the run.
+ *
+ * Everything is seeded: case i of format F under seed S is the same
+ * bytes on every machine at any worker count, so a failing case
+ * reproduces from its (seed, format, index) coordinates alone.
+ */
+
+#ifndef SIEVE_TESTING_FAULT_INJECTION_HH
+#define SIEVE_TESTING_FAULT_INJECTION_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace sieve::testing {
+
+/** One corruption strategy. */
+enum class FaultOp : uint8_t {
+    BitFlip,        //!< flip one random bit
+    Truncate,       //!< cut the input short at a random point
+    DeleteField,    //!< drop one field (text) / byte span (binary)
+    InjectNaN,      //!< overwrite a field with NaN
+    InjectInf,      //!< overwrite a field with infinity
+    InjectOverflow, //!< overwrite with an out-of-range / negative value
+};
+
+/** Number of FaultOp strategies. */
+inline constexpr size_t kNumFaultOps = 6;
+
+/** Short name of a fault op ("bit-flip", ...). */
+const char *faultOpName(FaultOp op);
+
+/**
+ * Seeded corruption engine. Mutation `index` of corpus `label` is a
+ * pure function of (seed, label, index): the rng stream is
+ * Rng(seed).split(label).split(index), so corpora are reproducible
+ * and embarrassingly parallel.
+ */
+class Corruptor
+{
+  public:
+    /** One derived corrupted input. */
+    struct Mutation
+    {
+        FaultOp op = FaultOp::BitFlip;
+        std::string bytes;
+    };
+
+    explicit Corruptor(uint64_t seed) : _seed(seed) {}
+
+    /**
+     * Derive mutation `index` of `label`'s corpus from `clean`.
+     * `text` selects field-aware mutations (CSV/trace lines) over
+     * byte-span mutations (binary formats).
+     */
+    Mutation mutate(std::string_view clean, std::string_view label,
+                    uint64_t index, bool text) const;
+
+    uint64_t seed() const { return _seed; }
+
+  private:
+    uint64_t _seed;
+};
+
+/**
+ * RAII temporary file holding given bytes — the disk-backed face of
+ * a corrupted input, for exercising the file-based entry points
+ * (tryLoadWorkloadFile, tryReadTraceFile, CsvTable::tryReadFile).
+ * The file lives in the system temp directory under a
+ * process-unique name and is removed on destruction.
+ */
+class FaultyFile
+{
+  public:
+    explicit FaultyFile(std::string_view bytes,
+                        std::string_view stem = "fault");
+    ~FaultyFile();
+
+    FaultyFile(const FaultyFile &) = delete;
+    FaultyFile &operator=(const FaultyFile &) = delete;
+
+    /** Path of the materialized file. */
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+/** Ingestion formats the harness covers. */
+enum class IngestFormat : uint8_t {
+    SieveProfileCsv,
+    PksProfileCsv,
+    WorkloadBinary,
+    SassTrace,
+};
+
+/** Number of covered formats. */
+inline constexpr size_t kNumIngestFormats = 4;
+
+/** Corpus label / display name of a format ("sieve-profile-csv"). */
+const char *ingestFormatName(IngestFormat format);
+
+/** How one fuzz case ended. */
+enum class FuzzOutcome : uint8_t {
+    StructuredError, //!< rejected with a well-formed Error
+    BenignAccept,    //!< accepted and passed the fixpoint check
+    SilentCorruption,//!< accepted but wrong, threw, or empty error
+};
+
+/** Per-format outcome counts. */
+struct FormatFuzzStats
+{
+    std::string format;
+    size_t cases = 0;
+    size_t structuredErrors = 0;
+    size_t benignAccepts = 0;
+    size_t failures = 0;
+};
+
+/** Aggregate result of one harness run. */
+struct FuzzReport
+{
+    std::vector<FormatFuzzStats> formats;
+
+    /** One line per failing case: "(format, index, op): why". */
+    std::vector<std::string> failures;
+
+    /** Total cases across formats. */
+    size_t totalCases() const;
+
+    /** True when no case was classified SilentCorruption. */
+    bool ok() const { return failures.empty(); }
+
+    /**
+     * Multi-line per-format summary table plus the failure list.
+     * Deterministic: byte-identical at any worker count.
+     */
+    std::string summary() const;
+};
+
+/** Harness configuration. */
+struct FuzzOptions
+{
+    uint64_t seed = 0x5143;          //!< corpus seed
+    size_t mutationsPerFormat = 200; //!< cases per format
+    size_t jobs = 0;                 //!< 0 = ThreadPool::defaultJobs()
+};
+
+/**
+ * Run the seeded corruptor sweep over every ingestion format and
+ * classify each case. The report (including the failure list) is
+ * byte-identical for any `jobs` value.
+ */
+FuzzReport runFuzzIngest(const FuzzOptions &opts = {});
+
+/**
+ * The clean baseline inputs the corpora are derived from, exposed
+ * for tests: a small deterministic workload and the serialized
+ * baseline bytes of one format.
+ */
+std::string cleanIngestInput(IngestFormat format);
+
+} // namespace sieve::testing
+
+#endif // SIEVE_TESTING_FAULT_INJECTION_HH

@@ -15,6 +15,17 @@ u64(uint64_t v)
     return std::to_string(v);
 }
 
+/** "<source>, " prefix for messages when the table knows its file. */
+std::string
+where(const CsvTable &table, size_t row)
+{
+    std::string out = "row ";
+    out += std::to_string(row);
+    if (size_t line = table.rowLine(row))
+        out += " (line " + std::to_string(line) + ")";
+    return out;
+}
+
 } // namespace
 
 CsvTable
@@ -33,8 +44,8 @@ sieveProfileTable(const Workload &workload)
     return table;
 }
 
-std::vector<SieveProfileRow>
-parseSieveProfile(const CsvTable &table)
+Expected<std::vector<SieveProfileRow>>
+tryParseSieveProfile(const CsvTable &table)
 {
     size_t kernel_col = table.columnIndex("kernel");
     size_t inv_col = table.columnIndex("invocation");
@@ -42,19 +53,67 @@ parseSieveProfile(const CsvTable &table)
     size_t cta_col = table.columnIndex("cta_size");
     if (kernel_col == CsvTable::npos || inv_col == CsvTable::npos ||
         inst_col == CsvTable::npos || cta_col == CsvTable::npos)
-        fatal("Sieve profile CSV is missing a required column");
+        return ingestError(ErrorKind::Validation,
+                           "Sieve profile CSV is missing a required "
+                           "column (kernel, invocation, "
+                           "instruction_count, cta_size)",
+                           table.source(), 1);
 
     std::vector<SieveProfileRow> rows;
     rows.reserve(table.numRows());
+    bool have_prev = false;
+    uint64_t prev_inv = 0;
     for (size_t r = 0; r < table.numRows(); ++r) {
         SieveProfileRow row;
         row.kernelName = table.cell(r, kernel_col);
-        row.invocationId = table.cellAsUint(r, inv_col);
-        row.instructionCount = table.cellAsUint(r, inst_col);
-        row.ctaSize = static_cast<uint32_t>(table.cellAsUint(r, cta_col));
+        if (row.kernelName.empty())
+            return ingestError(ErrorKind::Validation,
+                               "empty kernel name at " + where(table, r),
+                               table.source(), table.rowLine(r));
+
+        auto inv = table.tryCellAsUint(r, inv_col);
+        if (!inv)
+            return inv.error();
+        row.invocationId = inv.value();
+        if (have_prev && row.invocationId <= prev_inv)
+            return ingestError(
+                ErrorKind::Validation,
+                "invocation ids must increase chronologically: " +
+                    std::to_string(row.invocationId) + " after " +
+                    std::to_string(prev_inv) + " at " + where(table, r),
+                table.source(), table.rowLine(r));
+        prev_inv = row.invocationId;
+        have_prev = true;
+
+        auto insts = table.tryCellAsUint(r, inst_col);
+        if (!insts)
+            return insts.error();
+        row.instructionCount = insts.value();
+        if (row.instructionCount == 0)
+            return ingestError(ErrorKind::Validation,
+                               "zero instruction count at " +
+                                   where(table, r),
+                               table.source(), table.rowLine(r));
+
+        auto cta = table.tryCellAsUint(r, cta_col);
+        if (!cta)
+            return cta.error();
+        if (cta.value() < 1 || cta.value() > 1024)
+            return ingestError(ErrorKind::Validation,
+                               "CTA size " + std::to_string(cta.value()) +
+                                   " outside [1, 1024] at " +
+                                   where(table, r),
+                               table.source(), table.rowLine(r));
+        row.ctaSize = static_cast<uint32_t>(cta.value());
         rows.push_back(std::move(row));
     }
     return rows;
+}
+
+std::vector<SieveProfileRow>
+parseSieveProfile(const CsvTable &table)
+{
+    return unwrapOrFatal(tryParseSieveProfile(table));
 }
 
 CsvTable
@@ -80,14 +139,17 @@ pksProfileTable(const Workload &workload)
     return table;
 }
 
-std::vector<std::vector<double>>
-parsePksProfile(const CsvTable &table)
+Expected<std::vector<std::vector<double>>>
+tryParsePksProfile(const CsvTable &table)
 {
     std::vector<size_t> cols;
     for (const auto &name : InstructionMix::metricNames()) {
         size_t c = table.columnIndex(name);
         if (c == CsvTable::npos)
-            fatal("PKS profile CSV is missing metric column '", name, "'");
+            return ingestError(ErrorKind::Validation,
+                               "PKS profile CSV is missing metric "
+                               "column '" + name + "'",
+                               table.source(), 1);
         cols.push_back(c);
     }
 
@@ -96,11 +158,29 @@ parsePksProfile(const CsvTable &table)
     for (size_t r = 0; r < table.numRows(); ++r) {
         std::vector<double> features;
         features.reserve(cols.size());
-        for (size_t c : cols)
-            features.push_back(table.cellAsDouble(r, c));
+        for (size_t c : cols) {
+            auto v = table.tryCellAsDouble(r, c);
+            if (!v)
+                return v.error();
+            // Table II metrics are counts and fractions; a negative
+            // value means the profile is corrupt, not unusual.
+            if (v.value() < 0.0)
+                return ingestError(
+                    ErrorKind::Validation,
+                    "negative PKS metric " + table.header()[c] + " = " +
+                        table.cell(r, c) + " at " + where(table, r),
+                    table.source(), table.rowLine(r));
+            features.push_back(v.value());
+        }
         rows.push_back(std::move(features));
     }
     return rows;
+}
+
+std::vector<std::vector<double>>
+parsePksProfile(const CsvTable &table)
+{
+    return unwrapOrFatal(tryParsePksProfile(table));
 }
 
 } // namespace sieve::trace

@@ -9,6 +9,11 @@
  *     (the minimal NVBit-style profile; CTA size is needed for the
  *     Tier-2/3 dominant-CTA representative selection).
  *   - PKS profile: kernel, invocation, plus all 12 Table II metrics.
+ *
+ * The try* parsers validate strictly — required columns, strict
+ * numerics (no wrapping, no inf/nan), strictly increasing invocation
+ * ids, positive instruction counts and CTA sizes — and return
+ * structured errors with file/line context instead of aborting.
  */
 
 #ifndef SIEVE_TRACE_PROFILE_IO_HH
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "common/csv.hh"
+#include "common/error.hh"
 #include "trace/workload.hh"
 
 namespace sieve::trace {
@@ -35,15 +41,33 @@ struct SieveProfileRow
 /** Build the Sieve profile table for a workload. */
 CsvTable sieveProfileTable(const Workload &workload);
 
-/** Parse a Sieve profile table back into rows. */
+/**
+ * Parse and validate a Sieve profile table. Checks, per row: kernel
+ * name non-empty, strictly increasing invocation ids (the profiler
+ * emits rows chronologically), instruction count > 0, and CTA size
+ * in [1, 1024]. Errors carry the offending source line.
+ */
+Expected<std::vector<SieveProfileRow>> tryParseSieveProfile(
+    const CsvTable &table);
+
+/** Parse a Sieve profile table back into rows. fatal() on error. */
 std::vector<SieveProfileRow> parseSieveProfile(const CsvTable &table);
 
 /** Build the PKS 12-metric profile table for a workload. */
 CsvTable pksProfileTable(const Workload &workload);
 
 /**
+ * Parse and validate a PKS profile into per-invocation feature
+ * vectors (invocation order, Table II column order). Metric values
+ * must be finite and non-negative.
+ */
+Expected<std::vector<std::vector<double>>> tryParsePksProfile(
+    const CsvTable &table);
+
+/**
  * Parse a PKS profile back into per-invocation feature vectors
- * (rows in invocation order, Table II column order).
+ * (rows in invocation order, Table II column order). fatal() on
+ * error.
  */
 std::vector<std::vector<double>> parsePksProfile(const CsvTable &table);
 

@@ -38,14 +38,21 @@ opcodeName(Opcode op)
     panic("unknown opcode ", static_cast<int>(op));
 }
 
-Opcode
-parseOpcode(const std::string &name)
+Expected<Opcode>
+tryParseOpcode(const std::string &name)
 {
     for (const auto &e : kOpcodeTable) {
         if (name == e.name)
             return e.op;
     }
-    fatal("unknown opcode mnemonic '", name, "' in trace");
+    return ingestError(ErrorKind::Parse, "unknown opcode mnemonic '" +
+                                             name + "' in trace");
+}
+
+Opcode
+parseOpcode(const std::string &name)
+{
+    return unwrapOrFatal(tryParseOpcode(name));
 }
 
 bool
@@ -119,72 +126,190 @@ writeTraceFile(const KernelTrace &trace, const std::string &path)
     writeTrace(trace, ofs);
 }
 
-KernelTrace
-readTrace(std::istream &is)
+Expected<KernelTrace>
+tryReadTrace(std::istream &is, const std::string &source)
 {
     KernelTrace trace;
     std::string line;
     CtaTrace *cur_cta = nullptr;
     WarpTrace *cur_warp = nullptr;
+    size_t line_no = 0;
+
+    auto err = [&](ErrorKind kind, std::string msg) {
+        return ingestError(kind, std::move(msg), source, line_no);
+    };
+
+    // Parse `count` uint64 fields after the head token; `what` names
+    // the line kind for messages.
+    auto fields = [&](const std::vector<std::string_view> &tokens,
+                      size_t count, const char *what,
+                      uint64_t *out) -> Expected<void> {
+        if (tokens.size() != count + 1)
+            return err(ErrorKind::Parse,
+                       std::string("malformed trace '") + what +
+                           "' line: expected " + std::to_string(count) +
+                           " fields, got " +
+                           std::to_string(tokens.size() - 1));
+        for (size_t i = 0; i < count; ++i) {
+            NumericParse status = parseUint64(tokens[i + 1], out[i]);
+            if (status != NumericParse::Ok)
+                return err(ErrorKind::Parse,
+                           std::string(numericParseMessage(status)) +
+                               " in trace '" + what + "' field '" +
+                               std::string(tokens[i + 1]) + "'");
+        }
+        return {};
+    };
+
+    // A value that must fit a uint32 header field, optionally >= 1.
+    auto u32field = [&](uint64_t v, const char *what, uint64_t lo,
+                        uint32_t &out) -> Expected<void> {
+        if (v < lo || v > UINT32_MAX)
+            return err(ErrorKind::Validation,
+                       std::string("trace '") + what + "' value " +
+                           std::to_string(v) + " outside [" +
+                           std::to_string(lo) + ", 2^32)");
+        out = static_cast<uint32_t>(v);
+        return {};
+    };
 
     while (std::getline(is, line)) {
+        ++line_no;
         auto text = trim(line);
         if (text.empty())
             continue;
-        std::istringstream iss{std::string(text)};
-        std::string head;
-        iss >> head;
+        auto tokens = splitWhitespace(text);
+        std::string head(tokens[0]);
 
         if (head == "kernel") {
-            iss >> trace.kernelName;
+            auto name = trim(text.substr(head.size()));
+            if (name.empty())
+                return err(ErrorKind::Parse,
+                           "malformed trace 'kernel' line: "
+                           "missing kernel name");
+            trace.kernelName = std::string(name);
         } else if (head == "invocation") {
-            iss >> trace.invocationId;
-        } else if (head == "grid") {
-            iss >> trace.launch.grid.x >> trace.launch.grid.y >>
-                trace.launch.grid.z;
-        } else if (head == "cta") {
-            iss >> trace.launch.cta.x >> trace.launch.cta.y >>
-                trace.launch.cta.z;
+            uint64_t v[1];
+            if (auto r = fields(tokens, 1, "invocation", v); !r)
+                return r.error();
+            trace.invocationId = v[0];
+        } else if (head == "grid" || head == "cta") {
+            uint64_t v[3];
+            if (auto r = fields(tokens, 3, head.c_str(), v); !r)
+                return r.error();
+            Dim3 &dim = head == "grid" ? trace.launch.grid
+                                       : trace.launch.cta;
+            if (auto r = u32field(v[0], head.c_str(), 1, dim.x); !r)
+                return r.error();
+            if (auto r = u32field(v[1], head.c_str(), 1, dim.y); !r)
+                return r.error();
+            if (auto r = u32field(v[2], head.c_str(), 1, dim.z); !r)
+                return r.error();
         } else if (head == "shmem") {
-            iss >> trace.launch.sharedMemBytes;
+            uint64_t v[1];
+            if (auto r = fields(tokens, 1, "shmem", v); !r)
+                return r.error();
+            if (auto r = u32field(v[0], "shmem", 0,
+                                  trace.launch.sharedMemBytes);
+                !r)
+                return r.error();
         } else if (head == "regs") {
-            iss >> trace.launch.regsPerThread;
+            uint64_t v[1];
+            if (auto r = fields(tokens, 1, "regs", v); !r)
+                return r.error();
+            // SM register allocators cap a thread at 255 registers.
+            if (v[0] < 1 || v[0] > 255)
+                return err(ErrorKind::Validation,
+                           "trace 'regs' value " + std::to_string(v[0]) +
+                               " outside [1, 255]");
+            trace.launch.regsPerThread = static_cast<uint32_t>(v[0]);
         } else if (head == "replication") {
-            iss >> trace.ctaReplication;
+            uint64_t v[1];
+            if (auto r = fields(tokens, 1, "replication", v); !r)
+                return r.error();
+            if (v[0] < 1)
+                return err(ErrorKind::Validation,
+                           "trace 'replication' must be >= 1");
+            trace.ctaReplication = v[0];
         } else if (head == "cta_begin") {
             trace.ctas.emplace_back();
             cur_cta = &trace.ctas.back();
             cur_warp = nullptr;
         } else if (head == "cta_end") {
+            if (!cur_cta)
+                return err(ErrorKind::Parse,
+                           "trace: 'cta_end' outside cta_begin");
             cur_cta = nullptr;
             cur_warp = nullptr;
         } else if (head == "warp") {
             if (!cur_cta)
-                fatal("trace: 'warp' outside cta_begin/cta_end");
+                return err(ErrorKind::Parse,
+                           "trace: 'warp' outside cta_begin/cta_end");
             cur_cta->warps.emplace_back();
             cur_warp = &cur_cta->warps.back();
         } else {
             if (!cur_warp)
-                fatal("trace: instruction outside a warp block");
+                return err(ErrorKind::Parse,
+                           "trace: instruction outside a warp block");
+            auto op = tryParseOpcode(head);
+            if (!op) {
+                Error e = op.error();
+                e.source = source;
+                e.line = line_no;
+                return e;
+            }
+            uint64_t v[6];
+            if (auto r = fields(tokens, 6, "instruction", v); !r)
+                return r.error();
+            if (v[0] > 255 || v[1] > 255 || v[2] > 255)
+                return err(ErrorKind::Validation,
+                           "trace instruction register id outside "
+                           "[0, 255]");
+            if (v[3] < 1 || v[3] > 32)
+                return err(ErrorKind::Validation,
+                           "trace instruction active lanes " +
+                               std::to_string(v[3]) +
+                               " outside [1, 32]");
+            if (v[4] > 32)
+                return err(ErrorKind::Validation,
+                           "trace instruction sector count " +
+                               std::to_string(v[4]) +
+                               " outside [0, 32]");
             SassInstruction inst;
-            inst.opcode = parseOpcode(head);
-            unsigned dest, src0, src1, lanes, sectors;
-            uint64_t addr;
-            if (!(iss >> dest >> src0 >> src1 >> lanes >> sectors >> addr))
-                fatal("trace: malformed instruction line '",
-                      std::string(text), "'");
-            inst.destReg = static_cast<uint8_t>(dest);
-            inst.srcReg0 = static_cast<uint8_t>(src0);
-            inst.srcReg1 = static_cast<uint8_t>(src1);
-            inst.activeLanes = static_cast<uint8_t>(lanes);
-            inst.sectors = static_cast<uint8_t>(sectors);
-            inst.lineAddress = addr;
+            inst.opcode = op.value();
+            inst.destReg = static_cast<uint8_t>(v[0]);
+            inst.srcReg0 = static_cast<uint8_t>(v[1]);
+            inst.srcReg1 = static_cast<uint8_t>(v[2]);
+            inst.activeLanes = static_cast<uint8_t>(v[3]);
+            inst.sectors = static_cast<uint8_t>(v[4]);
+            inst.lineAddress = v[5];
             cur_warp->instructions.push_back(inst);
         }
     }
+    if (is.bad())
+        return err(ErrorKind::Io, "I/O error while reading trace");
+    if (cur_cta)
+        return err(ErrorKind::Parse,
+                   "trace: unterminated cta_begin (missing cta_end)");
     if (trace.kernelName.empty())
-        fatal("trace: missing kernel header");
+        return err(ErrorKind::Parse, "trace: missing kernel header");
     return trace;
+}
+
+Expected<KernelTrace>
+tryReadTraceFile(const std::string &path)
+{
+    std::ifstream ifs(path);
+    if (!ifs)
+        return ingestError(ErrorKind::Io, "cannot open trace file '" +
+                                              path + "' for reading");
+    return tryReadTrace(ifs, path);
+}
+
+KernelTrace
+readTrace(std::istream &is)
+{
+    return unwrapOrFatal(tryReadTrace(is));
 }
 
 KernelTrace
@@ -193,7 +318,7 @@ readTraceFile(const std::string &path)
     std::ifstream ifs(path);
     if (!ifs)
         fatal("cannot open trace file '", path, "' for reading");
-    return readTrace(ifs);
+    return unwrapOrFatal(tryReadTrace(ifs, path));
 }
 
 } // namespace sieve::trace

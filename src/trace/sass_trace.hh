@@ -9,6 +9,13 @@
  * for this repository's cycle-level simulator: per-warp instruction
  * streams with register dependencies, lane masks, and line-granular
  * memory addresses, plus the plain-text (de)serialization.
+ *
+ * Parsing is recoverable: tryReadTrace() returns Expected with the
+ * source name and 1-based line number of the first problem — bad
+ * mnemonics, wrong field counts, values outside hardware ranges
+ * (registers > 255, lanes outside 1..32, > 32 sectors), structural
+ * violations (instructions outside a warp block), or a missing
+ * header. The fatal() entry points wrap it.
  */
 
 #ifndef SIEVE_TRACE_SASS_TRACE_HH
@@ -19,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "trace/launch_config.hh"
 
 namespace sieve::trace {
@@ -42,6 +50,9 @@ enum class Opcode : uint8_t {
 
 /** Name of an opcode ("FFMA", "LDG", ...). */
 const char *opcodeName(Opcode op);
+
+/** Parse an opcode name; ParseError on unknown mnemonics. */
+Expected<Opcode> tryParseOpcode(const std::string &name);
 
 /** Parse an opcode name; fatal() on unknown mnemonics. */
 Opcode parseOpcode(const std::string &name);
@@ -121,7 +132,18 @@ void writeTrace(const KernelTrace &trace, std::ostream &os);
 /** Serialize a kernel trace to a file. fatal() if unwritable. */
 void writeTraceFile(const KernelTrace &trace, const std::string &path);
 
-/** Parse a kernel trace from the plain-text format. */
+/**
+ * Parse and validate a kernel trace. Errors carry `source` and the
+ * 1-based line number of the offending input line.
+ */
+Expected<KernelTrace> tryReadTrace(std::istream &is,
+                                   const std::string &source =
+                                       "<stream>");
+
+/** tryReadTrace from a file; unreadable files are an IoError. */
+Expected<KernelTrace> tryReadTraceFile(const std::string &path);
+
+/** Parse a kernel trace from the plain-text format. fatal() on error. */
 KernelTrace readTrace(std::istream &is);
 
 /** Parse a kernel trace from a file. fatal() if unreadable. */

@@ -1,7 +1,9 @@
 #include "trace/workload_io.hh"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
+#include <optional>
 
 #include "common/logging.hh"
 
@@ -11,7 +13,12 @@ namespace {
 
 constexpr char kMagic[8] = {'S', 'I', 'E', 'V', 'E', 'W', 'L', '\0'};
 
-// --- little-endian primitive writers/readers ---
+/** Sanity caps: anything larger is a corrupt header, not a workload. */
+constexpr uint32_t kMaxKernels = 1u << 20;
+constexpr uint64_t kMaxInvocations = 1ull << 28;
+constexpr uint32_t kMaxStringLen = 64u << 20;
+
+// --- little-endian primitive writers ---
 
 template <typename T>
 void
@@ -21,36 +28,11 @@ writePod(std::ostream &os, T value)
     os.write(reinterpret_cast<const char *>(&value), sizeof(T));
 }
 
-template <typename T>
-T
-readPod(std::istream &is)
-{
-    static_assert(std::is_trivially_copyable_v<T>);
-    T value{};
-    is.read(reinterpret_cast<char *>(&value), sizeof(T));
-    if (!is)
-        fatal("truncated workload file");
-    return value;
-}
-
 void
 writeString(std::ostream &os, const std::string &s)
 {
     writePod<uint32_t>(os, static_cast<uint32_t>(s.size()));
     os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string
-readString(std::istream &is)
-{
-    uint32_t len = readPod<uint32_t>(is);
-    if (len > (64u << 20))
-        fatal("implausible string length ", len, " in workload file");
-    std::string s(len, '\0');
-    is.read(s.data(), len);
-    if (!is)
-        fatal("truncated workload file");
-    return s;
 }
 
 void
@@ -91,43 +73,168 @@ writeInvocation(std::ostream &os, const KernelInvocation &inv)
     writePod<uint64_t>(os, inv.noiseSeed);
 }
 
+/**
+ * Offset-tracking binary reader. Every read either succeeds or
+ * records a structured error (first error wins) so parse code can
+ * read a whole record and check once.
+ */
+class BinReader
+{
+  public:
+    BinReader(std::istream &is, const std::string &source,
+              size_t initial_offset = 0)
+        : _is(is), _source(source), _offset(initial_offset)
+    {
+    }
+
+    size_t offset() const { return _offset; }
+    bool failed() const { return _error.has_value(); }
+    Error takeError() { return std::move(*_error); }
+
+    template <typename T>
+    T
+    read(const char *what)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value{};
+        if (_error)
+            return value;
+        _is.read(reinterpret_cast<char *>(&value), sizeof(T));
+        if (!_is) {
+            fail(ErrorKind::Io, std::string("truncated workload file: "
+                                            "short read of ") +
+                                    what);
+            return T{};
+        }
+        _offset += sizeof(T);
+        return value;
+    }
+
+    std::string
+    readString(const char *what)
+    {
+        if (_error)
+            return {};
+        uint32_t len = read<uint32_t>(what);
+        if (_error)
+            return {};
+        if (len > kMaxStringLen) {
+            fail(ErrorKind::Validation,
+                 "implausible string length " + std::to_string(len) +
+                     " for " + what);
+            return {};
+        }
+        std::string s(len, '\0');
+        _is.read(s.data(), len);
+        if (!_is) {
+            fail(ErrorKind::Io, std::string("truncated workload file: "
+                                            "short read of ") +
+                                    what);
+            return {};
+        }
+        _offset += len;
+        return s;
+    }
+
+    /** Record a validation failure at the current offset. */
+    void
+    fail(ErrorKind kind, std::string message)
+    {
+        if (!_error)
+            _error = ingestError(kind, std::move(message), _source, 0,
+                                 _offset);
+    }
+
+    /** True when all declared data was consumed and nothing follows. */
+    void
+    requireEof()
+    {
+        if (_error)
+            return;
+        if (_is.peek() != std::char_traits<char>::eof())
+            fail(ErrorKind::Validation,
+                 "trailing bytes after workload data");
+    }
+
+  private:
+    std::istream &_is;
+    const std::string &_source;
+    size_t _offset = 0;
+    std::optional<Error> _error;
+};
+
+/** Reject NaN/Inf and out-of-range fractions from hostile files. */
+bool
+validFraction(double v)
+{
+    return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+}
+
 KernelInvocation
-readInvocation(std::istream &is)
+readInvocation(BinReader &in)
 {
     KernelInvocation inv;
-    inv.kernelId = readPod<uint32_t>(is);
-    inv.invocationId = readPod<uint64_t>(is);
+    inv.kernelId = in.read<uint32_t>("kernel id");
+    inv.invocationId = in.read<uint64_t>("invocation id");
 
-    inv.launch.grid.x = readPod<uint32_t>(is);
-    inv.launch.grid.y = readPod<uint32_t>(is);
-    inv.launch.grid.z = readPod<uint32_t>(is);
-    inv.launch.cta.x = readPod<uint32_t>(is);
-    inv.launch.cta.y = readPod<uint32_t>(is);
-    inv.launch.cta.z = readPod<uint32_t>(is);
-    inv.launch.sharedMemBytes = readPod<uint32_t>(is);
-    inv.launch.regsPerThread = readPod<uint32_t>(is);
+    inv.launch.grid.x = in.read<uint32_t>("grid.x");
+    inv.launch.grid.y = in.read<uint32_t>("grid.y");
+    inv.launch.grid.z = in.read<uint32_t>("grid.z");
+    inv.launch.cta.x = in.read<uint32_t>("cta.x");
+    inv.launch.cta.y = in.read<uint32_t>("cta.y");
+    inv.launch.cta.z = in.read<uint32_t>("cta.z");
+    inv.launch.sharedMemBytes = in.read<uint32_t>("shared mem");
+    inv.launch.regsPerThread = in.read<uint32_t>("regs per thread");
 
-    inv.mix.coalescedGlobalLoads = readPod<uint64_t>(is);
-    inv.mix.coalescedGlobalStores = readPod<uint64_t>(is);
-    inv.mix.coalescedLocalLoads = readPod<uint64_t>(is);
-    inv.mix.threadGlobalLoads = readPod<uint64_t>(is);
-    inv.mix.threadGlobalStores = readPod<uint64_t>(is);
-    inv.mix.threadLocalLoads = readPod<uint64_t>(is);
-    inv.mix.threadSharedLoads = readPod<uint64_t>(is);
-    inv.mix.threadSharedStores = readPod<uint64_t>(is);
-    inv.mix.threadGlobalAtomics = readPod<uint64_t>(is);
-    inv.mix.instructionCount = readPod<uint64_t>(is);
-    inv.mix.divergenceEfficiency = readPod<double>(is);
-    inv.mix.numThreadBlocks = readPod<uint64_t>(is);
+    inv.mix.coalescedGlobalLoads = in.read<uint64_t>("mix field");
+    inv.mix.coalescedGlobalStores = in.read<uint64_t>("mix field");
+    inv.mix.coalescedLocalLoads = in.read<uint64_t>("mix field");
+    inv.mix.threadGlobalLoads = in.read<uint64_t>("mix field");
+    inv.mix.threadGlobalStores = in.read<uint64_t>("mix field");
+    inv.mix.threadLocalLoads = in.read<uint64_t>("mix field");
+    inv.mix.threadSharedLoads = in.read<uint64_t>("mix field");
+    inv.mix.threadSharedStores = in.read<uint64_t>("mix field");
+    inv.mix.threadGlobalAtomics = in.read<uint64_t>("mix field");
+    inv.mix.instructionCount = in.read<uint64_t>("instruction count");
+    inv.mix.divergenceEfficiency =
+        in.read<double>("divergence efficiency");
+    inv.mix.numThreadBlocks = in.read<uint64_t>("thread blocks");
 
-    inv.memory.l1Locality = readPod<double>(is);
-    inv.memory.l2Locality = readPod<double>(is);
-    inv.memory.workingSetBytes = readPod<uint64_t>(is);
-    inv.memory.bankConflictRate = readPod<double>(is);
-    inv.memory.longLatencyFrac = readPod<double>(is);
-    inv.memory.ilp = readPod<double>(is);
+    inv.memory.l1Locality = in.read<double>("l1 locality");
+    inv.memory.l2Locality = in.read<double>("l2 locality");
+    inv.memory.workingSetBytes = in.read<uint64_t>("working set");
+    inv.memory.bankConflictRate = in.read<double>("bank conflicts");
+    inv.memory.longLatencyFrac = in.read<double>("long-latency frac");
+    inv.memory.ilp = in.read<double>("ilp");
 
-    inv.noiseSeed = readPod<uint64_t>(is);
+    inv.noiseSeed = in.read<uint64_t>("noise seed");
+    if (in.failed())
+        return inv;
+
+    if (inv.launch.grid.x == 0 || inv.launch.grid.y == 0 ||
+        inv.launch.grid.z == 0 || inv.launch.cta.x == 0 ||
+        inv.launch.cta.y == 0 || inv.launch.cta.z == 0) {
+        in.fail(ErrorKind::Validation,
+                "zero launch geometry dimension in invocation " +
+                    std::to_string(inv.invocationId));
+        return inv;
+    }
+    if (!validFraction(inv.mix.divergenceEfficiency) ||
+        !validFraction(inv.memory.l1Locality) ||
+        !validFraction(inv.memory.l2Locality) ||
+        !validFraction(inv.memory.bankConflictRate) ||
+        !validFraction(inv.memory.longLatencyFrac)) {
+        in.fail(ErrorKind::Validation,
+                "non-finite or out-of-range fraction in invocation " +
+                    std::to_string(inv.invocationId));
+        return inv;
+    }
+    if (!std::isfinite(inv.memory.ilp) || inv.memory.ilp < 0.0) {
+        in.fail(ErrorKind::Validation,
+                "invalid ilp in invocation " +
+                    std::to_string(inv.invocationId));
+        return inv;
+    }
     return inv;
 }
 
@@ -163,40 +270,110 @@ saveWorkloadFile(const Workload &workload, const std::string &path)
         fatal("write to '", path, "' failed");
 }
 
-Workload
-loadWorkload(std::istream &is)
+Expected<Workload>
+tryLoadWorkload(std::istream &is, const std::string &source)
 {
     char magic[sizeof(kMagic)];
     is.read(magic, sizeof(magic));
-    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        fatal("not a sieve workload file (bad magic)");
-    uint32_t version = readPod<uint32_t>(is);
-    if (version != kWorkloadFormatVersion)
-        fatal("workload file version ", version, " unsupported (want ",
-              kWorkloadFormatVersion, ")");
+    if (!is)
+        return ingestError(ErrorKind::Io,
+                           "truncated workload file: short read of "
+                           "magic",
+                           source, 0, 0);
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return ingestError(ErrorKind::Parse,
+                           "not a sieve workload file (bad magic)",
+                           source, 0, 0);
 
-    std::string suite = readString(is);
-    std::string name = readString(is);
+    BinReader in(is, source, sizeof(kMagic));
+    uint32_t version = in.read<uint32_t>("format version");
+    if (!in.failed() && version != kWorkloadFormatVersion)
+        in.fail(ErrorKind::Validation,
+                "workload file version " + std::to_string(version) +
+                    " unsupported (want " +
+                    std::to_string(kWorkloadFormatVersion) + ")");
+
+    std::string suite = in.readString("suite name");
+    std::string name = in.readString("workload name");
+    uint64_t paper_invocations = in.read<uint64_t>("paper invocations");
+    if (in.failed())
+        return in.takeError();
+
     Workload workload(suite, name);
-    workload.setPaperInvocations(readPod<uint64_t>(is));
+    workload.setPaperInvocations(paper_invocations);
 
-    uint32_t num_kernels = readPod<uint32_t>(is);
-    for (uint32_t k = 0; k < num_kernels; ++k)
-        workload.addKernel(readString(is));
+    uint32_t num_kernels = in.read<uint32_t>("kernel count");
+    if (!in.failed() && num_kernels > kMaxKernels)
+        in.fail(ErrorKind::Validation,
+                "implausible kernel count " +
+                    std::to_string(num_kernels));
+    if (in.failed())
+        return in.takeError();
+    for (uint32_t k = 0; k < num_kernels; ++k) {
+        std::string kernel_name = in.readString("kernel name");
+        if (in.failed())
+            return in.takeError();
+        workload.addKernel(std::move(kernel_name));
+    }
 
-    uint64_t num_invocations = readPod<uint64_t>(is);
-    for (uint64_t i = 0; i < num_invocations; ++i)
-        workload.addInvocation(readInvocation(is));
+    uint64_t num_invocations = in.read<uint64_t>("invocation count");
+    if (!in.failed() && num_invocations > kMaxInvocations)
+        in.fail(ErrorKind::Validation,
+                "implausible invocation count " +
+                    std::to_string(num_invocations));
+    if (in.failed())
+        return in.takeError();
+    for (uint64_t i = 0; i < num_invocations; ++i) {
+        KernelInvocation inv = readInvocation(in);
+        if (in.failed())
+            return in.takeError();
+        // addInvocation() panics on a dangling kernel reference; a
+        // corrupt file must be an error, not an abort.
+        if (inv.kernelId >= workload.numKernels())
+            return ingestError(
+                ErrorKind::Validation,
+                "invocation " + std::to_string(i) +
+                    " references unknown kernel " +
+                    std::to_string(inv.kernelId) + " (of " +
+                    std::to_string(workload.numKernels()) + ")",
+                source, 0, in.offset());
+        if (inv.invocationId != i)
+            return ingestError(
+                ErrorKind::Validation,
+                "invocation ids must be chronological: expected " +
+                    std::to_string(i) + ", found " +
+                    std::to_string(inv.invocationId),
+                source, 0, in.offset());
+        workload.addInvocation(std::move(inv));
+    }
+
+    in.requireEof();
+    if (in.failed())
+        return in.takeError();
     return workload;
+}
+
+Expected<Workload>
+tryLoadWorkloadFile(const std::string &path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        return ingestError(ErrorKind::Io,
+                           "cannot open '" + path + "' for reading",
+                           path, 0, 0);
+    return tryLoadWorkload(ifs, path);
+}
+
+Workload
+loadWorkload(std::istream &is)
+{
+    return unwrapOrFatal(tryLoadWorkload(is));
 }
 
 Workload
 loadWorkloadFile(const std::string &path)
 {
-    std::ifstream ifs(path, std::ios::binary);
-    if (!ifs)
-        fatal("cannot open '", path, "' for reading");
-    return loadWorkload(ifs);
+    return unwrapOrFatal(tryLoadWorkloadFile(path));
 }
 
 } // namespace sieve::trace

@@ -10,6 +10,11 @@
  * file. The format is a versioned little-endian binary: compact
  * enough for 24k-invocation workloads to round-trip in milliseconds,
  * explicit enough to be read by other tools.
+ *
+ * Loading is recoverable: tryLoadWorkload() returns Expected with
+ * byte-offset context on truncation, bad magic, implausible counts,
+ * dangling kernel references, non-finite behaviour fields, or
+ * trailing bytes. The fatal() entry points wrap it.
  */
 
 #ifndef SIEVE_TRACE_WORKLOAD_IO_HH
@@ -18,6 +23,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/error.hh"
 #include "trace/workload.hh"
 
 namespace sieve::trace {
@@ -31,6 +37,17 @@ void saveWorkload(const Workload &workload, std::ostream &os);
 /** Serialize a workload to a file. fatal() if unwritable. */
 void saveWorkloadFile(const Workload &workload,
                       const std::string &path);
+
+/**
+ * Deserialize and validate a workload. Structured errors carry
+ * `source` and the byte offset at which the problem was detected.
+ */
+Expected<Workload> tryLoadWorkload(std::istream &is,
+                                   const std::string &source =
+                                       "<stream>");
+
+/** tryLoadWorkload from a file; unreadable files are an IoError. */
+Expected<Workload> tryLoadWorkloadFile(const std::string &path);
 
 /**
  * Deserialize a workload. fatal() on magic/version mismatch or a

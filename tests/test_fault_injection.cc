@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection harness and the
+ * robustness contract of the ingestion surface: a seeded corruptor
+ * sweep (200 mutations per format) over the profile-CSV, workload-
+ * binary, and SASS-trace readers must produce no crash and no silent
+ * acceptance, errors from the file entry points must carry file +
+ * line (or byte-offset) context, and the whole report must be
+ * byte-identical at --jobs 1 and 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/csv.hh"
+#include "common/error.hh"
+#include "testing/fault_injection.hh"
+#include "trace/profile_io.hh"
+#include "trace/sass_trace.hh"
+#include "trace/workload_io.hh"
+
+namespace sieve::testing {
+namespace {
+
+TEST(FaultInjection, FaultOpNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < kNumFaultOps; ++i) {
+        const char *name = faultOpName(static_cast<FaultOp>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_FALSE(std::string(name).empty());
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), kNumFaultOps);
+}
+
+TEST(FaultInjection, IngestFormatNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < kNumIngestFormats; ++i) {
+        const char *name =
+            ingestFormatName(static_cast<IngestFormat>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_FALSE(std::string(name).empty());
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), kNumIngestFormats);
+}
+
+// The corpora are derived from clean baselines; those baselines must
+// themselves pass the strict parsers, or every sweep case would be a
+// vacuous rejection.
+TEST(FaultInjection, CleanBaselinesParse)
+{
+    {
+        std::istringstream iss(
+            cleanIngestInput(IngestFormat::SieveProfileCsv));
+        auto table = CsvTable::tryRead(iss, "clean-sieve");
+        ASSERT_TRUE(table.ok()) << table.error().toString();
+        auto rows = trace::tryParseSieveProfile(table.value());
+        ASSERT_TRUE(rows.ok()) << rows.error().toString();
+        EXPECT_GT(rows.value().size(), 0u);
+    }
+    {
+        std::istringstream iss(
+            cleanIngestInput(IngestFormat::PksProfileCsv));
+        auto table = CsvTable::tryRead(iss, "clean-pks");
+        ASSERT_TRUE(table.ok()) << table.error().toString();
+        auto rows = trace::tryParsePksProfile(table.value());
+        ASSERT_TRUE(rows.ok()) << rows.error().toString();
+        EXPECT_GT(rows.value().size(), 0u);
+    }
+    {
+        std::istringstream iss(
+            cleanIngestInput(IngestFormat::WorkloadBinary));
+        auto wl = trace::tryLoadWorkload(iss, "clean-workload");
+        ASSERT_TRUE(wl.ok()) << wl.error().toString();
+        EXPECT_GT(wl.value().numInvocations(), 0u);
+    }
+    {
+        std::istringstream iss(
+            cleanIngestInput(IngestFormat::SassTrace));
+        auto kt = trace::tryReadTrace(iss, "clean-trace");
+        ASSERT_TRUE(kt.ok()) << kt.error().toString();
+        EXPECT_GT(kt.value().tracedInstructions(), 0u);
+    }
+}
+
+// Mutation `index` of corpus `label` is a pure function of
+// (seed, label, index): a failing case must reproduce from its
+// coordinates alone.
+TEST(FaultInjection, CorruptorIsDeterministic)
+{
+    const std::string clean =
+        cleanIngestInput(IngestFormat::SieveProfileCsv);
+    Corruptor a(0xC0FFEE);
+    Corruptor b(0xC0FFEE);
+    for (uint64_t i = 0; i < 64; ++i) {
+        auto ma = a.mutate(clean, "corpus", i, /*text=*/true);
+        auto mb = b.mutate(clean, "corpus", i, /*text=*/true);
+        EXPECT_EQ(ma.op, mb.op) << "index " << i;
+        EXPECT_EQ(ma.bytes, mb.bytes) << "index " << i;
+    }
+}
+
+TEST(FaultInjection, CorruptorVariesAcrossIndexSeedAndLabel)
+{
+    const std::string clean =
+        cleanIngestInput(IngestFormat::SassTrace);
+    Corruptor c(1);
+    size_t differ_from_clean = 0;
+    std::set<std::string> corpus;
+    for (uint64_t i = 0; i < 64; ++i) {
+        auto m = c.mutate(clean, "corpus", i, /*text=*/true);
+        corpus.insert(m.bytes);
+        if (m.bytes != clean)
+            ++differ_from_clean;
+    }
+    // Nearly every mutation must actually perturb the input, and the
+    // corpus must not collapse to a handful of duplicates.
+    EXPECT_GE(differ_from_clean, 60u);
+    EXPECT_GE(corpus.size(), 32u);
+
+    // A different seed or label derives a different corpus.
+    Corruptor other(2);
+    size_t seed_diffs = 0;
+    size_t label_diffs = 0;
+    for (uint64_t i = 0; i < 64; ++i) {
+        if (other.mutate(clean, "corpus", i, true).bytes !=
+            c.mutate(clean, "corpus", i, true).bytes)
+            ++seed_diffs;
+        if (c.mutate(clean, "other-corpus", i, true).bytes !=
+            c.mutate(clean, "corpus", i, true).bytes)
+            ++label_diffs;
+    }
+    EXPECT_GT(seed_diffs, 32u);
+    EXPECT_GT(label_diffs, 32u);
+}
+
+// The ISSUE-level contract: >= 200 mutations per format, no crash,
+// no silent acceptance, and a report that is byte-identical whether
+// the sweep ran on one worker or eight.
+TEST(FaultInjection, SweepIsCleanAndJobsInvariant)
+{
+    FuzzOptions opts;
+    opts.seed = 0x5143;
+    opts.mutationsPerFormat = 200;
+
+    opts.jobs = 1;
+    FuzzReport serial = runFuzzIngest(opts);
+    EXPECT_TRUE(serial.ok()) << serial.summary();
+    EXPECT_EQ(serial.totalCases(),
+              opts.mutationsPerFormat * kNumIngestFormats);
+    ASSERT_EQ(serial.formats.size(), kNumIngestFormats);
+    for (const auto &f : serial.formats) {
+        EXPECT_EQ(f.cases, opts.mutationsPerFormat) << f.format;
+        EXPECT_EQ(f.structuredErrors + f.benignAccepts + f.failures,
+                  f.cases)
+            << f.format;
+        // A sweep in which no case is rejected would mean the
+        // corruptor is not actually corrupting.
+        EXPECT_GT(f.structuredErrors, 0u) << f.format;
+    }
+
+    opts.jobs = 8;
+    FuzzReport parallel = runFuzzIngest(opts);
+    EXPECT_TRUE(parallel.ok()) << parallel.summary();
+    EXPECT_EQ(parallel.summary(), serial.summary());
+}
+
+TEST(FaultInjection, FaultyFileMaterializesAndCleansUp)
+{
+    std::string path;
+    {
+        FaultyFile file("payload bytes", "probe");
+        path = file.path();
+        ASSERT_TRUE(std::filesystem::exists(path));
+        std::ifstream ifs(path, std::ios::binary);
+        std::ostringstream oss;
+        oss << ifs.rdbuf();
+        EXPECT_EQ(oss.str(), "payload bytes");
+    }
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+// Errors surfaced through the file entry points must name the file
+// and the position of the problem: line numbers for text formats,
+// byte offsets for the binary one.
+TEST(FaultInjection, FileEntryPointErrorsCarryFileContext)
+{
+    {
+        // Truncated workload binary -> IoError with a byte offset.
+        std::string clean =
+            cleanIngestInput(IngestFormat::WorkloadBinary);
+        FaultyFile file(clean.substr(0, clean.size() / 2), "wl");
+        auto wl = trace::tryLoadWorkloadFile(file.path());
+        ASSERT_FALSE(wl.ok());
+        const Error &e = wl.error();
+        EXPECT_TRUE(e.hasContext()) << e.toString();
+        EXPECT_EQ(e.source, file.path());
+        EXPECT_NE(e.byteOffset, Error::kNoOffset);
+        EXPECT_NE(e.toString().find(file.path()), std::string::npos);
+    }
+    {
+        // Garbage directive in a trace -> ParseError with a line.
+        std::string clean = cleanIngestInput(IngestFormat::SassTrace);
+        FaultyFile file("bogus_directive 1 2 3\n" + clean, "trace");
+        auto kt = trace::tryReadTraceFile(file.path());
+        ASSERT_FALSE(kt.ok());
+        const Error &e = kt.error();
+        EXPECT_EQ(e.kind, ErrorKind::Parse);
+        EXPECT_EQ(e.source, file.path());
+        EXPECT_EQ(e.line, 1u);
+    }
+    {
+        // Ragged CSV row -> ValidationError naming file and line.
+        FaultyFile file("kernel,count\nk0,1\nk1\n", "profile");
+        auto table = CsvTable::tryReadFile(file.path());
+        ASSERT_FALSE(table.ok());
+        const Error &e = table.error();
+        EXPECT_EQ(e.kind, ErrorKind::Validation);
+        EXPECT_EQ(e.source, file.path());
+        EXPECT_EQ(e.line, 3u);
+        EXPECT_NE(e.toString().find(file.path() + ":3"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace sieve::testing

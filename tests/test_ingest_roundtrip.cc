@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Property-based round-trip tests for the ingestion formats: for
+ * seeded randomized workloads, write -> tryRead -> write must be
+ * byte-identical (the canonical-serialization fixpoint the fuzz
+ * harness also relies on), and every well-formed input must come
+ * back Expected-ok. Covers the workload binary, both profile CSV
+ * schemas, and the SASS trace text format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/rng.hh"
+#include "gpusim/trace_synth.hh"
+#include "trace/profile_io.hh"
+#include "trace/sass_trace.hh"
+#include "trace/workload_io.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve {
+namespace {
+
+// A spread of Table I workloads across the five suites, scaled small
+// enough that the whole file runs in well under a second. Each spec's
+// generator stream is seeded from its label, so these are seeded
+// randomized workloads with per-suite character.
+std::vector<trace::Workload>
+sampleWorkloads()
+{
+    auto specs = workloads::allSpecs(/*cap=*/240);
+    std::vector<trace::Workload> out;
+    for (size_t idx : {0u, 7u, 16u, 26u, 36u})
+        out.push_back(workloads::generateWorkload(specs.at(idx)));
+    return out;
+}
+
+std::string
+saveToString(const trace::Workload &wl)
+{
+    std::ostringstream oss;
+    trace::saveWorkload(wl, oss);
+    return oss.str();
+}
+
+std::string
+csvToString(const CsvTable &table)
+{
+    std::ostringstream oss;
+    table.write(oss);
+    return oss.str();
+}
+
+std::string
+traceToString(const trace::KernelTrace &kt)
+{
+    std::ostringstream oss;
+    trace::writeTrace(kt, oss);
+    return oss.str();
+}
+
+TEST(IngestRoundTrip, WorkloadBinaryIsByteIdenticalFixpoint)
+{
+    for (const auto &wl : sampleWorkloads()) {
+        std::string first = saveToString(wl);
+        std::istringstream iss(first);
+        auto loaded = trace::tryLoadWorkload(iss, wl.name());
+        ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+
+        EXPECT_EQ(loaded.value().suite(), wl.suite());
+        EXPECT_EQ(loaded.value().name(), wl.name());
+        EXPECT_EQ(loaded.value().numKernels(), wl.numKernels());
+        EXPECT_EQ(loaded.value().numInvocations(),
+                  wl.numInvocations());
+        EXPECT_EQ(loaded.value().totalInstructions(),
+                  wl.totalInstructions());
+        EXPECT_EQ(loaded.value().paperInvocations(),
+                  wl.paperInvocations());
+
+        EXPECT_EQ(saveToString(loaded.value()), first) << wl.name();
+    }
+}
+
+TEST(IngestRoundTrip, SieveProfileCsvIsByteIdenticalFixpoint)
+{
+    for (const auto &wl : sampleWorkloads()) {
+        CsvTable table = trace::sieveProfileTable(wl);
+        std::string first = csvToString(table);
+
+        std::istringstream iss(first);
+        auto reread = CsvTable::tryRead(iss, wl.name());
+        ASSERT_TRUE(reread.ok()) << reread.error().toString();
+        EXPECT_EQ(csvToString(reread.value()), first) << wl.name();
+
+        auto rows = trace::tryParseSieveProfile(reread.value());
+        ASSERT_TRUE(rows.ok()) << rows.error().toString();
+        ASSERT_EQ(rows.value().size(), wl.numInvocations());
+
+        // Parsed rows must reproduce the workload's ground truth.
+        for (size_t i = 0; i < rows.value().size(); ++i) {
+            const auto &row = rows.value()[i];
+            const auto &inv = wl.invocation(i);
+            EXPECT_EQ(row.kernelName,
+                      wl.kernel(inv.kernelId).name);
+            EXPECT_EQ(row.invocationId, inv.invocationId);
+            EXPECT_EQ(row.instructionCount, inv.instructions());
+            EXPECT_EQ(row.ctaSize, inv.launch.ctaSize());
+        }
+    }
+}
+
+TEST(IngestRoundTrip, PksProfileCsvIsByteIdenticalFixpoint)
+{
+    for (const auto &wl : sampleWorkloads()) {
+        CsvTable table = trace::pksProfileTable(wl);
+        std::string first = csvToString(table);
+
+        std::istringstream iss(first);
+        auto reread = CsvTable::tryRead(iss, wl.name());
+        ASSERT_TRUE(reread.ok()) << reread.error().toString();
+        EXPECT_EQ(csvToString(reread.value()), first) << wl.name();
+
+        auto rows = trace::tryParsePksProfile(reread.value());
+        ASSERT_TRUE(rows.ok()) << rows.error().toString();
+        ASSERT_EQ(rows.value().size(), wl.numInvocations());
+        for (const auto &features : rows.value()) {
+            EXPECT_EQ(features.size(), 12u);
+            for (double v : features) {
+                EXPECT_TRUE(std::isfinite(v));
+                EXPECT_GE(v, 0.0);
+            }
+        }
+    }
+}
+
+TEST(IngestRoundTrip, SynthesizedTraceIsByteIdenticalFixpoint)
+{
+    for (const auto &wl : sampleWorkloads()) {
+        // A few invocations per workload keeps this fast while still
+        // covering every opcode class the synthesizer emits.
+        for (size_t i : {size_t{0}, wl.numInvocations() / 2,
+                         wl.numInvocations() - 1}) {
+            auto kt = gpusim::synthesizeTrace(wl, i);
+            std::string first = traceToString(kt);
+
+            std::istringstream iss(first);
+            auto reread = trace::tryReadTrace(iss, wl.name());
+            ASSERT_TRUE(reread.ok()) << reread.error().toString();
+            EXPECT_EQ(reread.value().kernelName, kt.kernelName);
+            EXPECT_EQ(reread.value().tracedInstructions(),
+                      kt.tracedInstructions());
+            EXPECT_EQ(reread.value().representedInstructions(),
+                      kt.representedInstructions());
+
+            EXPECT_EQ(traceToString(reread.value()), first)
+                << wl.name() << " invocation " << i;
+        }
+    }
+}
+
+// Randomized traces drawn directly from the Rng cover the full legal
+// value ranges (registers up to 255, 1..32 lanes, 0..32 sectors,
+// 64-bit line addresses) that synthesized traces may never hit.
+TEST(IngestRoundTrip, RandomizedTraceIsByteIdenticalFixpoint)
+{
+    Rng root(0x2026'0805);
+    for (uint64_t seed_idx = 0; seed_idx < 16; ++seed_idx) {
+        Rng rng = root.split("roundtrip-trace").split(seed_idx);
+
+        trace::KernelTrace kt;
+        kt.kernelName =
+            "rand_kernel_" + std::to_string(seed_idx);
+        kt.invocationId =
+            static_cast<uint64_t>(rng.uniformInt(0, 1 << 20));
+        kt.launch.grid = {
+            static_cast<uint32_t>(rng.uniformInt(1, 4096)),
+            static_cast<uint32_t>(rng.uniformInt(1, 64)), 1};
+        kt.launch.cta = {
+            static_cast<uint32_t>(rng.uniformInt(1, 1024)), 1, 1};
+        kt.launch.sharedMemBytes =
+            static_cast<uint32_t>(rng.uniformInt(0, 48 * 1024));
+        kt.launch.regsPerThread =
+            static_cast<uint32_t>(rng.uniformInt(1, 255));
+        kt.ctaReplication =
+            static_cast<uint64_t>(rng.uniformInt(1, 1 << 16));
+
+        size_t num_ctas = static_cast<size_t>(rng.uniformInt(1, 3));
+        for (size_t c = 0; c < num_ctas; ++c) {
+            trace::CtaTrace cta;
+            size_t warps = static_cast<size_t>(rng.uniformInt(1, 4));
+            for (size_t w = 0; w < warps; ++w) {
+                trace::WarpTrace warp;
+                size_t n =
+                    static_cast<size_t>(rng.uniformInt(1, 24));
+                for (size_t k = 0; k < n; ++k) {
+                    trace::SassInstruction inst;
+                    inst.opcode = static_cast<trace::Opcode>(
+                        rng.uniformInt(0, 12));
+                    inst.destReg = static_cast<uint8_t>(
+                        rng.uniformInt(0, 255));
+                    inst.srcReg0 = static_cast<uint8_t>(
+                        rng.uniformInt(0, 255));
+                    inst.srcReg1 = static_cast<uint8_t>(
+                        rng.uniformInt(0, 255));
+                    inst.activeLanes = static_cast<uint8_t>(
+                        rng.uniformInt(1, 32));
+                    inst.sectors = static_cast<uint8_t>(
+                        rng.uniformInt(0, 32));
+                    inst.lineAddress = rng.next();
+                    warp.instructions.push_back(inst);
+                }
+                cta.warps.push_back(std::move(warp));
+            }
+            kt.ctas.push_back(std::move(cta));
+        }
+
+        std::string first = traceToString(kt);
+        std::istringstream iss(first);
+        auto reread = trace::tryReadTrace(iss, "rand-trace");
+        ASSERT_TRUE(reread.ok()) << reread.error().toString();
+        EXPECT_EQ(traceToString(reread.value()), first)
+            << "seed index " << seed_idx;
+    }
+}
+
+} // namespace
+} // namespace sieve

@@ -8,13 +8,24 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "common/csv.hh"
+#include "common/error.hh"
+#include "common/quarantine.hh"
+#include "common/thread_pool.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
 #include "profiler/profilers.hh"
 #include "trace/profile_io.hh"
+#include "trace/workload_io.hh"
 #include "workloads/suites.hh"
 
 namespace sieve::eval {
@@ -45,6 +56,28 @@ TEST(Integration, SieveBeatsPksOnChallengingSuites)
     double pks_avg = pks_sum / static_cast<double>(n);
     EXPECT_LT(sieve_avg, 0.03);
     EXPECT_GT(pks_avg, 3.0 * sieve_avg);
+}
+
+TEST(Integration, SieveAvgAndMaxErrorBelowPks)
+{
+    // The paper's headline (Section V-B) holds for the worst case as
+    // well as the mean: on the challenging suites Sieve's largest
+    // per-workload IPC error stays below PKS's largest.
+    double sieve_sum = 0.0, pks_sum = 0.0;
+    double sieve_max = 0.0, pks_max = 0.0;
+    size_t n = 0;
+    for (const auto &spec : workloads::challengingSpecs(6000)) {
+        WorkloadOutcome outcome = sharedContext().run(spec);
+        sieve_sum += outcome.sieve.error;
+        pks_sum += outcome.pks.error;
+        sieve_max = std::max(sieve_max, outcome.sieve.error);
+        pks_max = std::max(pks_max, outcome.pks.error);
+        ++n;
+    }
+    EXPECT_LT(sieve_sum / static_cast<double>(n),
+              pks_sum / static_cast<double>(n));
+    EXPECT_LT(sieve_max, pks_max);
+    EXPECT_LT(sieve_max, 0.10);
 }
 
 TEST(Integration, BothAccurateOnTraditionalSuites)
@@ -170,6 +203,117 @@ TEST(Integration, ReportRendersWithoutCrashing)
     std::string out = ::testing::internal::GetCapturedStdout();
     EXPECT_NE(out.find("12.3%"), std::string::npos);
     EXPECT_NE(out.find("1234.5x"), std::string::npos);
+}
+
+// --- failure isolation across the file-based pipeline ---
+
+/** The numeric identity of an outcome, for exact comparison. */
+void
+expectOutcomesIdentical(const WorkloadOutcome &a,
+                        const WorkloadOutcome &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.suite, b.suite);
+    EXPECT_EQ(a.sieve.predictedCycles, b.sieve.predictedCycles);
+    EXPECT_EQ(a.sieve.measuredCycles, b.sieve.measuredCycles);
+    EXPECT_EQ(a.sieve.error, b.sieve.error);
+    EXPECT_EQ(a.sieve.speedup, b.sieve.speedup);
+    EXPECT_EQ(a.pks.predictedCycles, b.pks.predictedCycles);
+    EXPECT_EQ(a.pks.error, b.pks.error);
+    EXPECT_EQ(a.pks.speedup, b.pks.speedup);
+    EXPECT_EQ(a.sieveResult.numRepresentatives(),
+              b.sieveResult.numRepresentatives());
+    EXPECT_EQ(a.pksResult.numRepresentatives(),
+              b.pksResult.numRepresentatives());
+}
+
+TEST(Integration, QuarantinedWorkloadLeavesOthersByteIdentical)
+{
+    namespace fs = std::filesystem;
+
+    // Export a few challenging workloads to .swl files — the
+    // file-based face of the pipeline, where corruption can happen.
+    auto specs = workloads::challengingSpecs(1200);
+    specs.resize(4);
+    fs::path dir = fs::temp_directory_path() /
+                   ("sieve_quarantine_" +
+                    std::to_string(static_cast<unsigned>(::getpid())));
+    fs::create_directories(dir);
+    std::vector<std::string> paths;
+    for (const auto &spec : specs) {
+        fs::path p = dir / (spec.name + ".swl");
+        trace::saveWorkloadFile(sharedContext().workload(spec),
+                                p.string());
+        paths.push_back(p.string());
+    }
+
+    // Load -> golden -> both samplers, with per-item isolation: a
+    // file that fails to load is quarantined, everything else runs.
+    auto runIsolated = [&](size_t jobs) {
+        ThreadPool pool(jobs);
+        auto results = parallelMap(
+            pool, paths.size(),
+            [&](size_t i) -> Expected<WorkloadOutcome> {
+                auto wl = trace::tryLoadWorkloadFile(paths[i]);
+                if (!wl.ok())
+                    return wl.error();
+                return evaluateWorkload(sharedContext().executor(),
+                                        wl.value(), {}, {}, &pool);
+            });
+        std::pair<std::vector<std::optional<WorkloadOutcome>>,
+                  QuarantineReport>
+            out;
+        for (size_t i = 0; i < results.size(); ++i) {
+            if (results[i].ok())
+                out.first.emplace_back(
+                    std::move(results[i]).value());
+            else {
+                out.first.emplace_back(std::nullopt);
+                out.second.add(i, paths[i], results[i].error());
+            }
+        }
+        return out;
+    };
+
+    auto [clean, clean_report] = runIsolated(1);
+    ASSERT_TRUE(clean_report.allOk()) << clean_report.toString(4);
+
+    // Truncate one workload file mid-stream.
+    const size_t victim = 1;
+    std::string bytes;
+    {
+        std::ifstream ifs(paths[victim], std::ios::binary);
+        std::ostringstream oss;
+        oss << ifs.rdbuf();
+        bytes = oss.str();
+    }
+    {
+        std::ofstream ofs(paths[victim],
+                          std::ios::binary | std::ios::trunc);
+        ofs.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+
+    for (size_t jobs : {size_t{1}, size_t{4}, size_t{8}}) {
+        auto [outcomes, report] = runIsolated(jobs);
+        ASSERT_EQ(report.numQuarantined(), 1u) << "jobs " << jobs;
+        EXPECT_EQ(report.items[0].index, victim);
+        EXPECT_EQ(report.items[0].label, paths[victim]);
+        EXPECT_EQ(report.items[0].error.kind, ErrorKind::Io);
+        EXPECT_EQ(report.items[0].error.source, paths[victim]);
+        ASSERT_EQ(outcomes.size(), clean.size());
+        for (size_t i = 0; i < outcomes.size(); ++i) {
+            if (i == victim) {
+                EXPECT_FALSE(outcomes[i].has_value());
+                continue;
+            }
+            ASSERT_TRUE(outcomes[i].has_value()) << "jobs " << jobs;
+            expectOutcomesIdentical(*outcomes[i], *clean[i]);
+        }
+    }
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
 }
 
 } // namespace

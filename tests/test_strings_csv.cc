@@ -76,6 +76,85 @@ TEST(Strings, Padding)
     EXPECT_EQ(padLeft("long", 2), "long");
 }
 
+// --- strict numeric parsing ---
+
+TEST(Strings, SplitWhitespace)
+{
+    auto parts = splitWhitespace("  a\tbb   c \n");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "bb");
+    EXPECT_EQ(parts[2], "c");
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+    EXPECT_TRUE(splitWhitespace("").empty());
+}
+
+TEST(Strings, ParseUint64Accepts)
+{
+    uint64_t v = 0;
+    EXPECT_EQ(parseUint64("0", v), NumericParse::Ok);
+    EXPECT_EQ(v, 0u);
+    EXPECT_EQ(parseUint64("18446744073709551615", v),
+              NumericParse::Ok);
+    EXPECT_EQ(v, UINT64_MAX);
+}
+
+// Regression: std::stoull silently wrapped "-1" to 2^64-1. The
+// strict parser must reject a negative sign outright.
+TEST(Strings, ParseUint64RejectsNegativeInsteadOfWrapping)
+{
+    uint64_t v = 0;
+    EXPECT_NE(parseUint64("-1", v), NumericParse::Ok);
+    EXPECT_NE(parseUint64("-17", v), NumericParse::Ok);
+}
+
+// Regression: std::stoull threw (and callers aborted) on values past
+// 2^64; the strict parser reports OutOfRange recoverably.
+TEST(Strings, ParseUint64OutOfRange)
+{
+    uint64_t v = 0;
+    EXPECT_EQ(parseUint64("36893488147419103232", v),
+              NumericParse::OutOfRange);
+}
+
+TEST(Strings, ParseUint64RejectsJunk)
+{
+    uint64_t v = 0;
+    EXPECT_EQ(parseUint64("", v), NumericParse::Empty);
+    EXPECT_EQ(parseUint64("12x", v), NumericParse::Trailing);
+    EXPECT_EQ(parseUint64("x", v), NumericParse::Malformed);
+    // No silent whitespace skipping either.
+    EXPECT_NE(parseUint64(" 5", v), NumericParse::Ok);
+    EXPECT_NE(parseUint64("+5", v), NumericParse::Ok);
+}
+
+TEST(Strings, ParseDoubleAccepts)
+{
+    double v = 0.0;
+    EXPECT_EQ(parseDouble("2.5", v), NumericParse::Ok);
+    EXPECT_DOUBLE_EQ(v, 2.5);
+    EXPECT_EQ(parseDouble("1.5e+06", v), NumericParse::Ok);
+    EXPECT_DOUBLE_EQ(v, 1.5e6);
+    EXPECT_EQ(parseDouble("-0.25", v), NumericParse::Ok);
+    EXPECT_DOUBLE_EQ(v, -0.25);
+}
+
+// Regression: std::stod threw out_of_range on overflow ("1e400");
+// now a recoverable OutOfRange status.
+TEST(Strings, ParseDoubleOverflowIsOutOfRange)
+{
+    double v = 0.0;
+    EXPECT_EQ(parseDouble("1e400", v), NumericParse::OutOfRange);
+    EXPECT_EQ(parseDouble("-1e400", v), NumericParse::OutOfRange);
+}
+
+TEST(Strings, ParseDoubleRejectsNonFinite)
+{
+    double v = 0.0;
+    EXPECT_EQ(parseDouble("nan", v), NumericParse::NonFinite);
+    EXPECT_EQ(parseDouble("inf", v), NumericParse::NonFinite);
+}
+
 // --- logging ---
 
 TEST(Logging, LevelGatingRoundTrip)
@@ -163,6 +242,95 @@ TEST(CsvDeathTest, TrailingGarbageIsFatal)
     table.addRow({"12x"});
     EXPECT_EXIT((void)table.cellAsUint(0, 0),
                 ::testing::ExitedWithCode(1), "trailing");
+}
+
+// --- recoverable CSV parsing ---
+
+// Regression: cellAsUint was stoull-based and parsed "-1" as
+// 18446744073709551615. It must be an error now, on both the
+// recoverable and the fatal path.
+TEST(Csv, NegativeUintCellIsAnErrorNotAWrap)
+{
+    CsvTable table({"v"});
+    table.addRow({"-1"});
+    auto v = table.tryCellAsUint(0, 0);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.error().kind, ErrorKind::Parse);
+}
+
+TEST(CsvDeathTest, NegativeUintCellIsFatalOnLegacyPath)
+{
+    CsvTable table({"v"});
+    table.addRow({"-1"});
+    EXPECT_EXIT((void)table.cellAsUint(0, 0),
+                ::testing::ExitedWithCode(1), "malformed");
+}
+
+// Regression: an empty trailing field ("1,") produced
+// std::invalid_argument noise from stod; it is now a distinct,
+// recoverable "empty cell" cause naming the row and column.
+TEST(Csv, EmptyTrailingFieldIsADistinctCause)
+{
+    std::istringstream iss("kernel,count\nk0,\n");
+    auto table = CsvTable::tryRead(iss, "profile.csv");
+    ASSERT_TRUE(table.ok());
+    auto v = table.value().tryCellAsUint(0, 1);
+    ASSERT_FALSE(v.ok());
+    EXPECT_NE(v.error().message.find("empty"), std::string::npos);
+    EXPECT_NE(v.error().message.find("count"), std::string::npos);
+}
+
+TEST(Csv, OutOfRangeCellIsValidationError)
+{
+    CsvTable table({"v"});
+    table.addRow({"36893488147419103232"});
+    auto v = table.tryCellAsUint(0, 0);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.error().kind, ErrorKind::Validation);
+    EXPECT_NE(v.error().message.find("range"), std::string::npos);
+}
+
+TEST(Csv, NonFiniteCellIsValidationError)
+{
+    CsvTable table({"v"});
+    table.addRow({"nan"});
+    auto v = table.tryCellAsDouble(0, 0);
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.error().kind, ErrorKind::Validation);
+}
+
+TEST(Csv, TryReadCarriesSourceAndLineContext)
+{
+    std::istringstream iss("a,b\n1,2\n3\n");
+    auto table = CsvTable::tryRead(iss, "ragged.csv");
+    ASSERT_FALSE(table.ok());
+    const Error &e = table.error();
+    EXPECT_EQ(e.kind, ErrorKind::Validation);
+    EXPECT_TRUE(e.hasContext());
+    EXPECT_EQ(e.source, "ragged.csv");
+    EXPECT_EQ(e.line, 3u);
+    EXPECT_NE(e.message.find("row width"), std::string::npos);
+    EXPECT_NE(e.toString().find("ragged.csv:3"), std::string::npos);
+}
+
+TEST(Csv, TryReadFileReportsIoError)
+{
+    auto table = CsvTable::tryReadFile("/nonexistent/p.csv");
+    ASSERT_FALSE(table.ok());
+    EXPECT_EQ(table.error().kind, ErrorKind::Io);
+}
+
+TEST(Csv, TryCellErrorsCarryRowLine)
+{
+    std::istringstream iss("v\n\n7\nbad\n");
+    auto table = CsvTable::tryRead(iss, "cells.csv");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ(table.value().tryCellAsUint(0, 0).value(), 7u);
+    auto v = table.value().tryCellAsUint(1, 0);
+    ASSERT_FALSE(v.ok());
+    // Row 1 sits on physical line 4 (blank line skipped).
+    EXPECT_EQ(v.error().line, 4u);
+    EXPECT_EQ(v.error().source, "cells.csv");
 }
 
 } // namespace

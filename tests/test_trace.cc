@@ -320,5 +320,98 @@ TEST(WorkloadIoDeathTest, TruncationIsFatal)
                 "truncated");
 }
 
+// --- recoverable ingestion regressions ---
+
+// Regression: instruction fields were parsed with `>>` into unsigned
+// temporaries, so a negative register id wrapped instead of erroring.
+// The strict parser must reject it with file + line context.
+TEST(SassTrace, NegativeInstructionFieldIsRejectedNotWrapped)
+{
+    std::istringstream iss("kernel k\ncta_begin 0\nwarp 0\n"
+                           "IADD -1 0 0 32 0 0\ncta_end\n");
+    auto kt = tryReadTrace(iss, "bad.sass");
+    ASSERT_FALSE(kt.ok());
+    const Error &e = kt.error();
+    EXPECT_EQ(e.kind, ErrorKind::Parse);
+    EXPECT_EQ(e.source, "bad.sass");
+    EXPECT_EQ(e.line, 4u);
+    EXPECT_NE(e.message.find("malformed"), std::string::npos);
+}
+
+// Regression: register/lane/sector fields were narrowed through
+// static_cast<uint8_t>, silently truncating out-of-range values
+// (300 -> 44). They are hardware-range-validated now.
+TEST(SassTrace, OutOfRangeInstructionFieldsAreRejected)
+{
+    auto parse = [](const std::string &inst) {
+        std::istringstream iss("kernel k\ncta_begin 0\nwarp 0\n" +
+                               inst + "\ncta_end\n");
+        return tryReadTrace(iss, "bad.sass");
+    };
+    for (const char *inst : {
+             "IADD 300 0 0 32 0 0", // register id > 255
+             "IADD 1 0 0 0 0 0",    // zero active lanes
+             "IADD 1 0 0 33 0 0",   // lanes > 32
+             "LDG 1 0 0 32 33 0",   // sectors > 32
+         }) {
+        auto kt = parse(inst);
+        ASSERT_FALSE(kt.ok()) << inst;
+        EXPECT_EQ(kt.error().kind, ErrorKind::Validation) << inst;
+        EXPECT_EQ(kt.error().line, 4u) << inst;
+        EXPECT_NE(kt.error().message.find("outside"),
+                  std::string::npos)
+            << inst;
+    }
+}
+
+TEST(SassTrace, TryReadTraceReportsUnknownOpcodeWithContext)
+{
+    std::istringstream iss("kernel k\ncta_begin 0\nwarp 0\n"
+                           "FROB 1 0 0 32 0 0\ncta_end\n");
+    auto kt = tryReadTrace(iss, "bad.sass");
+    ASSERT_FALSE(kt.ok());
+    EXPECT_EQ(kt.error().kind, ErrorKind::Parse);
+    EXPECT_EQ(kt.error().source, "bad.sass");
+    EXPECT_EQ(kt.error().line, 4u);
+    EXPECT_NE(kt.error().message.find("unknown opcode"),
+              std::string::npos);
+}
+
+TEST(WorkloadIo, TryLoadTruncationCarriesByteOffset)
+{
+    Workload original = makeRichWorkload();
+    std::stringstream buffer;
+    saveWorkload(original, buffer);
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() / 2);
+    std::istringstream truncated(bytes);
+    auto wl = tryLoadWorkload(truncated, "half.swl");
+    ASSERT_FALSE(wl.ok());
+    const Error &e = wl.error();
+    EXPECT_EQ(e.kind, ErrorKind::Io);
+    EXPECT_TRUE(e.hasContext()) << e.toString();
+    EXPECT_EQ(e.source, "half.swl");
+    EXPECT_NE(e.byteOffset, Error::kNoOffset);
+    EXPECT_LE(e.byteOffset, bytes.size());
+    EXPECT_NE(e.toString().find("byte"), std::string::npos);
+}
+
+// Regression: the loader used to stop at the declared counts and
+// ignore anything after them, so a concatenated/garbage-suffixed
+// file silently parsed. Trailing bytes are now a validation error.
+TEST(WorkloadIo, TrailingBytesAreRejected)
+{
+    Workload original = makeRichWorkload();
+    std::stringstream buffer;
+    saveWorkload(original, buffer);
+    std::string bytes = buffer.str();
+    std::istringstream padded(bytes + "XYZ");
+    auto wl = tryLoadWorkload(padded, "padded.swl");
+    ASSERT_FALSE(wl.ok());
+    EXPECT_NE(wl.error().message.find("trailing"),
+              std::string::npos);
+    EXPECT_EQ(wl.error().byteOffset, bytes.size());
+}
+
 } // namespace
 } // namespace sieve::trace

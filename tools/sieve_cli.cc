@@ -31,6 +31,11 @@
  *   sieve metrics-diff <a.json> <b.json>
  *       Compare the stable counters of two metrics exports; exit 1
  *       on any difference (the CI determinism gate).
+ *   sieve fuzz-ingest [--seed N] [--mutations N] [--smoke] [--jobs N]
+ *       Replay a seeded corpus of corrupted profiles, workload
+ *       binaries, and traces through the recoverable parsers; exit 1
+ *       if any case crashes or is accepted with invalid content
+ *       (the CI robustness gate).
  *
  * Every command also accepts --trace-out FILE / --metrics-out FILE
  * (or SIEVE_TRACE / SIEVE_METRICS) to record its own execution, and
@@ -59,6 +64,7 @@
 #include "gpusim/sim_batch.hh"
 #include "gpusim/trace_synth.hh"
 #include "profiler/profilers.hh"
+#include "testing/fault_injection.hh"
 #include "sampling/pks.hh"
 #include "sampling/random_sampler.hh"
 #include "sampling/sieve.hh"
@@ -107,7 +113,7 @@ class Args
     needsValue(const std::string &key)
     {
         return key != "pks" && key != "pkp" && key != "by-name" &&
-               key != "csv";
+               key != "csv" && key != "smoke";
     }
 
     const std::vector<std::string> &positional() const
@@ -422,11 +428,14 @@ cmdSimulate(const Args &args)
     }
 
     // Several trace files: the paper's farm-out deployment. Fan the
-    // batch over the pool and summarize one row per trace.
+    // batch over the pool with failure isolation — a bad trace file
+    // is quarantined and reported while the rest simulate — and
+    // summarize one row per trace.
     ThreadPool pool(static_cast<size_t>(
         std::stoul(args.get("jobs", "0"))));
-    gpusim::BatchSimResult batch =
-        gpusim::simulateTraceFiles(sim, args.positional(), pool);
+    gpusim::IsolatedBatchSimResult batch =
+        gpusim::simulateTraceFilesIsolated(sim, args.positional(),
+                                           pool);
 
     eval::Report report("Simulation: " +
                         std::to_string(batch.results.size()) +
@@ -434,12 +443,20 @@ cmdSimulate(const Args &args)
                         " jobs");
     report.setColumns({"trace", "insts", "est. cycles", "est. IPC",
                        "sim time"});
+    double serial_seconds = 0.0, longest = 0.0;
     for (size_t i = 0; i < batch.results.size(); ++i) {
-        const gpusim::KernelSimResult &r = batch.results[i];
+        std::string file = std::filesystem::path(args.positional()[i])
+                               .filename()
+                               .string();
+        if (!batch.results[i]) {
+            report.addRow({file, "-", "-", "-", "(quarantined)"});
+            continue;
+        }
+        const gpusim::KernelSimResult &r = *batch.results[i];
+        serial_seconds += r.wallSeconds;
+        longest = std::max(longest, r.wallSeconds);
         report.addRow({
-            std::filesystem::path(args.positional()[i])
-                .filename()
-                .string(),
+            file,
             eval::Report::count(
                 static_cast<double>(r.instructionsSimulated)),
             eval::Report::count(r.estimatedKernelCycles),
@@ -450,8 +467,39 @@ cmdSimulate(const Args &args)
     report.print();
     std::printf("batch wall time %.3f s (serial-cost model %.3f s, "
                 "longest trace %.3f s)\n",
-                batch.wallSeconds, batch.serialSeconds(),
-                batch.criticalPathSeconds());
+                batch.wallSeconds, serial_seconds, longest);
+    if (!batch.quarantine.allOk()) {
+        std::printf("%s\n",
+                    batch.quarantine.toString(batch.results.size())
+                        .c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int
+cmdFuzzIngest(const Args &args)
+{
+    testing::FuzzOptions opts;
+    opts.seed = static_cast<uint64_t>(
+        std::stoull(args.get("seed", "20803")));
+    opts.mutationsPerFormat = static_cast<size_t>(
+        std::stoul(args.get("mutations", "200")));
+    if (args.has("smoke"))
+        opts.mutationsPerFormat =
+            std::min<size_t>(opts.mutationsPerFormat, 50);
+    opts.jobs =
+        static_cast<size_t>(std::stoul(args.get("jobs", "0")));
+
+    testing::FuzzReport report = testing::runFuzzIngest(opts);
+    std::printf("%s\n", report.summary().c_str());
+    if (!report.ok()) {
+        std::printf("fuzz-ingest FAILED: %zu case(s) accepted "
+                    "invalid input or crashed (seed %llu)\n",
+                    report.failures.size(),
+                    static_cast<unsigned long long>(opts.seed));
+        return 1;
+    }
     return 0;
 }
 
@@ -574,6 +622,10 @@ usage()
         "  simulate <trace>... [--pkp]    cycle-level simulation\n"
         "  trace-summary <trace.json>     per-stage wall-clock table\n"
         "  metrics-diff <a.json> <b.json> compare stable counters\n"
+        "  fuzz-ingest [--seed N] [--mutations N] [--smoke] [--jobs N]\n"
+        "                                 seeded ingestion fuzz sweep;\n"
+        "                                 exit 1 on any accepted-but-\n"
+        "                                 invalid parse or crash\n"
         "global options (all commands):\n"
         "  --trace-out FILE    Chrome trace of this run "
         "(env: SIEVE_TRACE)\n"
@@ -628,6 +680,8 @@ main(int argc, char **argv)
         return cmdTraceSummary(args);
     if (command == "metrics-diff")
         return cmdMetricsDiff(args);
+    if (command == "fuzz-ingest")
+        return cmdFuzzIngest(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
 }
