@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate: strict build, full test suite, then the threaded tests
 # again under ThreadSanitizer, then the perf-harness smoke, then the
-# observability gate, then the ingestion-robustness gate.
+# observability gate, then the ingestion-robustness gate, then the
+# columnar-trace gate.
 #
 #   1. configure + build with -DSIEVE_WERROR=ON (warnings are errors)
 #   2. run the complete ctest suite
@@ -22,6 +23,11 @@
 #      fault-injection/round-trip tests there; then check that the
 #      `ingest.errors.*` and `suite.quarantined` stable counters are
 #      --jobs-invariant through `sieve metrics-diff` (DESIGN.md §9)
+#   7. columnar-trace gate: the round-trip/hibernation property tests
+#      under ASan+UBSan (encode/decode, tier eviction, blob fuzz),
+#      then `sieve trace-stats` at --jobs 1 and 8 — stdout must be
+#      byte-identical and the trace.* stable counters must be
+#      --jobs-invariant (DESIGN.md §10)
 #
 # Build trees: build-ci/ (strict), build-tsan/ and build-asan/
 # (sanitized), kept separate from the developer's build/ so CI never
@@ -32,14 +38,14 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "=== 1/6: strict build (WERROR) ==="
+echo "=== 1/7: strict build (WERROR) ==="
 cmake -B build-ci -S . -DSIEVE_WERROR=ON -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci -j "$JOBS"
 
-echo "=== 2/6: test suite ==="
+echo "=== 2/7: test suite ==="
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== 3/6: threaded tests under TSan ==="
+echo "=== 3/7: threaded tests under TSan ==="
 cmake -B build-tsan -S . -DSIEVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
@@ -56,11 +62,11 @@ cmake --build build-tsan -j "$JOBS" --target \
 ./build-tsan/tests/test_perf_oracle
 ./build-tsan/tests/test_sim_cache
 
-echo "=== 4/6: perf-harness smoke (determinism + schema) ==="
+echo "=== 4/7: perf-harness smoke (determinism + schema) ==="
 ./build-ci/bench/bench_perf --reps 3 --smoke --jobs 8 \
     --out build-ci/BENCH_SMOKE.json
 
-echo "=== 5/6: observability gate ==="
+echo "=== 5/7: observability gate ==="
 OBS_DIR=build-ci/obs-gate
 rm -rf "$OBS_DIR" && mkdir -p "$OBS_DIR"
 
@@ -86,7 +92,7 @@ echo "obs: trace schema OK"
     "$OBS_DIR/metrics_j1.json" "$OBS_DIR/metrics_j8.json"
 echo "obs: stable counters --jobs-invariant"
 
-echo "=== 6/6: ingestion-robustness gate (ASan+UBSan) ==="
+echo "=== 6/7: ingestion-robustness gate (ASan+UBSan) ==="
 cmake -B build-asan -S . -DSIEVE_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS" --target \
@@ -132,6 +138,28 @@ fi
 ./build-ci/tools/sieve metrics-diff \
     "$ROB_DIR/sim_j1.json" "$ROB_DIR/sim_j8.json"
 echo "robust: suite.quarantined --jobs-invariant"
+
+echo "=== 7/7: columnar-trace gate (ASan+UBSan) ==="
+cmake --build build-asan -j "$JOBS" --target test_columnar
+
+# Round-trip, tier-eviction, and blob-corruption properties with
+# memory and UB errors fatal.
+./build-asan/tests/test_columnar
+
+COL_DIR=build-ci/columnar-gate
+rm -rf "$COL_DIR" && mkdir -p "$COL_DIR"
+
+# trace-stats walks sampling -> representative traces -> tier pool;
+# its report and the trace.* stable counters must not depend on the
+# worker count.
+./build-ci/tools/sieve trace-stats gru gst --jobs 1 \
+    --metrics-out "$COL_DIR/stats_j1.json" > "$COL_DIR/stats_j1.txt"
+./build-ci/tools/sieve trace-stats gru gst --jobs 8 \
+    --metrics-out "$COL_DIR/stats_j8.json" > "$COL_DIR/stats_j8.txt"
+cmp "$COL_DIR/stats_j1.txt" "$COL_DIR/stats_j8.txt"
+./build-ci/tools/sieve metrics-diff \
+    "$COL_DIR/stats_j1.json" "$COL_DIR/stats_j8.json"
+echo "columnar: trace-stats output and trace.* --jobs-invariant"
 
 echo
 echo "ci: all gates passed"

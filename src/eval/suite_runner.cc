@@ -43,6 +43,26 @@ SuiteRunner::runSuite(
     });
 }
 
+std::vector<WorkloadTraceStats>
+SuiteRunner::traceStats(
+    const std::vector<workloads::WorkloadSpec> &specs,
+    sampling::SieveConfig sieve_cfg, gpusim::TraceSynthOptions synth,
+    trace::TierConfig tier)
+{
+    sampling::SieveSampler sampler(sieve_cfg);
+    return map(specs, [&](const workloads::WorkloadSpec &spec) {
+        const trace::Workload &workload = _ctx.workload(spec);
+        sampling::SamplingResult sampled =
+            sampler.sample(workload, &_pool);
+        // A pool per workload: its insert sequence (stratum order) is
+        // a pure function of the sampling result, so the Stable
+        // trace.* counters stay jobs-invariant.
+        sampling::RepresentativeTraces reps(workload, sampled, synth,
+                                            tier);
+        return WorkloadTraceStats{spec.suite, spec.name, reps.stats()};
+    });
+}
+
 IsolatedSuiteResult
 SuiteRunner::runSuiteIsolated(
     const std::vector<workloads::WorkloadSpec> &specs,

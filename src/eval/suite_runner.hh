@@ -29,9 +29,18 @@
 #include "common/quarantine.hh"
 #include "common/thread_pool.hh"
 #include "eval/experiment.hh"
+#include "sampling/rep_traces.hh"
 #include "workloads/suites.hh"
 
 namespace sieve::eval {
+
+/** One workload's row in a trace-footprint census (trace-stats). */
+struct WorkloadTraceStats
+{
+    std::string suite;
+    std::string name;
+    sampling::RepTraceSetStats stats;
+};
 
 /** Outcome of a failure-isolated suite run. */
 struct IsolatedSuiteResult
@@ -161,6 +170,19 @@ class SuiteRunner
         }
         return out;
     }
+
+    /**
+     * Per-workload trace-footprint census: sample every spec with
+     * Sieve, build its tiered representative traces (a private
+     * trace::TraceTierPool per workload, so the Stable trace.*
+     * counters stay jobs-invariant), and report footprint and tier
+     * occupancy in registry order.
+     */
+    std::vector<WorkloadTraceStats> traceStats(
+        const std::vector<workloads::WorkloadSpec> &specs,
+        sampling::SieveConfig sieve_cfg = {},
+        gpusim::TraceSynthOptions synth = {},
+        trace::TierConfig tier = trace::TierConfig::fromEnv());
 
     /**
      * Failure-isolated runSuite(): one bad workload is quarantined

@@ -25,7 +25,14 @@ GpuSimulator::GpuSimulator(gpu::ArchConfig arch, GpuSimConfig config)
 KernelSimResult
 GpuSimulator::simulate(const trace::KernelTrace &trace) const
 {
-    SIEVE_ASSERT(!trace.ctas.empty(), "empty kernel trace");
+    return simulate(trace::toColumnar(trace));
+}
+
+KernelSimResult
+GpuSimulator::simulate(const trace::ColumnarTrace &trace) const
+{
+    size_t num_ctas = trace.numCtas();
+    SIEVE_ASSERT(num_ctas != 0, "empty kernel trace");
     obs::Span span("gpusim", "sim:" + trace.kernelName);
     auto wall_start = std::chrono::steady_clock::now();
 
@@ -35,8 +42,7 @@ GpuSimulator::simulate(const trace::KernelTrace &trace) const
     // residency: a half-empty simulated wave would run at lower
     // occupancy than the real machine and bias the extrapolation.
     uint32_t sim_sms = std::clamp<uint32_t>(
-        static_cast<uint32_t>(trace.ctas.size() / cpsm), 1,
-        _config.simSms);
+        static_cast<uint32_t>(num_ctas / cpsm), 1, _config.simSms);
     double machine_fraction = static_cast<double>(sim_sms) /
                               static_cast<double>(_arch.numSms);
 
@@ -65,11 +71,27 @@ GpuSimulator::simulate(const trace::KernelTrace &trace) const
     uint32_t pkp_streak = 0;
     bool pkp_stop = false;
 
-    while (next_cta < trace.ctas.size() && !pkp_stop) {
+    // Per-wave decode state: arena slabs and the warp-view scratch
+    // vector are reused across waves, so the loop below performs no
+    // steady-state allocation.
+    trace::DecodeArena arena;
+    std::vector<trace::DecodedWarp> cta_warps;
+
+    while (next_cta < num_ctas && !pkp_stop) {
+        arena.clear();
         for (auto &sm : sms) {
             for (uint32_t slot = 0;
-                 slot < cpsm && next_cta < trace.ctas.size(); ++slot) {
-                sm.assignCta(&trace.ctas[next_cta++]);
+                 slot < cpsm && next_cta < num_ctas; ++slot) {
+                size_t c = next_cta++;
+                cta_warps.clear();
+                for (size_t w = trace.ctaWarpOffsets[c];
+                     w < trace.ctaWarpOffsets[c + 1]; ++w) {
+                    size_t n = trace::warpInstructionCount(trace, w);
+                    trace::SassInstruction *buf = arena.alloc(n);
+                    trace::decodeWarp(trace, w, buf);
+                    cta_warps.push_back({buf, n});
+                }
+                sm.assignCta(cta_warps.data(), cta_warps.size());
             }
         }
         ++waves_sim;
@@ -169,7 +191,7 @@ GpuSimulator::simulate(const trace::KernelTrace &trace) const
     // needs.
     double total_ctas = static_cast<double>(
         std::max<uint64_t>(trace.launch.numCtas(), 1));
-    double traced_ctas = static_cast<double>(trace.ctas.size());
+    double traced_ctas = static_cast<double>(num_ctas);
     double waves_real = std::ceil(
         total_ctas /
         (static_cast<double>(_arch.numSms) * static_cast<double>(cpsm)));

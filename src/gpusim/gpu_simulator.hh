@@ -21,6 +21,7 @@
 #include "gpusim/cache.hh"
 #include "gpusim/dram.hh"
 #include "gpusim/trace_synth.hh"
+#include "trace/columnar.hh"
 #include "trace/sass_trace.hh"
 
 namespace sieve::gpusim {
@@ -92,7 +93,17 @@ class GpuSimulator
 
     const gpu::ArchConfig &arch() const { return _arch; }
 
-    /** Simulate one kernel trace. */
+    /**
+     * Simulate one columnar kernel trace. Warps are decoded one CTA
+     * wave at a time into a reused arena, so the steady-state loop
+     * does not allocate.
+     */
+    KernelSimResult simulate(const trace::ColumnarTrace &trace) const;
+
+    /**
+     * Simulate one AoS kernel trace (converts to the columnar form;
+     * results are identical because the conversion is lossless).
+     */
     KernelSimResult simulate(const trace::KernelTrace &trace) const;
 
   private:

@@ -105,6 +105,43 @@ simulateTraceFilesCached(const SimCache &cache,
     });
 }
 
+namespace {
+
+/** Pin every handle serially, in input order (see header). */
+std::vector<trace::TraceHandle::Pin>
+pinAll(const std::vector<trace::TraceHandle> &handles)
+{
+    std::vector<trace::TraceHandle::Pin> pins;
+    pins.reserve(handles.size());
+    for (const trace::TraceHandle &handle : handles)
+        pins.push_back(handle.pin());
+    return pins;
+}
+
+} // namespace
+
+BatchSimResult
+simulateHandles(const GpuSimulator &simulator,
+                const std::vector<trace::TraceHandle> &handles,
+                ThreadPool &pool)
+{
+    std::vector<trace::TraceHandle::Pin> pins = pinAll(handles);
+    return runBatch(pins.size(), pool, [&](size_t i) {
+        return simulator.simulate(*pins[i]);
+    });
+}
+
+BatchSimResult
+simulateHandlesCached(const SimCache &cache,
+                      const std::vector<trace::TraceHandle> &handles,
+                      ThreadPool &pool)
+{
+    std::vector<trace::TraceHandle::Pin> pins = pinAll(handles);
+    return runBatchCached(cache, pins.size(), pool, [&](size_t i) {
+        return cache.simulate(*pins[i]);
+    });
+}
+
 size_t
 IsolatedBatchSimResult::numSimulated() const
 {

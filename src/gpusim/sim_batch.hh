@@ -25,6 +25,7 @@
 #include "gpusim/gpu_simulator.hh"
 #include "gpusim/sim_cache.hh"
 #include "trace/sass_trace.hh"
+#include "trace/tier.hh"
 
 namespace sieve::gpusim {
 
@@ -94,6 +95,22 @@ BatchSimResult simulateBatchCached(
 BatchSimResult simulateTraceFilesCached(
     const SimCache &cache, const std::vector<std::string> &paths,
     ThreadPool &pool);
+
+/**
+ * Tier-aware batch: simulate the traces behind a set of TraceHandles
+ * (see trace/tier.hh). Handles are pinned *serially in input order*
+ * before the fan-out — so the rehydration sequence (and therefore
+ * the Stable trace.* counters) is a pure function of the input,
+ * independent of --jobs — and unpinned when the batch completes.
+ */
+BatchSimResult simulateHandles(
+    const GpuSimulator &simulator,
+    const std::vector<trace::TraceHandle> &handles, ThreadPool &pool);
+
+/** Memoized variant of simulateHandles(). */
+BatchSimResult simulateHandlesCached(
+    const SimCache &cache,
+    const std::vector<trace::TraceHandle> &handles, ThreadPool &pool);
 
 /** Outcome of a failure-isolated trace-file batch. */
 struct IsolatedBatchSimResult

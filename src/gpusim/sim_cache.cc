@@ -68,18 +68,57 @@ digestTrace(const trace::KernelTrace &trace)
     return {d.a, d.b};
 }
 
+TraceDigest
+digestTrace(const trace::ColumnarTrace &trace)
+{
+    Digester d;
+    // The exact word sequence of the AoS digestTrace(), replayed
+    // from the columnar streams: same fields, same order, same
+    // packing — so digests survive the representation change.
+    d.u64(trace.launch.grid.x);
+    d.u64(trace.launch.grid.y);
+    d.u64(trace.launch.grid.z);
+    d.u64(trace.launch.cta.x);
+    d.u64(trace.launch.cta.y);
+    d.u64(trace.launch.cta.z);
+    d.u64(trace.launch.sharedMemBytes);
+    d.u64(trace.launch.regsPerThread);
+    d.u64(trace.ctaReplication);
+    d.u64(trace.numCtas());
+    for (size_t c = 0; c < trace.numCtas(); ++c) {
+        size_t wbegin = trace.ctaWarpOffsets[c];
+        size_t wend = trace.ctaWarpOffsets[c + 1];
+        d.u64(wend - wbegin);
+        for (size_t w = wbegin; w < wend; ++w) {
+            trace::WarpDecoder dec(trace, w);
+            d.u64(dec.count());
+            for (size_t i = 0, n = dec.count(); i < n; ++i) {
+                trace::SassInstruction inst = dec.next();
+                uint64_t packed =
+                    static_cast<uint64_t>(inst.opcode) |
+                    (static_cast<uint64_t>(inst.destReg) << 8) |
+                    (static_cast<uint64_t>(inst.srcReg0) << 16) |
+                    (static_cast<uint64_t>(inst.srcReg1) << 24) |
+                    (static_cast<uint64_t>(inst.activeLanes) << 32) |
+                    (static_cast<uint64_t>(inst.sectors) << 40);
+                d.u64(packed);
+                d.u64(inst.lineAddress);
+            }
+        }
+    }
+    return {d.a, d.b};
+}
+
 SimCache::SimCache(const GpuSimulator &simulator) : _simulator(simulator)
 {
 }
 
-KernelSimResult
-SimCache::simulate(const trace::KernelTrace &trace) const
+SimCache::Entry *
+SimCache::lookup(TraceDigest digest) const
 {
     static obs::Counter &c_lookups = obs::counter("gpusim.cache.lookups");
     static obs::Counter &c_hits = obs::counter("gpusim.cache.hits");
     static obs::Counter &c_unique = obs::counter("gpusim.cache.unique");
-
-    TraceDigest digest = digestTrace(trace);
 
     Entry *entry = nullptr;
     bool created = false;
@@ -106,7 +145,23 @@ SimCache::simulate(const trace::KernelTrace &trace) const
         c_unique.add();
     else
         c_hits.add();
+    return entry;
+}
 
+KernelSimResult
+SimCache::simulate(const trace::KernelTrace &trace) const
+{
+    Entry *entry = lookup(digestTrace(trace));
+    std::call_once(entry->once, [&] {
+        entry->result = _simulator.simulate(trace);
+    });
+    return entry->result;
+}
+
+KernelSimResult
+SimCache::simulate(const trace::ColumnarTrace &trace) const
+{
+    Entry *entry = lookup(digestTrace(trace));
     std::call_once(entry->once, [&] {
         entry->result = _simulator.simulate(trace);
     });

@@ -35,6 +35,7 @@
 #include <unordered_map>
 
 #include "gpusim/gpu_simulator.hh"
+#include "trace/columnar.hh"
 #include "trace/sass_trace.hh"
 
 namespace sieve::gpusim {
@@ -71,6 +72,15 @@ struct TraceDigestHash
  */
 TraceDigest digestTrace(const trace::KernelTrace &trace);
 
+/**
+ * Digest a columnar trace. Replays the exact word sequence of the
+ * AoS digestTrace() from the columnar streams, so for any trace `t`,
+ * digestTrace(toColumnar(t)) == digestTrace(t): digest values (and
+ * therefore cache keys and the Stable gpusim.cache.* counters) are
+ * preserved across the representation change.
+ */
+TraceDigest digestTrace(const trace::ColumnarTrace &trace);
+
 /** Aggregate cache statistics (monotonic over the cache's lifetime). */
 struct SimCacheStats
 {
@@ -105,6 +115,13 @@ class SimCache
      */
     KernelSimResult simulate(const trace::KernelTrace &trace) const;
 
+    /**
+     * Columnar-path equivalent of simulate(KernelTrace): identical
+     * digests (see digestTrace overload) mean the two entry points
+     * share cache entries freely.
+     */
+    KernelSimResult simulate(const trace::ColumnarTrace &trace) const;
+
     /** Lifetime lookup/hit/unique totals. */
     SimCacheStats stats() const;
 
@@ -114,6 +131,9 @@ class SimCache
         std::once_flag once;
         KernelSimResult result;
     };
+
+    /** Find-or-create the entry for `digest`, counting the lookup. */
+    Entry *lookup(TraceDigest digest) const;
 
     const GpuSimulator &_simulator;
     mutable std::mutex _mutex; //!< guards the map structure only

@@ -36,14 +36,16 @@ StreamingMultiprocessor::StreamingMultiprocessor(
 }
 
 void
-StreamingMultiprocessor::assignCta(const trace::CtaTrace *cta)
+StreamingMultiprocessor::assignCta(const trace::DecodedWarp *warps,
+                                   size_t count)
 {
-    SIEVE_ASSERT(cta != nullptr, "null CTA");
-    for (const trace::WarpTrace &wt : cta->warps) {
+    SIEVE_ASSERT(warps != nullptr || count == 0, "null CTA");
+    for (size_t w = 0; w < count; ++w) {
         WarpContext ctx;
-        ctx.stream = &wt;
+        ctx.insts = warps[w].insts;
+        ctx.instCount = warps[w].count;
         ctx.pc = 0;
-        ctx.done = wt.instructions.empty();
+        ctx.done = ctx.instCount == 0;
         if (!ctx.done)
             ++_active_warps;
         _warps.push_back(std::move(ctx));
@@ -81,8 +83,7 @@ StreamingMultiprocessor::tryIssue(WarpContext &warp, uint64_t now)
     if (warp.done || warp.stallUntil > now)
         return false;
 
-    const trace::SassInstruction &inst =
-        warp.stream->instructions[warp.pc];
+    const trace::SassInstruction &inst = warp.insts[warp.pc];
 
     // Scoreboard: both sources must be ready.
     if (warp.regReady[inst.srcReg0] > now ||
@@ -215,7 +216,7 @@ StreamingMultiprocessor::tryIssue(WarpContext &warp, uint64_t now)
 
     ++warp.pc;
     ++_stats.warpInstructions;
-    if (!warp.done && warp.pc >= warp.stream->instructions.size()) {
+    if (!warp.done && warp.pc >= warp.instCount) {
         warp.done = true;
         SIEVE_ASSERT(_active_warps > 0, "warp underflow");
         --_active_warps;
@@ -281,8 +282,7 @@ StreamingMultiprocessor::nextEventAfter(uint64_t now) const
         if (warp.done)
             continue;
         uint64_t candidate = warp.stallUntil;
-        const trace::SassInstruction &inst =
-            warp.stream->instructions[warp.pc];
+        const trace::SassInstruction &inst = warp.insts[warp.pc];
         candidate = std::max({candidate, warp.regReady[inst.srcReg0],
                               warp.regReady[inst.srcReg1]});
         if (candidate > now)

@@ -14,7 +14,7 @@
 #include "gpu/arch_config.hh"
 #include "gpusim/cache.hh"
 #include "gpusim/memory_system.hh"
-#include "trace/sass_trace.hh"
+#include "trace/columnar.hh"
 
 namespace sieve::gpusim {
 
@@ -44,8 +44,12 @@ class StreamingMultiprocessor
     /** True while any resident warp has instructions left. */
     bool busy() const { return _active_warps > 0; }
 
-    /** Place a CTA's warps on this SM. @pre there is a free slot */
-    void assignCta(const trace::CtaTrace *cta);
+    /**
+     * Place a decoded CTA's warps on this SM. The instruction spans
+     * must stay valid until clearResidency() (they normally live in
+     * the caller's DecodeArena). @pre there is a free slot
+     */
+    void assignCta(const trace::DecodedWarp *warps, size_t count);
 
     /**
      * Drop completed residency between CTA waves (caches and
@@ -74,7 +78,8 @@ class StreamingMultiprocessor
   private:
     struct WarpContext
     {
-        const trace::WarpTrace *stream = nullptr;
+        const trace::SassInstruction *insts = nullptr;
+        size_t instCount = 0;
         size_t pc = 0;
         uint64_t regReady[32] = {};
         uint64_t stallUntil = 0;

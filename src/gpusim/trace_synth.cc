@@ -151,8 +151,10 @@ synthesizeTrace(const trace::Workload &workload, size_t invocation_index,
         options.contentSeeded ? contentSeed(inv) : inv.noiseSeed;
     Rng base_rng(hashLabel(out.kernelName) ^ stream_seed);
 
+    out.ctas.reserve(traced_ctas);
     for (uint64_t c = 0; c < traced_ctas; ++c) {
         trace::CtaTrace cta;
+        cta.warps.reserve(warps_per_cta);
         // CTA-private slice of the working set plus a shared region,
         // so both intra-CTA reuse and cross-CTA sharing exist.
         uint64_t cta_base = (c * ws_lines) / traced_ctas;

@@ -1,0 +1,46 @@
+#include "sampling/rep_traces.hh"
+
+#include "trace/columnar.hh"
+
+namespace sieve::sampling {
+
+double
+RepTraceSetStats::bytesPerInstruction() const
+{
+    if (instructions == 0)
+        return 0.0;
+    return static_cast<double>(columnarBytes) /
+           static_cast<double>(instructions);
+}
+
+RepresentativeTraces::RepresentativeTraces(
+    const trace::Workload &workload, const SamplingResult &result,
+    gpusim::TraceSynthOptions synth, trace::TierConfig tier)
+    : _pool(tier)
+{
+    _handles.reserve(result.strata.size());
+    for (const Stratum &stratum : result.strata) {
+        trace::ColumnarTrace columnar = trace::toColumnar(
+            gpusim::synthesizeTrace(workload, stratum.representative,
+                                    synth));
+        ++_build.strata;
+        _build.instructions += columnar.numInstructions();
+        _build.aosBytes += trace::aosFootprintBytes(columnar);
+        _build.columnarBytes += columnar.residentBytes();
+        _build.dictionaryEntries += columnar.dictionary.size();
+        _handles.push_back(_pool.insert(std::move(columnar)));
+    }
+}
+
+RepTraceSetStats
+RepresentativeTraces::stats() const
+{
+    RepTraceSetStats out = _build;
+    trace::TraceTierPool::Occupancy occ = _pool.occupancy();
+    out.blobBytes = occ.blobBytes;
+    out.hotTraces = occ.hotTraces;
+    out.coldTraces = occ.coldTraces;
+    return out;
+}
+
+} // namespace sieve::sampling

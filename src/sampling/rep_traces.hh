@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tiered per-stratum representative traces.
+ *
+ * Section V-G of the paper materializes one SASS trace per selected
+ * representative. This module is the memory-aware version of that
+ * step: each stratum's representative invocation is synthesized,
+ * converted to the columnar form (trace/columnar.hh), and parked in
+ * a private `TraceTierPool` (trace/tier.hh) — so only the strata a
+ * consumer actually pins are decoded, and everything else lives as a
+ * compressed blob under the LRU budget.
+ *
+ * One `RepresentativeTraces` instance owns one pool. Builders and
+ * consumers drive the pool's insert/pin sequence deterministically
+ * (strata are processed in stratum order), which is what keeps the
+ * Stable trace.* counters --jobs-invariant when many instances are
+ * built in parallel (see the determinism contract in trace/tier.hh).
+ */
+
+#ifndef SIEVE_SAMPLING_REP_TRACES_HH
+#define SIEVE_SAMPLING_REP_TRACES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/trace_synth.hh"
+#include "sampling/sample.hh"
+#include "trace/tier.hh"
+#include "trace/workload.hh"
+
+namespace sieve::sampling {
+
+/** Aggregate footprint of one workload's representative traces. */
+struct RepTraceSetStats
+{
+    size_t strata = 0;           //!< traces in the set
+    uint64_t instructions = 0;   //!< total traced warp instructions
+    size_t aosBytes = 0;         //!< modeled AoS footprint
+    size_t columnarBytes = 0;    //!< decoded columnar footprint
+    size_t blobBytes = 0;        //!< compressed (cold) footprint
+    size_t dictionaryEntries = 0; //!< summed dictionary sizes
+    size_t hotTraces = 0;        //!< currently decoded
+    size_t coldTraces = 0;       //!< currently hibernated
+
+    /** columnarBytes / instructions (0 when empty). */
+    double bytesPerInstruction() const;
+};
+
+/**
+ * The tiered trace set of one workload's sampling result: one
+ * TraceHandle per stratum, in stratum order, backed by a private
+ * tier pool.
+ */
+class RepresentativeTraces
+{
+  public:
+    /**
+     * Synthesize, columnarize, and tier every stratum's
+     * representative trace.
+     */
+    RepresentativeTraces(
+        const trace::Workload &workload, const SamplingResult &result,
+        gpusim::TraceSynthOptions synth = {},
+        trace::TierConfig tier = trace::TierConfig::fromEnv());
+
+    /** Handles in stratum order. */
+    const std::vector<trace::TraceHandle> &handles() const
+    {
+        return _handles;
+    }
+
+    const trace::TraceHandle &
+    handle(size_t stratum) const
+    {
+        return _handles[stratum];
+    }
+
+    size_t size() const { return _handles.size(); }
+
+    /** The backing pool (for occupancy / budget queries). */
+    const trace::TraceTierPool &pool() const { return _pool; }
+
+    /** Build-time footprint totals + current tier occupancy. */
+    RepTraceSetStats stats() const;
+
+  private:
+    trace::TraceTierPool _pool;
+    std::vector<trace::TraceHandle> _handles;
+    RepTraceSetStats _build; //!< totals accumulated during build
+};
+
+} // namespace sieve::sampling
+
+#endif // SIEVE_SAMPLING_REP_TRACES_HH

@@ -1,0 +1,847 @@
+#include "trace/columnar.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace sieve::trace {
+
+namespace {
+
+/** Pack the six byte-sized instruction fields into one word. */
+uint64_t
+packTuple(const SassInstruction &inst)
+{
+    return static_cast<uint64_t>(inst.opcode) |
+           (static_cast<uint64_t>(inst.destReg) << 8) |
+           (static_cast<uint64_t>(inst.srcReg0) << 16) |
+           (static_cast<uint64_t>(inst.srcReg1) << 24) |
+           (static_cast<uint64_t>(inst.activeLanes) << 32) |
+           (static_cast<uint64_t>(inst.sectors) << 40);
+}
+
+/** FNV-1a over a byte range (the serialization checksum). */
+uint64_t
+fnv1a(const uint8_t *data, size_t n)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < n; ++i)
+        h = (h ^ data[i]) * 0x100000001b3ULL;
+    return h;
+}
+
+constexpr uint32_t kMagic = 0x54435653; // "SVCT" little-endian
+constexpr uint8_t kVersion = 1;
+
+} // namespace
+
+namespace detail {
+
+void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+} // namespace detail
+
+size_t
+ColumnarTrace::residentBytes() const
+{
+    return sizeof(ColumnarTrace) + kernelName.size() +
+           ctaWarpOffsets.size() * sizeof(uint32_t) +
+           warpInstOffsets.size() * sizeof(uint64_t) +
+           warpAddrOffsets.size() * sizeof(uint64_t) +
+           dictionary.size() * sizeof(SassInstruction) +
+           tupleIndex.size() * sizeof(uint16_t) +
+           inlineTuples.size() *
+               sizeof(std::pair<uint64_t, SassInstruction>) +
+           addrDeltas.size() +
+           addrExceptions.size() * sizeof(std::pair<uint64_t, uint64_t>);
+}
+
+double
+ColumnarTrace::bytesPerInstruction() const
+{
+    uint64_t insts = numInstructions();
+    if (insts == 0)
+        return 0.0;
+    return static_cast<double>(residentBytes()) /
+           static_cast<double>(insts);
+}
+
+size_t
+aosFootprintBytes(const ColumnarTrace &trace)
+{
+    return sizeof(KernelTrace) + trace.kernelName.size() +
+           trace.numInstructions() * sizeof(SassInstruction) +
+           trace.numWarps() * sizeof(WarpTrace) +
+           trace.numCtas() * sizeof(CtaTrace);
+}
+
+ColumnarTrace
+toColumnar(const KernelTrace &trace)
+{
+    ColumnarTrace out;
+    out.kernelName = trace.kernelName;
+    out.invocationId = trace.invocationId;
+    out.launch = trace.launch;
+    out.ctaReplication = trace.ctaReplication;
+
+    uint64_t insts = trace.tracedInstructions();
+    size_t warps = 0;
+    for (const auto &cta : trace.ctas)
+        warps += cta.warps.size();
+    SIEVE_ASSERT(warps <= UINT32_MAX,
+                 "trace exceeds 2^32 warps; cannot columnarize");
+
+    out.ctaWarpOffsets.reserve(trace.ctas.size() + 1);
+    out.warpInstOffsets.reserve(warps + 1);
+    out.warpAddrOffsets.reserve(warps + 1);
+    out.tupleIndex.reserve(static_cast<size_t>(insts));
+
+    std::unordered_map<uint64_t, uint16_t> dict;
+    dict.reserve(256);
+
+    uint64_t gi = 0;
+    for (const auto &cta : trace.ctas) {
+        for (const auto &warp : cta.warps) {
+            uint64_t prev_addr = 0;
+            for (const SassInstruction &inst : warp.instructions) {
+                uint64_t key = packTuple(inst);
+                auto it = dict.find(key);
+                uint16_t idx;
+                if (it != dict.end()) {
+                    idx = it->second;
+                } else if (out.dictionary.size() <
+                           ColumnarTrace::kInlineTuple) {
+                    idx = static_cast<uint16_t>(out.dictionary.size());
+                    SassInstruction entry = inst;
+                    entry.lineAddress = 0;
+                    out.dictionary.push_back(entry);
+                    dict.emplace(key, idx);
+                } else {
+                    // Dictionary full: spill the tuple inline.
+                    idx = ColumnarTrace::kInlineTuple;
+                    SassInstruction entry = inst;
+                    entry.lineAddress = 0;
+                    out.inlineTuples.emplace_back(gi, entry);
+                }
+                out.tupleIndex.push_back(idx);
+
+                if (isGlobalMemory(inst.opcode)) {
+                    int64_t delta = static_cast<int64_t>(
+                        inst.lineAddress - prev_addr);
+                    detail::putVarint(out.addrDeltas,
+                                      detail::zigzag(delta));
+                    prev_addr = inst.lineAddress;
+                } else if (inst.lineAddress != 0) {
+                    out.addrExceptions.emplace_back(gi,
+                                                    inst.lineAddress);
+                }
+                ++gi;
+            }
+            out.warpInstOffsets.push_back(gi);
+            out.warpAddrOffsets.push_back(out.addrDeltas.size());
+        }
+        out.ctaWarpOffsets.push_back(
+            static_cast<uint32_t>(out.warpInstOffsets.size() - 1));
+    }
+    return out;
+}
+
+WarpDecoder::WarpDecoder(const ColumnarTrace &trace, size_t warp)
+    : _trace(trace), _gi(trace.warpInstOffsets[warp]),
+      _left(warpInstructionCount(trace, warp)), _count(_left),
+      _addrPos(static_cast<size_t>(trace.warpAddrOffsets[warp]))
+{
+    auto by_first = [](const auto &a, uint64_t b) {
+        return a.first < b;
+    };
+    _inlinePos = static_cast<size_t>(
+        std::lower_bound(trace.inlineTuples.begin(),
+                         trace.inlineTuples.end(), _gi, by_first) -
+        trace.inlineTuples.begin());
+    _excPos = static_cast<size_t>(
+        std::lower_bound(trace.addrExceptions.begin(),
+                         trace.addrExceptions.end(), _gi, by_first) -
+        trace.addrExceptions.begin());
+}
+
+SassInstruction
+WarpDecoder::next()
+{
+    SIEVE_ASSERT(_left != 0, "WarpDecoder::next past end of warp");
+    --_left;
+
+    uint16_t idx = _trace.tupleIndex[static_cast<size_t>(_gi)];
+    SassInstruction inst;
+    if (idx != ColumnarTrace::kInlineTuple) {
+        inst = _trace.dictionary[idx];
+    } else {
+        inst = _trace.inlineTuples[_inlinePos].second;
+        ++_inlinePos;
+    }
+
+    if (isGlobalMemory(inst.opcode)) {
+        uint64_t zz = 0;
+        unsigned shift = 0;
+        uint8_t b;
+        do {
+            b = _trace.addrDeltas[_addrPos++];
+            zz |= static_cast<uint64_t>(b & 0x7f) << shift;
+            shift += 7;
+        } while (b & 0x80);
+        _prevAddr += static_cast<uint64_t>(detail::unzigzag(zz));
+        inst.lineAddress = _prevAddr;
+    } else if (_excPos < _trace.addrExceptions.size() &&
+               _trace.addrExceptions[_excPos].first == _gi) {
+        inst.lineAddress = _trace.addrExceptions[_excPos].second;
+        ++_excPos;
+    }
+    ++_gi;
+    return inst;
+}
+
+size_t
+decodeWarp(const ColumnarTrace &trace, size_t w, SassInstruction *out)
+{
+    // The simulator's hot loop. Hoisting the column base pointers
+    // into locals matters: `out` has the same type as the dictionary
+    // elements, so writing through it could alias any
+    // SassInstruction the columns own, and without the locals the
+    // compiler must reload every base pointer per instruction.
+    const uint64_t gi0 = trace.warpInstOffsets[w];
+    const size_t n =
+        static_cast<size_t>(trace.warpInstOffsets[w + 1] - gi0);
+    const uint16_t *tuples = trace.tupleIndex.data() + gi0;
+    const SassInstruction *dict = trace.dictionary.data();
+    const uint8_t *deltas = trace.addrDeltas.data();
+    size_t addr_pos = static_cast<size_t>(trace.warpAddrOffsets[w]);
+    uint64_t prev_addr = 0;
+
+    // Side-table cursors; both tables are rare, usually empty.
+    auto by_first = [](const auto &a, uint64_t b) {
+        return a.first < b;
+    };
+    const auto *inl =
+        trace.inlineTuples.data() +
+        (std::lower_bound(trace.inlineTuples.begin(),
+                          trace.inlineTuples.end(), gi0, by_first) -
+         trace.inlineTuples.begin());
+    const auto *exc =
+        trace.addrExceptions.data() +
+        (std::lower_bound(trace.addrExceptions.begin(),
+                          trace.addrExceptions.end(), gi0, by_first) -
+         trace.addrExceptions.begin());
+    const auto *exc_end =
+        trace.addrExceptions.data() + trace.addrExceptions.size();
+
+    auto readDelta = [&]() {
+        // Fast path: deltas between neighbouring cache-line
+        // addresses are almost always one varint byte.
+        uint8_t b = deltas[addr_pos++];
+        uint64_t zz = b & 0x7f;
+        if (b & 0x80) {
+            unsigned shift = 7;
+            do {
+                b = deltas[addr_pos++];
+                zz |= static_cast<uint64_t>(b & 0x7f) << shift;
+                shift += 7;
+            } while (b & 0x80);
+        }
+        prev_addr += static_cast<uint64_t>(detail::unzigzag(zz));
+        return prev_addr;
+    };
+
+    // Clean-path split: when neither side table intersects this
+    // warp's range (the overwhelmingly common case), the warp's
+    // addresses are pre-decoded from its delta byte range
+    // (warpAddrOffsets bounds it exactly) and the instruction loop
+    // becomes a branchless dictionary gather + conditional-move
+    // patch — no data-dependent branch per instruction, which is
+    // what raw-AoS-competitive decode bandwidth requires.
+    bool clean = (inl == trace.inlineTuples.data() +
+                             trace.inlineTuples.size() ||
+                  inl->first >= gi0 + n) &&
+                 (exc == exc_end || exc->first >= gi0 + n);
+    const size_t addr_end =
+        static_cast<size_t>(trace.warpAddrOffsets[w + 1]);
+    constexpr size_t kMaxStackAddrs = 1024;
+    if (clean && addr_end - addr_pos <= kMaxStackAddrs) {
+        // Each delta is >= 1 byte, so the byte range bounds the count.
+        uint64_t addrs[kMaxStackAddrs + 1];
+        size_t na = 0;
+        while (addr_pos < addr_end)
+            addrs[na++] = readDelta();
+        addrs[na] = 0; // sentinel: read (and discarded) past the end
+        // Dictionary entries carry lineAddress == 0 by invariant, so
+        // the whole 16-byte entry is copied with memcpy (one vector
+        // load + store instead of per-field moves) and the address
+        // slot is then overwritten unconditionally: the masked value
+        // is addrs[c] for a memory op and 0 — the entry's own value —
+        // otherwise. No data-dependent branch anywhere in the loop.
+        constexpr uint64_t mem_mask =
+            (1u << static_cast<uint8_t>(Opcode::Ldg)) |
+            (1u << static_cast<uint8_t>(Opcode::Stg)) |
+            (1u << static_cast<uint8_t>(Opcode::Ldl)) |
+            (1u << static_cast<uint8_t>(Opcode::Stl)) |
+            (1u << static_cast<uint8_t>(Opcode::Atom));
+        size_t c = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const SassInstruction *e = dict + tuples[i];
+            std::memcpy(out + i, e, sizeof(SassInstruction));
+            uint64_t m =
+                (mem_mask >> static_cast<uint8_t>(e->opcode)) & 1u;
+            out[i].lineAddress = addrs[c] & (0 - m);
+            c += m;
+        }
+        return n;
+    }
+    if (clean) {
+        for (size_t i = 0; i < n; ++i) {
+            SassInstruction inst = dict[tuples[i]];
+            if (isGlobalMemory(inst.opcode))
+                inst.lineAddress = readDelta();
+            out[i] = inst;
+        }
+        return n;
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        uint16_t idx = tuples[i];
+        SassInstruction inst;
+        if (idx != ColumnarTrace::kInlineTuple) {
+            inst = dict[idx];
+        } else {
+            inst = inl->second;
+            ++inl;
+        }
+        if (isGlobalMemory(inst.opcode)) {
+            inst.lineAddress = readDelta();
+        } else if (exc != exc_end && exc->first == gi0 + i) {
+            inst.lineAddress = exc->second;
+            ++exc;
+        }
+        out[i] = inst;
+    }
+    return n;
+}
+
+KernelTrace
+toAos(const ColumnarTrace &trace)
+{
+    KernelTrace out;
+    out.kernelName = trace.kernelName;
+    out.invocationId = trace.invocationId;
+    out.launch = trace.launch;
+    out.ctaReplication = trace.ctaReplication;
+
+    out.ctas.resize(trace.numCtas());
+    for (size_t c = 0; c < trace.numCtas(); ++c) {
+        CtaTrace &cta = out.ctas[c];
+        size_t wbegin = trace.ctaWarpOffsets[c];
+        size_t wend = trace.ctaWarpOffsets[c + 1];
+        cta.warps.resize(wend - wbegin);
+        for (size_t w = wbegin; w < wend; ++w) {
+            WarpTrace &warp = cta.warps[w - wbegin];
+            WarpDecoder dec(trace, w);
+            warp.instructions.reserve(dec.count());
+            for (size_t i = 0, n = dec.count(); i < n; ++i)
+                warp.instructions.push_back(dec.next());
+        }
+    }
+    return out;
+}
+
+SassInstruction *
+DecodeArena::alloc(size_t n)
+{
+    if (_slab >= _slabs.size() || _slabs[_slab].size() - _used < n) {
+        // Advance to the first retained slab that fits, else grow.
+        ++_slab;
+        while (_slab < _slabs.size() && _slabs[_slab].size() < n)
+            ++_slab;
+        if (_slab >= _slabs.size()) {
+            _slab = _slabs.size();
+            _slabs.emplace_back(std::max(n, kMinSlab));
+        }
+        _used = 0;
+    }
+    SassInstruction *p = _slabs[_slab].data() + _used;
+    _used += n;
+    _allocated += n;
+    return p;
+}
+
+void
+DecodeArena::clear()
+{
+    _slab = 0;
+    _used = 0;
+    _allocated = 0;
+}
+
+size_t
+DecodeArena::capacityBytes() const
+{
+    size_t total = 0;
+    for (const auto &slab : _slabs)
+        total += slab.size() * sizeof(SassInstruction);
+    return total;
+}
+
+std::vector<uint8_t>
+encodeColumnar(const ColumnarTrace &trace)
+{
+    using detail::putVarint;
+    std::vector<uint8_t> out;
+    out.reserve(64 + trace.tupleIndex.size() * 2 +
+                trace.addrDeltas.size() + trace.dictionary.size() * 6);
+
+    out.push_back(static_cast<uint8_t>(kMagic));
+    out.push_back(static_cast<uint8_t>(kMagic >> 8));
+    out.push_back(static_cast<uint8_t>(kMagic >> 16));
+    out.push_back(static_cast<uint8_t>(kMagic >> 24));
+    out.push_back(kVersion);
+
+    putVarint(out, trace.kernelName.size());
+    out.insert(out.end(), trace.kernelName.begin(),
+               trace.kernelName.end());
+    putVarint(out, trace.invocationId);
+    putVarint(out, trace.launch.grid.x);
+    putVarint(out, trace.launch.grid.y);
+    putVarint(out, trace.launch.grid.z);
+    putVarint(out, trace.launch.cta.x);
+    putVarint(out, trace.launch.cta.y);
+    putVarint(out, trace.launch.cta.z);
+    putVarint(out, trace.launch.sharedMemBytes);
+    putVarint(out, trace.launch.regsPerThread);
+    putVarint(out, trace.ctaReplication);
+
+    // Extent tables as per-level counts (offsets are recomputed on
+    // decode, which also revalidates monotonicity for free).
+    putVarint(out, trace.numCtas());
+    for (size_t c = 0; c < trace.numCtas(); ++c)
+        putVarint(out, trace.ctaWarpOffsets[c + 1] -
+                           trace.ctaWarpOffsets[c]);
+    for (size_t w = 0; w < trace.numWarps(); ++w)
+        putVarint(out, warpInstructionCount(trace, w));
+
+    auto put_tuple = [&out](const SassInstruction &inst) {
+        out.push_back(static_cast<uint8_t>(inst.opcode));
+        out.push_back(inst.destReg);
+        out.push_back(inst.srcReg0);
+        out.push_back(inst.srcReg1);
+        out.push_back(inst.activeLanes);
+        out.push_back(inst.sectors);
+    };
+
+    putVarint(out, trace.dictionary.size());
+    for (const SassInstruction &entry : trace.dictionary)
+        put_tuple(entry);
+
+    for (uint16_t idx : trace.tupleIndex) {
+        out.push_back(static_cast<uint8_t>(idx));
+        out.push_back(static_cast<uint8_t>(idx >> 8));
+    }
+
+    putVarint(out, trace.inlineTuples.size());
+    for (const auto &[gi, entry] : trace.inlineTuples) {
+        putVarint(out, gi);
+        put_tuple(entry);
+    }
+
+    putVarint(out, trace.addrDeltas.size());
+    out.insert(out.end(), trace.addrDeltas.begin(),
+               trace.addrDeltas.end());
+
+    putVarint(out, trace.addrExceptions.size());
+    for (const auto &[gi, addr] : trace.addrExceptions) {
+        putVarint(out, gi);
+        putVarint(out, addr);
+    }
+
+    uint64_t checksum = fnv1a(out.data(), out.size());
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(checksum >> (8 * i)));
+    return out;
+}
+
+namespace {
+
+/** Bounds-checked cursor over canonical columnar bytes. */
+struct ByteReader
+{
+    const uint8_t *data;
+    size_t size;
+    size_t pos = 0;
+
+    size_t remaining() const { return size - pos; }
+
+    bool
+    readByte(uint8_t &out)
+    {
+        if (pos >= size)
+            return false;
+        out = data[pos++];
+        return true;
+    }
+
+    bool
+    readVarint(uint64_t &out)
+    {
+        out = 0;
+        unsigned shift = 0;
+        for (int i = 0; i < 10; ++i) {
+            uint8_t b;
+            if (!readByte(b))
+                return false;
+            if (i == 9 && b > 1)
+                return false; // would overflow 64 bits
+            out |= static_cast<uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return true;
+            shift += 7;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+Expected<ColumnarTrace>
+tryDecodeColumnar(const uint8_t *data, size_t size,
+                  const std::string &source)
+{
+    ByteReader r{data, size};
+
+    auto err = [&](ErrorKind kind, std::string msg) {
+        return ingestError(kind,
+                           "columnar trace: " + std::move(msg) +
+                               " (offset " + std::to_string(r.pos) + ")",
+                           source);
+    };
+    auto truncated = [&](const char *what) {
+        return err(ErrorKind::Parse,
+                   std::string("truncated ") + what);
+    };
+
+    if (size < 5 + 8)
+        return err(ErrorKind::Parse, "shorter than header + checksum");
+
+    uint64_t stored_sum = 0;
+    for (int i = 0; i < 8; ++i)
+        stored_sum |= static_cast<uint64_t>(data[size - 8 + i])
+                      << (8 * i);
+    if (fnv1a(data, size - 8) != stored_sum)
+        return err(ErrorKind::Validation, "checksum mismatch");
+    r.size = size - 8; // the payload the cursor may consume
+
+    uint32_t magic = static_cast<uint32_t>(data[0]) |
+                     (static_cast<uint32_t>(data[1]) << 8) |
+                     (static_cast<uint32_t>(data[2]) << 16) |
+                     (static_cast<uint32_t>(data[3]) << 24);
+    if (magic != kMagic)
+        return err(ErrorKind::Parse, "bad magic");
+    if (data[4] != kVersion)
+        return err(ErrorKind::Parse,
+                   "unsupported version " + std::to_string(data[4]));
+    r.pos = 5;
+
+    ColumnarTrace out;
+
+    uint64_t name_len;
+    if (!r.readVarint(name_len))
+        return truncated("kernel name length");
+    if (name_len == 0)
+        return err(ErrorKind::Validation, "empty kernel name");
+    if (name_len > r.remaining())
+        return truncated("kernel name");
+    out.kernelName.assign(
+        reinterpret_cast<const char *>(r.data + r.pos),
+        static_cast<size_t>(name_len));
+    r.pos += static_cast<size_t>(name_len);
+
+    // Header scalars, validated to the text parser's ranges.
+    auto read_u32 = [&](uint32_t &field, const char *what,
+                        uint64_t lo) -> Expected<void> {
+        uint64_t v;
+        if (!r.readVarint(v))
+            return truncated(what);
+        if (v < lo || v > UINT32_MAX)
+            return err(ErrorKind::Validation,
+                       std::string(what) + " value " +
+                           std::to_string(v) + " outside [" +
+                           std::to_string(lo) + ", 2^32)");
+        field = static_cast<uint32_t>(v);
+        return {};
+    };
+
+    if (!r.readVarint(out.invocationId))
+        return truncated("invocation id");
+    if (auto e = read_u32(out.launch.grid.x, "grid.x", 1); !e)
+        return e.error();
+    if (auto e = read_u32(out.launch.grid.y, "grid.y", 1); !e)
+        return e.error();
+    if (auto e = read_u32(out.launch.grid.z, "grid.z", 1); !e)
+        return e.error();
+    if (auto e = read_u32(out.launch.cta.x, "cta.x", 1); !e)
+        return e.error();
+    if (auto e = read_u32(out.launch.cta.y, "cta.y", 1); !e)
+        return e.error();
+    if (auto e = read_u32(out.launch.cta.z, "cta.z", 1); !e)
+        return e.error();
+    if (auto e = read_u32(out.launch.sharedMemBytes, "shmem", 0); !e)
+        return e.error();
+    if (auto e = read_u32(out.launch.regsPerThread, "regs", 1); !e)
+        return e.error();
+    if (out.launch.regsPerThread > 255)
+        return err(ErrorKind::Validation,
+                   "regs value " +
+                       std::to_string(out.launch.regsPerThread) +
+                       " outside [1, 255]");
+    if (!r.readVarint(out.ctaReplication))
+        return truncated("replication");
+    if (out.ctaReplication < 1)
+        return err(ErrorKind::Validation, "replication must be >= 1");
+
+    // Extent tables.
+    uint64_t num_ctas;
+    if (!r.readVarint(num_ctas))
+        return truncated("cta count");
+    if (num_ctas > r.remaining())
+        return err(ErrorKind::Parse, "cta count exceeds payload");
+    out.ctaWarpOffsets.reserve(static_cast<size_t>(num_ctas) + 1);
+    uint64_t num_warps = 0;
+    for (uint64_t c = 0; c < num_ctas; ++c) {
+        uint64_t warps;
+        if (!r.readVarint(warps))
+            return truncated("cta warp count");
+        num_warps += warps;
+        if (num_warps > UINT32_MAX)
+            return err(ErrorKind::Validation,
+                       "warp count exceeds 2^32");
+        out.ctaWarpOffsets.push_back(
+            static_cast<uint32_t>(num_warps));
+    }
+    if (num_warps > r.remaining())
+        return err(ErrorKind::Parse, "warp count exceeds payload");
+    out.warpInstOffsets.reserve(static_cast<size_t>(num_warps) + 1);
+    uint64_t num_insts = 0;
+    for (uint64_t w = 0; w < num_warps; ++w) {
+        uint64_t insts;
+        if (!r.readVarint(insts))
+            return truncated("warp instruction count");
+        num_insts += insts;
+        if (num_insts > (uint64_t{1} << 48))
+            return err(ErrorKind::Validation,
+                       "instruction count exceeds 2^48");
+        out.warpInstOffsets.push_back(num_insts);
+    }
+
+    // Dictionary.
+    auto read_tuple = [&](SassInstruction &inst,
+                          const char *what) -> Expected<void> {
+        if (r.remaining() < 6)
+            return truncated(what);
+        uint8_t op = r.data[r.pos];
+        if (op > static_cast<uint8_t>(Opcode::Exit))
+            return err(ErrorKind::Validation,
+                       "opcode id " + std::to_string(op) +
+                           " out of range");
+        inst.opcode = static_cast<Opcode>(op);
+        inst.destReg = r.data[r.pos + 1];
+        inst.srcReg0 = r.data[r.pos + 2];
+        inst.srcReg1 = r.data[r.pos + 3];
+        inst.activeLanes = r.data[r.pos + 4];
+        inst.sectors = r.data[r.pos + 5];
+        r.pos += 6;
+        if (inst.activeLanes < 1 || inst.activeLanes > 32)
+            return err(ErrorKind::Validation,
+                       "active lanes " +
+                           std::to_string(inst.activeLanes) +
+                           " outside [1, 32]");
+        if (inst.sectors > 32)
+            return err(ErrorKind::Validation,
+                       "sector count " +
+                           std::to_string(inst.sectors) +
+                           " outside [0, 32]");
+        inst.lineAddress = 0;
+        return {};
+    };
+
+    uint64_t dict_size;
+    if (!r.readVarint(dict_size))
+        return truncated("dictionary size");
+    if (dict_size >= ColumnarTrace::kInlineTuple)
+        return err(ErrorKind::Validation,
+                   "dictionary size " + std::to_string(dict_size) +
+                       " exceeds 65534");
+    if (dict_size * 6 > r.remaining())
+        return truncated("dictionary");
+    out.dictionary.reserve(static_cast<size_t>(dict_size));
+    for (uint64_t i = 0; i < dict_size; ++i) {
+        SassInstruction entry;
+        if (auto e = read_tuple(entry, "dictionary entry"); !e)
+            return e.error();
+        out.dictionary.push_back(entry);
+    }
+
+    // Tuple index stream.
+    if (num_insts * 2 > r.remaining())
+        return truncated("tuple index stream");
+    out.tupleIndex.reserve(static_cast<size_t>(num_insts));
+    uint64_t inline_refs = 0;
+    for (uint64_t i = 0; i < num_insts; ++i) {
+        uint16_t idx = static_cast<uint16_t>(
+            r.data[r.pos] |
+            (static_cast<uint16_t>(r.data[r.pos + 1]) << 8));
+        r.pos += 2;
+        if (idx == ColumnarTrace::kInlineTuple)
+            ++inline_refs;
+        else if (idx >= dict_size)
+            return err(ErrorKind::Validation,
+                       "tuple index " + std::to_string(idx) +
+                           " outside dictionary of " +
+                           std::to_string(dict_size));
+        out.tupleIndex.push_back(idx);
+    }
+
+    // Inline (overflow) tuples: must match the escape marks 1:1.
+    uint64_t inline_count;
+    if (!r.readVarint(inline_count))
+        return truncated("inline tuple count");
+    if (inline_count != inline_refs)
+        return err(ErrorKind::Validation,
+                   std::to_string(inline_count) +
+                       " inline tuples for " +
+                       std::to_string(inline_refs) +
+                       " escape marks");
+    out.inlineTuples.reserve(static_cast<size_t>(inline_count));
+    uint64_t prev_gi = 0;
+    for (uint64_t i = 0; i < inline_count; ++i) {
+        uint64_t gi;
+        if (!r.readVarint(gi))
+            return truncated("inline tuple index");
+        if (gi >= num_insts || (i > 0 && gi <= prev_gi))
+            return err(ErrorKind::Validation,
+                       "inline tuple index " + std::to_string(gi) +
+                           " not ascending within trace");
+        if (out.tupleIndex[static_cast<size_t>(gi)] !=
+            ColumnarTrace::kInlineTuple)
+            return err(ErrorKind::Validation,
+                       "inline tuple at index " + std::to_string(gi) +
+                           " without escape mark");
+        prev_gi = gi;
+        SassInstruction entry;
+        if (auto e = read_tuple(entry, "inline tuple"); !e)
+            return e.error();
+        out.inlineTuples.emplace_back(gi, entry);
+    }
+
+    // Address delta stream; walking every warp recomputes
+    // warpAddrOffsets and verifies the stream length exactly.
+    uint64_t addr_bytes;
+    if (!r.readVarint(addr_bytes))
+        return truncated("address stream length");
+    if (addr_bytes > r.remaining())
+        return truncated("address stream");
+    out.addrDeltas.assign(r.data + r.pos,
+                          r.data + r.pos + addr_bytes);
+    r.pos += static_cast<size_t>(addr_bytes);
+
+    // Address exceptions.
+    uint64_t exc_count;
+    if (!r.readVarint(exc_count))
+        return truncated("address exception count");
+    if (exc_count > r.remaining())
+        return err(ErrorKind::Parse,
+                   "address exception count exceeds payload");
+    out.addrExceptions.reserve(static_cast<size_t>(exc_count));
+    prev_gi = 0;
+    for (uint64_t i = 0; i < exc_count; ++i) {
+        uint64_t gi, addr;
+        if (!r.readVarint(gi))
+            return truncated("address exception index");
+        if (!r.readVarint(addr))
+            return truncated("address exception value");
+        if (gi >= num_insts || (i > 0 && gi <= prev_gi))
+            return err(ErrorKind::Validation,
+                       "address exception index " +
+                           std::to_string(gi) +
+                           " not ascending within trace");
+        if (addr == 0)
+            return err(ErrorKind::Validation,
+                       "address exception with zero address");
+        prev_gi = gi;
+        out.addrExceptions.emplace_back(gi, addr);
+    }
+
+    if (r.pos != r.size)
+        return err(ErrorKind::Parse,
+                   std::to_string(r.size - r.pos) +
+                       " trailing payload bytes");
+
+    // Replay every warp's delta stream: rebuilds warpAddrOffsets and
+    // rejects malformed varints, stream length mismatches, and
+    // exceptions that alias a global-memory instruction.
+    out.warpAddrOffsets.clear();
+    out.warpAddrOffsets.reserve(static_cast<size_t>(num_warps) + 1);
+    size_t apos = 0;
+    size_t exc_pos = 0;
+    uint64_t gi = 0;
+    for (uint64_t w = 0; w < num_warps; ++w) {
+        out.warpAddrOffsets.push_back(apos);
+        uint64_t count = out.warpInstOffsets[w + 1] -
+                         out.warpInstOffsets[w];
+        for (uint64_t i = 0; i < count; ++i, ++gi) {
+            uint16_t idx = out.tupleIndex[static_cast<size_t>(gi)];
+            Opcode op;
+            if (idx != ColumnarTrace::kInlineTuple) {
+                op = out.dictionary[idx].opcode;
+            } else {
+                auto it = std::lower_bound(
+                    out.inlineTuples.begin(), out.inlineTuples.end(),
+                    gi, [](const auto &a, uint64_t b) {
+                        return a.first < b;
+                    });
+                op = it->second.opcode;
+            }
+            bool is_mem = isGlobalMemory(op);
+            if (exc_pos < out.addrExceptions.size() &&
+                out.addrExceptions[exc_pos].first == gi) {
+                if (is_mem)
+                    return err(ErrorKind::Validation,
+                               "address exception on global-memory "
+                               "instruction " + std::to_string(gi));
+                ++exc_pos;
+            }
+            if (!is_mem)
+                continue;
+            bool more = true;
+            for (int b = 0; more; ++b) {
+                if (apos >= out.addrDeltas.size() || b >= 10)
+                    return err(ErrorKind::Parse,
+                               "malformed address delta for "
+                               "instruction " + std::to_string(gi));
+                more = (out.addrDeltas[apos++] & 0x80) != 0;
+            }
+        }
+    }
+    if (apos != out.addrDeltas.size())
+        return err(ErrorKind::Parse,
+                   std::to_string(out.addrDeltas.size() - apos) +
+                       " unconsumed address stream bytes");
+    out.warpAddrOffsets.push_back(apos);
+
+    return out;
+}
+
+} // namespace sieve::trace

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Columnar (SoA) kernel-trace representation.
+ *
+ * The AoS `KernelTrace` — nested vectors of 16-byte per-instruction
+ * structs — is the interchange and reference form, but it dominates
+ * the resident footprint of anything that keeps many traces alive
+ * (the evaluation pipeline, batch simulation, and the future serving
+ * daemon / shard store of ROADMAP items 1–2). `ColumnarTrace` is the
+ * compact resident form:
+ *
+ *   - CTA/warp nesting is flattened into extent tables
+ *     (`ctaWarpOffsets`, `warpInstOffsets`) instead of nested
+ *     vectors, so a trace is a handful of flat arrays.
+ *   - The six byte-sized instruction fields (opcode, registers,
+ *     lanes, sectors) are dictionary-encoded: each distinct tuple is
+ *     stored once and every instruction is a 2-byte dictionary
+ *     index. Real traces draw from a few hundred distinct tuples, so
+ *     this is the dominant win (16 B/inst -> 2 B/inst).
+ *   - `lineAddress` values of global-memory instructions form a
+ *     delta-encoded zigzag-varint stream, reset per warp so any warp
+ *     can be decoded independently (`warpAddrOffsets`).
+ *
+ * Conversions are lossless by contract: `toAos(toColumnar(t))` is
+ * byte-identical to `t` under `writeTrace`, for *any* AoS trace —
+ * including degenerate ones a parser would produce (non-memory
+ * opcodes carrying a nonzero lineAddress are preserved through the
+ * `addrExceptions` side table, dictionary overflow past 65535 tuples
+ * spills losslessly into `inlineTuples`).
+ *
+ * `encodeColumnar`/`tryDecodeColumnar` define the *canonical
+ * columnar bytes*: a checksummed, fully validated serialization used
+ * by the tier layer (trace/tier.hh) as the hibernation payload. The
+ * decoder enforces the same semantic ranges as the text-trace parser
+ * (lanes 1..32, sectors <= 32, regs 1..255, dims >= 1), so corrupted
+ * bytes come back as a structured Error, never as silently-wrong
+ * instructions.
+ *
+ * `DecodeArena` + `decodeWarp` are the simulator's decode loop: warp
+ * streams are materialized into reusable arena slabs one CTA wave at
+ * a time, so steady-state simulation performs no allocation at all.
+ */
+
+#ifndef SIEVE_TRACE_COLUMNAR_HH
+#define SIEVE_TRACE_COLUMNAR_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hh"
+#include "trace/sass_trace.hh"
+
+namespace sieve::trace {
+
+/** A decoded warp instruction stream (points into a DecodeArena). */
+struct DecodedWarp
+{
+    const SassInstruction *insts = nullptr;
+    size_t count = 0;
+};
+
+/** Columnar (SoA) form of one kernel invocation's trace. */
+struct ColumnarTrace
+{
+    /** tupleIndex escape: the tuple lives in `inlineTuples`. */
+    static constexpr uint16_t kInlineTuple = 0xffff;
+
+    std::string kernelName;
+    uint64_t invocationId = 0;
+    LaunchConfig launch;
+    uint64_t ctaReplication = 1;
+
+    /** Warp range of CTA c: [ctaWarpOffsets[c], ctaWarpOffsets[c+1]). */
+    std::vector<uint32_t> ctaWarpOffsets{0};
+
+    /** Instruction range of warp w (global instruction indexes). */
+    std::vector<uint64_t> warpInstOffsets{0};
+
+    /** Byte offset of warp w's slice of `addrDeltas`. */
+    std::vector<uint64_t> warpAddrOffsets{0};
+
+    /**
+     * Distinct (opcode, destReg, srcReg0, srcReg1, activeLanes,
+     * sectors) tuples in first-appearance order; `lineAddress` of an
+     * entry is always 0 (addresses live in the streams below).
+     */
+    std::vector<SassInstruction> dictionary;
+
+    /** Per-instruction dictionary index (kInlineTuple = spilled). */
+    std::vector<uint16_t> tupleIndex;
+
+    /**
+     * Overflow tuples for traces with > 65535 distinct tuples:
+     * (global instruction index, tuple), ascending by index.
+     */
+    std::vector<std::pair<uint64_t, SassInstruction>> inlineTuples;
+
+    /**
+     * Zigzag-varint deltas of the lineAddress of every global-memory
+     * instruction, in stream order, delta base reset to 0 at each
+     * warp boundary.
+     */
+    std::vector<uint8_t> addrDeltas;
+
+    /**
+     * Nonzero lineAddress on a *non*-global-memory instruction
+     * (never emitted by the synthesizer, but representable in the
+     * text format): (global instruction index, address), ascending.
+     */
+    std::vector<std::pair<uint64_t, uint64_t>> addrExceptions;
+
+    size_t numCtas() const { return ctaWarpOffsets.size() - 1; }
+    size_t numWarps() const { return warpInstOffsets.size() - 1; }
+    uint64_t numInstructions() const { return warpInstOffsets.back(); }
+
+    /** Warp instructions across traced CTAs (without replication). */
+    uint64_t tracedInstructions() const { return numInstructions(); }
+
+    /** Total warp instructions the trace stands for. */
+    uint64_t
+    representedInstructions() const
+    {
+        return numInstructions() * ctaReplication;
+    }
+
+    /** Heap + struct footprint of this resident representation. */
+    size_t residentBytes() const;
+
+    /** residentBytes() / instructions (0 when empty). */
+    double bytesPerInstruction() const;
+};
+
+/** Lossless AoS -> columnar conversion. */
+ColumnarTrace toColumnar(const KernelTrace &trace);
+
+/** Lossless columnar -> AoS conversion. */
+KernelTrace toAos(const ColumnarTrace &trace);
+
+/**
+ * Modeled heap footprint of the AoS form of `trace`: instruction,
+ * warp-vector, and CTA-vector storage. The baseline the columnar
+ * form is measured against (`trace.bytes_per_instruction`).
+ */
+size_t aosFootprintBytes(const ColumnarTrace &trace);
+
+/** Instruction count of warp `w`. */
+inline size_t
+warpInstructionCount(const ColumnarTrace &trace, size_t w)
+{
+    return static_cast<size_t>(trace.warpInstOffsets[w + 1] -
+                               trace.warpInstOffsets[w]);
+}
+
+/**
+ * Sequential decoder over one warp's instruction stream. Cheap to
+ * construct; `next()` materializes one SassInstruction at a time
+ * (dictionary lookup + address-delta accumulation), so a full pass
+ * never allocates.
+ */
+class WarpDecoder
+{
+  public:
+    WarpDecoder(const ColumnarTrace &trace, size_t warp);
+
+    /** Instructions in this warp. */
+    size_t count() const { return _count; }
+
+    /** Decode the next instruction. @pre fewer than count() calls */
+    SassInstruction next();
+
+  private:
+    const ColumnarTrace &_trace;
+    uint64_t _gi;        //!< next global instruction index
+    size_t _left;        //!< instructions remaining
+    size_t _count;
+    size_t _addrPos;     //!< cursor into addrDeltas
+    uint64_t _prevAddr = 0;
+    size_t _inlinePos;   //!< cursor into inlineTuples
+    size_t _excPos;      //!< cursor into addrExceptions
+};
+
+/**
+ * Decode warp `w` into `out` (capacity >= warpInstructionCount).
+ * Returns the instruction count.
+ */
+size_t decodeWarp(const ColumnarTrace &trace, size_t w,
+                  SassInstruction *out);
+
+/**
+ * Bump allocator of SassInstruction buffers for the simulator's
+ * decode loop: `clear()` retires every allocation but keeps the
+ * slabs, so the per-wave decode of a long simulation reuses the same
+ * memory instead of churning the heap. Slab data pointers stay valid
+ * until clear().
+ */
+class DecodeArena
+{
+  public:
+    /** Contiguous buffer of `n` instructions (valid until clear()). */
+    SassInstruction *alloc(size_t n);
+
+    /** Retire all allocations; slabs are kept for reuse. */
+    void clear();
+
+    /** Instructions currently allocated. */
+    size_t allocated() const { return _allocated; }
+
+    /** Slab bytes owned (high-water, survives clear()). */
+    size_t capacityBytes() const;
+
+  private:
+    static constexpr size_t kMinSlab = 1 << 14; //!< instructions
+
+    std::vector<std::vector<SassInstruction>> _slabs;
+    size_t _slab = 0;      //!< active slab index
+    size_t _used = 0;      //!< instructions used in the active slab
+    size_t _allocated = 0;
+};
+
+/**
+ * Canonical byte serialization of a columnar trace: magic + version,
+ * header varints, extent counts, dictionary, index/address streams,
+ * and a trailing FNV-1a checksum. This is the hibernation payload of
+ * trace/tier.hh and the byte string property tests round-trip.
+ */
+std::vector<uint8_t> encodeColumnar(const ColumnarTrace &trace);
+
+/**
+ * Parse and validate canonical columnar bytes. Enforces the text
+ * parser's semantic ranges plus structural consistency (offsets,
+ * stream lengths, checksum), so arbitrary corruption yields a
+ * structured Error — never a crash or silently-wrong trace. Errors
+ * carry `source` and the byte offset of the first problem.
+ */
+Expected<ColumnarTrace> tryDecodeColumnar(
+    const uint8_t *data, size_t size,
+    const std::string &source = "<columnar>");
+
+namespace detail {
+
+/** Append an LEB128 varint. */
+void putVarint(std::vector<uint8_t> &out, uint64_t v);
+
+/** Zigzag-encode a signed delta. */
+inline uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+/** Invert zigzag(). */
+inline int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^
+           -static_cast<int64_t>(v & 1);
+}
+
+} // namespace detail
+
+} // namespace sieve::trace
+
+#endif // SIEVE_TRACE_COLUMNAR_HH

@@ -1,5 +1,6 @@
 #include "trace/sass_trace.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -53,19 +54,6 @@ Opcode
 parseOpcode(const std::string &name)
 {
     return unwrapOrFatal(tryParseOpcode(name));
-}
-
-bool
-isGlobalMemory(Opcode op)
-{
-    return op == Opcode::Ldg || op == Opcode::Stg || op == Opcode::Ldl ||
-           op == Opcode::Stl || op == Opcode::Atom;
-}
-
-bool
-isSharedMemory(Opcode op)
-{
-    return op == Opcode::Lds || op == Opcode::Sts;
 }
 
 uint64_t
@@ -134,6 +122,13 @@ tryReadTrace(std::istream &is, const std::string &source)
     CtaTrace *cur_cta = nullptr;
     WarpTrace *cur_warp = nullptr;
     size_t line_no = 0;
+    size_t prev_warp_insts = 0; //!< sizing hint for the next warp
+
+    // Pre-sizing from header counts instead of growing incrementally;
+    // capped so a hostile header cannot force a huge allocation.
+    constexpr uint64_t kMaxCtaReserve = 4096;
+    constexpr uint64_t kMaxWarpReserve = 64;
+    constexpr size_t kMaxInstReserve = size_t{1} << 20;
 
     auto err = [&](ErrorKind kind, std::string msg) {
         return ingestError(kind, std::move(msg), source, line_no);
@@ -232,6 +227,17 @@ tryReadTrace(std::istream &is, const std::string &source)
                            "trace 'replication' must be >= 1");
             trace.ctaReplication = v[0];
         } else if (head == "cta_begin") {
+            if (trace.ctas.empty()) {
+                // Headers precede CTA blocks in the written format:
+                // traced CTAs = launched CTAs / replication.
+                uint64_t launched = trace.launch.numCtas();
+                uint64_t traced =
+                    (launched + trace.ctaReplication - 1) /
+                    trace.ctaReplication;
+                trace.ctas.reserve(static_cast<size_t>(
+                    std::min(std::max<uint64_t>(traced, 1),
+                             kMaxCtaReserve)));
+            }
             trace.ctas.emplace_back();
             cur_cta = &trace.ctas.back();
             cur_warp = nullptr;
@@ -245,8 +251,20 @@ tryReadTrace(std::istream &is, const std::string &source)
             if (!cur_cta)
                 return err(ErrorKind::Parse,
                            "trace: 'warp' outside cta_begin/cta_end");
+            if (cur_warp)
+                prev_warp_insts = cur_warp->instructions.size();
+            if (cur_cta->warps.empty()) {
+                cur_cta->warps.reserve(static_cast<size_t>(std::min(
+                    std::max<uint64_t>(trace.launch.warpsPerCta(), 1),
+                    kMaxWarpReserve)));
+            }
             cur_cta->warps.emplace_back();
             cur_warp = &cur_cta->warps.back();
+            // Warp streams within a kernel have near-uniform length:
+            // the previous warp's count is the best available hint.
+            if (prev_warp_insts > 0)
+                cur_warp->instructions.reserve(
+                    std::min(prev_warp_insts, kMaxInstReserve));
         } else {
             if (!cur_warp)
                 return err(ErrorKind::Parse,

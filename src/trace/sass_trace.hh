@@ -57,11 +57,29 @@ Expected<Opcode> tryParseOpcode(const std::string &name);
 /** Parse an opcode name; fatal() on unknown mnemonics. */
 Opcode parseOpcode(const std::string &name);
 
-/** True for opcodes that access global/local memory (through caches). */
-bool isGlobalMemory(Opcode op);
+/**
+ * True for opcodes that access global/local memory (through caches).
+ * Inline: the simulator issue loop and the columnar warp decoder
+ * test this per instruction.
+ */
+inline bool
+isGlobalMemory(Opcode op)
+{
+    constexpr uint32_t mask =
+        (1u << static_cast<uint8_t>(Opcode::Ldg)) |
+        (1u << static_cast<uint8_t>(Opcode::Stg)) |
+        (1u << static_cast<uint8_t>(Opcode::Ldl)) |
+        (1u << static_cast<uint8_t>(Opcode::Stl)) |
+        (1u << static_cast<uint8_t>(Opcode::Atom));
+    return ((1u << static_cast<uint8_t>(op)) & mask) != 0;
+}
 
 /** True for shared-memory opcodes. */
-bool isSharedMemory(Opcode op);
+inline bool
+isSharedMemory(Opcode op)
+{
+    return op == Opcode::Lds || op == Opcode::Sts;
+}
 
 /** One warp-level instruction in a trace. */
 struct SassInstruction

@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Columnar trace representation and tiering: lossless round-trips,
+ * digest equivalence, simulator identity, hibernation fixpoints
+ * under randomized eviction, and corruption robustness of the
+ * compressed blob format.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+#include "gpu/arch_config.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "gpusim/sim_batch.hh"
+#include "gpusim/sim_cache.hh"
+#include "gpusim/trace_synth.hh"
+#include "obs/metrics.hh"
+#include "testing/fault_injection.hh"
+#include "trace/columnar.hh"
+#include "trace/sass_trace.hh"
+#include "trace/tier.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace {
+
+using namespace sieve;
+
+trace::KernelTrace
+makeTrace(const std::string &workload_name = "stencil",
+          size_t invocation = 0, bool content_seeded = false)
+{
+    auto spec = workloads::findSpec(workload_name);
+    EXPECT_TRUE(spec.has_value());
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    gpusim::TraceSynthOptions synth;
+    synth.maxTracedCtas = 4;
+    synth.contentSeeded = content_seeded;
+    return gpusim::synthesizeTrace(wl, invocation, synth);
+}
+
+/** Text serialization of an AoS trace — the byte-identity witness. */
+std::string
+traceBytes(const trace::KernelTrace &kt)
+{
+    std::ostringstream os;
+    trace::writeTrace(kt, os);
+    return os.str();
+}
+
+/** A hand-built degenerate trace the synthesizer never produces. */
+trace::KernelTrace
+makeDegenerateTrace()
+{
+    trace::KernelTrace kt;
+    kt.kernelName = "degenerate";
+    kt.invocationId = 7;
+    kt.launch.grid = {2, 1, 1};
+    kt.launch.cta = {64, 1, 1};
+    kt.launch.sharedMemBytes = 512;
+    kt.launch.regsPerThread = 32;
+    kt.ctaReplication = 2;
+
+    trace::CtaTrace cta;
+    trace::WarpTrace warp;
+    // A non-memory op carrying a nonzero lineAddress: legal in the
+    // AoS form, must survive the columnar round trip verbatim (the
+    // address-exception side table).
+    trace::SassInstruction weird{};
+    weird.opcode = trace::Opcode::IAdd;
+    weird.destReg = 4;
+    weird.srcReg0 = 5;
+    weird.srcReg1 = 6;
+    weird.activeLanes = 32;
+    weird.sectors = 0;
+    weird.lineAddress = 0xdeadbeef00ull;
+    warp.instructions.push_back(weird);
+
+    trace::SassInstruction load{};
+    load.opcode = trace::Opcode::Ldg;
+    load.destReg = 8;
+    load.srcReg0 = 4;
+    load.srcReg1 = 1;
+    load.activeLanes = 17;
+    load.sectors = 3;
+    // Delta underflow relative to the previous global address: the
+    // zigzag varint must carry negative deltas.
+    load.lineAddress = 0x80;
+    warp.instructions.push_back(load);
+
+    trace::SassInstruction load2 = load;
+    load2.lineAddress = 0x40; // negative delta
+    warp.instructions.push_back(load2);
+
+    trace::SassInstruction exit{};
+    exit.opcode = trace::Opcode::Exit;
+    exit.destReg = 1;
+    exit.srcReg0 = 1;
+    exit.srcReg1 = 1;
+    exit.activeLanes = 32;
+    exit.sectors = 0;
+    warp.instructions.push_back(exit);
+
+    cta.warps.push_back(warp);
+    cta.warps.push_back(warp); // repeated tuple content: dictionary hit
+    kt.ctas.push_back(cta);
+    return kt;
+}
+
+// --- AoS <-> columnar round trips ---
+
+TEST(ColumnarRoundTrip, SynthesizedTracesAreByteIdentical)
+{
+    for (const char *name : {"stencil", "gru", "srad"}) {
+        for (size_t inv : {size_t{0}, size_t{3}}) {
+            trace::KernelTrace kt = makeTrace(name, inv);
+            trace::ColumnarTrace ct = trace::toColumnar(kt);
+            EXPECT_EQ(traceBytes(trace::toAos(ct)), traceBytes(kt))
+                << name << " invocation " << inv;
+            EXPECT_EQ(ct.numInstructions(),
+                      kt.tracedInstructions());
+        }
+    }
+}
+
+TEST(ColumnarRoundTrip, ContentSeededTraceIsByteIdentical)
+{
+    trace::KernelTrace kt = makeTrace("stencil", 1, true);
+    EXPECT_EQ(traceBytes(trace::toAos(trace::toColumnar(kt))),
+              traceBytes(kt));
+}
+
+TEST(ColumnarRoundTrip, DegenerateTraceIsByteIdentical)
+{
+    trace::KernelTrace kt = makeDegenerateTrace();
+    trace::ColumnarTrace ct = trace::toColumnar(kt);
+    EXPECT_FALSE(ct.addrExceptions.empty())
+        << "the nonzero address on a non-memory op must be kept as "
+           "an exception";
+    EXPECT_EQ(traceBytes(trace::toAos(ct)), traceBytes(kt));
+}
+
+TEST(ColumnarRoundTrip, ColumnarIsSmallerThanAos)
+{
+    trace::ColumnarTrace ct = trace::toColumnar(makeTrace("gru"));
+    EXPECT_LT(ct.residentBytes(), trace::aosFootprintBytes(ct) / 4)
+        << "the representation must buy at least 4x over AoS";
+}
+
+// --- digest equivalence (the simulation-cache identity) ---
+
+TEST(ColumnarDigest, MatchesAosDigest)
+{
+    for (const char *name : {"stencil", "gru"}) {
+        trace::KernelTrace kt = makeTrace(name);
+        EXPECT_EQ(gpusim::digestTrace(trace::toColumnar(kt)),
+                  gpusim::digestTrace(kt))
+            << name;
+    }
+    trace::KernelTrace deg = makeDegenerateTrace();
+    EXPECT_EQ(gpusim::digestTrace(trace::toColumnar(deg)),
+              gpusim::digestTrace(deg));
+}
+
+// --- simulator identity across representations ---
+
+TEST(ColumnarSimulate, MatchesAosSimulation)
+{
+    gpusim::GpuSimulator sim(gpu::ArchConfig::ampereRtx3080());
+    trace::KernelTrace kt = makeTrace("gru");
+    gpusim::KernelSimResult a = sim.simulate(kt);
+    gpusim::KernelSimResult b = sim.simulate(trace::toColumnar(kt));
+    EXPECT_EQ(a.simCycles, b.simCycles);
+    EXPECT_EQ(a.instructionsSimulated, b.instructionsSimulated);
+    EXPECT_EQ(a.l1.hits, b.l1.hits);
+    EXPECT_EQ(a.l2.misses, b.l2.misses);
+    EXPECT_EQ(a.dram.bytes, b.dram.bytes);
+}
+
+// --- tier-aware batch simulation ---
+
+TEST(TierBatch, SimulateHandlesMatchesDirectSimulation)
+{
+    gpusim::GpuSimulator sim(gpu::ArchConfig::ampereRtx3080());
+
+    // Budget 0: every unpinned trace hibernates, so the batch path
+    // exercises the full pin -> rehydrate -> simulate -> unpin cycle
+    // rather than reading hot traces.
+    trace::TierConfig cfg;
+    cfg.budgetBytes = 0;
+    trace::TraceTierPool pool(cfg);
+    std::vector<trace::TraceHandle> handles;
+    std::vector<gpusim::KernelSimResult> direct;
+    for (size_t inv = 0; inv < 3; ++inv) {
+        trace::ColumnarTrace ct =
+            trace::toColumnar(makeTrace("stencil", inv));
+        direct.push_back(sim.simulate(ct));
+        handles.push_back(pool.insert(std::move(ct)));
+    }
+
+    for (size_t jobs : {size_t{1}, size_t{8}}) {
+        ThreadPool workers(jobs);
+        gpusim::BatchSimResult batch =
+            gpusim::simulateHandles(sim, handles, workers);
+        ASSERT_EQ(batch.results.size(), direct.size());
+        for (size_t i = 0; i < direct.size(); ++i) {
+            EXPECT_EQ(batch.results[i].simCycles,
+                      direct[i].simCycles)
+                << "jobs=" << jobs << " trace " << i;
+            EXPECT_EQ(batch.results[i].instructionsSimulated,
+                      direct[i].instructionsSimulated);
+            EXPECT_EQ(batch.results[i].l1.misses, direct[i].l1.misses);
+            EXPECT_EQ(batch.results[i].dram.bytes,
+                      direct[i].dram.bytes);
+        }
+    }
+}
+
+TEST(TierBatch, CachedHandleBatchDedupsByDigest)
+{
+    // Content-seeded stencil invocations synthesize identical
+    // streams, so the digest-keyed cache must collapse the batch to
+    // one simulation even when every trace arrives via rehydration.
+    gpusim::GpuSimulator sim(gpu::ArchConfig::ampereRtx3080());
+    gpusim::SimCache cache(sim);
+    trace::TierConfig cfg;
+    cfg.budgetBytes = 0;
+    trace::TraceTierPool pool(cfg);
+    std::vector<trace::TraceHandle> handles;
+    for (size_t inv = 0; inv < 4; ++inv)
+        handles.push_back(pool.insert(
+            trace::toColumnar(makeTrace("stencil", inv, true))));
+
+    ThreadPool workers(4);
+    gpusim::BatchSimResult batch =
+        gpusim::simulateHandlesCached(cache, handles, workers);
+    ASSERT_EQ(batch.results.size(), handles.size());
+    for (size_t i = 1; i < batch.results.size(); ++i)
+        EXPECT_EQ(batch.results[i].simCycles,
+                  batch.results[0].simCycles);
+    EXPECT_EQ(cache.stats().lookups, 4u);
+    EXPECT_EQ(cache.stats().unique, 1u);
+}
+
+// --- canonical encoding ---
+
+TEST(ColumnarEncoding, DecodeOfEncodeIsByteFixpoint)
+{
+    for (const char *name : {"stencil", "gru"}) {
+        trace::ColumnarTrace ct = trace::toColumnar(makeTrace(name));
+        std::vector<uint8_t> bytes = trace::encodeColumnar(ct);
+        auto decoded =
+            trace::tryDecodeColumnar(bytes.data(), bytes.size());
+        ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+        EXPECT_EQ(trace::encodeColumnar(decoded.value()), bytes)
+            << name;
+    }
+}
+
+TEST(ColumnarEncoding, RejectsTruncationAtEveryLength)
+{
+    trace::ColumnarTrace ct =
+        trace::toColumnar(makeDegenerateTrace());
+    std::vector<uint8_t> bytes = trace::encodeColumnar(ct);
+    // Every proper prefix must be a structured parse error.
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        auto r = trace::tryDecodeColumnar(bytes.data(), len);
+        EXPECT_FALSE(r.ok()) << "prefix of length " << len;
+    }
+}
+
+// --- compression ---
+
+TEST(TierCompression, RoundTripsArbitraryBytes)
+{
+    std::mt19937_64 rng(20806);
+    for (size_t size : {size_t{0}, size_t{1}, size_t{17},
+                        size_t{4096}, size_t{100000}}) {
+        // Half-compressible: runs of repeats mixed with noise.
+        std::vector<uint8_t> raw(size);
+        for (size_t i = 0; i < size; ++i)
+            raw[i] = (i % 3 == 0)
+                         ? static_cast<uint8_t>(rng())
+                         : static_cast<uint8_t>(i / 64);
+        std::vector<uint8_t> packed =
+            trace::compressBytes(raw.data(), raw.size());
+        auto back =
+            trace::tryDecompressBytes(packed.data(), packed.size());
+        ASSERT_TRUE(back.ok()) << back.error().message;
+        EXPECT_EQ(back.value(), raw) << "size " << size;
+    }
+}
+
+TEST(TierCompression, HibernateRehydrateIsFixpoint)
+{
+    trace::ColumnarTrace ct = trace::toColumnar(makeTrace("gru"));
+    std::vector<uint8_t> canonical = trace::encodeColumnar(ct);
+    std::vector<uint8_t> blob = trace::hibernate(ct);
+    EXPECT_LT(blob.size(), canonical.size())
+        << "hibernation must compress the canonical encoding";
+    auto back = trace::tryRehydrate(blob.data(), blob.size());
+    ASSERT_TRUE(back.ok()) << back.error().message;
+    EXPECT_EQ(trace::encodeColumnar(back.value()), canonical);
+}
+
+// --- the tier pool ---
+
+TEST(TierPool, RandomizedEvictionPreservesEveryTrace)
+{
+    // Budget sized to the actual traces so only about two fit hot.
+    std::vector<trace::ColumnarTrace> traces;
+    std::vector<std::vector<uint8_t>> canonical;
+    size_t total_bytes = 0;
+    for (size_t inv = 0; inv < 6; ++inv) {
+        traces.push_back(
+            trace::toColumnar(makeTrace("stencil", inv)));
+        canonical.push_back(trace::encodeColumnar(traces.back()));
+        total_bytes += traces.back().residentBytes();
+    }
+    trace::TierConfig cfg;
+    cfg.budgetBytes = total_bytes / 3;
+    trace::TraceTierPool pool(cfg);
+
+    std::vector<trace::TraceHandle> handles;
+    for (auto &ct : traces)
+        handles.push_back(pool.insert(std::move(ct)));
+
+    // Pin in three different randomized orders; every pin must see
+    // the exact trace that was inserted, whatever was evicted in
+    // between.
+    std::mt19937_64 rng(411);
+    std::vector<size_t> order(handles.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    for (int round = 0; round < 3; ++round) {
+        std::shuffle(order.begin(), order.end(), rng);
+        for (size_t i : order) {
+            trace::TraceHandle::Pin pin = handles[i].pin();
+            EXPECT_EQ(trace::encodeColumnar(*pin), canonical[i])
+                << "trace " << i << " round " << round;
+        }
+        trace::TraceTierPool::Occupancy occ = pool.occupancy();
+        EXPECT_EQ(occ.hotTraces + occ.coldTraces, handles.size());
+        EXPECT_GT(occ.coldTraces, 0u)
+            << "budget must have forced hibernation";
+    }
+}
+
+TEST(TierPool, PinnedTracesSurviveZeroBudget)
+{
+    trace::TierConfig cfg;
+    cfg.budgetBytes = 0; // evict everything unpinned immediately
+    trace::TraceTierPool pool(cfg);
+
+    trace::ColumnarTrace a = trace::toColumnar(makeTrace("gru", 0));
+    trace::ColumnarTrace b = trace::toColumnar(makeTrace("gru", 1));
+    std::vector<uint8_t> ca = trace::encodeColumnar(a);
+    std::vector<uint8_t> cb = trace::encodeColumnar(b);
+    trace::TraceHandle ha = pool.insert(std::move(a));
+    trace::TraceHandle hb = pool.insert(std::move(b));
+    EXPECT_EQ(pool.occupancy().coldTraces, 2u);
+
+    // Two simultaneous pins exceed the zero budget; both must stay
+    // valid while held.
+    trace::TraceHandle::Pin pa = ha.pin();
+    trace::TraceHandle::Pin pb = hb.pin();
+    EXPECT_EQ(trace::encodeColumnar(*pa), ca);
+    EXPECT_EQ(trace::encodeColumnar(*pb), cb);
+}
+
+/** Metrics are off by default; enable for one test, then restore. */
+struct MetricsGuard
+{
+    MetricsGuard()
+    {
+        obs::setMetricsEnabled(true);
+        obs::resetMetrics();
+    }
+    ~MetricsGuard()
+    {
+        obs::setMetricsEnabled(false);
+        obs::resetMetrics();
+    }
+};
+
+TEST(TierPool, CountsRehydrations)
+{
+    MetricsGuard guard;
+    trace::TierConfig cfg;
+    cfg.budgetBytes = 0;
+    trace::TraceTierPool pool(cfg);
+    trace::TraceHandle h =
+        pool.insert(trace::toColumnar(makeTrace("gru")));
+    EXPECT_FALSE(h.resident()) << "zero budget must hibernate";
+    { trace::TraceHandle::Pin p = h.pin(); }
+    auto counters = obs::stableCounters();
+    EXPECT_EQ(counters["trace.rehydrations"], 1u);
+    EXPECT_GT(counters["trace.bytes_resident"], 0u);
+    EXPECT_GT(counters["trace.bytes_per_instruction"], 0u);
+
+    // A pin of a still-hot trace is not a rehydration: nothing
+    // evicted it between unpin and repin.
+    { trace::TraceHandle::Pin p = h.pin(); }
+    EXPECT_EQ(obs::stableCounters()["trace.rehydrations"], 1u);
+}
+
+// --- corruption robustness of the blob format ---
+
+TEST(TierFuzz, CorruptedBlobsNeverSilentlyCorrupt)
+{
+    trace::ColumnarTrace ct =
+        trace::toColumnar(makeTrace("stencil"));
+    std::vector<uint8_t> canonical = trace::encodeColumnar(ct);
+    std::vector<uint8_t> blob = trace::hibernate(ct);
+    std::string clean(reinterpret_cast<const char *>(blob.data()),
+                      blob.size());
+
+    {
+        sieve::testing::Corruptor corruptor(20806);
+        size_t accepted = 0, rejected = 0;
+        for (uint64_t i = 0; i < 300; ++i) {
+            sieve::testing::Corruptor::Mutation m = corruptor.mutate(
+                clean, "columnar-blob", i, /*text=*/false);
+            auto r = trace::tryRehydrate(
+                reinterpret_cast<const uint8_t *>(m.bytes.data()),
+                m.bytes.size());
+            if (!r.ok()) {
+                ++rejected;
+                continue;
+            }
+            // Accepted: the only legitimate way is a mutation that
+            // left the payload semantically intact (e.g. a bit flip
+            // undone by matching). The decoded trace must re-encode
+            // to a checksum-valid stream — never a half-broken
+            // struct.
+            ++accepted;
+            std::vector<uint8_t> re =
+                trace::encodeColumnar(r.value());
+            auto again = trace::tryDecodeColumnar(re.data(),
+                                                  re.size());
+            EXPECT_TRUE(again.ok())
+                << "mutation " << i << " (" <<
+                sieve::testing::faultOpName(m.op)
+                << ") produced a trace that fails re-validation";
+            if (m.bytes == clean) {
+                EXPECT_EQ(re, canonical);
+            }
+        }
+        EXPECT_GT(rejected, 0u)
+            << "the corpus should contain destructive mutations";
+        (void)accepted;
+    }
+}
+
+// --- decode arena ---
+
+TEST(DecodeArena, ReusesSlabsAcrossClears)
+{
+    trace::DecodeArena arena;
+    trace::SassInstruction *first = arena.alloc(100);
+    ASSERT_NE(first, nullptr);
+    trace::SassInstruction *second = arena.alloc(1000);
+    EXPECT_EQ(arena.allocated(), 1100u);
+    // Writes through both blocks must not alias.
+    first[99].destReg = 7;
+    second[0].destReg = 9;
+    EXPECT_EQ(first[99].destReg, 7);
+
+    size_t capacity = arena.capacityBytes();
+    arena.clear();
+    EXPECT_EQ(arena.allocated(), 0u);
+    // Same-shape reuse must not grow capacity.
+    arena.alloc(100);
+    arena.alloc(1000);
+    EXPECT_EQ(arena.capacityBytes(), capacity);
+}
+
+TEST(DecodeArena, DecodedWarpsMatchAos)
+{
+    trace::KernelTrace kt = makeTrace("stencil");
+    trace::ColumnarTrace ct = trace::toColumnar(kt);
+    trace::DecodeArena arena;
+    size_t w = 0;
+    for (const auto &cta : kt.ctas) {
+        for (const auto &warp : cta.warps) {
+            size_t n = trace::warpInstructionCount(ct, w);
+            ASSERT_EQ(n, warp.instructions.size());
+            trace::SassInstruction *buf = arena.alloc(n);
+            trace::decodeWarp(ct, w, buf);
+            for (size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(buf[i].lineAddress,
+                          warp.instructions[i].lineAddress);
+                EXPECT_EQ(buf[i].opcode, warp.instructions[i].opcode);
+            }
+            ++w;
+        }
+    }
+}
+
+} // namespace

@@ -28,6 +28,11 @@
  *   sieve trace-summary <trace.json> [--by-name] [--csv] [-o FILE]
  *       Aggregate a Chrome trace written by --trace-out into a
  *       per-stage wall-clock table.
+ *   sieve trace-stats <workload>... [--theta X] [--ctas N]
+ *                [--trace-budget-mb N] [--jobs N] [--csv] [-o FILE]
+ *       Memory census of the representative trace sets: resident
+ *       bytes, bytes/instruction, dictionary sizes, and tier
+ *       occupancy per workload.
  *   sieve metrics-diff <a.json> <b.json>
  *       Compare the stable counters of two metrics exports; exit 1
  *       on any difference (the CI determinism gate).
@@ -57,6 +62,7 @@
 #include "common/thread_pool.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/suite_runner.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
 #include "obs/trace.hh"
@@ -67,9 +73,12 @@
 #include "testing/fault_injection.hh"
 #include "sampling/pks.hh"
 #include "sampling/random_sampler.hh"
+#include "sampling/rep_traces.hh"
 #include "sampling/sieve.hh"
 #include "sampling/tbpoint.hh"
+#include "trace/columnar.hh"
 #include "trace/profile_io.hh"
+#include "trace/tier.hh"
 #include "trace/sass_trace.hh"
 #include "trace/workload_io.hh"
 #include "workloads/generator.hh"
@@ -321,12 +330,26 @@ cmdEvaluate(const Args &args)
     return 0;
 }
 
+/** Tier budget: --trace-budget-mb beats SIEVE_TRACE_BUDGET_MB. */
+trace::TierConfig
+tierFromArgs(const Args &args)
+{
+    trace::TierConfig cfg = trace::TierConfig::fromEnv();
+    if (args.has("trace-budget-mb")) {
+        cfg.budgetBytes =
+            static_cast<size_t>(
+                std::stoull(args.get("trace-budget-mb", "64"))) *
+            1024 * 1024;
+    }
+    return cfg;
+}
+
 int
 cmdTrace(const Args &args)
 {
     if (args.positional().empty())
         fatal("usage: sieve trace <workload> [--out DIR] [--theta X] "
-              "[--ctas N]");
+              "[--ctas N] [--trace-budget-mb N]");
     double theta = std::stod(args.get("theta", "0.4"));
 
     gpusim::TraceSynthOptions synth;
@@ -340,14 +363,23 @@ cmdTrace(const Args &args)
     sampling::SieveSampler sampler({theta});
     sampling::SamplingResult result = sampler.sample(wl);
 
+    // The trace set lives in the tier pool while it is exported: only
+    // the stratum being written is decoded, everything else stays a
+    // compressed blob under the budget. toAos() of the pinned
+    // columnar form is lossless, so the files are byte-identical to
+    // the direct AoS export this replaced.
+    sampling::RepresentativeTraces reps(wl, result, synth,
+                                        tierFromArgs(args));
+
     uint64_t bytes = 0;
-    for (const auto &stratum : result.strata) {
-        trace::KernelTrace kt = gpusim::synthesizeTrace(
-            wl, stratum.representative, synth);
+    for (size_t s = 0; s < result.strata.size(); ++s) {
+        trace::TraceHandle::Pin pin = reps.handle(s).pin();
+        trace::KernelTrace kt = trace::toAos(*pin);
         std::filesystem::path file =
-            out_dir / (wl.name() + "_inv" +
-                       std::to_string(stratum.representative) +
-                       ".trace");
+            out_dir /
+            (wl.name() + "_inv" +
+             std::to_string(result.strata[s].representative) +
+             ".trace");
         trace::writeTraceFile(kt, file.string());
         bytes += std::filesystem::file_size(file);
     }
@@ -355,6 +387,97 @@ cmdTrace(const Args &args)
                 result.strata.size(),
                 static_cast<double>(bytes) / 1e6,
                 out_dir.string().c_str());
+    return 0;
+}
+
+int
+cmdTraceStats(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve trace-stats <workload>... [--theta X] "
+              "[--ctas N] [--trace-budget-mb N] [--jobs N] [--csv] "
+              "[-o FILE]");
+    double theta = std::stod(args.get("theta", "0.4"));
+
+    gpusim::TraceSynthOptions synth;
+    synth.maxTracedCtas =
+        static_cast<uint64_t>(std::stoul(args.get("ctas", "32")));
+
+    std::vector<workloads::WorkloadSpec> specs;
+    specs.reserve(args.positional().size());
+    for (const std::string &name : args.positional())
+        specs.push_back(specFor(name));
+
+    eval::ExperimentContext ctx;
+    eval::SuiteRunner runner(
+        ctx, {static_cast<size_t>(
+                 std::stoul(args.get("jobs", "0")))});
+    std::vector<eval::WorkloadTraceStats> rows = runner.traceStats(
+        specs, {theta}, synth, tierFromArgs(args));
+
+    if (args.has("csv")) {
+        CsvTable table({"workload", "strata", "instructions",
+                        "aos_bytes", "columnar_bytes", "blob_bytes",
+                        "bytes_per_inst", "dict_entries", "hot",
+                        "cold"});
+        for (const auto &row : rows) {
+            const auto &s = row.stats;
+            table.addRow({row.name, std::to_string(s.strata),
+                          std::to_string(s.instructions),
+                          std::to_string(s.aosBytes),
+                          std::to_string(s.columnarBytes),
+                          std::to_string(s.blobBytes),
+                          eval::Report::num(s.bytesPerInstruction(), 3),
+                          std::to_string(s.dictionaryEntries),
+                          std::to_string(s.hotTraces),
+                          std::to_string(s.coldTraces)});
+        }
+        if (args.has("out")) {
+            table.writeFile(args.get("out", ""));
+        } else {
+            std::ostringstream os;
+            table.write(os);
+            std::fputs(os.str().c_str(), stdout);
+        }
+        return 0;
+    }
+
+    eval::Report report("Representative trace memory census");
+    report.setColumns({"workload", "strata", "insts", "AoS",
+                       "columnar", "blob", "B/inst", "dict", "hot",
+                       "cold"});
+    size_t total_aos = 0, total_columnar = 0, total_blob = 0;
+    for (const auto &row : rows) {
+        const auto &s = row.stats;
+        total_aos += s.aosBytes;
+        total_columnar += s.columnarBytes;
+        total_blob += s.blobBytes;
+        report.addSuiteRow(
+            row.suite,
+            {row.name, std::to_string(s.strata),
+             eval::Report::count(static_cast<double>(s.instructions)),
+             eval::Report::count(static_cast<double>(s.aosBytes)),
+             eval::Report::count(
+                 static_cast<double>(s.columnarBytes)),
+             eval::Report::count(static_cast<double>(s.blobBytes)),
+             eval::Report::num(s.bytesPerInstruction(), 3),
+             std::to_string(s.dictionaryEntries),
+             std::to_string(s.hotTraces),
+             std::to_string(s.coldTraces)});
+    }
+    report.print();
+    double aos = static_cast<double>(total_aos);
+    std::printf("AoS %.1f MB -> columnar %.1f MB (%.1fx) -> "
+                "compressed %.1f MB (%.1fx)\n",
+                aos / 1e6,
+                static_cast<double>(total_columnar) / 1e6,
+                total_columnar > 0
+                    ? aos / static_cast<double>(total_columnar)
+                    : 0.0,
+                static_cast<double>(total_blob) / 1e6,
+                total_blob > 0
+                    ? aos / static_cast<double>(total_blob)
+                    : 0.0);
     return 0;
 }
 
@@ -621,6 +744,9 @@ usage()
         "  export <workload> [-o FILE]    save a workload as .swl\n"
         "  simulate <trace>... [--pkp]    cycle-level simulation\n"
         "  trace-summary <trace.json>     per-stage wall-clock table\n"
+        "  trace-stats <workload>...      trace memory census "
+        "(bytes,\n"
+        "                                 tiers; --trace-budget-mb N)\n"
         "  metrics-diff <a.json> <b.json> compare stable counters\n"
         "  fuzz-ingest [--seed N] [--mutations N] [--smoke] [--jobs N]\n"
         "                                 seeded ingestion fuzz sweep;\n"
@@ -678,6 +804,8 @@ main(int argc, char **argv)
         return cmdSimulate(args);
     if (command == "trace-summary")
         return cmdTraceSummary(args);
+    if (command == "trace-stats")
+        return cmdTraceStats(args);
     if (command == "metrics-diff")
         return cmdMetricsDiff(args);
     if (command == "fuzz-ingest")
