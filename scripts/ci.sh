@@ -2,7 +2,7 @@
 # CI gate: strict build, full test suite, then the threaded tests
 # again under ThreadSanitizer, then the perf-harness smoke, then the
 # observability gate, then the ingestion-robustness gate, then the
-# columnar-trace gate.
+# columnar-trace gate, then the out-of-core gate.
 #
 #   1. configure + build with -DSIEVE_WERROR=ON (warnings are errors)
 #   2. run the complete ctest suite
@@ -28,6 +28,15 @@
 #      then `sieve trace-stats` at --jobs 1 and 8 — stdout must be
 #      byte-identical and the trace.* stable counters must be
 #      --jobs-invariant (DESIGN.md §10)
+#   8. out-of-core gate: the mmap/shard-store/streaming property
+#      tests under ASan+UBSan, then the DESIGN.md §11 contracts on a
+#      real workload: `sieve evaluate --stream` must be byte-identical
+#      to the resident report at --jobs 1, 4, and 8 with the
+#      ingest.stream.* / store.shard.* stable counters
+#      --jobs-invariant, `sieve trace --stream` must export the same
+#      trace files, shard-stats must be run-to-run deterministic, and
+#      a 10x-scale synthetic workload must complete a streaming
+#      evaluation under a small --ingest-budget-mb
 #
 # Build trees: build-ci/ (strict), build-tsan/ and build-asan/
 # (sanitized), kept separate from the developer's build/ so CI never
@@ -38,14 +47,14 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "=== 1/7: strict build (WERROR) ==="
+echo "=== 1/8: strict build (WERROR) ==="
 cmake -B build-ci -S . -DSIEVE_WERROR=ON -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci -j "$JOBS"
 
-echo "=== 2/7: test suite ==="
+echo "=== 2/8: test suite ==="
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== 3/7: threaded tests under TSan ==="
+echo "=== 3/8: threaded tests under TSan ==="
 cmake -B build-tsan -S . -DSIEVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
@@ -62,11 +71,11 @@ cmake --build build-tsan -j "$JOBS" --target \
 ./build-tsan/tests/test_perf_oracle
 ./build-tsan/tests/test_sim_cache
 
-echo "=== 4/7: perf-harness smoke (determinism + schema) ==="
+echo "=== 4/8: perf-harness smoke (determinism + schema) ==="
 ./build-ci/bench/bench_perf --reps 3 --smoke --jobs 8 \
     --out build-ci/BENCH_SMOKE.json
 
-echo "=== 5/7: observability gate ==="
+echo "=== 5/8: observability gate ==="
 OBS_DIR=build-ci/obs-gate
 rm -rf "$OBS_DIR" && mkdir -p "$OBS_DIR"
 
@@ -92,7 +101,7 @@ echo "obs: trace schema OK"
     "$OBS_DIR/metrics_j1.json" "$OBS_DIR/metrics_j8.json"
 echo "obs: stable counters --jobs-invariant"
 
-echo "=== 6/7: ingestion-robustness gate (ASan+UBSan) ==="
+echo "=== 6/8: ingestion-robustness gate (ASan+UBSan) ==="
 cmake -B build-asan -S . -DSIEVE_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS" --target \
@@ -139,7 +148,7 @@ fi
     "$ROB_DIR/sim_j1.json" "$ROB_DIR/sim_j8.json"
 echo "robust: suite.quarantined --jobs-invariant"
 
-echo "=== 7/7: columnar-trace gate (ASan+UBSan) ==="
+echo "=== 7/8: columnar-trace gate (ASan+UBSan) ==="
 cmake --build build-asan -j "$JOBS" --target test_columnar
 
 # Round-trip, tier-eviction, and blob-corruption properties with
@@ -160,6 +169,72 @@ cmp "$COL_DIR/stats_j1.txt" "$COL_DIR/stats_j8.txt"
 ./build-ci/tools/sieve metrics-diff \
     "$COL_DIR/stats_j1.json" "$COL_DIR/stats_j8.json"
 echo "columnar: trace-stats output and trace.* --jobs-invariant"
+
+echo "=== 8/8: out-of-core gate (ASan+UBSan) ==="
+cmake --build build-asan -j "$JOBS" --target \
+    test_io test_shard_store test_streaming
+
+# mmap reader bounds, shard-store round-trip/corruption sweeps, and
+# the streaming byte-identity properties with memory and UB errors
+# fatal.
+./build-asan/tests/test_io
+./build-asan/tests/test_shard_store
+./build-asan/tests/test_streaming
+
+OOC_DIR=build-ci/ooc-gate
+rm -rf "$OOC_DIR" && mkdir -p "$OOC_DIR"
+
+# Streaming evaluation must reproduce the resident report bitwise on
+# a real workload, at any worker count, under a tiny window budget —
+# and the ingest.stream.* / store.shard.* stable counters must be
+# --jobs-invariant (DESIGN.md §11).
+./build-ci/tools/sieve export gru --out "$OOC_DIR/gru.swl" > /dev/null
+./build-ci/tools/sieve evaluate "$OOC_DIR/gru.swl" \
+    > "$OOC_DIR/eval_resident.txt"
+for j in 1 4 8; do
+    ./build-ci/tools/sieve evaluate "$OOC_DIR/gru.swl" --stream \
+        --ingest-budget-mb 4 --jobs "$j" \
+        --metrics-out "$OOC_DIR/eval_j$j.json" \
+        > "$OOC_DIR/eval_j$j.txt"
+    cmp "$OOC_DIR/eval_resident.txt" "$OOC_DIR/eval_j$j.txt"
+done
+./build-ci/tools/sieve metrics-diff \
+    "$OOC_DIR/eval_j1.json" "$OOC_DIR/eval_j4.json"
+./build-ci/tools/sieve metrics-diff \
+    "$OOC_DIR/eval_j1.json" "$OOC_DIR/eval_j8.json"
+echo "ooc: streaming evaluate byte-identical and --jobs-invariant"
+
+# The streamed trace export must produce the same files (names and
+# bytes) as the resident export.
+./build-ci/tools/sieve trace "$OOC_DIR/gru.swl" \
+    --out "$OOC_DIR/traces_resident" > /dev/null
+./build-ci/tools/sieve trace "$OOC_DIR/gru.swl" --stream \
+    --ingest-budget-mb 4 --out "$OOC_DIR/traces_stream" > /dev/null
+diff -r "$OOC_DIR/traces_resident" "$OOC_DIR/traces_stream"
+echo "ooc: streamed trace export byte-identical"
+
+# shard-stats walks sampling -> digests -> on-disk shard store; its
+# census and the store.shard.* counters must be deterministic across
+# repeat runs over the same inputs.
+./build-ci/tools/sieve shard-stats gru gst --content-seeded --csv \
+    --dir "$OOC_DIR/store_a" \
+    --metrics-out "$OOC_DIR/shard_a.json" > "$OOC_DIR/shard_a.txt"
+./build-ci/tools/sieve shard-stats gru gst --content-seeded --csv \
+    --dir "$OOC_DIR/store_b" \
+    --metrics-out "$OOC_DIR/shard_b.json" > "$OOC_DIR/shard_b.txt"
+cmp "$OOC_DIR/shard_a.txt" "$OOC_DIR/shard_b.txt"
+./build-ci/tools/sieve metrics-diff \
+    "$OOC_DIR/shard_a.json" "$OOC_DIR/shard_b.json"
+echo "ooc: shard-stats deterministic"
+
+# Bounded-memory smoke: a 10x-scale synthetic workload (240k
+# invocations, ~10x the largest Table I entry) must stream through a
+# 32 MiB window without ever holding the workload resident.
+./build-ci/tools/sieve export nst --cap 240000 \
+    --out "$OOC_DIR/nst10x.swl" > /dev/null
+./build-ci/tools/sieve evaluate "$OOC_DIR/nst10x.swl" --stream \
+    --ingest-budget-mb 32 --jobs 8 > /dev/null
+echo "ooc: 10x workload streamed under a 32 MiB window"
 
 echo
 echo "ci: all gates passed"

@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Perf-trajectory run: build Release and record the hot-path timings
-# into BENCH_PR6.json at the repo root, plus a per-stage wall-clock
+# into BENCH_PR7.json at the repo root, plus a per-stage wall-clock
 # breakdown of a traced suite run into BENCH_STAGES.csv.
 #
 # bench_perf times each optimized stage (KDE grid, density
 # stratification, bounds-pruned k-means, PCA, PKS end-to-end, CSV
 # serialization, memoized batch simulation, columnar trace decode
-# and footprint) on paper-scale inputs, asserts byte-identity
-# against the retained naive baselines plus the columnar contracts
-# (>= 4x footprint reduction, decode within 1.5x of raw AoS
-# iteration), and reports median-of-reps nanoseconds, baseline
-# nanoseconds, and the measured speedup for every op.
+# and footprint, mmap workload load, shard-store dedup puts,
+# streaming stratification) on paper-scale inputs, asserts
+# byte-identity against the retained naive baselines plus the
+# columnar contracts (>= 4x footprint reduction, decode within 1.5x
+# of raw AoS iteration) and the out-of-core contracts (mmap load and
+# streaming stratify within 1.5x of their resident counterparts,
+# dedup puts faster than hibernating every trace), and reports
+# median-of-reps nanoseconds, baseline nanoseconds, and the measured
+# speedup for every op.
 #
 # The stage breakdown comes from the observability layer: one
 # bench_fig3_accuracy run with --trace-out, aggregated by
@@ -27,8 +31,8 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target bench_perf bench_fig3_accuracy sieve
 
-./build/bench/bench_perf --out BENCH_PR6.json "$@"
-echo "perf: wrote $(pwd)/BENCH_PR6.json"
+./build/bench/bench_perf --out BENCH_PR7.json "$@"
+echo "perf: wrote $(pwd)/BENCH_PR7.json"
 
 TRACE=build/perf_stage_trace.json
 # Fixed --jobs 8 so the breakdown includes the pool stage even on

@@ -1,0 +1,227 @@
+#include "eval/streaming.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "common/logging.hh"
+#include "gpu/hardware_executor.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "stats/descriptive.hh"
+#include "stats/error_metrics.hh"
+
+namespace sieve::eval {
+
+Expected<StreamSample>
+streamSample(const std::string &path, const StreamConfig &cfg,
+             ThreadPool *pool)
+{
+    Expected<trace::WorkloadStreamReader> reader =
+        trace::WorkloadStreamReader::tryOpen(path);
+    if (!reader.ok())
+        return reader.error();
+
+    Expected<sampling::WorkloadProfile> profile =
+        sampling::profileStream(reader.value(), cfg.budget);
+    if (!profile.ok())
+        return profile.error();
+
+    sampling::SieveSampler sampler(cfg.sieve);
+    StreamSample out;
+    out.result = sampler.sampleProfile(profile.value(), pool);
+    out.profile = std::move(profile).value();
+    return out;
+}
+
+namespace {
+
+constexpr uint32_t kNoStratum =
+    std::numeric_limits<uint32_t>::max();
+
+/**
+ * Golden pass over the stream: score every invocation window by
+ * window (order-preserving fan-out over `pool`) and fold the results
+ * into the exact accumulation sequences of sampling::evaluate /
+ * simulationSpeedup / weightedClusterCycleCov — one serial scan in
+ * global invocation order, which within any stratum visits members
+ * in ascending order, i.e. the resident iteration order.
+ */
+struct GoldenFold
+{
+    double measured = 0.0;
+    std::vector<stats::Accumulator> covAcc;
+    std::vector<std::optional<gpu::KernelResult>> repResults;
+
+    explicit GoldenFold(size_t strata)
+        : covAcc(strata), repResults(strata)
+    {
+    }
+};
+
+} // namespace
+
+Expected<StreamEvaluation>
+streamEvaluate(const std::string &path, const StreamConfig &cfg,
+               ThreadPool *pool)
+{
+    // Pass count, not scheduling: Stable and --jobs-invariant.
+    static obs::Counter &c_evals =
+        obs::counter("ingest.stream.evaluations");
+
+    Expected<StreamSample> sampled = streamSample(path, cfg, pool);
+    if (!sampled.ok())
+        return sampled.error();
+
+    StreamEvaluation out;
+    out.profile = std::move(sampled.value().profile);
+    out.result = std::move(sampled.value().result);
+
+    c_evals.add();
+    obs::Span span("eval", "stream:" + out.profile.name);
+
+    // Invert the strata into a per-invocation stratum index so the
+    // single golden scan can route each result without a search.
+    // 4 B/invocation — part of the documented resident floor.
+    std::vector<uint32_t> stratumOf(out.profile.numInvocations,
+                                    kNoStratum);
+    for (size_t s = 0; s < out.result.strata.size(); ++s) {
+        for (size_t idx : out.result.strata[s].members) {
+            SIEVE_ASSERT(idx < stratumOf.size(),
+                         "stratum member out of range");
+            stratumOf[idx] = static_cast<uint32_t>(s);
+        }
+    }
+
+    Expected<trace::WorkloadStreamReader> reopened =
+        trace::WorkloadStreamReader::tryOpen(path);
+    if (!reopened.ok())
+        return reopened.error();
+    trace::WorkloadStreamReader &reader = reopened.value();
+
+    gpu::HardwareExecutor hw(cfg.arch);
+    GoldenFold fold(out.result.strata.size());
+    std::vector<trace::KernelInvocation> window;
+    std::vector<gpu::KernelResult> results;
+    size_t max_window = cfg.budget.windowInvocations();
+
+    while (true) {
+        size_t base = reader.position();
+        Expected<size_t> got = reader.nextWindow(window, max_window);
+        if (!got.ok())
+            return got.error();
+        if (got.value() == 0)
+            break;
+
+        size_t n = got.value();
+        if (pool != nullptr && pool->numWorkers() > 1) {
+            results = parallelMap(*pool, n, [&](size_t i) {
+                return hw.run(window[i]);
+            });
+        } else {
+            results.clear();
+            results.reserve(n);
+            for (size_t i = 0; i < n; ++i)
+                results.push_back(hw.run(window[i]));
+        }
+
+        // Serial fold in global invocation order — the resident
+        // accumulation sequence, window boundaries invisible.
+        for (size_t i = 0; i < n; ++i) {
+            const gpu::KernelResult &r = results[i];
+            size_t gi = base + i;
+            fold.measured += r.cycles;
+            uint32_t s = stratumOf[gi];
+            if (s == kNoStratum)
+                continue;
+            fold.covAcc[s].add(r.cycles);
+            if (gi == out.result.strata[s].representative)
+                fold.repResults[s] = r;
+        }
+    }
+
+    // Fold the per-stratum state in strata order, mirroring
+    // simulationSpeedup / weightedClusterCycleCov line for line.
+    double rep_cycles = 0.0;
+    double weighted_sum = 0.0;
+    double weight_total = 0.0;
+    std::vector<gpu::KernelResult> reps;
+    reps.reserve(out.result.strata.size());
+    for (size_t s = 0; s < out.result.strata.size(); ++s) {
+        SIEVE_ASSERT(fold.repResults[s].has_value(),
+                     "representative out of range");
+        reps.push_back(*fold.repResults[s]);
+        rep_cycles += fold.repResults[s]->cycles;
+        double w = static_cast<double>(
+            out.result.strata[s].members.size());
+        weighted_sum += w * fold.covAcc[s].cov();
+        weight_total += w;
+    }
+    SIEVE_ASSERT(rep_cycles > 0.0, "zero representative cycles");
+
+    sampling::SieveSampler sampler(cfg.sieve);
+    double predicted = sampler.predictCyclesFromReps(
+        out.result, out.profile.totalInstructions, reps);
+
+    out.eval.method = out.result.method;
+    out.eval.predictedCycles = predicted;
+    out.eval.measuredCycles = fold.measured;
+    out.eval.error = stats::relativeError(predicted, fold.measured);
+    out.eval.speedup = fold.measured / rep_cycles;
+    out.eval.numRepresentatives = out.result.numRepresentatives();
+    out.eval.weightedClusterCov =
+        weight_total > 0.0 ? weighted_sum / weight_total : 0.0;
+    return out;
+}
+
+Expected<std::vector<trace::KernelInvocation>>
+fetchInvocations(const std::string &path,
+                 const std::vector<size_t> &indexes,
+                 const trace::IngestBudget &budget)
+{
+    Expected<trace::WorkloadStreamReader> opened =
+        trace::WorkloadStreamReader::tryOpen(path);
+    if (!opened.ok())
+        return opened.error();
+    trace::WorkloadStreamReader &reader = opened.value();
+
+    // Sort (index, output slot) so one forward pass serves requests
+    // in any order, duplicates included.
+    std::vector<std::pair<size_t, size_t>> wanted;
+    wanted.reserve(indexes.size());
+    for (size_t slot = 0; slot < indexes.size(); ++slot) {
+        if (indexes[slot] >= reader.numInvocations())
+            return ingestError(
+                ErrorKind::Validation,
+                "invocation index " +
+                    std::to_string(indexes[slot]) +
+                    " out of range (workload has " +
+                    std::to_string(reader.numInvocations()) + ")",
+                path);
+        wanted.emplace_back(indexes[slot], slot);
+    }
+    std::sort(wanted.begin(), wanted.end());
+
+    std::vector<trace::KernelInvocation> out(indexes.size());
+    std::vector<trace::KernelInvocation> window;
+    size_t next = 0;
+    while (next < wanted.size()) {
+        size_t base = reader.position();
+        Expected<size_t> got = reader.nextWindow(
+            window, budget.windowInvocations());
+        if (!got.ok())
+            return got.error();
+        SIEVE_ASSERT(got.value() > 0,
+                     "requested invocation past end of stream");
+        while (next < wanted.size() &&
+               wanted[next].first < base + got.value()) {
+            out[wanted[next].second] =
+                window[wanted[next].first - base];
+            ++next;
+        }
+    }
+    return out;
+}
+
+} // namespace sieve::eval

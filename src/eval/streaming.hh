@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Out-of-core evaluation: profile → sample → evaluate a workload
+ * straight from its .swl file, one bounded window of invocation
+ * records at a time, without ever materializing a resident
+ * trace::Workload.
+ *
+ * Memory contract: the pipeline holds (a) one decode window of at
+ * most `IngestBudget::windowInvocations()` KernelInvocation records,
+ * (b) the per-invocation profile columns (~20 B/invocation — an
+ * order of magnitude under the 196 B/invocation file records), and
+ * (c) during the golden pass, a 4 B/invocation stratum index plus
+ * the per-window results. Nothing else scales with workload size;
+ * the file itself stays on disk behind the mmap reader.
+ *
+ * Determinism contract: every result field is byte-identical to the
+ * resident pipeline (loadWorkloadFile → SieveSampler::sample →
+ * HardwareExecutor::runWorkload → sampling::evaluate) on any
+ * workload both can hold, at any `pool` worker count and any window
+ * size. The golden pass preserves invocation order: windows are
+ * scored with order-preserving parallelMap and every accumulation
+ * (measured cycles, per-stratum dispersion, representative pick-out)
+ * runs in the same sequence as the resident loops, so the floating-
+ * point sums are bitwise equal, not just close.
+ */
+
+#ifndef SIEVE_EVAL_STREAMING_HH
+#define SIEVE_EVAL_STREAMING_HH
+
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/thread_pool.hh"
+#include "gpu/arch_config.hh"
+#include "sampling/evaluation.hh"
+#include "sampling/profile_view.hh"
+#include "sampling/sieve.hh"
+#include "trace/workload_stream.hh"
+
+namespace sieve::eval {
+
+/** Configuration of the streaming pipeline. */
+struct StreamConfig
+{
+    sampling::SieveConfig sieve;
+    trace::IngestBudget budget;
+    gpu::ArchConfig arch = gpu::ArchConfig::ampereRtx3080();
+};
+
+/** Profile + sampling result of one streamed workload. */
+struct StreamSample
+{
+    sampling::WorkloadProfile profile;
+    sampling::SamplingResult result;
+};
+
+/** Full evaluation of one streamed workload. */
+struct StreamEvaluation
+{
+    sampling::WorkloadProfile profile;
+    sampling::SamplingResult result;
+    sampling::MethodEvaluation eval;
+};
+
+/**
+ * Stream a .swl file through profiling and Sieve stratification.
+ * The profile's identity fields and the sampling result are byte-
+ * identical to the resident `sampler.sample(loadWorkloadFile(path))`.
+ */
+Expected<StreamSample> streamSample(const std::string &path,
+                                    const StreamConfig &cfg,
+                                    ThreadPool *pool = nullptr);
+
+/**
+ * Full out-of-core evaluation: streamSample, then a second bounded
+ * pass scoring every invocation on the analytical hardware model
+ * (windows fanned over `pool`, order preserved), accumulating the
+ * error / speedup / dispersion metrics of sampling::evaluate.
+ */
+Expected<StreamEvaluation> streamEvaluate(const std::string &path,
+                                          const StreamConfig &cfg,
+                                          ThreadPool *pool = nullptr);
+
+/**
+ * Bounded second-pass record fetch: re-stream `path` and return the
+ * full KernelInvocation records at `indexes` (any order, duplicates
+ * allowed), aligned with the input order. The trace-export path uses
+ * this to materialize only the representatives.
+ */
+Expected<std::vector<trace::KernelInvocation>>
+fetchInvocations(const std::string &path,
+                 const std::vector<size_t> &indexes,
+                 const trace::IngestBudget &budget);
+
+} // namespace sieve::eval
+
+#endif // SIEVE_EVAL_STREAMING_HH

@@ -37,6 +37,7 @@
 #include "gpusim/gpu_simulator.hh"
 #include "trace/columnar.hh"
 #include "trace/sass_trace.hh"
+#include "trace/shard_store.hh"
 
 namespace sieve::gpusim {
 
@@ -80,6 +81,18 @@ TraceDigest digestTrace(const trace::KernelTrace &trace);
  * preserved across the representation change.
  */
 TraceDigest digestTrace(const trace::ColumnarTrace &trace);
+
+/**
+ * The same digest as the shard store's key type. The store (in
+ * sieve_trace, which cannot link this library) is content-addressed
+ * by exactly this digest; callers that hold a trace compute it here
+ * and hand it down.
+ */
+inline trace::BlobDigest
+toBlobDigest(const TraceDigest &digest)
+{
+    return trace::BlobDigest{digest.lo, digest.hi};
+}
 
 /** Aggregate cache statistics (monotonic over the cache's lifetime). */
 struct SimCacheStats

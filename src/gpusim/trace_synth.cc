@@ -88,11 +88,20 @@ synthesizeTrace(const trace::Workload &workload, size_t invocation_index,
 {
     const trace::KernelInvocation &inv =
         workload.invocation(invocation_index);
+    return synthesizeTrace(workload.kernel(inv.kernelId).name, inv,
+                           options);
+}
+
+trace::KernelTrace
+synthesizeTrace(const std::string &kernel_name,
+                const trace::KernelInvocation &inv,
+                TraceSynthOptions options)
+{
     const trace::InstructionMix &mix = inv.mix;
     const trace::MemoryProfile &mem = inv.memory;
 
     trace::KernelTrace out;
-    out.kernelName = workload.kernel(inv.kernelId).name;
+    out.kernelName = kernel_name;
     out.invocationId = inv.invocationId;
     out.launch = inv.launch;
 

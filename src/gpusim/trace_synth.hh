@@ -62,6 +62,16 @@ trace::KernelTrace synthesizeTrace(const trace::Workload &workload,
                                    size_t invocation_index,
                                    TraceSynthOptions options = {});
 
+/**
+ * Synthesize from a bare invocation record plus its kernel name —
+ * the out-of-core path, where no resident Workload exists. For the
+ * same (name, record) pair this produces byte-identical traces to
+ * the Workload overload (which delegates here).
+ */
+trace::KernelTrace synthesizeTrace(const std::string &kernel_name,
+                                   const trace::KernelInvocation &inv,
+                                   TraceSynthOptions options = {});
+
 } // namespace sieve::gpusim
 
 #endif // SIEVE_GPUSIM_TRACE_SYNTH_HH

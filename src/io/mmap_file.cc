@@ -1,0 +1,164 @@
+#include "io/mmap_file.hh"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SIEVE_IO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SIEVE_IO_HAVE_MMAP 0
+#endif
+
+#include "obs/metrics.hh"
+
+namespace sieve::io {
+
+namespace {
+
+obs::Counter &
+mmapFilesCounter()
+{
+    static obs::Counter &c = obs::counter("io.mmap.files");
+    return c;
+}
+
+obs::Counter &
+mmapBytesCounter()
+{
+    static obs::Counter &c = obs::counter("io.mmap.bytes");
+    return c;
+}
+
+obs::Counter &
+fallbackCounter()
+{
+    static obs::Counter &c = obs::counter("io.mmap.fallbacks");
+    return c;
+}
+
+Error
+openError(const std::string &path)
+{
+    return ingestError(ErrorKind::Io,
+                       "cannot open '" + path + "' for reading", path, 0, 0);
+}
+
+/** One buffered read of the whole file (mmap-less platforms/files). */
+Expected<MmapFile>
+tryOpenBuffered(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return openError(path);
+
+    std::vector<uint8_t> bytes;
+    uint8_t chunk[1 << 16];
+    size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + got);
+    const bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error)
+        return openError(path);
+    return MmapFile::fromBuffer(path, std::move(bytes));
+}
+
+} // namespace
+
+MmapFile::~MmapFile()
+{
+    reset();
+}
+
+void
+MmapFile::reset()
+{
+#if SIEVE_IO_HAVE_MMAP
+    if (_mapped && _data != nullptr)
+        ::munmap(const_cast<uint8_t *>(_data), _size);
+#endif
+    _data = nullptr;
+    _size = 0;
+    _mapped = false;
+    _buffer.clear();
+    _path.clear();
+}
+
+void
+MmapFile::moveFrom(MmapFile &other)
+{
+    _data = other._data;
+    _size = other._size;
+    _mapped = other._mapped;
+    _buffer = std::move(other._buffer);
+    _path = std::move(other._path);
+    if (!_mapped && !_buffer.empty())
+        _data = _buffer.data();
+    other._data = nullptr;
+    other._size = 0;
+    other._mapped = false;
+    other._buffer.clear();
+    other._path.clear();
+}
+
+MmapFile
+MmapFile::fromBuffer(const std::string &path, std::vector<uint8_t> bytes)
+{
+    MmapFile file;
+    file._path = path;
+    file._buffer = std::move(bytes);
+    file._data = file._buffer.empty() ? nullptr : file._buffer.data();
+    file._size = file._buffer.size();
+    file._mapped = false;
+    fallbackCounter().add();
+    return file;
+}
+
+Expected<MmapFile>
+MmapFile::tryOpen(const std::string &path)
+{
+#if SIEVE_IO_HAVE_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return openError(path);
+
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        // Pipes and other non-regular files cannot be mapped; let
+        // the buffered path stream them (or fail with a clean error).
+        return tryOpenBuffered(path);
+    }
+
+    if (st.st_size == 0) {
+        // mmap of length 0 is undefined: an empty file is a valid
+        // empty buffered view.
+        ::close(fd);
+        return tryOpenBuffered(path);
+    }
+
+    void *map =
+        ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+               MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+        return tryOpenBuffered(path);
+
+    MmapFile file;
+    file._path = path;
+    file._data = static_cast<const uint8_t *>(map);
+    file._size = static_cast<size_t>(st.st_size);
+    file._mapped = true;
+    mmapFilesCounter().add();
+    mmapBytesCounter().add(file._size);
+    return file;
+#else
+    return tryOpenBuffered(path);
+#endif
+}
+
+} // namespace sieve::io

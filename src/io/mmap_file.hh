@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Read-only memory-mapped files with a buffered fallback.
+ *
+ * The out-of-core ingestion path wants workload bytes without paying
+ * a copy per read: `MmapFile` maps the whole file read-only, so a
+ * loader or stream reader walks pages the kernel faults in on
+ * demand, and re-reading a window costs nothing once it is resident.
+ * On platforms (or special files) where mmap is unavailable, the
+ * same object transparently degrades to one buffered read into an
+ * owned vector — callers only ever see `data()`/`size()`.
+ *
+ * Failure is recoverable: `tryOpen` returns a structured Error for a
+ * missing or unreadable file, never a crash. Empty files are valid
+ * (zero-length view, buffered mode, since mmap of length 0 is
+ * undefined).
+ *
+ * Stable counters `io.mmap.files`, `io.mmap.bytes`, and
+ * `io.mmap.fallbacks` record how much ingestion went through the
+ * zero-copy path; they depend only on the set of files opened, so
+ * they are --jobs-invariant.
+ */
+
+#ifndef SIEVE_IO_MMAP_FILE_HH
+#define SIEVE_IO_MMAP_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace sieve::io {
+
+/** A read-only view of a whole file: mapped, or buffered fallback. */
+class MmapFile
+{
+  public:
+    MmapFile() = default;
+    ~MmapFile();
+
+    MmapFile(MmapFile &&other) noexcept { moveFrom(other); }
+    MmapFile &
+    operator=(MmapFile &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /**
+     * Open and map `path` read-only. Unreadable files are an IoError;
+     * mmap failure on a readable file falls back to one buffered
+     * read (not an error).
+     */
+    static Expected<MmapFile> tryOpen(const std::string &path);
+
+    /**
+     * A buffered (non-mapped) view over owned bytes. Used by the
+     * fallback path internally; handy in tests for synthetic views.
+     */
+    static MmapFile fromBuffer(const std::string &path,
+                               std::vector<uint8_t> bytes);
+
+    /** First byte of the view (nullptr only for a default object). */
+    const uint8_t *data() const { return _data; }
+
+    /** View length in bytes. */
+    size_t size() const { return _size; }
+
+    /** True when the view is a zero-copy mapping (not a buffer). */
+    bool mapped() const { return _mapped; }
+
+    /** The path the view was opened from. */
+    const std::string &path() const { return _path; }
+
+  private:
+    void reset();
+    void moveFrom(MmapFile &other);
+
+    const uint8_t *_data = nullptr;
+    size_t _size = 0;
+    bool _mapped = false;
+    std::vector<uint8_t> _buffer; //!< owns the bytes in fallback mode
+    std::string _path;
+};
+
+} // namespace sieve::io
+
+#endif // SIEVE_IO_MMAP_FILE_HH

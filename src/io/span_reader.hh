@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Offset-tracking cursor over a mapped byte span.
+ *
+ * `SpanReader` is the zero-copy sibling of the buffered `BinReader`
+ * used by the workload loader: the same read/fail discipline (every
+ * read either succeeds or records a structured first-error-wins
+ * Error at the byte offset where the problem was detected), but over
+ * `(data, size)` — typically an `MmapFile` view — instead of an
+ * `std::istream`. Parse code written against the shared reader
+ * concept (`read<T>`, `readBytes`, `fail`, `failed`, `takeError`,
+ * `offset`, `atEnd`) runs unchanged over either, which is how the
+ * resident and streaming workload loaders stay byte-identical in
+ * their error reporting.
+ *
+ * `base_offset` positions the span inside a larger file so errors
+ * report absolute file offsets (e.g. an invocation-record window in
+ * the middle of a mapped workload).
+ */
+
+#ifndef SIEVE_IO_SPAN_READER_HH
+#define SIEVE_IO_SPAN_READER_HH
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <type_traits>
+
+#include "common/error.hh"
+
+namespace sieve::io {
+
+/** Bounds-checked binary cursor over `[data, data + size)`. */
+class SpanReader
+{
+  public:
+    SpanReader(const uint8_t *data, size_t size,
+               const std::string &source, size_t base_offset = 0)
+        : _data(data), _size(size), _source(source),
+          _base(base_offset)
+    {
+    }
+
+    /** Absolute offset (base + consumed) for error context. */
+    size_t offset() const { return _base + _pos; }
+
+    /** Bytes left in the span. */
+    size_t remaining() const { return _size - _pos; }
+
+    /** True when the span is fully consumed. */
+    bool atEnd() const { return _pos == _size; }
+
+    bool failed() const { return _error.has_value(); }
+    Error takeError() { return std::move(*_error); }
+
+    template <typename T>
+    T
+    read(const char *what)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value{};
+        if (_error)
+            return value;
+        if (_size - _pos < sizeof(T)) {
+            fail(ErrorKind::Io, std::string("truncated workload file: "
+                                            "short read of ") +
+                                    what);
+            return T{};
+        }
+        std::memcpy(&value, _data + _pos, sizeof(T));
+        _pos += sizeof(T);
+        return value;
+    }
+
+    void
+    readBytes(void *dst, size_t len, const char *what)
+    {
+        if (_error)
+            return;
+        if (_size - _pos < len) {
+            fail(ErrorKind::Io, std::string("truncated workload file: "
+                                            "short read of ") +
+                                    what);
+            return;
+        }
+        if (len > 0)
+            std::memcpy(dst, _data + _pos, len);
+        _pos += len;
+    }
+
+    /** Record a failure at the current offset (first error wins). */
+    void
+    fail(ErrorKind kind, std::string message)
+    {
+        if (!_error)
+            _error = ingestError(kind, std::move(message), _source, 0,
+                                 offset());
+    }
+
+  private:
+    const uint8_t *_data = nullptr;
+    size_t _size = 0;
+    size_t _pos = 0;
+    std::string _source;
+    size_t _base = 0;
+    std::optional<Error> _error;
+};
+
+} // namespace sieve::io
+
+#endif // SIEVE_IO_SPAN_READER_HH

@@ -40,6 +40,33 @@ NvbitProfiler::collect(const trace::Workload &workload) const
     return trace::sieveProfileTable(workload);
 }
 
+Expected<CsvTable>
+NvbitProfiler::collectStream(trace::WorkloadStreamReader &reader,
+                             const trace::IngestBudget &budget) const
+{
+    static obs::Counter &c_collects =
+        obs::counter("profiler.nvbit.collects");
+    c_collects.add();
+    obs::Span span("profiler", "nvbit:" + reader.name());
+
+    CsvTable table = trace::emptySieveProfileTable();
+    reader.rewind();
+    std::vector<trace::KernelInvocation> window;
+    while (true) {
+        Expected<size_t> got =
+            reader.nextWindow(window, budget.windowInvocations());
+        if (!got.ok())
+            return got.error();
+        if (got.value() == 0)
+            break;
+        for (size_t i = 0; i < got.value(); ++i)
+            trace::appendSieveProfileRow(
+                table, reader.kernelNames()[window[i].kernelId],
+                window[i]);
+    }
+    return table;
+}
+
 double
 NvbitProfiler::collectionHours(const trace::Workload &workload,
                                const gpu::WorkloadResult &golden) const

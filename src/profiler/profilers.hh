@@ -23,8 +23,10 @@
 #include <string>
 
 #include "common/csv.hh"
+#include "common/error.hh"
 #include "gpu/hardware_executor.hh"
 #include "trace/workload.hh"
+#include "trace/workload_stream.hh"
 
 namespace sieve::profiler {
 
@@ -83,6 +85,17 @@ class NvbitProfiler
 
     /** The profile CSV a Sieve run consumes. */
     CsvTable collect(const trace::Workload &workload) const;
+
+    /**
+     * Out-of-core collect(): stream the workload's invocation records
+     * one bounded window at a time and append rows as they arrive.
+     * Byte-identical to collect() on the resident load of the same
+     * file (same rows, same order, same Stable
+     * profiler.nvbit.collects count).
+     */
+    Expected<CsvTable>
+    collectStream(trace::WorkloadStreamReader &reader,
+                  const trace::IngestBudget &budget) const;
 
     /**
      * Simulated collection time at paper scale.

@@ -1,0 +1,68 @@
+#include "sampling/profile_view.hh"
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace sieve::sampling {
+
+void
+WorkloadProfile::addInvocation(const trace::KernelInvocation &inv)
+{
+    SIEVE_ASSERT(inv.kernelId < kernels.size(),
+                 "profile invocation references unknown kernel ",
+                 inv.kernelId);
+    KernelProfileView &kp = kernels[inv.kernelId];
+    kp.members.push_back(static_cast<size_t>(numInvocations));
+    kp.instructions.push_back(inv.mix.instructionCount);
+    kp.ctaSizes.push_back(inv.launch.ctaSize());
+    totalInstructions += inv.mix.instructionCount;
+    ++numInvocations;
+}
+
+WorkloadProfile
+profileWorkload(const trace::Workload &workload)
+{
+    WorkloadProfile profile;
+    profile.suite = workload.suite();
+    profile.name = workload.name();
+    profile.paperInvocations = workload.paperInvocations();
+    profile.kernelNames.reserve(workload.numKernels());
+    for (const trace::Kernel &kernel : workload.kernels())
+        profile.kernelNames.push_back(kernel.name);
+    profile.kernels.resize(workload.numKernels());
+    for (const trace::KernelInvocation &inv : workload.invocations())
+        profile.addInvocation(inv);
+    return profile;
+}
+
+Expected<WorkloadProfile>
+profileStream(trace::WorkloadStreamReader &reader,
+              const trace::IngestBudget &budget)
+{
+    static obs::Counter &c_profiles =
+        obs::counter("ingest.stream.profiles");
+
+    WorkloadProfile profile;
+    profile.suite = reader.suite();
+    profile.name = reader.name();
+    profile.paperInvocations = reader.paperInvocations();
+    profile.kernelNames = reader.kernelNames();
+    profile.kernels.resize(reader.numKernels());
+
+    reader.rewind();
+    std::vector<trace::KernelInvocation> window;
+    const size_t window_cap = budget.windowInvocations();
+    for (;;) {
+        auto got = reader.nextWindow(window, window_cap);
+        if (!got)
+            return got.error();
+        if (got.value() == 0)
+            break;
+        for (const trace::KernelInvocation &inv : window)
+            profile.addInvocation(inv);
+    }
+    c_profiles.add();
+    return profile;
+}
+
+} // namespace sieve::sampling

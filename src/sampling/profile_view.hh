@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The profile view: exactly what Sieve's stratification consumes,
+ * and nothing more.
+ *
+ * The sampler never looks at a whole KernelInvocation — only at each
+ * invocation's kernel identity, dynamic instruction count, and CTA
+ * size (paper Section III: tiering and representative selection are
+ * functions of the profiled instruction counts plus launch
+ * geometry). `WorkloadProfile` captures that 20-bytes-per-invocation
+ * summary in per-kernel columns, which is what makes out-of-core
+ * sampling possible: the streaming pipeline folds bounded windows of
+ * records into the profile and discards them, so stratifying a
+ * workload needs the *profile* resident, never the records.
+ *
+ * Determinism: both builders append invocations in chronological
+ * order, so per-kernel member lists are ascending and every quantity
+ * the sampler derives (counts vector, CoV, KDE strata, weights) is
+ * bit-identical between profileWorkload() on a resident Workload and
+ * profileStream() over the same bytes on disk.
+ */
+
+#ifndef SIEVE_SAMPLING_PROFILE_VIEW_HH
+#define SIEVE_SAMPLING_PROFILE_VIEW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "trace/workload.hh"
+#include "trace/workload_stream.hh"
+
+namespace sieve::sampling {
+
+/** Per-kernel columns, aligned by position; members are ascending. */
+struct KernelProfileView
+{
+    std::vector<size_t> members;        //!< global invocation indexes
+    std::vector<uint64_t> instructions; //!< dynamic instruction counts
+    std::vector<uint32_t> ctaSizes;     //!< launch.ctaSize()
+};
+
+/** The sampler-facing summary of one workload. */
+struct WorkloadProfile
+{
+    std::string suite;
+    std::string name;
+    uint64_t paperInvocations = 0;
+    std::vector<std::string> kernelNames;
+    std::vector<KernelProfileView> kernels; //!< indexed by kernel id
+    uint64_t numInvocations = 0;
+    uint64_t totalInstructions = 0;
+
+    /**
+     * Fold the next chronological invocation in. `inv.kernelId` must
+     * be within `kernelNames` (loaders validate this).
+     */
+    void addInvocation(const trace::KernelInvocation &inv);
+};
+
+/** One chronological pass over a resident workload. */
+WorkloadProfile profileWorkload(const trace::Workload &workload);
+
+/**
+ * One streaming pass over a workload file, holding at most one
+ * budget-bounded window of records at a time. Rewinds the reader
+ * first; leaves it at end of stream.
+ */
+Expected<WorkloadProfile> profileStream(
+    trace::WorkloadStreamReader &reader,
+    const trace::IngestBudget &budget);
+
+} // namespace sieve::sampling
+
+#endif // SIEVE_SAMPLING_PROFILE_VIEW_HH

@@ -1,5 +1,6 @@
 #include "sampling/rep_traces.hh"
 
+#include "gpusim/sim_cache.hh"
 #include "trace/columnar.hh"
 
 namespace sieve::sampling {
@@ -13,22 +14,63 @@ RepTraceSetStats::bytesPerInstruction() const
            static_cast<double>(instructions);
 }
 
+namespace {
+
+/**
+ * Park one representative's columnar trace: account the build stats,
+ * then insert into the pool — store-backed (content-addressed, dedup
+ * at rest) when a ShardStore was supplied, private blob otherwise.
+ */
+trace::TraceHandle
+tierTrace(trace::TraceTierPool &pool, trace::ShardStore *store,
+          trace::ColumnarTrace columnar, RepTraceSetStats &build)
+{
+    ++build.strata;
+    build.instructions += columnar.numInstructions();
+    build.aosBytes += trace::aosFootprintBytes(columnar);
+    build.columnarBytes += columnar.residentBytes();
+    build.dictionaryEntries += columnar.dictionary.size();
+    if (store != nullptr) {
+        trace::BlobDigest digest =
+            gpusim::toBlobDigest(gpusim::digestTrace(columnar));
+        return pool.insert(std::move(columnar), digest);
+    }
+    return pool.insert(std::move(columnar));
+}
+
+} // namespace
+
 RepresentativeTraces::RepresentativeTraces(
     const trace::Workload &workload, const SamplingResult &result,
-    gpusim::TraceSynthOptions synth, trace::TierConfig tier)
-    : _pool(tier)
+    gpusim::TraceSynthOptions synth, trace::TierConfig tier,
+    trace::ShardStore *store)
+    : _pool(store != nullptr ? trace::TraceTierPool(tier, *store)
+                             : trace::TraceTierPool(tier))
 {
     _handles.reserve(result.strata.size());
     for (const Stratum &stratum : result.strata) {
         trace::ColumnarTrace columnar = trace::toColumnar(
             gpusim::synthesizeTrace(workload, stratum.representative,
                                     synth));
-        ++_build.strata;
-        _build.instructions += columnar.numInstructions();
-        _build.aosBytes += trace::aosFootprintBytes(columnar);
-        _build.columnarBytes += columnar.residentBytes();
-        _build.dictionaryEntries += columnar.dictionary.size();
-        _handles.push_back(_pool.insert(std::move(columnar)));
+        _handles.push_back(
+            tierTrace(_pool, store, std::move(columnar), _build));
+    }
+}
+
+RepresentativeTraces::RepresentativeTraces(
+    const std::vector<RepInvocation> &reps,
+    gpusim::TraceSynthOptions synth, trace::TierConfig tier,
+    trace::ShardStore *store)
+    : _pool(store != nullptr ? trace::TraceTierPool(tier, *store)
+                             : trace::TraceTierPool(tier))
+{
+    _handles.reserve(reps.size());
+    for (const RepInvocation &rep : reps) {
+        trace::ColumnarTrace columnar =
+            trace::toColumnar(gpusim::synthesizeTrace(
+                rep.kernelName, rep.invocation, synth));
+        _handles.push_back(
+            tierTrace(_pool, store, std::move(columnar), _build));
     }
 }
 

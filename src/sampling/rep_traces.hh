@@ -55,13 +55,41 @@ class RepresentativeTraces
 {
   public:
     /**
+     * One stratum representative: the kernel name plus the full
+     * invocation record, which is all synthesis reads. The streaming
+     * pipeline materializes exactly these from a second bounded pass
+     * over the workload file.
+     */
+    struct RepInvocation
+    {
+        std::string kernelName;
+        trace::KernelInvocation invocation;
+    };
+
+    /**
      * Synthesize, columnarize, and tier every stratum's
-     * representative trace.
+     * representative trace. With `store`, cold forms land in the
+     * digest-sharded store (deduplicated at rest) instead of private
+     * per-slot blobs.
      */
     RepresentativeTraces(
         const trace::Workload &workload, const SamplingResult &result,
         gpusim::TraceSynthOptions synth = {},
-        trace::TierConfig tier = trace::TierConfig::fromEnv());
+        trace::TierConfig tier = trace::TierConfig::fromEnv(),
+        trace::ShardStore *store = nullptr);
+
+    /**
+     * Out-of-core variant: build from pre-fetched representative
+     * records, one per stratum in stratum order. Produces the same
+     * traces (and the same insert sequence, hence the same Stable
+     * trace.* counters) as the Workload constructor on equivalent
+     * input.
+     */
+    explicit RepresentativeTraces(
+        const std::vector<RepInvocation> &reps,
+        gpusim::TraceSynthOptions synth = {},
+        trace::TierConfig tier = trace::TierConfig::fromEnv(),
+        trace::ShardStore *store = nullptr);
 
     /** Handles in stratum order. */
     const std::vector<trace::TraceHandle> &handles() const

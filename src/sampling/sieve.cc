@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
@@ -19,36 +20,34 @@ SieveSampler::SieveSampler(SieveConfig config) : _config(config)
 }
 
 size_t
-SieveSampler::selectRepresentative(const trace::Workload &workload,
-                                   const std::vector<size_t> &members,
-                                   Tier tier) const
+SieveSampler::selectRepresentative(
+    const KernelProfileView &kernel,
+    const std::vector<size_t> &positions, Tier tier) const
 {
-    SIEVE_ASSERT(!members.empty(), "empty stratum");
+    SIEVE_ASSERT(!positions.empty(), "empty stratum");
 
-    // Members are ascending by invocation index, which is
-    // chronological order; the first entry is the first-chronological
-    // invocation.
+    // Positions are ascending, and members are ascending by
+    // invocation index, which is chronological order; the first
+    // entry is the first-chronological invocation.
     if (tier == Tier::Tier1 ||
         _config.selection == SieveSelection::FirstChronological)
-        return members.front();
+        return kernel.members[positions.front()];
 
     if (_config.selection == SieveSelection::MaxCta) {
         uint32_t max_cta = 0;
-        for (size_t idx : members) {
-            max_cta = std::max(max_cta,
-                               workload.invocation(idx).launch.ctaSize());
-        }
-        for (size_t idx : members) {
-            if (workload.invocation(idx).launch.ctaSize() == max_cta)
-                return idx;
+        for (size_t pos : positions)
+            max_cta = std::max(max_cta, kernel.ctaSizes[pos]);
+        for (size_t pos : positions) {
+            if (kernel.ctaSizes[pos] == max_cta)
+                return kernel.members[pos];
         }
     }
 
     // Default policy: dominant (most frequent) CTA size, then first
     // chronological among invocations with that size.
     std::map<uint32_t, size_t> cta_counts;
-    for (size_t idx : members)
-        ++cta_counts[workload.invocation(idx).launch.ctaSize()];
+    for (size_t pos : positions)
+        ++cta_counts[kernel.ctaSizes[pos]];
 
     uint32_t dominant = 0;
     size_t best_count = 0;
@@ -58,16 +57,24 @@ SieveSampler::selectRepresentative(const trace::Workload &workload,
             dominant = size;
         }
     }
-    for (size_t idx : members) {
-        if (workload.invocation(idx).launch.ctaSize() == dominant)
-            return idx;
+    for (size_t pos : positions) {
+        if (kernel.ctaSizes[pos] == dominant)
+            return kernel.members[pos];
     }
-    return members.front(); // unreachable; keeps the compiler content
+    // unreachable; keeps the compiler content
+    return kernel.members[positions.front()];
 }
 
 SamplingResult
 SieveSampler::sample(const trace::Workload &workload,
                      ThreadPool *pool) const
+{
+    return sampleProfile(profileWorkload(workload), pool);
+}
+
+SamplingResult
+SieveSampler::sampleProfile(const WorkloadProfile &profile,
+                            ThreadPool *pool) const
 {
     static obs::Counter &c_samples =
         obs::counter("sampling.sieve.samples");
@@ -78,26 +85,25 @@ SieveSampler::sample(const trace::Workload &workload,
     static obs::Counter &c_tier3 =
         obs::counter("sampling.sieve.strata.tier3");
     c_samples.add();
-    obs::Span span("sampling", "sieve:" + workload.name());
+    obs::Span span("sampling", "sieve:" + profile.name);
 
     SamplingResult result;
     result.method = "sieve";
     result.theta = _config.theta;
 
-    uint64_t total_insts = workload.totalInstructions();
+    uint64_t total_insts = profile.totalInstructions;
     SIEVE_ASSERT(total_insts > 0, "workload with zero instructions");
 
-    for (uint32_t k = 0; k < workload.numKernels(); ++k) {
-        std::vector<size_t> members = workload.invocationsOfKernel(k);
-        if (members.empty())
+    for (uint32_t k = 0; k < profile.kernels.size(); ++k) {
+        const KernelProfileView &kernel = profile.kernels[k];
+        if (kernel.members.empty())
             continue;
+        const size_t n = kernel.members.size();
 
         std::vector<double> counts;
-        counts.reserve(members.size());
-        for (size_t idx : members) {
-            counts.push_back(static_cast<double>(
-                workload.invocation(idx).instructions()));
-        }
+        counts.reserve(n);
+        for (uint64_t insts : kernel.instructions)
+            counts.push_back(static_cast<double>(insts));
 
         // Tier the kernel by instruction-count variability.
         bool all_equal = std::all_of(
@@ -107,12 +113,14 @@ SieveSampler::sample(const trace::Workload &workload,
 
         if (all_equal || cov < _config.theta) {
             Tier tier = all_equal ? Tier::Tier1 : Tier::Tier2;
+            std::vector<size_t> positions(n);
+            std::iota(positions.begin(), positions.end(), size_t{0});
             Stratum stratum;
-            stratum.members = members;
+            stratum.members = kernel.members;
             stratum.kernelId = k;
             stratum.tier = tier;
             stratum.representative =
-                selectRepresentative(workload, members, tier);
+                selectRepresentative(kernel, positions, tier);
             result.strata.push_back(std::move(stratum));
             (tier == Tier::Tier1 ? c_tier1 : c_tier2).add();
             continue;
@@ -125,28 +133,38 @@ SieveSampler::sample(const trace::Workload &workload,
         size_t n_strata = stats::numStrata(labels);
 
         std::vector<std::vector<size_t>> groups(n_strata);
-        for (size_t i = 0; i < members.size(); ++i)
-            groups[labels[i]].push_back(members[i]);
+        for (size_t i = 0; i < n; ++i)
+            groups[labels[i]].push_back(i);
 
         for (auto &group : groups) {
             if (group.empty())
                 continue;
             Stratum stratum;
-            stratum.members = std::move(group);
             stratum.kernelId = k;
             stratum.tier = Tier::Tier3;
-            stratum.representative = selectRepresentative(
-                workload, stratum.members, Tier::Tier3);
+            stratum.representative =
+                selectRepresentative(kernel, group, Tier::Tier3);
+            stratum.members.reserve(group.size());
+            for (size_t pos : group)
+                stratum.members.push_back(kernel.members[pos]);
             result.strata.push_back(std::move(stratum));
             c_tier3.add();
         }
     }
 
     // Weights: stratum instruction count over total instruction count.
+    // Summed in member (chronological) order, exactly as the resident
+    // path always has.
     for (auto &stratum : result.strata) {
+        const KernelProfileView &kernel =
+            profile.kernels[stratum.kernelId];
         uint64_t insts = 0;
-        for (size_t idx : stratum.members)
-            insts += workload.invocation(idx).instructions();
+        size_t pos = 0;
+        for (size_t idx : stratum.members) {
+            while (kernel.members[pos] != idx)
+                ++pos;
+            insts += kernel.instructions[pos];
+        }
         stratum.weight = static_cast<double>(insts) /
                          static_cast<double>(total_insts);
     }
@@ -172,6 +190,24 @@ SieveSampler::predictIpc(
 }
 
 double
+SieveSampler::predictIpcFromReps(
+    const SamplingResult &result,
+    const std::vector<gpu::KernelResult> &rep_results) const
+{
+    SIEVE_ASSERT(rep_results.size() == result.strata.size(),
+                 "one representative result per stratum expected");
+    std::vector<double> ipcs;
+    std::vector<double> weights;
+    ipcs.reserve(result.strata.size());
+    weights.reserve(result.strata.size());
+    for (size_t s = 0; s < result.strata.size(); ++s) {
+        ipcs.push_back(rep_results[s].ipc);
+        weights.push_back(result.strata[s].weight);
+    }
+    return stats::weightedHarmonicMean(ipcs, weights);
+}
+
+double
 SieveSampler::predictCycles(
     const SamplingResult &result, const trace::Workload &workload,
     const std::vector<gpu::KernelResult> &per_invocation) const
@@ -179,6 +215,16 @@ SieveSampler::predictCycles(
     double ipc = predictIpc(result, per_invocation);
     SIEVE_ASSERT(ipc > 0.0, "non-positive predicted IPC");
     return static_cast<double>(workload.totalInstructions()) / ipc;
+}
+
+double
+SieveSampler::predictCyclesFromReps(
+    const SamplingResult &result, uint64_t total_instructions,
+    const std::vector<gpu::KernelResult> &rep_results) const
+{
+    double ipc = predictIpcFromReps(result, rep_results);
+    SIEVE_ASSERT(ipc > 0.0, "non-positive predicted IPC");
+    return static_cast<double>(total_instructions) / ipc;
 }
 
 } // namespace sieve::sampling

@@ -26,6 +26,7 @@
 
 #include "common/thread_pool.hh"
 #include "gpu/hardware_executor.hh"
+#include "sampling/profile_view.hh"
 #include "sampling/sample.hh"
 #include "trace/workload.hh"
 
@@ -76,6 +77,15 @@ class SieveSampler
                           ThreadPool *pool = nullptr) const;
 
     /**
+     * The core pipeline, over a profile view instead of a resident
+     * workload. sample() is profileWorkload() + this; the streaming
+     * path is profileStream() + this — byte-identical results by
+     * construction, since the profile is all the sampler ever reads.
+     */
+    SamplingResult sampleProfile(const WorkloadProfile &profile,
+                                 ThreadPool *pool = nullptr) const;
+
+    /**
      * Predict whole-application cycle count from the measured (or
      * simulated) performance of the representatives only.
      *
@@ -96,9 +106,28 @@ class SieveSampler
         const SamplingResult &result,
         const std::vector<gpu::KernelResult> &per_invocation) const;
 
+    /**
+     * predictIpc() when only the representatives were executed:
+     * `rep_results[i]` is the result of strata[i]'s representative.
+     * Bit-identical to the per-invocation overload on the same
+     * values (same strata-order harmonic mean).
+     */
+    double predictIpcFromReps(
+        const SamplingResult &result,
+        const std::vector<gpu::KernelResult> &rep_results) const;
+
+    /** predictCycles() from per-stratum representative results. */
+    double predictCyclesFromReps(
+        const SamplingResult &result, uint64_t total_instructions,
+        const std::vector<gpu::KernelResult> &rep_results) const;
+
   private:
-    size_t selectRepresentative(const trace::Workload &workload,
-                                const std::vector<size_t> &members,
+    /**
+     * Pick a representative among `positions` (indexes into the
+     * kernel view's columns); returns a global invocation index.
+     */
+    size_t selectRepresentative(const KernelProfileView &kernel,
+                                const std::vector<size_t> &positions,
                                 Tier tier) const;
 
     SieveConfig _config;

@@ -29,18 +29,31 @@ where(const CsvTable &table, size_t row)
 } // namespace
 
 CsvTable
+emptySieveProfileTable()
+{
+    return CsvTable({"kernel", "invocation", "instruction_count",
+                     "cta_size"});
+}
+
+void
+appendSieveProfileRow(CsvTable &table, const std::string &kernel_name,
+                      const KernelInvocation &inv)
+{
+    table.addRow({
+        kernel_name,
+        u64(inv.invocationId),
+        u64(inv.mix.instructionCount),
+        u64(inv.launch.ctaSize()),
+    });
+}
+
+CsvTable
 sieveProfileTable(const Workload &workload)
 {
-    CsvTable table({"kernel", "invocation", "instruction_count",
-                    "cta_size"});
-    for (const auto &inv : workload.invocations()) {
-        table.addRow({
-            workload.kernel(inv.kernelId).name,
-            u64(inv.invocationId),
-            u64(inv.mix.instructionCount),
-            u64(inv.launch.ctaSize()),
-        });
-    }
+    CsvTable table = emptySieveProfileTable();
+    for (const auto &inv : workload.invocations())
+        appendSieveProfileRow(table, workload.kernel(inv.kernelId).name,
+                              inv);
     return table;
 }
 

@@ -41,6 +41,19 @@ struct SieveProfileRow
 /** Build the Sieve profile table for a workload. */
 CsvTable sieveProfileTable(const Workload &workload);
 
+/** An empty Sieve profile table with the schema header only. */
+CsvTable emptySieveProfileTable();
+
+/**
+ * Append one invocation's profile row. sieveProfileTable() is this
+ * over every invocation in chronological order; the streaming
+ * profiler appends the same rows window by window, producing a
+ * byte-identical table.
+ */
+void appendSieveProfileRow(CsvTable &table,
+                           const std::string &kernel_name,
+                           const KernelInvocation &inv);
+
 /**
  * Parse and validate a Sieve profile table. Checks, per row: kernel
  * name non-empty, strictly increasing invocation ids (the profiler

@@ -1,0 +1,588 @@
+#include "trace/shard_store.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "io/mmap_file.hh"
+#include "io/span_reader.hh"
+#include "obs/metrics.hh"
+#include "trace/tier.hh"
+
+namespace sieve::trace {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestMagic[4] = {'S', 'V', 'S', 'M'};
+constexpr char kFrameMagic[4] = {'S', 'V', 'B', '1'};
+constexpr char kIndexMagic[4] = {'S', 'V', 'I', 'X'};
+constexpr uint32_t kStoreVersion = 1;
+
+/** frame magic + digest lo/hi + payload length. */
+constexpr size_t kFrameHeaderBytes = 4 + 8 + 8 + 4;
+
+/** Keep shard fan-out sane: more shards than this is a typo. */
+constexpr size_t kMaxShards = 4096;
+
+obs::Counter &
+putsCounter()
+{
+    static obs::Counter &c = obs::counter("store.shard.puts");
+    return c;
+}
+
+obs::Counter &
+dedupHitsCounter()
+{
+    static obs::Counter &c = obs::counter("store.shard.dedup_hits");
+    return c;
+}
+
+obs::Counter &
+storedBlobsCounter()
+{
+    static obs::Counter &c = obs::counter("store.shard.stored_blobs");
+    return c;
+}
+
+obs::Counter &
+storedBytesCounter()
+{
+    static obs::Counter &c = obs::counter("store.shard.stored_bytes");
+    return c;
+}
+
+obs::Counter &
+getsCounter()
+{
+    static obs::Counter &c = obs::counter("store.shard.gets");
+    return c;
+}
+
+template <typename T>
+void
+putPod(std::vector<uint8_t> &out, T value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(&value);
+    out.insert(out.end(), p, p + sizeof(T));
+}
+
+uint64_t
+fnv1a(const uint8_t *data, size_t size)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+Error
+storeError(ErrorKind kind, std::string message,
+           const std::string &source)
+{
+    return ingestError(kind,
+                       "shard store: " + std::move(message), source);
+}
+
+} // namespace
+
+struct ShardStore::State
+{
+    std::string dir;
+    size_t numShards = 0;
+
+    struct Entry
+    {
+        uint64_t offset = 0; //!< payload offset within the shard file
+        uint64_t length = 0; //!< payload length
+        uint32_t shard = 0;
+    };
+
+    mutable std::mutex mutex;
+    std::unordered_map<BlobDigest, Entry, BlobDigestHash> entries;
+    std::vector<uint64_t> shardBytes; //!< payload bytes per shard
+    std::vector<uint64_t> shardPuts;  //!< logical puts per shard
+
+    std::string
+    manifestPath() const
+    {
+        return dir + "/manifest.swm";
+    }
+
+    std::string
+    blobPath(size_t shard) const
+    {
+        return dir + "/shard_" + std::to_string(shard) + ".blobs";
+    }
+
+    std::string
+    indexPath(size_t shard) const
+    {
+        return dir + "/shard_" + std::to_string(shard) + ".idx";
+    }
+
+    size_t
+    shardOf(const BlobDigest &digest) const
+    {
+        return static_cast<size_t>(digest.lo %
+                                   static_cast<uint64_t>(numShards));
+    }
+};
+
+Expected<ShardStore>
+ShardStore::tryCreate(const std::string &dir, ShardStoreConfig config)
+{
+    if (config.numShards == 0 || config.numShards > kMaxShards)
+        return storeError(ErrorKind::Validation,
+                          "shard count " +
+                              std::to_string(config.numShards) +
+                              " out of range (want 1.." +
+                              std::to_string(kMaxShards) + ")",
+                          dir);
+
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        return storeError(ErrorKind::Io,
+                          "cannot create directory: " + ec.message(),
+                          dir);
+
+    auto state = std::make_shared<State>();
+    state->dir = dir;
+    state->numShards = config.numShards;
+    state->shardBytes.assign(config.numShards, 0);
+    state->shardPuts.assign(config.numShards, 0);
+
+    if (fs::exists(state->manifestPath()))
+        return storeError(ErrorKind::Validation,
+                          "a store already exists here", dir);
+
+    std::vector<uint8_t> manifest;
+    manifest.insert(manifest.end(), kManifestMagic,
+                    kManifestMagic + 4);
+    putPod<uint32_t>(manifest, kStoreVersion);
+    putPod<uint32_t>(manifest,
+                     static_cast<uint32_t>(config.numShards));
+    std::ofstream ofs(state->manifestPath(), std::ios::binary);
+    ofs.write(reinterpret_cast<const char *>(manifest.data()),
+              static_cast<std::streamsize>(manifest.size()));
+    if (!ofs)
+        return storeError(ErrorKind::Io, "cannot write manifest",
+                          state->manifestPath());
+    ofs.close();
+
+    ShardStore store(std::move(state));
+    // A fresh store must be immediately openable: empty indexes.
+    if (auto flushed = store.flushIndex(); !flushed)
+        return flushed.error();
+    return store;
+}
+
+Expected<ShardStore>
+ShardStore::tryOpen(const std::string &dir)
+{
+    auto state = std::make_shared<State>();
+    state->dir = dir;
+
+    auto manifest = io::MmapFile::tryOpen(state->manifestPath());
+    if (!manifest)
+        return storeError(ErrorKind::Io, "cannot read manifest",
+                          state->manifestPath());
+    const io::MmapFile &mview = manifest.value();
+    io::SpanReader in(mview.data(), mview.size(),
+                      state->manifestPath());
+    char magic[4];
+    in.readBytes(magic, sizeof(magic), "manifest magic");
+    if (!in.failed() &&
+        std::memcmp(magic, kManifestMagic, sizeof(magic)) != 0)
+        in.fail(ErrorKind::Parse, "shard store: bad manifest magic");
+    uint32_t version = in.read<uint32_t>("manifest version");
+    if (!in.failed() && version != kStoreVersion)
+        in.fail(ErrorKind::Validation,
+                "shard store: manifest version " +
+                    std::to_string(version) + " unsupported (want " +
+                    std::to_string(kStoreVersion) + ")");
+    uint32_t num_shards = in.read<uint32_t>("shard count");
+    if (!in.failed() &&
+        (num_shards == 0 || num_shards > kMaxShards))
+        in.fail(ErrorKind::Validation,
+                "shard store: implausible shard count " +
+                    std::to_string(num_shards));
+    if (!in.failed() && !in.atEnd())
+        in.fail(ErrorKind::Validation,
+                "shard store: trailing bytes after manifest");
+    if (in.failed())
+        return in.takeError();
+
+    state->numShards = num_shards;
+    state->shardBytes.assign(num_shards, 0);
+    state->shardPuts.assign(num_shards, 0);
+
+    for (size_t shard = 0; shard < state->numShards; ++shard) {
+        const std::string idx_path = state->indexPath(shard);
+        auto idx = io::MmapFile::tryOpen(idx_path);
+        if (!idx)
+            return storeError(ErrorKind::Io, "missing index file",
+                              idx_path);
+        const io::MmapFile &iview = idx.value();
+        io::SpanReader ix(iview.data(), iview.size(), idx_path);
+        char imagic[4];
+        ix.readBytes(imagic, sizeof(imagic), "index magic");
+        if (!ix.failed() &&
+            std::memcmp(imagic, kIndexMagic, sizeof(imagic)) != 0)
+            ix.fail(ErrorKind::Parse,
+                    "shard store: bad index magic");
+        uint32_t iversion = ix.read<uint32_t>("index version");
+        if (!ix.failed() && iversion != kStoreVersion)
+            ix.fail(ErrorKind::Validation,
+                    "shard store: index version " +
+                        std::to_string(iversion) +
+                        " unsupported (want " +
+                        std::to_string(kStoreVersion) + ")");
+        uint32_t ishard = ix.read<uint32_t>("index shard");
+        if (!ix.failed() && ishard != shard)
+            ix.fail(ErrorKind::Validation,
+                    "shard store: index claims shard " +
+                        std::to_string(ishard) + ", expected " +
+                        std::to_string(shard));
+        uint64_t count = ix.read<uint64_t>("index entry count");
+        if (ix.failed())
+            return ix.takeError();
+        // Exact-length check, overflow-safe: the remainder after the
+        // header must be `count` 32-byte entries plus the checksum.
+        if (ix.remaining() < 8 ||
+            (ix.remaining() - 8) % 32 != 0 ||
+            (ix.remaining() - 8) / 32 != count)
+            return storeError(
+                ErrorKind::Validation,
+                "index length does not match entry count " +
+                    std::to_string(count),
+                idx_path);
+        const uint8_t *entry_bytes =
+            iview.data() + (iview.size() - ix.remaining());
+        const uint64_t want_sum = fnv1a(entry_bytes, count * 32);
+
+        uint64_t blob_size = 0;
+        if (count > 0) {
+            std::error_code ec;
+            blob_size = fs::file_size(state->blobPath(shard), ec);
+            if (ec)
+                return storeError(ErrorKind::Io,
+                                  "missing blob file for shard " +
+                                      std::to_string(shard),
+                                  state->blobPath(shard));
+        }
+
+        for (uint64_t i = 0; i < count; ++i) {
+            BlobDigest digest;
+            State::Entry entry;
+            digest.lo = ix.read<uint64_t>("entry digest lo");
+            digest.hi = ix.read<uint64_t>("entry digest hi");
+            entry.offset = ix.read<uint64_t>("entry offset");
+            entry.length = ix.read<uint64_t>("entry length");
+            entry.shard = static_cast<uint32_t>(shard);
+            if (ix.failed())
+                return ix.takeError();
+            if (state->shardOf(digest) != shard)
+                return storeError(
+                    ErrorKind::Validation,
+                    "entry digest routed to wrong shard", idx_path);
+            if (entry.offset < kFrameHeaderBytes ||
+                entry.offset + entry.length > blob_size)
+                return storeError(
+                    ErrorKind::Validation,
+                    "entry [" + std::to_string(entry.offset) + ", +" +
+                        std::to_string(entry.length) +
+                        ") outside blob file of " +
+                        std::to_string(blob_size) + " bytes",
+                    idx_path);
+            if (!state->entries.emplace(digest, entry).second)
+                return storeError(ErrorKind::Validation,
+                                  "duplicate digest in index",
+                                  idx_path);
+            state->shardBytes[shard] += entry.length;
+        }
+        uint64_t got_sum = ix.read<uint64_t>("index checksum");
+        if (ix.failed())
+            return ix.takeError();
+        if (got_sum != want_sum)
+            return storeError(ErrorKind::Validation,
+                              "index checksum mismatch", idx_path);
+        // History is unknown on reopen: seed logical puts at one per
+        // blob at rest.
+        state->shardPuts[shard] = count;
+    }
+    return ShardStore(std::move(state));
+}
+
+Expected<ShardStore::PutResult>
+ShardStore::tryPut(const BlobDigest &digest,
+                   const ColumnarTrace &trace)
+{
+    std::lock_guard<std::mutex> lock(_state->mutex);
+    const size_t shard = _state->shardOf(digest);
+    ++_state->shardPuts[shard];
+    putsCounter().add();
+
+    auto it = _state->entries.find(digest);
+    if (it != _state->entries.end()) {
+        dedupHitsCounter().add();
+        return PutResult{false,
+                         static_cast<size_t>(it->second.length)};
+    }
+
+    const std::vector<uint8_t> payload = hibernate(trace);
+
+    const std::string blob_path = _state->blobPath(shard);
+    std::error_code ec;
+    uint64_t frame_offset = 0;
+    if (fs::exists(blob_path)) {
+        frame_offset = fs::file_size(blob_path, ec);
+        if (ec)
+            return storeError(ErrorKind::Io,
+                              "cannot stat shard file", blob_path);
+    }
+    std::ofstream ofs(blob_path, std::ios::binary | std::ios::app);
+    if (!ofs)
+        return storeError(ErrorKind::Io, "cannot append to shard file",
+                          blob_path);
+
+    std::vector<uint8_t> header;
+    header.insert(header.end(), kFrameMagic, kFrameMagic + 4);
+    putPod<uint64_t>(header, digest.lo);
+    putPod<uint64_t>(header, digest.hi);
+    putPod<uint32_t>(header, static_cast<uint32_t>(payload.size()));
+    ofs.write(reinterpret_cast<const char *>(header.data()),
+              static_cast<std::streamsize>(header.size()));
+    ofs.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    ofs.flush();
+    if (!ofs)
+        return storeError(ErrorKind::Io, "short write to shard file",
+                          _state->blobPath(shard));
+
+    State::Entry entry;
+    entry.offset = frame_offset + kFrameHeaderBytes;
+    entry.length = payload.size();
+    entry.shard = static_cast<uint32_t>(shard);
+    _state->entries.emplace(digest, entry);
+    _state->shardBytes[shard] += entry.length;
+    storedBlobsCounter().add();
+    storedBytesCounter().add(payload.size());
+    return PutResult{true, payload.size()};
+}
+
+Expected<ColumnarTrace>
+ShardStore::tryGet(const BlobDigest &digest) const
+{
+    State::Entry entry;
+    {
+        std::lock_guard<std::mutex> lock(_state->mutex);
+        auto it = _state->entries.find(digest);
+        if (it == _state->entries.end())
+            return storeError(ErrorKind::Validation,
+                              "digest not in store", _state->dir);
+        entry = it->second;
+        getsCounter().add();
+    }
+
+    const std::string path = _state->blobPath(entry.shard);
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        return storeError(ErrorKind::Io, "cannot open shard file",
+                          path);
+    ifs.seekg(static_cast<std::streamoff>(entry.offset));
+    std::vector<uint8_t> payload(
+        static_cast<size_t>(entry.length));
+    ifs.read(reinterpret_cast<char *>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+    if (!ifs)
+        return storeError(ErrorKind::Io,
+                          "short read of blob at offset " +
+                              std::to_string(entry.offset),
+                          path);
+    return tryRehydrate(payload.data(), payload.size(), path);
+}
+
+bool
+ShardStore::contains(const BlobDigest &digest) const
+{
+    std::lock_guard<std::mutex> lock(_state->mutex);
+    return _state->entries.find(digest) != _state->entries.end();
+}
+
+std::optional<size_t>
+ShardStore::blobBytes(const BlobDigest &digest) const
+{
+    std::lock_guard<std::mutex> lock(_state->mutex);
+    auto it = _state->entries.find(digest);
+    if (it == _state->entries.end())
+        return std::nullopt;
+    return static_cast<size_t>(it->second.length);
+}
+
+Expected<void>
+ShardStore::flushIndex() const
+{
+    std::lock_guard<std::mutex> lock(_state->mutex);
+
+    // Group entries per shard, ordered by offset so the index is a
+    // deterministic function of the blob file contents.
+    std::vector<std::vector<std::pair<BlobDigest, State::Entry>>>
+        per_shard(_state->numShards);
+    for (const auto &[digest, entry] : _state->entries)
+        per_shard[entry.shard].emplace_back(digest, entry);
+    for (auto &entries : per_shard)
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.offset < b.second.offset;
+                  });
+
+    for (size_t shard = 0; shard < _state->numShards; ++shard) {
+        std::vector<uint8_t> entry_bytes;
+        entry_bytes.reserve(per_shard[shard].size() * 32);
+        for (const auto &[digest, entry] : per_shard[shard]) {
+            putPod<uint64_t>(entry_bytes, digest.lo);
+            putPod<uint64_t>(entry_bytes, digest.hi);
+            putPod<uint64_t>(entry_bytes, entry.offset);
+            putPod<uint64_t>(entry_bytes, entry.length);
+        }
+
+        std::vector<uint8_t> out;
+        out.insert(out.end(), kIndexMagic, kIndexMagic + 4);
+        putPod<uint32_t>(out, kStoreVersion);
+        putPod<uint32_t>(out, static_cast<uint32_t>(shard));
+        putPod<uint64_t>(out,
+                         static_cast<uint64_t>(
+                             per_shard[shard].size()));
+        out.insert(out.end(), entry_bytes.begin(),
+                   entry_bytes.end());
+        putPod<uint64_t>(out, fnv1a(entry_bytes.data(),
+                                    entry_bytes.size()));
+
+        const std::string path = _state->indexPath(shard);
+        std::ofstream ofs(path,
+                          std::ios::binary | std::ios::trunc);
+        ofs.write(reinterpret_cast<const char *>(out.data()),
+                  static_cast<std::streamsize>(out.size()));
+        if (!ofs)
+            return storeError(ErrorKind::Io,
+                              "cannot write index file", path);
+    }
+    return {};
+}
+
+Expected<std::vector<ShardStore::HealthIssue>>
+ShardStore::validate() const
+{
+    std::vector<HealthIssue> issues;
+    auto reopened = tryOpen(_state->dir);
+    if (!reopened) {
+        // Distinguish "the store is broken" (a finding) from "the
+        // manifest is unreadable" (an outright error).
+        if (!fs::exists(_state->manifestPath()))
+            return storeError(ErrorKind::Io, "missing manifest",
+                              _state->manifestPath());
+        issues.push_back(
+            HealthIssue{0, reopened.error().message});
+        return issues;
+    }
+
+    const auto &disk = *reopened.value()._state;
+    for (const auto &[digest, entry] : disk.entries) {
+        const std::string path = disk.blobPath(entry.shard);
+        std::ifstream ifs(path, std::ios::binary);
+        if (!ifs) {
+            issues.push_back(HealthIssue{
+                entry.shard, "cannot open blob file " + path});
+            continue;
+        }
+        ifs.seekg(static_cast<std::streamoff>(entry.offset -
+                                              kFrameHeaderBytes));
+        uint8_t header[kFrameHeaderBytes];
+        ifs.read(reinterpret_cast<char *>(header), sizeof(header));
+        if (!ifs) {
+            issues.push_back(HealthIssue{
+                entry.shard,
+                "short read of frame header at offset " +
+                    std::to_string(entry.offset -
+                                   kFrameHeaderBytes)});
+            continue;
+        }
+        BlobDigest got;
+        uint32_t len = 0;
+        std::memcpy(&got.lo, header + 4, 8);
+        std::memcpy(&got.hi, header + 12, 8);
+        std::memcpy(&len, header + 20, 4);
+        if (std::memcmp(header, kFrameMagic, 4) != 0)
+            issues.push_back(HealthIssue{
+                entry.shard,
+                "bad frame magic at offset " +
+                    std::to_string(entry.offset -
+                                   kFrameHeaderBytes)});
+        else if (!(got == digest))
+            issues.push_back(HealthIssue{
+                entry.shard,
+                "frame digest mismatch at offset " +
+                    std::to_string(entry.offset -
+                                   kFrameHeaderBytes)});
+        else if (len != entry.length)
+            issues.push_back(HealthIssue{
+                entry.shard,
+                "frame length " + std::to_string(len) +
+                    " != index length " +
+                    std::to_string(entry.length)});
+    }
+    std::sort(issues.begin(), issues.end(),
+              [](const HealthIssue &a, const HealthIssue &b) {
+                  return a.shard != b.shard ? a.shard < b.shard
+                                            : a.problem < b.problem;
+              });
+    return issues;
+}
+
+size_t
+ShardStore::numShards() const
+{
+    return _state->numShards;
+}
+
+size_t
+ShardStore::numBlobs() const
+{
+    std::lock_guard<std::mutex> lock(_state->mutex);
+    return _state->entries.size();
+}
+
+const std::string &
+ShardStore::directory() const
+{
+    return _state->dir;
+}
+
+std::vector<ShardStore::ShardInfo>
+ShardStore::shardInfo() const
+{
+    std::lock_guard<std::mutex> lock(_state->mutex);
+    std::vector<ShardInfo> info(_state->numShards);
+    for (size_t shard = 0; shard < _state->numShards; ++shard) {
+        info[shard].shard = shard;
+        info[shard].blobBytes =
+            static_cast<size_t>(_state->shardBytes[shard]);
+        info[shard].puts = _state->shardPuts[shard];
+    }
+    for (const auto &[digest, entry] : _state->entries)
+        ++info[entry.shard].blobs;
+    return info;
+}
+
+} // namespace sieve::trace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Digest-sharded on-disk trace store: content-addressed columnar
+ * blobs, deduplicated at rest.
+ *
+ * Representative traces are bulky and — once synthesis is
+ * content-seeded — frequently identical: many strata collapse onto
+ * the same canonical trace. The shard store exploits that on disk
+ * the way the sim-cache (PR 4) does in memory. A trace is keyed by
+ * its content digest (`BlobDigest`, the 128-bit digest the gpusim
+ * layer computes over canonical columnar bytes); the key picks one
+ * of N shard files (`lo % N`, in the spirit of deltafs' per-shard
+ * partitioned logs), and the blob — `compressBytes(encodeColumnar(t))`,
+ * the exact hibernation payload of the tier layer — is appended to
+ * that shard exactly once. A second put of the same digest is a
+ * metadata hit: *identical traces dedup at rest*.
+ *
+ * On-disk layout (`dir/`):
+ *
+ *     manifest.swm     "SVSM" | u32 version | u32 numShards
+ *     shard_<k>.blobs  frames: "SVB1" | digest lo,hi (u64 each)
+ *                      | u32 payload length | payload
+ *     shard_<k>.idx    "SVIX" | u32 version | u32 shard | u64 count
+ *                      | count x {lo, hi, offset, length (u64 each)}
+ *                      | u64 FNV-1a checksum of the entry bytes
+ *
+ * Offsets address the payload (not the frame header), so a get is
+ * one pread + tryRehydrate. Every layer is checksummed: the index
+ * carries its own FNV trailer, the frame header pins the digest, and
+ * the payload is the tier layer's checksummed compressed columnar
+ * encoding — corruption anywhere yields a structured Error, never a
+ * silently-wrong trace (validate() sweeps all three layers).
+ *
+ * Stable counters `store.shard.puts`, `store.shard.dedup_hits`,
+ * `store.shard.stored_blobs`, `store.shard.stored_bytes`, and
+ * `store.shard.gets` are sums over the put/get multiset — order
+ * independent, hence --jobs-invariant.
+ *
+ * Thread-safe (one mutex; see DESIGN.md §11 for why that is enough).
+ */
+
+#ifndef SIEVE_TRACE_SHARD_STORE_HH
+#define SIEVE_TRACE_SHARD_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "trace/columnar.hh"
+
+namespace sieve::trace {
+
+/**
+ * 128-bit content digest key. Interconvertible with the gpusim
+ * layer's TraceDigest (sieve_trace cannot link sieve_gpusim, so the
+ * key type lives here and callers hand digests down).
+ */
+struct BlobDigest
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool operator==(const BlobDigest &other) const = default;
+};
+
+struct BlobDigestHash
+{
+    size_t
+    operator()(const BlobDigest &d) const
+    {
+        return static_cast<size_t>(d.lo ^
+                                   (d.hi * 0x9e3779b97f4a7c15ull));
+    }
+};
+
+/** Store shape. */
+struct ShardStoreConfig
+{
+    size_t numShards = 8;
+};
+
+/**
+ * One sharded store rooted at a directory. Copyable handle (shared
+ * state); create/open are the only constructors.
+ */
+class ShardStore
+{
+  public:
+    /** Outcome of a put: freshly stored, or deduplicated. */
+    struct PutResult
+    {
+        bool inserted = false; //!< false = digest already at rest
+        size_t blobBytes = 0;  //!< compressed payload size
+    };
+
+    /** Per-shard census for `sieve shard-stats`. */
+    struct ShardInfo
+    {
+        size_t shard = 0;
+        size_t blobs = 0;      //!< unique blobs at rest
+        size_t blobBytes = 0;  //!< payload bytes at rest
+        uint64_t puts = 0;     //!< logical puts routed here
+
+        /** Logical puts per stored blob (1.0 = no dedup). */
+        double
+        dedupRatio() const
+        {
+            return blobs == 0
+                       ? 1.0
+                       : static_cast<double>(puts) /
+                             static_cast<double>(blobs);
+        }
+    };
+
+    /** One problem found by validate(). */
+    struct HealthIssue
+    {
+        size_t shard = 0;
+        std::string problem;
+    };
+
+    /**
+     * Initialize a fresh store at `dir` (created if missing; must
+     * not already contain a store).
+     */
+    static Expected<ShardStore> tryCreate(const std::string &dir,
+                                          ShardStoreConfig config = {});
+
+    /** Open an existing store, loading and verifying all indexes. */
+    static Expected<ShardStore> tryOpen(const std::string &dir);
+
+    /**
+     * Store `trace` under `digest`. A repeat digest never re-writes:
+     * it returns `{inserted = false}` with the at-rest size.
+     */
+    Expected<PutResult> tryPut(const BlobDigest &digest,
+                               const ColumnarTrace &trace);
+
+    /**
+     * Read back and decode the blob stored under `digest`. The key
+     * is the gpusim simulation-equivalence digest, which excludes
+     * kernelName/invocationId — so when several identity-differing
+     * traces deduped onto one blob, the decoded trace carries the
+     * *first* put's identity fields. Callers that need exact
+     * identity keep it themselves and re-stamp it (the tier pool's
+     * store-backed slots do).
+     */
+    Expected<ColumnarTrace> tryGet(const BlobDigest &digest) const;
+
+    bool contains(const BlobDigest &digest) const;
+
+    /** At-rest compressed size of a stored blob, if present. */
+    std::optional<size_t> blobBytes(const BlobDigest &digest) const;
+
+    /**
+     * Rewrite every shard's index file to match the in-memory entry
+     * table. Call after a batch of puts; a store opened without a
+     * flush sees only the last flushed state.
+     */
+    Expected<void> flushIndex() const;
+
+    /**
+     * Deep scan of the on-disk state: manifest, per-shard index
+     * (magic, version, checksum, bounds), and every frame header
+     * against its index entry. Returns the issues found (empty =
+     * healthy); only an unreadable manifest is an outright Error.
+     */
+    Expected<std::vector<HealthIssue>> validate() const;
+
+    size_t numShards() const;
+    size_t numBlobs() const;
+    const std::string &directory() const;
+    std::vector<ShardInfo> shardInfo() const;
+
+  private:
+    struct State;
+    explicit ShardStore(std::shared_ptr<State> state)
+        : _state(std::move(state))
+    {
+    }
+
+    std::shared_ptr<State> _state;
+};
+
+} // namespace sieve::trace
+
+#endif // SIEVE_TRACE_SHARD_STORE_HH

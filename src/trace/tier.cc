@@ -243,17 +243,34 @@ struct TraceSlot
      * state -> slot -> state reference cycle and leak every pool.
      */
     PoolState *pool = nullptr;
-    std::vector<uint8_t> blob;
+    std::vector<uint8_t> blob;  //!< private cold form (legacy path)
     std::optional<ColumnarTrace> hot;
     size_t hotBytes = 0;    //!< residentBytes() of the decoded form
+    size_t blobSize = 0;    //!< compressed cold-form size (either path)
     uint64_t instructions = 0;
     uint32_t pins = 0;
     uint64_t lruTick = 0;   //!< last touch (0 = never resident)
+    bool storeBacked = false; //!< cold form lives in the shard store
+    BlobDigest digest;        //!< store key (storeBacked only)
+
+    /**
+     * Identity fields of a store-backed trace. The store key is the
+     * gpusim *simulation-equivalence* digest, which deliberately
+     * excludes kernelName and invocationId so content-identical
+     * traces dedup to one blob; the slot keeps its own identity
+     * resident (a few bytes) and re-stamps it after rehydration, so
+     * a pin always observes the exact trace that was inserted.
+     */
+    std::string kernelName;
+    uint64_t invocationId = 0;
 };
 
 struct PoolState
 {
     mutable std::mutex mutex;
+    // Shared handle: keeps the store state alive for as long as any
+    // handle can still rehydrate from it.
+    std::optional<ShardStore> store;
     size_t budgetBytes = 0;
     size_t residentBytes = 0; //!< sum of hot slots' hotBytes
     uint64_t tick = 0;
@@ -355,13 +372,24 @@ TraceHandle::pin() const
     detail::PoolState &pool = *_state;
     std::lock_guard<std::mutex> lock(pool.mutex);
     if (!_slot->hot) {
-        // Rehydrate. The blob was produced in-process by
-        // hibernate(), so failure means memory corruption: fatal.
-        auto trace = tryRehydrate(_slot->blob.data(),
-                                  _slot->blob.size(), "<tier-pool>");
+        // Rehydrate. The cold form was produced in-process by
+        // hibernate() (directly, or via the shard store), so failure
+        // means corruption: fatal.
+        Expected<ColumnarTrace> trace =
+            _slot->storeBacked
+                ? pool.store->tryGet(_slot->digest)
+                : tryRehydrate(_slot->blob.data(),
+                               _slot->blob.size(), "<tier-pool>");
         if (!trace)
-            fatal("corrupt hibernated trace: ",
+            fatal(_slot->storeBacked ? "corrupt shard-store trace: "
+                                     : "corrupt hibernated trace: ",
                   trace.error().message);
+        if (_slot->storeBacked) {
+            // The store deduplicates by content digest; restore this
+            // slot's own identity over the shared body.
+            trace.value().kernelName = _slot->kernelName;
+            trace.value().invocationId = _slot->invocationId;
+        }
         _slot->hot.emplace(std::move(trace.value()));
         pool.residentBytes += _slot->hotBytes;
         rehydrationCounter().add();
@@ -386,7 +414,7 @@ size_t
 TraceHandle::blobBytes() const
 {
     SIEVE_ASSERT(_slot, "blobBytes() on an empty TraceHandle");
-    return _slot->blob.size();
+    return _slot->blobSize;
 }
 
 size_t
@@ -409,12 +437,19 @@ TraceTierPool::TraceTierPool(TierConfig config)
     _state->budgetBytes = config.budgetBytes;
 }
 
+TraceTierPool::TraceTierPool(TierConfig config, ShardStore store)
+    : TraceTierPool(config)
+{
+    _state->store.emplace(std::move(store));
+}
+
 TraceHandle
 TraceTierPool::insert(ColumnarTrace trace)
 {
     auto slot = std::make_shared<detail::TraceSlot>();
     slot->pool = _state.get();
     slot->blob = hibernate(trace);
+    slot->blobSize = slot->blob.size();
     slot->hotBytes = trace.residentBytes();
     slot->instructions = trace.numInstructions();
 
@@ -436,13 +471,53 @@ TraceTierPool::insert(ColumnarTrace trace)
     return TraceHandle(_state, slot);
 }
 
+TraceHandle
+TraceTierPool::insert(ColumnarTrace trace, const BlobDigest &digest)
+{
+    SIEVE_ASSERT(_state->store.has_value(),
+                 "digest insert() on a pool without a shard store");
+    auto slot = std::make_shared<detail::TraceSlot>();
+    slot->pool = _state.get();
+    slot->storeBacked = true;
+    slot->digest = digest;
+    slot->kernelName = trace.kernelName;
+    slot->invocationId = trace.invocationId;
+    slot->hotBytes = trace.residentBytes();
+    slot->instructions = trace.numInstructions();
+
+    // The store is this process's own output directory; failure to
+    // append is unrecoverable for the pipeline, like an unwritable
+    // trace export.
+    auto put = _state->store->tryPut(digest, trace);
+    if (!put)
+        fatal("shard store put failed: ", put.error().message);
+    slot->blobSize = put.value().blobBytes;
+
+    std::lock_guard<std::mutex> lock(_state->mutex);
+    slot->hot.emplace(std::move(trace));
+    slot->lruTick = ++_state->tick;
+    _state->residentBytes += slot->hotBytes;
+    _state->slots.push_back(slot);
+
+    bytesResidentCounter().add(slot->hotBytes);
+    uint64_t insts = std::max<uint64_t>(slot->instructions, 1);
+    bytesPerInstCounter().add(
+        (static_cast<uint64_t>(slot->hotBytes) * 1000 + insts / 2) /
+        insts);
+
+    _state->enforceBudget();
+    return TraceHandle(_state, slot);
+}
+
 TraceTierPool::Occupancy
 TraceTierPool::occupancy() const
 {
     Occupancy occ;
     std::lock_guard<std::mutex> lock(_state->mutex);
     for (const auto &slot : _state->slots) {
-        occ.blobBytes += slot->blob.size();
+        // Store-backed slots report their at-rest size; shared blobs
+        // are counted once per referencing slot (logical census).
+        occ.blobBytes += slot->blobSize;
         if (slot->hot) {
             ++occ.hotTraces;
             occ.hotBytes += slot->hotBytes;

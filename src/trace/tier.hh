@@ -44,6 +44,7 @@
 
 #include "common/error.hh"
 #include "trace/columnar.hh"
+#include "trace/shard_store.hh"
 
 namespace sieve::trace {
 
@@ -181,8 +182,28 @@ class TraceTierPool
   public:
     explicit TraceTierPool(TierConfig config = TierConfig::fromEnv());
 
+    /**
+     * Store-backed pool: cold forms live in `store` (content
+     * addressed, deduplicated at rest) instead of private per-slot
+     * blobs. Insert via the digest overload; `store` is a shared
+     * handle, so the pool keeps the underlying store state alive.
+     */
+    TraceTierPool(TierConfig config, ShardStore store);
+
     /** Take ownership of a trace; returns its stable handle. */
     TraceHandle insert(ColumnarTrace trace);
+
+    /**
+     * Store-backed insert: the cold form is put into the shard store
+     * under `digest` (a repeat digest writes nothing — dedup at
+     * rest) and the slot rehydrates from the store on demand. The
+     * digest excludes the trace's identity fields (kernelName,
+     * invocationId); the slot keeps them resident and re-stamps them
+     * on rehydration, so pins always observe the inserted trace
+     * exactly even when several identities share one blob. Only
+     * valid on a pool constructed with a store.
+     */
+    TraceHandle insert(ColumnarTrace trace, const BlobDigest &digest);
 
     /** Point-in-time tier census. */
     struct Occupancy

@@ -26,6 +26,13 @@ Workload::addInvocation(KernelInvocation inv)
     _invocations.push_back(std::move(inv));
 }
 
+void
+Workload::reserve(size_t kernels, size_t invocations)
+{
+    _kernels.reserve(kernels);
+    _invocations.reserve(invocations);
+}
+
 const Kernel &
 Workload::kernel(uint32_t id) const
 {

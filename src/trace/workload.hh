@@ -61,6 +61,13 @@ class Workload
     /** Append an invocation. Its invocationId is assigned here. */
     void addInvocation(KernelInvocation inv);
 
+    /**
+     * Pre-size the kernel/invocation vectors. Loaders call this with
+     * header-declared counts *after* validating them against the
+     * file size, so a hostile header cannot force a huge allocation.
+     */
+    void reserve(size_t kernels, size_t invocations);
+
     size_t numKernels() const { return _kernels.size(); }
     size_t numInvocations() const { return _invocations.size(); }
 

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Shared internals of the .swl workload file format.
+ *
+ * The resident loader (workload_io.cc, over an istream `BinReader`
+ * or an mmapped `io::SpanReader`) and the out-of-core stream reader
+ * (workload_stream.cc, windows of records over a mapped file) must
+ * agree bit-for-bit on both the byte layout and the error text/
+ * offsets they produce. This header is that single source of truth:
+ * the format constants, the per-record reader, and the header parser
+ * are function templates over the reader concept (`read<T>`,
+ * `readBytes`, `fail`, `failed`, `takeError`, `offset`, `atEnd`), so
+ * there is exactly one implementation to validate against hostile
+ * input.
+ *
+ * Internal to sieve_trace — not part of the public trace API.
+ */
+
+#ifndef SIEVE_TRACE_WORKLOAD_FORMAT_HH
+#define SIEVE_TRACE_WORKLOAD_FORMAT_HH
+
+#include <cmath>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "trace/workload.hh"
+#include "trace/workload_io.hh"
+
+namespace sieve::trace::wlfmt {
+
+inline constexpr char kMagic[8] = {'S', 'I', 'E', 'V', 'E',
+                                   'W', 'L', '\0'};
+
+/** Sanity caps: anything larger is a corrupt header, not a workload. */
+inline constexpr uint32_t kMaxKernels = 1u << 20;
+inline constexpr uint64_t kMaxInvocations = 1ull << 28;
+inline constexpr uint32_t kMaxStringLen = 64u << 20;
+
+/**
+ * Exact on-disk size of one invocation record: kernel id (4) +
+ * invocation id (8) + 8 launch u32s (32) + mix (9 u64 counters,
+ * instruction count, divergence double, thread blocks = 96) +
+ * memory (3 doubles, working set, 2 doubles = 48) + noise seed (8).
+ */
+inline constexpr uint64_t kInvocationRecordBytes = 196;
+
+/** Reject NaN/Inf and out-of-range fractions from hostile files. */
+inline bool
+validFraction(double v)
+{
+    return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+}
+
+/**
+ * The number of elements it is safe to reserve() for a
+ * header-declared count: `count` only when the remainder of the file
+ * could actually hold that many entries of at least
+ * `min_bytes_each`, else 0 (grow incrementally; the reads themselves
+ * will report truncation). Never a validation failure — the byte
+ * stream stays the sole arbiter of what errors say.
+ */
+inline size_t
+plausibleReserve(uint64_t count, uint64_t min_bytes_each,
+                 std::optional<uint64_t> total_bytes, size_t offset)
+{
+    if (!total_bytes || *total_bytes < offset)
+        return 0;
+    const uint64_t remaining = *total_bytes - offset;
+    if (min_bytes_each == 0 || count > remaining / min_bytes_each)
+        return 0;
+    return static_cast<size_t>(count);
+}
+
+/** Length-prefixed string with the format's plausibility cap. */
+template <typename Reader>
+std::string
+readString(Reader &in, const char *what)
+{
+    if (in.failed())
+        return {};
+    uint32_t len = in.template read<uint32_t>(what);
+    if (in.failed())
+        return {};
+    if (len > kMaxStringLen) {
+        in.fail(ErrorKind::Validation,
+                "implausible string length " + std::to_string(len) +
+                    " for " + what);
+        return {};
+    }
+    std::string s(len, '\0');
+    in.readBytes(s.data(), len, what);
+    if (in.failed())
+        return {};
+    return s;
+}
+
+/**
+ * One invocation record, fully validated (launch geometry, fraction
+ * ranges, ilp). On failure the reader carries the error.
+ */
+template <typename Reader>
+KernelInvocation
+readInvocation(Reader &in)
+{
+    KernelInvocation inv;
+    inv.kernelId = in.template read<uint32_t>("kernel id");
+    inv.invocationId = in.template read<uint64_t>("invocation id");
+
+    inv.launch.grid.x = in.template read<uint32_t>("grid.x");
+    inv.launch.grid.y = in.template read<uint32_t>("grid.y");
+    inv.launch.grid.z = in.template read<uint32_t>("grid.z");
+    inv.launch.cta.x = in.template read<uint32_t>("cta.x");
+    inv.launch.cta.y = in.template read<uint32_t>("cta.y");
+    inv.launch.cta.z = in.template read<uint32_t>("cta.z");
+    inv.launch.sharedMemBytes = in.template read<uint32_t>("shared mem");
+    inv.launch.regsPerThread =
+        in.template read<uint32_t>("regs per thread");
+
+    inv.mix.coalescedGlobalLoads =
+        in.template read<uint64_t>("mix field");
+    inv.mix.coalescedGlobalStores =
+        in.template read<uint64_t>("mix field");
+    inv.mix.coalescedLocalLoads =
+        in.template read<uint64_t>("mix field");
+    inv.mix.threadGlobalLoads = in.template read<uint64_t>("mix field");
+    inv.mix.threadGlobalStores = in.template read<uint64_t>("mix field");
+    inv.mix.threadLocalLoads = in.template read<uint64_t>("mix field");
+    inv.mix.threadSharedLoads = in.template read<uint64_t>("mix field");
+    inv.mix.threadSharedStores = in.template read<uint64_t>("mix field");
+    inv.mix.threadGlobalAtomics =
+        in.template read<uint64_t>("mix field");
+    inv.mix.instructionCount =
+        in.template read<uint64_t>("instruction count");
+    inv.mix.divergenceEfficiency =
+        in.template read<double>("divergence efficiency");
+    inv.mix.numThreadBlocks =
+        in.template read<uint64_t>("thread blocks");
+
+    inv.memory.l1Locality = in.template read<double>("l1 locality");
+    inv.memory.l2Locality = in.template read<double>("l2 locality");
+    inv.memory.workingSetBytes =
+        in.template read<uint64_t>("working set");
+    inv.memory.bankConflictRate =
+        in.template read<double>("bank conflicts");
+    inv.memory.longLatencyFrac =
+        in.template read<double>("long-latency frac");
+    inv.memory.ilp = in.template read<double>("ilp");
+
+    inv.noiseSeed = in.template read<uint64_t>("noise seed");
+    if (in.failed())
+        return inv;
+
+    if (inv.launch.grid.x == 0 || inv.launch.grid.y == 0 ||
+        inv.launch.grid.z == 0 || inv.launch.cta.x == 0 ||
+        inv.launch.cta.y == 0 || inv.launch.cta.z == 0) {
+        in.fail(ErrorKind::Validation,
+                "zero launch geometry dimension in invocation " +
+                    std::to_string(inv.invocationId));
+        return inv;
+    }
+    if (!validFraction(inv.mix.divergenceEfficiency) ||
+        !validFraction(inv.memory.l1Locality) ||
+        !validFraction(inv.memory.l2Locality) ||
+        !validFraction(inv.memory.bankConflictRate) ||
+        !validFraction(inv.memory.longLatencyFrac)) {
+        in.fail(ErrorKind::Validation,
+                "non-finite or out-of-range fraction in invocation " +
+                    std::to_string(inv.invocationId));
+        return inv;
+    }
+    if (!std::isfinite(inv.memory.ilp) || inv.memory.ilp < 0.0) {
+        in.fail(ErrorKind::Validation,
+                "invalid ilp in invocation " +
+                    std::to_string(inv.invocationId));
+        return inv;
+    }
+    return inv;
+}
+
+/** Everything that precedes the invocation records. */
+struct HeaderInfo
+{
+    std::string suite;
+    std::string name;
+    uint64_t paperInvocations = 0;
+    std::vector<std::string> kernelNames;
+    uint64_t numInvocations = 0;
+};
+
+/**
+ * Parse magic through invocation count. Returns the error (if any);
+ * on success the reader is positioned at the first record.
+ * `total_bytes` (when known) gates reserve() of the kernel table —
+ * see plausibleReserve().
+ */
+template <typename Reader>
+std::optional<Error>
+readHeader(Reader &in, const std::string &source,
+           std::optional<uint64_t> total_bytes, HeaderInfo &out)
+{
+    char magic[sizeof(kMagic)];
+    in.readBytes(magic, sizeof(magic), "magic");
+    if (in.failed())
+        return in.takeError();
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return ingestError(ErrorKind::Parse,
+                           "not a sieve workload file (bad magic)",
+                           source, 0, 0);
+
+    uint32_t version = in.template read<uint32_t>("format version");
+    if (!in.failed() && version != kWorkloadFormatVersion)
+        in.fail(ErrorKind::Validation,
+                "workload file version " + std::to_string(version) +
+                    " unsupported (want " +
+                    std::to_string(kWorkloadFormatVersion) + ")");
+
+    out.suite = readString(in, "suite name");
+    out.name = readString(in, "workload name");
+    out.paperInvocations =
+        in.template read<uint64_t>("paper invocations");
+    if (in.failed())
+        return in.takeError();
+
+    uint32_t num_kernels = in.template read<uint32_t>("kernel count");
+    if (!in.failed() && num_kernels > kMaxKernels)
+        in.fail(ErrorKind::Validation,
+                "implausible kernel count " +
+                    std::to_string(num_kernels));
+    if (in.failed())
+        return in.takeError();
+    // Each kernel entry is at least its 4-byte length prefix.
+    out.kernelNames.reserve(
+        plausibleReserve(num_kernels, 4, total_bytes, in.offset()));
+    for (uint32_t k = 0; k < num_kernels; ++k) {
+        std::string kernel_name = readString(in, "kernel name");
+        if (in.failed())
+            return in.takeError();
+        out.kernelNames.push_back(std::move(kernel_name));
+    }
+
+    out.numInvocations = in.template read<uint64_t>("invocation count");
+    if (!in.failed() && out.numInvocations > kMaxInvocations)
+        in.fail(ErrorKind::Validation,
+                "implausible invocation count " +
+                    std::to_string(out.numInvocations));
+    if (in.failed())
+        return in.takeError();
+    return std::nullopt;
+}
+
+/** Exact error for a record referencing a kernel id out of range. */
+inline Error
+danglingKernelError(const std::string &source, uint64_t index,
+                    uint32_t kernel_id, size_t num_kernels,
+                    size_t offset)
+{
+    return ingestError(ErrorKind::Validation,
+                       "invocation " + std::to_string(index) +
+                           " references unknown kernel " +
+                           std::to_string(kernel_id) + " (of " +
+                           std::to_string(num_kernels) + ")",
+                       source, 0, offset);
+}
+
+/** Exact error for an out-of-order invocation id. */
+inline Error
+chronologyError(const std::string &source, uint64_t expected,
+                uint64_t found, size_t offset)
+{
+    return ingestError(
+        ErrorKind::Validation,
+        "invocation ids must be chronological: expected " +
+            std::to_string(expected) + ", found " +
+            std::to_string(found),
+        source, 0, offset);
+}
+
+} // namespace sieve::trace::wlfmt
+
+#endif // SIEVE_TRACE_WORKLOAD_FORMAT_HH

@@ -1,22 +1,17 @@
 #include "trace/workload_io.hh"
 
-#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <optional>
 
 #include "common/logging.hh"
+#include "io/mmap_file.hh"
+#include "io/span_reader.hh"
+#include "trace/workload_format.hh"
 
 namespace sieve::trace {
 
 namespace {
-
-constexpr char kMagic[8] = {'S', 'I', 'E', 'V', 'E', 'W', 'L', '\0'};
-
-/** Sanity caps: anything larger is a corrupt header, not a workload. */
-constexpr uint32_t kMaxKernels = 1u << 20;
-constexpr uint64_t kMaxInvocations = 1ull << 28;
-constexpr uint32_t kMaxStringLen = 64u << 20;
 
 // --- little-endian primitive writers ---
 
@@ -74,16 +69,16 @@ writeInvocation(std::ostream &os, const KernelInvocation &inv)
 }
 
 /**
- * Offset-tracking binary reader. Every read either succeeds or
- * records a structured error (first error wins) so parse code can
- * read a whole record and check once.
+ * Offset-tracking binary reader over an istream: the buffered twin
+ * of io::SpanReader, implementing the same reader concept the shared
+ * wlfmt:: parse templates are written against (every read either
+ * succeeds or records a structured error, first error wins).
  */
 class BinReader
 {
   public:
-    BinReader(std::istream &is, const std::string &source,
-              size_t initial_offset = 0)
-        : _is(is), _source(source), _offset(initial_offset)
+    BinReader(std::istream &is, const std::string &source)
+        : _is(is), _source(source)
     {
     }
 
@@ -110,30 +105,20 @@ class BinReader
         return value;
     }
 
-    std::string
-    readString(const char *what)
+    void
+    readBytes(void *dst, size_t len, const char *what)
     {
         if (_error)
-            return {};
-        uint32_t len = read<uint32_t>(what);
-        if (_error)
-            return {};
-        if (len > kMaxStringLen) {
-            fail(ErrorKind::Validation,
-                 "implausible string length " + std::to_string(len) +
-                     " for " + what);
-            return {};
-        }
-        std::string s(len, '\0');
-        _is.read(s.data(), len);
+            return;
+        _is.read(static_cast<char *>(dst),
+                 static_cast<std::streamsize>(len));
         if (!_is) {
             fail(ErrorKind::Io, std::string("truncated workload file: "
                                             "short read of ") +
                                     what);
-            return {};
+            return;
         }
         _offset += len;
-        return s;
     }
 
     /** Record a validation failure at the current offset. */
@@ -146,14 +131,10 @@ class BinReader
     }
 
     /** True when all declared data was consumed and nothing follows. */
-    void
-    requireEof()
+    bool
+    atEnd()
     {
-        if (_error)
-            return;
-        if (_is.peek() != std::char_traits<char>::eof())
-            fail(ErrorKind::Validation,
-                 "trailing bytes after workload data");
+        return _is.peek() == std::char_traits<char>::eof();
     }
 
   private:
@@ -163,79 +144,82 @@ class BinReader
     std::optional<Error> _error;
 };
 
-/** Reject NaN/Inf and out-of-range fractions from hostile files. */
-bool
-validFraction(double v)
+/**
+ * Bytes from the current position to the end of a seekable stream;
+ * nullopt for non-seekable streams (reserve hints are then skipped).
+ */
+std::optional<uint64_t>
+streamRemaining(std::istream &is)
 {
-    return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+    const std::streampos cur = is.tellg();
+    if (cur == std::streampos(-1)) {
+        is.clear();
+        return std::nullopt;
+    }
+    is.seekg(0, std::ios::end);
+    if (!is) {
+        is.clear();
+        is.seekg(cur);
+        return std::nullopt;
+    }
+    const std::streampos end = is.tellg();
+    is.seekg(cur);
+    if (!is || end == std::streampos(-1)) {
+        is.clear();
+        is.seekg(cur);
+        return std::nullopt;
+    }
+    return static_cast<uint64_t>(end - cur);
 }
 
-KernelInvocation
-readInvocation(BinReader &in)
+/**
+ * The whole-file parse, shared by the buffered (BinReader) and
+ * zero-copy (io::SpanReader) paths: identical byte layout, identical
+ * error text and offsets. `total_bytes` — when the source's size is
+ * known — lets header-declared counts be validated against the file
+ * size and then reserved in one allocation.
+ */
+template <typename Reader>
+Expected<Workload>
+parseWorkload(Reader &in, const std::string &source,
+              std::optional<uint64_t> total_bytes)
 {
-    KernelInvocation inv;
-    inv.kernelId = in.read<uint32_t>("kernel id");
-    inv.invocationId = in.read<uint64_t>("invocation id");
+    wlfmt::HeaderInfo hdr;
+    if (auto err = wlfmt::readHeader(in, source, total_bytes, hdr))
+        return std::move(*err);
 
-    inv.launch.grid.x = in.read<uint32_t>("grid.x");
-    inv.launch.grid.y = in.read<uint32_t>("grid.y");
-    inv.launch.grid.z = in.read<uint32_t>("grid.z");
-    inv.launch.cta.x = in.read<uint32_t>("cta.x");
-    inv.launch.cta.y = in.read<uint32_t>("cta.y");
-    inv.launch.cta.z = in.read<uint32_t>("cta.z");
-    inv.launch.sharedMemBytes = in.read<uint32_t>("shared mem");
-    inv.launch.regsPerThread = in.read<uint32_t>("regs per thread");
+    Workload workload(std::move(hdr.suite), std::move(hdr.name));
+    workload.setPaperInvocations(hdr.paperInvocations);
+    workload.reserve(
+        hdr.kernelNames.size(),
+        wlfmt::plausibleReserve(hdr.numInvocations,
+                                wlfmt::kInvocationRecordBytes,
+                                total_bytes, in.offset()));
+    for (std::string &kernel_name : hdr.kernelNames)
+        workload.addKernel(std::move(kernel_name));
 
-    inv.mix.coalescedGlobalLoads = in.read<uint64_t>("mix field");
-    inv.mix.coalescedGlobalStores = in.read<uint64_t>("mix field");
-    inv.mix.coalescedLocalLoads = in.read<uint64_t>("mix field");
-    inv.mix.threadGlobalLoads = in.read<uint64_t>("mix field");
-    inv.mix.threadGlobalStores = in.read<uint64_t>("mix field");
-    inv.mix.threadLocalLoads = in.read<uint64_t>("mix field");
-    inv.mix.threadSharedLoads = in.read<uint64_t>("mix field");
-    inv.mix.threadSharedStores = in.read<uint64_t>("mix field");
-    inv.mix.threadGlobalAtomics = in.read<uint64_t>("mix field");
-    inv.mix.instructionCount = in.read<uint64_t>("instruction count");
-    inv.mix.divergenceEfficiency =
-        in.read<double>("divergence efficiency");
-    inv.mix.numThreadBlocks = in.read<uint64_t>("thread blocks");
+    for (uint64_t i = 0; i < hdr.numInvocations; ++i) {
+        KernelInvocation inv = wlfmt::readInvocation(in);
+        if (in.failed())
+            return in.takeError();
+        // addInvocation() panics on a dangling kernel reference; a
+        // corrupt file must be an error, not an abort.
+        if (inv.kernelId >= workload.numKernels())
+            return wlfmt::danglingKernelError(source, i, inv.kernelId,
+                                              workload.numKernels(),
+                                              in.offset());
+        if (inv.invocationId != i)
+            return wlfmt::chronologyError(source, i, inv.invocationId,
+                                          in.offset());
+        workload.addInvocation(std::move(inv));
+    }
 
-    inv.memory.l1Locality = in.read<double>("l1 locality");
-    inv.memory.l2Locality = in.read<double>("l2 locality");
-    inv.memory.workingSetBytes = in.read<uint64_t>("working set");
-    inv.memory.bankConflictRate = in.read<double>("bank conflicts");
-    inv.memory.longLatencyFrac = in.read<double>("long-latency frac");
-    inv.memory.ilp = in.read<double>("ilp");
-
-    inv.noiseSeed = in.read<uint64_t>("noise seed");
+    if (!in.failed() && !in.atEnd())
+        in.fail(ErrorKind::Validation,
+                "trailing bytes after workload data");
     if (in.failed())
-        return inv;
-
-    if (inv.launch.grid.x == 0 || inv.launch.grid.y == 0 ||
-        inv.launch.grid.z == 0 || inv.launch.cta.x == 0 ||
-        inv.launch.cta.y == 0 || inv.launch.cta.z == 0) {
-        in.fail(ErrorKind::Validation,
-                "zero launch geometry dimension in invocation " +
-                    std::to_string(inv.invocationId));
-        return inv;
-    }
-    if (!validFraction(inv.mix.divergenceEfficiency) ||
-        !validFraction(inv.memory.l1Locality) ||
-        !validFraction(inv.memory.l2Locality) ||
-        !validFraction(inv.memory.bankConflictRate) ||
-        !validFraction(inv.memory.longLatencyFrac)) {
-        in.fail(ErrorKind::Validation,
-                "non-finite or out-of-range fraction in invocation " +
-                    std::to_string(inv.invocationId));
-        return inv;
-    }
-    if (!std::isfinite(inv.memory.ilp) || inv.memory.ilp < 0.0) {
-        in.fail(ErrorKind::Validation,
-                "invalid ilp in invocation " +
-                    std::to_string(inv.invocationId));
-        return inv;
-    }
-    return inv;
+        return in.takeError();
+    return workload;
 }
 
 } // namespace
@@ -243,7 +227,7 @@ readInvocation(BinReader &in)
 void
 saveWorkload(const Workload &workload, std::ostream &os)
 {
-    os.write(kMagic, sizeof(kMagic));
+    os.write(wlfmt::kMagic, sizeof(wlfmt::kMagic));
     writePod<uint32_t>(os, kWorkloadFormatVersion);
     writeString(os, workload.suite());
     writeString(os, workload.name());
@@ -273,95 +257,29 @@ saveWorkloadFile(const Workload &workload, const std::string &path)
 Expected<Workload>
 tryLoadWorkload(std::istream &is, const std::string &source)
 {
-    char magic[sizeof(kMagic)];
-    is.read(magic, sizeof(magic));
-    if (!is)
-        return ingestError(ErrorKind::Io,
-                           "truncated workload file: short read of "
-                           "magic",
-                           source, 0, 0);
-    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        return ingestError(ErrorKind::Parse,
-                           "not a sieve workload file (bad magic)",
-                           source, 0, 0);
+    std::optional<uint64_t> total_bytes = streamRemaining(is);
+    BinReader in(is, source);
+    return parseWorkload(in, source, total_bytes);
+}
 
-    BinReader in(is, source, sizeof(kMagic));
-    uint32_t version = in.read<uint32_t>("format version");
-    if (!in.failed() && version != kWorkloadFormatVersion)
-        in.fail(ErrorKind::Validation,
-                "workload file version " + std::to_string(version) +
-                    " unsupported (want " +
-                    std::to_string(kWorkloadFormatVersion) + ")");
-
-    std::string suite = in.readString("suite name");
-    std::string name = in.readString("workload name");
-    uint64_t paper_invocations = in.read<uint64_t>("paper invocations");
-    if (in.failed())
-        return in.takeError();
-
-    Workload workload(suite, name);
-    workload.setPaperInvocations(paper_invocations);
-
-    uint32_t num_kernels = in.read<uint32_t>("kernel count");
-    if (!in.failed() && num_kernels > kMaxKernels)
-        in.fail(ErrorKind::Validation,
-                "implausible kernel count " +
-                    std::to_string(num_kernels));
-    if (in.failed())
-        return in.takeError();
-    for (uint32_t k = 0; k < num_kernels; ++k) {
-        std::string kernel_name = in.readString("kernel name");
-        if (in.failed())
-            return in.takeError();
-        workload.addKernel(std::move(kernel_name));
-    }
-
-    uint64_t num_invocations = in.read<uint64_t>("invocation count");
-    if (!in.failed() && num_invocations > kMaxInvocations)
-        in.fail(ErrorKind::Validation,
-                "implausible invocation count " +
-                    std::to_string(num_invocations));
-    if (in.failed())
-        return in.takeError();
-    for (uint64_t i = 0; i < num_invocations; ++i) {
-        KernelInvocation inv = readInvocation(in);
-        if (in.failed())
-            return in.takeError();
-        // addInvocation() panics on a dangling kernel reference; a
-        // corrupt file must be an error, not an abort.
-        if (inv.kernelId >= workload.numKernels())
-            return ingestError(
-                ErrorKind::Validation,
-                "invocation " + std::to_string(i) +
-                    " references unknown kernel " +
-                    std::to_string(inv.kernelId) + " (of " +
-                    std::to_string(workload.numKernels()) + ")",
-                source, 0, in.offset());
-        if (inv.invocationId != i)
-            return ingestError(
-                ErrorKind::Validation,
-                "invocation ids must be chronological: expected " +
-                    std::to_string(i) + ", found " +
-                    std::to_string(inv.invocationId),
-                source, 0, in.offset());
-        workload.addInvocation(std::move(inv));
-    }
-
-    in.requireEof();
-    if (in.failed())
-        return in.takeError();
-    return workload;
+Expected<Workload>
+tryLoadWorkloadBytes(const uint8_t *data, size_t size,
+                     const std::string &source)
+{
+    io::SpanReader in(data, size, source);
+    return parseWorkload(in, source, size);
 }
 
 Expected<Workload>
 tryLoadWorkloadFile(const std::string &path)
 {
-    std::ifstream ifs(path, std::ios::binary);
-    if (!ifs)
+    auto file = io::MmapFile::tryOpen(path);
+    if (!file)
         return ingestError(ErrorKind::Io,
                            "cannot open '" + path + "' for reading",
                            path, 0, 0);
-    return tryLoadWorkload(ifs, path);
+    const io::MmapFile &view = file.value();
+    return tryLoadWorkloadBytes(view.data(), view.size(), path);
 }
 
 Workload

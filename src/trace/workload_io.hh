@@ -46,7 +46,22 @@ Expected<Workload> tryLoadWorkload(std::istream &is,
                                    const std::string &source =
                                        "<stream>");
 
-/** tryLoadWorkload from a file; unreadable files are an IoError. */
+/**
+ * Deserialize a workload from an in-memory byte span (e.g. an
+ * io::MmapFile view) — zero-copy: record fields are decoded straight
+ * out of the span. Same validation, error text, and byte offsets as
+ * the stream path.
+ */
+Expected<Workload> tryLoadWorkloadBytes(const uint8_t *data,
+                                        size_t size,
+                                        const std::string &source =
+                                            "<bytes>");
+
+/**
+ * tryLoadWorkload from a file; unreadable files are an IoError.
+ * Memory-maps the file when possible (falling back to a buffered
+ * read), so loading costs page faults, not copies.
+ */
 Expected<Workload> tryLoadWorkloadFile(const std::string &path);
 
 /**

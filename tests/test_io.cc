@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The io layer: mmap zero-copy readers and the SpanReader cursor.
+ * Covers mapped vs buffered views, the fallback path, reader-concept
+ * parity with BinReader (same values, same error text, same byte
+ * offsets on the same input), and the zero-copy workload load path.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/mmap_file.hh"
+#include "io/span_reader.hh"
+#include "testing/fault_injection.hh"
+#include "trace/workload_io.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::testing {
+namespace {
+
+trace::Workload
+smallWorkload(const std::string &name = "stencil")
+{
+    auto spec = workloads::findSpec(name, /*cap=*/300);
+    EXPECT_TRUE(spec.has_value());
+    return workloads::generateWorkload(*spec);
+}
+
+std::string
+saveBytes(const trace::Workload &wl)
+{
+    std::ostringstream os;
+    trace::saveWorkload(wl, os);
+    return os.str();
+}
+
+TEST(MmapFile, MapsRegularFiles)
+{
+    FaultyFile file("hello, sieve", "mmap");
+    auto view = io::MmapFile::tryOpen(file.path());
+    ASSERT_TRUE(view.ok()) << view.error().toString();
+    ASSERT_EQ(view.value().size(), 12u);
+    EXPECT_EQ(std::string(reinterpret_cast<const char *>(
+                              view.value().data()),
+                          view.value().size()),
+              "hello, sieve");
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_TRUE(view.value().mapped());
+#endif
+}
+
+TEST(MmapFile, MissingFileIsStructuredError)
+{
+    auto view = io::MmapFile::tryOpen("/nonexistent/sieve.bin");
+    ASSERT_FALSE(view.ok());
+    EXPECT_EQ(view.error().kind, ErrorKind::Io);
+    EXPECT_NE(view.error().message.find("cannot open"),
+              std::string::npos);
+}
+
+TEST(MmapFile, EmptyFileUsesBufferedView)
+{
+    FaultyFile file("", "mmap_empty");
+    auto view = io::MmapFile::tryOpen(file.path());
+    ASSERT_TRUE(view.ok()) << view.error().toString();
+    EXPECT_EQ(view.value().size(), 0u);
+    EXPECT_FALSE(view.value().mapped());
+}
+
+TEST(MmapFile, MoveTransfersTheView)
+{
+    FaultyFile file("abcdefgh", "mmap_move");
+    auto view = io::MmapFile::tryOpen(file.path());
+    ASSERT_TRUE(view.ok());
+    io::MmapFile moved = std::move(view).value();
+    io::MmapFile again = std::move(moved);
+    ASSERT_EQ(again.size(), 8u);
+    EXPECT_EQ(again.data()[0], 'a');
+    EXPECT_EQ(again.data()[7], 'h');
+}
+
+TEST(MmapFile, BufferedFallbackOwnsItsBytes)
+{
+    std::vector<uint8_t> bytes = {1, 2, 3, 4};
+    io::MmapFile view =
+        io::MmapFile::fromBuffer("<test>", std::move(bytes));
+    EXPECT_FALSE(view.mapped());
+    ASSERT_EQ(view.size(), 4u);
+    io::MmapFile moved = std::move(view);
+    EXPECT_EQ(moved.data()[2], 3); // data() fixed up after the move
+}
+
+TEST(SpanReader, ReadsPodsAndTracksOffsets)
+{
+    std::vector<uint8_t> bytes;
+    uint32_t a = 0x11223344u;
+    uint64_t b = 0x8877665544332211ull;
+    bytes.insert(bytes.end(), reinterpret_cast<uint8_t *>(&a),
+                 reinterpret_cast<uint8_t *>(&a) + 4);
+    bytes.insert(bytes.end(), reinterpret_cast<uint8_t *>(&b),
+                 reinterpret_cast<uint8_t *>(&b) + 8);
+
+    io::SpanReader in(bytes.data(), bytes.size(), "<span>");
+    EXPECT_EQ(in.read<uint32_t>("a"), a);
+    EXPECT_EQ(in.offset(), 4u);
+    EXPECT_EQ(in.read<uint64_t>("b"), b);
+    EXPECT_TRUE(in.atEnd());
+    EXPECT_FALSE(in.failed());
+}
+
+TEST(SpanReader, ShortReadIsStructuredIoError)
+{
+    std::vector<uint8_t> bytes = {1, 2};
+    io::SpanReader in(bytes.data(), bytes.size(), "<short>");
+    in.read<uint32_t>("test field");
+    ASSERT_TRUE(in.failed());
+    Error err = in.takeError();
+    EXPECT_EQ(err.kind, ErrorKind::Io);
+    EXPECT_EQ(err.message,
+              "truncated workload file: short read of test field");
+    EXPECT_EQ(err.byteOffset, 0u);
+    EXPECT_EQ(err.source, "<short>");
+}
+
+TEST(SpanReader, FirstErrorWins)
+{
+    std::vector<uint8_t> bytes = {1};
+    io::SpanReader in(bytes.data(), bytes.size(), "<first>");
+    in.read<uint64_t>("first");
+    in.read<uint64_t>("second");
+    Error err = in.takeError();
+    EXPECT_NE(err.message.find("first"), std::string::npos);
+}
+
+TEST(SpanReader, BaseOffsetShiftsReportedPositions)
+{
+    std::vector<uint8_t> bytes = {1, 2, 3};
+    io::SpanReader in(bytes.data(), bytes.size(), "<base>", 100);
+    EXPECT_EQ(in.offset(), 100u);
+    in.read<uint8_t>("one");
+    EXPECT_EQ(in.offset(), 101u);
+    in.read<uint32_t>("too much");
+    EXPECT_EQ(in.takeError().byteOffset, 101u);
+}
+
+TEST(WorkloadBytes, ZeroCopyLoadEqualsStreamLoad)
+{
+    trace::Workload wl = smallWorkload();
+    std::string bytes = saveBytes(wl);
+
+    std::istringstream iss(bytes);
+    auto via_stream = trace::tryLoadWorkload(iss, "<wl>");
+    auto via_span = trace::tryLoadWorkloadBytes(
+        reinterpret_cast<const uint8_t *>(bytes.data()), bytes.size(),
+        "<wl>");
+    ASSERT_TRUE(via_stream.ok()) << via_stream.error().toString();
+    ASSERT_TRUE(via_span.ok()) << via_span.error().toString();
+
+    // Byte-identity witness: both loads re-serialize to the input.
+    EXPECT_EQ(saveBytes(via_stream.value()), bytes);
+    EXPECT_EQ(saveBytes(via_span.value()), bytes);
+}
+
+TEST(WorkloadBytes, TruncationErrorsMatchStreamPath)
+{
+    trace::Workload wl = smallWorkload();
+    std::string bytes = saveBytes(wl);
+
+    // Truncate at a spread of depths: header, kernel table, records.
+    for (size_t keep :
+         {size_t{4}, size_t{9}, size_t{40}, bytes.size() / 2,
+          bytes.size() - 1}) {
+        std::string cut = bytes.substr(0, keep);
+        std::istringstream iss(cut);
+        auto via_stream = trace::tryLoadWorkload(iss, "<wl>");
+        auto via_span = trace::tryLoadWorkloadBytes(
+            reinterpret_cast<const uint8_t *>(cut.data()), cut.size(),
+            "<wl>");
+        ASSERT_FALSE(via_stream.ok()) << "keep=" << keep;
+        ASSERT_FALSE(via_span.ok()) << "keep=" << keep;
+        EXPECT_EQ(via_span.error().kind, via_stream.error().kind)
+            << "keep=" << keep;
+        EXPECT_EQ(via_span.error().message,
+                  via_stream.error().message)
+            << "keep=" << keep;
+        EXPECT_EQ(via_span.error().byteOffset,
+                  via_stream.error().byteOffset)
+            << "keep=" << keep;
+    }
+}
+
+TEST(WorkloadBytes, FileLoadIsByteIdenticalToStreamLoad)
+{
+    trace::Workload wl = smallWorkload("gru");
+    std::string bytes = saveBytes(wl);
+    FaultyFile file(bytes, "wl_mmap");
+
+    auto loaded = trace::tryLoadWorkloadFile(file.path());
+    ASSERT_TRUE(loaded.ok()) << loaded.error().toString();
+    EXPECT_EQ(saveBytes(loaded.value()), bytes);
+}
+
+} // namespace
+} // namespace sieve::testing

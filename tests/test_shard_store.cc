@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Digest-sharded trace store: round-trip fixpoints, dedup at rest,
+ * reopen-after-flush, deep validation, and a Corruptor-driven fuzz
+ * sweep over every on-disk artifact (manifest, index, blob files)
+ * asserting that corruption is always surfaced as a structured Error
+ * or HealthIssue — never a silently-wrong trace.
+ */
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpusim/sim_cache.hh"
+#include "gpusim/trace_synth.hh"
+#include "testing/fault_injection.hh"
+#include "trace/columnar.hh"
+#include "trace/sass_trace.hh"
+#include "trace/shard_store.hh"
+#include "trace/tier.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::testing {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** RAII scratch directory for one store. */
+struct ScratchDir
+{
+    fs::path path;
+
+    explicit ScratchDir(const std::string &stem)
+        : path(fs::temp_directory_path() /
+               (stem + "_" + std::to_string(::getpid())))
+    {
+        fs::remove_all(path);
+    }
+
+    ~ScratchDir() { fs::remove_all(path); }
+};
+
+trace::ColumnarTrace
+makeTrace(size_t invocation)
+{
+    static const trace::Workload wl = [] {
+        auto spec = workloads::findSpec("stencil");
+        return workloads::generateWorkload(*spec);
+    }();
+    gpusim::TraceSynthOptions synth;
+    synth.maxTracedCtas = 2;
+    return trace::toColumnar(
+        gpusim::synthesizeTrace(wl, invocation, synth));
+}
+
+trace::BlobDigest
+digestOf(const trace::ColumnarTrace &ct)
+{
+    return gpusim::toBlobDigest(gpusim::digestTrace(ct));
+}
+
+std::string
+traceBytes(const trace::ColumnarTrace &ct)
+{
+    std::ostringstream os;
+    trace::writeTrace(trace::toAos(ct), os);
+    return os.str();
+}
+
+TEST(ShardStore, RoundTripIsByteIdentical)
+{
+    ScratchDir dir("sieve_store_rt");
+    auto store =
+        trace::ShardStore::tryCreate(dir.path.string(), {4});
+    ASSERT_TRUE(store.ok()) << store.error().toString();
+
+    for (size_t inv : {0u, 1u, 2u, 5u, 9u}) {
+        trace::ColumnarTrace ct = makeTrace(inv);
+        trace::BlobDigest digest = digestOf(ct);
+        auto put = store.value().tryPut(digest, ct);
+        ASSERT_TRUE(put.ok()) << put.error().toString();
+        EXPECT_TRUE(put.value().inserted);
+        EXPECT_GT(put.value().blobBytes, 0u);
+
+        auto back = store.value().tryGet(digest);
+        ASSERT_TRUE(back.ok()) << back.error().toString();
+        EXPECT_EQ(traceBytes(back.value()), traceBytes(ct));
+        EXPECT_EQ(digestOf(back.value()), digest);
+    }
+    EXPECT_EQ(store.value().numBlobs(), 5u);
+}
+
+TEST(ShardStore, SecondPutDeduplicatesAtRest)
+{
+    ScratchDir dir("sieve_store_dedup");
+    auto store =
+        trace::ShardStore::tryCreate(dir.path.string(), {3});
+    ASSERT_TRUE(store.ok());
+
+    trace::ColumnarTrace ct = makeTrace(0);
+    trace::BlobDigest digest = digestOf(ct);
+    auto first = store.value().tryPut(digest, ct);
+    ASSERT_TRUE(first.ok());
+    EXPECT_TRUE(first.value().inserted);
+
+    // Byte growth of the store must stop after the first put.
+    auto bytesAtRest = [&] {
+        uint64_t total = 0;
+        for (const auto &info : store.value().shardInfo())
+            total += info.blobBytes;
+        return total;
+    };
+    uint64_t after_first = bytesAtRest();
+    for (int i = 0; i < 10; ++i) {
+        auto again = store.value().tryPut(digest, ct);
+        ASSERT_TRUE(again.ok());
+        EXPECT_FALSE(again.value().inserted);
+        EXPECT_EQ(again.value().blobBytes, first.value().blobBytes);
+    }
+    EXPECT_EQ(bytesAtRest(), after_first);
+    EXPECT_EQ(store.value().numBlobs(), 1u);
+
+    // The census sees 11 logical puts over 1 blob.
+    uint64_t puts = 0;
+    for (const auto &info : store.value().shardInfo())
+        puts += info.puts;
+    EXPECT_EQ(puts, 11u);
+}
+
+TEST(ShardStore, ReopenAfterFlushSeesEverything)
+{
+    ScratchDir dir("sieve_store_reopen");
+    std::vector<trace::BlobDigest> digests;
+    std::vector<std::string> originals;
+    {
+        auto store =
+            trace::ShardStore::tryCreate(dir.path.string(), {5});
+        ASSERT_TRUE(store.ok());
+        for (size_t inv = 0; inv < 8; ++inv) {
+            trace::ColumnarTrace ct = makeTrace(inv);
+            digests.push_back(digestOf(ct));
+            originals.push_back(traceBytes(ct));
+            ASSERT_TRUE(
+                store.value().tryPut(digests.back(), ct).ok());
+        }
+        auto flushed = store.value().flushIndex();
+        ASSERT_TRUE(flushed.ok()) << flushed.error().toString();
+    }
+
+    auto reopened = trace::ShardStore::tryOpen(dir.path.string());
+    ASSERT_TRUE(reopened.ok()) << reopened.error().toString();
+    EXPECT_EQ(reopened.value().numShards(), 5u);
+    EXPECT_EQ(reopened.value().numBlobs(), 8u);
+    for (size_t i = 0; i < digests.size(); ++i) {
+        ASSERT_TRUE(reopened.value().contains(digests[i]));
+        auto back = reopened.value().tryGet(digests[i]);
+        ASSERT_TRUE(back.ok()) << back.error().toString();
+        EXPECT_EQ(traceBytes(back.value()), originals[i]);
+    }
+
+    auto issues = reopened.value().validate();
+    ASSERT_TRUE(issues.ok()) << issues.error().toString();
+    EXPECT_TRUE(issues.value().empty());
+}
+
+TEST(ShardStore, UnflushedPutsAreInvisibleAfterReopen)
+{
+    ScratchDir dir("sieve_store_unflushed");
+    trace::ColumnarTrace ct = makeTrace(0);
+    trace::BlobDigest digest = digestOf(ct);
+    {
+        auto store =
+            trace::ShardStore::tryCreate(dir.path.string(), {2});
+        ASSERT_TRUE(store.ok());
+        ASSERT_TRUE(store.value().tryPut(digest, ct).ok());
+        // No flushIndex(): the put is data-on-disk but not indexed.
+    }
+    auto reopened = trace::ShardStore::tryOpen(dir.path.string());
+    ASSERT_TRUE(reopened.ok()) << reopened.error().toString();
+    EXPECT_FALSE(reopened.value().contains(digest));
+    EXPECT_FALSE(reopened.value().tryGet(digest).ok());
+}
+
+TEST(ShardStore, CreateRefusesExistingStore)
+{
+    ScratchDir dir("sieve_store_exists");
+    ASSERT_TRUE(
+        trace::ShardStore::tryCreate(dir.path.string(), {2}).ok());
+    auto second = trace::ShardStore::tryCreate(dir.path.string(), {2});
+    ASSERT_FALSE(second.ok());
+    EXPECT_NE(second.error().message.find("already exists"),
+              std::string::npos);
+}
+
+TEST(ShardStore, ShardCountOutOfRangeIsRejected)
+{
+    ScratchDir dir("sieve_store_range");
+    EXPECT_FALSE(
+        trace::ShardStore::tryCreate(dir.path.string(), {0}).ok());
+    EXPECT_FALSE(
+        trace::ShardStore::tryCreate(dir.path.string(), {1u << 20})
+            .ok());
+}
+
+TEST(ShardStore, StoreBackedTierPoolRehydratesFromStore)
+{
+    ScratchDir dir("sieve_store_tier");
+    auto store =
+        trace::ShardStore::tryCreate(dir.path.string(), {4});
+    ASSERT_TRUE(store.ok());
+
+    // A tiny budget forces every trace cold immediately, so pins
+    // must rehydrate through the store, not private blobs.
+    trace::TierConfig tier;
+    tier.budgetBytes = 1;
+    trace::TraceTierPool pool(tier, store.value());
+
+    std::vector<trace::TraceHandle> handles;
+    std::vector<std::string> originals;
+    for (size_t inv = 0; inv < 4; ++inv) {
+        trace::ColumnarTrace ct = makeTrace(inv);
+        originals.push_back(traceBytes(ct));
+        trace::BlobDigest digest = digestOf(ct);
+        handles.push_back(pool.insert(std::move(ct), digest));
+    }
+    for (size_t i = 0; i < handles.size(); ++i) {
+        trace::TraceHandle::Pin pin = handles[i].pin();
+        EXPECT_EQ(traceBytes(*pin), originals[i]);
+    }
+}
+
+TEST(ShardStore, DedupedIdentitiesSurviveRehydration)
+{
+    // The store key is the simulation-equivalence digest, which
+    // excludes kernelName/invocationId: identity-differing but
+    // content-identical traces share one blob. A store-backed pool
+    // must still hand back each trace with its own identity after
+    // hibernation.
+    ScratchDir dir("sieve_store_identity");
+    auto store =
+        trace::ShardStore::tryCreate(dir.path.string(), {2});
+    ASSERT_TRUE(store.ok());
+
+    trace::ColumnarTrace first = makeTrace(0);
+    trace::ColumnarTrace second = first;
+    second.invocationId = first.invocationId + 41;
+    second.kernelName = first.kernelName + "_alias";
+    trace::BlobDigest digest = digestOf(first);
+    ASSERT_EQ(digestOf(second), digest);
+
+    trace::TierConfig tier;
+    tier.budgetBytes = 1; // hibernate everything immediately
+    trace::TraceTierPool pool(tier, store.value());
+    trace::TraceHandle h1 =
+        pool.insert(trace::ColumnarTrace(first), digest);
+    trace::TraceHandle h2 =
+        pool.insert(trace::ColumnarTrace(second), digest);
+    EXPECT_EQ(store.value().numBlobs(), 1u); // deduped at rest
+
+    {
+        trace::TraceHandle::Pin pin = h2.pin();
+        EXPECT_EQ(traceBytes(*pin), traceBytes(second));
+        EXPECT_EQ(pin->invocationId, second.invocationId);
+        EXPECT_EQ(pin->kernelName, second.kernelName);
+    }
+    {
+        trace::TraceHandle::Pin pin = h1.pin();
+        EXPECT_EQ(traceBytes(*pin), traceBytes(first));
+    }
+}
+
+/**
+ * Corruption sweep: mutate every on-disk artifact of a healthy
+ * store, many seeds each, and require every outcome to be loud —
+ * open fails, validation reports, or the damaged blob fails its
+ * get. A mutation may land in un-addressed bytes (slack the index
+ * never references); then all gets must still round-trip
+ * byte-identical. What must never happen is a successful get
+ * returning different bytes.
+ */
+TEST(ShardStore, CorruptionIsNeverSilentlyAccepted)
+{
+    ScratchDir dir("sieve_store_fuzz");
+    std::vector<trace::BlobDigest> digests;
+    std::vector<std::string> originals;
+    {
+        auto store =
+            trace::ShardStore::tryCreate(dir.path.string(), {3});
+        ASSERT_TRUE(store.ok());
+        for (size_t inv = 0; inv < 6; ++inv) {
+            trace::ColumnarTrace ct = makeTrace(inv);
+            digests.push_back(digestOf(ct));
+            originals.push_back(traceBytes(ct));
+            ASSERT_TRUE(
+                store.value().tryPut(digests.back(), ct).ok());
+        }
+        ASSERT_TRUE(store.value().flushIndex().ok());
+    }
+
+    std::vector<fs::path> artifacts;
+    for (const auto &entry : fs::directory_iterator(dir.path))
+        artifacts.push_back(entry.path());
+    ASSERT_GE(artifacts.size(), 7u); // manifest + 3 idx + blobs
+
+    Corruptor corruptor(0x5EED5);
+    size_t detected = 0, benign = 0;
+    for (const fs::path &artifact : artifacts) {
+        std::string clean;
+        {
+            std::ifstream ifs(artifact, std::ios::binary);
+            std::ostringstream os;
+            os << ifs.rdbuf();
+            clean = os.str();
+        }
+        for (uint64_t i = 0; i < 24; ++i) {
+            Corruptor::Mutation mut = corruptor.mutate(
+                clean, artifact.filename().string(), i,
+                /*text=*/false);
+            {
+                std::ofstream ofs(artifact, std::ios::binary |
+                                                std::ios::trunc);
+                ofs.write(mut.bytes.data(),
+                          static_cast<std::streamsize>(
+                              mut.bytes.size()));
+            }
+
+            bool loud = false;
+            auto reopened =
+                trace::ShardStore::tryOpen(dir.path.string());
+            if (!reopened.ok()) {
+                EXPECT_FALSE(reopened.error().message.empty());
+                loud = true;
+            } else {
+                auto issues = reopened.value().validate();
+                if (!issues.ok() || !issues.value().empty())
+                    loud = true;
+                for (size_t d = 0; d < digests.size(); ++d) {
+                    auto got = reopened.value().tryGet(digests[d]);
+                    if (!got.ok()) {
+                        loud = true;
+                        continue;
+                    }
+                    // The one forbidden outcome: a quiet wrong read.
+                    EXPECT_EQ(traceBytes(got.value()), originals[d])
+                        << artifact << " mutation " << i;
+                }
+            }
+            (loud ? detected : benign) += 1;
+
+            // Restore the clean artifact for the next mutation.
+            std::ofstream ofs(artifact,
+                              std::ios::binary | std::ios::trunc);
+            ofs.write(clean.data(),
+                      static_cast<std::streamsize>(clean.size()));
+        }
+    }
+    // The sweep must actually exercise the detectors: most mutations
+    // of checksummed artifacts are loud.
+    EXPECT_GT(detected, benign);
+
+    auto final_open = trace::ShardStore::tryOpen(dir.path.string());
+    ASSERT_TRUE(final_open.ok()) << final_open.error().toString();
+    auto issues = final_open.value().validate();
+    ASSERT_TRUE(issues.ok());
+    EXPECT_TRUE(issues.value().empty());
+}
+
+} // namespace
+} // namespace sieve::testing

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Out-of-core pipeline identity: the streaming profile → sample →
+ * evaluate path must be *byte-identical* to the resident pipeline on
+ * any workload both can hold — at every window size, at every worker
+ * count, Stable counters included. Plus structured-error coverage of
+ * the stream reader and the bounded record fetch.
+ */
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+#include "eval/streaming.hh"
+#include "gpu/arch_config.hh"
+#include "gpu/hardware_executor.hh"
+#include "obs/metrics.hh"
+#include "sampling/evaluation.hh"
+#include "sampling/profile_view.hh"
+#include "sampling/sieve.hh"
+#include "testing/fault_injection.hh"
+#include "trace/workload_io.hh"
+#include "trace/workload_stream.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::testing {
+namespace {
+
+constexpr size_t kRecord = sizeof(trace::KernelInvocation);
+
+trace::Workload
+smallWorkload(const std::string &name = "gru", uint64_t cap = 600)
+{
+    auto spec = workloads::findSpec(name, cap);
+    EXPECT_TRUE(spec.has_value());
+    return workloads::generateWorkload(*spec);
+}
+
+std::string
+saveBytes(const trace::Workload &wl)
+{
+    std::ostringstream os;
+    trace::saveWorkload(wl, os);
+    return os.str();
+}
+
+/** The resident reference pipeline the streaming path must match. */
+sampling::MethodEvaluation
+residentEvaluate(const trace::Workload &wl,
+                 sampling::SamplingResult *result_out = nullptr)
+{
+    sampling::SieveSampler sampler;
+    sampling::SamplingResult result = sampler.sample(wl);
+    gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
+    gpu::WorkloadResult golden = hw.runWorkload(wl);
+    double predicted =
+        sampler.predictCycles(result, wl, golden.perInvocation);
+    sampling::MethodEvaluation eval =
+        sampling::evaluate(result, predicted, golden.perInvocation);
+    if (result_out != nullptr)
+        *result_out = result;
+    return eval;
+}
+
+void
+expectSameStrata(const sampling::SamplingResult &a,
+                 const sampling::SamplingResult &b)
+{
+    EXPECT_EQ(a.method, b.method);
+    EXPECT_EQ(a.theta, b.theta);
+    ASSERT_EQ(a.strata.size(), b.strata.size());
+    for (size_t s = 0; s < a.strata.size(); ++s) {
+        EXPECT_EQ(a.strata[s].members, b.strata[s].members);
+        EXPECT_EQ(a.strata[s].representative,
+                  b.strata[s].representative);
+        EXPECT_EQ(a.strata[s].weight, b.strata[s].weight);
+        EXPECT_EQ(a.strata[s].kernelId, b.strata[s].kernelId);
+        EXPECT_EQ(a.strata[s].tier, b.strata[s].tier);
+    }
+}
+
+void
+expectSameEvaluation(const sampling::MethodEvaluation &a,
+                     const sampling::MethodEvaluation &b)
+{
+    EXPECT_EQ(a.method, b.method);
+    // EXPECT_EQ on doubles is exact ==: bitwise identity, not
+    // tolerance — the whole point of the streaming contract.
+    EXPECT_EQ(a.predictedCycles, b.predictedCycles);
+    EXPECT_EQ(a.measuredCycles, b.measuredCycles);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.speedup, b.speedup);
+    EXPECT_EQ(a.numRepresentatives, b.numRepresentatives);
+    EXPECT_EQ(a.weightedClusterCov, b.weightedClusterCov);
+}
+
+TEST(WorkloadStream, HeaderAndWindowsMatchResidentLoad)
+{
+    trace::Workload wl = smallWorkload();
+    FaultyFile file(saveBytes(wl), "stream_hdr");
+
+    auto opened = trace::WorkloadStreamReader::tryOpen(file.path());
+    ASSERT_TRUE(opened.ok()) << opened.error().toString();
+    trace::WorkloadStreamReader &reader = opened.value();
+
+    EXPECT_EQ(reader.suite(), wl.suite());
+    EXPECT_EQ(reader.name(), wl.name());
+    EXPECT_EQ(reader.paperInvocations(), wl.paperInvocations());
+    EXPECT_EQ(reader.numInvocations(), wl.numInvocations());
+    EXPECT_TRUE(reader.zeroCopy());
+    ASSERT_EQ(reader.numKernels(), wl.numKernels());
+    for (size_t k = 0; k < wl.numKernels(); ++k)
+        EXPECT_EQ(reader.kernelNames()[k],
+                  wl.kernel(static_cast<uint32_t>(k)).name);
+
+    // Window concatenation equals the resident invocation stream at
+    // any window size, including re-streaming after rewind().
+    for (size_t max_window : {size_t{1}, size_t{7}, size_t{100000}}) {
+        reader.rewind();
+        std::vector<trace::KernelInvocation> window;
+        size_t gi = 0;
+        while (true) {
+            auto got = reader.nextWindow(window, max_window);
+            ASSERT_TRUE(got.ok()) << got.error().toString();
+            if (got.value() == 0)
+                break;
+            ASSERT_LE(got.value(), max_window);
+            for (size_t i = 0; i < got.value(); ++i, ++gi) {
+                const trace::KernelInvocation &want =
+                    wl.invocation(gi);
+                EXPECT_EQ(window[i].kernelId, want.kernelId);
+                EXPECT_EQ(window[i].invocationId, want.invocationId);
+                EXPECT_EQ(window[i].instructions(),
+                          want.instructions());
+                EXPECT_EQ(window[i].launch.ctaSize(),
+                          want.launch.ctaSize());
+                EXPECT_EQ(window[i].noiseSeed, want.noiseSeed);
+            }
+        }
+        EXPECT_EQ(gi, wl.numInvocations())
+            << "window=" << max_window;
+    }
+}
+
+TEST(WorkloadStream, TruncationAndTrailingBytesAreStructuredErrors)
+{
+    trace::Workload wl = smallWorkload("stencil", 200);
+    std::string bytes = saveBytes(wl);
+
+    {
+        FaultyFile file(bytes.substr(0, bytes.size() - 1),
+                        "stream_cut");
+        auto opened =
+            trace::WorkloadStreamReader::tryOpen(file.path());
+        ASSERT_FALSE(opened.ok());
+        EXPECT_NE(
+            opened.error().message.find("invocation records need"),
+            std::string::npos)
+            << opened.error().toString();
+    }
+    {
+        FaultyFile file(bytes + "junk", "stream_trail");
+        auto opened =
+            trace::WorkloadStreamReader::tryOpen(file.path());
+        ASSERT_FALSE(opened.ok());
+        EXPECT_EQ(opened.error().kind, ErrorKind::Validation);
+        EXPECT_NE(opened.error().message.find("trailing bytes"),
+                  std::string::npos);
+    }
+    {
+        auto opened =
+            trace::WorkloadStreamReader::tryOpen("/nonexistent.swl");
+        ASSERT_FALSE(opened.ok());
+        EXPECT_EQ(opened.error().kind, ErrorKind::Io);
+    }
+}
+
+TEST(Streaming, ProfileStreamEqualsProfileWorkload)
+{
+    trace::Workload wl = smallWorkload();
+    FaultyFile file(saveBytes(wl), "stream_prof");
+    sampling::WorkloadProfile resident =
+        sampling::profileWorkload(wl);
+
+    auto opened = trace::WorkloadStreamReader::tryOpen(file.path());
+    ASSERT_TRUE(opened.ok());
+    // One record per window: the harshest possible window schedule.
+    trace::IngestBudget budget{kRecord};
+    auto streamed =
+        sampling::profileStream(opened.value(), budget);
+    ASSERT_TRUE(streamed.ok()) << streamed.error().toString();
+
+    const sampling::WorkloadProfile &got = streamed.value();
+    EXPECT_EQ(got.suite, resident.suite);
+    EXPECT_EQ(got.name, resident.name);
+    EXPECT_EQ(got.paperInvocations, resident.paperInvocations);
+    EXPECT_EQ(got.kernelNames, resident.kernelNames);
+    EXPECT_EQ(got.numInvocations, resident.numInvocations);
+    EXPECT_EQ(got.totalInstructions, resident.totalInstructions);
+    ASSERT_EQ(got.kernels.size(), resident.kernels.size());
+    for (size_t k = 0; k < got.kernels.size(); ++k) {
+        EXPECT_EQ(got.kernels[k].members,
+                  resident.kernels[k].members);
+        EXPECT_EQ(got.kernels[k].instructions,
+                  resident.kernels[k].instructions);
+        EXPECT_EQ(got.kernels[k].ctaSizes,
+                  resident.kernels[k].ctaSizes);
+    }
+}
+
+TEST(Streaming, StreamSampleEqualsResidentSample)
+{
+    trace::Workload wl = smallWorkload();
+    FaultyFile file(saveBytes(wl), "stream_sample");
+
+    sampling::SieveSampler sampler;
+    sampling::SamplingResult resident = sampler.sample(wl);
+
+    eval::StreamConfig cfg;
+    cfg.budget = trace::IngestBudget{kRecord * 3};
+    auto streamed = eval::streamSample(file.path(), cfg);
+    ASSERT_TRUE(streamed.ok()) << streamed.error().toString();
+    expectSameStrata(streamed.value().result, resident);
+}
+
+TEST(Streaming, EvaluateIsBitIdenticalToResidentAtAnyWindowSize)
+{
+    trace::Workload wl = smallWorkload();
+    FaultyFile file(saveBytes(wl), "stream_eval");
+
+    sampling::SamplingResult resident_result;
+    sampling::MethodEvaluation resident =
+        residentEvaluate(wl, &resident_result);
+
+    for (size_t budget_bytes :
+         {kRecord, kRecord * 7, size_t{64} << 20}) {
+        eval::StreamConfig cfg;
+        cfg.budget = trace::IngestBudget{budget_bytes};
+        auto streamed = eval::streamEvaluate(file.path(), cfg);
+        ASSERT_TRUE(streamed.ok()) << streamed.error().toString();
+        expectSameStrata(streamed.value().result, resident_result);
+        expectSameEvaluation(streamed.value().eval, resident);
+    }
+}
+
+TEST(Streaming, JobsInvariantIncludingStableCounters)
+{
+    trace::Workload wl = smallWorkload();
+    FaultyFile file(saveBytes(wl), "stream_jobs");
+    eval::StreamConfig cfg;
+    cfg.budget = trace::IngestBudget{kRecord * 11};
+
+    obs::setMetricsEnabled(true);
+
+    auto deltaOf = [&](ThreadPool *pool,
+                       eval::StreamEvaluation *out) {
+        std::map<std::string, uint64_t> before =
+            obs::stableCounters();
+        auto streamed = eval::streamEvaluate(file.path(), cfg, pool);
+        EXPECT_TRUE(streamed.ok()) << streamed.error().toString();
+        *out = std::move(streamed).value();
+        std::map<std::string, uint64_t> delta;
+        for (const auto &[name, value] : obs::stableCounters()) {
+            auto it = before.find(name);
+            uint64_t prior = it == before.end() ? 0 : it->second;
+            if (value != prior)
+                delta[name] = value - prior;
+        }
+        return delta;
+    };
+
+    eval::StreamEvaluation serial, fanned;
+    std::map<std::string, uint64_t> serial_delta =
+        deltaOf(nullptr, &serial);
+    ThreadPool pool(8);
+    std::map<std::string, uint64_t> fanned_delta =
+        deltaOf(&pool, &fanned);
+
+    obs::setMetricsEnabled(false);
+
+    expectSameStrata(serial.result, fanned.result);
+    expectSameEvaluation(serial.eval, fanned.eval);
+    EXPECT_EQ(serial_delta, fanned_delta);
+    EXPECT_EQ(serial_delta.count("ingest.stream.windows"), 1u);
+    EXPECT_EQ(serial_delta.count("ingest.stream.evaluations"), 1u);
+}
+
+TEST(Streaming, FetchInvocationsServesAnyOrderWithDuplicates)
+{
+    trace::Workload wl = smallWorkload();
+    FaultyFile file(saveBytes(wl), "stream_fetch");
+
+    std::vector<size_t> indexes = {17, 3, 17, 0,
+                                   wl.numInvocations() - 1};
+    // Tiny windows force the fetch across many window boundaries.
+    auto got = eval::fetchInvocations(file.path(), indexes,
+                                      trace::IngestBudget{kRecord});
+    ASSERT_TRUE(got.ok()) << got.error().toString();
+    ASSERT_EQ(got.value().size(), indexes.size());
+    for (size_t slot = 0; slot < indexes.size(); ++slot) {
+        const trace::KernelInvocation &want =
+            wl.invocation(indexes[slot]);
+        EXPECT_EQ(got.value()[slot].kernelId, want.kernelId);
+        EXPECT_EQ(got.value()[slot].invocationId,
+                  want.invocationId);
+        EXPECT_EQ(got.value()[slot].instructions(),
+                  want.instructions());
+        EXPECT_EQ(got.value()[slot].noiseSeed, want.noiseSeed);
+    }
+
+    auto bad = eval::fetchInvocations(
+        file.path(), {wl.numInvocations()}, trace::IngestBudget{});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().kind, ErrorKind::Validation);
+    EXPECT_NE(bad.error().message.find("out of range"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace sieve::testing

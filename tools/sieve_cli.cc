@@ -21,6 +21,16 @@
  *       error, speedup, and dispersion.
  *   sieve trace <workload> [--out DIR] [--theta X] [--ctas N]
  *       Export the SASS traces of the Sieve representatives.
+ *
+ *   sample/evaluate/trace also take --stream [--ingest-budget-mb N]
+ *   on .swl files: out-of-core windowed ingestion with byte-identical
+ *   output (see eval/streaming.hh).
+ *
+ *   sieve shard-stats <workload>... [--shards N] [--dir D]
+ *                [--content-seeded] [--csv] [-o FILE]
+ *       Route the representative traces through a digest-sharded
+ *       store and print the per-shard census: blobs, bytes, dedup
+ *       ratio at rest, index health.
  *   sieve simulate <trace-file>... [--arch ampere|turing] [--pkp]
  *                [--jobs N]
  *       Run the cycle-level simulator on exported traces; several
@@ -47,6 +57,9 @@
  * --log-level quiet|warn|info|debug (or SIEVE_LOG_LEVEL).
  */
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -62,6 +75,7 @@
 #include "common/thread_pool.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
+#include "eval/streaming.hh"
 #include "eval/suite_runner.hh"
 #include "obs/metrics.hh"
 #include "obs/obs.hh"
@@ -78,9 +92,11 @@
 #include "sampling/tbpoint.hh"
 #include "trace/columnar.hh"
 #include "trace/profile_io.hh"
+#include "trace/shard_store.hh"
 #include "trace/tier.hh"
 #include "trace/sass_trace.hh"
 #include "trace/workload_io.hh"
+#include "trace/workload_stream.hh"
 #include "workloads/generator.hh"
 #include "workloads/suites.hh"
 
@@ -122,7 +138,8 @@ class Args
     needsValue(const std::string &key)
     {
         return key != "pks" && key != "pkp" && key != "by-name" &&
-               key != "csv" && key != "smoke";
+               key != "csv" && key != "smoke" && key != "stream" &&
+               key != "content-seeded";
     }
 
     const std::vector<std::string> &positional() const
@@ -253,14 +270,108 @@ runSampler(const std::string &method, const trace::Workload &wl,
           "' (sieve | pks | tbpoint | random)");
 }
 
+/** Ingest budget: --ingest-budget-mb beats SIEVE_INGEST_BUDGET_MB. */
+trace::IngestBudget
+ingestFromArgs(const Args &args)
+{
+    trace::IngestBudget budget = trace::IngestBudget::fromEnv();
+    if (args.has("ingest-budget-mb")) {
+        budget.budgetBytes =
+            static_cast<size_t>(
+                std::stoull(args.get("ingest-budget-mb", "64"))) *
+            1024 * 1024;
+    }
+    return budget;
+}
+
+/** Streaming pipeline config from the common flags. */
+eval::StreamConfig
+streamConfigFromArgs(const Args &args)
+{
+    eval::StreamConfig cfg;
+    cfg.sieve = {std::stod(args.get("theta", "0.4"))};
+    cfg.budget = ingestFromArgs(args);
+    cfg.arch = archFor(args.get("arch", "ampere"));
+    return cfg;
+}
+
+/**
+ * The streaming commands accept only .swl files (the point is to
+ * never materialize the workload) and only the sieve method (the
+ * others need golden results or resident feature matrices up front).
+ */
+std::string
+streamPath(const Args &args)
+{
+    const std::string &path = args.positional()[0];
+    if (!std::filesystem::exists(path))
+        fatal("--stream expects a .swl workload file, got '", path,
+              "' (run `sieve export` first)");
+    if (args.get("method", "sieve") != "sieve")
+        fatal("--stream supports only --method sieve");
+    return path;
+}
+
+/** The representative-selection CSV, shared by both sample paths. */
+CsvTable
+repsTable(const sampling::WorkloadProfile &profile,
+          const sampling::SamplingResult &result)
+{
+    CsvTable table({"stratum", "kernel", "invocation", "tier",
+                    "members", "weight", "cta_size",
+                    "instruction_count"});
+    for (size_t s = 0; s < result.strata.size(); ++s) {
+        const auto &stratum = result.strata[s];
+        SIEVE_ASSERT(stratum.kernelId != sampling::Stratum::kNoKernel,
+                     "sieve stratum without a kernel");
+        const auto &kernel = profile.kernels[stratum.kernelId];
+        size_t pos = static_cast<size_t>(
+            std::lower_bound(kernel.members.begin(),
+                             kernel.members.end(),
+                             stratum.representative) -
+            kernel.members.begin());
+        SIEVE_ASSERT(pos < kernel.members.size() &&
+                         kernel.members[pos] == stratum.representative,
+                     "representative not in its kernel's members");
+        table.addRow({
+            std::to_string(s),
+            profile.kernelNames[stratum.kernelId],
+            std::to_string(stratum.representative),
+            sampling::tierName(stratum.tier),
+            std::to_string(stratum.members.size()),
+            eval::Report::num(stratum.weight, 8),
+            std::to_string(kernel.ctaSizes[pos]),
+            std::to_string(kernel.instructions[pos]),
+        });
+    }
+    return table;
+}
+
 int
 cmdSample(const Args &args)
 {
     if (args.positional().empty())
         fatal("usage: sieve sample <workload> [--method M] "
-              "[--theta X] [-o FILE]");
+              "[--theta X] [--stream] [--ingest-budget-mb N] "
+              "[-o FILE]");
     std::string method = args.get("method", "sieve");
     double theta = std::stod(args.get("theta", "0.4"));
+
+    if (args.has("stream")) {
+        // Out-of-core: profile + stratify windows of the .swl file;
+        // rows and stdout are byte-identical to the resident path.
+        eval::StreamSample sampled = unwrapOrFatal(eval::streamSample(
+            streamPath(args), streamConfigFromArgs(args)));
+        CsvTable table = repsTable(sampled.profile, sampled.result);
+        std::string out = args.get(
+            "out", sampled.profile.name + "_" + method + "_reps.csv");
+        table.writeFile(out);
+        std::printf(
+            "%s selected %zu representatives for %s; wrote %s\n",
+            method.c_str(), sampled.result.strata.size(),
+            sampled.profile.name.c_str(), out.c_str());
+        return 0;
+    }
 
     trace::Workload wl = resolveWorkload(args.positional()[0]);
     gpu::HardwareExecutor hw(gpu::ArchConfig::ampereRtx3080());
@@ -296,24 +407,14 @@ cmdSample(const Args &args)
     return 0;
 }
 
-int
-cmdEvaluate(const Args &args)
+/** The evaluation report, shared by both evaluate paths. */
+void
+printEvaluation(const std::string &method, const std::string &suite,
+                const std::string &name,
+                const sampling::MethodEvaluation &eval)
 {
-    if (args.positional().empty())
-        fatal("usage: sieve evaluate <workload> [--method M] "
-              "[--arch A] [--theta X]");
-    std::string method = args.get("method", "sieve");
-    double theta = std::stod(args.get("theta", "0.4"));
-
-    trace::Workload wl = resolveWorkload(args.positional()[0]);
-    gpu::HardwareExecutor hw(archFor(args.get("arch", "ampere")));
-    gpu::WorkloadResult gold = hw.runWorkload(wl);
-    auto [result, predicted] = runSampler(method, wl, gold, theta);
-    sampling::MethodEvaluation eval =
-        sampling::evaluate(result, predicted, gold.perInvocation);
-
-    eval::Report report("Evaluation: " + method + " on " + wl.suite() +
-                        "/" + wl.name());
+    eval::Report report("Evaluation: " + method + " on " + suite +
+                        "/" + name);
     report.setColumns({"metric", "value"});
     report.addRow({"representatives",
                    std::to_string(eval.numRepresentatives)});
@@ -327,6 +428,40 @@ cmdEvaluate(const Args &args)
     report.addRow({"intra-cluster cycle CoV",
                    eval::Report::num(eval.weightedClusterCov)});
     report.print();
+}
+
+int
+cmdEvaluate(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve evaluate <workload> [--method M] "
+              "[--arch A] [--theta X] [--stream] "
+              "[--ingest-budget-mb N] [--jobs N]");
+    std::string method = args.get("method", "sieve");
+    double theta = std::stod(args.get("theta", "0.4"));
+
+    if (args.has("stream")) {
+        // Out-of-core: two bounded passes over the .swl file (profile
+        // + stratify, then the golden scoring scan). The report is
+        // byte-identical to the resident path below on any workload
+        // both can hold, at any --jobs value.
+        ThreadPool pool(static_cast<size_t>(
+            std::stoul(args.get("jobs", "0"))));
+        eval::StreamEvaluation ev =
+            unwrapOrFatal(eval::streamEvaluate(
+                streamPath(args), streamConfigFromArgs(args), &pool));
+        printEvaluation(method, ev.profile.suite, ev.profile.name,
+                        ev.eval);
+        return 0;
+    }
+
+    trace::Workload wl = resolveWorkload(args.positional()[0]);
+    gpu::HardwareExecutor hw(archFor(args.get("arch", "ampere")));
+    gpu::WorkloadResult gold = hw.runWorkload(wl);
+    auto [result, predicted] = runSampler(method, wl, gold, theta);
+    sampling::MethodEvaluation eval =
+        sampling::evaluate(result, predicted, gold.perInvocation);
+    printEvaluation(method, wl.suite(), wl.name(), eval);
     return 0;
 }
 
@@ -344,17 +479,80 @@ tierFromArgs(const Args &args)
     return cfg;
 }
 
+/** Write the tiered trace set to out_dir; returns total file bytes. */
+uint64_t
+exportTraces(const std::string &workload_name,
+             const sampling::SamplingResult &result,
+             const sampling::RepresentativeTraces &reps,
+             const std::filesystem::path &out_dir)
+{
+    uint64_t bytes = 0;
+    for (size_t s = 0; s < result.strata.size(); ++s) {
+        trace::TraceHandle::Pin pin = reps.handle(s).pin();
+        trace::KernelTrace kt = trace::toAos(*pin);
+        std::filesystem::path file =
+            out_dir /
+            (workload_name + "_inv" +
+             std::to_string(result.strata[s].representative) +
+             ".trace");
+        trace::writeTraceFile(kt, file.string());
+        bytes += std::filesystem::file_size(file);
+    }
+    return bytes;
+}
+
 int
 cmdTrace(const Args &args)
 {
     if (args.positional().empty())
         fatal("usage: sieve trace <workload> [--out DIR] [--theta X] "
-              "[--ctas N] [--trace-budget-mb N]");
+              "[--ctas N] [--trace-budget-mb N] [--stream] "
+              "[--ingest-budget-mb N]");
     double theta = std::stod(args.get("theta", "0.4"));
 
     gpusim::TraceSynthOptions synth;
     synth.maxTracedCtas =
         static_cast<uint64_t>(std::stoul(args.get("ctas", "32")));
+
+    if (args.has("stream")) {
+        // Out-of-core: stratify from the stream, then fetch only the
+        // representative records in a second bounded pass. Same
+        // files, same names, same stdout as the resident path.
+        std::string path = streamPath(args);
+        eval::StreamConfig cfg = streamConfigFromArgs(args);
+        eval::StreamSample sampled =
+            unwrapOrFatal(eval::streamSample(path, cfg));
+
+        std::vector<size_t> rep_indexes;
+        rep_indexes.reserve(sampled.result.strata.size());
+        for (const auto &stratum : sampled.result.strata)
+            rep_indexes.push_back(stratum.representative);
+        std::vector<trace::KernelInvocation> records = unwrapOrFatal(
+            eval::fetchInvocations(path, rep_indexes, cfg.budget));
+
+        std::vector<sampling::RepresentativeTraces::RepInvocation>
+            rep_invs;
+        rep_invs.reserve(records.size());
+        for (size_t s = 0; s < records.size(); ++s) {
+            rep_invs.push_back(
+                {sampled.profile
+                     .kernelNames[sampled.result.strata[s].kernelId],
+                 records[s]});
+        }
+
+        std::filesystem::path out_dir =
+            args.get("out", sampled.profile.name + "_traces");
+        std::filesystem::create_directories(out_dir);
+        sampling::RepresentativeTraces reps(rep_invs, synth,
+                                            tierFromArgs(args));
+        uint64_t bytes = exportTraces(sampled.profile.name,
+                                      sampled.result, reps, out_dir);
+        std::printf("exported %zu traces (%.1f MB) to %s\n",
+                    sampled.result.strata.size(),
+                    static_cast<double>(bytes) / 1e6,
+                    out_dir.string().c_str());
+        return 0;
+    }
 
     trace::Workload wl = resolveWorkload(args.positional()[0]);
     std::filesystem::path out_dir =
@@ -370,19 +568,7 @@ cmdTrace(const Args &args)
     // the direct AoS export this replaced.
     sampling::RepresentativeTraces reps(wl, result, synth,
                                         tierFromArgs(args));
-
-    uint64_t bytes = 0;
-    for (size_t s = 0; s < result.strata.size(); ++s) {
-        trace::TraceHandle::Pin pin = reps.handle(s).pin();
-        trace::KernelTrace kt = trace::toAos(*pin);
-        std::filesystem::path file =
-            out_dir /
-            (wl.name() + "_inv" +
-             std::to_string(result.strata[s].representative) +
-             ".trace");
-        trace::writeTraceFile(kt, file.string());
-        bytes += std::filesystem::file_size(file);
-    }
+    uint64_t bytes = exportTraces(wl.name(), result, reps, out_dir);
     std::printf("exported %zu traces (%.1f MB) to %s\n",
                 result.strata.size(),
                 static_cast<double>(bytes) / 1e6,
@@ -482,11 +668,140 @@ cmdTraceStats(const Args &args)
 }
 
 int
+cmdShardStats(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve shard-stats <workload>... [--theta X] "
+              "[--ctas N] [--shards N] [--dir D] [--content-seeded] "
+              "[--trace-budget-mb N] [--csv] [-o FILE]");
+    double theta = std::stod(args.get("theta", "0.4"));
+
+    gpusim::TraceSynthOptions synth;
+    synth.maxTracedCtas =
+        static_cast<uint64_t>(std::stoul(args.get("ctas", "32")));
+    synth.contentSeeded = args.has("content-seeded");
+
+    // The store lives where --dir points; without it, in a scratch
+    // directory that is removed after the census.
+    bool scratch = !args.has("dir");
+    std::filesystem::path dir =
+        scratch ? std::filesystem::temp_directory_path() /
+                      ("sieve_shard_stats_" +
+                       std::to_string(static_cast<unsigned long>(
+                           ::getpid())))
+                : std::filesystem::path(args.get("dir", ""));
+    trace::ShardStoreConfig store_cfg;
+    store_cfg.numShards =
+        static_cast<size_t>(std::stoul(args.get("shards", "8")));
+    trace::ShardStore store = unwrapOrFatal(
+        trace::ShardStore::tryCreate(dir.string(), store_cfg));
+
+    // Route every workload's representative traces through the one
+    // store; content-identical traces dedup at rest across workloads.
+    size_t total_strata = 0;
+    for (const std::string &name : args.positional()) {
+        trace::Workload wl = resolveWorkload(name);
+        sampling::SieveSampler sampler({theta});
+        sampling::SamplingResult result = sampler.sample(wl);
+        sampling::RepresentativeTraces reps(
+            wl, result, synth, tierFromArgs(args), &store);
+        total_strata += result.strata.size();
+    }
+    unwrapOrFatal(store.flushIndex());
+    std::vector<trace::ShardStore::HealthIssue> issues =
+        unwrapOrFatal(store.validate());
+
+    std::vector<size_t> issue_count(store.numShards(), 0);
+    for (const auto &issue : issues)
+        ++issue_count[issue.shard];
+
+    std::vector<trace::ShardStore::ShardInfo> info = store.shardInfo();
+    uint64_t total_puts = 0;
+    size_t total_blobs = 0, total_bytes = 0;
+    for (const auto &s : info) {
+        total_puts += s.puts;
+        total_blobs += s.blobs;
+        total_bytes += s.blobBytes;
+    }
+
+    if (args.has("csv")) {
+        CsvTable table({"shard", "blobs", "blob_bytes", "puts",
+                        "dedup_ratio", "issues"});
+        for (const auto &s : info) {
+            table.addRow({std::to_string(s.shard),
+                          std::to_string(s.blobs),
+                          std::to_string(s.blobBytes),
+                          std::to_string(s.puts),
+                          eval::Report::num(s.dedupRatio(), 3),
+                          std::to_string(issue_count[s.shard])});
+        }
+        if (args.has("out")) {
+            table.writeFile(args.get("out", ""));
+        } else {
+            std::ostringstream os;
+            table.write(os);
+            std::fputs(os.str().c_str(), stdout);
+        }
+    } else {
+        eval::Report report("Shard store census: " + dir.string());
+        report.setColumns({"shard", "blobs", "bytes", "puts", "dedup",
+                           "health"});
+        for (const auto &s : info) {
+            report.addRow(
+                {std::to_string(s.shard), std::to_string(s.blobs),
+                 eval::Report::count(
+                     static_cast<double>(s.blobBytes)),
+                 std::to_string(s.puts),
+                 eval::Report::times(s.dedupRatio()),
+                 issue_count[s.shard] == 0
+                     ? std::string("ok")
+                     : std::to_string(issue_count[s.shard]) +
+                           " issue(s)"});
+        }
+        report.print();
+        std::printf("%llu logical puts over %zu workload(s) -> %zu "
+                    "blobs at rest (%.2fx dedup, %.1f KB); index %s\n",
+                    static_cast<unsigned long long>(total_puts),
+                    args.positional().size(), total_blobs,
+                    total_blobs > 0
+                        ? static_cast<double>(total_puts) /
+                              static_cast<double>(total_blobs)
+                        : 1.0,
+                    static_cast<double>(total_bytes) / 1e3,
+                    issues.empty() ? "healthy" : "UNHEALTHY");
+        SIEVE_ASSERT(total_strata == total_puts,
+                     "census lost puts");
+    }
+    for (const auto &issue : issues) {
+        std::printf("  shard %zu: %s\n", issue.shard,
+                    issue.problem.c_str());
+    }
+
+    if (scratch)
+        std::filesystem::remove_all(dir);
+    return issues.empty() ? 0 : 1;
+}
+
+int
 cmdExport(const Args &args)
 {
     if (args.positional().empty())
-        fatal("usage: sieve export <workload> [-o FILE]");
-    trace::Workload wl = resolveWorkload(args.positional()[0]);
+        fatal("usage: sieve export <workload> [--cap N] [-o FILE]");
+    const std::string &name = args.positional()[0];
+    size_t cap =
+        static_cast<size_t>(std::stoul(args.get("cap", "0")));
+    trace::Workload wl = [&] {
+        if (cap == 0)
+            return resolveWorkload(name);
+        // An explicit cap overrides the registry's default 24k
+        // invocation ceiling — how the out-of-core CI gate builds
+        // its 10x-over-resident synthetic workload.
+        auto spec = workloads::findSpec(name, cap);
+        if (!spec)
+            fatal("unknown workload '", name,
+                  "'; run `sieve list` for the registry");
+        return workloads::generateWorkload(*spec);
+    }();
     std::string out = args.get("out", wl.name() + ".swl");
     trace::saveWorkloadFile(wl, out);
     std::printf("saved %s/%s (%zu kernels, %zu invocations) to %s\n",
@@ -747,6 +1062,9 @@ usage()
         "  trace-stats <workload>...      trace memory census "
         "(bytes,\n"
         "                                 tiers; --trace-budget-mb N)\n"
+        "  shard-stats <workload>...      sharded trace-store census\n"
+        "                                 (blobs, dedup at rest, index\n"
+        "                                 health; --shards N --dir D)\n"
         "  metrics-diff <a.json> <b.json> compare stable counters\n"
         "  fuzz-ingest [--seed N] [--mutations N] [--smoke] [--jobs N]\n"
         "                                 seeded ingestion fuzz sweep;\n"
@@ -757,7 +1075,12 @@ usage()
         "(env: SIEVE_TRACE)\n"
         "  --metrics-out FILE  metrics JSON/CSV (env: SIEVE_METRICS)\n"
         "  --log-level L       quiet|warn|info|debug "
-        "(env: SIEVE_LOG_LEVEL)\n");
+        "(env: SIEVE_LOG_LEVEL)\n"
+        "streaming options (sample / evaluate / trace on .swl "
+        "files):\n"
+        "  --stream                out-of-core windowed ingestion\n"
+        "  --ingest-budget-mb N    window memory bound "
+        "(env: SIEVE_INGEST_BUDGET_MB)\n");
     return 2;
 }
 
@@ -806,6 +1129,8 @@ main(int argc, char **argv)
         return cmdTraceSummary(args);
     if (command == "trace-stats")
         return cmdTraceStats(args);
+    if (command == "shard-stats")
+        return cmdShardStats(args);
     if (command == "metrics-diff")
         return cmdMetricsDiff(args);
     if (command == "fuzz-ingest")
