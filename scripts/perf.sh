@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Perf-trajectory run: build Release and record the hot-path timings
-# into BENCH_PR7.json at the repo root, plus a per-stage wall-clock
-# breakdown of a traced suite run into BENCH_STAGES.csv.
+# into BENCH_PR8.json at the repo root, plus a per-stage wall-clock
+# breakdown of a traced suite run into BENCH_STAGES.csv, then
+# consolidate every BENCH_*.json snapshot at the repo root into
+# BENCH_HISTORY.jsonl (one line per snapshot, with the per-op median
+# trajectory printed by `sieve perf-report`).
 #
 # bench_perf times each optimized stage (KDE grid, density
 # stratification, bounds-pruned k-means, PCA, PKS end-to-end, CSV
@@ -31,8 +34,8 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target bench_perf bench_fig3_accuracy sieve
 
-./build/bench/bench_perf --out BENCH_PR7.json "$@"
-echo "perf: wrote $(pwd)/BENCH_PR7.json"
+./build/bench/bench_perf --out BENCH_PR8.json "$@"
+echo "perf: wrote $(pwd)/BENCH_PR8.json"
 
 TRACE=build/perf_stage_trace.json
 # Fixed --jobs 8 so the breakdown includes the pool stage even on
@@ -41,3 +44,9 @@ TRACE=build/perf_stage_trace.json
 ./build/tools/sieve trace-summary "$TRACE" --csv -o BENCH_STAGES.csv
 ./build/tools/sieve trace-summary "$TRACE"
 echo "perf: wrote $(pwd)/BENCH_STAGES.csv"
+
+# Fold every snapshot at the repo root (this run's included, plus the
+# committed BENCH_PR*.json history) into the one-line-per-snapshot
+# history file and print the per-op median trajectory.
+./build/tools/sieve perf-report --out BENCH_HISTORY.jsonl
+echo "perf: wrote $(pwd)/BENCH_HISTORY.jsonl"

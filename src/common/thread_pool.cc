@@ -105,6 +105,13 @@ ThreadPool::workerLoop()
                 continue;
             }
             task = std::move(_queue[_queueHead++]);
+            // Keep the depth gauge honest on the drain side too, so
+            // the telemetry timeline sees the queue empty out rather
+            // than flat-lining at the last submitted depth.
+            static obs::Gauge &g_depth =
+                obs::gauge("pool.queue.depth");
+            g_depth.set(
+                static_cast<int64_t>(_queue.size() - _queueHead));
             // Reclaim the drained prefix once it dominates the queue.
             if (_queueHead > 64 && _queueHead * 2 > _queue.size()) {
                 _queue.erase(_queue.begin(),

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/ledger.hh"
 #include "obs/obs.hh"
 
 namespace sieve::eval {
@@ -66,6 +67,12 @@ parseBenchArgs(int argc, char **argv, std::string_view usage)
                 "(env: SIEVE_TRACE)\n"
                 "  --metrics-out F   write pipeline metrics as JSON, "
                 "or CSV for *.csv (env: SIEVE_METRICS)\n"
+                "  --ledger F        append a run manifest to F at "
+                "exit (env: SIEVE_LEDGER)\n"
+                "  --telemetry       sample counter tracks into the "
+                "trace (needs --trace-out; env: SIEVE_TELEMETRY)\n"
+                "  --telemetry-interval-ms N  sampling period, "
+                "default 25 (env: SIEVE_TELEMETRY_INTERVAL_MS)\n"
                 "  --log-level L     quiet|warn|info|debug (env: "
                 "SIEVE_LOG_LEVEL)\n"
                 "  NAME...           restrict to the named workloads\n"
@@ -87,6 +94,16 @@ parseBenchArgs(int argc, char **argv, std::string_view usage)
         } else if (arg.rfind("--metrics-out", 0) == 0) {
             opts.metricsOut =
                 flagValue("--metrics-out", arg, argc, argv, i);
+        } else if (arg.rfind("--ledger", 0) == 0) {
+            opts.ledgerOut =
+                flagValue("--ledger", arg, argc, argv, i);
+        } else if (arg.rfind("--telemetry-interval-ms", 0) == 0) {
+            opts.telemetryIntervalMs = parseCount(
+                "--telemetry-interval-ms",
+                flagValue("--telemetry-interval-ms", arg, argc, argv,
+                          i));
+        } else if (arg == "--telemetry") {
+            opts.telemetry = true;
         } else if (arg.rfind("--log-level", 0) == 0) {
             std::string value =
                 flagValue("--log-level", arg, argc, argv, i);
@@ -105,10 +122,31 @@ parseBenchArgs(int argc, char **argv, std::string_view usage)
         }
     }
 
+    // Record the invocation identity for the run ledger before the
+    // tool does any work, so the manifest's wall time covers the
+    // whole run.
+    {
+        std::string command = argv[0];
+        size_t slash = command.find_last_of('/');
+        if (slash != std::string::npos)
+            command.erase(0, slash + 1);
+        std::vector<std::string> args(argv + 1, argv + argc);
+        obs::setRunContext(std::move(command), std::move(args),
+                           static_cast<int>(opts.jobs));
+    }
+
     // Arm observability: env first, explicit flags override.
     obs::configureObsFromEnv();
-    if (!opts.traceOut.empty() || !opts.metricsOut.empty())
-        obs::configureObs({opts.traceOut, opts.metricsOut});
+    if (!opts.traceOut.empty() || !opts.metricsOut.empty() ||
+        !opts.ledgerOut.empty() || opts.telemetry) {
+        obs::ObsOptions obs_opts;
+        obs_opts.traceOut = opts.traceOut;
+        obs_opts.metricsOut = opts.metricsOut;
+        obs_opts.ledgerOut = opts.ledgerOut;
+        obs_opts.telemetry = opts.telemetry;
+        obs_opts.telemetryIntervalMs = opts.telemetryIntervalMs;
+        obs::configureObs(obs_opts);
+    }
     return opts;
 }
 

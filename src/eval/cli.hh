@@ -14,6 +14,13 @@
  *                     (also: SIEVE_TRACE env var)
  *   --metrics-out F   write the metrics registry as JSON (or CSV if
  *                     F ends in .csv; also: SIEVE_METRICS env var)
+ *   --ledger F        append a run manifest to F at exit (also:
+ *                     SIEVE_LEDGER env var)
+ *   --telemetry       sample counter tracks into the trace stream
+ *                     (needs --trace-out; also: SIEVE_TELEMETRY)
+ *   --telemetry-interval-ms N
+ *                     sampling period (default 25; also:
+ *                     SIEVE_TELEMETRY_INTERVAL_MS)
  *   --log-level L     quiet|warn|info|debug (also: SIEVE_LOG_LEVEL)
  *   NAME...           positional workload names restricting a
  *                     registry suite to the named subset (registry
@@ -55,6 +62,15 @@ struct BenchOptions
 
     /** Metrics output path, .csv or .json ("" = metrics off). */
     std::string metricsOut;
+
+    /** Run-ledger JSONL path ("" = no manifest appended). */
+    std::string ledgerOut;
+
+    /** Start the background telemetry sampler (needs traceOut). */
+    bool telemetry = false;
+
+    /** Telemetry sampling interval in milliseconds. */
+    uint64_t telemetryIntervalMs = 25;
 
     /** Positional arguments (workload names, usually). */
     std::vector<std::string> positional;

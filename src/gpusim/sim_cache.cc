@@ -1,6 +1,7 @@
 #include "gpusim/sim_cache.hh"
 
 #include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 
 namespace sieve::gpusim {
 
@@ -119,6 +120,19 @@ SimCache::lookup(TraceDigest digest) const
     static obs::Counter &c_lookups = obs::counter("gpusim.cache.lookups");
     static obs::Counter &c_hits = obs::counter("gpusim.cache.hits");
     static obs::Counter &c_unique = obs::counter("gpusim.cache.unique");
+    // Derived-rate telemetry track, registered here (not in the
+    // sampler) so runs that never simulate don't grow cache metrics.
+    static const bool probe_registered = [] {
+        obs::registerTelemetryProbe("gpusim.cache.hit_permille", [] {
+            uint64_t lookups = c_lookups.value();
+            if (lookups == 0)
+                return int64_t{0};
+            return static_cast<int64_t>(c_hits.value() * 1000 /
+                                        lookups);
+        });
+        return true;
+    }();
+    (void)probe_registered;
 
     Entry *entry = nullptr;
     bool created = false;

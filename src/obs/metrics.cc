@@ -1,5 +1,7 @@
 #include "obs/metrics.hh"
 
+#include "obs/percentile.hh"
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
@@ -495,8 +497,11 @@ writeMetricsJson(std::ostream &os)
         if (!first)
             os << ",\n";
         first = false;
+        Quantiles q = summarizeBuckets(m.buckets);
         os << "      \"" << jsonEscape(m.name) << "\": {\"count\": "
-           << m.count << ", \"sum\": " << m.sum << ", \"buckets\": [";
+           << m.count << ", \"sum\": " << m.sum << ", \"p50\": "
+           << q.p50 << ", \"p90\": " << q.p90 << ", \"p95\": "
+           << q.p95 << ", \"p99\": " << q.p99 << ", \"buckets\": [";
         bool fb = true;
         for (size_t b = 0; b < m.buckets.size(); ++b) {
             if (m.buckets[b] == 0)
@@ -533,12 +538,22 @@ writeMetricsCsv(std::ostream &os)
             os << m.name << ".max,gauge," << stab << ',' << m.maxValue
                << '\n';
             break;
-          case MetricValue::Kind::Histogram:
+          case MetricValue::Kind::Histogram: {
             os << m.name << ".count,histogram," << stab << ','
                << m.count << '\n';
             os << m.name << ".sum,histogram," << stab << ',' << m.sum
                << '\n';
+            Quantiles q = summarizeBuckets(m.buckets);
+            os << m.name << ".p50,histogram," << stab << ',' << q.p50
+               << '\n';
+            os << m.name << ".p90,histogram," << stab << ',' << q.p90
+               << '\n';
+            os << m.name << ".p95,histogram," << stab << ',' << q.p95
+               << '\n';
+            os << m.name << ".p99,histogram," << stab << ',' << q.p99
+               << '\n';
             break;
+          }
         }
     }
 }

@@ -1,0 +1,116 @@
+#include "obs/percentile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hh"
+
+namespace sieve::obs {
+
+namespace {
+
+/**
+ * Interpolated value of the sample at 1-based `pos` among `count`
+ * samples inside bucket `b`: the k samples of a bucket are assumed
+ * to sit at evenly spaced offsets starting at the inclusive lower
+ * bound. The overflow bucket has no upper bound; reuse its lower
+ * bound as the width so the formula stays total.
+ */
+double
+valueInBucket(size_t b, uint64_t pos, uint64_t count)
+{
+    if (b == 0)
+        return 0.0; // bucket 0 holds exact zeros
+    double lower =
+        static_cast<double>(Histogram::bucketLowerBound(b));
+    double width = lower; // [2^(b-1), 2^b) is one lower-bound wide
+    if (count <= 1)
+        return lower;
+    return lower + width * static_cast<double>(pos - 1) /
+                       static_cast<double>(count);
+}
+
+} // namespace
+
+double
+quantileFromBuckets(const std::vector<uint64_t> &buckets, double q)
+{
+    uint64_t count = 0;
+    for (uint64_t b : buckets)
+        count += b;
+    if (count == 0)
+        return 0.0;
+
+    q = std::min(1.0, std::max(0.0, q));
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    rank = std::max<uint64_t>(1, std::min(rank, count));
+
+    uint64_t seen = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        if (rank <= seen + buckets[b])
+            return valueInBucket(b, rank - seen, buckets[b]);
+        seen += buckets[b];
+    }
+    return 0.0; // unreachable: rank <= count
+}
+
+Quantiles
+summarizeBuckets(const std::vector<uint64_t> &buckets)
+{
+    Quantiles out;
+    out.p50 = quantileFromBuckets(buckets, 0.50);
+    out.p90 = quantileFromBuckets(buckets, 0.90);
+    out.p95 = quantileFromBuckets(buckets, 0.95);
+    out.p99 = quantileFromBuckets(buckets, 0.99);
+    return out;
+}
+
+namespace reference {
+
+double
+quantileFromSamples(const std::vector<uint64_t> &samples, double q)
+{
+    // Bucket exactly as Histogram::record does...
+    std::vector<uint64_t> buckets(Histogram::kBuckets, 0);
+    for (uint64_t v : samples)
+        ++buckets[Histogram::bucketFor(v)];
+
+    uint64_t count = samples.size();
+    if (count == 0)
+        return 0.0;
+
+    // ...then re-derive the quantile naively: expand the cumulative
+    // distribution one bucket at a time and stop at the target rank.
+    double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    double exact = clamped * static_cast<double>(count);
+    uint64_t rank = static_cast<uint64_t>(std::ceil(exact));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        uint64_t next = cumulative + buckets[b];
+        if (buckets[b] > 0 && rank <= next) {
+            uint64_t pos = rank - cumulative; // 1-based within bucket
+            if (b == 0)
+                return 0.0;
+            double lower = static_cast<double>(
+                Histogram::bucketLowerBound(b));
+            if (buckets[b] <= 1)
+                return lower;
+            return lower + lower * static_cast<double>(pos - 1) /
+                               static_cast<double>(buckets[b]);
+        }
+        cumulative = next;
+    }
+    return 0.0;
+}
+
+} // namespace reference
+
+} // namespace sieve::obs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic quantile extraction from the fixed-bucket latency
+ * histograms of obs/metrics.hh.
+ *
+ * A histogram's bucket array is --jobs-invariant *given identical
+ * recorded values* (buckets are plain per-shard sums), so a quantile
+ * derived from the buckets with a fixed formula is deterministic
+ * too: the same bucket array always yields the bit-identical double.
+ * The extraction is what the metrics JSON/CSV export and the run
+ * ledger (obs/ledger.hh) publish as p50/p90/p95/p99.
+ *
+ * Formula (see quantileFromBuckets): target rank r = max(1,
+ * ceil(q * count)); walk the cumulative bucket counts to the bucket
+ * holding rank r; interpolate linearly inside the bucket assuming
+ * its k samples sit at evenly spaced offsets from the inclusive
+ * lower bound. Bucket 0 holds exact zeros, so its quantile is 0.
+ *
+ * The value is an *estimate* bounded by the bucket resolution
+ * (power-of-two buckets => at most 2x off), which is the trade the
+ * histograms already made; what matters for the regression watchdog
+ * is that the estimate is reproducible.
+ *
+ * `reference::quantileFromSamples` is the retained serial oracle: it
+ * buckets a raw sample list the same way the Histogram fast path
+ * does and re-derives the quantile with an independently written
+ * walk. tests/test_telemetry.cc asserts bit-identity between the
+ * two at --jobs 1 and 8.
+ */
+
+#ifndef SIEVE_OBS_PERCENTILE_HH
+#define SIEVE_OBS_PERCENTILE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sieve::obs {
+
+/** The quantile set exported everywhere (metrics JSON/CSV, ledger). */
+struct Quantiles
+{
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * Deterministic quantile `q` in [0, 1] from a Histogram bucket array
+ * (bucket 0 = exact zeros, bucket i >= 1 = [2^(i-1), 2^i)). Returns
+ * 0.0 for an empty histogram.
+ */
+double quantileFromBuckets(const std::vector<uint64_t> &buckets,
+                           double q);
+
+/** p50/p90/p95/p99 in one walk-per-quantile call. */
+Quantiles summarizeBuckets(const std::vector<uint64_t> &buckets);
+
+namespace reference {
+
+/**
+ * Serial oracle: bucket `samples` exactly as Histogram::record does,
+ * then derive the quantile with an independent naive implementation.
+ * Bit-identical to quantileFromBuckets over the same samples.
+ */
+double quantileFromSamples(const std::vector<uint64_t> &samples,
+                           double q);
+
+} // namespace reference
+
+} // namespace sieve::obs
+
+#endif // SIEVE_OBS_PERCENTILE_HH

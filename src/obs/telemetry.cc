@@ -1,0 +1,245 @@
+#include "obs/telemetry.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace sieve::obs {
+
+namespace {
+
+/**
+ * Sampler state. Probe registration and sweeps share one mutex; a
+ * sweep copies the probe list and runs the probes outside the lock
+ * so a slow probe (a /proc read) never blocks registration.
+ */
+class Sampler
+{
+  public:
+    static Sampler &
+    instance()
+    {
+        static Sampler *s = new Sampler; // leaked: outlives atexit
+        return *s;
+    }
+
+    void
+    registerProbe(std::string track, TelemetryProbe probe)
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _probes[std::move(track)] = std::move(probe);
+    }
+
+    bool
+    running() const
+    {
+        return _running.load(std::memory_order_acquire);
+    }
+
+    void
+    start(const TelemetryOptions &options)
+    {
+        std::lock_guard<std::mutex> lock(_lifecycle);
+        if (_running.load(std::memory_order_acquire))
+            return;
+        _intervalMs = std::max<uint64_t>(1, options.intervalMs);
+        _stop = false;
+        _running.store(true, std::memory_order_release);
+        _thread = std::thread([this] { run(); });
+    }
+
+    void
+    stop()
+    {
+        std::lock_guard<std::mutex> lock(_lifecycle);
+        if (!_running.load(std::memory_order_acquire))
+            return;
+        {
+            std::lock_guard<std::mutex> wake(_mu);
+            _stop = true;
+        }
+        _cv.notify_all();
+        _thread.join();
+        _running.store(false, std::memory_order_release);
+    }
+
+    void
+    sweep()
+    {
+        std::vector<std::pair<std::string, TelemetryProbe>> probes;
+        {
+            std::lock_guard<std::mutex> lock(_mu);
+            probes.assign(_probes.begin(), _probes.end());
+        }
+        for (auto &[track, probe] : probes)
+            emitCounterSample(track, nowNs(), probe());
+        _sweeps.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    sweeps() const
+    {
+        return _sweeps.load(std::memory_order_relaxed);
+    }
+
+  private:
+    Sampler() = default;
+
+    void
+    run()
+    {
+        setThreadTag("telemetry");
+        for (;;) {
+            sweep();
+            std::unique_lock<std::mutex> lock(_mu);
+            _cv.wait_for(lock, std::chrono::milliseconds(_intervalMs),
+                         [this] { return _stop; });
+            if (_stop) {
+                // Final sweep so the timeline ends with a settled
+                // sample even when the run outpaced the interval.
+                lock.unlock();
+                sweep();
+                return;
+            }
+        }
+    }
+
+    mutable std::mutex _mu; //!< probes + stop flag
+    std::mutex _lifecycle;  //!< start/stop serialisation
+    std::condition_variable _cv;
+    std::map<std::string, TelemetryProbe> _probes;
+    std::thread _thread;
+    std::atomic<bool> _running{false};
+    std::atomic<uint64_t> _sweeps{0};
+    bool _stop = false;
+    uint64_t _intervalMs = 25;
+};
+
+/**
+ * Read field `index` (0-based) of /proc/self/statm, in pages;
+ * -1 on failure. statm is a single line of space-separated counts.
+ */
+long
+readStatmField(int index)
+{
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return -1;
+    long fields[7] = {0, 0, 0, 0, 0, 0, 0};
+    int n = std::fscanf(f, "%ld %ld %ld %ld %ld %ld %ld", &fields[0],
+                        &fields[1], &fields[2], &fields[3], &fields[4],
+                        &fields[5], &fields[6]);
+    std::fclose(f);
+    if (index >= n)
+        return -1;
+    return fields[index];
+}
+
+int64_t
+pagesToKb(long pages)
+{
+    if (pages < 0)
+        return 0;
+    static const long kPageKb = [] {
+        long sz = sysconf(_SC_PAGESIZE);
+        return sz > 0 ? sz / 1024 : 4;
+    }();
+    return static_cast<int64_t>(pages) * kPageKb;
+}
+
+void
+registerBuiltinProbes()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        Sampler &s = Sampler::instance();
+        s.registerProbe("process.vm_kb",
+                        [] { return pagesToKb(readStatmField(0)); });
+        s.registerProbe("process.rss_kb", [] { return readRssKb(); });
+        s.registerProbe("process.data_kb",
+                        [] { return pagesToKb(readStatmField(5)); });
+        // The pool gauge already exists as a Volatile metric; reading
+        // it creates nothing Stable.
+        s.registerProbe("pool.queue.depth", [] {
+            return gauge("pool.queue.depth").value();
+        });
+    });
+}
+
+} // namespace
+
+void
+registerTelemetryProbe(std::string track, TelemetryProbe probe)
+{
+    Sampler::instance().registerProbe(std::move(track),
+                                      std::move(probe));
+}
+
+bool
+telemetryEnabled()
+{
+    return Sampler::instance().running();
+}
+
+void
+startTelemetry(const TelemetryOptions &options)
+{
+    registerBuiltinProbes();
+    // Gauge- and rate-derived probes need live metrics to observe.
+    setMetricsEnabled(true);
+    Sampler::instance().start(options);
+}
+
+void
+stopTelemetry()
+{
+    Sampler::instance().stop();
+}
+
+void
+sampleTelemetryNow()
+{
+    registerBuiltinProbes();
+    Sampler::instance().sweep();
+}
+
+uint64_t
+telemetrySweeps()
+{
+    return Sampler::instance().sweeps();
+}
+
+int64_t
+readRssKb()
+{
+    return pagesToKb(readStatmField(1));
+}
+
+int64_t
+readPeakRssKb()
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return readRssKb();
+    char line[256];
+    long kb = -1;
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1)
+            break;
+    }
+    std::fclose(f);
+    return kb >= 0 ? static_cast<int64_t>(kb) : readRssKb();
+}
+
+} // namespace sieve::obs

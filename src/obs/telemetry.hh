@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Opt-in background telemetry sampler: a continuous-observation
+ * timeline for a run.
+ *
+ * The metrics registry (obs/metrics.hh) answers "how much work was
+ * done"; the span tracer (obs/trace.hh) answers "when did each stage
+ * run". Neither shows how the process *evolved* — resident memory,
+ * queue depth, cache hit rate over time. The TelemetrySampler closes
+ * that gap: a single background thread wakes at a fixed interval,
+ * reads every registered probe, and emits one counter-track sample
+ * ("ph":"C") per probe into the trace stream, so a Perfetto load of
+ * the run shows memory/cache/queue behaviour as counter timelines
+ * above the span rows.
+ *
+ * Determinism contract: the sampler only *reads*. Probes return the
+ * current value of a gauge, a derived rate over Stable counters, or
+ * a /proc self-observation; samples land exclusively in the trace
+ * stream, which is Volatile in its entirety (DESIGN.md §7). Enabling
+ * telemetry therefore changes no Stable counter and no byte of suite
+ * stdout — the CI telemetry gate enforces both at --jobs 1/4/8.
+ *
+ * Built-in probes (registered on first start):
+ *   process.rss_kb     resident set from /proc/self/statm
+ *   process.vm_kb      virtual size from /proc/self/statm
+ *   process.data_kb    data+stack segment from /proc/self/statm
+ *   pool.queue.depth   the ThreadPool queue-depth gauge
+ * Subsystems register derived probes at first use (sim-cache hit
+ * rate, tier-pool resident bytes, shard-store bytes at rest) via
+ * registerTelemetryProbe — registration from a subsystem keeps the
+ * sampler from creating that subsystem's metrics in runs that never
+ * touch it, which would perturb the metrics export.
+ *
+ * Activation: --telemetry [--telemetry-interval-ms N] on every CLI
+ * and bench, or SIEVE_TELEMETRY=1 / SIEVE_TELEMETRY_INTERVAL_MS in
+ * the environment (obs/obs.hh routes both). Off by default: no
+ * thread is started and a registered probe is one map insert.
+ */
+
+#ifndef SIEVE_OBS_TELEMETRY_HH
+#define SIEVE_OBS_TELEMETRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sieve::obs {
+
+/** Sampler configuration. */
+struct TelemetryOptions
+{
+    /** Wake interval; clamped to >= 1. */
+    uint64_t intervalMs = 25;
+};
+
+/**
+ * Current value of one counter track. Probes must be thread-safe
+ * and non-blocking in spirit (they run on the sampler thread at
+ * every tick); reading an atomic, a gauge, or a /proc file is fine.
+ */
+using TelemetryProbe = std::function<int64_t()>;
+
+/**
+ * Register (or replace) the probe behind counter track `track`.
+ * Callable at any time, including while the sampler runs; the next
+ * sweep picks it up. Track names follow the metric naming scheme.
+ */
+void registerTelemetryProbe(std::string track, TelemetryProbe probe);
+
+/** True while the background sampler thread is running. */
+bool telemetryEnabled();
+
+/**
+ * Start the background sampler (idempotent). Forces metrics on so
+ * gauge/counter-derived probes observe live values; the caller is
+ * responsible for having armed the trace stream — without it the
+ * emitted samples are dropped at the emit check.
+ */
+void startTelemetry(const TelemetryOptions &options = {});
+
+/**
+ * Stop and join the sampler thread (idempotent). The thread takes
+ * one final sweep before exiting so the timeline always ends with a
+ * settled sample. flushObs() calls this first — see the flush-order
+ * contract in obs/obs.hh.
+ */
+void stopTelemetry();
+
+/**
+ * Take one probe sweep on the calling thread, regardless of whether
+ * the sampler runs. Used by tests for deterministic sampling.
+ */
+void sampleTelemetryNow();
+
+/** Completed probe sweeps since process start (test/ledger support). */
+uint64_t telemetrySweeps();
+
+/** Resident set size in KiB from /proc/self/statm (0 on failure). */
+int64_t readRssKb();
+
+/**
+ * Peak resident set size in KiB (VmHWM from /proc/self/status;
+ * falls back to current RSS when unavailable). The run ledger
+ * records this as the footprint watermark.
+ */
+int64_t readPeakRssKb();
+
+} // namespace sieve::obs
+
+#endif // SIEVE_OBS_TELEMETRY_HH

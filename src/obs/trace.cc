@@ -25,6 +25,8 @@ struct Event
     std::string detail;
     uint64_t startNs;
     uint64_t durationNs;
+    char phase = 'X';  //!< 'X' complete span, 'C' counter sample
+    int64_t value = 0; //!< counter samples only
 };
 
 /** One thread's private event buffer. */
@@ -172,7 +174,22 @@ emitCompleteEvent(const char *category, std::string name,
         buf.threadName = tag.empty() ? "main" : tag;
     }
     buf.events.push_back({category, std::move(name),
-                          std::move(detail), start_ns, duration_ns});
+                          std::move(detail), start_ns, duration_ns,
+                          'X', 0});
+}
+
+void
+emitCounterSample(std::string track, uint64_t ts_ns, int64_t value)
+{
+    if (!traceEnabled())
+        return;
+    TraceBuffer &buf = Tracer::instance().localBuffer();
+    if (buf.threadName.empty()) {
+        const std::string &tag = threadTag();
+        buf.threadName = tag.empty() ? "main" : tag;
+    }
+    buf.events.push_back(
+        {"telemetry", std::move(track), {}, ts_ns, 0, 'C', value});
 }
 
 void
@@ -208,14 +225,21 @@ writeChromeTrace(std::ostream &os)
     char num[64];
     for (const Flat &f : flat) {
         const Event &e = *f.event;
-        os << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << f.tid
-           << ",\"cat\":\"" << e.category << "\",\"name\":\""
-           << jsonEscape(e.name) << "\",\"ts\":";
         // Chrome trace timestamps are microseconds; keep ns precision
         // via the fractional part.
         std::snprintf(num, sizeof(num), "%.3f",
                       static_cast<double>(e.startNs) / 1e3);
-        os << num << ",\"dur\":";
+        if (e.phase == 'C') {
+            os << ",\n{\"ph\":\"C\",\"pid\":1,\"tid\":" << f.tid
+               << ",\"cat\":\"" << e.category << "\",\"name\":\""
+               << jsonEscape(e.name) << "\",\"ts\":" << num
+               << ",\"args\":{\"value\":" << e.value << "}}";
+            continue;
+        }
+        os << ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":" << f.tid
+           << ",\"cat\":\"" << e.category << "\",\"name\":\""
+           << jsonEscape(e.name) << "\",\"ts\":" << num
+           << ",\"dur\":";
         std::snprintf(num, sizeof(num), "%.3f",
                       static_cast<double>(e.durationNs) / 1e3);
         os << num;
@@ -224,8 +248,9 @@ writeChromeTrace(std::ostream &os)
                << "\"}";
         os << '}';
     }
+    // Schema 2 added counter-track ("ph":"C") events.
     os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":"
-          "{\"tool\":\"sieve\",\"schema\":1}}\n";
+          "{\"tool\":\"sieve\",\"schema\":2}}\n";
 }
 
 bool
@@ -316,9 +341,49 @@ summarizeTrace(std::istream &is, bool by_name, std::string *error)
     double first_start = -1.0;
     double last_end = 0.0;
     std::map<std::string, StageSummary> stages;
+    struct TrackState
+    {
+        CounterTrackSummary summary;
+        double lastTs = -1.0;
+    };
+    std::map<std::string, TrackState> tracks;
     while (std::getline(is, line)) {
         if (line.find("\"traceEvents\"") != std::string::npos)
             saw_header = true;
+
+        // Counter-track samples: {"ph":"C", ..., "name":TRACK,
+        // "ts":T, "args":{"value":V}} — aggregated per track.
+        if (line.find("\"ph\":\"C\"") != std::string::npos) {
+            std::string track = extractString(line, "name");
+            double ts = 0.0;
+            double value = 0.0;
+            if (track.empty() || !extractNumber(line, "ts", &ts) ||
+                !extractNumber(line, "value", &value))
+                return fail("malformed counter event: " + line);
+
+            ++summary.counterSamples;
+            if (first_start < 0.0 || ts < first_start)
+                first_start = ts;
+            last_end = std::max(last_end, ts);
+
+            TrackState &state = tracks[track];
+            CounterTrackSummary &t = state.summary;
+            int64_t v = static_cast<int64_t>(value);
+            if (t.samples == 0) {
+                t.track = track;
+                t.minValue = t.maxValue = t.lastValue = v;
+            } else {
+                t.minValue = std::min(t.minValue, v);
+                t.maxValue = std::max(t.maxValue, v);
+            }
+            if (ts >= state.lastTs) {
+                state.lastTs = ts;
+                t.lastValue = v;
+            }
+            ++t.samples;
+            continue;
+        }
+
         if (line.find("\"ph\":\"X\"") == std::string::npos)
             continue;
         std::string cat = extractString(line, "cat");
@@ -345,7 +410,7 @@ summarizeTrace(std::istream &is, bool by_name, std::string *error)
     }
     if (!saw_header)
         return fail("not a sieve trace file (missing traceEvents)");
-    if (summary.events == 0)
+    if (summary.events == 0 && summary.counterSamples == 0)
         return fail("trace file contains no spans");
 
     summary.wallMs = (last_end - first_start) / 1e3;
@@ -357,6 +422,9 @@ summarizeTrace(std::istream &is, bool by_name, std::string *error)
                   return a.totalMs > b.totalMs ||
                          (a.totalMs == b.totalMs && a.stage < b.stage);
               });
+    summary.tracks.reserve(tracks.size());
+    for (auto &[key, state] : tracks)
+        summary.tracks.push_back(std::move(state.summary));
     if (error)
         error->clear();
     return summary;

@@ -64,6 +64,18 @@ void emitCompleteEvent(const char *category, std::string name,
                        std::string detail = {});
 
 /**
+ * Append one counter-track sample ("ph":"C"): the value of `track`
+ * at `ts_ns`. Perfetto renders all samples of one track name as a
+ * counter timeline row. Counter samples are wall-clock observations
+ * and therefore Volatile by construction — they live only in the
+ * trace stream and never touch the Stable-counter contract. The
+ * TelemetrySampler (obs/telemetry.hh) is the main producer. No-op
+ * when tracing is disabled.
+ */
+void emitCounterSample(std::string track, uint64_t ts_ns,
+                       int64_t value);
+
+/**
  * RAII span: measures construction-to-destruction on the calling
  * thread. `category` must be a string literal (stored by pointer);
  * `name` and `detail` are owned. `detail` lands in the event's args
@@ -127,20 +139,34 @@ struct StageSummary
     double maxMs = 0.0;
 };
 
+/** Aggregated view of one counter track ("ph":"C") of a trace. */
+struct CounterTrackSummary
+{
+    std::string track;
+    uint64_t samples = 0;
+    int64_t minValue = 0;
+    int64_t maxValue = 0;
+    int64_t lastValue = 0; //!< sample with the largest timestamp
+};
+
 /** Whole-file aggregation produced by summarizeTrace. */
 struct TraceSummary
 {
     std::vector<StageSummary> stages; //!< sorted by totalMs, desc
     uint64_t events = 0;
-    double wallMs = 0.0; //!< last span end minus first span start
+    double wallMs = 0.0; //!< last event end minus first event start
+    //! counter tracks, sorted by name (empty without telemetry)
+    std::vector<CounterTrackSummary> tracks;
+    uint64_t counterSamples = 0;
 };
 
 /**
  * Parse a trace file written by writeChromeTrace and aggregate the
- * spans per category (or per name with `by_name`). Only understands
- * this tool's own line-per-event layout — not a general JSON parser.
- * On malformed input returns nullopt-like empty summary and sets
- * *error.
+ * spans per category (or per name with `by_name`) plus the counter
+ * tracks per track name (min/max/last). Only understands this
+ * tool's own line-per-event layout — not a general JSON parser. On
+ * malformed input returns nullopt-like empty summary and sets
+ * *error. A trace holding only counter samples (no spans) is valid.
  */
 TraceSummary summarizeTrace(std::istream &is, bool by_name,
                             std::string *error);

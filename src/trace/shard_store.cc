@@ -11,6 +11,7 @@
 #include "io/mmap_file.hh"
 #include "io/span_reader.hh"
 #include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 #include "trace/tier.hh"
 
 namespace sieve::trace {
@@ -55,6 +56,15 @@ obs::Counter &
 storedBytesCounter()
 {
     static obs::Counter &c = obs::counter("store.shard.stored_bytes");
+    // Bytes-at-rest telemetry track, registered here so only runs
+    // that actually store shards grow a counter timeline.
+    static const bool probe_registered = [] {
+        obs::registerTelemetryProbe("store.shard.stored_bytes", [] {
+            return static_cast<int64_t>(c.value());
+        });
+        return true;
+    }();
+    (void)probe_registered;
     return c;
 }
 

@@ -1,6 +1,7 @@
 #include "trace/tier.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
@@ -9,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "obs/metrics.hh"
+#include "obs/telemetry.hh"
 
 namespace sieve::trace {
 
@@ -232,6 +234,37 @@ TierConfig::fromEnv()
 // Tier pool
 // ---------------------------------------------------------------
 
+namespace {
+
+/**
+ * Current hot bytes across every live pool. The Stable counter
+ * trace.bytes_resident is monotonic (bytes ever made resident); the
+ * telemetry timeline wants the *instantaneous* residency, so the
+ * pools mirror every hot-bytes transition into this atomic.
+ */
+std::atomic<int64_t> &
+residentNow()
+{
+    static std::atomic<int64_t> bytes{0};
+    return bytes;
+}
+
+/** Register the residency track once a pool exists (not earlier, so
+ * runs without tiered traces never grow a track). */
+void
+registerResidencyProbe()
+{
+    static const bool once = [] {
+        obs::registerTelemetryProbe("trace.tier.resident_bytes", [] {
+            return residentNow().load(std::memory_order_relaxed);
+        });
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace
+
 namespace detail {
 
 struct TraceSlot
@@ -267,6 +300,15 @@ struct TraceSlot
 
 struct PoolState
 {
+    PoolState() { registerResidencyProbe(); }
+
+    ~PoolState()
+    {
+        // Whatever is still hot leaves residency with the pool.
+        residentNow().fetch_sub(static_cast<int64_t>(residentBytes),
+                                std::memory_order_relaxed);
+    }
+
     mutable std::mutex mutex;
     // Shared handle: keeps the store state alive for as long as any
     // handle can still rehydrate from it.
@@ -295,6 +337,9 @@ struct PoolState
                 return; // everything left is pinned
             victim->hot.reset();
             residentBytes -= victim->hotBytes;
+            residentNow().fetch_sub(
+                static_cast<int64_t>(victim->hotBytes),
+                std::memory_order_relaxed);
         }
     }
 };
@@ -392,6 +437,8 @@ TraceHandle::pin() const
         }
         _slot->hot.emplace(std::move(trace.value()));
         pool.residentBytes += _slot->hotBytes;
+        residentNow().fetch_add(static_cast<int64_t>(_slot->hotBytes),
+                                std::memory_order_relaxed);
         rehydrationCounter().add();
         bytesResidentCounter().add(_slot->hotBytes);
     }
@@ -457,6 +504,8 @@ TraceTierPool::insert(ColumnarTrace trace)
     slot->hot.emplace(std::move(trace));
     slot->lruTick = ++_state->tick;
     _state->residentBytes += slot->hotBytes;
+    residentNow().fetch_add(static_cast<int64_t>(slot->hotBytes),
+                            std::memory_order_relaxed);
     _state->slots.push_back(slot);
 
     bytesResidentCounter().add(slot->hotBytes);
@@ -497,6 +546,8 @@ TraceTierPool::insert(ColumnarTrace trace, const BlobDigest &digest)
     slot->hot.emplace(std::move(trace));
     slot->lruTick = ++_state->tick;
     _state->residentBytes += slot->hotBytes;
+    residentNow().fetch_add(static_cast<int64_t>(slot->hotBytes),
+                            std::memory_order_relaxed);
     _state->slots.push_back(slot);
 
     bytesResidentCounter().add(slot->hotBytes);

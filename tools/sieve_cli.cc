@@ -51,15 +51,27 @@
  *       binaries, and traces through the recoverable parsers; exit 1
  *       if any case crashes or is accepted with invalid content
  *       (the CI robustness gate).
+ *   sieve runs list|show|diff|regress [--ledger F]
+ *       Inspect the append-only run ledger (obs/ledger.hh);
+ *       `regress` exits non-zero when the latest run exceeds its
+ *       baseline window — the perf-regression watchdog.
+ *   sieve perf-report [BENCH_*.json...] [--out F]
+ *       Consolidate bench snapshots into BENCH_HISTORY.jsonl and
+ *       print per-op median trajectories.
  *
- * Every command also accepts --trace-out FILE / --metrics-out FILE
- * (or SIEVE_TRACE / SIEVE_METRICS) to record its own execution, and
- * --log-level quiet|warn|info|debug (or SIEVE_LOG_LEVEL).
+ * Every command also accepts --trace-out FILE / --metrics-out FILE /
+ * --ledger FILE / --telemetry [--telemetry-interval-ms N] (or
+ * SIEVE_TRACE / SIEVE_METRICS / SIEVE_LEDGER / SIEVE_TELEMETRY) to
+ * record its own execution, and --log-level quiet|warn|info|debug
+ * (or SIEVE_LOG_LEVEL). The introspection commands (runs,
+ * perf-report, metrics-diff, trace-summary) never arm the layer:
+ * they read its artifacts.
  */
 
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -73,6 +85,7 @@
 #include "common/csv.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/ledger.hh"
 #include "eval/experiment.hh"
 #include "eval/report.hh"
 #include "eval/streaming.hh"
@@ -139,7 +152,9 @@ class Args
     {
         return key != "pks" && key != "pkp" && key != "by-name" &&
                key != "csv" && key != "smoke" && key != "stream" &&
-               key != "content-seeded";
+               key != "content-seeded" && key != "telemetry" &&
+               key != "strict" && key != "counters" &&
+               key != "counters-json" && key != "allow-counter-drift";
     }
 
     const std::vector<std::string> &positional() const
@@ -946,7 +961,7 @@ cmdTraceSummary(const Args &args)
 {
     if (args.positional().empty())
         fatal("usage: sieve trace-summary <trace.json> [--by-name] "
-              "[--csv] [-o FILE]");
+              "[--counters] [--csv] [-o FILE]");
     const std::string &path = args.positional()[0];
     std::ifstream in(path);
     if (!in)
@@ -957,8 +972,50 @@ cmdTraceSummary(const Args &args)
         obs::summarizeTrace(in, args.has("by-name"), &error);
     if (!error.empty())
         fatal("malformed trace '", path, "': ", error);
+
+    // Counter-track view: the telemetry timeline per track.
+    if (args.has("counters")) {
+        if (summary.tracks.empty())
+            fatal("trace '", path,
+                  "' has no counter tracks (run with --telemetry)");
+        if (args.has("csv")) {
+            CsvTable table(
+                {"track", "samples", "min", "max", "last"});
+            for (const auto &t : summary.tracks) {
+                table.addRow({t.track, std::to_string(t.samples),
+                              std::to_string(t.minValue),
+                              std::to_string(t.maxValue),
+                              std::to_string(t.lastValue)});
+            }
+            if (args.has("out")) {
+                table.writeFile(args.get("out", ""));
+            } else {
+                std::ostringstream os;
+                table.write(os);
+                std::fputs(os.str().c_str(), stdout);
+            }
+            return 0;
+        }
+        eval::Report report("Counter tracks: " + path);
+        report.setColumns({"track", "samples", "min", "max", "last"});
+        for (const auto &t : summary.tracks) {
+            report.addRow({t.track, std::to_string(t.samples),
+                           std::to_string(t.minValue),
+                           std::to_string(t.maxValue),
+                           std::to_string(t.lastValue)});
+        }
+        report.print();
+        std::printf("%llu counter samples over %zu tracks\n",
+                    static_cast<unsigned long long>(
+                        summary.counterSamples),
+                    summary.tracks.size());
+        return 0;
+    }
+
     if (summary.events == 0)
-        fatal("trace '", path, "' contains no spans");
+        fatal("trace '", path,
+              "' contains no spans (counter tracks only; see "
+              "--counters)");
 
     if (args.has("csv")) {
         CsvTable table({"stage", "spans", "total_ms", "max_ms"});
@@ -991,6 +1048,13 @@ cmdTraceSummary(const Args &args)
     std::printf("%llu spans over %.3f ms of wall clock\n",
                 static_cast<unsigned long long>(summary.events),
                 summary.wallMs);
+    if (summary.counterSamples > 0) {
+        std::printf("plus %llu counter samples over %zu tracks "
+                    "(--counters to view)\n",
+                    static_cast<unsigned long long>(
+                        summary.counterSamples),
+                    summary.tracks.size());
+    }
     return 0;
 }
 
@@ -1045,6 +1109,397 @@ cmdMetricsDiff(const Args &args)
     return 0;
 }
 
+/** Ledger path: --ledger flag, SIEVE_LEDGER env, else runs.jsonl. */
+std::string
+ledgerPath(const Args &args)
+{
+    std::string path = args.get("ledger", "");
+    if (path.empty())
+        if (const char *env = std::getenv("SIEVE_LEDGER"))
+            path = env;
+    return path.empty() ? "runs.jsonl" : path;
+}
+
+/** Resolve a run index; negative counts from the end (-1 = latest). */
+size_t
+resolveRunIndex(const std::string &text, size_t count)
+{
+    char *end = nullptr;
+    long idx = std::strtol(text.c_str(), &end, 10);
+    if (!end || *end != '\0')
+        fatal("run index must be an integer, got '", text, "'");
+    long resolved = idx < 0 ? static_cast<long>(count) + idx : idx;
+    if (resolved < 0 || resolved >= static_cast<long>(count))
+        fatal("run index ", text, " out of range (ledger holds ",
+              count, " run(s))");
+    return static_cast<size_t>(resolved);
+}
+
+std::string
+describeRun(const obs::RunManifest &run, size_t limit)
+{
+    std::string text = run.command;
+    for (const std::string &arg : run.argv) {
+        text.push_back(' ');
+        text += arg;
+    }
+    if (text.size() > limit) {
+        text.resize(limit - 3);
+        text += "...";
+    }
+    return text;
+}
+
+int
+cmdRunsList(const Args &args, const std::string &path,
+            const obs::LedgerReadResult &ledger)
+{
+    eval::Report report("Run ledger: " + path);
+    report.setColumns({"#", "invocation", "jobs", "wall", "peak rss",
+                       "counters", "samples"});
+    for (size_t i = 0; i < ledger.runs.size(); ++i) {
+        const obs::RunManifest &run = ledger.runs[i];
+        report.addRow(
+            {std::to_string(i), describeRun(run, 44),
+             std::to_string(run.jobs),
+             eval::Report::num(run.wallMs, 1) + " ms",
+             std::to_string(run.maxRssKb) + " KB",
+             std::to_string(run.counters.size()),
+             std::to_string(run.telemetrySamples)});
+    }
+    report.print();
+    std::printf("%zu run(s), %llu unparseable line(s)\n",
+                ledger.runs.size(),
+                static_cast<unsigned long long>(ledger.skippedLines));
+    return args.has("strict") && ledger.skippedLines > 0 ? 1 : 0;
+}
+
+int
+cmdRunsShow(const Args &args, const obs::LedgerReadResult &ledger)
+{
+    std::string which = args.positional().size() > 1
+                            ? args.positional()[1]
+                            : std::string("-1");
+    const obs::RunManifest &run =
+        ledger.runs[resolveRunIndex(which, ledger.runs.size())];
+
+    // parseStableCounters-compatible export, so the ledger plugs
+    // straight into `sieve metrics-diff` (the CI jobs-invariance
+    // gate runs it across ledger entries).
+    if (args.has("counters-json")) {
+        std::printf("{\n  \"schema\": 1,\n  \"tool\": \"sieve\",\n"
+                    "  \"counters\": {\n");
+        bool first = true;
+        for (const auto &[name, value] : run.counters) {
+            if (!first)
+                std::printf(",\n");
+            first = false;
+            std::printf("    \"%s\": %llu", name.c_str(),
+                        static_cast<unsigned long long>(value));
+        }
+        std::printf("%s  },\n  \"volatile\": {}\n}\n",
+                    first ? "" : "\n");
+        return 0;
+    }
+
+    eval::Report report("Run manifest");
+    report.setColumns({"field", "value"});
+    report.addRow({"invocation", describeRun(run, 60)});
+    report.addRow({"jobs", std::to_string(run.jobs)});
+    report.addRow({"started_unix_ms",
+                   std::to_string(run.startedUnixMs)});
+    report.addRow({"wall", eval::Report::num(run.wallMs, 1) + " ms"});
+    report.addRow({"peak rss",
+                   std::to_string(run.maxRssKb) + " KB"});
+    report.addRow({"telemetry samples",
+                   std::to_string(run.telemetrySamples)});
+    report.print();
+
+    if (!run.counters.empty()) {
+        eval::Report counters("Stable counters");
+        counters.setColumns({"counter", "value"});
+        for (const auto &[name, value] : run.counters)
+            counters.addRow({name, std::to_string(value)});
+        counters.print();
+    }
+    if (!run.histograms.empty()) {
+        eval::Report hist("Latency histograms (ns)");
+        hist.setColumns(
+            {"histogram", "count", "p50", "p90", "p95", "p99"});
+        for (const auto &[name, h] : run.histograms) {
+            hist.addRow({name, std::to_string(h.count),
+                         eval::Report::count(h.p50),
+                         eval::Report::count(h.p90),
+                         eval::Report::count(h.p95),
+                         eval::Report::count(h.p99)});
+        }
+        hist.print();
+    }
+    return 0;
+}
+
+int
+cmdRunsDiff(const Args &args, const obs::LedgerReadResult &ledger)
+{
+    if (args.positional().size() < 3)
+        fatal("usage: sieve runs diff <a> <b> [--ledger FILE]");
+    const obs::RunManifest &a = ledger.runs[resolveRunIndex(
+        args.positional()[1], ledger.runs.size())];
+    const obs::RunManifest &b = ledger.runs[resolveRunIndex(
+        args.positional()[2], ledger.runs.size())];
+
+    size_t differences = 0;
+    auto report = [&](const std::string &name, const std::string &lhs,
+                      const std::string &rhs) {
+        std::printf("  %-40s %s != %s\n", name.c_str(), lhs.c_str(),
+                    rhs.c_str());
+        ++differences;
+    };
+    for (const auto &[name, value] : a.counters) {
+        auto it = b.counters.find(name);
+        if (it == b.counters.end())
+            report(name, std::to_string(value), "(missing)");
+        else if (it->second != value)
+            report(name, std::to_string(value),
+                   std::to_string(it->second));
+    }
+    for (const auto &[name, value] : b.counters) {
+        if (!a.counters.count(name))
+            report(name, "(missing)", std::to_string(value));
+    }
+    if (differences > 0)
+        std::printf("%zu stable counter(s) differ\n", differences);
+    else
+        std::printf("%zu stable counters identical\n",
+                    a.counters.size());
+
+    // Volatile deltas are informational: they never fail the diff.
+    auto pct = [](double from, double to) {
+        return from > 0.0 ? (to / from - 1.0) * 100.0 : 0.0;
+    };
+    std::printf("  wall %.1f ms -> %.1f ms (%+.1f%%)\n", a.wallMs,
+                b.wallMs, pct(a.wallMs, b.wallMs));
+    std::printf("  peak rss %lld KB -> %lld KB (%+.1f%%)\n",
+                static_cast<long long>(a.maxRssKb),
+                static_cast<long long>(b.maxRssKb),
+                pct(static_cast<double>(a.maxRssKb),
+                    static_cast<double>(b.maxRssKb)));
+    for (const auto &[name, ha] : a.histograms) {
+        auto it = b.histograms.find(name);
+        if (it == b.histograms.end())
+            continue;
+        std::printf("  p95(%s) %.0f ns -> %.0f ns (%+.1f%%)\n",
+                    name.c_str(), ha.p95, it->second.p95,
+                    pct(ha.p95, it->second.p95));
+    }
+    return differences > 0 ? 1 : 0;
+}
+
+int
+cmdRunsRegress(const Args &args, const std::string &path,
+               const obs::LedgerReadResult &ledger)
+{
+    obs::RegressOptions opts;
+    opts.window = static_cast<size_t>(
+        std::stoul(args.get("window", "5")));
+    opts.maxLatencyPct = std::stod(args.get("max-latency-pct", "10"));
+    opts.maxFootprintPct =
+        std::stod(args.get("max-footprint-pct", "10"));
+    opts.maxWallPct = std::stod(args.get("max-wall-pct", "0"));
+    opts.allowCounterDrift = args.has("allow-counter-drift");
+
+    const obs::RunManifest &candidate = ledger.runs.back();
+    std::string fingerprint = obs::runFingerprint(candidate);
+    std::vector<obs::RunManifest> baselines;
+    for (size_t i = 0; i + 1 < ledger.runs.size(); ++i) {
+        if (obs::runFingerprint(ledger.runs[i]) == fingerprint)
+            baselines.push_back(ledger.runs[i]);
+    }
+    if (baselines.empty()) {
+        std::printf("no baseline runs in %s match '%s'; nothing to "
+                    "compare\n",
+                    path.c_str(), describeRun(candidate, 60).c_str());
+        return 0;
+    }
+
+    std::vector<obs::Regression> regressions =
+        obs::findRegressions(candidate, baselines, opts);
+    if (regressions.empty()) {
+        std::printf("no regressions: '%s' vs %zu baseline run(s) "
+                    "(latency +%.1f%%, footprint +%.1f%%)\n",
+                    describeRun(candidate, 60).c_str(),
+                    baselines.size(), opts.maxLatencyPct,
+                    opts.maxFootprintPct);
+        return 0;
+    }
+
+    eval::Report report("Regressions vs " +
+                        std::to_string(baselines.size()) +
+                        " baseline run(s)");
+    report.setColumns({"metric", "candidate", "baseline", "delta"});
+    for (const auto &r : regressions) {
+        report.addRow({r.metric, eval::Report::count(r.candidate),
+                       eval::Report::count(r.baseline),
+                       eval::Report::percent(r.deltaPct / 100.0, 1)});
+    }
+    report.print();
+    std::printf("%zu regression(s) beyond thresholds\n",
+                regressions.size());
+    return 1;
+}
+
+int
+cmdRuns(const Args &args)
+{
+    if (args.positional().empty())
+        fatal("usage: sieve runs <list|show|diff|regress> "
+              "[--ledger FILE]");
+    const std::string &sub = args.positional()[0];
+    std::string path = ledgerPath(args);
+    obs::LedgerReadResult ledger;
+    std::string error;
+    if (!obs::readRunLedgerFile(path, &ledger, &error))
+        fatal(error);
+    if (ledger.runs.empty() && sub != "list")
+        fatal("ledger '", path, "' holds no parseable runs");
+
+    if (sub == "list")
+        return cmdRunsList(args, path, ledger);
+    if (sub == "show")
+        return cmdRunsShow(args, ledger);
+    if (sub == "diff")
+        return cmdRunsDiff(args, ledger);
+    if (sub == "regress")
+        return cmdRunsRegress(args, path, ledger);
+    fatal("unknown runs subcommand '", sub,
+          "' (list | show | diff | regress)");
+}
+
+/** Numeric-aware compare so BENCH_PR2 < BENCH_PR4 < BENCH_PR10. */
+bool
+naturalLess(const std::string &a, const std::string &b)
+{
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (std::isdigit(static_cast<unsigned char>(a[i])) &&
+            std::isdigit(static_cast<unsigned char>(b[j]))) {
+            size_t i0 = i, j0 = j;
+            while (i < a.size() &&
+                   std::isdigit(static_cast<unsigned char>(a[i])))
+                ++i;
+            while (j < b.size() &&
+                   std::isdigit(static_cast<unsigned char>(b[j])))
+                ++j;
+            unsigned long long na =
+                std::stoull(a.substr(i0, i - i0));
+            unsigned long long nb =
+                std::stoull(b.substr(j0, j - j0));
+            if (na != nb)
+                return na < nb;
+        } else {
+            if (a[i] != b[j])
+                return a[i] < b[j];
+            ++i;
+            ++j;
+        }
+    }
+    return a.size() < b.size();
+}
+
+int
+cmdPerfReport(const Args &args)
+{
+    // Explicit files, or every BENCH_*.json in the working directory
+    // (excluding the history itself).
+    std::vector<std::string> files = args.positional();
+    if (files.empty()) {
+        for (const auto &entry :
+             std::filesystem::directory_iterator(".")) {
+            std::string name = entry.path().filename().string();
+            if (name.rfind("BENCH_", 0) == 0 &&
+                name.size() > 5 + 5 &&
+                name.compare(name.size() - 5, 5, ".json") == 0 &&
+                name.rfind("BENCH_HISTORY", 0) != 0)
+                files.push_back(entry.path().string());
+        }
+        std::sort(files.begin(), files.end(), naturalLess);
+    }
+    if (files.empty())
+        fatal("no BENCH_*.json snapshots found (pass files "
+              "explicitly or run scripts/perf.sh)");
+
+    std::vector<obs::BenchSnapshot> snapshots;
+    for (const std::string &file : files) {
+        std::ifstream in(file);
+        if (!in)
+            fatal("cannot open bench file '", file, "'");
+        obs::BenchSnapshot snap;
+        std::string error;
+        if (!obs::parseBenchSnapshot(
+                in, std::filesystem::path(file).stem().string(),
+                &snap, &error))
+            fatal("malformed bench file '", file, "': ", error);
+        snapshots.push_back(std::move(snap));
+    }
+
+    std::string out = args.get("out", "BENCH_HISTORY.jsonl");
+    std::ofstream os(out);
+    if (!os)
+        fatal("cannot write '", out, "'");
+    obs::writeBenchHistory(os, snapshots);
+
+    // Per-op median trajectory across snapshots, oldest to newest,
+    // with the delta between the two most recent points.
+    std::vector<std::string> ops;
+    for (const auto &snap : snapshots)
+        for (const auto &r : snap.ops)
+            if (std::find(ops.begin(), ops.end(), r.op) == ops.end())
+                ops.push_back(r.op);
+
+    eval::Report report("Bench history: " +
+                        std::to_string(snapshots.size()) +
+                        " snapshots");
+    std::vector<std::string> columns = {"op"};
+    for (const auto &snap : snapshots)
+        columns.push_back(snap.label);
+    columns.push_back("delta");
+    report.setColumns(columns);
+
+    for (const std::string &op : ops) {
+        std::vector<std::string> row = {op};
+        std::vector<double> medians;
+        for (const auto &snap : snapshots) {
+            auto it = std::find_if(
+                snap.ops.begin(), snap.ops.end(),
+                [&](const obs::BenchOpRecord &r) {
+                    return r.op == op;
+                });
+            if (it == snap.ops.end()) {
+                row.push_back("-");
+            } else {
+                row.push_back(eval::Report::count(it->medianNs));
+                medians.push_back(it->medianNs);
+            }
+        }
+        if (medians.size() >= 2 && medians[medians.size() - 2] > 0) {
+            double delta = (medians.back() /
+                                medians[medians.size() - 2] -
+                            1.0) *
+                           100.0;
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%+.1f%%", delta);
+            row.push_back(buf);
+        } else {
+            row.push_back("-");
+        }
+        report.addRow(row);
+    }
+    report.print();
+    std::printf("wrote %zu snapshot(s) to %s\n", snapshots.size(),
+                out.c_str());
+    return 0;
+}
+
 int
 usage()
 {
@@ -1070,10 +1525,30 @@ usage()
         "                                 seeded ingestion fuzz sweep;\n"
         "                                 exit 1 on any accepted-but-\n"
         "                                 invalid parse or crash\n"
+        "  runs list [--strict]           show the run ledger\n"
+        "  runs show [IDX] [--counters-json]\n"
+        "                                 one manifest (IDX < 0 from "
+        "end)\n"
+        "  runs diff <a> <b>              compare two ledger entries\n"
+        "  runs regress [--window N] [--max-latency-pct X]\n"
+        "               [--max-footprint-pct X] [--max-wall-pct X]\n"
+        "               [--allow-counter-drift]\n"
+        "                                 exit 1 when the latest run\n"
+        "                                 regresses vs its baselines\n"
+        "  perf-report [BENCH...] [--out F]\n"
+        "                                 consolidate BENCH_*.json "
+        "into\n"
+        "                                 BENCH_HISTORY.jsonl\n"
         "global options (all commands):\n"
         "  --trace-out FILE    Chrome trace of this run "
         "(env: SIEVE_TRACE)\n"
         "  --metrics-out FILE  metrics JSON/CSV (env: SIEVE_METRICS)\n"
+        "  --ledger FILE       append a run manifest at exit "
+        "(env: SIEVE_LEDGER)\n"
+        "  --telemetry         sample counter tracks into the trace\n"
+        "                      (needs --trace-out; env: "
+        "SIEVE_TELEMETRY)\n"
+        "  --telemetry-interval-ms N  sampling period, default 25\n"
         "  --log-level L       quiet|warn|info|debug "
         "(env: SIEVE_LOG_LEVEL)\n"
         "streaming options (sample / evaluate / trace on .swl "
@@ -1105,10 +1580,30 @@ main(int argc, char **argv)
                   value, "'");
         setLogLevel(*level);
     }
-    obs::configureObsFromEnv();
-    if (args.has("trace-out") || args.has("metrics-out")) {
-        obs::configureObs(
-            {args.get("trace-out", ""), args.get("metrics-out", "")});
+    // Introspection commands read observability artifacts; arming
+    // the layer for them would write the files they are reading
+    // (appending a `runs list` manifest to the ledger it lists).
+    bool introspection = command == "runs" ||
+                         command == "perf-report" ||
+                         command == "metrics-diff" ||
+                         command == "trace-summary";
+    if (!introspection) {
+        std::vector<std::string> argv_vec(argv + 1, argv + argc);
+        obs::setRunContext("sieve", std::move(argv_vec),
+                           static_cast<int>(
+                               std::stoul(args.get("jobs", "0"))));
+        obs::configureObsFromEnv();
+        if (args.has("trace-out") || args.has("metrics-out") ||
+            args.has("ledger") || args.has("telemetry")) {
+            obs::ObsOptions obs_opts;
+            obs_opts.traceOut = args.get("trace-out", "");
+            obs_opts.metricsOut = args.get("metrics-out", "");
+            obs_opts.ledgerOut = args.get("ledger", "");
+            obs_opts.telemetry = args.has("telemetry");
+            obs_opts.telemetryIntervalMs = static_cast<uint64_t>(
+                std::stoul(args.get("telemetry-interval-ms", "25")));
+            obs::configureObs(obs_opts);
+        }
     }
 
     if (command == "list")
@@ -1135,6 +1630,10 @@ main(int argc, char **argv)
         return cmdMetricsDiff(args);
     if (command == "fuzz-ingest")
         return cmdFuzzIngest(args);
+    if (command == "runs")
+        return cmdRuns(args);
+    if (command == "perf-report")
+        return cmdPerfReport(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
 }
