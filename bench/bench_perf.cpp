@@ -23,6 +23,13 @@
  * puts vs hibernating every trace), and streamingStratify (bounded-
  * window profile + stratify vs the resident load + sample) — each
  * byte-identity-checked against its resident/naive counterpart.
+ * Schema 5 adds the PR 9 simulator-core pair: simKernel (the
+ * event-driven cycle-skipping SoA core vs the retained
+ * tick-everything reference engine on an MSHR-/latency-heavy
+ * dependent-load workload) and simBatchCold (the same comparison
+ * across a cold batch of distinct traces through the thread pool) —
+ * results must be byte-identical and the full-mode gate requires the
+ * event core to clear 3x on this workload class.
  *
  * Flags:
  *   --reps N   timing repetitions per op (median reported; default 5)
@@ -206,6 +213,7 @@ simResultsEqual(const gpusim::KernelSimResult &a,
            a.dram.requests == b.dram.requests &&
            a.dram.bytes == b.dram.bytes &&
            a.dram.busyCycles == b.dram.busyCycles &&
+           a.wavesSimulated == b.wavesSimulated &&
            a.pkpStoppedEarly == b.pkpStoppedEarly &&
            bitsEqual(a.fractionSimulated, b.fractionSimulated);
 }
@@ -260,7 +268,7 @@ writeJson(const std::string &path, const std::vector<OpRecord> &records,
     std::ostringstream os;
     os << "{\n";
     os << "  \"bench\": \"bench_perf\",\n";
-    os << "  \"schema\": 4,\n";
+    os << "  \"schema\": 5,\n";
     os << "  \"jobs\": " << jobs << ",\n";
     os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
     double insts = static_cast<double>(
@@ -328,7 +336,7 @@ main(int argc, char **argv)
 {
     int reps = 5;
     bool smoke = false;
-    std::string out = "BENCH_PR7.json";
+    std::string out = "BENCH_PR9.json";
     size_t jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -916,6 +924,139 @@ main(int argc, char **argv)
                                      stream_ns, resident_ns));
     }
     fs::remove_all(scratch);
+
+    // ---- simKernel / simBatchCold: event-driven cycle-skipping core
+    //      vs the retained tick-everything reference engine ----------
+    // The workload class the event core targets: every warp is a
+    // dependent chain of fully-scattered global loads to distinct
+    // lines, so all accesses miss, the L1 MSHR bound throttles issue,
+    // and warps sit in hundreds-of-cycle DRAM stalls. The reference
+    // loop steps every busy SM at every visited cycle; the event core
+    // steps only SMs whose wake time has arrived. Both must produce
+    // byte-identical KernelSimResults — that is the engine contract —
+    // and the full-mode gate requires the event core to clear 3x
+    // here. (If SIEVE_SIM_ENGINE is set, both simulators run the
+    // same forced engine and a speedup comparison is meaningless, so
+    // the timing gate is skipped; identity still holds trivially.)
+    {
+        auto mshrHeavyTrace = [](uint64_t id, uint32_t n_ctas,
+                                 uint32_t warps_per_cta,
+                                 uint32_t loads_per_warp) {
+            trace::KernelTrace kt;
+            kt.kernelName = "mshr_heavy";
+            kt.invocationId = id;
+            kt.launch.grid = {n_ctas, 1, 1};
+            kt.launch.cta = {warps_per_cta * 32, 1, 1};
+            kt.ctas.resize(n_ctas);
+            // Distinct lines per (trace, CTA, warp, load): every
+            // access is a compulsory miss at L1 and L2, and the odd
+            // stride scatters lines across L2 slices and DRAM
+            // channels so retire times stagger between SMs.
+            uint64_t line = id << 32;
+            for (uint32_t c = 0; c < n_ctas; ++c) {
+                kt.ctas[c].warps.resize(warps_per_cta);
+                for (uint32_t w = 0; w < warps_per_cta; ++w) {
+                    auto &insts =
+                        kt.ctas[c].warps[w].instructions;
+                    insts.reserve(loads_per_warp + 1);
+                    uint8_t prev = 0;
+                    for (uint32_t i = 0; i < loads_per_warp; ++i) {
+                        trace::SassInstruction si;
+                        si.opcode = trace::Opcode::Ldg;
+                        // The simulator scoreboards 32 architectural
+                        // registers; cycle through 2..31.
+                        si.destReg =
+                            static_cast<uint8_t>(2 + i % 30);
+                        si.srcReg0 = prev; // dependent chain
+                        si.sectors = 32;   // fully scattered
+                        si.lineAddress = line;
+                        line += 97;
+                        prev = si.destReg;
+                        insts.push_back(si);
+                    }
+                    trace::SassInstruction halt;
+                    halt.opcode = trace::Opcode::Exit;
+                    insts.push_back(halt);
+                }
+            }
+            return kt;
+        };
+
+        const bool engine_forced =
+            std::getenv("SIEVE_SIM_ENGINE") != nullptr;
+        gpusim::GpuSimConfig ref_cfg;
+        ref_cfg.engine = gpusim::SimEngine::Reference;
+        gpusim::GpuSimulator ev_sim(gpu::ArchConfig::ampereRtx3080());
+        gpusim::GpuSimulator ref_sim(gpu::ArchConfig::ampereRtx3080(),
+                                     ref_cfg);
+
+        const uint32_t sk_ctas = smoke ? 4 : 16;
+        const uint32_t sk_warps = smoke ? 8 : 16;
+        const uint32_t sk_loads = smoke ? 32 : 256;
+        trace::ColumnarTrace ct =
+            trace::toColumnar(mshrHeavyTrace(1, sk_ctas, sk_warps,
+                                             sk_loads));
+
+        gpusim::KernelSimResult ev_r, ref_r;
+        double ev_ns = medianNs(reps, [&] { ev_r = ev_sim.simulate(ct); });
+        double ref_ns =
+            medianNs(reps, [&] { ref_r = ref_sim.simulate(ct); });
+        if (!simResultsEqual(ev_r, ref_r))
+            violation("simKernel: event engine != reference engine "
+                      "result");
+        if (!smoke && !engine_forced && ref_ns < 3.0 * ev_ns)
+            violation("simKernel: event core " +
+                      std::to_string(ev_ns) + " ns below the 3x gate "
+                      "against the reference core (" +
+                      std::to_string(ref_ns) + " ns)");
+        records.push_back(makeRecord("simKernel", ct.numInstructions(),
+                                     reps, ev_ns, ref_ns));
+
+        // Cold batch of *distinct* traces: no SimCache, every trace
+        // simulates for real on a pool worker, so this measures the
+        // pooled-arena steady state (grow on the first trace per
+        // worker, zero allocation after) against the reference
+        // engine's construct-everything-per-call behavior.
+        const size_t batch_n = smoke ? 8 : 32;
+        std::vector<trace::KernelTrace> cold;
+        cold.reserve(batch_n);
+        for (size_t i = 0; i < batch_n; ++i)
+            cold.push_back(mshrHeavyTrace(
+                i + 1, smoke ? 4u : 8u, sk_warps,
+                smoke ? 16u : 64u));
+
+        gpusim::BatchSimResult ev_b, ref_b;
+        double ev_batch_ns = medianNs(reps, [&] {
+            ev_b = gpusim::simulateBatch(ev_sim, cold, pool);
+        });
+        double ref_batch_ns = medianNs(reps, [&] {
+            ref_b = gpusim::simulateBatch(ref_sim, cold, pool);
+        });
+        if (ev_b.results.size() != ref_b.results.size()) {
+            violation("simBatchCold: batch size mismatch");
+        } else {
+            for (size_t i = 0; i < ev_b.results.size(); ++i) {
+                if (!simResultsEqual(ev_b.results[i],
+                                     ref_b.results[i])) {
+                    violation("simBatchCold: event != reference "
+                              "result for trace " + std::to_string(i));
+                    break;
+                }
+            }
+        }
+        if (!smoke && !engine_forced &&
+            ref_batch_ns < 3.0 * ev_batch_ns)
+            violation("simBatchCold: event core " +
+                      std::to_string(ev_batch_ns) +
+                      " ns below the 3x gate against the reference "
+                      "core (" + std::to_string(ref_batch_ns) +
+                      " ns)");
+        records.push_back(makeRecord("simBatchCold", batch_n, reps,
+                                     ev_batch_ns, ref_batch_ns));
+        std::printf("simKernel: %.2fx, simBatchCold: %.2fx vs "
+                    "reference engine\n", ref_ns / ev_ns,
+                    ref_batch_ns / ev_batch_ns);
+    }
 
     validateRecords(records);
     writeJson(out, records, footprint, pool.numWorkers(), smoke);

@@ -2,7 +2,8 @@
 # CI gate: strict build, full test suite, then the threaded tests
 # again under ThreadSanitizer, then the perf-harness smoke, then the
 # observability gate, then the ingestion-robustness gate, then the
-# columnar-trace gate, then the out-of-core gate.
+# columnar-trace gate, then the out-of-core gate, then the
+# simulator-core gate.
 #
 #   1. configure + build with -DSIEVE_WERROR=ON (warnings are errors)
 #   2. run the complete ctest suite
@@ -46,6 +47,16 @@
 #      `runs list --strict` and round-trip its counters through
 #      `metrics-diff`; and `runs regress` must exit 0 on an identical
 #      repeat but 1 on an injected >= 10% p95/footprint bump
+#  10. simulator-core gate: test_sim_core (timing wheel, open-addressed
+#      MSHR parity, engine parity, PKP determinism, zero steady-state
+#      allocations) under TSan and ASan+UBSan; `sieve simulate` on a
+#      real trace batch with SIEVE_SIM_ENGINE pinned to the event core
+#      and then to the retained reference oracle — the report (minus
+#      the wall-clock column) byte-identical and every stable counter
+#      (gpusim.* included) unchanged at --jobs 1, 4, and 8 (DESIGN.md
+#      §13); a reference-then-event ledger pair through `sieve runs
+#      regress` at the step-9 bounds; and bench_perf --smoke on the
+#      oracle
 #
 # Build trees: build-ci/ (strict), build-tsan/ and build-asan/
 # (sanitized), kept separate from the developer's build/ so CI never
@@ -56,14 +67,14 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "=== 1/9: strict build (WERROR) ==="
+echo "=== 1/10: strict build (WERROR) ==="
 cmake -B build-ci -S . -DSIEVE_WERROR=ON -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci -j "$JOBS"
 
-echo "=== 2/9: test suite ==="
+echo "=== 2/10: test suite ==="
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== 3/9: threaded tests under TSan ==="
+echo "=== 3/10: threaded tests under TSan ==="
 cmake -B build-tsan -S . -DSIEVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
@@ -80,11 +91,11 @@ cmake --build build-tsan -j "$JOBS" --target \
 ./build-tsan/tests/test_perf_oracle
 ./build-tsan/tests/test_sim_cache
 
-echo "=== 4/9: perf-harness smoke (determinism + schema) ==="
+echo "=== 4/10: perf-harness smoke (determinism + schema) ==="
 ./build-ci/bench/bench_perf --reps 3 --smoke --jobs 8 \
     --out build-ci/BENCH_SMOKE.json
 
-echo "=== 5/9: observability gate ==="
+echo "=== 5/10: observability gate ==="
 OBS_DIR=build-ci/obs-gate
 rm -rf "$OBS_DIR" && mkdir -p "$OBS_DIR"
 
@@ -110,7 +121,7 @@ echo "obs: trace schema OK"
     "$OBS_DIR/metrics_j1.json" "$OBS_DIR/metrics_j8.json"
 echo "obs: stable counters --jobs-invariant"
 
-echo "=== 6/9: ingestion-robustness gate (ASan+UBSan) ==="
+echo "=== 6/10: ingestion-robustness gate (ASan+UBSan) ==="
 cmake -B build-asan -S . -DSIEVE_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS" --target \
@@ -157,7 +168,7 @@ fi
     "$ROB_DIR/sim_j1.json" "$ROB_DIR/sim_j8.json"
 echo "robust: suite.quarantined --jobs-invariant"
 
-echo "=== 7/9: columnar-trace gate (ASan+UBSan) ==="
+echo "=== 7/10: columnar-trace gate (ASan+UBSan) ==="
 cmake --build build-asan -j "$JOBS" --target test_columnar
 
 # Round-trip, tier-eviction, and blob-corruption properties with
@@ -179,7 +190,7 @@ cmp "$COL_DIR/stats_j1.txt" "$COL_DIR/stats_j8.txt"
     "$COL_DIR/stats_j1.json" "$COL_DIR/stats_j8.json"
 echo "columnar: trace-stats output and trace.* --jobs-invariant"
 
-echo "=== 8/9: out-of-core gate (ASan+UBSan) ==="
+echo "=== 8/10: out-of-core gate (ASan+UBSan) ==="
 cmake --build build-asan -j "$JOBS" --target \
     test_io test_shard_store test_streaming
 
@@ -245,7 +256,7 @@ echo "ooc: shard-stats deterministic"
     --ingest-budget-mb 32 --jobs 8 > /dev/null
 echo "ooc: 10x workload streamed under a 32 MiB window"
 
-echo "=== 9/9: telemetry + run-ledger gate ==="
+echo "=== 9/10: telemetry + run-ledger gate ==="
 cmake --build build-tsan -j "$JOBS" --target test_telemetry
 ./build-tsan/tests/test_telemetry
 cmake --build build-asan -j "$JOBS" --target test_telemetry
@@ -335,6 +346,60 @@ fi
 ./build-ci/tools/sieve runs regress --ledger "$TEL_DIR/runs.jsonl" \
     --max-latency-pct 10000000 --max-footprint-pct 200
 echo "telemetry: regression watchdog verdicts correct"
+
+echo "=== 10/10: simulator-core gate ==="
+cmake --build build-tsan -j "$JOBS" --target test_sim_core
+./build-tsan/tests/test_sim_core
+cmake --build build-asan -j "$JOBS" --target test_sim_core
+./build-asan/tests/test_sim_core
+
+SIM_DIR=build-ci/simcore-gate
+rm -rf "$SIM_DIR" && mkdir -p "$SIM_DIR"
+
+# Engine equivalence on a real trace batch: with the scheduling core
+# pinned to the event engine and then to the retained tick-everything
+# oracle, the per-trace report (minus the volatile wall-clock column)
+# must be byte-identical and every stable counter — the gpusim.*
+# family included — unchanged, at several pool widths (DESIGN.md §13).
+./build-ci/tools/sieve trace gru --out "$SIM_DIR/traces" > /dev/null
+for j in 1 4 8; do
+    SIEVE_SIM_ENGINE=event \
+        ./build-ci/tools/sieve simulate "$SIM_DIR"/traces/*.trace \
+        --jobs "$j" --metrics-out "$SIM_DIR/metrics_event_j$j.json" \
+        | sed -E -e 's/[0-9]+\.[0-9]+ s[[:space:]]*$//' -e '/^batch wall time /d' \
+        > "$SIM_DIR/out_event_j$j.txt"
+    SIEVE_SIM_ENGINE=reference \
+        ./build-ci/tools/sieve simulate "$SIM_DIR"/traces/*.trace \
+        --jobs "$j" --metrics-out "$SIM_DIR/metrics_reference_j$j.json" \
+        | sed -E -e 's/[0-9]+\.[0-9]+ s[[:space:]]*$//' -e '/^batch wall time /d' \
+        > "$SIM_DIR/out_reference_j$j.txt"
+    cmp "$SIM_DIR/out_event_j$j.txt" "$SIM_DIR/out_reference_j$j.txt"
+    ./build-ci/tools/sieve metrics-diff \
+        "$SIM_DIR/metrics_event_j$j.json" \
+        "$SIM_DIR/metrics_reference_j$j.json"
+done
+echo "simcore: engines byte-identical at jobs 1/4/8"
+
+# Ledger pair around the engine swap: the oracle run is the baseline,
+# the event-core run is the candidate — `runs regress` then holds the
+# gpusim.* stable counters exactly and bounds the footprint, with
+# latency waived for the same scheduling-noise reason as step 9.
+SIEVE_SIM_ENGINE=reference \
+    ./build-ci/tools/sieve simulate "$SIM_DIR"/traces/*.trace \
+    --jobs 8 --ledger "$SIM_DIR/runs.jsonl" > /dev/null
+SIEVE_SIM_ENGINE=event \
+    ./build-ci/tools/sieve simulate "$SIM_DIR"/traces/*.trace \
+    --jobs 8 --ledger "$SIM_DIR/runs.jsonl" > /dev/null
+./build-ci/tools/sieve runs regress --ledger "$SIM_DIR/runs.jsonl" \
+    --max-latency-pct 10000000 --max-footprint-pct 200
+echo "simcore: event engine holds the reference ledger bounds"
+
+# The whole perf harness still passes its identity checks on the
+# oracle (bench_perf skips its engine-speedup timing gates when
+# SIEVE_SIM_ENGINE pins both simulators to one core).
+SIEVE_SIM_ENGINE=reference ./build-ci/bench/bench_perf --reps 2 \
+    --smoke --jobs 8 --out "$SIM_DIR/bench_smoke_reference.json"
+echo "simcore: perf smoke passes on the reference engine"
 
 echo
 echo "ci: all gates passed"

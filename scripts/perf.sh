@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Perf-trajectory run: build Release and record the hot-path timings
-# into BENCH_PR8.json at the repo root, plus a per-stage wall-clock
+# into BENCH_PR9.json at the repo root, plus a per-stage wall-clock
 # breakdown of a traced suite run into BENCH_STAGES.csv, then
 # consolidate every BENCH_*.json snapshot at the repo root into
 # BENCH_HISTORY.jsonl (one line per snapshot, with the per-op median
@@ -10,14 +10,16 @@
 # stratification, bounds-pruned k-means, PCA, PKS end-to-end, CSV
 # serialization, memoized batch simulation, columnar trace decode
 # and footprint, mmap workload load, shard-store dedup puts,
-# streaming stratification) on paper-scale inputs, asserts
-# byte-identity against the retained naive baselines plus the
-# columnar contracts (>= 4x footprint reduction, decode within 1.5x
-# of raw AoS iteration) and the out-of-core contracts (mmap load and
-# streaming stratify within 1.5x of their resident counterparts,
-# dedup puts faster than hibernating every trace), and reports
-# median-of-reps nanoseconds, baseline nanoseconds, and the measured
-# speedup for every op.
+# streaming stratification, event-driven kernel/batch simulation) on
+# paper-scale inputs, asserts byte-identity against the retained
+# naive baselines plus the columnar contracts (>= 4x footprint
+# reduction, decode within 1.5x of raw AoS iteration), the
+# out-of-core contracts (mmap load and streaming stratify within
+# 1.5x of their resident counterparts, dedup puts faster than
+# hibernating every trace), and the simulator-core contracts (the
+# event engine >= 3x the reference oracle on MSHR-heavy kernels,
+# results bit-identical), and reports median-of-reps nanoseconds,
+# baseline nanoseconds, and the measured speedup for every op.
 #
 # The stage breakdown comes from the observability layer: one
 # bench_fig3_accuracy run with --trace-out, aggregated by
@@ -34,8 +36,8 @@ cd "$(dirname "$0")/.."
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" --target bench_perf bench_fig3_accuracy sieve
 
-./build/bench/bench_perf --out BENCH_PR8.json "$@"
-echo "perf: wrote $(pwd)/BENCH_PR8.json"
+./build/bench/bench_perf --out BENCH_PR9.json "$@"
+echo "perf: wrote $(pwd)/BENCH_PR9.json"
 
 TRACE=build/perf_stage_trace.json
 # Fixed --jobs 8 so the breakdown includes the pool stage even on

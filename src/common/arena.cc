@@ -1,0 +1,110 @@
+#include "common/arena.hh"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.hh"
+
+namespace sieve {
+
+namespace {
+
+// Slabs below this size are rounded up so tiny first allocations do
+// not fragment the arena into many slabs.
+constexpr size_t kMinSlabBytes = 1 << 18;
+
+std::atomic<uint64_t> g_growth_events{0};
+std::atomic<uint64_t> g_resident_bytes{0};
+
+size_t
+alignUp(size_t v, size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+ArenaGlobalStats
+arenaGlobalStats()
+{
+    return {g_growth_events.load(std::memory_order_relaxed),
+            g_resident_bytes.load(std::memory_order_relaxed)};
+}
+
+Arena::~Arena()
+{
+    release();
+}
+
+void *
+Arena::allocBytes(size_t bytes, size_t align)
+{
+    SIEVE_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                 "arena alignment ", align, " not a power of two");
+    if (bytes == 0)
+        bytes = 1; // keep returned pointers distinct
+
+    // Bump in the current slab, else advance to the first retained
+    // slab that fits (mirrors DecodeArena's reuse discipline), else
+    // grow.
+    while (_slab < _slabs.size()) {
+        Slab &s = _slabs[_slab];
+        uintptr_t base = reinterpret_cast<uintptr_t>(s.bytes.data());
+        size_t off = alignUp(base + s.used, align) - base;
+        if (off + bytes <= s.bytes.size()) {
+            s.used = off + bytes;
+            _allocated += bytes;
+            return s.bytes.data() + off;
+        }
+        ++_slab;
+        if (_slab < _slabs.size())
+            _slabs[_slab].used = 0;
+    }
+    return grow(bytes, align);
+}
+
+void *
+Arena::grow(size_t bytes, size_t align)
+{
+    // A fresh slab is aligned to at least 16 by the vector allocator;
+    // over-allocate so any power-of-two `align` up to the slab size
+    // can be satisfied.
+    size_t size = std::max(alignUp(bytes + align, 16), kMinSlabBytes);
+    _slab = _slabs.size();
+    _slabs.push_back({});
+    _slabs.back().bytes.resize(size);
+    _capacity += size;
+    ++_growth_events;
+    g_growth_events.fetch_add(1, std::memory_order_relaxed);
+    g_resident_bytes.fetch_add(size, std::memory_order_relaxed);
+
+    Slab &s = _slabs.back();
+    size_t off = alignUp(
+        reinterpret_cast<uintptr_t>(s.bytes.data()), align) -
+        reinterpret_cast<uintptr_t>(s.bytes.data());
+    s.used = off + bytes;
+    _allocated += bytes;
+    return s.bytes.data() + off;
+}
+
+void
+Arena::reset()
+{
+    _slab = 0;
+    if (!_slabs.empty())
+        _slabs[0].used = 0;
+    _allocated = 0;
+}
+
+void
+Arena::release()
+{
+    g_resident_bytes.fetch_sub(_capacity, std::memory_order_relaxed);
+    _slabs.clear();
+    _slabs.shrink_to_fit();
+    _slab = 0;
+    _capacity = 0;
+    _allocated = 0;
+}
+
+} // namespace sieve

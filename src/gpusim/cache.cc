@@ -1,5 +1,7 @@
 #include "gpusim/cache.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace sieve::gpusim {
@@ -12,21 +14,36 @@ isPowerOfTwo(uint32_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+// SplitMix-style mix so clustered line addresses spread over the
+// open-addressed table.
+size_t
+mshrHash(uint64_t line)
+{
+    uint64_t h = line;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+}
+
 } // namespace
 
 Cache::Cache(uint32_t num_sets, uint32_t assoc, uint32_t num_mshrs)
-    : _num_sets(num_sets), _assoc(assoc), _num_mshrs(num_mshrs),
-      _ways(static_cast<size_t>(num_sets) * assoc)
 {
-    SIEVE_ASSERT(isPowerOfTwo(num_sets), "cache sets ", num_sets,
-                 " not a power of two");
-    SIEVE_ASSERT(assoc > 0, "zero-way cache");
-    SIEVE_ASSERT(num_mshrs > 0, "cache without MSHRs");
+    configure(num_sets, assoc, num_mshrs);
 }
 
 Cache
 Cache::fromCapacity(uint64_t capacity_bytes, uint32_t line_bytes,
                     uint32_t assoc, uint32_t num_mshrs)
+{
+    return Cache(setsForCapacity(capacity_bytes, line_bytes, assoc),
+                 assoc, num_mshrs);
+}
+
+uint32_t
+Cache::setsForCapacity(uint64_t capacity_bytes, uint32_t line_bytes,
+                       uint32_t assoc)
 {
     SIEVE_ASSERT(line_bytes > 0 && assoc > 0, "bad cache geometry");
     uint64_t lines = capacity_bytes / line_bytes;
@@ -35,7 +52,39 @@ Cache::fromCapacity(uint64_t capacity_bytes, uint32_t line_bytes,
     uint32_t pow2 = 1;
     while (static_cast<uint64_t>(pow2) * 2 <= sets)
         pow2 *= 2;
-    return Cache(pow2, assoc, num_mshrs);
+    return pow2;
+}
+
+void
+Cache::configure(uint32_t num_sets, uint32_t assoc, uint32_t num_mshrs)
+{
+    SIEVE_ASSERT(isPowerOfTwo(num_sets), "cache sets ", num_sets,
+                 " not a power of two");
+    SIEVE_ASSERT(assoc > 0, "zero-way cache");
+    SIEVE_ASSERT(num_mshrs > 0, "cache without MSHRs");
+
+    _num_sets = num_sets;
+    _assoc = assoc;
+    _num_mshrs = num_mshrs;
+
+    size_t ways = static_cast<size_t>(num_sets) * assoc;
+    if (_lines.size() < ways) {
+        _lines.resize(ways);
+        _last_use.resize(ways);
+        _valid.resize(ways);
+    }
+
+    size_t table = 16;
+    while (table < static_cast<size_t>(num_mshrs) * 2)
+        table *= 2;
+    if (_mshr_line.size() < table) {
+        _mshr_line.resize(table);
+        _mshr_merges.resize(table);
+        _mshr_used.resize(table);
+    }
+    _mshr_mask = table - 1;
+
+    reset();
 }
 
 CacheOutcome
@@ -43,28 +92,37 @@ Cache::access(uint64_t line, uint64_t now)
 {
     ++_stats.accesses;
     size_t set = static_cast<size_t>(line & (_num_sets - 1));
-    Way *base = &_ways[set * _assoc];
+    size_t base = set * _assoc;
 
+    // Branch-free probe: scan the whole set accumulating the match
+    // index; a line is resident in at most one way, so "last match"
+    // equals "the match".
+    uint32_t hit_way = ~0u;
     for (uint32_t w = 0; w < _assoc; ++w) {
-        if (base[w].valid && base[w].line == line) {
-            base[w].lastUse = now;
-            ++_stats.hits;
-            return CacheOutcome::Hit;
-        }
+        bool match = _valid[base + w] != 0 && _lines[base + w] == line;
+        hit_way = match ? w : hit_way;
+    }
+    if (hit_way != ~0u) {
+        _last_use[base + hit_way] = now;
+        ++_stats.hits;
+        return CacheOutcome::Hit;
     }
 
-    auto it = _mshrs.find(line);
-    if (it != _mshrs.end()) {
-        ++it->second;
+    size_t slot = mshrSlot(line);
+    if (_mshr_used[slot]) {
+        ++_mshr_merges[slot];
         ++_stats.mshrMerges;
         return CacheOutcome::MshrMerge;
     }
-    if (_mshrs.size() >= _num_mshrs) {
+    if (_mshr_count >= _num_mshrs) {
         ++_stats.mshrStalls;
         --_stats.accesses; // the access will retry; do not count twice
         return CacheOutcome::MshrFull;
     }
-    _mshrs.emplace(line, 1);
+    _mshr_used[slot] = 1;
+    _mshr_line[slot] = line;
+    _mshr_merges[slot] = 1;
+    ++_mshr_count;
     ++_stats.misses;
     return CacheOutcome::Miss;
 }
@@ -72,32 +130,74 @@ Cache::access(uint64_t line, uint64_t now)
 void
 Cache::fill(uint64_t line)
 {
-    _mshrs.erase(line);
+    mshrErase(line);
 
     size_t set = static_cast<size_t>(line & (_num_sets - 1));
-    Way *base = &_ways[set * _assoc];
+    size_t base = set * _assoc;
 
-    // Install into an invalid way, else evict LRU.
-    Way *victim = &base[0];
+    // Install into the first invalid way, else evict the LRU way
+    // (strictly older stamp wins; ties keep the lowest index —
+    // identical victim choice to the reference model).
+    uint32_t victim = 0;
     for (uint32_t w = 0; w < _assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
+        if (!_valid[base + w]) {
+            victim = w;
             break;
         }
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
+        if (_last_use[base + w] < _last_use[base + victim])
+            victim = w;
     }
-    victim->valid = true;
-    victim->line = line;
-    victim->lastUse = 0;
+    _valid[base + victim] = 1;
+    _lines[base + victim] = line;
+    _last_use[base + victim] = 0;
+}
+
+size_t
+Cache::mshrSlot(uint64_t line) const
+{
+    size_t slot = mshrHash(line) & _mshr_mask;
+    while (_mshr_used[slot] && _mshr_line[slot] != line)
+        slot = (slot + 1) & _mshr_mask;
+    return slot;
+}
+
+void
+Cache::mshrErase(uint64_t line)
+{
+    size_t slot = mshrSlot(line);
+    if (!_mshr_used[slot])
+        return;
+    --_mshr_count;
+
+    // Backward-shift deletion keeps linear-probe chains contiguous
+    // without tombstones: walk forward and pull back any entry whose
+    // home slot lies outside the gap we would otherwise leave.
+    size_t gap = slot;
+    size_t probe = slot;
+    for (;;) {
+        probe = (probe + 1) & _mshr_mask;
+        if (!_mshr_used[probe])
+            break;
+        size_t home = mshrHash(_mshr_line[probe]) & _mshr_mask;
+        // Move when `home` is not cyclically inside (gap, probe].
+        bool movable = gap <= probe
+                           ? (home <= gap || home > probe)
+                           : (home <= gap && home > probe);
+        if (movable) {
+            _mshr_line[gap] = _mshr_line[probe];
+            _mshr_merges[gap] = _mshr_merges[probe];
+            gap = probe;
+        }
+    }
+    _mshr_used[gap] = 0;
 }
 
 void
 Cache::reset()
 {
-    for (auto &way : _ways)
-        way = Way{};
-    _mshrs.clear();
+    std::fill(_valid.begin(), _valid.end(), uint8_t{0});
+    std::fill(_mshr_used.begin(), _mshr_used.end(), uint8_t{0});
+    _mshr_count = 0;
     _stats = CacheStats{};
 }
 

@@ -7,6 +7,17 @@
  * the cycle-level simulator. Timing is handled by the caller; the
  * cache answers hit/miss (with MSHR merging for in-flight lines) and
  * tracks statistics.
+ *
+ * Layout is structure-of-arrays: tags, last-use stamps, and validity
+ * live in separate set-major flat arrays so a set probe touches one
+ * short contiguous run per array and the hit scan compiles to
+ * branch-free compares. MSHRs are a flat open-addressed table
+ * (linear probing, backward-shift deletion) instead of an
+ * unordered_map, which removes the per-miss node allocation from the
+ * simulator hot loop. Results are bit-identical to the map-based
+ * reference (`gpusim::reference::Cache`): outcome order, statistics,
+ * and LRU victim choice depend only on set/way contents, never on
+ * table layout.
  */
 
 #ifndef SIEVE_GPUSIM_CACHE_HH
@@ -14,7 +25,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace sieve::gpusim {
@@ -54,6 +64,13 @@ class Cache
 {
   public:
     /**
+     * An unconfigured cache; configure() must run before use. Lets
+     * pooled owners (MemorySystem slices, SM workspaces) hold caches
+     * by value and rebuild them in place without reallocating.
+     */
+    Cache() = default;
+
+    /**
      * @param num_sets sets; must be a power of two
      * @param assoc ways per set
      * @param num_mshrs maximum outstanding missed lines
@@ -66,6 +83,22 @@ class Cache
                               uint32_t num_mshrs);
 
     /**
+     * Number of power-of-two sets fromCapacity() would choose
+     * (exposed so configure() callers reuse the same geometry math).
+     */
+    static uint32_t setsForCapacity(uint64_t capacity_bytes,
+                                    uint32_t line_bytes,
+                                    uint32_t assoc);
+
+    /**
+     * (Re)build geometry in place: arrays grow once to the largest
+     * geometry seen and are reused afterwards; content and statistics
+     * reset. Safe to call on every kernel invocation.
+     */
+    void configure(uint32_t num_sets, uint32_t assoc,
+                   uint32_t num_mshrs);
+
+    /**
      * Access a line at the given cycle.
      * Miss outcomes allocate an MSHR; the caller must later call
      * fill() when the next level delivers the line.
@@ -76,7 +109,7 @@ class Cache
     void fill(uint64_t line);
 
     /** Number of MSHRs currently in flight. */
-    size_t inflight() const { return _mshrs.size(); }
+    size_t inflight() const { return _mshr_count; }
 
     const CacheStats &stats() const { return _stats; }
 
@@ -84,18 +117,27 @@ class Cache
     void reset();
 
   private:
-    struct Way
-    {
-        uint64_t line = ~0ULL;
-        uint64_t lastUse = 0;
-        bool valid = false;
-    };
+    size_t mshrSlot(uint64_t line) const;
+    void mshrErase(uint64_t line);
 
-    uint32_t _num_sets;
-    uint32_t _assoc;
-    uint32_t _num_mshrs;
-    std::vector<Way> _ways;                 //!< num_sets x assoc
-    std::unordered_map<uint64_t, uint32_t> _mshrs; //!< line -> merges
+    uint32_t _num_sets = 0;
+    uint32_t _assoc = 0;
+    uint32_t _num_mshrs = 0;
+
+    // Set-major tag/stamp/valid arrays, num_sets x assoc each.
+    std::vector<uint64_t> _lines;
+    std::vector<uint64_t> _last_use;
+    std::vector<uint8_t> _valid;
+
+    // Open-addressed MSHR table (linear probing). Capacity is a
+    // power of two of at least 2 x num_mshrs, so the load factor
+    // stays below one half and probes stay short.
+    std::vector<uint64_t> _mshr_line;
+    std::vector<uint32_t> _mshr_merges;
+    std::vector<uint8_t> _mshr_used;
+    size_t _mshr_mask = 0;
+    size_t _mshr_count = 0;
+
     CacheStats _stats;
 };
 

@@ -7,10 +7,18 @@
 namespace sieve::gpusim {
 
 DramModel::DramModel(double bytes_per_cycle, double latency_cycles)
-    : _bytes_per_cycle(bytes_per_cycle), _latency(latency_cycles)
+{
+    configure(bytes_per_cycle, latency_cycles);
+}
+
+void
+DramModel::configure(double bytes_per_cycle, double latency_cycles)
 {
     SIEVE_ASSERT(bytes_per_cycle > 0.0, "non-positive DRAM bandwidth");
     SIEVE_ASSERT(latency_cycles >= 0.0, "negative DRAM latency");
+    _bytes_per_cycle = bytes_per_cycle;
+    _latency = latency_cycles;
+    reset();
 }
 
 uint64_t

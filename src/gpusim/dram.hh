@@ -29,11 +29,20 @@ struct DramStats
 class DramModel
 {
   public:
+    /** An unconfigured channel; configure() must run before use. */
+    DramModel() = default;
+
     /**
      * @param bytes_per_cycle deliverable bandwidth per core cycle
      * @param latency_cycles fixed access latency
      */
     DramModel(double bytes_per_cycle, double latency_cycles);
+
+    /**
+     * Rebind bandwidth/latency in place and clear queue state and
+     * statistics; lets pooled owners reuse channels across kernels.
+     */
+    void configure(double bytes_per_cycle, double latency_cycles);
 
     /**
      * Enqueue a request of the given size at cycle `now`.
@@ -47,8 +56,8 @@ class DramModel
     void reset();
 
   private:
-    double _bytes_per_cycle;
-    double _latency;
+    double _bytes_per_cycle = 0.0;
+    double _latency = 0.0;
     double _pipe_free = 0.0; //!< cycle the pipe next frees up
     DramStats _stats;
 };

@@ -3,16 +3,45 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <vector>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
 #include "gpu/occupancy.hh"
-#include "gpusim/memory_system.hh"
-#include "gpusim/sm.hh"
+#include "gpusim/reference.hh"
+#include "gpusim/sim_core.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace sieve::gpusim {
+
+namespace {
+
+/**
+ * Process-wide engine override: SIEVE_SIM_ENGINE=event|reference.
+ * Read once; CI flips it to run an entire suite on the oracle.
+ */
+const SimEngine *
+engineOverride()
+{
+    static const SimEngine *override_engine = [] () -> SimEngine * {
+        const char *env = std::getenv("SIEVE_SIM_ENGINE");
+        if (env == nullptr || *env == '\0')
+            return nullptr;
+        static SimEngine engine;
+        if (std::strcmp(env, "event") == 0)
+            engine = SimEngine::EventDriven;
+        else if (std::strcmp(env, "reference") == 0)
+            engine = SimEngine::Reference;
+        else
+            fatal("SIEVE_SIM_ENGINE='", env,
+                  "' (expected 'event' or 'reference')");
+        return &engine;
+    }();
+    return override_engine;
+}
+
+} // namespace
 
 GpuSimulator::GpuSimulator(gpu::ArchConfig arch, GpuSimConfig config)
     : _arch(std::move(arch)), _config(config)
@@ -20,6 +49,8 @@ GpuSimulator::GpuSimulator(gpu::ArchConfig arch, GpuSimConfig config)
     if (_config.simSms == 0 || _config.simSms > _arch.numSms)
         fatal("simSms ", _config.simSms, " out of [1, ", _arch.numSms,
               "]");
+    if (const SimEngine *forced = engineOverride())
+        _config.engine = *forced;
 }
 
 KernelSimResult
@@ -43,126 +74,30 @@ GpuSimulator::simulate(const trace::ColumnarTrace &trace) const
     // occupancy than the real machine and bias the extrapolation.
     uint32_t sim_sms = std::clamp<uint32_t>(
         static_cast<uint32_t>(num_ctas / cpsm), 1, _config.simSms);
-    double machine_fraction = static_cast<double>(sim_sms) /
-                              static_cast<double>(_arch.numSms);
 
-    MemorySystem memsys(_arch, machine_fraction);
-    std::vector<StreamingMultiprocessor> sms;
-    sms.reserve(sim_sms);
-    for (uint32_t s = 0; s < sim_sms; ++s)
-        sms.emplace_back(_arch, &memsys);
-
-    // Wave-synchronous CTA scheduling: fill every SM to its residency
-    // limit, run the wave to completion, then launch the next wave.
-    uint64_t now = 0;
-    size_t next_cta = 0;
-    size_t waves_sim = 0;
-
-    // PKP state: windowed IPC convergence detection.
-    auto issued_so_far = [&sms] {
-        uint64_t total = 0;
-        for (const auto &sm : sms)
-            total += sm.stats().warpInstructions;
-        return total;
-    };
-    uint64_t pkp_window_insts = 0;
-    uint64_t pkp_window_start = 0;
-    double pkp_prev_ipc = -1.0;
-    uint32_t pkp_streak = 0;
-    bool pkp_stop = false;
-
-    // Per-wave decode state: arena slabs and the warp-view scratch
-    // vector are reused across waves, so the loop below performs no
-    // steady-state allocation.
-    trace::DecodeArena arena;
-    std::vector<trace::DecodedWarp> cta_warps;
-
-    while (next_cta < num_ctas && !pkp_stop) {
-        arena.clear();
-        for (auto &sm : sms) {
-            for (uint32_t slot = 0;
-                 slot < cpsm && next_cta < num_ctas; ++slot) {
-                size_t c = next_cta++;
-                cta_warps.clear();
-                for (size_t w = trace.ctaWarpOffsets[c];
-                     w < trace.ctaWarpOffsets[c + 1]; ++w) {
-                    size_t n = trace::warpInstructionCount(trace, w);
-                    trace::SassInstruction *buf = arena.alloc(n);
-                    trace::decodeWarp(trace, w, buf);
-                    cta_warps.push_back({buf, n});
-                }
-                sm.assignCta(cta_warps.data(), cta_warps.size());
-            }
-        }
-        ++waves_sim;
-
-        bool any_busy = true;
-        while (any_busy) {
-            bool issued = false;
-            any_busy = false;
-            for (auto &sm : sms) {
-                if (sm.busy()) {
-                    any_busy = true;
-                    issued |= sm.step(now);
-                }
-            }
-            if (!any_busy)
-                break;
-            if (issued) {
-                ++now;
-            } else {
-                // Nothing issued: fast-forward to the earliest event.
-                uint64_t next = ~0ULL;
-                for (auto &sm : sms) {
-                    if (sm.busy())
-                        next = std::min(next, sm.nextEventAfter(now));
-                }
-                now = std::max(next == ~0ULL ? now + 1 : next, now + 1);
-            }
-
-        }
-        for (auto &sm : sms)
-            sm.clearResidency();
-
-        // PKP convergence is checked at CTA-wave granularity: a wave
-        // is the natural repeating unit of a kernel's execution, and
-        // measuring across the wave boundary includes the drain
-        // overhead that mid-wave windows would miss.
-        if (_config.pkpEnabled) {
-            uint64_t done = issued_so_far();
-            double span = static_cast<double>(now - pkp_window_start);
-            double wave_ipc =
-                static_cast<double>(done - pkp_window_insts) /
-                std::max(span, 1.0);
-            pkp_window_insts = done;
-            pkp_window_start = now;
-
-            if (pkp_prev_ipc > 0.0 && wave_ipc > 0.0) {
-                double delta = std::fabs(wave_ipc - pkp_prev_ipc) /
-                               pkp_prev_ipc;
-                pkp_streak = delta < _config.pkpTolerance
-                                 ? pkp_streak + 1
-                                 : 0;
-                if (pkp_streak >= _config.pkpPatience)
-                    pkp_stop = true;
-            }
-            pkp_prev_ipc = wave_ipc;
-        }
-    }
+    // Run the selected scheduling core; everything below this call is
+    // engine-independent, so a result mismatch is always the core's.
+    SimCoreResult core =
+        _config.engine == SimEngine::Reference
+            ? reference::simulateCore(_arch, _config, trace, cpsm,
+                                      sim_sms)
+            : runEventCore(_arch, _config, trace, cpsm, sim_sms);
 
     KernelSimResult result;
-    result.simCycles = now;
+    result.simCycles = core.simCycles;
+    result.wavesSimulated = core.wavesSimulated;
 
     // PKP extrapolation: charge the unsimulated remainder of the
     // trace at the converged IPC.
     uint64_t traced_total = trace.tracedInstructions();
-    uint64_t done = issued_so_far();
-    if (pkp_stop && done < traced_total && pkp_prev_ipc > 0.0) {
+    uint64_t done = core.instructionsIssued;
+    if (core.pkpStopped && done < traced_total &&
+        core.pkpLastIpc > 0.0) {
         result.pkpStoppedEarly = true;
         result.simCycles +=
             static_cast<uint64_t>(static_cast<double>(
                                       traced_total - done) /
-                                  pkp_prev_ipc);
+                                  core.pkpLastIpc);
     }
     result.fractionSimulated =
         traced_total > 0
@@ -170,17 +105,10 @@ GpuSimulator::simulate(const trace::ColumnarTrace &trace) const
                   static_cast<double>(traced_total)
             : 1.0;
 
-    for (const auto &sm : sms) {
-        result.instructionsSimulated += sm.stats().warpInstructions;
-        const CacheStats &l1 = sm.l1Stats();
-        result.l1.accesses += l1.accesses;
-        result.l1.hits += l1.hits;
-        result.l1.misses += l1.misses;
-        result.l1.mshrMerges += l1.mshrMerges;
-        result.l1.mshrStalls += l1.mshrStalls;
-    }
-    result.l2 = memsys.l2Stats();
-    result.dram = memsys.dramStats();
+    result.instructionsSimulated = core.instructionsIssued;
+    result.l1 = core.l1;
+    result.l2 = core.l2;
+    result.dram = core.dram;
     result.ipc = result.simCycles > 0
                      ? static_cast<double>(result.instructionsSimulated) /
                            static_cast<double>(result.simCycles)
@@ -209,9 +137,11 @@ GpuSimulator::simulate(const trace::ColumnarTrace &trace) const
     result.estimatedIpc =
         represented_insts / result.estimatedKernelCycles;
 
-    // Simulation-fact counters, all derived from the result of the
-    // deterministic single-kernel simulation above, so every one is
-    // Stable regardless of how many kernels simulate concurrently.
+    // Simulation-fact counters, all flushed once per kernel from the
+    // result of the deterministic single-kernel simulation above, so
+    // every one is Stable regardless of how many kernels simulate
+    // concurrently — and identical across engines because the result
+    // is.
     static obs::Counter &c_kernels = obs::counter("gpusim.kernels");
     static obs::Counter &c_insts = obs::counter("gpusim.insts");
     static obs::Counter &c_cycles = obs::counter("gpusim.cycles");
@@ -231,7 +161,7 @@ GpuSimulator::simulate(const trace::ColumnarTrace &trace) const
     c_kernels.add();
     c_insts.add(result.instructionsSimulated);
     c_cycles.add(result.simCycles);
-    c_waves.add(waves_sim);
+    c_waves.add(result.wavesSimulated);
     c_l1_hits.add(result.l1.hits);
     c_l1_misses.add(result.l1.misses);
     c_l2_hits.add(result.l2.hits);

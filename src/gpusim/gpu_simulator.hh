@@ -26,6 +26,17 @@
 
 namespace sieve::gpusim {
 
+/**
+ * Which scheduling core runs the simulation. Both produce
+ * byte-identical results by contract (CI diffs suite stdout and
+ * every Stable counter between them); the event-driven core is the
+ * fast default, the reference tick loop is the oracle.
+ */
+enum class SimEngine : uint8_t {
+    EventDriven, //!< cycle-skipping SoA core (default)
+    Reference,   //!< retained tick-everything oracle
+};
+
 /** Simulator configuration. */
 struct GpuSimConfig
 {
@@ -51,6 +62,15 @@ struct GpuSimConfig
 
     /** Consecutive converged CTA waves required before stopping. */
     uint32_t pkpPatience = 2;
+
+    /**
+     * Scheduling core. Overridable per process with the
+     * SIEVE_SIM_ENGINE environment variable ("event" or
+     * "reference"), which wins over this field — that is how CI runs
+     * the whole suite on the oracle without plumbing flags through
+     * every tool.
+     */
+    SimEngine engine = SimEngine::EventDriven;
 };
 
 /** Result of simulating one kernel trace. */
@@ -74,6 +94,9 @@ struct KernelSimResult
     CacheStats l1;     //!< aggregated over simulated SMs
     CacheStats l2;
     DramStats dram;
+
+    /** CTA waves actually simulated. */
+    uint64_t wavesSimulated = 0;
 
     /** True if PKP stopped the simulation before trace exhaustion. */
     bool pkpStoppedEarly = false;

@@ -30,30 +30,42 @@ scaledCount(size_t full, double fraction)
 
 MemorySystem::MemorySystem(const gpu::ArchConfig &arch,
                            double machine_fraction)
-    : _l2_latency(arch.l2LatencyCycles)
+{
+    configure(arch, machine_fraction);
+}
+
+void
+MemorySystem::configure(const gpu::ArchConfig &arch,
+                        double machine_fraction)
 {
     SIEVE_ASSERT(machine_fraction > 0.0 && machine_fraction <= 1.0,
                  "machine fraction ", machine_fraction,
                  " out of (0, 1]");
+    _l2_latency = arch.l2LatencyCycles;
 
-    size_t n_slices = scaledCount(kFullMachineSlices, machine_fraction);
-    size_t n_channels =
-        scaledCount(kFullMachineChannels, machine_fraction);
+    _n_slices = scaledCount(kFullMachineSlices, machine_fraction);
+    _n_channels = scaledCount(kFullMachineChannels, machine_fraction);
 
     uint64_t slice_capacity = static_cast<uint64_t>(
         static_cast<double>(arch.l2SizeBytes) * machine_fraction /
-        static_cast<double>(n_slices));
-    for (size_t s = 0; s < n_slices; ++s) {
-        _slices.push_back(Cache::fromCapacity(
-            std::max<uint64_t>(slice_capacity, 16 * kLineBytes),
-            kLineBytes, kL2Assoc, kL2MshrsPerSlice));
-    }
-    _atomic_free.assign(n_slices, 0);
+        static_cast<double>(_n_slices));
+    uint32_t sets = Cache::setsForCapacity(
+        std::max<uint64_t>(slice_capacity, 16 * kLineBytes),
+        kLineBytes, kL2Assoc);
+    if (_slices.size() < _n_slices)
+        _slices.resize(_n_slices);
+    for (size_t s = 0; s < _n_slices; ++s)
+        _slices[s].configure(sets, kL2Assoc, kL2MshrsPerSlice);
+    if (_atomic_free.size() < _n_slices)
+        _atomic_free.resize(_n_slices);
+    std::fill(_atomic_free.begin(), _atomic_free.end(), 0);
 
     double channel_bw = arch.dramBytesPerClk() * machine_fraction /
-                        static_cast<double>(n_channels);
-    for (size_t c = 0; c < n_channels; ++c)
-        _channels.emplace_back(channel_bw, arch.dramLatencyCycles);
+                        static_cast<double>(_n_channels);
+    if (_channels.size() < _n_channels)
+        _channels.resize(_n_channels);
+    for (size_t c = 0; c < _n_channels; ++c)
+        _channels[c].configure(channel_bw, arch.dramLatencyCycles);
 }
 
 size_t
@@ -61,14 +73,14 @@ MemorySystem::sliceOf(uint64_t line) const
 {
     // Mix bits so strided streams still spread across slices.
     uint64_t h = line ^ (line >> 7);
-    return static_cast<size_t>(h % _slices.size());
+    return static_cast<size_t>(h % _n_slices);
 }
 
 size_t
 MemorySystem::channelOf(uint64_t line) const
 {
     uint64_t h = (line >> 2) ^ (line >> 11);
-    return static_cast<size_t>(h % _channels.size());
+    return static_cast<size_t>(h % _n_channels);
 }
 
 uint64_t
@@ -109,8 +121,8 @@ CacheStats
 MemorySystem::l2Stats() const
 {
     CacheStats total;
-    for (const Cache &slice : _slices) {
-        const CacheStats &s = slice.stats();
+    for (size_t i = 0; i < _n_slices; ++i) {
+        const CacheStats &s = _slices[i].stats();
         total.accesses += s.accesses;
         total.hits += s.hits;
         total.misses += s.misses;
@@ -124,8 +136,8 @@ DramStats
 MemorySystem::dramStats() const
 {
     DramStats total;
-    for (const DramModel &channel : _channels) {
-        const DramStats &s = channel.stats();
+    for (size_t i = 0; i < _n_channels; ++i) {
+        const DramStats &s = _channels[i].stats();
         total.requests += s.requests;
         total.bytes += s.bytes;
         total.busyCycles += s.busyCycles;
@@ -136,10 +148,10 @@ MemorySystem::dramStats() const
 void
 MemorySystem::reset()
 {
-    for (Cache &slice : _slices)
-        slice.reset();
-    for (DramModel &channel : _channels)
-        channel.reset();
+    for (size_t i = 0; i < _n_slices; ++i)
+        _slices[i].reset();
+    for (size_t i = 0; i < _n_channels; ++i)
+        _channels[i].reset();
     std::fill(_atomic_free.begin(), _atomic_free.end(), 0);
 }
 

@@ -41,6 +41,18 @@ class MemorySystem
      */
     MemorySystem(const gpu::ArchConfig &arch, double machine_fraction);
 
+    /** An unconfigured system; configure() must run before use. */
+    MemorySystem() = default;
+
+    /**
+     * (Re)build the sliced L2, DRAM channels, and atomic pipes in
+     * place for a new kernel invocation. Slice/channel storage grows
+     * once to the largest geometry seen and is reused afterwards, so
+     * pooled owners perform no steady-state allocation.
+     */
+    void configure(const gpu::ArchConfig &arch,
+                   double machine_fraction);
+
     /**
      * Service an L1 miss for a line of `bytes` at cycle `now`.
      * @return the cycle the data is available at the SM.
@@ -60,8 +72,8 @@ class MemorySystem
     /** Aggregated DRAM statistics across channels. */
     DramStats dramStats() const;
 
-    size_t numSlices() const { return _slices.size(); }
-    size_t numChannels() const { return _channels.size(); }
+    size_t numSlices() const { return _n_slices; }
+    size_t numChannels() const { return _n_channels; }
 
     void reset();
 
@@ -69,10 +81,14 @@ class MemorySystem
     size_t sliceOf(uint64_t line) const;
     size_t channelOf(uint64_t line) const;
 
-    double _l2_latency;
+    double _l2_latency = 0.0;
+    // Grow-only pools; the first _n_slices / _n_channels entries are
+    // active for the current configuration.
     std::vector<Cache> _slices;
     std::vector<DramModel> _channels;
     std::vector<uint64_t> _atomic_free; //!< per-slice atomic pipe
+    size_t _n_slices = 0;
+    size_t _n_channels = 0;
 };
 
 } // namespace sieve::gpusim

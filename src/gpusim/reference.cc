@@ -1,0 +1,682 @@
+#include "gpusim/reference.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "gpusim/gpu_simulator.hh"
+
+namespace sieve::gpusim::reference {
+
+namespace {
+
+bool
+isPowerOfTwo(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+constexpr uint32_t kLineBytes = 128;
+
+// L1 geometry and pipeline latencies, identical to the event core's.
+constexpr uint32_t kL1Assoc = 8;
+constexpr uint32_t kL1Mshrs = 32;
+constexpr uint64_t kAluLatency = 4;
+constexpr uint64_t kFmaLatency = 4;
+constexpr uint64_t kSfuLatency = 16;
+constexpr uint64_t kDfmaLatency = 48;
+constexpr uint64_t kSharedLatency = 24;
+constexpr uint64_t kL1HitLatency = 32;
+constexpr uint64_t kBranchLatency = 2;
+constexpr uint32_t kDivergenceWindow = 12;
+
+// L2 organization, identical to gpusim::MemorySystem's.
+constexpr uint32_t kL2Assoc = 16;
+constexpr uint32_t kL2MshrsPerSlice = 32;
+constexpr size_t kFullMachineSlices = 32;
+constexpr size_t kFullMachineChannels = 8;
+
+size_t
+scaledCount(size_t full, double fraction)
+{
+    return std::max<size_t>(
+        static_cast<size_t>(std::round(static_cast<double>(full) *
+                                       fraction)),
+        1);
+}
+
+} // namespace
+
+Cache::Cache(uint32_t num_sets, uint32_t assoc, uint32_t num_mshrs)
+    : _num_sets(num_sets), _assoc(assoc), _num_mshrs(num_mshrs),
+      _ways(static_cast<size_t>(num_sets) * assoc)
+{
+    SIEVE_ASSERT(isPowerOfTwo(num_sets), "cache sets ", num_sets,
+                 " not a power of two");
+    SIEVE_ASSERT(assoc > 0, "zero-way cache");
+    SIEVE_ASSERT(num_mshrs > 0, "cache without MSHRs");
+}
+
+Cache
+Cache::fromCapacity(uint64_t capacity_bytes, uint32_t line_bytes,
+                    uint32_t assoc, uint32_t num_mshrs)
+{
+    SIEVE_ASSERT(line_bytes > 0 && assoc > 0, "bad cache geometry");
+    uint64_t lines = capacity_bytes / line_bytes;
+    uint64_t sets = lines / assoc;
+    // Round down to a power of two.
+    uint32_t pow2 = 1;
+    while (static_cast<uint64_t>(pow2) * 2 <= sets)
+        pow2 *= 2;
+    return Cache(pow2, assoc, num_mshrs);
+}
+
+CacheOutcome
+Cache::access(uint64_t line, uint64_t now)
+{
+    ++_stats.accesses;
+    size_t set = static_cast<size_t>(line & (_num_sets - 1));
+    Way *base = &_ways[set * _assoc];
+
+    for (uint32_t w = 0; w < _assoc; ++w) {
+        if (base[w].valid && base[w].line == line) {
+            base[w].lastUse = now;
+            ++_stats.hits;
+            return CacheOutcome::Hit;
+        }
+    }
+
+    auto it = _mshrs.find(line);
+    if (it != _mshrs.end()) {
+        ++it->second;
+        ++_stats.mshrMerges;
+        return CacheOutcome::MshrMerge;
+    }
+    if (_mshrs.size() >= _num_mshrs) {
+        ++_stats.mshrStalls;
+        --_stats.accesses; // the access will retry; do not count twice
+        return CacheOutcome::MshrFull;
+    }
+    _mshrs.emplace(line, 1);
+    ++_stats.misses;
+    return CacheOutcome::Miss;
+}
+
+void
+Cache::fill(uint64_t line)
+{
+    _mshrs.erase(line);
+
+    size_t set = static_cast<size_t>(line & (_num_sets - 1));
+    Way *base = &_ways[set * _assoc];
+
+    // Install into an invalid way, else evict LRU.
+    Way *victim = &base[0];
+    for (uint32_t w = 0; w < _assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->line = line;
+    victim->lastUse = 0;
+}
+
+void
+Cache::reset()
+{
+    for (auto &way : _ways)
+        way = Way{};
+    _mshrs.clear();
+    _stats = CacheStats{};
+}
+
+MemorySystem::MemorySystem(const gpu::ArchConfig &arch,
+                           double machine_fraction)
+    : _l2_latency(arch.l2LatencyCycles)
+{
+    SIEVE_ASSERT(machine_fraction > 0.0 && machine_fraction <= 1.0,
+                 "machine fraction ", machine_fraction,
+                 " out of (0, 1]");
+
+    size_t n_slices = scaledCount(kFullMachineSlices, machine_fraction);
+    size_t n_channels =
+        scaledCount(kFullMachineChannels, machine_fraction);
+
+    uint64_t slice_capacity = static_cast<uint64_t>(
+        static_cast<double>(arch.l2SizeBytes) * machine_fraction /
+        static_cast<double>(n_slices));
+    for (size_t s = 0; s < n_slices; ++s) {
+        _slices.push_back(Cache::fromCapacity(
+            std::max<uint64_t>(slice_capacity, 16 * kLineBytes),
+            kLineBytes, kL2Assoc, kL2MshrsPerSlice));
+    }
+    _atomic_free.assign(n_slices, 0);
+
+    double channel_bw = arch.dramBytesPerClk() * machine_fraction /
+                        static_cast<double>(n_channels);
+    for (size_t c = 0; c < n_channels; ++c)
+        _channels.emplace_back(channel_bw, arch.dramLatencyCycles);
+}
+
+size_t
+MemorySystem::sliceOf(uint64_t line) const
+{
+    uint64_t h = line ^ (line >> 7);
+    return static_cast<size_t>(h % _slices.size());
+}
+
+size_t
+MemorySystem::channelOf(uint64_t line) const
+{
+    uint64_t h = (line >> 2) ^ (line >> 11);
+    return static_cast<size_t>(h % _channels.size());
+}
+
+uint64_t
+MemorySystem::accessGlobal(uint64_t line, uint32_t bytes, uint64_t now)
+{
+    Cache &slice = _slices[sliceOf(line)];
+    CacheOutcome outcome = slice.access(line, now);
+    if (outcome == CacheOutcome::Hit) {
+        return now + static_cast<uint64_t>(_l2_latency);
+    }
+    slice.fill(line);
+    uint64_t ready = _channels[channelOf(line)].request(bytes, now);
+    return ready + static_cast<uint64_t>(_l2_latency) / 4;
+}
+
+uint64_t
+MemorySystem::atomic(uint64_t line, uint64_t now)
+{
+    size_t s = sliceOf(line);
+    uint64_t start = std::max(_atomic_free[s], now);
+    _atomic_free[s] = start + 4;
+
+    Cache &slice = _slices[s];
+    CacheOutcome outcome = slice.access(line, now);
+    if (outcome != CacheOutcome::Hit) {
+        slice.fill(line);
+        return _channels[channelOf(line)].request(kLineBytes / 4,
+                                                  start) +
+               static_cast<uint64_t>(_l2_latency);
+    }
+    return start + static_cast<uint64_t>(_l2_latency);
+}
+
+CacheStats
+MemorySystem::l2Stats() const
+{
+    CacheStats total;
+    for (const Cache &slice : _slices) {
+        const CacheStats &s = slice.stats();
+        total.accesses += s.accesses;
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.mshrMerges += s.mshrMerges;
+        total.mshrStalls += s.mshrStalls;
+    }
+    return total;
+}
+
+DramStats
+MemorySystem::dramStats() const
+{
+    DramStats total;
+    for (const DramModel &channel : _channels) {
+        const DramStats &s = channel.stats();
+        total.requests += s.requests;
+        total.bytes += s.bytes;
+        total.busyCycles += s.busyCycles;
+    }
+    return total;
+}
+
+namespace {
+
+/** One simulated SM, array-of-structs warp state (oracle). */
+class Sm
+{
+  public:
+    Sm(const gpu::ArchConfig &arch, MemorySystem *memsys)
+        : _arch(arch), _memsys(memsys),
+          _l1(Cache::fromCapacity(arch.l1SizeBytes, kLineBytes,
+                                  kL1Assoc, kL1Mshrs))
+    {
+        SIEVE_ASSERT(memsys != nullptr, "SM without a memory system");
+    }
+
+    size_t residentCtas() const { return _resident_ctas; }
+    bool busy() const { return _active_warps > 0; }
+
+    void assignCta(const trace::DecodedWarp *warps, size_t count)
+    {
+        SIEVE_ASSERT(warps != nullptr || count == 0, "null CTA");
+        for (size_t w = 0; w < count; ++w) {
+            WarpContext ctx;
+            ctx.insts = warps[w].insts;
+            ctx.instCount = warps[w].count;
+            ctx.pc = 0;
+            ctx.done = ctx.instCount == 0;
+            if (!ctx.done)
+                ++_active_warps;
+            _warps.push_back(std::move(ctx));
+        }
+        ++_resident_ctas;
+    }
+
+    void clearResidency()
+    {
+        SIEVE_ASSERT(_active_warps == 0,
+                     "clearing residency with warps in flight");
+        _stats.ctasCompleted += _resident_ctas;
+        _warps.clear();
+        _resident_ctas = 0;
+        _rr_cursor = 0;
+        _inflight_misses.clear();
+    }
+
+    bool step(uint64_t now)
+    {
+        if (_active_warps == 0)
+            return false;
+
+        retireExpiredMisses(now);
+
+        // Refill per-cycle issue tokens (accumulators allow
+        // sub-1/cycle rates for the SFU pipe; caps prevent unbounded
+        // hoarding).
+        if (_token_cycle != now) {
+            double fp32_rate =
+                static_cast<double>(_arch.fp32LanesPerSm) /
+                _arch.warpSize;
+            double sfu_rate =
+                static_cast<double>(_arch.sfuLanesPerSm) /
+                _arch.warpSize;
+            _fp32_tokens = std::min(_fp32_tokens + fp32_rate,
+                                    2.0 * fp32_rate + 1.0);
+            _sfu_tokens = std::min(_sfu_tokens + sfu_rate,
+                                   2.0 * sfu_rate + 1.0);
+            _mem_tokens = std::min(_mem_tokens + 1.0, 2.0);
+            _shared_tokens = std::min(_shared_tokens + 1.0, 2.0);
+            _token_cycle = now;
+        }
+
+        // Greedy-oldest round robin: each scheduler issues at most
+        // one instruction; warps are statically partitioned by index.
+        uint32_t issued = 0;
+        uint32_t schedulers = _arch.schedulersPerSm;
+        size_t n = _warps.size();
+        if (n == 0)
+            return false;
+
+        for (uint32_t s = 0; s < schedulers; ++s) {
+            for (size_t probe = 0; probe < n; ++probe) {
+                size_t idx = (_rr_cursor + probe) % n;
+                if (idx % schedulers != s)
+                    continue;
+                if (tryIssue(_warps[idx], now)) {
+                    ++issued;
+                    _rr_cursor =
+                        static_cast<uint32_t>((idx + 1) % n);
+                    break;
+                }
+            }
+        }
+
+        if (issued > 0)
+            ++_stats.issueCyclesUsed;
+        return issued > 0;
+    }
+
+    uint64_t nextEventAfter(uint64_t now) const
+    {
+        uint64_t next = ~0ULL;
+        for (const WarpContext &warp : _warps) {
+            if (warp.done)
+                continue;
+            uint64_t candidate = warp.stallUntil;
+            const trace::SassInstruction &inst = warp.insts[warp.pc];
+            candidate =
+                std::max({candidate, warp.regReady[inst.srcReg0],
+                          warp.regReady[inst.srcReg1]});
+            if (candidate > now)
+                next = std::min(next, candidate);
+            else
+                return now + 1; // this warp is issuable next cycle
+        }
+        if (!_inflight_misses.empty())
+            next = std::min(next, _inflight_misses.front());
+        return next == ~0ULL ? now + 1 : next;
+    }
+
+    const SmStats &stats() const { return _stats; }
+    const CacheStats &l1Stats() const { return _l1.stats(); }
+
+  private:
+    struct WarpContext
+    {
+        const trace::SassInstruction *insts = nullptr;
+        size_t instCount = 0;
+        size_t pc = 0;
+        uint64_t regReady[32] = {};
+        uint64_t stallUntil = 0;
+        uint32_t divergedFor = 0;
+        bool replayPending = false;
+        bool done = true;
+    };
+
+    void retireExpiredMisses(uint64_t now)
+    {
+        while (!_inflight_misses.empty() &&
+               _inflight_misses.front() <= now) {
+            std::pop_heap(_inflight_misses.begin(),
+                          _inflight_misses.end(), std::greater<>());
+            _inflight_misses.pop_back();
+        }
+    }
+
+    bool tryIssue(WarpContext &warp, uint64_t now)
+    {
+        using trace::Opcode;
+
+        if (warp.done || warp.stallUntil > now)
+            return false;
+
+        const trace::SassInstruction &inst = warp.insts[warp.pc];
+
+        // Scoreboard: both sources must be ready.
+        if (warp.regReady[inst.srcReg0] > now ||
+            warp.regReady[inst.srcReg1] > now)
+            return false;
+
+        // Per-pipe throughput tokens.
+        switch (inst.opcode) {
+          case Opcode::FFma:
+          case Opcode::DFma:
+            if (_fp32_tokens < 1.0)
+                return false;
+            break;
+          case Opcode::Mufu:
+            if (_sfu_tokens < 1.0)
+                return false;
+            break;
+          case Opcode::Lds:
+          case Opcode::Sts:
+            if (_shared_tokens < 1.0)
+                return false;
+            break;
+          case Opcode::Ldg:
+          case Opcode::Stg:
+          case Opcode::Ldl:
+          case Opcode::Stl:
+          case Opcode::Atom:
+            if (_mem_tokens < 1.0)
+                return false;
+            if (_inflight_misses.size() >= kL1Mshrs)
+                return false; // structural: MSHRs exhausted
+            break;
+          default:
+            break;
+        }
+
+        // Issue.
+        uint64_t ready = now;
+        switch (inst.opcode) {
+          case Opcode::IAdd:
+            ready = now + kAluLatency;
+            break;
+          case Opcode::FFma:
+            _fp32_tokens -= 1.0;
+            ready = now + kFmaLatency;
+            break;
+          case Opcode::DFma:
+            _fp32_tokens -= 1.0;
+            ready = now + kDfmaLatency;
+            break;
+          case Opcode::Mufu:
+            _sfu_tokens -= 1.0;
+            ready = now + kSfuLatency;
+            break;
+          case Opcode::Lds:
+          case Opcode::Sts:
+            _shared_tokens -= 1.0;
+            ready = now + kSharedLatency;
+            break;
+          case Opcode::Bra:
+            ready = now + kBranchLatency;
+            warp.stallUntil = ready;
+            if (inst.isDivergentBranch())
+                warp.divergedFor = kDivergenceWindow;
+            break;
+          case Opcode::Exit:
+            warp.done = true;
+            SIEVE_ASSERT(_active_warps > 0, "warp underflow");
+            --_active_warps;
+            break;
+          case Opcode::Ldg:
+          case Opcode::Ldl:
+          case Opcode::Stl: {
+            _mem_tokens -= 1.0;
+            CacheOutcome outcome = _l1.access(inst.lineAddress, now);
+            if (outcome == CacheOutcome::Hit) {
+                ready = now + kL1HitLatency;
+            } else {
+                _l1.fill(inst.lineAddress);
+                uint32_t bytes = static_cast<uint32_t>(inst.sectors) *
+                                 _arch.sectorBytes;
+                ready = _memsys->accessGlobal(inst.lineAddress,
+                                              std::max(bytes, 32u),
+                                              now);
+                _inflight_misses.push_back(ready);
+                std::push_heap(_inflight_misses.begin(),
+                               _inflight_misses.end(),
+                               std::greater<>());
+            }
+            break;
+          }
+          case Opcode::Stg: {
+            _mem_tokens -= 1.0;
+            // Write-through, fire-and-forget: consumes bandwidth but
+            // does not block the warp.
+            uint32_t bytes = static_cast<uint32_t>(inst.sectors) *
+                             _arch.sectorBytes;
+            _memsys->accessGlobal(inst.lineAddress,
+                                  std::max(bytes, 32u), now);
+            ready = now;
+            break;
+          }
+          case Opcode::Atom: {
+            _mem_tokens -= 1.0;
+            ready = _memsys->atomic(inst.lineAddress, now);
+            _inflight_misses.push_back(ready);
+            std::push_heap(_inflight_misses.begin(),
+                           _inflight_misses.end(), std::greater<>());
+            break;
+          }
+        }
+
+        if (inst.destReg != 0)
+            warp.regReady[inst.destReg] = ready;
+
+        if (warp.divergedFor > 0 && inst.opcode != Opcode::Bra) {
+            // SIMT path serialization: each instruction in the
+            // divergent region issues twice (once per path).
+            if (!warp.replayPending) {
+                warp.replayPending = true;
+                ++_stats.divergenceReplays;
+                return true; // slot consumed; pc stays for the replay
+            }
+            warp.replayPending = false;
+            --warp.divergedFor;
+        }
+
+        ++warp.pc;
+        ++_stats.warpInstructions;
+        if (!warp.done && warp.pc >= warp.instCount) {
+            warp.done = true;
+            SIEVE_ASSERT(_active_warps > 0, "warp underflow");
+            --_active_warps;
+        }
+        return true;
+    }
+
+    const gpu::ArchConfig &_arch;
+    MemorySystem *_memsys;
+    Cache _l1;
+    std::vector<WarpContext> _warps;
+    std::vector<uint64_t> _inflight_misses; //!< min-heap of ready times
+    size_t _resident_ctas = 0;
+    size_t _active_warps = 0;
+    uint32_t _rr_cursor = 0;
+
+    double _fp32_tokens = 0.0;
+    double _sfu_tokens = 0.0;
+    double _mem_tokens = 0.0;
+    double _shared_tokens = 0.0;
+    uint64_t _token_cycle = ~0ULL;
+
+    SmStats _stats;
+};
+
+} // namespace
+
+SimCoreResult
+simulateCore(const gpu::ArchConfig &arch, const GpuSimConfig &config,
+             const trace::ColumnarTrace &trace, uint32_t cpsm,
+             uint32_t sim_sms)
+{
+    size_t num_ctas = trace.numCtas();
+    double machine_fraction = static_cast<double>(sim_sms) /
+                              static_cast<double>(arch.numSms);
+
+    MemorySystem memsys(arch, machine_fraction);
+    std::vector<Sm> sms;
+    sms.reserve(sim_sms);
+    for (uint32_t s = 0; s < sim_sms; ++s)
+        sms.emplace_back(arch, &memsys);
+
+    // Wave-synchronous CTA scheduling: fill every SM to its residency
+    // limit, run the wave to completion, then launch the next wave.
+    uint64_t now = 0;
+    size_t next_cta = 0;
+    uint64_t waves_sim = 0;
+
+    auto issued_so_far = [&sms] {
+        uint64_t total = 0;
+        for (const auto &sm : sms)
+            total += sm.stats().warpInstructions;
+        return total;
+    };
+    uint64_t pkp_window_insts = 0;
+    uint64_t pkp_window_start = 0;
+    double pkp_prev_ipc = -1.0;
+    uint32_t pkp_streak = 0;
+    bool pkp_stop = false;
+
+    // Per-wave decode state: arena slabs and the warp-view scratch
+    // vector are reused across waves. The scratch is reserved once
+    // from the columnar extent tables — the widest CTA bounds every
+    // later push_back.
+    trace::DecodeArena arena;
+    std::vector<trace::DecodedWarp> cta_warps;
+    size_t max_cta_warps = 0;
+    for (size_t c = 0; c < num_ctas; ++c)
+        max_cta_warps = std::max<size_t>(
+            max_cta_warps,
+            trace.ctaWarpOffsets[c + 1] - trace.ctaWarpOffsets[c]);
+    cta_warps.reserve(max_cta_warps);
+
+    while (next_cta < num_ctas && !pkp_stop) {
+        arena.clear();
+        for (auto &sm : sms) {
+            for (uint32_t slot = 0;
+                 slot < cpsm && next_cta < num_ctas; ++slot) {
+                size_t c = next_cta++;
+                cta_warps.clear();
+                for (size_t w = trace.ctaWarpOffsets[c];
+                     w < trace.ctaWarpOffsets[c + 1]; ++w) {
+                    size_t n = trace::warpInstructionCount(trace, w);
+                    trace::SassInstruction *buf = arena.alloc(n);
+                    trace::decodeWarp(trace, w, buf);
+                    cta_warps.push_back({buf, n});
+                }
+                sm.assignCta(cta_warps.data(), cta_warps.size());
+            }
+        }
+        ++waves_sim;
+
+        bool any_busy = true;
+        while (any_busy) {
+            bool issued = false;
+            any_busy = false;
+            for (auto &sm : sms) {
+                if (sm.busy()) {
+                    any_busy = true;
+                    issued |= sm.step(now);
+                }
+            }
+            if (!any_busy)
+                break;
+            if (issued) {
+                ++now;
+            } else {
+                // Nothing issued: fast-forward to the earliest event.
+                uint64_t next = ~0ULL;
+                for (auto &sm : sms) {
+                    if (sm.busy())
+                        next = std::min(next, sm.nextEventAfter(now));
+                }
+                now = std::max(next == ~0ULL ? now + 1 : next,
+                               now + 1);
+            }
+        }
+        for (auto &sm : sms)
+            sm.clearResidency();
+
+        // PKP convergence at CTA-wave granularity.
+        if (config.pkpEnabled) {
+            uint64_t done = issued_so_far();
+            double span = static_cast<double>(now - pkp_window_start);
+            double wave_ipc =
+                static_cast<double>(done - pkp_window_insts) /
+                std::max(span, 1.0);
+            pkp_window_insts = done;
+            pkp_window_start = now;
+
+            if (pkp_prev_ipc > 0.0 && wave_ipc > 0.0) {
+                double delta = std::fabs(wave_ipc - pkp_prev_ipc) /
+                               pkp_prev_ipc;
+                pkp_streak = delta < config.pkpTolerance
+                                 ? pkp_streak + 1
+                                 : 0;
+                if (pkp_streak >= config.pkpPatience)
+                    pkp_stop = true;
+            }
+            pkp_prev_ipc = wave_ipc;
+        }
+    }
+
+    SimCoreResult core;
+    core.simCycles = now;
+    core.wavesSimulated = waves_sim;
+    core.instructionsIssued = issued_so_far();
+    core.pkpStopped = pkp_stop;
+    core.pkpLastIpc = pkp_prev_ipc;
+    for (const auto &sm : sms) {
+        const CacheStats &l1 = sm.l1Stats();
+        core.l1.accesses += l1.accesses;
+        core.l1.hits += l1.hits;
+        core.l1.misses += l1.misses;
+        core.l1.mshrMerges += l1.mshrMerges;
+        core.l1.mshrStalls += l1.mshrStalls;
+    }
+    core.l2 = memsys.l2Stats();
+    core.dram = memsys.dramStats();
+    return core;
+}
+
+} // namespace sieve::gpusim::reference

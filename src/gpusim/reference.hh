@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The tick-everything simulator core, retained as the oracle for the
+ * event-driven default.
+ *
+ * This is the pre-event-core implementation preserved verbatim:
+ * unordered_map MSHRs, array-of-structs cache ways and warp
+ * contexts, a binary heap of outstanding misses, per-call allocation
+ * of the memory system and SMs, and a global loop that steps every
+ * busy SM at every visited cycle. It shares nothing with the
+ * optimized core below the GpuSimConfig level — its own Cache, its
+ * own MemorySystem, its own SM — so an old-vs-new diff exercises the
+ * entire rewritten stack.
+ *
+ * Select it with GpuSimConfig::engine = SimEngine::Reference or
+ * SIEVE_SIM_ENGINE=reference; CI diffs suite stdout and every Stable
+ * counter between the engines at several pool widths.
+ */
+
+#ifndef SIEVE_GPUSIM_REFERENCE_HH
+#define SIEVE_GPUSIM_REFERENCE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gpu/arch_config.hh"
+#include "gpusim/cache.hh"
+#include "gpusim/dram.hh"
+#include "gpusim/sim_core.hh"
+#include "trace/columnar.hh"
+
+namespace sieve::gpusim {
+
+struct GpuSimConfig;
+
+namespace reference {
+
+/** Map-based set-associative LRU cache with MSHRs (oracle). */
+class Cache
+{
+  public:
+    Cache(uint32_t num_sets, uint32_t assoc, uint32_t num_mshrs);
+
+    static Cache fromCapacity(uint64_t capacity_bytes,
+                              uint32_t line_bytes, uint32_t assoc,
+                              uint32_t num_mshrs);
+
+    CacheOutcome access(uint64_t line, uint64_t now);
+    void fill(uint64_t line);
+    size_t inflight() const { return _mshrs.size(); }
+    const CacheStats &stats() const { return _stats; }
+    void reset();
+
+  private:
+    struct Way
+    {
+        uint64_t line = ~0ULL;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    uint32_t _num_sets;
+    uint32_t _assoc;
+    uint32_t _num_mshrs;
+    std::vector<Way> _ways;                 //!< num_sets x assoc
+    std::unordered_map<uint64_t, uint32_t> _mshrs; //!< line -> merges
+    CacheStats _stats;
+};
+
+/** Sliced L2 + channeled DRAM + atomic pipes over reference::Cache. */
+class MemorySystem
+{
+  public:
+    MemorySystem(const gpu::ArchConfig &arch, double machine_fraction);
+
+    uint64_t accessGlobal(uint64_t line, uint32_t bytes, uint64_t now);
+    uint64_t atomic(uint64_t line, uint64_t now);
+
+    CacheStats l2Stats() const;
+    DramStats dramStats() const;
+
+  private:
+    size_t sliceOf(uint64_t line) const;
+    size_t channelOf(uint64_t line) const;
+
+    double _l2_latency;
+    std::vector<Cache> _slices;
+    std::vector<DramModel> _channels;
+    std::vector<uint64_t> _atomic_free;
+};
+
+/**
+ * Run the reference tick loop over a columnar trace and hand the
+ * outcome to the shared epilogue. Bit-identical to runEventCore by
+ * contract.
+ */
+SimCoreResult simulateCore(const gpu::ArchConfig &arch,
+                           const GpuSimConfig &config,
+                           const trace::ColumnarTrace &trace,
+                           uint32_t cpsm, uint32_t sim_sms);
+
+} // namespace reference
+
+} // namespace sieve::gpusim
+
+#endif // SIEVE_GPUSIM_REFERENCE_HH

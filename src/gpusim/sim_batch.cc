@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "gpusim/sim_core.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -35,10 +36,16 @@ runBatch(size_t n, ThreadPool &pool,
     static obs::Counter &c_batches = obs::counter("gpusim.batches");
     static obs::Counter &c_traces =
         obs::counter("gpusim.batch.traces");
+    // Workspace growth during a batch is Volatile: it depends on
+    // which pool worker drew which trace. A warmed suite keeps it at
+    // zero — the pooled-arena contract (see gpusim/sim_core.hh).
+    static obs::Counter &c_arena_growth = obs::counter(
+        "gpusim.batch.arena_growth", obs::Stability::Volatile);
     c_batches.add();
     c_traces.add(n);
     obs::Span span("gpusim", "batch", "traces=" + std::to_string(n));
 
+    uint64_t growth_before = simArenaGrowthEvents();
     BatchSimResult batch;
     auto begin = std::chrono::steady_clock::now();
     batch.results = parallelMap(pool, n, simulateOne);
@@ -47,6 +54,7 @@ runBatch(size_t n, ThreadPool &pool,
             std::chrono::steady_clock::now() - begin)
             .count();
     batch.uniqueTraces = batch.results.size();
+    c_arena_growth.add(simArenaGrowthEvents() - growth_before);
     return batch;
 }
 

@@ -19,6 +19,10 @@
  * of the same kernel with identical traced content collide — which is
  * the whole point.
  *
+ * The digest deliberately does not cover GpuSimConfig::engine: both
+ * scheduling cores are byte-identical by contract, so a shared
+ * SimCache never mixes observable behavior across engines.
+ *
  * Determinism: which thread performs the one real simulation of a
  * digest is scheduling-dependent, but the *number* of distinct digests
  * is a pure function of the input traces — so the Stable counters

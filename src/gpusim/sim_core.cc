@@ -1,0 +1,247 @@
+#include "gpusim/sim_core.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "obs/telemetry.hh"
+
+namespace sieve::gpusim {
+
+namespace {
+
+// Workspace growth accounting: wave-arena slab allocations plus pool
+// (SM vector / CTA scratch) growth, mirrored process-wide so tests
+// can assert the warmed steady state performs none.
+std::atomic<uint64_t> g_ws_growth{0};
+
+} // namespace
+
+uint64_t
+simArenaGrowthEvents()
+{
+    return g_ws_growth.load(std::memory_order_relaxed);
+}
+
+SimWorkspace::SimWorkspace()
+{
+    // Arena residency for the whole process, visible on the telemetry
+    // timeline next to the sim-cache hit-rate track. Registered at
+    // first workspace construction so runs that never simulate don't
+    // grow metrics.
+    static const bool probe_registered = [] {
+        obs::registerTelemetryProbe("gpusim.arena.resident_bytes", [] {
+            return static_cast<int64_t>(
+                arenaGlobalStats().residentBytes);
+        });
+        return true;
+    }();
+    (void)probe_registered;
+}
+
+SimWorkspace &
+SimWorkspace::local()
+{
+    thread_local SimWorkspace ws;
+    return ws;
+}
+
+void
+SimWorkspace::reserveSms(size_t count)
+{
+    if (sms.size() < count) {
+        sms.resize(count);
+        smWake.resize(count);
+        smDense.resize(count);
+        g_ws_growth.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+SimCoreResult
+runEventCore(const gpu::ArchConfig &arch, const GpuSimConfig &config,
+             const trace::ColumnarTrace &trace, uint32_t cpsm,
+             uint32_t sim_sms)
+{
+    size_t num_ctas = trace.numCtas();
+    double machine_fraction = static_cast<double>(sim_sms) /
+                              static_cast<double>(arch.numSms);
+
+    SimWorkspace &ws = SimWorkspace::local();
+    uint64_t arena_growth_before = ws.waveArena.growthEvents();
+    ws.memsys.configure(arch, machine_fraction);
+    ws.reserveSms(sim_sms);
+    StreamingMultiprocessor *sms = ws.sms.data();
+    for (uint32_t s = 0; s < sim_sms; ++s)
+        sms[s].configure(&arch, &ws.memsys);
+
+    // The widest CTA in the trace bounds every per-wave buffer; one
+    // reserve here keeps the scratch vector and the per-SM SoA blocks
+    // allocation-free across CTAs and waves.
+    size_t max_cta_warps = 0;
+    for (size_t c = 0; c < num_ctas; ++c)
+        max_cta_warps = std::max<size_t>(
+            max_cta_warps,
+            trace.ctaWarpOffsets[c + 1] - trace.ctaWarpOffsets[c]);
+    if (ws.ctaWarps.capacity() < max_cta_warps) {
+        ws.ctaWarps.reserve(max_cta_warps);
+        g_ws_growth.fetch_add(1, std::memory_order_relaxed);
+    }
+    size_t warp_capacity = static_cast<size_t>(cpsm) * max_cta_warps;
+
+    uint64_t now = 0;
+    size_t next_cta = 0;
+    uint64_t waves_sim = 0;
+    // Global visited-cycle counter: increments once per iteration of
+    // the inner loop below, i.e. once per distinct `now` the
+    // reference would have stepped busy SMs at. Keys the lazy token
+    // replay.
+    uint64_t tick = 0;
+
+    // Per-SM wake-up times. An SM whose wake time lies in the future
+    // is skipped without stepping: its state can only change through
+    // its own issues, so the wake value stays exact until then. The
+    // dense bit carries the SM's last StepOutcome::dense — while any
+    // busy SM holds it, the reference's next-event scan returns
+    // now + 1 and the visited-cycle chain advances one cycle at a
+    // time even though no SM needs stepping.
+    uint64_t *wake = ws.smWake.data();
+    uint8_t *dense = ws.smDense.data();
+
+    auto issued_so_far = [&] {
+        uint64_t total = 0;
+        for (uint32_t s = 0; s < sim_sms; ++s)
+            total += sms[s].stats().warpInstructions;
+        return total;
+    };
+    uint64_t pkp_window_insts = 0;
+    uint64_t pkp_window_start = 0;
+    double pkp_prev_ipc = -1.0;
+    uint32_t pkp_streak = 0;
+    bool pkp_stop = false;
+
+    while (next_cta < num_ctas && !pkp_stop) {
+        ws.waveArena.reset();
+        for (uint32_t s = 0; s < sim_sms; ++s) {
+            sms[s].beginWave(ws.waveArena, warp_capacity, tick);
+            wake[s] = now;
+            dense[s] = 0;
+            for (uint32_t slot = 0;
+                 slot < cpsm && next_cta < num_ctas; ++slot) {
+                size_t c = next_cta++;
+                ws.ctaWarps.clear();
+                for (size_t w = trace.ctaWarpOffsets[c];
+                     w < trace.ctaWarpOffsets[c + 1]; ++w) {
+                    size_t n = trace::warpInstructionCount(trace, w);
+                    trace::SassInstruction *buf =
+                        ws.waveArena.alloc<trace::SassInstruction>(n);
+                    trace::decodeWarp(trace, w, buf);
+                    ws.ctaWarps.push_back({buf, n});
+                }
+                sms[s].assignCta(ws.ctaWarps.data(),
+                                 ws.ctaWarps.size());
+            }
+        }
+        ++waves_sim;
+
+        for (;;) {
+            ++tick;
+            bool issued = false;
+            bool any_busy = false;
+            bool any_dense = false;
+            uint64_t min_wake = ~0ULL;
+            for (uint32_t s = 0; s < sim_sms; ++s) {
+                StreamingMultiprocessor &sm = sms[s];
+                if (!sm.busy())
+                    continue;
+                any_busy = true;
+                if (wake[s] <= now) {
+                    StreamingMultiprocessor::StepOutcome out =
+                        sm.step(now, tick);
+                    if (out.issued) {
+                        issued = true;
+                        wake[s] = now + 1;
+                        dense[s] = 0;
+                    } else {
+                        wake[s] = out.nextEvent;
+                        dense[s] = out.dense;
+                    }
+                }
+                if (sm.busy()) {
+                    if (wake[s] < min_wake)
+                        min_wake = wake[s];
+                    any_dense |= dense[s] != 0;
+                }
+            }
+            if (!any_busy)
+                break;
+            if (issued || any_dense) {
+                // Some SM issued, or some SM holds a scoreboard-ready
+                // warp behind a structural stall — in both cases the
+                // reference's chain advances exactly one cycle.
+                ++now;
+            } else {
+                // Nothing can issue anywhere: jump to the earliest
+                // wake-up. Stored wakes equal the reference's fresh
+                // nextEventAfter(now) (see sm.hh), so this is the
+                // reference's fast-forward, byte for byte.
+                now = std::max(min_wake == ~0ULL ? now + 1 : min_wake,
+                               now + 1);
+            }
+        }
+        for (uint32_t s = 0; s < sim_sms; ++s)
+            sms[s].clearResidency();
+
+        // PKP convergence is checked at CTA-wave granularity: a wave
+        // is the natural repeating unit of a kernel's execution, and
+        // measuring across the wave boundary includes the drain
+        // overhead that mid-wave windows would miss.
+        if (config.pkpEnabled) {
+            uint64_t done = issued_so_far();
+            double span = static_cast<double>(now - pkp_window_start);
+            double wave_ipc =
+                static_cast<double>(done - pkp_window_insts) /
+                std::max(span, 1.0);
+            pkp_window_insts = done;
+            pkp_window_start = now;
+
+            if (pkp_prev_ipc > 0.0 && wave_ipc > 0.0) {
+                double delta = std::fabs(wave_ipc - pkp_prev_ipc) /
+                               pkp_prev_ipc;
+                pkp_streak = delta < config.pkpTolerance
+                                 ? pkp_streak + 1
+                                 : 0;
+                if (pkp_streak >= config.pkpPatience)
+                    pkp_stop = true;
+            }
+            pkp_prev_ipc = wave_ipc;
+        }
+    }
+
+    SimCoreResult core;
+    core.simCycles = now;
+    core.wavesSimulated = waves_sim;
+    core.instructionsIssued = issued_so_far();
+    core.pkpStopped = pkp_stop;
+    core.pkpLastIpc = pkp_prev_ipc;
+    for (uint32_t s = 0; s < sim_sms; ++s) {
+        const CacheStats &l1 = sms[s].l1Stats();
+        core.l1.accesses += l1.accesses;
+        core.l1.hits += l1.hits;
+        core.l1.misses += l1.misses;
+        core.l1.mshrMerges += l1.mshrMerges;
+        core.l1.mshrStalls += l1.mshrStalls;
+    }
+    core.l2 = ws.memsys.l2Stats();
+    core.dram = ws.memsys.dramStats();
+
+    uint64_t arena_growth = ws.waveArena.growthEvents() -
+                            arena_growth_before;
+    if (arena_growth != 0)
+        g_ws_growth.fetch_add(arena_growth,
+                              std::memory_order_relaxed);
+    return core;
+}
+
+} // namespace sieve::gpusim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared plumbing between the two simulator cores.
+ *
+ * GpuSimulator::simulate() splits into a prologue (occupancy and
+ * machine-fraction math), a core (the scheduling loop), and an
+ * epilogue (PKP extrapolation, wave scaling, counter flush). Both
+ * cores — the event-driven default and the tick-everything
+ * `gpusim::reference` oracle — produce a SimCoreResult; the epilogue
+ * is engine-independent, so any result divergence is attributable to
+ * the core alone.
+ *
+ * SimWorkspace is the pooled arena state behind the event core: one
+ * per thread, owning the wave arena (decoded instructions plus
+ * structure-of-arrays warp state), the CTA warp-view scratch vector,
+ * the shared memory system, and the SM pool. Everything is grow-only
+ * and reused across invocations, so a warmed suite run performs zero
+ * steady-state simulator allocations — asserted in test_sim_core via
+ * simArenaGrowthEvents().
+ */
+
+#ifndef SIEVE_GPUSIM_SIM_CORE_HH
+#define SIEVE_GPUSIM_SIM_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.hh"
+#include "gpusim/cache.hh"
+#include "gpusim/dram.hh"
+#include "gpusim/memory_system.hh"
+#include "gpusim/sm.hh"
+#include "trace/columnar.hh"
+
+namespace sieve::gpusim {
+
+struct GpuSimConfig;
+
+/** What a scheduling core hands back to the shared epilogue. */
+struct SimCoreResult
+{
+    uint64_t simCycles = 0;
+    uint64_t wavesSimulated = 0;
+    uint64_t instructionsIssued = 0;
+    bool pkpStopped = false;
+    /** Last wave-window IPC observed by PKP (-1 before any wave). */
+    double pkpLastIpc = -1.0;
+    CacheStats l1; //!< aggregated over simulated SMs
+    CacheStats l2;
+    DramStats dram;
+};
+
+/** Per-thread pooled state for the event-driven core. */
+class SimWorkspace
+{
+  public:
+    /** The calling thread's workspace (created on first use). */
+    static SimWorkspace &local();
+
+    Arena waveArena; //!< decoded insts + warp SoA, reset per wave
+    std::vector<trace::DecodedWarp> ctaWarps; //!< per-CTA warp views
+    MemorySystem memsys;
+    std::vector<StreamingMultiprocessor> sms;
+    std::vector<uint64_t> smWake; //!< per-SM wake-up times
+    std::vector<uint8_t> smDense; //!< per-SM StepOutcome::dense
+
+    /** Grow the SM pool to `count` without shrinking. */
+    void reserveSms(size_t count);
+
+  private:
+    SimWorkspace();
+};
+
+/**
+ * Process-wide count of workspace/arena growth events (slab or pool
+ * allocations attributable to simulator workspaces). Flat across
+ * repeated invocations once warmed — the zero-steady-state-allocation
+ * contract.
+ */
+uint64_t simArenaGrowthEvents();
+
+/**
+ * Run the event-driven core. `cpsm` and `sim_sms` come from the
+ * prologue's occupancy math.
+ */
+SimCoreResult runEventCore(const gpu::ArchConfig &arch,
+                           const GpuSimConfig &config,
+                           const trace::ColumnarTrace &trace,
+                           uint32_t cpsm, uint32_t sim_sms);
+
+} // namespace sieve::gpusim
+
+#endif // SIEVE_GPUSIM_SIM_CORE_HH

@@ -1,6 +1,7 @@
 #include "gpusim/sm.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -24,15 +25,66 @@ constexpr uint64_t kBranchLatency = 2;
 // distance to the reconvergence point).
 constexpr uint32_t kDivergenceWindow = 12;
 
+constexpr uint8_t kDone = 1;
+constexpr uint8_t kReplayPending = 2;
+
 } // namespace
 
-StreamingMultiprocessor::StreamingMultiprocessor(
-    const gpu::ArchConfig &arch, MemorySystem *memsys)
-    : _arch(arch), _memsys(memsys),
-      _l1(Cache::fromCapacity(arch.l1SizeBytes, kLineBytes, kL1Assoc,
-                              kL1Mshrs))
+void
+StreamingMultiprocessor::configure(const gpu::ArchConfig *arch,
+                                   MemorySystem *memsys)
 {
+    SIEVE_ASSERT(arch != nullptr, "SM without an architecture");
     SIEVE_ASSERT(memsys != nullptr, "SM without a memory system");
+    _arch = arch;
+    _memsys = memsys;
+    _l1.configure(Cache::setsForCapacity(arch->l1SizeBytes, kLineBytes,
+                                         kL1Assoc),
+                  kL1Assoc, kL1Mshrs);
+    _inflight_misses.clear();
+
+    _capacity = 0;
+    _count = 0;
+    _resident_ctas = 0;
+    _active_warps = 0;
+    _rr_cursor = 0;
+
+    // Same expressions the reference evaluates on every refill; the
+    // values are bitwise equal because the arithmetic is identical.
+    _fp32_rate = static_cast<double>(arch->fp32LanesPerSm) /
+                 arch->warpSize;
+    _sfu_rate = static_cast<double>(arch->sfuLanesPerSm) /
+                arch->warpSize;
+    _fp32_cap = 2.0 * _fp32_rate + 1.0;
+    _sfu_cap = 2.0 * _sfu_rate + 1.0;
+    _fp32_tokens = 0.0;
+    _sfu_tokens = 0.0;
+    _mem_tokens = 0.0;
+    _shared_tokens = 0.0;
+    _last_tick = 0;
+
+    _stats = SmStats{};
+}
+
+void
+StreamingMultiprocessor::beginWave(Arena &arena, size_t warp_capacity,
+                                   uint64_t tick)
+{
+    SIEVE_ASSERT(_count == 0 && _active_warps == 0,
+                 "beginWave with residency in place");
+    _capacity = warp_capacity;
+    _insts = arena.alloc<const trace::SassInstruction *>(warp_capacity);
+    _inst_count = arena.alloc<uint64_t>(warp_capacity);
+    _pc = arena.alloc<uint64_t>(warp_capacity);
+    _reg_ready = arena.alloc<uint64_t>(warp_capacity * 32);
+    _stall_until = arena.alloc<uint64_t>(warp_capacity);
+    _hint = arena.alloc<uint64_t>(warp_capacity);
+    _diverged_for = arena.alloc<uint32_t>(warp_capacity);
+    _flags = arena.alloc<uint8_t>(warp_capacity);
+    // The reference refills tokens once at the first visited cycle of
+    // the wave (its per-cycle guard fires on the new `now`); arm the
+    // lazy clock one tick back so exactly one refill replays then.
+    _last_tick = tick;
 }
 
 void
@@ -40,15 +92,23 @@ StreamingMultiprocessor::assignCta(const trace::DecodedWarp *warps,
                                    size_t count)
 {
     SIEVE_ASSERT(warps != nullptr || count == 0, "null CTA");
+    SIEVE_ASSERT(_count + count <= _capacity,
+                 "CTA overflows the wave's warp capacity");
     for (size_t w = 0; w < count; ++w) {
-        WarpContext ctx;
-        ctx.insts = warps[w].insts;
-        ctx.instCount = warps[w].count;
-        ctx.pc = 0;
-        ctx.done = ctx.instCount == 0;
-        if (!ctx.done)
+        size_t idx = _count++;
+        _insts[idx] = warps[w].insts;
+        _inst_count[idx] = warps[w].count;
+        _pc[idx] = 0;
+        std::memset(_reg_ready + idx * 32, 0, 32 * sizeof(uint64_t));
+        _stall_until[idx] = 0;
+        _hint[idx] = 0;
+        _diverged_for[idx] = 0;
+        if (warps[w].count == 0) {
+            _flags[idx] = kDone;
+        } else {
+            _flags[idx] = 0;
             ++_active_warps;
-        _warps.push_back(std::move(ctx));
+        }
     }
     ++_resident_ctas;
 }
@@ -59,62 +119,81 @@ StreamingMultiprocessor::clearResidency()
     SIEVE_ASSERT(_active_warps == 0,
                  "clearing residency with warps in flight");
     _stats.ctasCompleted += _resident_ctas;
-    _warps.clear();
     _resident_ctas = 0;
+    _count = 0;
+    _capacity = 0;
     _rr_cursor = 0;
     _inflight_misses.clear();
 }
 
-void
-StreamingMultiprocessor::retireExpiredMisses(uint64_t now)
-{
-    while (!_inflight_misses.empty() && _inflight_misses.front() <= now) {
-        std::pop_heap(_inflight_misses.begin(), _inflight_misses.end(),
-                      std::greater<>());
-        _inflight_misses.pop_back();
-    }
-}
-
 bool
-StreamingMultiprocessor::tryIssue(WarpContext &warp, uint64_t now)
+StreamingMultiprocessor::tryIssue(size_t idx, uint64_t now)
 {
     using trace::Opcode;
 
-    if (warp.done || warp.stallUntil > now)
+    uint64_t *reg_ready = _reg_ready + idx * 32;
+    const trace::SassInstruction &inst = _insts[idx][_pc[idx]];
+
+    // Scoreboard: the branch stall and both sources must be ready.
+    // This bound is stable until the warp itself issues, so cache it
+    // for the scheduler's skip scan and the SM wake-up computation.
+    uint64_t blocked = std::max({_stall_until[idx],
+                                 reg_ready[inst.srcReg0],
+                                 reg_ready[inst.srcReg1]});
+    if (blocked > now) {
+        _hint[idx] = blocked;
         return false;
+    }
 
-    const trace::SassInstruction &inst = warp.insts[warp.pc];
-
-    // Scoreboard: both sources must be ready.
-    if (warp.regReady[inst.srcReg0] > now ||
-        warp.regReady[inst.srcReg1] > now)
-        return false;
-
-    // Per-pipe throughput tokens.
+    // Per-pipe throughput tokens. Token stalls are per-cycle volatile
+    // (tokens refill next cycle), so the hint pins to now + 1. Either
+    // way the warp is scoreboard-ready, which makes the reference's
+    // next-event scan return now + 1 — record that for
+    // StepOutcome::dense.
     switch (inst.opcode) {
       case Opcode::FFma:
       case Opcode::DFma:
-        if (_fp32_tokens < 1.0)
+        if (_fp32_tokens < 1.0) {
+            _hint[idx] = now + 1;
+            _structural_stall = true;
             return false;
+        }
         break;
       case Opcode::Mufu:
-        if (_sfu_tokens < 1.0)
+        if (_sfu_tokens < 1.0) {
+            _hint[idx] = now + 1;
+            _structural_stall = true;
             return false;
+        }
         break;
       case Opcode::Lds:
       case Opcode::Sts:
-        if (_shared_tokens < 1.0)
+        if (_shared_tokens < 1.0) {
+            _hint[idx] = now + 1;
+            _structural_stall = true;
             return false;
+        }
         break;
       case Opcode::Ldg:
       case Opcode::Stg:
       case Opcode::Ldl:
       case Opcode::Stl:
       case Opcode::Atom:
-        if (_mem_tokens < 1.0)
+        if (_mem_tokens < 1.0) {
+            _hint[idx] = now + 1;
+            _structural_stall = true;
             return false;
-        if (_inflight_misses.size() >= kL1Mshrs)
-            return false; // structural: MSHRs exhausted
+        }
+        if (_inflight_misses.size() >= kL1Mshrs) {
+            // Every MSHR is occupied and no new miss can be pushed
+            // while that holds, so the earliest outstanding retire
+            // time is a sound lower bound on this warp's next issue —
+            // the SM sleeps through the stall instead of re-probing
+            // every cycle.
+            _hint[idx] = _inflight_misses.nextReady();
+            _structural_stall = true;
+            return false;
+        }
         break;
       default:
         break;
@@ -145,16 +224,16 @@ StreamingMultiprocessor::tryIssue(WarpContext &warp, uint64_t now)
         break;
       case Opcode::Bra:
         ready = now + kBranchLatency;
-        warp.stallUntil = ready;
+        _stall_until[idx] = ready;
         if (inst.isDivergentBranch()) {
             // SIMT divergence: until reconvergence (approximated as
             // the next basic block), the warp walks both paths
             // serially — every instruction costs an extra issue slot.
-            warp.divergedFor = kDivergenceWindow;
+            _diverged_for[idx] = kDivergenceWindow;
         }
         break;
       case Opcode::Exit:
-        warp.done = true;
+        _flags[idx] |= kDone;
         SIEVE_ASSERT(_active_warps > 0, "warp underflow");
         --_active_warps;
         break;
@@ -168,12 +247,10 @@ StreamingMultiprocessor::tryIssue(WarpContext &warp, uint64_t now)
         } else {
             _l1.fill(inst.lineAddress);
             uint32_t bytes = static_cast<uint32_t>(inst.sectors) *
-                             _arch.sectorBytes;
+                             _arch->sectorBytes;
             ready = _memsys->accessGlobal(inst.lineAddress,
                                           std::max(bytes, 32u), now);
-            _inflight_misses.push_back(ready);
-            std::push_heap(_inflight_misses.begin(),
-                           _inflight_misses.end(), std::greater<>());
+            _inflight_misses.push(ready);
         }
         break;
       }
@@ -182,7 +259,7 @@ StreamingMultiprocessor::tryIssue(WarpContext &warp, uint64_t now)
         // Write-through, fire-and-forget: consumes bandwidth but
         // does not block the warp.
         uint32_t bytes = static_cast<uint32_t>(inst.sectors) *
-                         _arch.sectorBytes;
+                         _arch->sectorBytes;
         _memsys->accessGlobal(inst.lineAddress, std::max(bytes, 32u),
                               now);
         ready = now;
@@ -191,77 +268,84 @@ StreamingMultiprocessor::tryIssue(WarpContext &warp, uint64_t now)
       case Opcode::Atom: {
         _mem_tokens -= 1.0;
         ready = _memsys->atomic(inst.lineAddress, now);
-        _inflight_misses.push_back(ready);
-        std::push_heap(_inflight_misses.begin(),
-                       _inflight_misses.end(), std::greater<>());
+        _inflight_misses.push(ready);
         break;
       }
     }
 
     if (inst.destReg != 0)
-        warp.regReady[inst.destReg] = ready;
+        reg_ready[inst.destReg] = ready;
 
-    if (warp.divergedFor > 0 && inst.opcode != Opcode::Bra) {
+    // The warp's cached issue bound is stale after any issue — the
+    // next probe recomputes it from the next instruction's sources.
+    _hint[idx] = 0;
+
+    if (_diverged_for[idx] > 0 && inst.opcode != Opcode::Bra) {
         // SIMT path serialization: each instruction in the divergent
         // region issues twice (once per path), consuming a second
         // scheduler slot before the warp's pc advances.
-        if (!warp.replayPending) {
-            warp.replayPending = true;
+        if (!(_flags[idx] & kReplayPending)) {
+            _flags[idx] |= kReplayPending;
             ++_stats.divergenceReplays;
             return true; // slot consumed; pc stays for the replay
         }
-        warp.replayPending = false;
-        --warp.divergedFor;
+        _flags[idx] &= static_cast<uint8_t>(~kReplayPending);
+        --_diverged_for[idx];
     }
 
-    ++warp.pc;
+    ++_pc[idx];
     ++_stats.warpInstructions;
-    if (!warp.done && warp.pc >= warp.instCount) {
-        warp.done = true;
+    if (!(_flags[idx] & kDone) && _pc[idx] >= _inst_count[idx]) {
+        _flags[idx] |= kDone;
         SIEVE_ASSERT(_active_warps > 0, "warp underflow");
         --_active_warps;
     }
     return true;
 }
 
-bool
-StreamingMultiprocessor::step(uint64_t now)
+StreamingMultiprocessor::StepOutcome
+StreamingMultiprocessor::step(uint64_t now, uint64_t tick)
 {
-    if (_active_warps == 0)
-        return false;
+    SIEVE_ASSERT(_active_warps > 0, "stepping an idle SM");
 
-    retireExpiredMisses(now);
+    _inflight_misses.advanceTo(now);
 
-    // Refill per-cycle issue tokens (accumulators allow sub-1/cycle
-    // rates for the SFU pipe; caps prevent unbounded hoarding).
-    if (_token_cycle != now) {
-        double fp32_rate =
-            static_cast<double>(_arch.fp32LanesPerSm) / _arch.warpSize;
-        double sfu_rate =
-            static_cast<double>(_arch.sfuLanesPerSm) / _arch.warpSize;
-        _fp32_tokens = std::min(_fp32_tokens + fp32_rate,
-                                2.0 * fp32_rate + 1.0);
-        _sfu_tokens = std::min(_sfu_tokens + sfu_rate,
-                               2.0 * sfu_rate + 1.0);
+    // Replay the per-visited-cycle token refills owed since the last
+    // step. Each iteration is the reference's refill verbatim; the
+    // loop ends early once every accumulator sits exactly at its cap,
+    // after which further refills are no-ops. Replay stays bounded:
+    // the caps are at most two refills away.
+    uint64_t owed = tick - _last_tick;
+    _last_tick = tick;
+    for (uint64_t i = 0; i < owed; ++i) {
+        _fp32_tokens = std::min(_fp32_tokens + _fp32_rate, _fp32_cap);
+        _sfu_tokens = std::min(_sfu_tokens + _sfu_rate, _sfu_cap);
         _mem_tokens = std::min(_mem_tokens + 1.0, 2.0);
         _shared_tokens = std::min(_shared_tokens + 1.0, 2.0);
-        _token_cycle = now;
+        if (_fp32_tokens == _fp32_cap && _sfu_tokens == _sfu_cap &&
+            _mem_tokens == 2.0 && _shared_tokens == 2.0)
+            break;
     }
 
     // Greedy-oldest round robin: each scheduler issues at most one
-    // instruction; warps are statically partitioned by index.
+    // instruction; warps are statically partitioned by index. Warps
+    // whose cached issue bound lies in the future are skipped without
+    // a full probe.
     uint32_t issued = 0;
-    uint32_t schedulers = _arch.schedulersPerSm;
-    size_t n = _warps.size();
-    if (n == 0)
-        return false;
+    uint32_t schedulers = _arch->schedulersPerSm;
+    size_t n = _count;
+    _structural_stall = false;
 
     for (uint32_t s = 0; s < schedulers; ++s) {
         for (size_t probe = 0; probe < n; ++probe) {
             size_t idx = (_rr_cursor + probe) % n;
             if (idx % schedulers != s)
                 continue;
-            if (tryIssue(_warps[idx], now)) {
+            if (_flags[idx] & kDone)
+                continue;
+            if (_hint[idx] > now)
+                continue;
+            if (tryIssue(idx, now)) {
                 ++issued;
                 _rr_cursor = static_cast<uint32_t>((idx + 1) % n);
                 break;
@@ -269,30 +353,26 @@ StreamingMultiprocessor::step(uint64_t now)
         }
     }
 
-    if (issued > 0)
+    if (issued > 0) {
         ++_stats.issueCyclesUsed;
-    return issued > 0;
-}
+        return {true, false, 0};
+    }
 
-uint64_t
-StreamingMultiprocessor::nextEventAfter(uint64_t now) const
-{
+    // Nothing issued, so every live warp was either probed this cycle
+    // or skipped on a still-valid cached bound: the minimum hint plus
+    // the earliest outstanding miss is the SM's true wake-up time.
+    // When no structural stall was seen this equals the reference's
+    // nextEventAfter(now); otherwise the reference would have said
+    // now + 1 and the caller consults `dense` for the chain.
     uint64_t next = ~0ULL;
-    for (const WarpContext &warp : _warps) {
-        if (warp.done)
-            continue;
-        uint64_t candidate = warp.stallUntil;
-        const trace::SassInstruction &inst = warp.insts[warp.pc];
-        candidate = std::max({candidate, warp.regReady[inst.srcReg0],
-                              warp.regReady[inst.srcReg1]});
-        if (candidate > now)
-            next = std::min(next, candidate);
-        else
-            return now + 1; // this warp is issuable next cycle
+    for (size_t w = 0; w < n; ++w) {
+        if (!(_flags[w] & kDone) && _hint[w] < next)
+            next = _hint[w];
     }
     if (!_inflight_misses.empty())
-        next = std::min(next, _inflight_misses.front());
-    return next == ~0ULL ? now + 1 : next;
+        next = std::min(next, _inflight_misses.nextReady());
+    return {false, _structural_stall,
+            next == ~0ULL ? now + 1 : next};
 }
 
 } // namespace sieve::gpusim

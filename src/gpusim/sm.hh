@@ -3,17 +3,57 @@
  * Streaming multiprocessor model: resident CTAs, per-warp program
  * state, register scoreboards, warp schedulers with per-pipe issue
  * throughput, an L1 data cache, and MSHR-bounded outstanding misses.
+ *
+ * This is the event-driven core. Warp state lives in
+ * structure-of-arrays blocks carved from a caller-owned Arena per CTA
+ * wave, outstanding misses live in a bucketed timing wheel, and every
+ * step() reports the SM's next wake-up time so the scheduler can skip
+ * it entirely while it is stalled. Issue semantics are bit-identical
+ * to the tick-everything reference model (`gpusim::reference`):
+ *
+ *  - step(now, tick) is only ever called at the same visited cycles
+ *    (`now` values) at which the reference would have stepped a busy
+ *    SM, identified by a global visited-cycle counter (`tick`).
+ *    Per-pipe issue tokens refill once per visited cycle in the
+ *    reference, so the event core replays the owed `tick` deltas
+ *    sequentially before issuing — replay is exact in floating point
+ *    because each refill saturates at the cap by assignment (a
+ *    closed-form multiply would not be bit-exact).
+ *  - A warp's earliest issue time (max of branch stall and its two
+ *    source-scoreboard release times) only changes when that warp
+ *    itself issues, so it is cached per warp (`hint`) and reused both
+ *    to skip blocked warps during scheduling and to compute the SM
+ *    wake-up time without a second pass. Pipe-token stalls are
+ *    per-cycle volatile (tokens refill next cycle) and pin the hint
+ *    to now + 1; a warp blocked only by a full MSHR table cannot
+ *    issue before the earliest outstanding miss retires, so its hint
+ *    is the wheel's next ready time — while the wheel is full no new
+ *    miss can be pushed, so that bound stays valid until the SM is
+ *    stepped again.
+ *  - The reference's next-event scan returns now + 1 whenever any
+ *    scoreboard-ready warp exists, even one that is structurally
+ *    blocked for hundreds of cycles — which makes the global
+ *    visited-cycle chain dense there. A failed step() therefore
+ *    reports that condition (`StepOutcome::dense`) separately from
+ *    the SM's true wake-up time: the driver replays the reference's
+ *    now + 1 chain (preserving byte-identity of the visited-cycle
+ *    count that keys token refills) without stepping the SM, whose
+ *    probes would all fail until the wake-up time arrives anyway.
+ *  - The round-robin cursor walk, scheduler partitioning, and the
+ *    order of memory-system calls are preserved verbatim, so the
+ *    shared L2/DRAM state sees the identical access sequence.
  */
 
 #ifndef SIEVE_GPUSIM_SM_HH
 #define SIEVE_GPUSIM_SM_HH
 
 #include <cstdint>
-#include <vector>
 
+#include "common/arena.hh"
 #include "gpu/arch_config.hh"
 #include "gpusim/cache.hh"
 #include "gpusim/memory_system.hh"
+#include "gpusim/timing_wheel.hh"
 #include "trace/columnar.hh"
 
 namespace sieve::gpusim {
@@ -27,27 +67,54 @@ struct SmStats
     uint64_t ctasCompleted = 0;
 };
 
-/** One simulated streaming multiprocessor. */
+/** One simulated streaming multiprocessor (event-driven). */
 class StreamingMultiprocessor
 {
   public:
+    /** Result of stepping one visited cycle. */
+    struct StepOutcome
+    {
+        bool issued = false;
+        /**
+         * True when some live warp was scoreboard-ready but blocked
+         * on a pipe token or a full MSHR table: the reference's
+         * nextEventAfter(now) returns now + 1 for as long as that
+         * holds, so the driver must advance the visited-cycle chain
+         * one cycle at a time (without re-stepping this SM before
+         * `nextEvent`). Only meaningful when `issued` is false.
+         */
+        bool dense = false;
+        /**
+         * Earliest future cycle at which this SM could issue again;
+         * only meaningful when `issued` is false. When `dense` is
+         * false this matches the reference model's
+         * nextEventAfter(now) exactly.
+         */
+        uint64_t nextEvent = 0;
+    };
+
+    StreamingMultiprocessor() = default;
+
     /**
-     * @param arch architecture parameters
-     * @param memsys the shared L2/DRAM system (not owned)
+     * (Re)bind to an architecture and shared memory system for one
+     * kernel invocation. Cache and wheel storage is retained across
+     * calls; all simulation state resets.
      */
-    StreamingMultiprocessor(const gpu::ArchConfig &arch,
-                            MemorySystem *memsys);
+    void configure(const gpu::ArchConfig *arch, MemorySystem *memsys);
 
-    /** Resident CTA count. */
-    size_t residentCtas() const { return _resident_ctas; }
-
-    /** True while any resident warp has instructions left. */
-    bool busy() const { return _active_warps > 0; }
+    /**
+     * Start a CTA wave at global visited-cycle counter `tick`:
+     * carve structure-of-arrays warp state for up to `warp_capacity`
+     * warps out of `arena` (whose storage must stay valid until
+     * clearResidency()) and arm the lazy token-refill clock so the
+     * first step of the wave replays exactly one refill, as the
+     * reference does.
+     */
+    void beginWave(Arena &arena, size_t warp_capacity, uint64_t tick);
 
     /**
      * Place a decoded CTA's warps on this SM. The instruction spans
-     * must stay valid until clearResidency() (they normally live in
-     * the caller's DecodeArena). @pre there is a free slot
+     * must stay valid until clearResidency(). @pre capacity left
      */
     void assignCta(const trace::DecodedWarp *warps, size_t count);
 
@@ -58,57 +125,58 @@ class StreamingMultiprocessor
     void clearResidency();
 
     /**
-     * Advance one cycle: each scheduler issues at most one warp
-     * instruction, subject to scoreboard, pipe-throughput, and MSHR
-     * constraints.
-     * @return true if at least one instruction issued
+     * Advance one visited cycle: each scheduler issues at most one
+     * warp instruction, subject to scoreboard, pipe-throughput, and
+     * MSHR constraints. `tick` is the global count of visited cycles;
+     * owed token refills since the last step replay first.
      */
-    bool step(uint64_t now);
+    StepOutcome step(uint64_t now, uint64_t tick);
 
-    /**
-     * Earliest future cycle at which any stalled warp could issue
-     * (for fast-forwarding idle stretches). Returns now + 1 when
-     * nothing better is known.
-     */
-    uint64_t nextEventAfter(uint64_t now) const;
+    /** Resident CTA count. */
+    size_t residentCtas() const { return _resident_ctas; }
+
+    /** True while any resident warp has instructions left. */
+    bool busy() const { return _active_warps > 0; }
 
     const SmStats &stats() const { return _stats; }
     const CacheStats &l1Stats() const { return _l1.stats(); }
 
   private:
-    struct WarpContext
-    {
-        const trace::SassInstruction *insts = nullptr;
-        size_t instCount = 0;
-        size_t pc = 0;
-        uint64_t regReady[32] = {};
-        uint64_t stallUntil = 0;
-        /** Instructions left under divergence serialization. */
-        uint32_t divergedFor = 0;
-        /** Replay pass pending for the current instruction. */
-        bool replayPending = false;
-        bool done = true;
-    };
+    bool tryIssue(size_t idx, uint64_t now);
 
-    bool tryIssue(WarpContext &warp, uint64_t now);
-    void retireExpiredMisses(uint64_t now);
-
-    const gpu::ArchConfig &_arch;
-    MemorySystem *_memsys;
+    const gpu::ArchConfig *_arch = nullptr;
+    MemorySystem *_memsys = nullptr;
     Cache _l1;
-    std::vector<WarpContext> _warps;
-    std::vector<uint64_t> _inflight_misses; //!< min-heap of ready times
+    TimingWheel _inflight_misses;
+
+    // Warp state, structure-of-arrays, arena-backed per wave.
+    const trace::SassInstruction **_insts = nullptr;
+    uint64_t *_inst_count = nullptr;
+    uint64_t *_pc = nullptr;
+    uint64_t *_reg_ready = nullptr; //!< 32 per warp
+    uint64_t *_stall_until = nullptr;
+    uint64_t *_hint = nullptr; //!< cached earliest-issue bound
+    uint32_t *_diverged_for = nullptr;
+    uint8_t *_flags = nullptr; //!< bit 0 done, bit 1 replay pending
+    size_t _capacity = 0;
+    size_t _count = 0;
+
     size_t _resident_ctas = 0;
     size_t _active_warps = 0;
     uint32_t _rr_cursor = 0; //!< round-robin scheduling cursor
+    bool _structural_stall = false; //!< see StepOutcome::dense
 
     // Per-cycle issue budgets (token accumulators for sub-1/cycle
-    // throughputs).
+    // throughputs) and the lazy-refill clock.
     double _fp32_tokens = 0.0;
     double _sfu_tokens = 0.0;
     double _mem_tokens = 0.0;
     double _shared_tokens = 0.0;
-    uint64_t _token_cycle = ~0ULL;
+    double _fp32_rate = 0.0;
+    double _sfu_rate = 0.0;
+    double _fp32_cap = 0.0;
+    double _sfu_cap = 0.0;
+    uint64_t _last_tick = 0;
 
     SmStats _stats;
 };

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Bucketed timing wheel for MSHR fill / DRAM return times.
+ *
+ * The SM's outstanding-miss set only ever needs three queries: how
+ * many entries are in flight (structural MSHR bound), drop everything
+ * that has retired by `now`, and the earliest outstanding ready time
+ * (for cycle skipping). A binary heap answers those with branchy
+ * pointer-chasing pops; the wheel answers them with counters in a
+ * power-of-two ring of time slots. Entries beyond the ring's horizon
+ * go to a small overflow list (the population is bounded by the MSHR
+ * count, so the list stays tiny) and migrate into the ring as the
+ * base advances past them.
+ *
+ * Time never moves backwards: advanceTo() must be called with
+ * monotonically non-decreasing `now`, and push() must be at or after
+ * the current base. Both hold in the simulator, where ready times are
+ * always in the future of the issuing cycle.
+ */
+
+#ifndef SIEVE_GPUSIM_TIMING_WHEEL_HH
+#define SIEVE_GPUSIM_TIMING_WHEEL_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace sieve::gpusim {
+
+/** Counting timing wheel over absolute cycle times. */
+class TimingWheel
+{
+  public:
+    /** @param slots ring size; must be a power of two */
+    explicit TimingWheel(size_t slots = 4096)
+    {
+        SIEVE_ASSERT(slots != 0 && (slots & (slots - 1)) == 0,
+                     "wheel slots ", slots, " not a power of two");
+        _mask = slots - 1;
+        _bucket.assign(slots, 0);
+        _overflow.reserve(64);
+    }
+
+    /** Number of outstanding entries. */
+    size_t size() const { return _size; }
+
+    bool empty() const { return _size == 0; }
+
+    /** Insert a ready time. @pre time >= base (no past inserts) */
+    void push(uint64_t time)
+    {
+        SIEVE_ASSERT(time >= _base, "wheel push into the past: ", time,
+                     " < base ", _base);
+        if (time - _base <= _mask) {
+            ++_bucket[time & _mask];
+            ++_in_ring;
+        } else {
+            _overflow.push_back(time);
+        }
+        if (time < _min)
+            _min = time;
+        ++_size;
+    }
+
+    /**
+     * Retire every entry with time <= now and advance the base so
+     * future pushes may land anywhere in (now, now + slots].
+     * @return number of entries retired
+     */
+    size_t advanceTo(uint64_t now)
+    {
+        SIEVE_ASSERT(now + 1 >= _base, "wheel time moved backwards");
+        size_t retired = 0;
+        // Drain ring slots in [base, now]; stop early once the ring
+        // is empty (big skips cross mostly-empty regions).
+        uint64_t stop = _base + _mask < now ? _base + _mask : now;
+        for (uint64_t t = _base; t <= stop && _in_ring > 0; ++t) {
+            uint32_t &b = _bucket[t & _mask];
+            retired += b;
+            _in_ring -= b;
+            b = 0;
+        }
+        _base = now + 1;
+        // Retire overflow entries that are due, and migrate the rest
+        // into the ring if the new base brings them within horizon.
+        for (size_t i = 0; i < _overflow.size();) {
+            uint64_t t = _overflow[i];
+            if (t <= now) {
+                ++retired;
+                _overflow[i] = _overflow.back();
+                _overflow.pop_back();
+            } else if (t - _base <= _mask) {
+                ++_bucket[t & _mask];
+                ++_in_ring;
+                _overflow[i] = _overflow.back();
+                _overflow.pop_back();
+            } else {
+                ++i;
+            }
+        }
+        _size -= retired;
+        if (_size == 0)
+            _min = ~0ULL;
+        else if (_min <= now)
+            _min_dirty = true; // old minimum retired; rescan lazily
+        return retired;
+    }
+
+    /**
+     * Earliest outstanding ready time. @pre !empty()
+     */
+    uint64_t nextReady() const
+    {
+        SIEVE_ASSERT(_size != 0, "nextReady on empty wheel");
+        if (_min_dirty)
+            rescanMin();
+        return _min;
+    }
+
+    /** Drop all entries; keeps capacity. */
+    void clear()
+    {
+        if (_in_ring > 0)
+            std::fill(_bucket.begin(), _bucket.end(), 0u);
+        _overflow.clear();
+        _size = 0;
+        _in_ring = 0;
+        _base = 0;
+        _min = ~0ULL;
+        _min_dirty = false;
+    }
+
+  private:
+    void rescanMin() const
+    {
+        uint64_t best = ~0ULL;
+        if (_in_ring > 0) {
+            for (uint64_t t = _base; t <= _base + _mask; ++t) {
+                if (_bucket[t & _mask] != 0) {
+                    best = t;
+                    break;
+                }
+            }
+            SIEVE_ASSERT(best != ~0ULL, "wheel ring population desynced");
+        }
+        for (uint64_t t : _overflow)
+            best = t < best ? t : best;
+        _min = best;
+        _min_dirty = false;
+    }
+
+    std::vector<uint32_t> _bucket;
+    std::vector<uint64_t> _overflow; //!< times beyond the horizon
+    uint64_t _mask = 0;
+    uint64_t _base = 0; //!< earliest time representable in the ring
+    size_t _size = 0;
+    size_t _in_ring = 0;
+    mutable uint64_t _min = ~0ULL;
+    mutable bool _min_dirty = false;
+};
+
+} // namespace sieve::gpusim
+
+#endif // SIEVE_GPUSIM_TIMING_WHEEL_HH

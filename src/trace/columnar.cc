@@ -363,19 +363,10 @@ toAos(const ColumnarTrace &trace)
 SassInstruction *
 DecodeArena::alloc(size_t n)
 {
-    if (_slab >= _slabs.size() || _slabs[_slab].size() - _used < n) {
-        // Advance to the first retained slab that fits, else grow.
-        ++_slab;
-        while (_slab < _slabs.size() && _slabs[_slab].size() < n)
-            ++_slab;
-        if (_slab >= _slabs.size()) {
-            _slab = _slabs.size();
-            _slabs.emplace_back(std::max(n, kMinSlab));
-        }
-        _used = 0;
-    }
-    SassInstruction *p = _slabs[_slab].data() + _used;
-    _used += n;
+    // Delegates slab management to the shared Arena (common/arena.hh)
+    // so simulator workspaces and decode buffers share one growth
+    // accounting and reuse discipline.
+    SassInstruction *p = _arena.alloc<SassInstruction>(n);
     _allocated += n;
     return p;
 }
@@ -383,18 +374,8 @@ DecodeArena::alloc(size_t n)
 void
 DecodeArena::clear()
 {
-    _slab = 0;
-    _used = 0;
+    _arena.reset();
     _allocated = 0;
-}
-
-size_t
-DecodeArena::capacityBytes() const
-{
-    size_t total = 0;
-    for (const auto &slab : _slabs)
-        total += slab.size() * sizeof(SassInstruction);
-    return total;
 }
 
 std::vector<uint8_t>

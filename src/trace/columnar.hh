@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/error.hh"
 #include "trace/sass_trace.hh"
 
@@ -207,14 +208,17 @@ class DecodeArena
     size_t allocated() const { return _allocated; }
 
     /** Slab bytes owned (high-water, survives clear()). */
-    size_t capacityBytes() const;
+    size_t capacityBytes() const { return _arena.capacityBytes(); }
+
+    /**
+     * Slab allocations performed over this arena's lifetime; flat
+     * across clear()/reuse cycles once warmed (the simulator's
+     * zero-steady-state-allocation contract).
+     */
+    uint64_t growthEvents() const { return _arena.growthEvents(); }
 
   private:
-    static constexpr size_t kMinSlab = 1 << 14; //!< instructions
-
-    std::vector<std::vector<SassInstruction>> _slabs;
-    size_t _slab = 0;      //!< active slab index
-    size_t _used = 0;      //!< instructions used in the active slab
+    Arena _arena; //!< shared slab allocator (common/arena.hh)
     size_t _allocated = 0;
 };
 
