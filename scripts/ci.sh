@@ -3,7 +3,7 @@
 # again under ThreadSanitizer, then the perf-harness smoke, then the
 # observability gate, then the ingestion-robustness gate, then the
 # columnar-trace gate, then the out-of-core gate, then the
-# simulator-core gate.
+# simulator-core gate, then the serving gate.
 #
 #   1. configure + build with -DSIEVE_WERROR=ON (warnings are errors)
 #   2. run the complete ctest suite
@@ -57,6 +57,17 @@
 #      §13); a reference-then-event ledger pair through `sieve runs
 #      regress` at the step-9 bounds; and bench_perf --smoke on the
 #      oracle
+#  11. serving gate: test_serve + test_serve_soak under TSan (the
+#      event loop / pool handoff locking discipline), test_serve +
+#      test_serve_fuzz under ASan+UBSan (>= 200 seeded protocol
+#      mutations per request kind against a live server — zero
+#      crashes or silent corruptions); `sieve bench-serve --smoke`
+#      (fails on served-vs-offline byte identity, never on timing)
+#      with its snapshot validated through `sieve perf-report`; then
+#      a live `sieve serve` at --jobs 1, 4, and 8 whose `sieve call`
+#      responses must be byte-identical to the offline CLI for
+#      evaluate, sample, simulate (minus the wall-clock line), and
+#      trace-stats, with SIGTERM draining to exit 0 (DESIGN.md §14)
 #
 # Build trees: build-ci/ (strict), build-tsan/ and build-asan/
 # (sanitized), kept separate from the developer's build/ so CI never
@@ -67,14 +78,14 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc)}"
 
-echo "=== 1/10: strict build (WERROR) ==="
+echo "=== 1/11: strict build (WERROR) ==="
 cmake -B build-ci -S . -DSIEVE_WERROR=ON -DCMAKE_BUILD_TYPE=Release
 cmake --build build-ci -j "$JOBS"
 
-echo "=== 2/10: test suite ==="
+echo "=== 2/11: test suite ==="
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== 3/10: threaded tests under TSan ==="
+echo "=== 3/11: threaded tests under TSan ==="
 cmake -B build-tsan -S . -DSIEVE_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$JOBS" --target \
@@ -91,11 +102,11 @@ cmake --build build-tsan -j "$JOBS" --target \
 ./build-tsan/tests/test_perf_oracle
 ./build-tsan/tests/test_sim_cache
 
-echo "=== 4/10: perf-harness smoke (determinism + schema) ==="
+echo "=== 4/11: perf-harness smoke (determinism + schema) ==="
 ./build-ci/bench/bench_perf --reps 3 --smoke --jobs 8 \
     --out build-ci/BENCH_SMOKE.json
 
-echo "=== 5/10: observability gate ==="
+echo "=== 5/11: observability gate ==="
 OBS_DIR=build-ci/obs-gate
 rm -rf "$OBS_DIR" && mkdir -p "$OBS_DIR"
 
@@ -121,7 +132,7 @@ echo "obs: trace schema OK"
     "$OBS_DIR/metrics_j1.json" "$OBS_DIR/metrics_j8.json"
 echo "obs: stable counters --jobs-invariant"
 
-echo "=== 6/10: ingestion-robustness gate (ASan+UBSan) ==="
+echo "=== 6/11: ingestion-robustness gate (ASan+UBSan) ==="
 cmake -B build-asan -S . -DSIEVE_SANITIZE=address,undefined \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-asan -j "$JOBS" --target \
@@ -168,7 +179,7 @@ fi
     "$ROB_DIR/sim_j1.json" "$ROB_DIR/sim_j8.json"
 echo "robust: suite.quarantined --jobs-invariant"
 
-echo "=== 7/10: columnar-trace gate (ASan+UBSan) ==="
+echo "=== 7/11: columnar-trace gate (ASan+UBSan) ==="
 cmake --build build-asan -j "$JOBS" --target test_columnar
 
 # Round-trip, tier-eviction, and blob-corruption properties with
@@ -190,7 +201,7 @@ cmp "$COL_DIR/stats_j1.txt" "$COL_DIR/stats_j8.txt"
     "$COL_DIR/stats_j1.json" "$COL_DIR/stats_j8.json"
 echo "columnar: trace-stats output and trace.* --jobs-invariant"
 
-echo "=== 8/10: out-of-core gate (ASan+UBSan) ==="
+echo "=== 8/11: out-of-core gate (ASan+UBSan) ==="
 cmake --build build-asan -j "$JOBS" --target \
     test_io test_shard_store test_streaming
 
@@ -256,7 +267,7 @@ echo "ooc: shard-stats deterministic"
     --ingest-budget-mb 32 --jobs 8 > /dev/null
 echo "ooc: 10x workload streamed under a 32 MiB window"
 
-echo "=== 9/10: telemetry + run-ledger gate ==="
+echo "=== 9/11: telemetry + run-ledger gate ==="
 cmake --build build-tsan -j "$JOBS" --target test_telemetry
 ./build-tsan/tests/test_telemetry
 cmake --build build-asan -j "$JOBS" --target test_telemetry
@@ -347,7 +358,7 @@ fi
     --max-latency-pct 10000000 --max-footprint-pct 200
 echo "telemetry: regression watchdog verdicts correct"
 
-echo "=== 10/10: simulator-core gate ==="
+echo "=== 10/11: simulator-core gate ==="
 cmake --build build-tsan -j "$JOBS" --target test_sim_core
 ./build-tsan/tests/test_sim_core
 cmake --build build-asan -j "$JOBS" --target test_sim_core
@@ -400,6 +411,80 @@ echo "simcore: event engine holds the reference ledger bounds"
 SIEVE_SIM_ENGINE=reference ./build-ci/bench/bench_perf --reps 2 \
     --smoke --jobs 8 --out "$SIM_DIR/bench_smoke_reference.json"
 echo "simcore: perf smoke passes on the reference engine"
+
+echo "=== 11/11: serving gate ==="
+cmake --build build-tsan -j "$JOBS" --target test_serve test_serve_soak
+./build-tsan/tests/test_serve
+./build-tsan/tests/test_serve_soak
+cmake --build build-asan -j "$JOBS" --target test_serve test_serve_fuzz
+./build-asan/tests/test_serve
+./build-asan/tests/test_serve_fuzz
+
+SRV_DIR=build-ci/serve-gate
+rm -rf "$SRV_DIR" && mkdir -p "$SRV_DIR"
+
+# bench-serve smoke: every served response is compared against the
+# offline RequestRunner before any latency is recorded, so the gate
+# fails on byte identity, never on timing; the snapshot must parse
+# back through the history tooling.
+./build-ci/tools/sieve bench-serve --smoke \
+    --out "$SRV_DIR/BENCH_SERVE_SMOKE.json"
+./build-ci/tools/sieve perf-report "$SRV_DIR/BENCH_SERVE_SMOKE.json" \
+    --out "$SRV_DIR/serve_history.jsonl" > /dev/null
+echo "serve: bench-serve smoke OK, snapshot schema OK"
+
+# Live-daemon byte identity: whatever sieved serves must be exactly
+# what the offline CLI prints, at several pool widths (DESIGN.md
+# §14). The simulate comparison strips only the volatile wall-clock
+# line the CLI appends after the shared table.
+./build-ci/tools/sieve trace bfs_ny --out "$SRV_DIR/traces" > /dev/null
+first_trace=$(ls "$SRV_DIR"/traces/*.trace | head -1)
+./build-ci/tools/sieve evaluate bfs_ny --method sieve --arch ampere \
+    --theta 0.4 > "$SRV_DIR/eval_cli.txt"
+(cd "$SRV_DIR" && ../../build-ci/tools/sieve sample bfs_ny \
+    --method sieve --theta 0.4 -o sample_cli.csv > /dev/null)
+./build-ci/tools/sieve simulate "$first_trace" \
+    | sed '/^wall time /d' > "$SRV_DIR/sim_cli.txt"
+
+for j in 1 4 8; do
+    SOCK="$SRV_DIR/sieved_j$j.sock"
+    ./build-ci/tools/sieve serve --socket "$SOCK" --jobs "$j" \
+        2> "$SRV_DIR/serve_j$j.log" &
+    SRV_PID=$!
+    ready=0
+    for _ in $(seq 1 100); do
+        if ./build-ci/tools/sieve call ping ready --socket "$SOCK" \
+            > /dev/null 2>&1; then
+            ready=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "$ready" -ne 1 ]; then
+        echo "serve: daemon at --jobs $j never became ready" >&2
+        exit 1
+    fi
+
+    ./build-ci/tools/sieve call evaluate bfs_ny sieve ampere 0.4 0 \
+        --socket "$SOCK" > "$SRV_DIR/eval_served_j$j.txt"
+    cmp "$SRV_DIR/eval_cli.txt" "$SRV_DIR/eval_served_j$j.txt"
+    ./build-ci/tools/sieve call sample bfs_ny sieve 0.4 0 \
+        --socket "$SOCK" > "$SRV_DIR/sample_served_j$j.csv"
+    cmp "$SRV_DIR/sample_cli.csv" "$SRV_DIR/sample_served_j$j.csv"
+    ./build-ci/tools/sieve call simulate ampere 0 "$first_trace" \
+        --socket "$SOCK" > "$SRV_DIR/sim_served_j$j.txt"
+    cmp "$SRV_DIR/sim_cli.txt" "$SRV_DIR/sim_served_j$j.txt"
+    ./build-ci/tools/sieve call trace-stats 0.4 32 0 0 bfs_ny \
+        --socket "$SOCK" > "$SRV_DIR/ts_served_j$j.csv"
+    ./build-ci/tools/sieve trace-stats bfs_ny --csv --jobs "$j" \
+        > "$SRV_DIR/ts_cli_j$j.csv"
+    cmp "$SRV_DIR/ts_cli_j$j.csv" "$SRV_DIR/ts_served_j$j.csv"
+
+    # Graceful drain: SIGTERM must finish in-flight work and exit 0.
+    kill -TERM "$SRV_PID"
+    wait "$SRV_PID"
+done
+echo "serve: responses byte-identical to the CLI at jobs 1/4/8"
 
 echo
 echo "ci: all gates passed"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Perf-trajectory run: build Release and record the hot-path timings
-# into BENCH_PR9.json at the repo root, plus a per-stage wall-clock
+# into BENCH_PR9.json at the repo root, the sieved request-serving
+# latencies into BENCH_PR10.json, plus a per-stage wall-clock
 # breakdown of a traced suite run into BENCH_STAGES.csv, then
 # consolidate every BENCH_*.json snapshot at the repo root into
 # BENCH_HISTORY.jsonl (one line per snapshot, with the per-op median
@@ -38,6 +39,12 @@ cmake --build build -j "$(nproc)" --target bench_perf bench_fig3_accuracy sieve
 
 ./build/bench/bench_perf --out BENCH_PR9.json "$@"
 echo "perf: wrote $(pwd)/BENCH_PR9.json"
+
+# Serving-path latency (request round-trips through sieved over
+# AF_UNIX): p50/p95 per request kind, with every served response
+# checked against the offline computation before it is timed.
+./build/tools/sieve bench-serve --out BENCH_PR10.json
+echo "perf: wrote $(pwd)/BENCH_PR10.json"
 
 TRACE=build/perf_stage_trace.json
 # Fixed --jobs 8 so the breakdown includes the pool stage even on

@@ -1,0 +1,104 @@
+#include "eval/render.hh"
+
+namespace sieve::eval {
+
+Report
+evaluationReport(const std::string &method, const std::string &suite,
+                 const std::string &name,
+                 const sampling::MethodEvaluation &eval)
+{
+    Report report("Evaluation: " + method + " on " + suite + "/" +
+                  name);
+    report.setColumns({"metric", "value"});
+    report.addRow({"representatives",
+                   std::to_string(eval.numRepresentatives)});
+    report.addRow({"predicted cycles",
+                   Report::count(eval.predictedCycles)});
+    report.addRow({"measured cycles",
+                   Report::count(eval.measuredCycles)});
+    report.addRow({"error", Report::percent(eval.error, 2)});
+    report.addRow({"simulation speedup", Report::times(eval.speedup)});
+    report.addRow({"intra-cluster cycle CoV",
+                   Report::num(eval.weightedClusterCov)});
+    return report;
+}
+
+Report
+simulationReport(const trace::KernelTrace &kt,
+                 const gpusim::KernelSimResult &result)
+{
+    Report report("Simulation: " + kt.kernelName + " invocation " +
+                  std::to_string(kt.invocationId));
+    report.setColumns({"metric", "value"});
+    report.addRow({"traced instructions",
+                   Report::count(static_cast<double>(
+                       result.instructionsSimulated))});
+    report.addRow({"slice cycles",
+                   Report::count(
+                       static_cast<double>(result.simCycles))});
+    report.addRow({"estimated kernel cycles",
+                   Report::count(result.estimatedKernelCycles)});
+    report.addRow({"estimated IPC",
+                   Report::num(result.estimatedIpc)});
+    report.addRow({"L1 hit rate",
+                   Report::percent(result.l1.hitRate())});
+    report.addRow({"L2 hit rate",
+                   Report::percent(result.l2.hitRate())});
+    report.addRow({"DRAM bytes",
+                   Report::count(
+                       static_cast<double>(result.dram.bytes))});
+    if (result.pkpStoppedEarly) {
+        report.addRow({"PKP simulated fraction",
+                       Report::percent(result.fractionSimulated)});
+    }
+    return report;
+}
+
+CsvTable
+representativesCsv(const trace::Workload &wl,
+                   const sampling::SamplingResult &result)
+{
+    CsvTable table({"stratum", "kernel", "invocation", "tier",
+                    "members", "weight", "cta_size",
+                    "instruction_count"});
+    for (size_t s = 0; s < result.strata.size(); ++s) {
+        const auto &stratum = result.strata[s];
+        const auto &inv = wl.invocation(stratum.representative);
+        table.addRow({
+            std::to_string(s),
+            stratum.kernelId == sampling::Stratum::kNoKernel
+                ? std::string("-")
+                : wl.kernel(stratum.kernelId).name,
+            std::to_string(stratum.representative),
+            sampling::tierName(stratum.tier),
+            std::to_string(stratum.members.size()),
+            Report::num(stratum.weight, 8),
+            std::to_string(inv.launch.ctaSize()),
+            std::to_string(inv.instructions()),
+        });
+    }
+    return table;
+}
+
+CsvTable
+traceStatsCsv(const std::vector<WorkloadTraceStats> &rows)
+{
+    CsvTable table({"workload", "strata", "instructions", "aos_bytes",
+                    "columnar_bytes", "blob_bytes", "bytes_per_inst",
+                    "dict_entries", "hot", "cold"});
+    for (const auto &row : rows) {
+        const auto &s = row.stats;
+        table.addRow({row.name, std::to_string(s.strata),
+                      std::to_string(s.instructions),
+                      std::to_string(s.aosBytes),
+                      std::to_string(s.columnarBytes),
+                      std::to_string(s.blobBytes),
+                      Report::num(s.bytesPerInstruction(), 3),
+                      std::to_string(s.dictionaryEntries),
+                      std::to_string(s.hotTraces),
+                      std::to_string(s.coldTraces)});
+    }
+    return table;
+}
+
+} // namespace sieve::eval

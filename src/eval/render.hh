@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared result renderers for the CLI and the serving layer.
+ *
+ * `sieved` promises that a served response is byte-identical to the
+ * stdout of the equivalent CLI invocation (DESIGN.md §14). The only
+ * way to keep that promise cheap is to make it true by construction:
+ * both sides build their tables through the functions here, the CLI
+ * prints them with Report::print() and the server ships
+ * Report::toString() over the wire.
+ */
+
+#ifndef SIEVE_EVAL_RENDER_HH
+#define SIEVE_EVAL_RENDER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "eval/report.hh"
+#include "eval/suite_runner.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "sampling/evaluation.hh"
+#include "sampling/sample.hh"
+#include "trace/sass_trace.hh"
+#include "trace/workload.hh"
+
+namespace sieve::eval {
+
+/** The "Evaluation: ..." table printed by `sieve evaluate`. */
+Report evaluationReport(const std::string &method,
+                        const std::string &suite,
+                        const std::string &name,
+                        const sampling::MethodEvaluation &eval);
+
+/**
+ * The per-trace "Simulation: ..." table printed by `sieve simulate`
+ * with one file. Excludes the wall-time line — that is volatile
+ * timing, which the CLI prints separately after the table and CI
+ * strips before comparing outputs.
+ */
+Report simulationReport(const trace::KernelTrace &kt,
+                        const gpusim::KernelSimResult &result);
+
+/** The representative-selection CSV written by `sieve sample`. */
+CsvTable representativesCsv(const trace::Workload &wl,
+                            const sampling::SamplingResult &result);
+
+/** The per-workload census CSV of `sieve trace-stats --csv`. */
+CsvTable traceStatsCsv(const std::vector<WorkloadTraceStats> &rows);
+
+} // namespace sieve::eval
+
+#endif // SIEVE_EVAL_RENDER_HH

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/csv.hh"
 #include "common/logging.hh"
@@ -85,7 +86,12 @@ Report::print() const
         else
             warn("cannot write report CSV to ", path);
     }
+    render(std::cout);
+}
 
+void
+Report::render(std::ostream &os) const
+{
     std::vector<size_t> widths(_headers.size());
     for (size_t c = 0; c < _headers.size(); ++c)
         widths[c] = _headers[c].size();
@@ -98,13 +104,13 @@ Report::print() const
     for (size_t w : widths)
         total += w + 2;
 
-    auto rule = [&] { std::cout << std::string(total, '-') << '\n'; };
+    auto rule = [&] { os << std::string(total, '-') << '\n'; };
 
-    std::cout << '\n' << _title << '\n';
+    os << '\n' << _title << '\n';
     rule();
     for (size_t c = 0; c < _headers.size(); ++c)
-        std::cout << padRight(_headers[c], widths[c]) << "  ";
-    std::cout << '\n';
+        os << padRight(_headers[c], widths[c]) << "  ";
+    os << '\n';
     rule();
     for (const auto &row : _rows) {
         if (row.empty()) {
@@ -114,13 +120,21 @@ Report::print() const
         for (size_t c = 0; c < row.size(); ++c) {
             // Left-justify the first (label) column, right-justify
             // numeric columns.
-            std::cout << (c == 0 ? padRight(row[c], widths[c])
-                                 : padLeft(row[c], widths[c]))
-                      << "  ";
+            os << (c == 0 ? padRight(row[c], widths[c])
+                          : padLeft(row[c], widths[c]))
+               << "  ";
         }
-        std::cout << '\n';
+        os << '\n';
     }
     rule();
+}
+
+std::string
+Report::toString() const
+{
+    std::ostringstream os;
+    render(os);
+    return os.str();
 }
 
 std::string

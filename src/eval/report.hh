@@ -48,6 +48,17 @@ class Report
      */
     void print() const;
 
+    /**
+     * Render the table to a stream — exactly the bytes print() sends
+     * to stdout. The serving layer answers requests with this, which
+     * is how a served response stays byte-identical to the
+     * equivalent CLI invocation (DESIGN.md §14).
+     */
+    void render(std::ostream &os) const;
+
+    /** render() into a string. */
+    std::string toString() const;
+
     /** Write the table as CSV (rule rows are skipped). */
     void writeCsv(std::ostream &os) const;
 

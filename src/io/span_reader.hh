@@ -31,14 +31,28 @@
 
 namespace sieve::io {
 
+/**
+ * Whether a reader's failures are counted into the Stable
+ * `ingest.errors.*` metrics. The ingestion parsers count (their error
+ * totals are part of the CI jobs-invariance surface); other binary
+ * surfaces built on the same reader — the serve protocol decoder —
+ * construct their Errors directly so a malformed network frame never
+ * perturbs the ingestion counters.
+ */
+enum class ErrorCounting : uint8_t {
+    Ingest,    //!< fail() routes through ingestError()
+    Uncounted, //!< fail() builds the Error without counting
+};
+
 /** Bounds-checked binary cursor over `[data, data + size)`. */
 class SpanReader
 {
   public:
     SpanReader(const uint8_t *data, size_t size,
-               const std::string &source, size_t base_offset = 0)
+               const std::string &source, size_t base_offset = 0,
+               ErrorCounting counting = ErrorCounting::Ingest)
         : _data(data), _size(size), _source(source),
-          _base(base_offset)
+          _base(base_offset), _counting(counting)
     {
     }
 
@@ -93,9 +107,15 @@ class SpanReader
     void
     fail(ErrorKind kind, std::string message)
     {
-        if (!_error)
+        if (_error)
+            return;
+        if (_counting == ErrorCounting::Ingest) {
             _error = ingestError(kind, std::move(message), _source, 0,
                                  offset());
+        } else {
+            _error = Error{kind, std::move(message), _source, 0,
+                           offset()};
+        }
     }
 
   private:
@@ -104,6 +124,7 @@ class SpanReader
     size_t _pos = 0;
     std::string _source;
     size_t _base = 0;
+    ErrorCounting _counting = ErrorCounting::Ingest;
     std::optional<Error> _error;
 };
 

@@ -1,0 +1,270 @@
+#include "serve/bench_serve.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "eval/report.hh"
+#include "obs/metrics.hh"
+#include "obs/percentile.hh"
+#include "sampling/rep_traces.hh"
+#include "sampling/sieve.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/runner.hh"
+#include "serve/server.hh"
+#include "trace/columnar.hh"
+#include "trace/sass_trace.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::serve {
+
+namespace {
+
+/** One scheduled operation: its bench label and the exact bytes. */
+struct BenchOp
+{
+    std::string name;
+    RequestKind kind = RequestKind::Ping;
+    std::string payload;
+    std::string expected; //!< ground-truth Ok response bytes
+};
+
+std::string
+scratchSocketPath()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    std::string dir = tmp && *tmp ? tmp : "/tmp";
+    return dir + "/sieve-bench-serve-" +
+           std::to_string(static_cast<long>(::getpid())) + ".sock";
+}
+
+/** Serialize one representative trace of `workload` for simulate. */
+std::string
+traceBytesFor(const workloads::WorkloadSpec &spec)
+{
+    trace::Workload wl = workloads::generateWorkload(spec);
+    sampling::SieveSampler sampler({0.4});
+    sampling::SamplingResult result = sampler.sample(wl);
+    sampling::RepresentativeTraces reps(wl, result);
+    trace::TraceHandle::Pin pin = reps.handle(0).pin();
+    trace::KernelTrace kt = trace::toAos(*pin);
+    std::ostringstream os;
+    trace::writeTrace(kt, os);
+    return os.str();
+}
+
+/** The fixed mixed-request schedule every client thread cycles. */
+Expected<std::vector<BenchOp>>
+buildSchedule(bool smoke)
+{
+    const std::string workload = "gru";
+    const std::string cap = smoke ? "300" : "800";
+    std::optional<workloads::WorkloadSpec> spec = workloads::findSpec(
+        workload, static_cast<size_t>(std::stoul(cap)));
+    if (!spec) {
+        return Error{ErrorKind::Validation,
+                     "bench workload '" + workload +
+                         "' missing from the registry",
+                     "bench-serve"};
+    }
+
+    std::vector<BenchOp> ops;
+    ops.push_back({"serve.ping", RequestKind::Ping, "bench", {}});
+    ops.push_back({"serve.sample", RequestKind::Sample,
+                   encodeFields({workload, "sieve", "0.4", cap}),
+                   {}});
+    ops.push_back(
+        {"serve.evaluate", RequestKind::Evaluate,
+         encodeFields({workload, "sieve", "ampere", "0.4", cap}),
+         {}});
+    ops.push_back({"serve.simulate", RequestKind::Simulate,
+                   encodeFields({"ampere", "0",
+                                 traceBytesFor(spec.value())}),
+                   {}});
+    ops.push_back({"serve.trace-stats", RequestKind::TraceStats,
+                   encodeFields({"0.4", "16", "0", cap, workload}),
+                   {}});
+
+    // Ground truth: the same payloads through an offline runner. The
+    // served responses must match these byte-for-byte at any --jobs.
+    RequestRunner ground({/*jobs=*/1});
+    for (BenchOp &op : ops) {
+        Expected<std::string> r = ground.handle(op.kind, op.payload);
+        if (!r.ok())
+            return r.error();
+        op.expected = std::move(r).value();
+    }
+    return ops;
+}
+
+} // namespace
+
+int
+runBenchServe(const BenchServeOptions &options)
+{
+    using Clock = std::chrono::steady_clock;
+
+    BenchServeOptions opts = options;
+    if (opts.smoke) {
+        opts.connections = std::min<size_t>(opts.connections, 2);
+        opts.requests = std::min<size_t>(opts.requests, 10);
+    }
+    if (opts.connections == 0 || opts.requests == 0) {
+        std::fprintf(stderr,
+                     "bench-serve: connections and requests must be "
+                     "positive\n");
+        return 1;
+    }
+
+    Expected<std::vector<BenchOp>> schedule =
+        buildSchedule(opts.smoke);
+    if (!schedule.ok()) {
+        std::fprintf(stderr, "bench-serve: %s\n",
+                     schedule.error().toString().c_str());
+        return 1;
+    }
+    const std::vector<BenchOp> &ops = schedule.value();
+
+    ServerConfig config;
+    config.socketPath = opts.socketPath.empty() ? scratchSocketPath()
+                                                : opts.socketPath;
+    config.jobs = opts.jobs;
+    config.maxQueue = opts.connections * 8 + 8;
+    config.perClientQuota = 8;
+    Server server(config);
+    Expected<void> started = server.start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "bench-serve: %s\n",
+                     started.error().toString().c_str());
+        return 1;
+    }
+    std::thread loop([&server] { server.run(); });
+
+    // Per-op latency buckets, merged across threads after the join;
+    // quantiles come out of the shared PR 8 bucket walk so the bench
+    // reports the same estimator the in-server histogram publishes.
+    std::mutex merge_mu;
+    std::vector<std::vector<uint64_t>> buckets(
+        ops.size(),
+        std::vector<uint64_t>(obs::Histogram::kBuckets, 0));
+    std::vector<uint64_t> counts(ops.size(), 0);
+    std::atomic<size_t> mismatches{0};
+    std::string firstMismatch;
+
+    auto worker = [&](size_t client) {
+        std::vector<std::vector<uint64_t>> local(
+            ops.size(),
+            std::vector<uint64_t>(obs::Histogram::kBuckets, 0));
+        std::vector<uint64_t> localCounts(ops.size(), 0);
+        Expected<ServeClient> conn =
+            ServeClient::connect(config.socketPath);
+        if (!conn.ok()) {
+            std::lock_guard<std::mutex> lock(merge_mu);
+            if (firstMismatch.empty())
+                firstMismatch = conn.error().toString();
+            mismatches.fetch_add(1);
+            return;
+        }
+        ServeClient &client_conn = conn.value();
+        for (size_t i = 0; i < opts.requests; ++i) {
+            size_t idx = (client + i) % ops.size();
+            const BenchOp &op = ops[idx];
+            Clock::time_point t0 = Clock::now();
+            Expected<ServeClient::Response> reply =
+                client_conn.call(op.kind, op.payload);
+            uint64_t ns = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - t0)
+                    .count());
+            bool ok = reply.ok() &&
+                      reply.value().status == ResponseStatus::Ok &&
+                      reply.value().payload == op.expected;
+            if (!ok) {
+                std::lock_guard<std::mutex> lock(merge_mu);
+                if (firstMismatch.empty()) {
+                    firstMismatch =
+                        op.name + ": " +
+                        (reply.ok() ? "response differs from the "
+                                      "offline ground truth"
+                                    : reply.error().toString());
+                }
+                mismatches.fetch_add(1);
+                return;
+            }
+            local[idx][obs::Histogram::bucketFor(ns)] += 1;
+            localCounts[idx] += 1;
+        }
+        std::lock_guard<std::mutex> lock(merge_mu);
+        for (size_t op = 0; op < ops.size(); ++op) {
+            counts[op] += localCounts[op];
+            for (size_t b = 0; b < local[op].size(); ++b)
+                buckets[op][b] += local[op][b];
+        }
+    };
+
+    std::vector<std::thread> clients;
+    clients.reserve(opts.connections);
+    for (size_t c = 0; c < opts.connections; ++c)
+        clients.emplace_back(worker, c);
+    for (std::thread &t : clients)
+        t.join();
+
+    server.requestShutdown();
+    loop.join();
+
+    if (mismatches.load() != 0) {
+        std::fprintf(stderr,
+                     "bench-serve: %zu request(s) failed the "
+                     "determinism check; first: %s\n",
+                     mismatches.load(), firstMismatch.c_str());
+        return 1;
+    }
+
+    std::ofstream out(opts.out);
+    if (!out) {
+        std::fprintf(stderr, "bench-serve: cannot write %s\n",
+                     opts.out.c_str());
+        return 1;
+    }
+    out << "{\n"
+        << "  \"bench\": \"bench_serve\",\n"
+        << "  \"schema\": 6,\n"
+        << "  \"jobs\": " << opts.jobs << ",\n"
+        << "  \"connections\": " << opts.connections << ",\n"
+        << "  \"requests_per_connection\": " << opts.requests
+        << ",\n"
+        << "  \"smoke\": " << (opts.smoke ? "true" : "false")
+        << ",\n"
+        << "  \"results\": [\n";
+    eval::Report table("bench-serve latency (ns)");
+    table.setColumns({"op", "n", "p50", "p95"});
+    for (size_t op = 0; op < ops.size(); ++op) {
+        obs::Quantiles q = obs::summarizeBuckets(buckets[op]);
+        out << "    {\"op\": \"" << ops[op].name << "\", \"n\": "
+            << counts[op] << ", \"reps\": 1, \"median_ns\": "
+            << static_cast<uint64_t>(q.p50) << ", \"p50_ns\": "
+            << static_cast<uint64_t>(q.p50) << ", \"p95_ns\": "
+            << static_cast<uint64_t>(q.p95) << "}"
+            << (op + 1 < ops.size() ? "," : "") << "\n";
+        table.addRow({ops[op].name, eval::Report::count(counts[op]),
+                   eval::Report::count(static_cast<uint64_t>(q.p50)),
+                   eval::Report::count(
+                       static_cast<uint64_t>(q.p95))});
+    }
+    out << "  ]\n}\n";
+    out.close();
+    table.print();
+    std::printf("wrote %s\n", opts.out.c_str());
+    return 0;
+}
+
+} // namespace sieve::serve

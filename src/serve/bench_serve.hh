@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Closed-loop load generator for sieved (`sieve bench-serve`).
+ *
+ * Spins up an in-process server on a scratch socket, fans N client
+ * threads over a fixed mixed-request schedule, and records
+ * per-operation latency through the PR 8 fixed-bucket histogram
+ * machinery (Histogram::bucketFor + summarizeBuckets -> p50/p95).
+ * Every Ok response is compared byte-for-byte against the ground
+ * truth a local RequestRunner computes for the same payload, so the
+ * bench doubles as a determinism gate: a run with any response
+ * mismatch exits non-zero and writes nothing.
+ *
+ * Results land in BENCH_PR10.json in the bench-snapshot schema
+ * consumed by `sieve perf-report` / obs::parseBenchSnapshot.
+ */
+
+#ifndef SIEVE_SERVE_BENCH_SERVE_HH
+#define SIEVE_SERVE_BENCH_SERVE_HH
+
+#include <cstddef>
+#include <string>
+
+namespace sieve::serve {
+
+struct BenchServeOptions
+{
+    size_t connections = 4;  //!< concurrent client threads
+    size_t requests = 25;    //!< closed-loop requests per thread
+    size_t jobs = 0;         //!< server pool workers (0 = default)
+    bool smoke = false;      //!< CI mode: smaller workload + load
+    std::string out = "BENCH_PR10.json";
+    std::string socketPath;  //!< empty = scratch path in TMPDIR
+};
+
+/** Run the bench; 0 on success, 1 on any response mismatch. */
+int runBenchServe(const BenchServeOptions &options);
+
+} // namespace sieve::serve
+
+#endif // SIEVE_SERVE_BENCH_SERVE_HH

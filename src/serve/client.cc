@@ -1,0 +1,171 @@
+#include "serve/client.hh"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace sieve::serve {
+
+namespace {
+
+Error
+ioError(std::string message, const std::string &source)
+{
+    return Error{ErrorKind::Io, std::move(message), source};
+}
+
+} // namespace
+
+ServeClient::~ServeClient()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+ServeClient::ServeClient(ServeClient &&other) noexcept
+    : _fd(std::exchange(other._fd, -1)),
+      _parser(std::move(other._parser))
+{
+}
+
+ServeClient &
+ServeClient::operator=(ServeClient &&other) noexcept
+{
+    if (this != &other) {
+        if (_fd >= 0)
+            ::close(_fd);
+        _fd = std::exchange(other._fd, -1);
+        _parser = std::move(other._parser);
+    }
+    return *this;
+}
+
+Expected<ServeClient>
+ServeClient::connect(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        return Error{ErrorKind::Validation,
+                     "socket path too long", path};
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        return ioError(std::string("socket: ") +
+                           std::strerror(errno),
+                       path);
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        int saved = errno;
+        ::close(fd);
+        return ioError(std::string("connect: ") +
+                           std::strerror(saved),
+                       path);
+    }
+    ServeClient client;
+    client._fd = fd;
+    return client;
+}
+
+Expected<void>
+ServeClient::sendRequest(RequestKind kind, std::string_view payload)
+{
+    return sendBytes(encodeRequest(kind, payload));
+}
+
+Expected<void>
+ServeClient::sendBytes(std::string_view bytes)
+{
+    if (_fd < 0)
+        return ioError("send on a closed client", "client");
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(_fd, bytes.data() + sent,
+                           bytes.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return ioError(std::string("send: ") +
+                               std::strerror(errno),
+                           "client");
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return {};
+}
+
+void
+ServeClient::shutdownWrite()
+{
+    if (_fd >= 0)
+        ::shutdown(_fd, SHUT_WR);
+}
+
+void
+ServeClient::setReceiveTimeoutMs(int timeout_ms)
+{
+    if (_fd < 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+Expected<ServeClient::Response>
+ServeClient::receive()
+{
+    if (_fd < 0)
+        return ioError("receive on a closed client", "client");
+    char buf[64 * 1024];
+    while (true) {
+        Expected<std::optional<Frame>> next = _parser.next();
+        if (!next.ok())
+            return next.error();
+        if (next.value().has_value()) {
+            Response response;
+            response.status = static_cast<ResponseStatus>(
+                next.value()->kind);
+            response.payload = std::move(next.value()->payload);
+            return response;
+        }
+        ssize_t n = ::recv(_fd, buf, sizeof(buf), 0);
+        if (n == 0) {
+            return ioError(
+                "server closed the connection before a complete "
+                "response",
+                "client");
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                return ioError("timed out waiting for a response",
+                               "client");
+            }
+            return ioError(std::string("recv: ") +
+                               std::strerror(errno),
+                           "client");
+        }
+        _parser.feed(buf, static_cast<size_t>(n));
+    }
+}
+
+Expected<ServeClient::Response>
+ServeClient::call(RequestKind kind, std::string_view payload)
+{
+    Expected<void> sent = sendRequest(kind, payload);
+    if (!sent.ok())
+        return sent.error();
+    return receive();
+}
+
+} // namespace sieve::serve

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Blocking client for the sieved protocol: `sieve call`, the bench
+ * load generator, and the conformance/fuzz tests all speak through
+ * this, so every byte that reaches a server in the tree was framed
+ * by the same encoder the server decodes with.
+ */
+
+#ifndef SIEVE_SERVE_CLIENT_HH
+#define SIEVE_SERVE_CLIENT_HH
+
+#include <string>
+#include <string_view>
+
+#include "common/error.hh"
+#include "serve/protocol.hh"
+
+namespace sieve::serve {
+
+/** One AF_UNIX connection to a sieved instance. */
+class ServeClient
+{
+  public:
+    /** One response frame, decoded. */
+    struct Response
+    {
+        ResponseStatus status = ResponseStatus::Ok;
+        std::string payload;
+    };
+
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+    ServeClient(ServeClient &&other) noexcept;
+    ServeClient &operator=(ServeClient &&other) noexcept;
+
+    /** Connect to a listening socket path. */
+    static Expected<ServeClient> connect(const std::string &path);
+
+    bool connected() const { return _fd >= 0; }
+    int fd() const { return _fd; }
+
+    /** Frame and send one request. */
+    Expected<void> sendRequest(RequestKind kind,
+                               std::string_view payload);
+
+    /** Send raw pre-framed bytes (the fuzzers' mutated frames). */
+    Expected<void> sendBytes(std::string_view bytes);
+
+    /** Half-close: no more requests, responses still readable. */
+    void shutdownWrite();
+
+    /**
+     * Bound every subsequent receive() by a socket timeout; an
+     * expiry reports an IoError ("timed out"). How the fuzz sweep
+     * distinguishes a slow server from a silently dead one.
+     */
+    void setReceiveTimeoutMs(int timeout_ms);
+
+    /**
+     * Block until one full response frame arrives. EOF before a
+     * complete frame is an IoError — a server that disconnects
+     * without replying fails the conformance suite through exactly
+     * this path.
+     */
+    Expected<Response> receive();
+
+    /** sendRequest + receive. */
+    Expected<Response> call(RequestKind kind,
+                            std::string_view payload);
+
+  private:
+    int _fd = -1;
+    FrameParser _parser{kResponseMagic, "server response"};
+};
+
+} // namespace sieve::serve
+
+#endif // SIEVE_SERVE_CLIENT_HH

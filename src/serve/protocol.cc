@@ -1,0 +1,262 @@
+#include "serve/protocol.hh"
+
+#include <cstring>
+
+#include "common/strings.hh"
+#include "io/span_reader.hh"
+
+namespace sieve::serve {
+
+bool
+knownRequestKind(uint16_t kind)
+{
+    return kind <= static_cast<uint16_t>(RequestKind::TraceStats);
+}
+
+const char *
+requestKindName(RequestKind kind)
+{
+    switch (kind) {
+    case RequestKind::Ping:
+        return "ping";
+    case RequestKind::Stats:
+        return "stats";
+    case RequestKind::Sample:
+        return "sample";
+    case RequestKind::Evaluate:
+        return "evaluate";
+    case RequestKind::Simulate:
+        return "simulate";
+    case RequestKind::TraceStats:
+        return "trace-stats";
+    }
+    return "unknown";
+}
+
+uint64_t
+fnv1a64(const void *data, size_t size)
+{
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    uint64_t hash = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+namespace {
+
+template <typename T>
+void
+appendLe(std::string &out, T value)
+{
+    static_assert(std::is_unsigned_v<T>);
+    for (size_t i = 0; i < sizeof(T); ++i)
+        out.push_back(
+            static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+std::string
+toHex(uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    do {
+        out.insert(out.begin(), digits[value & 0xf]);
+        value >>= 4;
+    } while (value != 0);
+    return out;
+}
+
+} // namespace
+
+std::string
+encodeFrame(uint32_t magic, uint16_t kind, std::string_view payload)
+{
+    SIEVE_ASSERT(payload.size() <= kMaxPayloadBytes,
+                 "frame payload exceeds protocol limit");
+    std::string out;
+    out.reserve(kHeaderBytes + payload.size());
+    appendLe(out, magic);
+    appendLe(out, kProtocolVersion);
+    appendLe(out, kind);
+    appendLe(out, static_cast<uint32_t>(payload.size()));
+    appendLe(out, fnv1a64(payload.data(), payload.size()));
+    out.append(payload);
+    return out;
+}
+
+std::string
+encodeFields(const std::vector<std::string> &fields)
+{
+    SIEVE_ASSERT(fields.size() <= 0xffff, "too many request fields");
+    std::string out;
+    appendLe(out, static_cast<uint16_t>(fields.size()));
+    for (const std::string &field : fields) {
+        SIEVE_ASSERT(field.size() <= kMaxPayloadBytes,
+                     "request field exceeds protocol limit");
+        appendLe(out, static_cast<uint32_t>(field.size()));
+        out.append(field);
+    }
+    return out;
+}
+
+Expected<std::vector<std::string>>
+decodeFields(std::string_view payload, const std::string &source)
+{
+    io::SpanReader reader(
+        reinterpret_cast<const uint8_t *>(payload.data()),
+        payload.size(), source, 0, io::ErrorCounting::Uncounted);
+    uint16_t count = reader.read<uint16_t>("field count");
+    std::vector<std::string> fields;
+    for (uint16_t i = 0; i < count && !reader.failed(); ++i) {
+        uint32_t len = reader.read<uint32_t>("field length");
+        if (reader.failed())
+            break;
+        if (len > reader.remaining()) {
+            reader.fail(ErrorKind::Parse,
+                        "field length " + std::to_string(len) +
+                            " overruns the payload");
+            break;
+        }
+        std::string field(len, '\0');
+        reader.readBytes(field.data(), len, "field bytes");
+        fields.push_back(std::move(field));
+    }
+    if (reader.failed())
+        return reader.takeError();
+    if (!reader.atEnd()) {
+        reader.fail(ErrorKind::Parse,
+                    std::to_string(reader.remaining()) +
+                        " trailing byte(s) after the last field");
+        return reader.takeError();
+    }
+    return fields;
+}
+
+std::string
+encodeError(const Error &error)
+{
+    return encodeFields({errorKindName(error.kind), error.message,
+                         error.source, std::to_string(error.line),
+                         error.byteOffset == Error::kNoOffset
+                             ? std::string("-")
+                             : std::to_string(error.byteOffset)});
+}
+
+Expected<WireError>
+decodeError(std::string_view payload)
+{
+    Expected<std::vector<std::string>> fields =
+        decodeFields(payload, "error response");
+    if (!fields.ok())
+        return fields.error();
+    if (fields.value().size() != 5) {
+        return Error{ErrorKind::Parse,
+                     "error response carries " +
+                         std::to_string(fields.value().size()) +
+                         " field(s), expected 5",
+                     "error response"};
+    }
+    const std::vector<std::string> &f = fields.value();
+    Error error;
+    error.kind = ErrorKind::Parse;
+    for (ErrorKind kind :
+         {ErrorKind::Parse, ErrorKind::Io, ErrorKind::Validation,
+          ErrorKind::Sim}) {
+        if (f[0] == errorKindName(kind))
+            error.kind = kind;
+    }
+    error.message = f[1];
+    error.source = f[2];
+    uint64_t line = 0;
+    if (parseUint64(f[3], line) == NumericParse::Ok)
+        error.line = static_cast<size_t>(line);
+    uint64_t offset = 0;
+    if (f[4] != "-" && parseUint64(f[4], offset) == NumericParse::Ok)
+        error.byteOffset = static_cast<size_t>(offset);
+    return WireError{std::move(error)};
+}
+
+void
+FrameParser::feed(const void *data, size_t size)
+{
+    // Compact the consumed prefix before growing; a long-lived
+    // connection otherwise accumulates every frame it ever received.
+    if (_consumed > 0 && _consumed == _buffer.size()) {
+        _streamBase += _consumed;
+        _buffer.clear();
+        _consumed = 0;
+    }
+    _buffer.append(static_cast<const char *>(data), size);
+}
+
+Expected<std::optional<Frame>>
+FrameParser::next()
+{
+    if (_error)
+        return *_error;
+    size_t available = _buffer.size() - _consumed;
+    if (available < kHeaderBytes)
+        return std::optional<Frame>{};
+
+    const uint8_t *head = reinterpret_cast<const uint8_t *>(
+        _buffer.data() + _consumed);
+    io::SpanReader reader(head, kHeaderBytes, _source,
+                          _streamBase + _consumed,
+                          io::ErrorCounting::Uncounted);
+    uint32_t magic = reader.read<uint32_t>("frame magic");
+    uint16_t version = reader.read<uint16_t>("frame version");
+    uint16_t kind = reader.read<uint16_t>("frame kind");
+    uint32_t length = reader.read<uint32_t>("payload length");
+    uint64_t checksum = reader.read<uint64_t>("payload checksum");
+    SIEVE_ASSERT(!reader.failed(), "fixed header short-read");
+
+    if (magic != _magic) {
+        _error = Error{ErrorKind::Parse,
+                       "bad frame magic 0x" + toHex(magic), _source,
+                       0, _streamBase + _consumed};
+        return *_error;
+    }
+    if (version != kProtocolVersion) {
+        _error = Error{ErrorKind::Parse,
+                       "unsupported protocol version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kProtocolVersion) + ")",
+                       _source, 0, _streamBase + _consumed + 4};
+        return *_error;
+    }
+    if (length > kMaxPayloadBytes) {
+        _error = Error{ErrorKind::Validation,
+                       "payload length " + std::to_string(length) +
+                           " exceeds the " +
+                           std::to_string(kMaxPayloadBytes) +
+                           "-byte frame limit",
+                       _source, 0, _streamBase + _consumed + 8};
+        return *_error;
+    }
+    if (available < kHeaderBytes + length)
+        return std::optional<Frame>{};
+
+    std::string_view payload(_buffer.data() + _consumed +
+                                 kHeaderBytes,
+                             length);
+    uint64_t actual = fnv1a64(payload.data(), payload.size());
+    if (actual != checksum) {
+        _error = Error{ErrorKind::Validation,
+                       "payload checksum mismatch (header 0x" +
+                           toHex(checksum) + ", payload 0x" +
+                           toHex(actual) + ")",
+                       _source, 0, _streamBase + _consumed + 12};
+        return *_error;
+    }
+
+    Frame frame;
+    frame.kind = kind;
+    frame.payload.assign(payload);
+    _consumed += kHeaderBytes + length;
+    return std::optional<Frame>{std::move(frame)};
+}
+
+} // namespace sieve::serve

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The sieved wire protocol: length-prefixed, checksummed frames.
+ *
+ * One frame is a fixed 20-byte little-endian header followed by the
+ * payload (DESIGN.md §14):
+ *
+ *   offset  size  field
+ *        0     4  magic      "SVRQ" (request) / "SVRS" (response)
+ *        4     2  version    kProtocolVersion
+ *        6     2  kind       RequestKind / ResponseStatus
+ *        8     4  length     payload bytes, <= kMaxPayloadBytes
+ *       12     8  checksum   FNV-1a64 over the payload bytes
+ *
+ * Request payloads (except Ping, whose payload is echoed verbatim)
+ * are a field list: u16 count, then per field u32 length + bytes,
+ * with no trailing bytes allowed. Error-response payloads carry a
+ * serialized common/error.hh Error, so a client reconstructs the
+ * same structured taxonomy the offline parsers report.
+ *
+ * Decoding reuses the io::SpanReader cursor with
+ * ErrorCounting::Uncounted: the same bounds-checked first-error-wins
+ * discipline as the ingestion loaders, without a malformed network
+ * frame perturbing the Stable ingest.errors.* counters.
+ */
+
+#ifndef SIEVE_SERVE_PROTOCOL_HH
+#define SIEVE_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace sieve::serve {
+
+constexpr uint32_t kRequestMagic = 0x51525653;  // "SVRQ" in LE bytes
+constexpr uint32_t kResponseMagic = 0x53525653; // "SVRS" in LE bytes
+constexpr uint16_t kProtocolVersion = 1;
+constexpr size_t kHeaderBytes = 20;
+constexpr uint32_t kMaxPayloadBytes = 16u * 1024 * 1024;
+
+/** Operations sieved answers. */
+enum class RequestKind : uint16_t {
+    Ping = 0,       //!< payload echoed verbatim
+    Stats = 1,      //!< server-resident state census (text)
+    Sample = 2,     //!< representative selection -> CSV bytes
+    Evaluate = 3,   //!< full method evaluation -> report table
+    Simulate = 4,   //!< cycle-level sim of a trace -> report table
+    TraceStats = 5, //!< trace memory census -> CSV bytes
+};
+
+/** True for a kind value the protocol defines. */
+bool knownRequestKind(uint16_t kind);
+
+/** Canonical lower-case name ("ping", "evaluate", ...). */
+const char *requestKindName(RequestKind kind);
+
+/** Outcome carried in a response frame's kind field. */
+enum class ResponseStatus : uint16_t {
+    Ok = 0,           //!< payload is the result bytes
+    Error = 1,        //!< payload is an encoded Error
+    ShuttingDown = 2, //!< drain mode; payload is an encoded Error
+};
+
+/** One decoded frame (request or response, per the parser's magic). */
+struct Frame
+{
+    uint16_t kind = 0; //!< RequestKind or ResponseStatus
+    std::string payload;
+};
+
+/** FNV-1a 64-bit over a byte range (the frame checksum). */
+uint64_t fnv1a64(const void *data, size_t size);
+
+/** Assemble one frame: header (with computed checksum) + payload. */
+std::string encodeFrame(uint32_t magic, uint16_t kind,
+                        std::string_view payload);
+
+inline std::string
+encodeRequest(RequestKind kind, std::string_view payload)
+{
+    return encodeFrame(kRequestMagic, static_cast<uint16_t>(kind),
+                       payload);
+}
+
+inline std::string
+encodeResponse(ResponseStatus status, std::string_view payload)
+{
+    return encodeFrame(kResponseMagic, static_cast<uint16_t>(status),
+                       payload);
+}
+
+/** Field-list payload: u16 count, then u32 length + bytes each. */
+std::string encodeFields(const std::vector<std::string> &fields);
+
+/** Strict decode of encodeFields (no trailing bytes tolerated). */
+Expected<std::vector<std::string>> decodeFields(
+    std::string_view payload, const std::string &source);
+
+/** Error payload: kind name, message, source, line, byte offset. */
+std::string encodeError(const Error &error);
+
+/**
+ * A successfully decoded error-response payload. The wrapper keeps
+ * the transported Error distinct from a decode failure (Expected's
+ * own error channel), which `Expected<Error>` could not express.
+ */
+struct WireError
+{
+    Error error;
+};
+
+/** Decode encodeError; malformed payloads are a Parse error. */
+Expected<WireError> decodeError(std::string_view payload);
+
+/**
+ * Incremental frame decoder over a byte stream.
+ *
+ * Feed whatever recv() produced; next() hands back complete frames
+ * one at a time. A malformed header or checksum poisons the parser
+ * (the stream position can no longer be trusted), matching the
+ * first-error-wins discipline of the ingestion readers: the caller
+ * sends one structured error response and stops reading.
+ */
+class FrameParser
+{
+  public:
+    /**
+     * @param magic  expected frame magic (request or response side).
+     * @param source error-context label ("client 3", socket path...).
+     */
+    FrameParser(uint32_t magic, std::string source)
+        : _magic(magic), _source(std::move(source))
+    {
+    }
+
+    /** Buffer more stream bytes. */
+    void feed(const void *data, size_t size);
+
+    /**
+     * Next complete frame: a Frame when one is fully buffered,
+     * std::nullopt when more bytes are needed, an Error on a
+     * malformed header/checksum (sticky — every later call returns
+     * the same error).
+     */
+    Expected<std::optional<Frame>> next();
+
+    /** True when no partial frame is buffered (clean EOF point). */
+    bool idle() const { return _buffer.size() == _consumed; }
+
+    /** Total stream bytes consumed into complete frames. */
+    size_t consumed() const { return _consumed; }
+
+  private:
+    uint32_t _magic;
+    std::string _source;
+    std::string _buffer;
+    size_t _consumed = 0;   //!< bytes of _buffer already decoded
+    size_t _streamBase = 0; //!< stream offset of _buffer[0]
+    std::optional<Error> _error;
+};
+
+} // namespace sieve::serve
+
+#endif // SIEVE_SERVE_PROTOCOL_HH

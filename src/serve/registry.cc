@@ -1,0 +1,97 @@
+#include "serve/registry.hh"
+
+#include <algorithm>
+
+namespace sieve::serve {
+
+void
+ServiceRegistry::add(Service service)
+{
+    SIEVE_ASSERT(!_started, "add() after startAll()");
+    SIEVE_ASSERT(!service.name.empty(), "service without a name");
+    _services.push_back(std::move(service));
+}
+
+namespace {
+enum : uint8_t { kUnvisited = 0, kVisiting = 1, kDone = 2 };
+} // namespace
+
+Expected<void>
+ServiceRegistry::visit(size_t index, std::vector<uint8_t> &state,
+                       std::vector<size_t> &order)
+{
+    if (state[index] == kDone)
+        return {};
+    if (state[index] == kVisiting) {
+        return Error{ErrorKind::Validation,
+                     "service dependency cycle through '" +
+                         _services[index].name + "'",
+                     "service registry"};
+    }
+    state[index] = kVisiting;
+    for (const std::string &dep : _services[index].dependsOn) {
+        auto it = std::find_if(
+            _services.begin(), _services.end(),
+            [&](const Service &s) { return s.name == dep; });
+        if (it == _services.end()) {
+            return Error{ErrorKind::Validation,
+                         "service '" + _services[index].name +
+                             "' depends on unregistered '" + dep +
+                             "'",
+                         "service registry"};
+        }
+        Expected<void> ok = visit(
+            static_cast<size_t>(it - _services.begin()), state,
+            order);
+        if (!ok.ok())
+            return ok;
+    }
+    state[index] = kDone;
+    order.push_back(index);
+    return {};
+}
+
+Expected<void>
+ServiceRegistry::startAll()
+{
+    SIEVE_ASSERT(!_started, "startAll() twice");
+    std::vector<uint8_t> state(_services.size(), kUnvisited);
+    std::vector<size_t> order;
+    order.reserve(_services.size());
+    for (size_t i = 0; i < _services.size(); ++i) {
+        Expected<void> ok = visit(i, state, order);
+        if (!ok.ok())
+            return ok;
+    }
+
+    for (size_t index : order) {
+        Service &service = _services[index];
+        if (service.start) {
+            Expected<void> ok = service.start();
+            if (!ok.ok()) {
+                // Unwind what already started, newest first.
+                stopAll();
+                return ok;
+            }
+        }
+        _startedIndexes.push_back(index);
+        _startOrder.push_back(service.name);
+    }
+    _started = true;
+    return {};
+}
+
+void
+ServiceRegistry::stopAll()
+{
+    for (size_t i = _startedIndexes.size(); i-- > 0;) {
+        Service &service = _services[_startedIndexes[i]];
+        if (service.stop)
+            service.stop();
+        _stopOrder.push_back(service.name);
+    }
+    _startedIndexes.clear();
+    _started = false;
+}
+
+} // namespace sieve::serve

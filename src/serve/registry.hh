@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Service lifecycle registry for sieved (DESIGN.md §14).
+ *
+ * The daemon is a handful of resident components — the observability
+ * sinks, the request runner holding the tier pool / sim caches /
+ * workload contexts, the worker pool, the socket listener — whose
+ * startup and shutdown order matters: the pool must join its workers
+ * before the state they touch is torn down, and the obs flush (the
+ * PR 8 metrics -> trace -> ledger sequence) must run after everything
+ * that still counts metrics has stopped. Each component registers as
+ * a Service with declared dependencies; startAll() resolves a
+ * deterministic topological order and stopAll() replays the *actual*
+ * start order in reverse, which tests assert directly.
+ */
+
+#ifndef SIEVE_SERVE_REGISTRY_HH
+#define SIEVE_SERVE_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace sieve::serve {
+
+/** One lifecycle participant. */
+struct Service
+{
+    std::string name;
+    std::vector<std::string> dependsOn; //!< started before this one
+    std::function<Expected<void>()> start; //!< may be null (no-op)
+    std::function<void()> stop;            //!< may be null (no-op)
+};
+
+/**
+ * Dependency-ordered startup / reverse-ordered shutdown.
+ *
+ * Deterministic: services start in registration order except that
+ * declared dependencies start first (depth-first). Unknown
+ * dependencies and cycles are Validation errors. If a start callback
+ * fails, everything already started is stopped in reverse and the
+ * error is returned.
+ */
+class ServiceRegistry
+{
+  public:
+    /** Register a service; only valid before startAll(). */
+    void add(Service service);
+
+    /** Start every service in dependency order. */
+    Expected<void> startAll();
+
+    /** Stop every started service, reverse of the start order. */
+    void stopAll();
+
+    bool started() const { return _started; }
+
+    /** Names in the order startAll() actually started them. */
+    const std::vector<std::string> &startOrder() const
+    {
+        return _startOrder;
+    }
+
+    /** Names in the order stopAll() stopped them (empty before). */
+    const std::vector<std::string> &stopOrder() const
+    {
+        return _stopOrder;
+    }
+
+  private:
+    Expected<void> visit(size_t index,
+                         std::vector<uint8_t> &state,
+                         std::vector<size_t> &order);
+
+    std::vector<Service> _services;
+    std::vector<size_t> _startedIndexes;
+    std::vector<std::string> _startOrder;
+    std::vector<std::string> _stopOrder;
+    bool _started = false;
+};
+
+} // namespace sieve::serve
+
+#endif // SIEVE_SERVE_REGISTRY_HH

@@ -1,0 +1,418 @@
+#include "serve/runner.hh"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "common/strings.hh"
+#include "eval/render.hh"
+#include "eval/suite_runner.hh"
+#include "gpusim/trace_synth.hh"
+#include "sampling/evaluation.hh"
+#include "sampling/pks.hh"
+#include "sampling/random_sampler.hh"
+#include "sampling/sieve.hh"
+#include "sampling/tbpoint.hh"
+#include "trace/tier.hh"
+#include "workloads/suites.hh"
+
+namespace sieve::serve {
+
+namespace {
+
+/** Upper bounds a fuzzed request cannot push past (OOM guards). */
+constexpr uint64_t kMaxCap = 1'000'000;
+constexpr uint64_t kMaxCtas = 65'536;
+constexpr uint64_t kMaxBudgetMb = 65'536;
+constexpr uint64_t kMaxPingDelayMs = 2'000;
+
+Error
+requestError(ErrorKind kind, std::string message)
+{
+    return Error{kind, std::move(message), "request"};
+}
+
+Expected<gpu::ArchConfig>
+archConfigFor(const std::string &name)
+{
+    if (name == "ampere")
+        return gpu::ArchConfig::ampereRtx3080();
+    if (name == "turing")
+        return gpu::ArchConfig::turingRtx2080Ti();
+    return requestError(ErrorKind::Validation,
+                        "unknown architecture '" + name +
+                            "' (ampere | turing)");
+}
+
+Expected<double>
+parseTheta(const std::string &text)
+{
+    double theta = 0.0;
+    if (parseDouble(text, theta) != NumericParse::Ok ||
+        theta <= 0.0 || theta > 10.0) {
+        return requestError(ErrorKind::Validation,
+                            "theta must be in (0, 10], got '" + text +
+                                "'");
+    }
+    return theta;
+}
+
+Expected<uint64_t>
+parseBounded(const std::string &text, const char *what, uint64_t max)
+{
+    uint64_t value = 0;
+    if (parseUint64(text, value) != NumericParse::Ok ||
+        value > max) {
+        return requestError(ErrorKind::Validation,
+                            std::string(what) + " must be an integer" +
+                                " in [0, " + std::to_string(max) +
+                                "], got '" + text + "'");
+    }
+    return value;
+}
+
+Expected<workloads::WorkloadSpec>
+specFor(const std::string &name, size_t cap)
+{
+    std::optional<workloads::WorkloadSpec> spec =
+        cap == 0 ? workloads::findSpec(name)
+                 : workloads::findSpec(name, cap);
+    if (!spec) {
+        return requestError(ErrorKind::Validation,
+                            "unknown workload '" + name + "'");
+    }
+    return *spec;
+}
+
+/** Non-fatal twin of the CLI's runSampler dispatch. */
+Expected<std::pair<sampling::SamplingResult, double>>
+runSampler(const std::string &method, const trace::Workload &wl,
+           const gpu::WorkloadResult &gold, double theta)
+{
+    if (method == "sieve") {
+        sampling::SieveSampler sampler({theta});
+        auto result = sampler.sample(wl);
+        double pred =
+            sampler.predictCycles(result, wl, gold.perInvocation);
+        return std::pair{std::move(result), pred};
+    }
+    if (method == "pks") {
+        sampling::PksSampler sampler;
+        auto result = sampler.sample(wl, gold.perInvocation);
+        double pred =
+            sampler.predictCycles(result, gold.perInvocation);
+        return std::pair{std::move(result), pred};
+    }
+    if (method == "tbpoint") {
+        sampling::TbPointSampler sampler;
+        auto result = sampler.sample(wl);
+        double pred =
+            sampler.predictCycles(result, gold.perInvocation);
+        return std::pair{std::move(result), pred};
+    }
+    if (method == "random") {
+        sampling::RandomSampler sampler;
+        auto result = sampler.sample(wl);
+        double pred =
+            sampler.predictCycles(result, wl, gold.perInvocation);
+        return std::pair{std::move(result), pred};
+    }
+    return requestError(ErrorKind::Validation,
+                        "unknown method '" + method +
+                            "' (sieve | pks | tbpoint | random)");
+}
+
+} // namespace
+
+RequestRunner::RequestRunner(RunnerConfig config)
+    : _config(config)
+{
+}
+
+eval::ExperimentContext &
+RequestRunner::contextFor(const std::string &arch, size_t cap)
+{
+    // seedLabel() (the context's internal cache key) does not encode
+    // the invocation cap, so each (arch, cap) pair gets its own
+    // context; mixing caps in one context would alias its entries.
+    std::string key = arch + "#" + std::to_string(cap);
+    std::lock_guard<std::mutex> lock(_mu);
+    auto &slot = _contexts[key];
+    if (!slot) {
+        slot = std::make_unique<eval::ExperimentContext>(
+            archConfigFor(arch).value());
+    }
+    return *slot;
+}
+
+gpusim::SimCache &
+RequestRunner::simCacheFor(const std::string &arch, bool pkp)
+{
+    std::string key = arch + (pkp ? "+pkp" : "");
+    std::lock_guard<std::mutex> lock(_mu);
+    SimState &state = _sims[key];
+    if (!state.cache) {
+        gpusim::GpuSimConfig cfg;
+        cfg.pkpEnabled = pkp;
+        state.simulator = std::make_unique<gpusim::GpuSimulator>(
+            archConfigFor(arch).value(), cfg);
+        state.cache =
+            std::make_unique<gpusim::SimCache>(*state.simulator);
+    }
+    return *state.cache;
+}
+
+Expected<std::string>
+RequestRunner::handle(RequestKind kind, const std::string &payload)
+{
+    try {
+        switch (kind) {
+        case RequestKind::Ping:
+            return handlePing(payload);
+        case RequestKind::Stats:
+            return handleStats(payload);
+        case RequestKind::Sample:
+            return handleSample(payload);
+        case RequestKind::Evaluate:
+            return handleEvaluate(payload);
+        case RequestKind::Simulate:
+            return handleSimulate(payload);
+        case RequestKind::TraceStats:
+            return handleTraceStats(payload);
+        }
+        return requestError(ErrorKind::Validation,
+                            "unknown request kind " +
+                                std::to_string(
+                                    static_cast<uint16_t>(kind)));
+    } catch (const std::exception &e) {
+        // A library-level throw must never unwind past the worker:
+        // it becomes this request's structured error.
+        return requestError(ErrorKind::Sim,
+                            std::string("request failed: ") +
+                                e.what());
+    }
+}
+
+Expected<std::string>
+RequestRunner::handlePing(const std::string &payload)
+{
+    constexpr std::string_view kDelayPrefix = "delay-ms=";
+    if (_config.pingDelayForTests &&
+        payload.rfind(kDelayPrefix, 0) == 0) {
+        Expected<uint64_t> delay =
+            parseBounded(payload.substr(kDelayPrefix.size()),
+                         "ping delay", kMaxPingDelayMs);
+        if (!delay.ok())
+            return delay.error();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay.value()));
+    }
+    return payload;
+}
+
+Expected<std::string>
+RequestRunner::handleStats(const std::string &payload)
+{
+    if (!payload.empty()) {
+        return requestError(ErrorKind::Parse,
+                            "stats request carries a payload");
+    }
+    size_t contexts = 0, caches = 0;
+    gpusim::SimCacheStats total;
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        contexts = _contexts.size();
+        caches = _sims.size();
+        for (const auto &[key, state] : _sims) {
+            gpusim::SimCacheStats s = state.cache->stats();
+            total.lookups += s.lookups;
+            total.hits += s.hits;
+            total.unique += s.unique;
+        }
+    }
+    std::ostringstream os;
+    os << "contexts " << contexts << "\n"
+       << "sim_caches " << caches << "\n"
+       << "sim.lookups " << total.lookups << "\n"
+       << "sim.hits " << total.hits << "\n"
+       << "sim.unique " << total.unique << "\n";
+    return os.str();
+}
+
+Expected<std::string>
+RequestRunner::handleSample(const std::string &payload)
+{
+    Expected<std::vector<std::string>> fields =
+        decodeFields(payload, "sample request");
+    if (!fields.ok())
+        return fields.error();
+    if (fields.value().size() != 4) {
+        return requestError(ErrorKind::Parse,
+                            "sample request needs 4 fields "
+                            "[workload, method, theta, cap], got " +
+                                std::to_string(
+                                    fields.value().size()));
+    }
+    const std::vector<std::string> &f = fields.value();
+    Expected<double> theta = parseTheta(f[2]);
+    if (!theta.ok())
+        return theta.error();
+    Expected<uint64_t> cap = parseBounded(f[3], "cap", kMaxCap);
+    if (!cap.ok())
+        return cap.error();
+    Expected<workloads::WorkloadSpec> spec =
+        specFor(f[0], static_cast<size_t>(cap.value()));
+    if (!spec.ok())
+        return spec.error();
+
+    // The offline `sieve sample` scores against the Ampere golden
+    // run regardless of --arch; mirror that exactly.
+    eval::ExperimentContext &ctx =
+        contextFor("ampere", static_cast<size_t>(cap.value()));
+    const trace::Workload &wl = ctx.workload(spec.value());
+    const gpu::WorkloadResult &gold = ctx.golden(spec.value());
+    auto sampled = runSampler(f[1], wl, gold, theta.value());
+    if (!sampled.ok())
+        return sampled.error();
+
+    std::ostringstream os;
+    eval::representativesCsv(wl, sampled.value().first).write(os);
+    return os.str();
+}
+
+Expected<std::string>
+RequestRunner::handleEvaluate(const std::string &payload)
+{
+    Expected<std::vector<std::string>> fields =
+        decodeFields(payload, "evaluate request");
+    if (!fields.ok())
+        return fields.error();
+    if (fields.value().size() != 5) {
+        return requestError(
+            ErrorKind::Parse,
+            "evaluate request needs 5 fields "
+            "[workload, method, arch, theta, cap], got " +
+                std::to_string(fields.value().size()));
+    }
+    const std::vector<std::string> &f = fields.value();
+    Expected<gpu::ArchConfig> arch = archConfigFor(f[2]);
+    if (!arch.ok())
+        return arch.error();
+    Expected<double> theta = parseTheta(f[3]);
+    if (!theta.ok())
+        return theta.error();
+    Expected<uint64_t> cap = parseBounded(f[4], "cap", kMaxCap);
+    if (!cap.ok())
+        return cap.error();
+    Expected<workloads::WorkloadSpec> spec =
+        specFor(f[0], static_cast<size_t>(cap.value()));
+    if (!spec.ok())
+        return spec.error();
+
+    eval::ExperimentContext &ctx =
+        contextFor(f[2], static_cast<size_t>(cap.value()));
+    const trace::Workload &wl = ctx.workload(spec.value());
+    const gpu::WorkloadResult &gold = ctx.golden(spec.value());
+    auto sampled = runSampler(f[1], wl, gold, theta.value());
+    if (!sampled.ok())
+        return sampled.error();
+    sampling::MethodEvaluation eval = sampling::evaluate(
+        sampled.value().first, sampled.value().second,
+        gold.perInvocation);
+    return eval::evaluationReport(f[1], wl.suite(), wl.name(), eval)
+        .toString();
+}
+
+Expected<std::string>
+RequestRunner::handleSimulate(const std::string &payload)
+{
+    Expected<std::vector<std::string>> fields =
+        decodeFields(payload, "simulate request");
+    if (!fields.ok())
+        return fields.error();
+    if (fields.value().size() != 3) {
+        return requestError(ErrorKind::Parse,
+                            "simulate request needs 3 fields "
+                            "[arch, pkp, trace], got " +
+                                std::to_string(
+                                    fields.value().size()));
+    }
+    const std::vector<std::string> &f = fields.value();
+    Expected<gpu::ArchConfig> arch = archConfigFor(f[0]);
+    if (!arch.ok())
+        return arch.error();
+    if (f[1] != "0" && f[1] != "1") {
+        return requestError(ErrorKind::Validation,
+                            "pkp must be 0 or 1, got '" + f[1] +
+                                "'");
+    }
+
+    std::istringstream is(f[2]);
+    Expected<trace::KernelTrace> kt =
+        trace::tryReadTrace(is, "request trace");
+    if (!kt.ok())
+        return kt.error();
+
+    gpusim::SimCache &cache = simCacheFor(f[0], f[1] == "1");
+    gpusim::KernelSimResult result = cache.simulate(kt.value());
+    return eval::simulationReport(kt.value(), result).toString();
+}
+
+Expected<std::string>
+RequestRunner::handleTraceStats(const std::string &payload)
+{
+    Expected<std::vector<std::string>> fields =
+        decodeFields(payload, "trace-stats request");
+    if (!fields.ok())
+        return fields.error();
+    if (fields.value().size() < 5) {
+        return requestError(
+            ErrorKind::Parse,
+            "trace-stats request needs >= 5 fields "
+            "[theta, ctas, budgetMb, cap, workload...], got " +
+                std::to_string(fields.value().size()));
+    }
+    const std::vector<std::string> &f = fields.value();
+    Expected<double> theta = parseTheta(f[0]);
+    if (!theta.ok())
+        return theta.error();
+    Expected<uint64_t> ctas = parseBounded(f[1], "ctas", kMaxCtas);
+    if (!ctas.ok())
+        return ctas.error();
+    Expected<uint64_t> budget_mb =
+        parseBounded(f[2], "budgetMb", kMaxBudgetMb);
+    if (!budget_mb.ok())
+        return budget_mb.error();
+    Expected<uint64_t> cap = parseBounded(f[3], "cap", kMaxCap);
+    if (!cap.ok())
+        return cap.error();
+
+    std::vector<workloads::WorkloadSpec> specs;
+    for (size_t i = 4; i < f.size(); ++i) {
+        Expected<workloads::WorkloadSpec> spec =
+            specFor(f[i], static_cast<size_t>(cap.value()));
+        if (!spec.ok())
+            return spec.error();
+        specs.push_back(std::move(spec).value());
+    }
+
+    gpusim::TraceSynthOptions synth;
+    if (ctas.value() > 0)
+        synth.maxTracedCtas = ctas.value();
+    trace::TierConfig tier = trace::TierConfig::fromEnv();
+    if (budget_mb.value() > 0)
+        tier.budgetBytes =
+            static_cast<size_t>(budget_mb.value()) * 1024 * 1024;
+
+    eval::ExperimentContext &ctx =
+        contextFor("ampere", static_cast<size_t>(cap.value()));
+    eval::SuiteRunner runner(ctx, {_config.jobs});
+    std::vector<eval::WorkloadTraceStats> rows = runner.traceStats(
+        specs, {theta.value()}, synth, tier);
+
+    std::ostringstream os;
+    eval::traceStatsCsv(rows).write(os);
+    return os.str();
+}
+
+} // namespace sieve::serve

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Request execution for sieved: the daemon's resident state plus the
+ * dispatch from a decoded request to its response bytes.
+ *
+ * The runner is what makes serving worthwhile: workloads, golden
+ * runs (eval::ExperimentContext), and simulation results
+ * (gpusim::SimCache, keyed by PR 4 content digests) stay resident
+ * across requests and clients, so the second evaluation of a
+ * workload or the second simulation of a byte-identical trace is a
+ * lookup. Responses are built through the shared renderers in
+ * eval/render.hh, which is what keeps a served response
+ * byte-identical to the equivalent CLI invocation.
+ *
+ * Every failure is an Expected Error — never fatal(): one malformed
+ * request must not take down the daemon, the same contract the PR 5
+ * recoverable parsers give the batch pipeline.
+ *
+ * Request payloads (field lists per protocol.hh; numbers in their
+ * decimal text form, "0" meaning the registry default):
+ *   Ping        raw payload, echoed verbatim
+ *   Stats       empty -> "key value" census lines
+ *   Sample      [workload, method, theta, cap]           -> CSV
+ *   Evaluate    [workload, method, arch, theta, cap]     -> table
+ *   Simulate    [arch, pkp(0|1), trace bytes]            -> table
+ *   TraceStats  [theta, ctas, budgetMb, cap, name...]    -> CSV
+ */
+
+#ifndef SIEVE_SERVE_RUNNER_HH
+#define SIEVE_SERVE_RUNNER_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/error.hh"
+#include "eval/experiment.hh"
+#include "gpusim/sim_cache.hh"
+#include "serve/protocol.hh"
+
+namespace sieve::serve {
+
+struct RunnerConfig
+{
+    /** Worker count handed to nested suite fan-outs (0 = default). */
+    size_t jobs = 1;
+
+    /**
+     * Honour a "delay-ms=N" ping payload by sleeping before the echo
+     * (capped at 2 s). Test-only: how the drain tests pin a request
+     * in flight at a known point.
+     */
+    bool pingDelayForTests = false;
+};
+
+/** Thread-safe request dispatcher over the daemon's resident state. */
+class RequestRunner
+{
+  public:
+    explicit RequestRunner(RunnerConfig config = {});
+
+    /**
+     * Execute one decoded request; returns the response payload
+     * bytes, or a structured Error for the error response. Safe to
+     * call concurrently from any number of pool workers.
+     */
+    Expected<std::string> handle(RequestKind kind,
+                                 const std::string &payload);
+
+    const RunnerConfig &config() const { return _config; }
+
+  private:
+    /** Build-once resident context per (arch, invocation cap). */
+    eval::ExperimentContext &contextFor(const std::string &arch,
+                                        size_t cap);
+
+    /** Build-once simulator + digest cache per (arch, pkp). */
+    gpusim::SimCache &simCacheFor(const std::string &arch, bool pkp);
+
+    Expected<std::string> handlePing(const std::string &payload);
+    Expected<std::string> handleStats(const std::string &payload);
+    Expected<std::string> handleSample(const std::string &payload);
+    Expected<std::string> handleEvaluate(const std::string &payload);
+    Expected<std::string> handleSimulate(const std::string &payload);
+    Expected<std::string> handleTraceStats(
+        const std::string &payload);
+
+    struct SimState
+    {
+        std::unique_ptr<gpusim::GpuSimulator> simulator;
+        std::unique_ptr<gpusim::SimCache> cache;
+    };
+
+    RunnerConfig _config;
+    std::mutex _mu; //!< guards the maps; entries are thread-safe
+    std::map<std::string, std::unique_ptr<eval::ExperimentContext>>
+        _contexts;
+    std::map<std::string, SimState> _sims;
+};
+
+} // namespace sieve::serve
+
+#endif // SIEVE_SERVE_RUNNER_HH

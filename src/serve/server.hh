@@ -1,0 +1,126 @@
+/**
+ * @file
+ * sieved: the single-process serving daemon (DESIGN.md §14).
+ *
+ * One poll()-driven event loop on the calling thread owns the
+ * AF_UNIX listener and every connection; request execution fans out
+ * to the shared ThreadPool and responses are handed back to the loop
+ * through a self-pipe wakeup. Admission is bounded — a global
+ * in-flight queue cap plus a per-client quota — and over-limit
+ * requests are answered immediately with a structured error rather
+ * than queued without bound.
+ *
+ * Shutdown is a drain, not an exit: requestShutdown() (async-signal
+ * safe; wired to SIGTERM/SIGINT by installShutdownSignalHandlers)
+ * flips an atomic flag and wakes the loop. From then on every new
+ * request — and every request on a newly accepted connection — is
+ * answered with a ShuttingDown response, in-flight work completes
+ * and flushes to its clients, and only then does the loop return and
+ * the ServiceRegistry stop everything in reverse start order, ending
+ * with the obs flush (metrics -> trace -> ledger, the PR 8 order).
+ *
+ * Counter contract: serve.connections.accepted and
+ * serve.requests.{accepted,completed,errors} are Stable — functions
+ * of the request history, identical at any --jobs. Queue/quota
+ * rejections and the latency histogram are Volatile (timing).
+ */
+
+#ifndef SIEVE_SERVE_SERVER_HH
+#define SIEVE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/thread_pool.hh"
+#include "serve/protocol.hh"
+#include "serve/registry.hh"
+#include "serve/runner.hh"
+
+namespace sieve::serve {
+
+struct ServerConfig
+{
+    std::string socketPath;     //!< AF_UNIX listening path
+    size_t jobs = 1;            //!< pool workers (0 = defaultJobs)
+    size_t maxQueue = 64;       //!< global in-flight request bound
+    size_t perClientQuota = 8;  //!< in-flight requests per client
+    bool pingDelayForTests = false; //!< see RunnerConfig
+};
+
+/** The daemon: lifecycle registry + event loop + request runner. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Start every registered service (bind + listen last). On error
+     * nothing is left running.
+     */
+    Expected<void> start();
+
+    /**
+     * Run the event loop until a drain completes, then stop all
+     * services in reverse start order. Call from the thread that
+     * owns the daemon (blocks).
+     */
+    void run();
+
+    /**
+     * Begin graceful drain. Async-signal-safe (atomic store + pipe
+     * write); callable from any thread or a signal handler.
+     */
+    void requestShutdown();
+
+    const ServiceRegistry &registry() const { return _registry; }
+    const ServerConfig &config() const { return _config; }
+    RequestRunner &runner() { return *_runner; }
+
+  private:
+    struct Connection;
+
+    void buildRegistry();
+    void eventLoop();
+    void acceptClients();
+    void readClient(const std::shared_ptr<Connection> &conn);
+    void writeClient(const std::shared_ptr<Connection> &conn);
+    void dispatchFrame(const std::shared_ptr<Connection> &conn,
+                       Frame frame);
+    void startNext(const std::shared_ptr<Connection> &conn);
+    void enqueueResponse(const std::shared_ptr<Connection> &conn,
+                         ResponseStatus status,
+                         std::string_view payload);
+    void drainWakePipe();
+    bool drained();
+
+    ServerConfig _config;
+    ServiceRegistry _registry;
+    std::unique_ptr<RequestRunner> _runner;
+    std::unique_ptr<ThreadPool> _pool;
+
+    int _listenFd = -1;
+    int _wakeRead = -1;
+    int _wakeWrite = -1;
+    std::atomic<bool> _shutdownRequested{false};
+
+    std::mutex _mu; //!< guards connections + in-flight accounting
+    std::map<int, std::shared_ptr<Connection>> _connections;
+    size_t _inFlight = 0; //!< admitted, response not yet queued
+    uint64_t _nextClientId = 1;
+};
+
+/** Route SIGTERM/SIGINT to server.requestShutdown(). */
+void installShutdownSignalHandlers(Server &server);
+
+} // namespace sieve::serve
+
+#endif // SIEVE_SERVE_SERVER_HH

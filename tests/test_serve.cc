@@ -1,0 +1,575 @@
+/**
+ * @file
+ * Protocol conformance and lifecycle tests for sieved (DESIGN.md
+ * §14).
+ *
+ * The load-bearing contract: every request kind served over the
+ * socket is answered with exactly the bytes the offline library path
+ * produces for the same inputs, at any server --jobs value; and a
+ * malformed frame — bad magic, bad version, oversize length,
+ * truncated payload, checksum mismatch — always earns one structured
+ * error response, never a crash and never a silent disconnect.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "obs/ledger.hh"
+#include "obs/obs.hh"
+#include "sampling/rep_traces.hh"
+#include "sampling/sieve.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/registry.hh"
+#include "serve/runner.hh"
+#include "serve/server.hh"
+#include "trace/columnar.hh"
+#include "trace/sass_trace.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace {
+
+using namespace sieve;
+
+// Small enough that every request kind answers in well under a
+// second; large enough that sampling has real strata to pick.
+constexpr const char *kWorkload = "bfs_ny";
+constexpr const char *kCap = "300";
+
+std::string
+freshSocketPath()
+{
+    static std::atomic<int> g_next{0};
+    const char *tmp = std::getenv("TMPDIR");
+    std::string dir = tmp && *tmp ? tmp : "/tmp";
+    return dir + "/sieve-test-serve-" +
+           std::to_string(static_cast<long>(::getpid())) + "-" +
+           std::to_string(g_next.fetch_add(1)) + ".sock";
+}
+
+/** A running server on a scratch socket, torn down on destruction. */
+struct TestServer
+{
+    explicit TestServer(size_t jobs, bool ping_delay = false)
+    {
+        config.socketPath = freshSocketPath();
+        config.jobs = jobs;
+        config.pingDelayForTests = ping_delay;
+        server = std::make_unique<serve::Server>(config);
+        Expected<void> started = server->start();
+        if (!started.ok())
+            throw std::runtime_error(started.error().toString());
+        loop = std::thread([this] { server->run(); });
+    }
+
+    ~TestServer()
+    {
+        if (loop.joinable()) {
+            server->requestShutdown();
+            loop.join();
+        }
+    }
+
+    serve::ServeClient
+    connect()
+    {
+        Expected<serve::ServeClient> client =
+            serve::ServeClient::connect(config.socketPath);
+        if (!client.ok())
+            throw std::runtime_error(client.error().toString());
+        client.value().setReceiveTimeoutMs(60'000);
+        return std::move(client).value();
+    }
+
+    serve::ServerConfig config;
+    std::unique_ptr<serve::Server> server;
+    std::thread loop;
+};
+
+/** Offline ground truth for a request, via the library path. */
+std::string
+offline(serve::RequestKind kind, const std::string &payload)
+{
+    serve::RequestRunner runner({/*jobs=*/1});
+    Expected<std::string> result = runner.handle(kind, payload);
+    EXPECT_TRUE(result.ok())
+        << (result.ok() ? "" : result.error().toString());
+    return result.ok() ? result.value() : std::string();
+}
+
+std::string
+sampleTraceBytes()
+{
+    std::optional<workloads::WorkloadSpec> spec =
+        workloads::findSpec(kWorkload, 300);
+    EXPECT_TRUE(spec.has_value());
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    sampling::SieveSampler sampler({0.4});
+    sampling::SamplingResult result = sampler.sample(wl);
+    sampling::RepresentativeTraces reps(wl, result);
+    trace::TraceHandle::Pin pin = reps.handle(0).pin();
+    trace::KernelTrace kt = trace::toAos(*pin);
+    std::ostringstream os;
+    trace::writeTrace(kt, os);
+    return os.str();
+}
+
+serve::ServeClient::Response
+callOk(serve::ServeClient &client, serve::RequestKind kind,
+       const std::string &payload)
+{
+    Expected<serve::ServeClient::Response> reply =
+        client.call(kind, payload);
+    EXPECT_TRUE(reply.ok())
+        << (reply.ok() ? "" : reply.error().toString());
+    if (!reply.ok())
+        return {};
+    return std::move(reply).value();
+}
+
+// ---------------------------------------------------------------
+// ServiceRegistry
+// ---------------------------------------------------------------
+
+TEST(ServiceRegistry, StartsDependenciesFirstStopsInReverse)
+{
+    serve::ServiceRegistry registry;
+    std::vector<std::string> events;
+    auto service = [&](std::string name,
+                       std::vector<std::string> deps) {
+        registry.add(
+            {name, std::move(deps),
+             [&events, name]() -> Expected<void> {
+                 events.push_back("start:" + name);
+                 return {};
+             },
+             [&events, name] { events.push_back("stop:" + name); }});
+    };
+    service("c", {"b"});
+    service("a", {});
+    service("b", {"a"});
+
+    ASSERT_TRUE(registry.startAll().ok());
+    // "c" is registered first but depends on "b" which depends on
+    // "a": the depth-first resolution starts a, b, c.
+    EXPECT_EQ(registry.startOrder(),
+              (std::vector<std::string>{"a", "b", "c"}));
+
+    registry.stopAll();
+    EXPECT_EQ(registry.stopOrder(),
+              (std::vector<std::string>{"c", "b", "a"}));
+    EXPECT_EQ(events,
+              (std::vector<std::string>{"start:a", "start:b",
+                                        "start:c", "stop:c",
+                                        "stop:b", "stop:a"}));
+}
+
+TEST(ServiceRegistry, UnknownDependencyFailsStartup)
+{
+    serve::ServiceRegistry registry;
+    registry.add({"a", {"ghost"}, nullptr, nullptr});
+    Expected<void> started = registry.startAll();
+    ASSERT_FALSE(started.ok());
+    EXPECT_EQ(started.error().kind, ErrorKind::Validation);
+}
+
+TEST(ServiceRegistry, CycleFailsStartup)
+{
+    serve::ServiceRegistry registry;
+    registry.add({"a", {"b"}, nullptr, nullptr});
+    registry.add({"b", {"a"}, nullptr, nullptr});
+    ASSERT_FALSE(registry.startAll().ok());
+}
+
+TEST(ServiceRegistry, FailedStartUnwindsInReverse)
+{
+    serve::ServiceRegistry registry;
+    std::vector<std::string> events;
+    registry.add({"ok",
+                  {},
+                  [&]() -> Expected<void> {
+                      events.push_back("start:ok");
+                      return {};
+                  },
+                  [&] { events.push_back("stop:ok"); }});
+    registry.add({"boom",
+                  {"ok"},
+                  [&]() -> Expected<void> {
+                      return Error{ErrorKind::Io, "no", "boom"};
+                  },
+                  [&] { events.push_back("stop:boom"); }});
+    ASSERT_FALSE(registry.startAll().ok());
+    EXPECT_EQ(events,
+              (std::vector<std::string>{"start:ok", "stop:ok"}));
+    EXPECT_FALSE(registry.started());
+}
+
+// ---------------------------------------------------------------
+// Protocol units
+// ---------------------------------------------------------------
+
+TEST(Protocol, FieldsRoundTrip)
+{
+    std::vector<std::string> fields = {"a", "", "binary\0bytes",
+                                       std::string(1000, 'x')};
+    fields[2] = std::string("binary\0bytes", 12);
+    std::string encoded = serve::encodeFields(fields);
+    Expected<std::vector<std::string>> decoded =
+        serve::decodeFields(encoded, "test");
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), fields);
+}
+
+TEST(Protocol, FieldsRejectTrailingBytes)
+{
+    std::string encoded = serve::encodeFields({"a"});
+    encoded.push_back('\0');
+    Expected<std::vector<std::string>> decoded =
+        serve::decodeFields(encoded, "test");
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.error().kind, ErrorKind::Parse);
+}
+
+TEST(Protocol, ErrorRoundTrip)
+{
+    Error error{ErrorKind::Validation, "message", "source", 3, 41};
+    Expected<serve::WireError> decoded =
+        serve::decodeError(serve::encodeError(error));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().error.kind, error.kind);
+    EXPECT_EQ(decoded.value().error.message, error.message);
+    EXPECT_EQ(decoded.value().error.source, error.source);
+    EXPECT_EQ(decoded.value().error.line, error.line);
+    EXPECT_EQ(decoded.value().error.byteOffset, error.byteOffset);
+}
+
+TEST(Protocol, ParserReassemblesSplitFrames)
+{
+    std::string wire =
+        serve::encodeRequest(serve::RequestKind::Ping, "one") +
+        serve::encodeRequest(serve::RequestKind::Ping, "two");
+    serve::FrameParser parser(serve::kRequestMagic, "test");
+    std::vector<std::string> payloads;
+    for (size_t i = 0; i < wire.size(); ++i) {
+        parser.feed(wire.data() + i, 1);
+        Expected<std::optional<serve::Frame>> next = parser.next();
+        ASSERT_TRUE(next.ok());
+        if (next.value().has_value())
+            payloads.push_back(next.value()->payload);
+    }
+    EXPECT_EQ(payloads, (std::vector<std::string>{"one", "two"}));
+    EXPECT_TRUE(parser.idle());
+}
+
+// ---------------------------------------------------------------
+// Served responses == offline library output
+// ---------------------------------------------------------------
+
+class ServeConformance : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(ServeConformance, PingEchoesPayload)
+{
+    TestServer server(GetParam());
+    serve::ServeClient client = server.connect();
+    serve::ServeClient::Response reply =
+        callOk(client, serve::RequestKind::Ping, "hello sieve");
+    EXPECT_EQ(reply.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(reply.payload, "hello sieve");
+}
+
+TEST_P(ServeConformance, SampleMatchesOffline)
+{
+    std::string payload =
+        serve::encodeFields({kWorkload, "sieve", "0.4", kCap});
+    std::string expected =
+        offline(serve::RequestKind::Sample, payload);
+    TestServer server(GetParam());
+    serve::ServeClient client = server.connect();
+    serve::ServeClient::Response reply =
+        callOk(client, serve::RequestKind::Sample, payload);
+    EXPECT_EQ(reply.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(reply.payload, expected);
+}
+
+TEST_P(ServeConformance, EvaluateMatchesOffline)
+{
+    std::string payload = serve::encodeFields(
+        {kWorkload, "sieve", "ampere", "0.4", kCap});
+    std::string expected =
+        offline(serve::RequestKind::Evaluate, payload);
+    TestServer server(GetParam());
+    serve::ServeClient client = server.connect();
+    serve::ServeClient::Response reply =
+        callOk(client, serve::RequestKind::Evaluate, payload);
+    EXPECT_EQ(reply.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(reply.payload, expected);
+}
+
+TEST_P(ServeConformance, SimulateMatchesOffline)
+{
+    std::string payload = serve::encodeFields(
+        {"ampere", "0", sampleTraceBytes()});
+    std::string expected =
+        offline(serve::RequestKind::Simulate, payload);
+    TestServer server(GetParam());
+    serve::ServeClient client = server.connect();
+    serve::ServeClient::Response reply =
+        callOk(client, serve::RequestKind::Simulate, payload);
+    EXPECT_EQ(reply.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(reply.payload, expected);
+}
+
+TEST_P(ServeConformance, TraceStatsMatchesOffline)
+{
+    std::string payload = serve::encodeFields(
+        {"0.4", "16", "0", kCap, kWorkload});
+    std::string expected =
+        offline(serve::RequestKind::TraceStats, payload);
+    TestServer server(GetParam());
+    serve::ServeClient client = server.connect();
+    serve::ServeClient::Response reply =
+        callOk(client, serve::RequestKind::TraceStats, payload);
+    EXPECT_EQ(reply.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(reply.payload, expected);
+}
+
+TEST_P(ServeConformance, StatsReflectsResidentState)
+{
+    TestServer server(GetParam());
+    serve::ServeClient client = server.connect();
+    serve::ServeClient::Response before =
+        callOk(client, serve::RequestKind::Stats, "");
+    EXPECT_EQ(before.status, serve::ResponseStatus::Ok);
+    EXPECT_NE(before.payload.find("contexts 0\n"),
+              std::string::npos);
+
+    std::string payload =
+        serve::encodeFields({kWorkload, "sieve", "0.4", kCap});
+    callOk(client, serve::RequestKind::Sample, payload);
+    serve::ServeClient::Response after =
+        callOk(client, serve::RequestKind::Stats, "");
+    EXPECT_NE(after.payload.find("contexts 1\n"),
+              std::string::npos);
+}
+
+TEST_P(ServeConformance, ErrorsAreStructuredPerRequest)
+{
+    TestServer server(GetParam());
+    serve::ServeClient client = server.connect();
+
+    // Unknown workload: a Validation error response, and the
+    // connection stays usable for the next request.
+    std::string payload =
+        serve::encodeFields({"no-such-workload", "sieve", "0.4",
+                             kCap});
+    serve::ServeClient::Response reply =
+        callOk(client, serve::RequestKind::Sample, payload);
+    EXPECT_EQ(reply.status, serve::ResponseStatus::Error);
+    Expected<serve::WireError> decoded =
+        serve::decodeError(reply.payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().error.kind, ErrorKind::Validation);
+
+    serve::ServeClient::Response ping =
+        callOk(client, serve::RequestKind::Ping, "still here");
+    EXPECT_EQ(ping.status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(ping.payload, "still here");
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ServeConformance,
+                         ::testing::Values(1, 8),
+                         [](const auto &info) {
+                             return "jobs" +
+                                    std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------
+// Malformed frames: structured error, never a silent disconnect
+// ---------------------------------------------------------------
+
+namespace {
+
+/**
+ * Send raw bytes, half-close, and demand one decodable error
+ * response before the server hangs up.
+ */
+void
+expectFrameRejected(TestServer &server, const std::string &bytes,
+                    ErrorKind expected_kind)
+{
+    serve::ServeClient client = server.connect();
+    ASSERT_TRUE(client.sendBytes(bytes).ok());
+    client.shutdownWrite();
+    Expected<serve::ServeClient::Response> reply = client.receive();
+    ASSERT_TRUE(reply.ok())
+        << "server disconnected without a reply: "
+        << reply.error().toString();
+    EXPECT_EQ(reply.value().status, serve::ResponseStatus::Error);
+    Expected<serve::WireError> decoded =
+        serve::decodeError(reply.value().payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().error.kind, expected_kind);
+    // After the poisoned frame the server flushes and closes: the
+    // next receive is a clean EOF error, not a hang.
+    Expected<serve::ServeClient::Response> eof = client.receive();
+    EXPECT_FALSE(eof.ok());
+}
+
+} // namespace
+
+TEST(ServeMalformed, BadMagic)
+{
+    TestServer server(1);
+    std::string frame =
+        serve::encodeFrame(0xdeadbeef, 0, "payload");
+    expectFrameRejected(server, frame, ErrorKind::Parse);
+}
+
+TEST(ServeMalformed, BadVersion)
+{
+    TestServer server(1);
+    std::string frame =
+        serve::encodeRequest(serve::RequestKind::Ping, "x");
+    frame[4] = char(0x7f); // version field, little-endian low byte
+    expectFrameRejected(server, frame, ErrorKind::Parse);
+}
+
+TEST(ServeMalformed, OversizeLength)
+{
+    TestServer server(1);
+    std::string frame =
+        serve::encodeRequest(serve::RequestKind::Ping, "x");
+    // Length field at offset 8: claim 0xffffffff bytes.
+    for (size_t i = 8; i < 12; ++i)
+        frame[i] = char(0xff);
+    expectFrameRejected(server, frame, ErrorKind::Validation);
+}
+
+TEST(ServeMalformed, TruncatedPayload)
+{
+    TestServer server(1);
+    std::string frame = serve::encodeRequest(
+        serve::RequestKind::Ping, "a longer payload");
+    frame.resize(frame.size() - 5);
+    expectFrameRejected(server, frame, ErrorKind::Io);
+}
+
+TEST(ServeMalformed, ChecksumMismatch)
+{
+    TestServer server(1);
+    std::string frame = serve::encodeRequest(
+        serve::RequestKind::Ping, "checksummed");
+    frame.back() = char(frame.back() ^ 0x01); // corrupt the payload
+    expectFrameRejected(server, frame, ErrorKind::Validation);
+}
+
+TEST(ServeMalformed, UnknownKindKeepsConnectionAlive)
+{
+    TestServer server(1);
+    serve::ServeClient client = server.connect();
+    std::string frame = serve::encodeFrame(
+        serve::kRequestMagic, /*kind=*/77, "payload");
+    ASSERT_TRUE(client.sendBytes(frame).ok());
+    Expected<serve::ServeClient::Response> reply = client.receive();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().status, serve::ResponseStatus::Error);
+    Expected<serve::WireError> decoded =
+        serve::decodeError(reply.value().payload);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().error.kind, ErrorKind::Parse);
+
+    // An unknown kind is a per-request error, not a stream poison.
+    serve::ServeClient::Response ping =
+        callOk(client, serve::RequestKind::Ping, "alive");
+    EXPECT_EQ(ping.payload, "alive");
+}
+
+TEST(ServeMalformed, EmptyConnectionClosesQuietly)
+{
+    TestServer server(1);
+    serve::ServeClient client = server.connect();
+    client.shutdownWrite();
+    // No frame was started, so there is nothing to answer: EOF.
+    Expected<serve::ServeClient::Response> reply = client.receive();
+    EXPECT_FALSE(reply.ok());
+}
+
+// ---------------------------------------------------------------
+// Drain and lifecycle
+// ---------------------------------------------------------------
+
+TEST(ServeDrain, InFlightCompletesNewRequestsRejected)
+{
+    TestServer server(2, /*ping_delay=*/true);
+    serve::ServeClient slow = server.connect();
+    ASSERT_TRUE(slow.sendRequest(serve::RequestKind::Ping,
+                                 "delay-ms=400")
+                    .ok());
+    // Give the event loop time to admit the slow ping, then drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server.server->requestShutdown();
+
+    // A request arriving during the drain gets a structured
+    // ShuttingDown response, not a dropped connection.
+    serve::ServeClient late = server.connect();
+    Expected<serve::ServeClient::Response> rejected =
+        late.call(serve::RequestKind::Ping, "too late");
+    ASSERT_TRUE(rejected.ok());
+    EXPECT_EQ(rejected.value().status,
+              serve::ResponseStatus::ShuttingDown);
+    Expected<serve::WireError> decoded =
+        serve::decodeError(rejected.value().payload);
+    ASSERT_TRUE(decoded.ok());
+
+    // The in-flight ping still completes and flushes.
+    Expected<serve::ServeClient::Response> done = slow.receive();
+    ASSERT_TRUE(done.ok());
+    EXPECT_EQ(done.value().status, serve::ResponseStatus::Ok);
+    EXPECT_EQ(done.value().payload, "delay-ms=400");
+
+    server.loop.join();
+    const serve::ServiceRegistry &registry =
+        server.server->registry();
+    std::vector<std::string> reversed = registry.startOrder();
+    std::reverse(reversed.begin(), reversed.end());
+    EXPECT_EQ(registry.stopOrder(), reversed);
+    EXPECT_EQ(registry.stopOrder().front(), "listener");
+    EXPECT_EQ(registry.stopOrder().back(), "obs");
+}
+
+TEST(ServeDrain, ShutdownFlushesLedger)
+{
+    std::string ledger = freshSocketPath() + ".jsonl";
+    obs::ObsOptions options;
+    options.ledgerOut = ledger;
+    obs::configureObs(options);
+    {
+        TestServer server(1);
+        serve::ServeClient client = server.connect();
+        callOk(client, serve::RequestKind::Ping, "flush me");
+        server.server->requestShutdown();
+        server.loop.join();
+    }
+    obs::LedgerReadResult result;
+    std::string error;
+    ASSERT_TRUE(obs::readRunLedgerFile(ledger, &result, &error))
+        << error;
+    ASSERT_EQ(result.runs.size(), 1u);
+    EXPECT_EQ(result.skippedLines, 0u);
+    EXPECT_EQ(result.runs[0].schema, obs::RunManifest::kSchema);
+    ::unlink(ledger.c_str());
+}
+
+} // namespace

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Protocol fuzz sweep against a live in-process sieved.
+ *
+ * Reuses the PR 5 seeded Corruptor: for every request kind, >= 200
+ * mutations of a clean frame are each sent on a fresh connection,
+ * half-closed, and drained. A local oracle (a FrameParser plus an
+ * offline RequestRunner, fed the same mutated bytes) predicts the
+ * exact response sequence the server must produce; every divergence
+ * — a missing reply, an undecodable error payload, an Ok response
+ * whose bytes differ from the offline computation — is classified
+ * SilentCorruption and fails the run, mirroring fuzz-ingest. The CI
+ * job runs this binary under ASan+UBSan, so a crash or UB in the
+ * frame decoder fails loudly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "sampling/rep_traces.hh"
+#include "sampling/sieve.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/runner.hh"
+#include "serve/server.hh"
+#include "testing/fault_injection.hh"
+#include "trace/columnar.hh"
+#include "trace/sass_trace.hh"
+#include "workloads/generator.hh"
+#include "workloads/suites.hh"
+
+namespace {
+
+using namespace sieve;
+
+constexpr uint64_t kSeed = 0x53455256; // "SERV"
+constexpr size_t kMutationsPerKind = 200;
+constexpr const char *kWorkload = "bfs_ny";
+constexpr const char *kCap = "300";
+
+std::string
+socketPath()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    std::string dir = tmp && *tmp ? tmp : "/tmp";
+    return dir + "/sieve-fuzz-serve-" +
+           std::to_string(static_cast<long>(::getpid())) + ".sock";
+}
+
+std::string
+traceBytes()
+{
+    std::optional<workloads::WorkloadSpec> spec =
+        workloads::findSpec(kWorkload, 300);
+    trace::Workload wl = workloads::generateWorkload(*spec);
+    sampling::SieveSampler sampler({0.4});
+    sampling::SamplingResult result = sampler.sample(wl);
+    sampling::RepresentativeTraces reps(wl, result);
+    trace::TraceHandle::Pin pin = reps.handle(0).pin();
+    std::ostringstream os;
+    trace::writeTrace(trace::toAos(*pin), os);
+    return os.str();
+}
+
+/** Clean request payload for one kind (the corpus baselines). */
+std::string
+cleanPayload(serve::RequestKind kind)
+{
+    switch (kind) {
+    case serve::RequestKind::Ping:
+        return "fuzz baseline payload";
+    case serve::RequestKind::Stats:
+        return "";
+    case serve::RequestKind::Sample:
+        return serve::encodeFields({kWorkload, "sieve", "0.4",
+                                    kCap});
+    case serve::RequestKind::Evaluate:
+        return serve::encodeFields(
+            {kWorkload, "sieve", "ampere", "0.4", kCap});
+    case serve::RequestKind::Simulate:
+        return serve::encodeFields({"ampere", "0", traceBytes()});
+    case serve::RequestKind::TraceStats:
+        return serve::encodeFields({"0.4", "16", "0", kCap,
+                                    kWorkload});
+    }
+    return "";
+}
+
+/** What the server must send back for one decoded frame. */
+struct ExpectedReply
+{
+    serve::ResponseStatus status = serve::ResponseStatus::Ok;
+    std::optional<std::string> payload; //!< nullopt = any bytes
+};
+
+/**
+ * Predict the full response sequence for a mutated byte stream: the
+ * same FrameParser the server runs, with an offline RequestRunner
+ * computing what each well-formed frame yields. Stats responses are
+ * wildcards — the live server's resident-state census legitimately
+ * reflects earlier accepted mutations.
+ */
+std::vector<ExpectedReply>
+predictReplies(const std::string &bytes,
+               serve::RequestRunner &oracle)
+{
+    std::vector<ExpectedReply> replies;
+    serve::FrameParser parser(serve::kRequestMagic, "oracle");
+    parser.feed(bytes.data(), bytes.size());
+    while (true) {
+        Expected<std::optional<serve::Frame>> next = parser.next();
+        if (!next.ok()) {
+            // Poisoned stream: one error response, then close.
+            replies.push_back({serve::ResponseStatus::Error, {}});
+            return replies;
+        }
+        if (!next.value().has_value())
+            break;
+        serve::Frame frame = std::move(*next.value());
+        if (!serve::knownRequestKind(frame.kind)) {
+            replies.push_back({serve::ResponseStatus::Error, {}});
+            continue;
+        }
+        serve::RequestKind kind =
+            static_cast<serve::RequestKind>(frame.kind);
+        Expected<std::string> result =
+            oracle.handle(kind, frame.payload);
+        if (!result.ok()) {
+            replies.push_back({serve::ResponseStatus::Error, {}});
+        } else if (kind == serve::RequestKind::Stats) {
+            replies.push_back({serve::ResponseStatus::Ok, {}});
+        } else {
+            replies.push_back({serve::ResponseStatus::Ok,
+                               std::move(result).value()});
+        }
+    }
+    if (!parser.idle()) {
+        // Half-close lands inside a frame: a structured truncation
+        // error is owed before the server hangs up.
+        replies.push_back({serve::ResponseStatus::Error, {}});
+    }
+    return replies;
+}
+
+struct SweepStats
+{
+    size_t cases = 0;
+    size_t structuredErrors = 0;
+    size_t benignAccepts = 0;
+    std::vector<std::string> failures;
+};
+
+void
+sweepKind(serve::RequestKind kind, const std::string &socket_path,
+          serve::RequestRunner &oracle, SweepStats &stats)
+{
+    const std::string clean =
+        serve::encodeRequest(kind, cleanPayload(kind));
+    const std::string label =
+        std::string("serve-") + serve::requestKindName(kind);
+    sieve::testing::Corruptor corruptor(kSeed);
+
+    for (uint64_t index = 0; index < kMutationsPerKind; ++index) {
+        sieve::testing::Corruptor::Mutation mutation = corruptor.mutate(
+            clean, label, index, /*text=*/false);
+        auto fail = [&](const std::string &why) {
+            stats.failures.push_back(
+                "(" + label + ", " + std::to_string(index) + ", " +
+                sieve::testing::faultOpName(mutation.op) + "): " + why);
+        };
+        ++stats.cases;
+
+        std::vector<ExpectedReply> expected =
+            predictReplies(mutation.bytes, oracle);
+
+        Expected<serve::ServeClient> conn =
+            serve::ServeClient::connect(socket_path);
+        if (!conn.ok()) {
+            fail("connect failed: " + conn.error().toString());
+            continue;
+        }
+        serve::ServeClient client = std::move(conn).value();
+        client.setReceiveTimeoutMs(60'000);
+        if (!client.sendBytes(mutation.bytes).ok()) {
+            fail("send failed");
+            continue;
+        }
+        client.shutdownWrite();
+
+        bool case_ok = true;
+        bool saw_error_reply = false;
+        for (size_t r = 0; r < expected.size() && case_ok; ++r) {
+            Expected<serve::ServeClient::Response> reply =
+                client.receive();
+            if (!reply.ok()) {
+                fail("reply " + std::to_string(r) +
+                     " missing (server closed or timed out): " +
+                     reply.error().toString());
+                case_ok = false;
+                break;
+            }
+            if (reply.value().status != expected[r].status) {
+                fail("reply " + std::to_string(r) + " status " +
+                     std::to_string(static_cast<uint16_t>(
+                         reply.value().status)) +
+                     " != expected " +
+                     std::to_string(static_cast<uint16_t>(
+                         expected[r].status)));
+                case_ok = false;
+                break;
+            }
+            if (reply.value().status ==
+                serve::ResponseStatus::Error) {
+                saw_error_reply = true;
+                if (!serve::decodeError(reply.value().payload)
+                         .ok()) {
+                    fail("undecodable error payload in reply " +
+                         std::to_string(r));
+                    case_ok = false;
+                }
+            } else if (expected[r].payload.has_value() &&
+                       reply.value().payload !=
+                           *expected[r].payload) {
+                fail("Ok reply " + std::to_string(r) +
+                     " differs from the offline computation "
+                     "(silent corruption)");
+                case_ok = false;
+            }
+        }
+        if (case_ok) {
+            // After the predicted replies the server must close
+            // cleanly, not stall or invent extra frames.
+            Expected<serve::ServeClient::Response> eof =
+                client.receive();
+            if (eof.ok()) {
+                fail("unexpected extra reply after the predicted "
+                     "sequence");
+                case_ok = false;
+            }
+        }
+        if (case_ok) {
+            if (saw_error_reply)
+                ++stats.structuredErrors;
+            else
+                ++stats.benignAccepts;
+        }
+    }
+}
+
+TEST(ServeFuzz, MutatedFramesNeverCrashOrCorrupt)
+{
+    std::string socket_path = socketPath();
+    serve::ServerConfig config;
+    config.socketPath = socket_path;
+    config.jobs = 2;
+    serve::Server server(config);
+    ASSERT_TRUE(server.start().ok());
+    std::thread loop([&server] { server.run(); });
+
+    serve::RequestRunner oracle({/*jobs=*/1});
+    SweepStats stats;
+    for (serve::RequestKind kind :
+         {serve::RequestKind::Ping, serve::RequestKind::Stats,
+          serve::RequestKind::Sample, serve::RequestKind::Evaluate,
+          serve::RequestKind::Simulate,
+          serve::RequestKind::TraceStats}) {
+        sweepKind(kind, socket_path, oracle, stats);
+    }
+
+    server.requestShutdown();
+    loop.join();
+
+    std::string report;
+    for (const std::string &failure : stats.failures)
+        report += failure + "\n";
+    EXPECT_TRUE(stats.failures.empty()) << report;
+    EXPECT_EQ(stats.cases, 6 * kMutationsPerKind);
+    // The sweep must actually exercise both sides of the contract.
+    EXPECT_GT(stats.structuredErrors, 0u);
+    EXPECT_GT(stats.benignAccepts, 0u);
+    std::printf("serve fuzz: %zu cases, %zu structured errors, "
+                "%zu benign accepts, %zu failures\n",
+                stats.cases, stats.structuredErrors,
+                stats.benignAccepts, stats.failures.size());
+}
+
+} // namespace

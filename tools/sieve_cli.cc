@@ -87,6 +87,7 @@
 #include "common/thread_pool.hh"
 #include "obs/ledger.hh"
 #include "eval/experiment.hh"
+#include "eval/render.hh"
 #include "eval/report.hh"
 #include "eval/streaming.hh"
 #include "eval/suite_runner.hh"
@@ -103,6 +104,10 @@
 #include "sampling/rep_traces.hh"
 #include "sampling/sieve.hh"
 #include "sampling/tbpoint.hh"
+#include "serve/bench_serve.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 #include "trace/columnar.hh"
 #include "trace/profile_io.hh"
 #include "trace/shard_store.hh"
@@ -154,7 +159,8 @@ class Args
                key != "csv" && key != "smoke" && key != "stream" &&
                key != "content-seeded" && key != "telemetry" &&
                key != "strict" && key != "counters" &&
-               key != "counters-json" && key != "allow-counter-drift";
+               key != "counters-json" && key != "allow-counter-drift" &&
+               key != "ping-delay-for-tests";
     }
 
     const std::vector<std::string> &positional() const
@@ -393,25 +399,7 @@ cmdSample(const Args &args)
     gpu::WorkloadResult gold = hw.runWorkload(wl);
     auto [result, predicted] = runSampler(method, wl, gold, theta);
 
-    CsvTable table({"stratum", "kernel", "invocation", "tier",
-                    "members", "weight", "cta_size",
-                    "instruction_count"});
-    for (size_t s = 0; s < result.strata.size(); ++s) {
-        const auto &stratum = result.strata[s];
-        const auto &inv = wl.invocation(stratum.representative);
-        table.addRow({
-            std::to_string(s),
-            stratum.kernelId == sampling::Stratum::kNoKernel
-                ? std::string("-")
-                : wl.kernel(stratum.kernelId).name,
-            std::to_string(stratum.representative),
-            sampling::tierName(stratum.tier),
-            std::to_string(stratum.members.size()),
-            eval::Report::num(stratum.weight, 8),
-            std::to_string(inv.launch.ctaSize()),
-            std::to_string(inv.instructions()),
-        });
-    }
+    CsvTable table = eval::representativesCsv(wl, result);
 
     std::string out =
         args.get("out", wl.name() + "_" + method + "_reps.csv");
@@ -428,21 +416,7 @@ printEvaluation(const std::string &method, const std::string &suite,
                 const std::string &name,
                 const sampling::MethodEvaluation &eval)
 {
-    eval::Report report("Evaluation: " + method + " on " + suite +
-                        "/" + name);
-    report.setColumns({"metric", "value"});
-    report.addRow({"representatives",
-                   std::to_string(eval.numRepresentatives)});
-    report.addRow({"predicted cycles",
-                   eval::Report::count(eval.predictedCycles)});
-    report.addRow({"measured cycles",
-                   eval::Report::count(eval.measuredCycles)});
-    report.addRow({"error", eval::Report::percent(eval.error, 2)});
-    report.addRow({"simulation speedup",
-                   eval::Report::times(eval.speedup)});
-    report.addRow({"intra-cluster cycle CoV",
-                   eval::Report::num(eval.weightedClusterCov)});
-    report.print();
+    eval::evaluationReport(method, suite, name, eval).print();
 }
 
 int
@@ -617,22 +591,7 @@ cmdTraceStats(const Args &args)
         specs, {theta}, synth, tierFromArgs(args));
 
     if (args.has("csv")) {
-        CsvTable table({"workload", "strata", "instructions",
-                        "aos_bytes", "columnar_bytes", "blob_bytes",
-                        "bytes_per_inst", "dict_entries", "hot",
-                        "cold"});
-        for (const auto &row : rows) {
-            const auto &s = row.stats;
-            table.addRow({row.name, std::to_string(s.strata),
-                          std::to_string(s.instructions),
-                          std::to_string(s.aosBytes),
-                          std::to_string(s.columnarBytes),
-                          std::to_string(s.blobBytes),
-                          eval::Report::num(s.bytesPerInstruction(), 3),
-                          std::to_string(s.dictionaryEntries),
-                          std::to_string(s.hotTraces),
-                          std::to_string(s.coldTraces)});
-        }
+        CsvTable table = eval::traceStatsCsv(rows);
         if (args.has("out")) {
             table.writeFile(args.get("out", ""));
         } else {
@@ -830,36 +789,11 @@ void
 printSimResult(const trace::KernelTrace &kt,
                const gpusim::KernelSimResult &result)
 {
-
-    eval::Report report("Simulation: " + kt.kernelName +
-                        " invocation " +
-                        std::to_string(kt.invocationId));
-    report.setColumns({"metric", "value"});
-    report.addRow({"traced instructions",
-                   eval::Report::count(static_cast<double>(
-                       result.instructionsSimulated))});
-    report.addRow({"slice cycles",
-                   eval::Report::count(
-                       static_cast<double>(result.simCycles))});
-    report.addRow({"estimated kernel cycles",
-                   eval::Report::count(result.estimatedKernelCycles)});
-    report.addRow({"estimated IPC",
-                   eval::Report::num(result.estimatedIpc)});
-    report.addRow({"L1 hit rate",
-                   eval::Report::percent(result.l1.hitRate())});
-    report.addRow({"L2 hit rate",
-                   eval::Report::percent(result.l2.hitRate())});
-    report.addRow({"DRAM bytes",
-                   eval::Report::count(
-                       static_cast<double>(result.dram.bytes))});
-    if (result.pkpStoppedEarly) {
-        report.addRow({"PKP simulated fraction",
-                       eval::Report::percent(
-                           result.fractionSimulated)});
-    }
-    report.addRow({"wall time",
-                   eval::Report::num(result.wallSeconds, 3) + " s"});
-    report.print();
+    // The table itself is the shared renderer the serving layer also
+    // ships; the volatile wall clock prints after it so deterministic
+    // bytes and timing stay on separate lines.
+    eval::simulationReport(kt, result).print();
+    std::printf("wall time %.3f s\n", result.wallSeconds);
 }
 
 int
@@ -1501,6 +1435,128 @@ cmdPerfReport(const Args &args)
 }
 
 int
+cmdServe(const Args &args)
+{
+    serve::ServerConfig config;
+    config.socketPath = args.get("socket", "");
+    if (config.socketPath.empty()) {
+        fatal("usage: sieve serve --socket PATH [--jobs N] "
+              "[--max-queue N] [--quota N]");
+    }
+    config.jobs = std::stoul(args.get("jobs", "0"));
+    config.maxQueue = std::stoul(args.get("max-queue", "64"));
+    config.perClientQuota = std::stoul(args.get("quota", "8"));
+    config.pingDelayForTests = args.has("ping-delay-for-tests");
+    serve::Server server(config);
+    unwrapOrFatal(server.start());
+    serve::installShutdownSignalHandlers(server);
+    std::fprintf(stderr, "sieved listening on %s\n",
+                 config.socketPath.c_str());
+    server.run();
+    return 0;
+}
+
+int
+cmdCall(const Args &args)
+{
+    const std::vector<std::string> &pos = args.positional();
+    std::string socket = args.get("socket", "");
+    if (pos.empty() || socket.empty()) {
+        fatal("usage: sieve call <kind> [args...] --socket PATH "
+              "[--timeout-ms N]\n"
+              "  ping [TEXT]\n"
+              "  stats\n"
+              "  sample <workload> <method> <theta> <cap>\n"
+              "  evaluate <workload> <method> <arch> <theta> <cap>\n"
+              "  simulate <arch> <pkp 0|1> <trace-file>\n"
+              "  trace-stats <theta> <ctas> <budget-mb> <cap> "
+              "<workload>...");
+    }
+
+    const std::string &kindName = pos[0];
+    serve::RequestKind kind = serve::RequestKind::Ping;
+    std::string payload;
+    auto requireArgs = [&](size_t count, const char *shape) {
+        if (pos.size() != count + 1)
+            fatal("sieve call ", kindName, " expects: ", shape);
+    };
+    if (kindName == "ping") {
+        kind = serve::RequestKind::Ping;
+        payload = pos.size() > 1 ? pos[1] : "";
+    } else if (kindName == "stats") {
+        kind = serve::RequestKind::Stats;
+        requireArgs(0, "(no arguments)");
+    } else if (kindName == "sample") {
+        kind = serve::RequestKind::Sample;
+        requireArgs(4, "<workload> <method> <theta> <cap>");
+        payload = serve::encodeFields({pos[1], pos[2], pos[3],
+                                       pos[4]});
+    } else if (kindName == "evaluate") {
+        kind = serve::RequestKind::Evaluate;
+        requireArgs(5, "<workload> <method> <arch> <theta> <cap>");
+        payload = serve::encodeFields({pos[1], pos[2], pos[3],
+                                       pos[4], pos[5]});
+    } else if (kindName == "simulate") {
+        kind = serve::RequestKind::Simulate;
+        requireArgs(3, "<arch> <pkp 0|1> <trace-file>");
+        std::ifstream trace(pos[3], std::ios::binary);
+        if (!trace)
+            fatal("cannot read trace file '", pos[3], "'");
+        std::ostringstream bytes;
+        bytes << trace.rdbuf();
+        payload = serve::encodeFields({pos[1], pos[2], bytes.str()});
+    } else if (kindName == "trace-stats") {
+        kind = serve::RequestKind::TraceStats;
+        if (pos.size() < 6) {
+            fatal("sieve call trace-stats expects: <theta> <ctas> "
+                  "<budget-mb> <cap> <workload>...");
+        }
+        payload = serve::encodeFields(
+            {pos.begin() + 1, pos.end()});
+    } else {
+        fatal("unknown request kind '", kindName,
+              "' (ping | stats | sample | evaluate | simulate | "
+              "trace-stats)");
+    }
+
+    serve::ServeClient client =
+        unwrapOrFatal(serve::ServeClient::connect(socket));
+    client.setReceiveTimeoutMs(static_cast<int>(
+        std::stoul(args.get("timeout-ms", "60000"))));
+    serve::ServeClient::Response reply =
+        unwrapOrFatal(client.call(kind, payload));
+    if (reply.status == serve::ResponseStatus::Ok) {
+        std::fwrite(reply.payload.data(), 1, reply.payload.size(),
+                    stdout);
+        return 0;
+    }
+    Expected<serve::WireError> decoded =
+        serve::decodeError(reply.payload);
+    std::fprintf(
+        stderr, "%s%s\n",
+        reply.status == serve::ResponseStatus::ShuttingDown
+            ? "server shutting down: "
+            : "",
+        decoded.ok()
+            ? decoded.value().error.toString().c_str()
+            : "server sent an undecodable error payload");
+    return 1;
+}
+
+int
+cmdBenchServe(const Args &args)
+{
+    serve::BenchServeOptions opts;
+    opts.connections = std::stoul(args.get("connections", "4"));
+    opts.requests = std::stoul(args.get("requests", "25"));
+    opts.jobs = std::stoul(args.get("jobs", "0"));
+    opts.smoke = args.has("smoke");
+    opts.out = args.get("out", "BENCH_PR10.json");
+    opts.socketPath = args.get("socket", "");
+    return serve::runBenchServe(opts);
+}
+
+int
 usage()
 {
     std::fprintf(
@@ -1535,6 +1591,22 @@ usage()
         "               [--allow-counter-drift]\n"
         "                                 exit 1 when the latest run\n"
         "                                 regresses vs its baselines\n"
+        "  serve --socket PATH [--jobs N] [--max-queue N] "
+        "[--quota N]\n"
+        "                                 run sieved on an AF_UNIX "
+        "socket\n"
+        "                                 (SIGTERM drains "
+        "gracefully)\n"
+        "  call <kind> [args...] --socket PATH\n"
+        "                                 one request against a "
+        "running\n"
+        "                                 sieved; Ok payload -> "
+        "stdout\n"
+        "  bench-serve [--connections N] [--requests N] [--jobs N]\n"
+        "              [--smoke] [-o FILE]\n"
+        "                                 closed-loop serving bench "
+        "->\n"
+        "                                 BENCH_PR10.json\n"
         "  perf-report [BENCH...] [--out F]\n"
         "                                 consolidate BENCH_*.json "
         "into\n"
@@ -1632,6 +1704,12 @@ main(int argc, char **argv)
         return cmdFuzzIngest(args);
     if (command == "runs")
         return cmdRuns(args);
+    if (command == "serve")
+        return cmdServe(args);
+    if (command == "call")
+        return cmdCall(args);
+    if (command == "bench-serve")
+        return cmdBenchServe(args);
     if (command == "perf-report")
         return cmdPerfReport(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
